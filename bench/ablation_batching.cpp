@@ -1,0 +1,70 @@
+// Ablation — request batching at the master.
+//
+// The paper fixed the master by making each message cheaper (Kryo). The
+// complementary fix is sending *fewer* messages: coalescing sub-queries
+// for the same node amortises the fixed per-message CPU cost (dispatch,
+// allocation, syscall) across the batch. This bench sweeps the batch size
+// for both serializer profiles on the master-bound fine-grained workload
+// and reports where the bottleneck flips back to the slaves.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t nodes = 16;
+  int64_t repeats = 3;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("repeats", &repeats, "seeds per configuration");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Ablation: master message batching (fine-grained, 10k sub-queries)",
+      "the paper cut the per-message cost 150 -> 19 us; batching divides "
+      "the fixed share of it by the batch size",
+      std::to_string(nodes) + " nodes, batch in {1,4,16,64}");
+
+  const WorkloadSpec workload =
+      MakeUniformWorkload(Granularity::kFine, elements);
+
+  for (bool optimized : {false, true}) {
+    bench::Header(std::string(optimized ? "kryo-like (19 us fixed+marginal)"
+                                        : "java-default (150 us)"));
+    TablePrinter table({"batch size", "master issue", "makespan",
+                        "vs batch 1"});
+    Micros baseline = 0.0;
+    for (uint32_t batch : {1u, 4u, 16u, 64u}) {
+      ClusterConfig config = bench::PaperClusterConfig(
+          static_cast<uint32_t>(nodes), optimized, 1);
+      config.send_batch_size = batch;
+      const auto run = bench::RunRepeated(config, workload,
+                                          static_cast<uint32_t>(repeats));
+      if (batch == 1) baseline = run.mean_makespan;
+      table.AddRow({TablePrinter::Cell(static_cast<int64_t>(batch)),
+                    FormatMicros(run.mean_master_done),
+                    FormatMicros(run.mean_makespan),
+                    FormatPercent(run.mean_makespan / baseline - 1.0)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nreading: with the slow serializer, batching recovers most of what "
+      "the Kryo\nswitch bought — the two optimizations attack the same "
+      "term of Formula 3\n(keys x t_msg) from different directions. Past "
+      "the point where the slaves\nbecome the bottleneck, bigger batches "
+      "stop helping.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

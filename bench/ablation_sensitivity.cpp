@@ -1,0 +1,122 @@
+// Ablation — model sensitivity (the paper's closing claim).
+//
+// "we believe it can be employed when deciding which kind of hardware and
+// technologies to use when creating a new cluster, as it is possible to
+// use the formula to predict which hardware characteristics will influence
+// performance the most" (Section IX). This bench perturbs each calibrated
+// constant by ±20% and reports how the 16-node prediction, the optimal
+// partition count and the master-saturation point move — i.e. which knob
+// a hardware buyer should care about.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "model/architecture.hpp"
+#include "model/optimizer.hpp"
+
+namespace kvscale {
+namespace {
+
+struct Scenario {
+  std::string name;
+  QueryModel model;
+};
+
+void Report(const std::vector<Scenario>& scenarios, uint64_t elements,
+            uint32_t nodes) {
+  TablePrinter table({"perturbation", "T(16 nodes, opt rows)", "delta",
+                      "optimal rows", "master limit (4k rows)"});
+  Micros baseline = 0.0;
+  for (const auto& scenario : scenarios) {
+    PartitionOptimizer optimizer(scenario.model);
+    const auto opt = optimizer.Optimize(elements, nodes);
+    const uint32_t limit =
+        MasterSaturationNodes(scenario.model, elements, 4000, 512);
+    if (baseline == 0.0) baseline = opt.prediction.total;
+    table.AddRow({scenario.name, FormatMicros(opt.prediction.total),
+                  FormatPercent(opt.prediction.total / baseline - 1.0),
+                  TablePrinter::Cell(opt.keys),
+                  limit == 0 ? "> 512" : std::to_string(limit)});
+  }
+  table.Print();
+}
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t nodes = 16;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("nodes", &nodes, "cluster size for the prediction");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Ablation: model sensitivity to the calibrated constants (Section IX)",
+      "\"predict which hardware characteristics will influence performance "
+      "the most\"",
+      "each constant perturbed +/-20%, 16-node optimum re-derived");
+
+  const MasterModel master = MasterModel::FromSerializer(KryoLikeProfile());
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"baseline (paper constants)",
+                       QueryModel(DbModel{}, master)});
+
+  // DB per-element cost (Formula 6 slopes): disk/CPU speed of the nodes.
+  for (double factor : {0.8, 1.2}) {
+    DbModelParams params;
+    params.small_slope *= factor;
+    params.large_slope *= factor;
+    char name[64];
+    std::snprintf(name, sizeof(name), "db slope x%.1f (node speed)", factor);
+    scenarios.push_back({name, QueryModel(DbModel(params), master)});
+  }
+  // DB fixed per-request cost (Formula 6 intercepts): request overhead.
+  for (double factor : {0.8, 1.2}) {
+    DbModelParams params;
+    params.small_intercept *= factor;
+    params.large_intercept *= factor;
+    char name[64];
+    std::snprintf(name, sizeof(name), "db intercept x%.1f (req overhead)",
+                  factor);
+    scenarios.push_back({name, QueryModel(DbModel(params), master)});
+  }
+  // Parallelism headroom (Formula 7 intercept): cores / IO queue depth.
+  for (double factor : {0.8, 1.2}) {
+    ParallelismModel::Params params;
+    params.intercept *= factor;
+    char name[64];
+    std::snprintf(name, sizeof(name), "speedup ceiling x%.1f (cores)",
+                  factor);
+    scenarios.push_back(
+        {name,
+         QueryModel(DbModel(DbModelParams{}, ParallelismModel(params)),
+                    master)});
+  }
+  // Master per-message cost (Formula 3): serialization / NIC stack.
+  for (double factor : {0.8, 1.2}) {
+    MasterModel::Params params = master.params();
+    params.time_per_message *= factor;
+    params.time_per_result *= factor;
+    char name[64];
+    std::snprintf(name, sizeof(name), "t_msg x%.1f (serialization)", factor);
+    scenarios.push_back(
+        {name, QueryModel(DbModel{}, MasterModel(params))});
+  }
+
+  Report(scenarios, static_cast<uint64_t>(elements),
+         static_cast<uint32_t>(nodes));
+
+  std::printf(
+      "\nreading: at this scale the query time tracks the DB constants "
+      "(slope ~ linearly,\nintercept through the optimizer's row-size "
+      "choice) and the parallelism ceiling,\nwhile t_msg only moves the "
+      "master-saturation point — exactly the paper's advice\nthat the "
+      "right hardware investment depends on which term of Formula 2 binds "
+      "you.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

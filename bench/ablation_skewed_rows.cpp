@@ -1,0 +1,99 @@
+// Ablation — heterogeneous (Zipf-sized) partitions.
+//
+// Formula 4 plugs the *mean* row size into the DB model: "all of them
+// differ in the number of elements per partition" is true of the paper's
+// workloads only on average. Real D8tree cubes (and the Section II city
+// partitions) are heavy-tailed; this bench runs the same totals with
+// uniform vs Zipf-sized partitions and shows where the mean-keysize model
+// starts to miss — a model limitation the paper's uniform workloads never
+// exposed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+
+namespace kvscale {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t keys = 1000;
+  int64_t nodes = 16;
+  int64_t repeats = 5;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("keys", &keys, "partitions");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("repeats", &repeats, "seeds per configuration");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Ablation: uniform vs Zipf-sized partitions (same totals)",
+      "Formula 4 uses the mean row size; heavy-tailed partition sizes add "
+      "a load imbalance the key-count analysis cannot see (Section II's "
+      "city example at the query level)",
+      std::to_string(keys) + " partitions, " + std::to_string(nodes) +
+          " nodes");
+
+  const QueryModel model = bench::PaperQueryModel(true);
+  const Micros predicted = model.Predict(static_cast<uint64_t>(elements),
+                                         static_cast<uint64_t>(keys),
+                                         static_cast<uint32_t>(nodes))
+                               .total;
+
+  TablePrinter table({"partition sizes", "largest partition", "makespan",
+                      "vs model", "req imbalance"});
+  struct Shape {
+    const char* name;
+    double exponent;  // < 0 = uniform
+  };
+  for (const Shape& shape :
+       {Shape{"uniform", -1.0}, Shape{"zipf s=0.5", 0.5},
+        Shape{"zipf s=0.8", 0.8}, Shape{"zipf s=1.0", 1.0}}) {
+    RunningSummary makespan, imbalance;
+    uint32_t largest = 0;
+    for (int64_t r = 0; r < repeats; ++r) {
+      const WorkloadSpec workload =
+          shape.exponent < 0
+              ? UniformWorkload(static_cast<uint64_t>(elements),
+                                static_cast<uint64_t>(keys))
+              : ZipfWorkload(static_cast<uint64_t>(elements),
+                             static_cast<uint64_t>(keys), shape.exponent,
+                             static_cast<uint64_t>(r + 1));
+      for (const auto& p : workload.partitions) {
+        largest = std::max(largest, p.elements);
+      }
+      ClusterConfig config = bench::PaperClusterConfig(
+          static_cast<uint32_t>(nodes), true, static_cast<uint64_t>(r + 1));
+      // The quadratic GC-churn term is calibrated for the paper's row
+      // sizes (<= 10k elements); switch it off so giant Zipf-head rows
+      // show the *database* effect, not an extrapolated GC artefact.
+      config.gc.quadratic_us_per_element2 = 0.0;
+      // Heterogeneous sizes: don't charge a giant row the executor-wide
+      // interference of unrelated small requests.
+      config.cap_inflation_at_optimal = true;
+      const auto run = RunDistributedQuery(config, workload);
+      makespan.Add(run.makespan);
+      imbalance.Add(run.RequestImbalance());
+    }
+    table.AddRow({shape.name, TablePrinter::Cell(static_cast<int64_t>(largest)),
+                  FormatMicros(makespan.mean()),
+                  FormatPercent(makespan.mean() / predicted - 1.0),
+                  FormatPercent(imbalance.mean())});
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading: the model's mean-keysize prediction (%s here) holds for "
+      "uniform\npartitions; as the size distribution's tail grows, single "
+      "giant rows dominate\nthe slowest node and the gap opens — when "
+      "your cubes are heavy-tailed, feed\nkey_max the *load* imbalance "
+      "(SimulateWeightedImbalance), not the key count.\n",
+      FormatMicros(predicted).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

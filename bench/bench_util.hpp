@@ -1,0 +1,89 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints (a) what the paper reports for that figure and (b) the
+// values this reproduction measures, through the same TablePrinter, so
+// test_output/bench_output diffs stay readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+#include "model/query_model.hpp"
+#include "stats/summary.hpp"
+#include "wire/serializer_model.hpp"
+
+namespace kvscale::bench {
+
+/// Prints a section header.
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the figure banner: id, paper claim, and our setup.
+inline void Banner(const std::string& figure, const std::string& paper_claim,
+                   const std::string& setup) {
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+/// The paper's cluster sizes.
+inline std::vector<uint32_t> PaperNodeCounts() { return {1, 2, 4, 8, 16}; }
+
+/// Default simulator configuration for the Figure 1/5 experiments.
+inline ClusterConfig PaperClusterConfig(uint32_t nodes, bool optimized_master,
+                                        uint64_t seed) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.seed = seed;
+  if (optimized_master) {
+    config.serializer = KryoLikeProfile();
+    config.size_messages_with_compact_codec = true;
+  } else {
+    config.serializer = JavaLikeProfile();
+    config.size_messages_with_compact_codec = false;
+  }
+  return config;
+}
+
+/// The analytical model matching PaperClusterConfig.
+inline QueryModel PaperQueryModel(bool optimized_master) {
+  const SerializerProfile profile =
+      optimized_master ? KryoLikeProfile() : JavaLikeProfile();
+  return QueryModel(DbModel{}, MasterModel::FromSerializer(profile));
+}
+
+/// Mean makespan over `repeats` seeds (the paper plots one run; we average
+/// to de-noise the shape comparison).
+struct RepeatedRun {
+  Micros mean_makespan = 0.0;
+  Micros mean_master_done = 0.0;
+  double mean_request_imbalance = 0.0;
+  QueryRunResult last;  ///< last run kept for trace-level reporting
+};
+
+inline RepeatedRun RunRepeated(ClusterConfig config,
+                               const WorkloadSpec& workload,
+                               uint32_t repeats) {
+  RepeatedRun out;
+  RunningSummary makespan, master, imbalance;
+  for (uint32_t r = 0; r < repeats; ++r) {
+    config.seed = 1000 + r * 7919;
+    out.last = RunDistributedQuery(config, workload);
+    makespan.Add(out.last.makespan);
+    master.Add(out.last.master_issue_done);
+    imbalance.Add(out.last.RequestImbalance());
+  }
+  out.mean_makespan = makespan.mean();
+  out.mean_master_done = master.mean();
+  out.mean_request_imbalance = imbalance.mean();
+  return out;
+}
+
+}  // namespace kvscale::bench

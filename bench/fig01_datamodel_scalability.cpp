@@ -1,0 +1,90 @@
+// Figure 1 — Data model influence on scalability.
+//
+// Paper setup: 1M elements aggregated by count-by-type under three data
+// models (coarse 100x10000, medium 1000x1000, fine 10000x100) on clusters
+// of 1..16 nodes, with the *unoptimised* (Java-serialization) master.
+// Paper result: none of the models scale linearly; at 16 nodes the gap to
+// ideal is 108% (coarse), 62% (medium) and 180% (fine); for coarse/medium
+// the "balanced" line overlaps ideal (imbalance explains the loss) while
+// fine diverges (the master is the real bottleneck).
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+struct PaperReference {
+  Granularity granularity;
+  // Relative gap vs ideal at 16 nodes reported in the paper's labels.
+  double gap_vs_ideal_16;
+};
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t repeats = 5;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements to aggregate");
+  flags.Add("repeats", &repeats, "seeds averaged per configuration");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 1: data model influence on scalability (slow master, 150 us/msg)",
+      "at 16 nodes: coarse +108%, medium +62%, fine +180% vs ideal; "
+      "balanced==ideal for coarse/medium, diverges for fine",
+      "simulator, " + std::to_string(elements) + " elements, " +
+          std::to_string(repeats) + " seeds/config");
+
+  const std::vector<PaperReference> references = {
+      {Granularity::kCoarse, 1.08},
+      {Granularity::kMedium, 0.62},
+      {Granularity::kFine, 1.80},
+  };
+
+  for (const auto& ref : references) {
+    const WorkloadSpec workload =
+        MakeUniformWorkload(ref.granularity, elements);
+    bench::Header(std::string(GranularityName(ref.granularity)) + " (" +
+                  std::to_string(workload.partitions.size()) +
+                  " partitions)");
+
+    // Anchor the ideal line the way the paper does: measured single-node
+    // time scaled by 1/n.
+    const auto single = bench::RunRepeated(
+        bench::PaperClusterConfig(1, /*optimized_master=*/false, 1),
+        workload, static_cast<uint32_t>(repeats));
+
+    TablePrinter table({"nodes", "time", "ideal", "balanced", "vs ideal",
+                        "req imbalance"});
+    double gap16 = 0.0;
+    for (uint32_t nodes : bench::PaperNodeCounts()) {
+      const auto run = bench::RunRepeated(
+          bench::PaperClusterConfig(nodes, false, 1), workload,
+          static_cast<uint32_t>(repeats));
+      const Micros ideal = single.mean_makespan / nodes;
+      // The paper's "balanced" line: what the run would have cost with the
+      // observed per-node work spread perfectly.
+      const Micros balanced =
+          run.mean_makespan / (1.0 + run.mean_request_imbalance);
+      const double gap = run.mean_makespan / ideal - 1.0;
+      if (nodes == 16) gap16 = gap;
+      table.AddRow({TablePrinter::Cell(static_cast<int64_t>(nodes)),
+                    FormatMicros(run.mean_makespan), FormatMicros(ideal),
+                    FormatMicros(balanced), FormatPercent(gap),
+                    FormatPercent(run.mean_request_imbalance)});
+    }
+    table.Print();
+    std::printf("paper gap at 16 nodes: %s | measured: %s\n",
+                FormatPercent(ref.gap_vs_ideal_16).c_str(),
+                FormatPercent(gap16).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,98 @@
+// Figure 4 — Profile patterns: medium-grained vs fine-grained stage Gantt.
+//
+// Paper setup: 16 nodes, slow (Java-serialization) master; per-request
+// timelines split into master-to-slave / in-queue / in-db / slave-to-master.
+// Paper result: medium-grained saturates Cassandra (long in-queue bands,
+// dense in-db, master done in ~300 ms; the run ends when slave F drains);
+// fine-grained inverts the pattern: the master takes ~1.5 s to send, the
+// in-queue stage is empty and the in-db lanes show idle gaps — the master
+// starves the database.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "trace/gantt.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+void Profile(Granularity granularity, uint64_t elements, uint32_t nodes,
+             uint64_t seed) {
+  ClusterConfig config = bench::PaperClusterConfig(nodes, false, seed);
+  // Pin the DB executor width so the utilisation numbers of the two
+  // workloads are directly comparable.
+  config.db_concurrency = 16;
+  const WorkloadSpec workload = MakeUniformWorkload(granularity, elements);
+  const QueryRunResult run = RunDistributedQuery(config, workload);
+
+  bench::Header(std::string(GranularityName(granularity)) + " on " +
+                std::to_string(nodes) + " nodes (slow master)");
+  std::printf("makespan %s | master finished sending at %s\n",
+              FormatMicros(run.makespan).c_str(),
+              FormatMicros(run.master_issue_done).c_str());
+  std::printf("%s\n", run.tracer.SummaryReport().c_str());
+
+  GanttOptions options;
+  options.width = 100;
+  // Per-stage (cluster-wide) lanes keep the output readable at 16 nodes.
+  options.per_node = false;
+  std::printf("%s", RenderGantt(run.tracer, options).c_str());
+
+  const RunningSummary queue = run.tracer.StageSummary(Stage::kInQueue);
+  const RunningSummary latency = [&] {
+    RunningSummary s;
+    for (const auto& t : run.tracer.traces()) s.Add(t.TotalLatency());
+    return s;
+  }();
+  std::printf("mean in-queue %s (%.0f%% of mean request latency %s)\n",
+              FormatMicros(queue.mean()).c_str(),
+              latency.mean() > 0 ? queue.mean() / latency.mean() * 100.0 : 0.0,
+              FormatMicros(latency.mean()).c_str());
+
+  // The paper's "white spots": how busy the database actually was.
+  // Utilisation = total in-db service time / (window * nodes * executors).
+  const RunningSummary in_db = run.tracer.StageSummary(Stage::kInDb);
+  const double db_utilisation =
+      in_db.sum() / (run.makespan * nodes * 16.0);
+  std::printf("database utilisation over the run: %.0f%%%s\n",
+              db_utilisation * 100.0,
+              db_utilisation < 0.4
+                  ? "  <- the DB sits idle waiting for the master"
+                  : "");
+}
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t nodes = 16;
+  int64_t seed = 7;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("seed", &seed, "run seed");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 4: stage profiles, medium vs fine (slow master, 16 nodes)",
+      "medium: long in-queue bands, master done ~300 ms, DB is the "
+      "bottleneck; fine: empty in-queue, idle in-db gaps, master needs "
+      "~1.5 s to send",
+      "simulated stage traces, ASCII Gantt");
+
+  Profile(Granularity::kMedium, elements, static_cast<uint32_t>(nodes),
+          static_cast<uint64_t>(seed));
+  Profile(Granularity::kFine, elements, static_cast<uint32_t>(nodes),
+          static_cast<uint64_t>(seed));
+
+  std::printf(
+      "\nreading: in medium the in-queue lane is dense (requests wait for "
+      "the DB);\nin fine the in-queue lane is nearly empty and in-db shows "
+      "white gaps (the DB waits\nfor the master), matching the paper's "
+      "diagnosis.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,199 @@
+// Figure 6 — Response time versus row size (Formula 6).
+//
+// Paper setup: stratified sampling of rows by size, single-request reads in
+// random order, response time plotted against elements per row. Paper
+// result: piecewise-linear with a discontinuity at ~1425 elements — the
+// row size where Cassandra's column_index_size_in_kb (64 KB) starts
+// building a column index. Fitted model:
+//   t(ms) = 1.163 + 0.0387 k (k <= 1425) | 0.773 + 0.0439 k (k > 1425).
+//
+// This bench runs the experiment twice:
+//  (a) against the calibrated simulator (the timing stand-in for the
+//      authors' Cassandra cluster), refitting the segmented regression and
+//      checking it recovers Formula 6;
+//  (b) against this library's *real* storage engine, showing the same
+//      structural threshold: rows <= 64 KB carry no column index (whole-row
+//      decodes), larger rows do (block-granular access) — reported via read
+//      probes, since absolute wall-clock depends on the host machine.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "model/calibrator.hpp"
+#include "store/local_store.hpp"
+#include "workload/alya.hpp"
+
+namespace kvscale {
+namespace {
+
+void SimulatorSweep(uint64_t samples_per_stratum, uint64_t repetitions) {
+  bench::Header("(a) calibrated simulator sweep + segmented refit");
+  Rng rng(2017);
+  std::vector<CalibrationSample> samples;
+  TablePrinter table({"row size", "median time", "model (F6)"});
+
+  // The paper: "we execute several repetitions of our test reading in
+  // random order the rows we selected previously" — the median over
+  // repetitions tames the heavy-tailed service noise enough for the
+  // breakpoint scan to see the ~12% step at 1425 elements.
+  auto median_time = [&](double keysize) {
+    std::vector<double> times;
+    times.reserve(repetitions);
+    for (uint64_t rep = 0; rep < repetitions; ++rep) {
+      ClusterConfig config;
+      config.nodes = 1;
+      config.db_concurrency = 1;  // isolated single requests
+      config.gc.quadratic_us_per_element2 = 0.0;
+      config.seed = rng.Next();
+      WorkloadSpec spec;
+      spec.partitions = {
+          PartitionRef{"probe", static_cast<uint32_t>(keysize)}};
+      const auto run = RunDistributedQuery(config, spec);
+      times.push_back(run.tracer.traces()[0].StageDuration(Stage::kInDb));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  for (uint32_t stratum = 0; stratum < 20; ++stratum) {
+    const double lo = stratum * 500.0 + 1.0;
+    RunningSummary stratum_times;
+    double mean_keysize = 0;
+    for (uint64_t s = 0; s < samples_per_stratum; ++s) {
+      const double keysize = rng.Uniform(lo, lo + 499.0);
+      const Micros t = median_time(keysize);
+      samples.push_back(CalibrationSample{keysize, t});
+      stratum_times.Add(t);
+      mean_keysize += keysize;
+    }
+    mean_keysize /= static_cast<double>(samples_per_stratum);
+    table.AddRow({TablePrinter::Cell(mean_keysize, 0),
+                  FormatMicros(stratum_times.mean()),
+                  FormatMicros(DbModel().QueryTime(mean_keysize))});
+  }
+  table.Print();
+
+  const SegmentedFit fit = FitQueryTimeModel(samples);
+  std::printf("\nrefit: %s\n", fit.ToString().c_str());
+  std::printf("paper Formula 6: breakpoint 1425; lower 1163+38.7k us; "
+              "upper 773+43.9k us\n");
+  std::printf("recovered breakpoint: %.0f elements (paper: 1425)\n",
+              fit.breakpoint);
+}
+
+void RealStoreSweep() {
+  bench::Header("(b) real storage engine: the 64 KB column-index threshold");
+  StoreOptions options;
+  LocalStore store(options);
+  Table& table = store.GetOrCreateTable("probe");
+
+  TablePrinter report({"row elements", "encoded size", "column index",
+                       "blocks decoded (full read)",
+                       "blocks decoded (10-element slice)"});
+  for (uint32_t elements :
+       {100u, 500u, 1000u, 1400u, 1500u, 2000u, 4000u, 10000u}) {
+    const std::string key = "row-" + std::to_string(elements);
+    for (uint32_t i = 0; i < elements; ++i) {
+      Column c;
+      c.clustering = i;
+      c.type_id = i % 8;
+      c.payload = MakePayload(elements, i, kParticlePayloadBytes);
+      table.Put(key, std::move(c));
+    }
+    table.Flush();
+
+    ReadProbe full;
+    (void)table.GetPartition(key, &full);
+    ReadProbe slice;
+    (void)table.Slice(key, elements / 2, elements / 2 + 9, &slice);
+
+    report.AddRow(
+        {TablePrinter::Cell(static_cast<int64_t>(elements)),
+         FormatBytes(table.PartitionEncodedBytes(key)),
+         slice.index_probes > 0 ? "yes" : "no",
+         TablePrinter::Cell(full.blocks_decoded + full.blocks_from_cache),
+         TablePrinter::Cell(slice.blocks_decoded + slice.blocks_from_cache)});
+  }
+  report.Print();
+  std::printf(
+      "\nrows <= 64 KiB (~1425 elements at ~46 B/element) have no column "
+      "index: even a\n10-element slice decodes the whole row. Above the "
+      "threshold the index narrows\nthe slice to one block — the "
+      "structural cause of the Figure 6 discontinuity.\n");
+}
+
+void LocalWallClockSweep() {
+  bench::Header(
+      "(c) wall-clock calibration of the real engine (machine-dependent)");
+  StoreOptions options;
+  options.block_cache_bytes = 0;  // force decode work on every read
+  LocalStore store(options);
+  Table& table = store.GetOrCreateTable("calibration");
+
+  std::vector<std::string> keys;
+  for (uint32_t elements = 250; elements <= 10000; elements += 500) {
+    const std::string key = "row-" + std::to_string(elements);
+    for (uint32_t i = 0; i < elements; ++i) {
+      Column c;
+      c.clustering = i;
+      c.type_id = i % 8;
+      c.payload = MakePayload(elements, i, kParticlePayloadBytes);
+      table.Put(key, std::move(c));
+    }
+    keys.push_back(key);
+  }
+  table.Flush();
+
+  // The paper's procedure end to end, against real hardware: repeated
+  // reads, medians, segmented refit. Absolute numbers are this machine's
+  // (in-memory C++ engine: microseconds, not the paper's milliseconds);
+  // what transfers is the *method* and the linear-in-rowsize shape.
+  const auto samples = MeasureTableQueryTimes(table, keys, 7);
+  const SegmentedFit segmented = FitQueryTimeModel(samples, 3);
+  std::vector<double> xs, ys;
+  for (const auto& s : samples) {
+    xs.push_back(s.keysize);
+    ys.push_back(s.micros);
+  }
+  const LinearFit linear = FitLinear(xs, ys);
+  std::printf("local linear fit   : %s\n", linear.ToString().c_str());
+  std::printf("local segmented fit: %s\n", segmented.ToString().c_str());
+  std::printf(
+      "note: this in-memory C++ engine has no IO discontinuity — its "
+      "wall-clock response\nis linear (~%.3f us/element here), so the "
+      "breakpoint scan can only latch onto\nnoise. The paper's 64 KB step "
+      "is an on-disk indexing effect; in this engine it\nshows up in "
+      "*block decodes* (table (b) above), not in in-memory time. Feed "
+      "your\nown cluster's samples into CalibrateDbModel to get your "
+      "Formula 6.\n",
+      linear.slope);
+}
+
+int Run(int argc, char** argv) {
+  int64_t per_stratum = 12;
+  int64_t repetitions = 9;
+  CliFlags flags;
+  flags.Add("samples-per-stratum", &per_stratum,
+            "simulator samples per 500-element row-size stratum");
+  flags.Add("repetitions", &repetitions,
+            "repetitions per sample (median taken)");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 6: response time vs row size; discontinuity at ~1425 elements",
+      "piecewise linear response; 64 KB column_index_size_in_kb causes a "
+      "step at ~1425 elements",
+      "simulator refit + real storage-engine probe");
+  SimulatorSweep(static_cast<uint64_t>(per_stratum),
+                 static_cast<uint64_t>(repetitions));
+  RealStoreSweep();
+  LocalWallClockSweep();
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,109 @@
+// Figure 7 — Speed-up of parallel queries vs row size (Formula 7).
+//
+// Paper setup: 20 strata of 500-element row-size ranges; each stratum's
+// keys queried at different parallelism levels; the best speed-up over
+// one-at-a-time execution recorded per stratum. Paper result: small rows
+// peak at parallelism 32, medium at 16, large at 8, and the attainable
+// speed-up is logarithmic in row size:
+//   speedup = 12.562 - 1.084 ln(keysize).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "model/calibrator.hpp"
+#include "stats/regression.hpp"
+
+namespace kvscale {
+namespace {
+
+/// Runs `requests` equal-size requests on one simulated node with the DB
+/// executor capped at `parallelism`; returns the makespan.
+Micros RunAtParallelism(double keysize, uint32_t requests,
+                        uint32_t parallelism, uint64_t seed) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.db_concurrency = parallelism;
+  config.gc.quadratic_us_per_element2 = 0.0;
+  config.seed = seed;
+  // Remove master overhead from the measurement: instantaneous sends.
+  config.serializer.cpu_fixed = 0.0;
+  config.serializer.cpu_per_byte = 0.0;
+  WorkloadSpec spec;
+  spec.partitions.reserve(requests);
+  for (uint32_t i = 0; i < requests; ++i) {
+    spec.partitions.push_back(PartitionRef{
+        "probe-" + std::to_string(i), static_cast<uint32_t>(keysize)});
+  }
+  const auto run = RunDistributedQuery(config, spec);
+  // Pure DB window: first admission to last completion.
+  Micros first_start = run.tracer.traces()[0].db_start;
+  Micros last_end = 0;
+  for (const auto& t : run.tracer.traces()) {
+    first_start = std::min(first_start, t.db_start);
+    last_end = std::max(last_end, t.db_end);
+  }
+  return last_end - first_start;
+}
+
+int Run(int argc, char** argv) {
+  int64_t requests = 64;
+  CliFlags flags;
+  flags.Add("requests", &requests, "requests per (stratum, parallelism)");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 7: max speed-up of parallel queries vs row size",
+      "best parallelism falls with row size (32 small / 16 medium / 8 "
+      "large); max speed-up = 12.562 - 1.084 ln(keysize)",
+      "single simulated node, parallelism in {1,2,4,8,16,32,64}, " +
+          std::to_string(requests) + " requests per point");
+
+  const std::vector<uint32_t> levels = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<SpeedupSample> samples;
+  TablePrinter table({"row size", "best parallelism", "max speed-up",
+                      "Formula 7"});
+  Rng rng(99);
+  for (uint32_t stratum = 0; stratum < 20; ++stratum) {
+    const double keysize = stratum * 500.0 + 250.0;
+    const Micros serial = RunAtParallelism(
+        keysize, static_cast<uint32_t>(requests), 1, rng.Next());
+    double best_speedup = 1.0;
+    uint32_t best_level = 1;
+    for (uint32_t level : levels) {
+      const Micros t = RunAtParallelism(
+          keysize, static_cast<uint32_t>(requests), level, rng.Next());
+      const double speedup = serial / t;
+      if (speedup > best_speedup) {
+        best_speedup = speedup;
+        best_level = level;
+      }
+    }
+    samples.push_back(SpeedupSample{keysize, best_speedup, best_level});
+    table.AddRow({TablePrinter::Cell(keysize, 0),
+                  TablePrinter::Cell(static_cast<int64_t>(best_level)),
+                  TablePrinter::Cell(best_speedup, 2),
+                  TablePrinter::Cell(ParallelismModel().MaxSpeedup(keysize),
+                                     2)});
+  }
+  table.Print();
+
+  const LinearFit fit = FitSpeedupModel(samples);
+  std::printf("\nlog fit of measured max speed-ups: speedup = %.3f %+.3f * "
+              "ln(keysize)  (r2=%.3f)\n",
+              fit.intercept, fit.slope, fit.r_squared);
+  std::printf("paper Formula 7:                    speedup = 12.562 -1.084 "
+              "* ln(keysize)\n");
+  std::printf(
+      "best parallelism trend: %u (smallest rows) -> %u (largest rows); "
+      "paper: 32 -> 8\n",
+      samples.front().best_parallelism, samples.back().best_parallelism);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

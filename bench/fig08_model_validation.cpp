@@ -1,0 +1,94 @@
+// Figure 8 — Observed versus predicted time (model validation).
+//
+// Paper setup: the measured times of the three workloads across cluster
+// sizes compared with Formula 2's predictions; the coarse-grained workload
+// needed a GC correction ("dbModel+GC") to match. Paper result: high
+// estimation precision given the run-to-run variance.
+//
+// Here the "observed" values come from the simulator (which includes the
+// GC-churn term, noise, network and queueing that the bare model omits)
+// and the two lines are the model without and with the GC correction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "model/monte_carlo.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t repeats = 5;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("repeats", &repeats, "seeds per configuration");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 8: observed (simulated) vs predicted time",
+      "model tracks measurements closely; coarse needs the +GC correction",
+      "optimised master; model = Formula 2; GC model = quadratic churn");
+
+  const QueryModel model = bench::PaperQueryModel(true);
+  // The GC correction mirrors the simulator's churn term evaluated on the
+  // most loaded node: quadratic in row size.
+  const double gc_quadratic = ClusterConfig{}.gc.quadratic_us_per_element2;
+
+  RunningSummary abs_rel_error_db, abs_rel_error_gc;
+  for (auto granularity : {Granularity::kCoarse, Granularity::kMedium,
+                           Granularity::kFine}) {
+    const WorkloadSpec workload = MakeUniformWorkload(granularity, elements);
+    const uint64_t keys = workload.partitions.size();
+    const double keysize = workload.MeanKeysize();
+    bench::Header(std::string(GranularityName(granularity)));
+
+    TablePrinter table({"nodes", "observed", "dbModel", "dbModel+GC",
+                        "MC p50..p90", "err", "err+GC"});
+    Rng mc_rng(99);
+    for (uint32_t nodes : bench::PaperNodeCounts()) {
+      const auto run =
+          bench::RunRepeated(bench::PaperClusterConfig(nodes, true, 1),
+                             workload, static_cast<uint32_t>(repeats));
+      const QueryPrediction base = model.Predict(elements, keys, nodes);
+      // +GC: add the churn the simulator charges the slowest slave.
+      const Micros gc_per_request = gc_quadratic * keysize * keysize;
+      const Micros with_gc =
+          std::max(base.master_issue,
+                   base.slowest_slave + gc_per_request * base.key_max);
+      // Monte-Carlo bands (with the GC term) sample the placement draw the
+      // smooth formula averages away.
+      const QueryModel mc_model =
+          model.WithGc(GcModel{gc_per_request / keysize});
+      const auto bands =
+          PredictDistribution(mc_model, elements, keys, nodes, 400, mc_rng);
+      const double err = run.mean_makespan / base.total - 1.0;
+      const double err_gc = run.mean_makespan / with_gc - 1.0;
+      abs_rel_error_db.Add(std::abs(err));
+      abs_rel_error_gc.Add(std::abs(err_gc));
+      table.AddRow({TablePrinter::Cell(static_cast<int64_t>(nodes)),
+                    FormatMicros(run.mean_makespan), FormatMicros(base.total),
+                    FormatMicros(with_gc),
+                    FormatMicros(bands.p50) + ".." + FormatMicros(bands.p90),
+                    FormatPercent(err), FormatPercent(err_gc)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nmean |relative error|: %.1f%% without GC, %.1f%% with GC "
+      "(paper: GC correction \"notably increasing the model accuracy\" for "
+      "coarse)\n",
+      abs_rel_error_db.mean() * 100.0, abs_rel_error_gc.mean() * 100.0);
+  std::printf(
+      "the MC column samples the placement draw Formula 5 averages away: "
+      "where the\npoint model under-predicts (coarse at many nodes), the "
+      "observed time falls\ninside the p50..p90 band.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,54 @@
+// Figure 9 — Optimal number of rows and the predicted time.
+//
+// Paper setup: an optimizer over Formula 2 picks the partition count per
+// cluster size. Paper result: Cassandra alone performs best near ~3300
+// rows for the 1M-element query, but the optimizer trades database
+// efficiency for balance and raises the row count as nodes are added.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "model/optimizer.hpp"
+
+namespace kvscale {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 9: optimal number of rows and predicted time per cluster size",
+      "single-node optimum ~3300 rows; optimal row count grows with nodes",
+      "PartitionOptimizer over Formula 2, optimised master");
+
+  PartitionOptimizer optimizer(bench::PaperQueryModel(true));
+  const auto sweep = optimizer.Sweep(static_cast<uint64_t>(elements),
+                                     {1, 2, 4, 8, 16, 32});
+
+  TablePrinter table({"nodes", "optimal rows", "elements/row",
+                      "predicted time", "bottleneck"});
+  for (const auto& opt : sweep) {
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(opt.nodes)),
+                  TablePrinter::Cell(opt.keys),
+                  TablePrinter::Cell(opt.prediction.keysize, 0),
+                  FormatMicros(opt.prediction.total),
+                  opt.prediction.BottleneckName()});
+  }
+  table.Print();
+
+  std::printf("\nsingle-node optimum: %llu rows (paper: ~3300)\n",
+              static_cast<unsigned long long>(sweep.front().keys));
+  std::printf("16-node optimum: %llu rows — %.1fx the single-node count\n",
+              static_cast<unsigned long long>(sweep[4].keys),
+              static_cast<double>(sweep[4].keys) /
+                  static_cast<double>(sweep.front().keys));
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,79 @@
+// Figure 11 — Load distribution limits for a single master.
+//
+// Paper setup: the model evaluated at growing cluster sizes for a 4000-row
+// query with random (DHT) distribution. Paper result: query time falls
+// with nodes until the master's send time exceeds what the database needs
+// to serve the requests — beyond ~70 servers (their constants) the master
+// is the bottleneck and the system stops scaling. The replica-selection
+// variant saturates earlier (~32 nodes), because keeping every node fed
+// leaves the master almost no CPU per message.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "model/architecture.hpp"
+
+namespace kvscale {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t elements = 1000000;
+  int64_t keys = 4000;
+  int64_t max_nodes = 128;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements");
+  flags.Add("keys", &keys, "partitions (paper: ~4000)");
+  flags.Add("max-nodes", &max_nodes, "largest cluster to evaluate");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  bench::Banner(
+      "Figure 11: single-master limit under random distribution",
+      "query time decreases with nodes until the master's send time "
+      "crosses the DB time (paper: ~70 servers); replica selection "
+      "saturates earlier (~32)",
+      "model sweep, 4000 rows, 19 us/message");
+
+  const QueryModel model = bench::PaperQueryModel(true);
+  const auto profile =
+      ScalingProfile(model, static_cast<uint64_t>(elements),
+                     static_cast<uint64_t>(keys),
+                     static_cast<uint32_t>(max_nodes));
+
+  TablePrinter table({"nodes", "query time", "master time", "slave time",
+                      "bound by"});
+  for (uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 64u, 80u, 96u, 112u,
+                     128u}) {
+    if (n > profile.size()) break;
+    const auto& p = profile[n - 1];
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(p.nodes)),
+                  FormatMicros(p.query_time), FormatMicros(p.master_time),
+                  FormatMicros(p.slave_time),
+                  p.master_bound ? "master" : "slaves"});
+  }
+  table.Print();
+
+  const uint32_t crossover =
+      MasterSaturationNodes(model, static_cast<uint64_t>(elements),
+                            static_cast<uint64_t>(keys),
+                            static_cast<uint32_t>(max_nodes));
+  std::printf(
+      "\nmaster saturation crossover: %u nodes (paper: ~70 with their "
+      "constants;\nthe crossover scales with t_msg and the DB request "
+      "time, see EXPERIMENTS.md)\n",
+      crossover);
+
+  // The replica-selection variant of Section VII.
+  const uint32_t replica_limit =
+      ReplicaSelectionLimit(model, 250.0, 16.0, 1.0,
+                            static_cast<uint32_t>(max_nodes));
+  std::printf(
+      "replica-selection master limit (16 in flight/node, 1 us logic): %u "
+      "nodes (paper: ~32)\n",
+      replica_limit);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -1,0 +1,76 @@
+// Hash / token-ring / simulator-engine micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hash/hash.hpp"
+#include "hash/token_ring.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace kvscale {
+namespace {
+
+void BM_Murmur3SmallKey(benchmark::State& state) {
+  const std::string key = "d8:5:1234567";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_128(key));
+  }
+}
+BENCHMARK(BM_Murmur3SmallKey);
+
+void BM_RingLookup(benchmark::State& state) {
+  TokenRing ring(256);
+  for (NodeId n = 0; n < static_cast<NodeId>(state.range(0)); ++n) {
+    (void)ring.AddNode(n);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.OwnerOfKey("key-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RingAddNode(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TokenRing ring(256);
+    for (NodeId n = 0; n < 15; ++n) (void)ring.AddNode(n);
+    state.ResumeTiming();
+    (void)ring.AddNode(15);
+  }
+}
+BENCHMARK(BM_RingAddNode);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule(static_cast<SimTime>(i % 100), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ResourcePipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Resource pool(sim, 16, "pool");
+    for (int i = 0; i < 5000; ++i) {
+      pool.Submit(10.0, [](SimTime, SimTime, SimTime) {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(pool.jobs_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_ResourcePipeline);
+
+}  // namespace
+}  // namespace kvscale
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Storage-engine micro-benchmarks: put/read/slice/count paths and the
+// cache effect. These are host-dependent numbers (not paper figures); they
+// document the real engine's costs and back the calibration path.
+#include <benchmark/benchmark.h>
+
+#include "store/local_store.hpp"
+#include "store/row.hpp"
+
+namespace kvscale {
+namespace {
+
+Column MakeColumn(uint64_t clustering) {
+  Column c;
+  c.clustering = clustering;
+  c.type_id = static_cast<uint32_t>(clustering % 8);
+  c.payload = MakePayload(1, clustering, 43);
+  return c;
+}
+
+/// Builds a flushed table with one partition of `elements` columns.
+std::unique_ptr<Table> BuildRow(uint64_t elements, BlockCache* cache) {
+  auto table = std::make_unique<Table>("bench", TableOptions{}, cache);
+  for (uint64_t i = 0; i < elements; ++i) table->Put("row", MakeColumn(i));
+  table->Flush();
+  return table;
+}
+
+void BM_Put(benchmark::State& state) {
+  Table table("bench", TableOptions{}, nullptr);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    table.Put("row-" + std::to_string(i % 64), MakeColumn(i));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_Put);
+
+void BM_CountByTypeCold(benchmark::State& state) {
+  const auto elements = static_cast<uint64_t>(state.range(0));
+  auto table = BuildRow(elements, nullptr);
+  for (auto _ : state) {
+    auto counts = table->CountByType("row");
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(elements));
+}
+BENCHMARK(BM_CountByTypeCold)->Arg(100)->Arg(1000)->Arg(1425)->Arg(10000);
+
+void BM_CountByTypeCached(benchmark::State& state) {
+  const auto elements = static_cast<uint64_t>(state.range(0));
+  BlockCache cache(256 * kMiB);
+  auto table = BuildRow(elements, &cache);
+  (void)table->CountByType("row");  // warm the cache
+  for (auto _ : state) {
+    auto counts = table->CountByType("row");
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(elements));
+}
+BENCHMARK(BM_CountByTypeCached)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SliceIndexedRow(benchmark::State& state) {
+  // 10k elements: well above the 64 KB threshold, so the column index
+  // narrows a 10-element slice to one block.
+  auto table = BuildRow(10000, nullptr);
+  uint64_t lo = 0;
+  for (auto _ : state) {
+    auto cols = table->Slice("row", lo, lo + 9);
+    benchmark::DoNotOptimize(cols);
+    lo = (lo + 97) % 9900;
+  }
+}
+BENCHMARK(BM_SliceIndexedRow);
+
+void BM_SliceUnindexedRow(benchmark::State& state) {
+  // 1000 elements (< 64 KB): every slice decodes the whole row.
+  auto table = BuildRow(1000, nullptr);
+  uint64_t lo = 0;
+  for (auto _ : state) {
+    auto cols = table->Slice("row", lo, lo + 9);
+    benchmark::DoNotOptimize(cols);
+    lo = (lo + 97) % 900;
+  }
+}
+BENCHMARK(BM_SliceUnindexedRow);
+
+void BM_BloomNegativeLookup(benchmark::State& state) {
+  auto table = std::make_unique<Table>("bench", TableOptions{}, nullptr);
+  for (int p = 0; p < 1000; ++p) {
+    table->Put("part-" + std::to_string(p), MakeColumn(1));
+  }
+  table->Flush();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto missing = table->GetPartition("absent-" + std::to_string(i++));
+    benchmark::DoNotOptimize(missing);
+  }
+}
+BENCHMARK(BM_BloomNegativeLookup);
+
+void BM_Compaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table table("bench", TableOptions{}, nullptr);
+    for (int round = 0; round < 4; ++round) {
+      for (uint64_t i = 0; i < 500; ++i) {
+        table.Put("p" + std::to_string(i % 16), MakeColumn(round * 1000 + i));
+      }
+      table.Flush();
+    }
+    state.ResumeTiming();
+    table.Compact();
+  }
+}
+BENCHMARK(BM_Compaction);
+
+}  // namespace
+}  // namespace kvscale
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// The paper's case study, end to end (Section III / V):
+//
+//  1. generate a synthetic Alya bronchi-inhalation particle cloud;
+//  2. index it with the D8tree (denormalized octree over KV partitions);
+//  3. shard the cubes over a real in-process cluster and run the
+//     count-by-type aggregation against real bytes;
+//  4. select coarse/medium/fine workloads in the pre-query phase and
+//     compare their simulated scaling, like Figures 1 and 5.
+//
+// Run: ./build/examples/alya_pipeline [--particles=200000] [--nodes=8]
+#include <cstdio>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/in_process_cluster.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "workload/alya.hpp"
+#include "workload/d8tree.hpp"
+#include "workload/granularity.hpp"
+
+using namespace kvscale;
+
+int main(int argc, char** argv) {
+  int64_t particles = 200000;
+  int64_t nodes = 8;
+  int64_t level = 5;
+  CliFlags flags;
+  flags.Add("particles", &particles, "particles to simulate");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("level", &level, "D8tree level to shard (<= 8)");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  // -- 1. Dataset ------------------------------------------------------------
+  AlyaParams params;
+  params.particles = static_cast<uint64_t>(particles);
+  std::printf("generating %lld particles in the bronchi geometry...\n",
+              static_cast<long long>(particles));
+  const auto cloud = GenerateAlyaParticles(params);
+
+  // -- 2. D8tree index ---------------------------------------------------------
+  const auto max_level = static_cast<uint32_t>(level);
+  const D8Tree tree(cloud, max_level);
+  std::printf("D8tree: %llu entries across levels 0..%u "
+              "(denormalization factor %.1fx)\n",
+              static_cast<unsigned long long>(tree.TotalEntries()), max_level,
+              static_cast<double>(tree.TotalEntries()) /
+                  static_cast<double>(cloud.size()));
+  for (uint32_t l = 0; l <= max_level; ++l) {
+    std::printf("  level %u: %zu cubes\n", l, tree.CubeCount(l));
+  }
+
+  // -- 3. Real sharded aggregation -------------------------------------------
+  std::printf("\nsharding level-%u cubes over %lld nodes and aggregating "
+              "for real...\n", max_level, static_cast<long long>(nodes));
+  InProcessCluster cluster(static_cast<uint32_t>(nodes),
+                           PlacementKind::kDhtRandom, StoreOptions{}, 11);
+  WorkloadSpec all_cubes;
+  all_cubes.table = "alya.cubes";
+  for (const auto& [morton, count] : tree.CubeSizes(max_level)) {
+    const std::string key = CubeKey(max_level, morton);
+    for (uint64_t id : tree.CubeParticles(max_level, morton)) {
+      const Particle& p = cloud[id];
+      Column column;
+      column.clustering = p.id;
+      column.type_id = p.type;
+      column.payload = MakePayload(morton, p.id, kParticlePayloadBytes);
+      cluster.Put(all_cubes.table, key, std::move(column));
+    }
+    all_cubes.partitions.push_back(PartitionRef{key, count});
+  }
+  cluster.FlushAll();
+
+  const GatherResult gathered = cluster.CountByTypeAll(all_cubes);
+  uint64_t total = 0;
+  std::printf("count-by-type over %zu cubes:", all_cubes.partitions.size());
+  for (const auto& [type, count] : gathered.totals) {
+    std::printf(" t%u=%llu", type, static_cast<unsigned long long>(count));
+    total += count;
+  }
+  std::printf("\n=> %llu elements aggregated (%llu expected), %llu missing "
+              "partitions\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(cloud.size()),
+              static_cast<unsigned long long>(gathered.partitions_missing));
+
+  TablePrinter storage({"node", "requests", "blocks decoded", "cache hits"});
+  for (uint32_t n = 0; n < cluster.node_count(); ++n) {
+    storage.AddRow({TablePrinter::Cell(static_cast<int64_t>(n)),
+                    TablePrinter::Cell(gathered.requests_per_node[n]),
+                    TablePrinter::Cell(
+                        gathered.probes_per_node[n].blocks_decoded),
+                    TablePrinter::Cell(
+                        gathered.probes_per_node[n].blocks_from_cache)});
+  }
+  storage.Print();
+
+  // -- 4. Pre-query phase + simulated scaling ---------------------------------
+  std::printf("\npre-query phase: selecting cubes whose size matches each "
+              "workload (tolerance 50%%)...\n");
+  Rng rng(3);
+  TablePrinter scaling({"workload", "cubes", "elements", "1 node", "4 nodes",
+                        std::to_string(nodes) + " nodes"});
+  for (uint32_t target : {10000u, 1000u, 100u}) {
+    const WorkloadSpec workload = WorkloadFromD8Tree(
+        tree, target, cloud.size() / 2, 0.5, rng, all_cubes.table);
+    if (workload.partitions.size() < 4) {
+      std::printf("  (no cubes near %u elements in this dataset)\n", target);
+      continue;
+    }
+    std::vector<std::string> row = {
+        "~" + std::to_string(target) + " el/cube",
+        TablePrinter::Cell(
+            static_cast<uint64_t>(workload.partitions.size())),
+        TablePrinter::Cell(workload.TotalElements())};
+    for (uint32_t n : {1u, 4u, static_cast<uint32_t>(nodes)}) {
+      ClusterConfig config;
+      config.nodes = n;
+      row.push_back(
+          FormatMicros(RunDistributedQuery(config, workload).makespan));
+    }
+    scaling.AddRow(std::move(row));
+  }
+  scaling.Print();
+  std::printf(
+      "\nthe D8tree lets the *same* query read coarse or fine cubes — the "
+      "choice that\nSection V shows dominates scalability.\n");
+
+  // -- 5. Spatial range query (what the D8tree exists for) --------------------
+  std::printf(
+      "\nspatial query: particles in the lower-left lung region "
+      "[0.2,0.6)x[0.1,0.5)x[0.3,0.7)\n");
+  D8Tree::Box region{0.2f, 0.1f, 0.3f, 0.6f, 0.5f, 0.7f};
+  TablePrinter spatial({"target cube size", "plan cubes", "interior",
+                        "boundary", "simulated time (" +
+                            std::to_string(nodes) + " nodes)"});
+  const auto in_region = tree.BoxQueryBruteForce(region);
+  for (uint32_t target : {5000u, 500u, 50u}) {
+    const auto plan = tree.BoxQueryPlan(region, target);
+    uint64_t interior = 0;
+    WorkloadSpec plan_workload;
+    plan_workload.table = all_cubes.table;
+    for (const auto& entry : plan) {
+      interior += entry.fully_inside;
+      plan_workload.partitions.push_back(PartitionRef{
+          CubeKey(entry.cube.level, entry.cube.morton), entry.cube.elements});
+    }
+    ClusterConfig config;
+    config.nodes = static_cast<uint32_t>(nodes);
+    const auto run = RunDistributedQuery(config, plan_workload);
+    spatial.AddRow({TablePrinter::Cell(static_cast<int64_t>(target)),
+                    TablePrinter::Cell(static_cast<uint64_t>(plan.size())),
+                    TablePrinter::Cell(interior),
+                    TablePrinter::Cell(
+                        static_cast<uint64_t>(plan.size()) - interior),
+                    FormatMicros(run.makespan)});
+    // Correctness: the plan covers exactly the region's particles.
+    if (tree.BoxQueryExecute(region, target) != in_region) {
+      std::fprintf(stderr, "box query mismatch!\n");
+      return 1;
+    }
+  }
+  spatial.Print();
+  std::printf(
+      "%zu particles in the region; every plan returns exactly that set — "
+      "the\ngranularity knob changes *cost*, never the answer.\n",
+      in_region.size());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Capacity planner: the model as a design tool (Sections VI-VII).
+//
+// Given a dataset size, a response-time SLA and a hardware description
+// (per-message master cost, storage tier), answer the questions the paper
+// poses in its introduction:
+//   - how should I partition the data?
+//   - how many nodes do I need — and will adding nodes keep helping?
+//   - when does a single master stop scaling (master-slave vs P2P)?
+//
+// Run: ./build/examples/capacity_planner --elements=1000000 --sla-ms=500
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "model/architecture.hpp"
+#include "model/optimizer.hpp"
+
+using namespace kvscale;
+
+int main(int argc, char** argv) {
+  int64_t elements = 1000000;
+  double sla_ms = 500.0;
+  double t_msg_us = 19.0;
+  std::string device_name = "dram";
+  int64_t max_nodes = 256;
+  CliFlags flags;
+  flags.Add("elements", &elements, "elements the query must aggregate");
+  flags.Add("sla-ms", &sla_ms, "target query latency in milliseconds");
+  flags.Add("t-msg-us", &t_msg_us, "master cost per message (us)");
+  flags.Add("device", &device_name, "working-set tier: dram|hbm|nvm|ssd|hdd");
+  flags.Add("max-nodes", &max_nodes, "largest cluster considered");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  DeviceModel device = DramDevice();
+  if (device_name == "hbm") device = HbmDevice();
+  else if (device_name == "nvm") device = NvmDevice();
+  else if (device_name == "ssd") device = SataSsdDevice();
+  else if (device_name == "hdd") device = HddDevice();
+  else if (device_name != "dram") {
+    std::fprintf(stderr, "unknown device '%s'\n", device_name.c_str());
+    return 1;
+  }
+
+  MasterModel::Params master_params;
+  master_params.time_per_message = t_msg_us;
+  master_params.time_per_result = t_msg_us * 0.25;
+  const QueryModel model =
+      QueryModel(DbModel{}, MasterModel(master_params)).WithDevice(device);
+  PartitionOptimizer optimizer(model);
+
+  std::printf("capacity plan for %lld elements, %.0f ms SLA, %.0f us/msg "
+              "master, %s working set\n\n",
+              static_cast<long long>(elements), sla_ms, t_msg_us,
+              device.name.c_str());
+
+  // Scaling table at per-node-count optimal partitioning.
+  TablePrinter table({"nodes", "optimal partitions", "predicted time",
+                      "bottleneck", "meets SLA"});
+  uint32_t nodes_needed = 0;
+  Micros best_time = -1;
+  uint32_t best_nodes = 0;
+  for (uint32_t n = 1; n <= static_cast<uint32_t>(max_nodes); n *= 2) {
+    const auto opt = optimizer.Optimize(static_cast<uint64_t>(elements), n);
+    const bool meets = opt.prediction.total <= sla_ms * kMillisecond;
+    if (meets && nodes_needed == 0) nodes_needed = n;
+    if (best_time < 0 || opt.prediction.total < best_time) {
+      best_time = opt.prediction.total;
+      best_nodes = n;
+    }
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(n)),
+                  TablePrinter::Cell(opt.keys),
+                  FormatMicros(opt.prediction.total),
+                  opt.prediction.BottleneckName(), meets ? "yes" : "no"});
+  }
+  table.Print();
+
+  if (nodes_needed > 0) {
+    const auto opt =
+        optimizer.Optimize(static_cast<uint64_t>(elements), nodes_needed);
+    std::printf(
+        "\nrecommendation: %u nodes, %llu partitions of ~%.0f elements -> "
+        "%s (SLA %.0f ms)\n",
+        nodes_needed, static_cast<unsigned long long>(opt.keys),
+        opt.prediction.keysize, FormatMicros(opt.prediction.total).c_str(),
+        sla_ms);
+  } else {
+    std::printf(
+        "\nno cluster size up to %lld meets the %.0f ms SLA; best is %s at "
+        "%u nodes.\n",
+        static_cast<long long>(max_nodes), sla_ms,
+        FormatMicros(best_time).c_str(), best_nodes);
+  }
+
+  // Master architecture advice (Section VII).
+  const auto opt16 = optimizer.Optimize(static_cast<uint64_t>(elements),
+                                        best_nodes);
+  const uint32_t crossover =
+      MasterSaturationNodes(model, static_cast<uint64_t>(elements),
+                            opt16.keys, static_cast<uint32_t>(max_nodes));
+  if (crossover > 0) {
+    std::printf(
+        "master-slave limit: beyond ~%u nodes the single master's send "
+        "time exceeds the\nDB time at this partitioning — shard the master "
+        "or go peer-to-peer past that.\n",
+        crossover);
+  } else {
+    std::printf(
+        "the single master keeps up at every cluster size considered "
+        "(<= %lld nodes).\n",
+        static_cast<long long>(max_nodes));
+  }
+  const auto replica = AnalyzeReplicaSelection(model, opt16.prediction.keysize,
+                                               16.0, best_nodes);
+  std::printf(
+      "replica-selection budget at %u nodes: %.1f us of master CPU per "
+      "message%s\n",
+      best_nodes, replica.budget_per_message,
+      replica.feasible ? "" : "  (INFEASIBLE: master cannot keep nodes fed)");
+  return 0;
+}

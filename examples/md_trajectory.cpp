@@ -1,0 +1,140 @@
+// Molecular-dynamics trajectories on the wide-column store.
+//
+// The authors' earlier work ("Experiences of Using Cassandra for Molecular
+// Dynamics Simulations", PDP 2015 — reference [8] of the paper) stores MD
+// trajectories in exactly the layout this example builds: one partition
+// per atom, clustering key = frame number, so "atom 17, frames
+// 5000..6000" is a clustering-range slice. It shows the other face of the
+// 64 KB column-index threshold: *slices* into long trajectories are cheap
+// once the row is indexed, while short trajectories pay whole-row reads —
+// and how the data-model choice (atoms/row vs frames/row) maps onto the
+// paper's partitioning trade-off.
+//
+// Run: ./build/examples/md_trajectory [--atoms=64] [--frames=20000]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "store/local_store.hpp"
+
+using namespace kvscale;
+
+namespace {
+
+/// 3x float positions + velocity magnitude, packed like a real frame row.
+std::vector<std::byte> FrameRecord(Rng& rng) {
+  std::vector<std::byte> bytes(16);
+  for (size_t i = 0; i < bytes.size(); i += 8) {
+    const uint64_t word = rng.Next();
+    for (size_t j = 0; j < 8 && i + j < bytes.size(); ++j) {
+      bytes[i + j] = static_cast<std::byte>((word >> (8 * j)) & 0xff);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t atoms = 64;
+  int64_t frames = 20000;
+  CliFlags flags;
+  flags.Add("atoms", &atoms, "atoms in the system");
+  flags.Add("frames", &frames, "trajectory length in frames");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("loading a %lld-atom, %lld-frame trajectory "
+              "(partition = atom, clustering = frame)...\n",
+              static_cast<long long>(atoms),
+              static_cast<long long>(frames));
+
+  LocalStore store;
+  Table& table = store.GetOrCreateTable("md.trajectory");
+  Rng rng(2015);
+  for (int64_t atom = 0; atom < atoms; ++atom) {
+    const std::string key = "atom:" + std::to_string(atom);
+    for (int64_t frame = 0; frame < frames; ++frame) {
+      Column column;
+      column.clustering = static_cast<uint64_t>(frame);
+      column.type_id = static_cast<uint32_t>(atom % 4);  // element species
+      column.payload = FrameRecord(rng);
+      table.Put(key, std::move(column));
+    }
+  }
+  table.Flush();
+  std::printf("row footprint per atom: %s (%s the 64 KiB index threshold)\n\n",
+              FormatBytes(table.PartitionEncodedBytes("atom:0")).c_str(),
+              table.PartitionEncodedBytes("atom:0") > 64 * kKiB ? "above"
+                                                                : "below");
+
+  // Typical analysis access patterns and what they cost in block decodes.
+  struct Query {
+    const char* what;
+    uint64_t lo, hi;
+  };
+  const uint64_t f = static_cast<uint64_t>(frames);
+  TablePrinter report({"access pattern", "frames", "blocks decoded",
+                       "columns returned"});
+  for (const Query& q :
+       {Query{"single frame", f / 2, f / 2},
+        Query{"1%-window around an event", f / 2, f / 2 + f / 100},
+        Query{"equilibration prefix (10%)", 0, f / 10},
+        Query{"whole trajectory", 0, f - 1}}) {
+    ReadProbe probe;
+    auto slice = table.Slice("atom:7", q.lo, q.hi, &probe);
+    if (!slice.ok()) {
+      std::fprintf(stderr, "slice failed: %s\n",
+                   slice.status().ToString().c_str());
+      return 1;
+    }
+    report.AddRow({q.what, TablePrinter::Cell(q.hi - q.lo + 1),
+                   TablePrinter::Cell(probe.blocks_decoded +
+                                      probe.blocks_from_cache),
+                   TablePrinter::Cell(probe.columns_returned)});
+  }
+  report.Print();
+
+  std::printf(
+      "\nlong trajectories cross the column-index threshold, so narrow "
+      "frame windows\ndecode only the overlapping blocks — the same "
+      "mechanism that creates the paper's\nFigure 6 step also makes this "
+      "layout efficient for MD analysis.\n\n");
+
+  // The alternative layout (frames as partitions) and its trade-off.
+  Table& by_frame = store.GetOrCreateTable("md.by_frame");
+  for (int64_t frame = 0; frame < std::min<int64_t>(frames, 2000); ++frame) {
+    const std::string key = "frame:" + std::to_string(frame);
+    for (int64_t atom = 0; atom < atoms; ++atom) {
+      Column column;
+      column.clustering = static_cast<uint64_t>(atom);
+      column.type_id = static_cast<uint32_t>(atom % 4);
+      column.payload = FrameRecord(rng);
+      by_frame.Put(key, std::move(column));
+    }
+  }
+  by_frame.Flush();
+  ReadProbe snapshot_probe;
+  (void)by_frame.GetPartition("frame:1000", &snapshot_probe);
+  ReadProbe series_probe;
+  for (int64_t frame = 900; frame < 1100; ++frame) {
+    (void)by_frame.Slice("frame:" + std::to_string(frame), 7, 7,
+                         &series_probe);
+  }
+  std::printf(
+      "layout trade-off (the paper's Section II choice, in MD terms):\n"
+      "  partition-per-atom : one atom's 200-frame window  -> few block "
+      "decodes (above)\n"
+      "  partition-per-frame: whole-system snapshot        -> %llu block "
+      "decode(s)\n"
+      "  partition-per-frame: one atom across 200 frames   -> %llu block "
+      "decodes (one per frame!)\n"
+      "choose the partition key for the query you must serve — and check "
+      "the\ncardinality it leaves for the DHT (200 frames/s of simulation "
+      "makes millions of\nkeys; per-atom keys may be only thousands).\n",
+      static_cast<unsigned long long>(snapshot_probe.blocks_decoded +
+                                      snapshot_probe.blocks_from_cache),
+      static_cast<unsigned long long>(series_probe.blocks_decoded +
+                                      series_probe.blocks_from_cache));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The Section II design exercise: indexing every phone number on Earth.
+//
+// Walks the paper's worked example with the library: three candidate data
+// models (partition by country / by city / by user), their Formula 1 key
+// imbalance, the hidden Zipf-load problem of the by-city model, and what
+// each choice means for an actual query via the simulator.
+//
+// Run: ./build/examples/phonebook_design [--nodes=10]
+#include <cstdio>
+
+#include "cluster/cluster_sim.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "model/balls_into_bins.hpp"
+#include "workload/phonebook.hpp"
+
+using namespace kvscale;
+
+int main(int argc, char** argv) {
+  int64_t nodes = 10;
+  CliFlags flags;
+  flags.Add("nodes", &nodes, "cluster size");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("designing a phonebook index for %lld nodes "
+              "(the paper's Section II exercise)\n\n",
+              static_cast<long long>(nodes));
+
+  // -- Key-count imbalance (Formula 1) ---------------------------------------
+  Rng rng(5);
+  TablePrinter table({"data model", "keys", "key imbalance (F1)",
+                      "load imbalance (simulated)"});
+  for (const auto& model : PhonebookModels()) {
+    const double f1 = PhonebookKeyImbalance(model, nodes);
+    const double load = PhonebookLoadImbalance(
+        model, static_cast<uint64_t>(nodes), 10000000, 20000, 30, rng);
+    table.AddRow({model.name, TablePrinter::Cell(model.keys),
+                  FormatPercent(f1), FormatPercent(load)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nby-country: 200 keys cannot spread over %lld nodes — ~34%% extra "
+      "load on the\n  hottest node at 10 nodes, and it grows with the "
+      "cluster.\nby-city: a million keys spread fine (0.5%%), but half the "
+      "load lives in the 500\n  biggest cities, so the *load* imbalance "
+      "stays in the tens of percent.\nby-user: billions of keys, "
+      "imbalance negligible — but now a per-country query\n  must read "
+      "millions of partitions.\n\n",
+      static_cast<long long>(nodes));
+
+  // -- What it means for a query (the trade-off of Section V) ----------------
+  // A "count subscribers per country" query under each model, simulated.
+  std::printf("query: aggregate 1M records on %lld nodes under each "
+              "model's granularity\n",
+              static_cast<long long>(nodes));
+  TablePrinter query_table({"data model", "partitions touched", "makespan",
+                            "master share"});
+  struct Case {
+    const char* name;
+    uint64_t keys;
+  };
+  for (const Case& c : {Case{"by-country (200 partitions)", 200},
+                        Case{"by-city (10k partitions)", 10000},
+                        Case{"by-user (1 per record)", 1000000}}) {
+    ClusterConfig config;
+    config.nodes = static_cast<uint32_t>(nodes);
+    const auto run =
+        RunDistributedQuery(config, UniformWorkload(1000000, c.keys));
+    query_table.AddRow(
+        {c.name, TablePrinter::Cell(c.keys), FormatMicros(run.makespan),
+         FormatPercent(run.master_issue_done / run.makespan)});
+  }
+  query_table.Print();
+
+  std::printf(
+      "\nno one-size-fits-all: the by-user layout balances perfectly but "
+      "drowns the\nmaster in messages; by-country starves all but a few "
+      "nodes. The model's job is\nfinding the partitioning in between — "
+      "see examples/capacity_planner.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// The master/slave distributed-query simulator.
+//
+// Reproduces the paper's prototype (Section V): a master knows the full list
+// of partition keys to aggregate, issues one sub-query per key to the slave
+// owning it, and folds the partial results. In virtual time it models:
+//
+//   * the master's CPU: per-message serialization cost (from a
+//     SerializerProfile, sized with this library's real codecs) plus
+//     optional per-request logic; result folding shares the same CPU;
+//   * the star network: egress bandwidth + switch latency;
+//   * each slave's database: a bounded-concurrency executor whose service
+//     times follow the DbModel (Formula 6) with concurrency-dependent
+//     interference (Formula 7's curve), lognormal noise, and an optional
+//     GC-churn term;
+//   * placement: any PlacementPolicy.
+//
+// Every sub-query produces a RequestTrace with the paper's four stages, so
+// the bench binaries regenerate Figures 1, 2, 4, 5 and 8 directly from runs
+// of this simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "model/db_model.hpp"
+#include "model/device_model.hpp"
+#include "model/query_model.hpp"
+#include "net/network.hpp"
+#include "store/table.hpp"
+#include "trace/stage_trace.hpp"
+#include "wire/serializer_model.hpp"
+
+namespace kvscale {
+
+/// One partition the query must read.
+struct PartitionRef {
+  std::string key;
+  uint32_t elements = 0;
+};
+
+/// The pre-computed query plan (the paper's "pre-query phase" selected
+/// cubes whose sizes match the workload).
+struct WorkloadSpec {
+  std::string table = "alya.particles_d8";
+  std::vector<PartitionRef> partitions;
+
+  uint64_t TotalElements() const;
+  double MeanKeysize() const;
+};
+
+/// GC-churn model applied inside the simulated slaves: a per-request pause
+/// that grows superlinearly with row size (large rows allocate large
+/// result objects; the paper had to add a GC correction only for the
+/// coarse-grained workload). With the default coefficient a 10,000-element
+/// row pays ~20 ms (~12% of its Formula 6 time), a 1,000-element row
+/// ~200 us (~2.5%), a 100-element row ~2 us — negligible except for
+/// coarse, matching Figure 8's "dbModel+GC" story.
+struct GcSimParams {
+  Micros linear_us_per_element = 0.0;
+  Micros quadratic_us_per_element2 = 2.0e-4;
+};
+
+/// Full simulator configuration.
+struct ClusterConfig {
+  uint32_t nodes = 16;
+  PlacementKind placement = PlacementKind::kDhtRandom;
+  SerializerProfile serializer = KryoLikeProfile();
+  bool size_messages_with_compact_codec = true;  ///< which codec sizes msgs
+  NetworkParams network;
+  DbModelParams db;
+  ParallelismModel::Params parallelism;
+  /// Concurrent requests each slave's database serves; 0 = the model's
+  /// optimal concurrency for the workload's mean row size.
+  uint32_t db_concurrency = 0;
+  /// Heterogeneous-workload guard: cap the concurrency a request's
+  /// service inflation sees at its *own* optimal level. For uniform
+  /// workloads (the paper's) this never binds; for heavy-tailed partition
+  /// sizes it stops a giant row from being charged the full executor
+  /// width of interference from unrelated small requests. Enable when
+  /// partition sizes span orders of magnitude (bench/ablation_skewed_rows).
+  bool cap_inflation_at_optimal = false;
+  GcSimParams gc;
+  DeviceModel device = DramDevice();
+  double bytes_per_element = 46.0;
+  Micros master_logic_per_message = 0.0;
+  /// Sub-queries per network message. 1 reproduces the paper's prototype
+  /// (one message per key); larger batches amortise the serializer's
+  /// fixed per-message CPU cost — the natural next optimization after
+  /// the paper's Kryo switch (see bench/ablation_batching).
+  uint32_t send_batch_size = 1;
+  uint64_t seed = 42;
+};
+
+/// Outcome of one simulated distributed query.
+struct QueryRunResult {
+  Micros makespan = 0.0;          ///< first issue -> last result folded
+  Micros master_issue_done = 0.0; ///< when the master finished sending
+  StageTracer tracer;             ///< one trace per sub-query
+  std::vector<uint64_t> requests_per_node;
+  std::vector<Micros> node_finish_times;  ///< last db_end per node
+  uint64_t network_messages = 0;
+  double network_bytes = 0.0;
+  TypeCounts aggregated;          ///< the folded count-by-type answer
+
+  /// (max - mean) / mean over requests_per_node.
+  double RequestImbalance() const;
+};
+
+/// Deterministic synthetic count-by-type content of a partition; the
+/// simulated slaves answer with this, so the master's fold can be verified
+/// against an independent direct sum (see ExpectedAggregation).
+TypeCounts SyntheticPartitionCounts(const std::string& key, uint32_t elements,
+                                    uint32_t distinct_types = 8);
+
+/// Ground truth: the fold of SyntheticPartitionCounts over all partitions.
+TypeCounts ExpectedAggregation(const WorkloadSpec& workload,
+                               uint32_t distinct_types = 8);
+
+/// Runs one distributed aggregation in virtual time.
+QueryRunResult RunDistributedQuery(const ClusterConfig& config,
+                                   const WorkloadSpec& workload);
+
+/// Convenience: a uniform workload of `keys` partitions with
+/// elements/keys elements each (the paper's coarse/medium/fine models).
+WorkloadSpec UniformWorkload(uint64_t elements, uint64_t keys,
+                             const std::string& table = "alya.particles_d8");
+
+/// A heavy-tailed workload: the same totals, but partition sizes follow
+/// Zipf(`exponent`) — the Section II "cities" situation where key
+/// cardinality is fine yet per-key load is not. Sizes are shuffled so
+/// rank does not correlate with placement.
+WorkloadSpec ZipfWorkload(uint64_t elements, uint64_t keys, double exponent,
+                          uint64_t seed,
+                          const std::string& table = "alya.particles_d8");
+
+}  // namespace kvscale

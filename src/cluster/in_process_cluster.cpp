@@ -1,0 +1,156 @@
+#include "cluster/in_process_cluster.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
+                                   StoreOptions store_options, uint64_t seed,
+                                   uint32_t replication)
+    : placement_(placement, nodes, seed),
+      replication_(std::min(std::max<uint32_t>(replication, 1), nodes)) {
+  KV_CHECK(nodes >= 1);
+  nodes_.reserve(nodes);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<LocalStore>(store_options));
+  }
+}
+
+const std::vector<NodeId>& InProcessCluster::ReplicasOf(
+    std::string_view partition_key) {
+  auto it = directory_.find(partition_key);
+  if (it != directory_.end()) return it->second;
+  const NodeId primary = placement_.Place(partition_key);
+  placement_.OnDispatch(primary);  // load feedback for load-aware policies
+  std::vector<NodeId> replicas;
+  replicas.reserve(replication_);
+  for (uint32_t r = 0; r < replication_; ++r) {
+    replicas.push_back((primary + r) % node_count());
+  }
+  return directory_.emplace(std::string(partition_key), std::move(replicas))
+      .first->second;
+}
+
+NodeId InProcessCluster::OwnerOf(std::string_view partition_key) {
+  return ReplicasOf(partition_key).front();
+}
+
+void InProcessCluster::Put(const std::string& table,
+                           const std::string& partition_key, Column column) {
+  const std::vector<NodeId>& replicas = ReplicasOf(partition_key);
+  // Write every copy (the last replica may take the original by move).
+  for (size_t r = 0; r + 1 < replicas.size(); ++r) {
+    nodes_[replicas[r]]->GetOrCreateTable(table).Put(partition_key, column);
+  }
+  nodes_[replicas.back()]->GetOrCreateTable(table).Put(partition_key,
+                                                       std::move(column));
+}
+
+void InProcessCluster::FlushAll() {
+  for (auto& node : nodes_) node->FlushAll();
+}
+
+GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
+                                              uint32_t replica) {
+  GatherResult result;
+  result.requests_per_node.assign(nodes_.size(), 0);
+  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
+
+  for (const PartitionRef& part : workload.partitions) {
+    const std::vector<NodeId>& replicas = ReplicasOf(part.key);
+    const NodeId target = replicas[replica % replicas.size()];
+    ++result.requests_per_node[target];
+    auto table = nodes_[target]->FindTable(workload.table);
+    if (!table.ok()) {
+      ++result.partitions_missing;
+      continue;
+    }
+    ReadProbe probe;
+    auto counts = table.value()->CountByType(part.key, &probe);
+    result.probes_per_node[target].MergeFrom(probe);
+    if (!counts.ok()) {
+      KV_CHECK(counts.status().code() == StatusCode::kNotFound);
+      ++result.partitions_missing;
+      continue;
+    }
+    for (const auto& [type, count] : counts.value()) {
+      result.totals[type] += count;
+    }
+  }
+  return result;
+}
+
+GatherResult InProcessCluster::CountByTypeAllParallel(
+    const WorkloadSpec& workload, uint32_t threads) {
+  KV_CHECK(threads >= 1);
+  // Resolve every owner up front: the placement directory is not
+  // thread-safe and owner resolution is cheap.
+  std::vector<NodeId> owners;
+  owners.reserve(workload.partitions.size());
+  for (const PartitionRef& part : workload.partitions) {
+    owners.push_back(OwnerOf(part.key));
+  }
+
+  std::vector<GatherResult> partials(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t total = workload.partitions.size();
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([this, &workload, &owners, &partials, t, threads,
+                          total] {
+      GatherResult& local = partials[t];
+      local.requests_per_node.assign(nodes_.size(), 0);
+      local.probes_per_node.assign(nodes_.size(), ReadProbe{});
+      for (size_t i = t; i < total; i += threads) {
+        const PartitionRef& part = workload.partitions[i];
+        const NodeId owner = owners[i];
+        ++local.requests_per_node[owner];
+        auto table = nodes_[owner]->FindTable(workload.table);
+        if (!table.ok()) {
+          ++local.partitions_missing;
+          continue;
+        }
+        ReadProbe probe;
+        auto counts = table.value()->CountByType(part.key, &probe);
+        local.probes_per_node[owner].MergeFrom(probe);
+        if (!counts.ok()) {
+          ++local.partitions_missing;
+          continue;
+        }
+        for (const auto& [type, count] : counts.value()) {
+          local.totals[type] += count;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  GatherResult result;
+  result.requests_per_node.assign(nodes_.size(), 0);
+  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
+  for (const GatherResult& partial : partials) {
+    result.partitions_missing += partial.partitions_missing;
+    for (const auto& [type, count] : partial.totals) {
+      result.totals[type] += count;
+    }
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      result.requests_per_node[n] += partial.requests_per_node[n];
+      result.probes_per_node[n].MergeFrom(partial.probes_per_node[n]);
+    }
+  }
+  return result;
+}
+
+std::vector<uint64_t> InProcessCluster::ColumnsPerNode(
+    const std::string& table) {
+  std::vector<uint64_t> counts(nodes_.size(), 0);
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    auto found = nodes_[n]->FindTable(table);
+    if (found.ok()) counts[n] = found.value()->column_count();
+  }
+  return counts;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,70 @@
+// Navigational (dependent-request) queries.
+//
+// The paper's model covers "the simpler case in which the master knows all
+// the keys to visit from the beginning" (Section VI) and explicitly calls
+// out the harder one: "navigating through an index, the master needs to
+// examine the content of each call before deciding which are the next
+// elements to read". This runner simulates exactly that: the master issues
+// a root partition, and every folded result can expand into further
+// partitions (e.g. descending a D8tree until cubes are small enough).
+// Dependencies serialise on the master and on round trips, so the critical
+// path — not the total work — can dominate; the decide cost per result is
+// the "master logic budget" of Section VII.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "workload/d8tree.hpp"
+
+namespace kvscale {
+
+/// Decides which partitions to read next, given a just-completed one.
+/// `depth` is the hop count from the root (root = 0). Returning an empty
+/// vector makes the partition a leaf (its counts enter the aggregate).
+using ExpandFn =
+    std::function<std::vector<PartitionRef>(const PartitionRef& done,
+                                            uint32_t depth)>;
+
+/// Configuration on top of the common cluster knobs.
+struct NavigationalConfig {
+  ClusterConfig base;
+  /// Master CPU time to inspect one result and decide the expansion.
+  Micros decide_cost = 50.0;
+  /// Visiting a cube first issues a *probe* (index metadata: the child
+  /// statistics, not the data) billed as a read of this many elements;
+  /// only leaves pay the full data read afterwards.
+  double probe_elements = 8.0;
+};
+
+/// Outcome of a navigational run.
+struct NavigationalResult {
+  Micros makespan = 0.0;
+  uint64_t probes = 0;          ///< metadata reads (every visited cube)
+  uint64_t leaves = 0;          ///< full data reads that were aggregated
+  uint64_t requests = 0;        ///< probes + leaf reads
+  uint32_t max_depth = 0;
+  TypeCounts aggregated;        ///< fold over the leaves
+  StageTracer tracer;
+};
+
+/// Runs a dependent-request query: `roots` are issued at t=0, every fold
+/// may expand via `expand`.
+NavigationalResult RunNavigationalQuery(const NavigationalConfig& config,
+                                        const std::vector<PartitionRef>& roots,
+                                        const ExpandFn& expand);
+
+/// Builds the D8tree drill-down expansion: descend into the child cubes of
+/// any cube larger than `leaf_threshold` elements (cubes at the tree's max
+/// level are always leaves). The tree must outlive the returned function.
+ExpandFn D8TreeDrillDown(const D8Tree& tree, uint32_t leaf_threshold);
+
+/// The root partition of a D8tree (level-0 cube).
+PartitionRef D8TreeRoot(const D8Tree& tree);
+
+/// Parses a cube key "d8:<level>:<morton>"; returns false on mismatch.
+bool ParseCubeKey(const std::string& key, uint32_t& level, uint64_t& morton);
+
+}  // namespace kvscale

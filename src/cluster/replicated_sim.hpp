@@ -1,0 +1,111 @@
+// Replicated-cluster simulator: the design space of Sections VII-VIII.
+//
+// RunDistributedQuery (cluster_sim.hpp) reproduces the paper's measured
+// prototype exactly: one master, one copy of each partition. This runner
+// adds the alternatives the paper analyses and argues about:
+//
+//  * replication — each partition lives on `replication` nodes
+//    (SimpleStrategy-style: consecutive distinct nodes on the token ring);
+//  * read policies — primary-only (Cassandra's default: "the driver
+//    selects a replica only if the original node is malfunctioning"),
+//    random replica, round-robin, least-loaded replica selection, and
+//    least-loaded with *stale* load information ("it is costly to know
+//    the real-time load of each node, and the algorithm should maintain
+//    approximated load statistics");
+//  * cache affinity — re-reading a partition on a node that served it
+//    before is cheaper (the block cache is warm); spreading reads across
+//    replicas trades balance for cold caches ("spreading calls to
+//    different servers results in a higher page fault number");
+//  * failure injection — a node can fail mid-query; the master re-issues
+//    timed-out sub-queries to surviving replicas;
+//  * master architectures — single master, sharded masters (the GFS
+//    evolution of Section VIII), or peer-to-peer issue where every node
+//    schedules its own partitions (Section I's design trade-off).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "hash/token_ring.hpp"
+
+namespace kvscale {
+
+/// How the coordinator picks which replica serves a sub-query.
+enum class ReadPolicy {
+  kPrimary,           ///< always the first replica (Cassandra default)
+  kRoundRobinReplica, ///< rotate across the replica set
+  kRandomReplica,     ///< uniform random replica
+  kLeastLoaded,       ///< replica with fewest outstanding requests (fresh)
+  kStaleLeastLoaded,  ///< least loaded per a periodically refreshed snapshot
+};
+
+std::string_view ReadPolicyName(ReadPolicy policy);
+
+/// Who issues the sub-queries.
+enum class MasterArch {
+  kSingle,      ///< one master issues everything (the paper's prototype)
+  kSharded,     ///< `master_count` masters split the key list
+  kPeerToPeer,  ///< each node issues its own partitions locally
+};
+
+std::string_view MasterArchName(MasterArch arch);
+
+/// Extended configuration. The embedded `base` carries the common knobs
+/// (nodes, serializer, network, DB model, noise, seed, ...).
+struct ReplicatedClusterConfig {
+  ClusterConfig base;
+
+  uint32_t replication = 1;
+  ReadPolicy read_policy = ReadPolicy::kPrimary;
+  /// Replicas each sub-query is sent to (clamped to `replication`).
+  /// 1 is a normal read; > 1 reproduces the Kinesis-style multi-read the
+  /// paper critiques: "we have to question all k servers during a read
+  /// operation and this might result in reducing k times the performance"
+  /// — the sub-query completes when the *slowest* copy answers.
+  uint32_t read_fanout = 1;
+  /// Snapshot age for kStaleLeastLoaded (ignored otherwise).
+  Micros load_snapshot_interval = 100.0 * kMillisecond;
+
+  /// Warm-read service-time multiplier (< 1). A read is warm when this
+  /// node already served this partition during the run.
+  double cache_warm_factor = 0.35;
+
+  /// Node that fails (UINT32_MAX = none) and when.
+  uint32_t fail_node = UINT32_MAX;
+  Micros fail_at = 0.0;
+  /// Master re-issues a sub-query to the next replica if no result
+  /// arrived within this window (0 disables retries).
+  Micros request_timeout = 2.0 * kSecond;
+  /// Maximum issue attempts per sub-query (>= 1).
+  uint32_t max_attempts = 3;
+
+  MasterArch master_arch = MasterArch::kSingle;
+  uint32_t master_count = 1;  ///< used by kSharded
+};
+
+/// Outcome of a replicated run.
+struct ReplicatedRunResult {
+  Micros makespan = 0.0;
+  uint64_t completed = 0;      ///< sub-queries with a folded result
+  uint64_t failed = 0;         ///< sub-queries lost for good
+  uint64_t retries = 0;        ///< re-issues after timeout
+  uint64_t warm_reads = 0;     ///< served out of a warm cache
+  uint64_t cold_reads = 0;
+  std::vector<uint64_t> reads_per_node;
+  TypeCounts aggregated;
+  StageTracer tracer;          ///< successful attempts only
+
+  double RequestImbalance() const;
+  double WarmFraction() const;
+};
+
+/// Runs one aggregation over the replicated cluster. The workload's
+/// partitions may repeat (re-reads exercise cache affinity).
+ReplicatedRunResult RunReplicatedQuery(const ReplicatedClusterConfig& config,
+                                       const WorkloadSpec& workload);
+
+/// Concatenates `times` passes over the workload (for affinity studies).
+WorkloadSpec RepeatWorkload(const WorkloadSpec& workload, uint32_t times);
+
+}  // namespace kvscale

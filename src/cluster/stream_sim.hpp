@@ -1,0 +1,63 @@
+// Query-stream simulator: latency under sustained load.
+//
+// The paper opens with the question: "Should a system that aims to few
+// milliseconds response time have the same infrastructure of a
+// batch-oriented one?" Its evaluation measures one query at a time; this
+// runner measures a *stream*: queries arrive as a Poisson process and
+// share the master, the network and the slave database executors, so
+// queueing between queries — the thing that separates a latency SLA from
+// a throughput number — is visible as the classic saturation knee in the
+// latency-vs-load curve (bench/stream_latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+
+namespace kvscale {
+
+/// Stream workload description.
+struct StreamConfig {
+  ClusterConfig base;
+  /// Mean query arrival rate (queries per second, Poisson).
+  double arrival_qps = 1.0;
+  /// Number of queries in the experiment.
+  uint32_t queries = 50;
+  /// Every query aggregates `elements_per_query` split into
+  /// `keys_per_query` partitions; partition keys are distinct across
+  /// queries (different working sets).
+  uint64_t elements_per_query = 100000;
+  uint64_t keys_per_query = 400;
+  /// Virtual-time gauge sampling period (Aeneas-style high-resolution
+  /// metrics, Section IV-B); 0 disables collection.
+  Micros metrics_interval = 0.0;
+};
+
+/// Per-stream outcome.
+struct StreamResult {
+  uint64_t completed = 0;
+  Micros makespan = 0.0;         ///< first arrival -> last completion
+  double offered_qps = 0.0;      ///< configured arrival rate
+  double achieved_qps = 0.0;     ///< completed / makespan
+  Micros latency_mean = 0.0;     ///< query latency (arrival -> last fold)
+  Micros latency_p50 = 0.0;
+  Micros latency_p90 = 0.0;
+  Micros latency_p99 = 0.0;
+  std::vector<Micros> latencies; ///< per query, arrival order
+  /// Sparkline report of the sampled gauges (empty if metrics disabled).
+  std::string metrics_report;
+  /// Peak master queue depth observed by the sampler (0 if disabled).
+  double peak_master_queue = 0.0;
+};
+
+/// Runs `queries` identical-shape queries with Poisson arrivals over one
+/// shared cluster.
+StreamResult RunQueryStream(const StreamConfig& config);
+
+/// The cluster's single-query service rate under `config.base` (1 /
+/// predicted query time at this shape) — a capacity yardstick for
+/// choosing arrival rates.
+double EstimatedCapacityQps(const StreamConfig& config);
+
+}  // namespace kvscale

@@ -1,0 +1,33 @@
+// Lightweight invariant checking.
+//
+// KV_CHECK is always on (benchmark harnesses rely on it to catch
+// mis-configuration); KV_DCHECK compiles out in NDEBUG builds and is meant
+// for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kvscale {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "KV_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace kvscale
+
+#define KV_CHECK(expr)                                  \
+  do {                                                  \
+    if (!(expr)) [[unlikely]]                           \
+      ::kvscale::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define KV_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define KV_DCHECK(expr) KV_CHECK(expr)
+#endif

@@ -1,0 +1,106 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kvscale {
+
+void CliFlags::Add(const std::string& name, int64_t* target,
+                   const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, target, help};
+}
+void CliFlags::Add(const std::string& name, double* target,
+                   const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, target, help};
+}
+void CliFlags::Add(const std::string& name, bool* target,
+                   const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, target, help};
+}
+void CliFlags::Add(const std::string& name, std::string* target,
+                   const std::string& help) {
+  flags_[name] = Flag{Kind::kString, target, help};
+}
+
+bool CliFlags::Assign(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  char* end = nullptr;
+  switch (it->second.kind) {
+    case Kind::kInt:
+      *static_cast<int64_t*>(it->second.target) =
+          std::strtoll(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    case Kind::kDouble:
+      *static_cast<double*>(it->second.target) =
+          std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    case Kind::kBool:
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(it->second.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(it->second.target) = false;
+      } else {
+        std::fprintf(stderr, "flag --%s expects true/false, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    case Kind::kString:
+      *static_cast<std::string*>(it->second.target) = value;
+      return true;
+  }
+  return false;
+}
+
+void CliFlags::PrintHelp(const char* prog) const {
+  std::printf("usage: %s [flags]\n", prog);
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-24s %s\n", name.c_str(), flag.help.c_str());
+  }
+}
+
+bool CliFlags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      auto it = flags_.find(arg);
+      const bool is_bool = it != flags_.end() && it->second.kind == Kind::kBool;
+      if (!is_bool && i + 1 < argc) {
+        value = argv[++i];
+      }
+    }
+    if (!Assign(arg, value)) return false;
+  }
+  return true;
+}
+
+}  // namespace kvscale

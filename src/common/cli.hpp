@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports "--name=value", "--name value" and boolean "--name". Unknown
+// flags are reported and cause Parse to fail, so typos in sweep scripts are
+// caught instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kvscale {
+
+/// Registry of typed flags bound to caller-owned variables.
+class CliFlags {
+ public:
+  /// Registers a flag; `help` is shown by --help. Pointers must outlive
+  /// Parse().
+  void Add(const std::string& name, int64_t* target, const std::string& help);
+  void Add(const std::string& name, double* target, const std::string& help);
+  void Add(const std::string& name, bool* target, const std::string& help);
+  void Add(const std::string& name, std::string* target,
+           const std::string& help);
+
+  /// Parses argv. Returns false (after printing a diagnostic or the help
+  /// text) if the program should exit.
+  bool Parse(int argc, char** argv);
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  bool Assign(const std::string& name, const std::string& value);
+  void PrintHelp(const char* prog) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace kvscale

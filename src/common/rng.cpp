@@ -1,0 +1,62 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace kvscale {
+
+uint64_t Rng::Below(uint64_t bound) {
+  KV_DCHECK(bound > 0);
+  // Lemire (2019): multiply-shift with rejection of the biased low range.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Normal() {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  KV_DCHECK(rate > 0);
+  return -std::log(1.0 - Uniform()) / rate;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  KV_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = Below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  Shuffle(out);
+  return out;
+}
+
+}  // namespace kvscale

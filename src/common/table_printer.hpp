@@ -1,0 +1,41 @@
+// Aligned plain-text tables for benchmark output.
+//
+// Every figure-reproduction bench prints its series through TablePrinter so
+// output is uniform and diffable across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kvscale {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with printf-like helpers.
+  static std::string Cell(double v, int precision = 2);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int64_t v);
+  static std::string Cell(int v) { return Cell(static_cast<int64_t>(v)); }
+
+  /// Renders the table ("| a | b |" style with a separator under headers).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print(std::FILE* out = stdout) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,48 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kvscale {
+
+namespace {
+
+std::string Format(double value, const char* unit) {
+  char buf[48];
+  if (value >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatMicros(Micros us) {
+  if (us < 0) return "-" + FormatMicros(-us);
+  if (us < kMillisecond) return Format(us, "us");
+  if (us < kSecond) return Format(us / kMillisecond, "ms");
+  return Format(us / kSecond, "s");
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes < kKiB) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+    return buf;
+  }
+  if (bytes < kMiB) return Format(static_cast<double>(bytes) / kKiB, "KiB");
+  return Format(static_cast<double>(bytes) / kMiB, "MiB");
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,36 @@
+// Time and size units.
+//
+// All model and simulator times are carried as double microseconds — the
+// natural resolution of the paper's measurements (messages cost 19-150 us,
+// queries 1-50 ms, full runs seconds). Helper formatters render them for
+// human-readable bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kvscale {
+
+/// Simulated or modelled duration, in microseconds.
+using Micros = double;
+
+constexpr Micros kMicrosecond = 1.0;
+constexpr Micros kMillisecond = 1e3;
+constexpr Micros kSecond = 1e6;
+
+constexpr double ToMillis(Micros us) { return us / kMillisecond; }
+constexpr double ToSeconds(Micros us) { return us / kSecond; }
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+
+/// "12.3 us" / "4.56 ms" / "7.89 s" with three significant digits.
+std::string FormatMicros(Micros us);
+
+/// "512 B" / "64.0 KiB" / "7.5 MiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// "+43.2%" style relative difference.
+std::string FormatPercent(double fraction);
+
+}  // namespace kvscale

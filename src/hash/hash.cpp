@@ -1,0 +1,146 @@
+#include "hash/hash.hpp"
+
+#include <cstring>
+
+namespace kvscale {
+
+uint64_t Fnv1a64(std::span<const std::byte> data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+namespace {
+
+constexpr uint64_t Rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr uint64_t FMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+uint64_t LoadLE64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only (x86/ARM linux targets)
+}
+
+}  // namespace
+
+Hash128 Murmur3_128(std::span<const std::byte> data, uint64_t seed) {
+  const size_t len = data.size();
+  const size_t nblocks = len / 16;
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+  constexpr uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  const std::byte* blocks = data.data();
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = LoadLE64(blocks + i * 16);
+    uint64_t k2 = LoadLE64(blocks + i * 16 + 8);
+    k1 *= c1;
+    k1 = Rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+    k2 *= c2;
+    k2 = Rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const std::byte* tail = data.data() + nblocks * 16;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = Rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = Rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    case 0:
+      break;
+  }
+
+  h1 ^= static_cast<uint64_t>(len);
+  h2 ^= static_cast<uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Hash128 Murmur3_128(std::string_view s, uint64_t seed) {
+  return Murmur3_128(std::as_bytes(std::span(s.data(), s.size())), seed);
+}
+
+uint64_t Token(std::string_view partition_key) {
+  return Murmur3_128(partition_key).lo;
+}
+
+uint64_t Token(uint64_t numeric_key) {
+  return Murmur3_128(
+             std::as_bytes(std::span(&numeric_key, 1)))
+      .lo;
+}
+
+uint32_t JumpConsistentHash(uint64_t key, uint32_t buckets) {
+  // Lamping & Veach, "A Fast, Minimal Memory, Consistent Hash Algorithm".
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < static_cast<int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<uint32_t>(b);
+}
+
+}  // namespace kvscale

@@ -1,0 +1,42 @@
+// Non-cryptographic hash functions.
+//
+// Murmur3 x64-128 is the partitioner hash used by Cassandra's default
+// Murmur3Partitioner; we use its low 64 bits as the DHT token so the ring
+// behaves like the system the paper measured. FNV-1a is kept for cheap
+// small-key hashing (bloom filter second hash, test fixtures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace kvscale {
+
+/// FNV-1a 64-bit.
+uint64_t Fnv1a64(std::span<const std::byte> data);
+uint64_t Fnv1a64(std::string_view s);
+
+/// 128-bit Murmur3 (x64 variant) result.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// MurmurHash3 x64 128-bit.
+Hash128 Murmur3_128(std::span<const std::byte> data, uint64_t seed = 0);
+Hash128 Murmur3_128(std::string_view s, uint64_t seed = 0);
+
+/// Cassandra-style token: low 64 bits of Murmur3 over the partition key.
+uint64_t Token(std::string_view partition_key);
+uint64_t Token(uint64_t numeric_key);
+
+/// Jump consistent hash (Lamping & Veach 2014): maps `key` to a bucket in
+/// [0, buckets) with perfectly uniform occupancy and the consistent-hash
+/// property — growing from n to n+1 buckets moves exactly ~1/(n+1) of the
+/// keys, with no token table at all. An alternative to the ring when
+/// nodes are numbered densely and only grow/shrink at the end.
+uint32_t JumpConsistentHash(uint64_t key, uint32_t buckets);
+
+}  // namespace kvscale

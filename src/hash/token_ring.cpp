@@ -1,0 +1,108 @@
+#include "hash/token_ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "hash/hash.hpp"
+
+namespace kvscale {
+
+Status TokenRing::AddNode(NodeId node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) {
+    return Status::AlreadyExists("node " + std::to_string(node));
+  }
+  nodes_.push_back(node);
+  ring_.reserve(ring_.size() + vnodes_per_node_);
+  for (uint32_t v = 0; v < vnodes_per_node_; ++v) {
+    // Token derived from (node, vnode) so layouts are reproducible and
+    // independent of insertion order.
+    const uint64_t packed = (static_cast<uint64_t>(node) << 32) | v;
+    ring_.push_back(Entry{Token(packed), node});
+  }
+  std::sort(ring_.begin(), ring_.end());
+  return Status::Ok();
+}
+
+Status TokenRing::RemoveNode(NodeId node) {
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node " + std::to_string(node));
+  }
+  nodes_.erase(it);
+  std::erase_if(ring_, [node](const Entry& e) { return e.node == node; });
+  return Status::Ok();
+}
+
+NodeId TokenRing::OwnerOfToken(uint64_t token) const {
+  KV_CHECK(!ring_.empty());
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), token,
+      [](const Entry& e, uint64_t t) { return e.token < t; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->node;
+}
+
+NodeId TokenRing::OwnerOfKey(std::string_view partition_key) const {
+  return OwnerOfToken(Token(partition_key));
+}
+
+NodeId TokenRing::OwnerOfKey(uint64_t numeric_key) const {
+  return OwnerOfToken(Token(numeric_key));
+}
+
+std::vector<NodeId> TokenRing::ReplicasOfKey(std::string_view partition_key,
+                                             uint32_t replication) const {
+  KV_CHECK(!ring_.empty());
+  KV_CHECK(replication >= 1);
+  const uint64_t token = Token(partition_key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), token,
+      [](const Entry& e, uint64_t t) { return e.token < t; });
+
+  std::vector<NodeId> replicas;
+  const size_t want = std::min<size_t>(replication, nodes_.size());
+  replicas.reserve(want);
+  for (size_t step = 0; step < ring_.size() && replicas.size() < want;
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(replicas.begin(), replicas.end(), it->node) ==
+        replicas.end()) {
+      replicas.push_back(it->node);
+    }
+    ++it;
+  }
+  return replicas;
+}
+
+std::vector<uint64_t> TokenRing::CountKeys(
+    const std::vector<std::string>& keys) const {
+  std::vector<uint64_t> counts(nodes_.size(), 0);
+  for (const auto& key : keys) {
+    const NodeId owner = OwnerOfKey(key);
+    auto it = std::find(nodes_.begin(), nodes_.end(), owner);
+    KV_CHECK(it != nodes_.end());
+    ++counts[static_cast<size_t>(it - nodes_.begin())];
+  }
+  return counts;
+}
+
+std::vector<double> TokenRing::OwnershipFractions() const {
+  std::vector<double> fractions(nodes_.size(), 0.0);
+  if (ring_.empty()) return fractions;
+  auto node_index = [&](NodeId id) {
+    auto it = std::find(nodes_.begin(), nodes_.end(), id);
+    KV_CHECK(it != nodes_.end());
+    return static_cast<size_t>(it - nodes_.begin());
+  };
+  constexpr double kSpace = 18446744073709551616.0;  // 2^64
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const uint64_t prev = ring_[i == 0 ? ring_.size() - 1 : i - 1].token;
+    const uint64_t cur = ring_[i].token;
+    const uint64_t width = cur - prev;  // wraps correctly for i == 0
+    fractions[node_index(ring_[i].node)] +=
+        static_cast<double>(width) / kSpace;
+  }
+  return fractions;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,76 @@
+// Consistent-hash token ring with virtual nodes.
+//
+// This is the DHT placement layer of the paper's substrate: each physical
+// node owns a set of pseudo-random tokens on a 64-bit ring; a partition key
+// hashes to a token and is owned by the next node clockwise. With enough
+// virtual nodes the placement is statistically indistinguishable from the
+// uniform random assignment assumed by the balls-into-bins analysis
+// (Formula 1), which the tests verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace kvscale {
+
+/// Identifier of a physical node in the cluster, dense in [0, n).
+using NodeId = uint32_t;
+
+/// Consistent-hash ring mapping 64-bit tokens to node ids.
+class TokenRing {
+ public:
+  /// `vnodes_per_node` is the number of tokens each physical node places
+  /// on the ring (Cassandra default: 256).
+  explicit TokenRing(uint32_t vnodes_per_node = 256)
+      : vnodes_per_node_(vnodes_per_node) {}
+
+  /// Adds a physical node; tokens are derived deterministically from the
+  /// node id so ring layouts are reproducible. Fails if already present.
+  Status AddNode(NodeId node);
+
+  /// Removes a node and its tokens. Fails if absent.
+  Status RemoveNode(NodeId node);
+
+  /// Owner of `token`: the node whose ring token is the first >= `token`
+  /// (wrapping). Aborts if the ring is empty.
+  NodeId OwnerOfToken(uint64_t token) const;
+
+  /// Owner of a string / numeric partition key (Murmur3 token).
+  NodeId OwnerOfKey(std::string_view partition_key) const;
+  NodeId OwnerOfKey(uint64_t numeric_key) const;
+
+  /// The `replication` distinct nodes clockwise from the key's token
+  /// (primary first) — Cassandra SimpleStrategy replica placement.
+  std::vector<NodeId> ReplicasOfKey(std::string_view partition_key,
+                                    uint32_t replication) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t token_count() const { return ring_.size(); }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// Counts how many of `keys` land on each node (index = node position in
+  /// nodes()); used by the distribution tests and ring benches.
+  std::vector<uint64_t> CountKeys(const std::vector<std::string>& keys) const;
+
+  /// Fraction of the token space owned by each node, in nodes() order.
+  std::vector<double> OwnershipFractions() const;
+
+ private:
+  struct Entry {
+    uint64_t token;
+    NodeId node;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.token < b.token || (a.token == b.token && a.node < b.node);
+    }
+  };
+
+  uint32_t vnodes_per_node_;
+  std::vector<Entry> ring_;  // sorted by token
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace kvscale

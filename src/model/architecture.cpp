@@ -1,0 +1,71 @@
+#include "model/architecture.hpp"
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::vector<ScalingPoint> ScalingProfile(const QueryModel& model,
+                                         uint64_t elements, uint64_t keys,
+                                         uint32_t max_nodes) {
+  KV_CHECK(max_nodes >= 1);
+  std::vector<ScalingPoint> out;
+  out.reserve(max_nodes);
+  for (uint32_t n = 1; n <= max_nodes; ++n) {
+    const QueryPrediction p = model.Predict(elements, keys, n);
+    ScalingPoint point;
+    point.nodes = n;
+    point.query_time = p.total;
+    point.master_time = p.master_issue;
+    point.slave_time = p.slowest_slave;
+    point.master_bound = p.master_issue >= p.slowest_slave;
+    out.push_back(point);
+  }
+  return out;
+}
+
+uint32_t MasterSaturationNodes(const QueryModel& model, uint64_t elements,
+                               uint64_t keys, uint32_t max_nodes) {
+  for (const ScalingPoint& p :
+       ScalingProfile(model, elements, keys, max_nodes)) {
+    if (p.master_bound) return p.nodes;
+  }
+  return 0;
+}
+
+ReplicaSelectionAnalysis AnalyzeReplicaSelection(const QueryModel& model,
+                                                 double keysize,
+                                                 double parallelism,
+                                                 uint32_t nodes) {
+  KV_CHECK(parallelism >= 1.0);
+  KV_CHECK(nodes >= 1);
+  ReplicaSelectionAnalysis a;
+  a.requests_in_flight = parallelism * nodes;
+  // One "round": while the in-flight requests are served, the master must
+  // issue their replacements. Formula 6 is calibrated from measurements
+  // taken at the operating parallelism, so it already folds in the
+  // interference the in-flight requests cause each other — the paper's
+  // "single request takes 11 milliseconds if we are issuing 16 queries in
+  // parallel per node" is QueryTime(250).
+  a.round_length = model.db().QueryTime(keysize);
+  a.send_time_per_round =
+      a.requests_in_flight * model.master().params().time_per_message;
+  const Micros slack = a.round_length - a.send_time_per_round;
+  a.budget_per_message = slack / a.requests_in_flight;
+  a.feasible = a.budget_per_message > 0.0;
+  return a;
+}
+
+uint32_t ReplicaSelectionLimit(const QueryModel& model, double keysize,
+                               double parallelism, Micros required_logic_us,
+                               uint32_t max_nodes) {
+  uint32_t last_ok = 0;
+  for (uint32_t n = 1; n <= max_nodes; ++n) {
+    const auto a = AnalyzeReplicaSelection(model, keysize, parallelism, n);
+    if (a.feasible && a.budget_per_message >= required_logic_us) {
+      last_ok = n;
+    }
+  }
+  return last_ok;
+}
+
+}  // namespace kvscale

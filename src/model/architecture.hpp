@@ -1,0 +1,63 @@
+// Architecture feasibility analyses (Section VII, Figure 11).
+//
+// Two questions the paper answers with the model:
+//  1. With a replica-selection algorithm keeping every node saturated, how
+//     much CPU budget does the master have per message before it becomes
+//     the bottleneck (paper: ~32 nodes leave "almost no time")?
+//  2. With plain random distribution, at how many nodes does the master's
+//     send time exceed what the database needs to serve the whole query
+//     (paper: ~70 servers for their constants)?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/query_model.hpp"
+
+namespace kvscale {
+
+/// One point of the Figure 11 sweep.
+struct ScalingPoint {
+  uint32_t nodes = 0;
+  Micros query_time = 0.0;   ///< Formula 2 total
+  Micros master_time = 0.0;  ///< Formula 3
+  Micros slave_time = 0.0;   ///< Formula 4
+  bool master_bound = false; ///< master >= slave at this size
+};
+
+/// Evaluates the model at every node count in [1, max_nodes].
+std::vector<ScalingPoint> ScalingProfile(const QueryModel& model,
+                                         uint64_t elements, uint64_t keys,
+                                         uint32_t max_nodes);
+
+/// Smallest node count at which the master needs more time to send the
+/// requests than the slaves need to serve them; 0 if it never happens up
+/// to `max_nodes`. This is the Figure 11 crossover.
+uint32_t MasterSaturationNodes(const QueryModel& model, uint64_t elements,
+                               uint64_t keys, uint32_t max_nodes);
+
+/// Feasibility of a master-driven replica-selection scheme that must keep
+/// `parallelism` requests in flight on each of `nodes` nodes (Section VII's
+/// 16 * 32 = 512-requests example).
+struct ReplicaSelectionAnalysis {
+  double requests_in_flight = 0.0; ///< parallelism * nodes
+  Micros round_length = 0.0;       ///< one request's service time
+  Micros send_time_per_round = 0.0;///< in_flight * t_msg
+  Micros budget_per_message = 0.0; ///< CPU left for the selection logic
+  bool feasible = false;           ///< budget > 0
+};
+
+/// `keysize` is the per-request row size; `parallelism` the concurrent
+/// requests each node sustains.
+ReplicaSelectionAnalysis AnalyzeReplicaSelection(const QueryModel& model,
+                                                 double keysize,
+                                                 double parallelism,
+                                                 uint32_t nodes);
+
+/// Largest cluster for which the replica-selection master keeps up
+/// (budget_per_message >= `required_logic_us`); 0 if even 1 node fails.
+uint32_t ReplicaSelectionLimit(const QueryModel& model, double keysize,
+                               double parallelism, Micros required_logic_us,
+                               uint32_t max_nodes);
+
+}  // namespace kvscale

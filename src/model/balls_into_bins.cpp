@@ -1,0 +1,72 @@
+#include "model/balls_into_bins.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+double ImbalanceRatio(uint64_t keys, uint64_t nodes) {
+  KV_CHECK(keys > 0);
+  KV_CHECK(nodes > 0);
+  if (nodes == 1) return 0.0;
+  return std::sqrt(std::log(static_cast<double>(nodes)) *
+                   static_cast<double>(nodes) / static_cast<double>(keys));
+}
+
+double ExpectedMaxKeys(uint64_t keys, uint64_t nodes) {
+  const double per_node =
+      static_cast<double>(keys) / static_cast<double>(nodes);
+  return per_node * (1.0 + ImbalanceRatio(keys, nodes));
+}
+
+std::vector<uint64_t> ThrowBalls(uint64_t keys, uint64_t nodes, Rng& rng) {
+  KV_CHECK(nodes > 0);
+  std::vector<uint64_t> bins(nodes, 0);
+  for (uint64_t k = 0; k < keys; ++k) ++bins[rng.Below(nodes)];
+  return bins;
+}
+
+IntegerDistribution SimulateMaxLoadDensity(uint64_t keys, uint64_t nodes,
+                                           uint64_t trials, Rng& rng) {
+  IntegerDistribution dist;
+  std::vector<uint64_t> bins(nodes);
+  for (uint64_t t = 0; t < trials; ++t) {
+    std::fill(bins.begin(), bins.end(), 0);
+    for (uint64_t k = 0; k < keys; ++k) ++bins[rng.Below(nodes)];
+    dist.Add(static_cast<int64_t>(
+        *std::max_element(bins.begin(), bins.end())));
+  }
+  return dist;
+}
+
+double EmpiricalImbalance(const std::vector<uint64_t>& per_node_counts) {
+  KV_CHECK(!per_node_counts.empty());
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  for (uint64_t c : per_node_counts) {
+    max = std::max(max, c);
+    sum += c;
+  }
+  if (sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) /
+                      static_cast<double>(per_node_counts.size());
+  return (static_cast<double>(max) - mean) / mean;
+}
+
+double SimulateWeightedImbalance(const std::vector<uint64_t>& partition_sizes,
+                                 uint64_t nodes, uint64_t trials, Rng& rng) {
+  KV_CHECK(nodes > 0);
+  KV_CHECK(!partition_sizes.empty());
+  double total_imbalance = 0.0;
+  std::vector<uint64_t> load(nodes);
+  for (uint64_t t = 0; t < trials; ++t) {
+    std::fill(load.begin(), load.end(), 0);
+    for (uint64_t size : partition_sizes) load[rng.Below(nodes)] += size;
+    total_imbalance += EmpiricalImbalance(load);
+  }
+  return total_imbalance / static_cast<double>(trials);
+}
+
+}  // namespace kvscale

@@ -1,0 +1,69 @@
+#include "model/calibrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+SegmentedFit FitQueryTimeModel(std::span<const CalibrationSample> samples,
+                               size_t min_points_per_side) {
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.keysize);
+    y.push_back(s.micros);
+  }
+  return FitSegmentedRelative(x, y, min_points_per_side);
+}
+
+LinearFit FitSpeedupModel(std::span<const SpeedupSample> samples) {
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.keysize);
+    y.push_back(s.max_speedup);
+  }
+  return FitLogX(x, y);
+}
+
+DbModel CalibrateDbModel(std::span<const CalibrationSample> query_samples,
+                         std::span<const SpeedupSample> speedup_samples) {
+  const SegmentedFit time_fit = FitQueryTimeModel(query_samples);
+  const LinearFit speedup_fit = FitSpeedupModel(speedup_samples);
+  return DbModel::FromCalibration(time_fit, speedup_fit);
+}
+
+std::vector<CalibrationSample> MeasureTableQueryTimes(
+    const Table& table, const std::vector<std::string>& partition_keys,
+    uint32_t repetitions) {
+  KV_CHECK(repetitions >= 1);
+  using Clock = std::chrono::steady_clock;
+  std::vector<CalibrationSample> out;
+  out.reserve(partition_keys.size());
+  std::vector<double> times(repetitions);
+  for (const auto& key : partition_keys) {
+    double keysize = 0.0;
+    for (uint32_t rep = 0; rep < repetitions; ++rep) {
+      const auto start = Clock::now();
+      auto counts = table.CountByType(key);
+      const auto end = Clock::now();
+      KV_CHECK(counts.ok());
+      if (rep == 0) {
+        uint64_t elements = 0;
+        for (const auto& [type, count] : counts.value()) elements += count;
+        keysize = static_cast<double>(elements);
+      }
+      times[rep] =
+          std::chrono::duration<double, std::micro>(end - start).count();
+    }
+    std::sort(times.begin(), times.end());
+    out.push_back(CalibrationSample{keysize, times[times.size() / 2]});
+  }
+  return out;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,56 @@
+// Model calibration from measurements (Section VI's methodology).
+//
+// "While the specific regression models may be realistic only for some
+// hardware/software settings, the overall model and methodology can be
+// applied to any system: it would simply require to run the same tests on
+// the different hardware/software stack and create a new regression."
+//
+// The calibrator turns raw (row size, time) and (row size, max speed-up)
+// samples — from the real in-process store, from the simulator, or from a
+// user's own cluster — into a DbModel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "model/db_model.hpp"
+#include "store/table.hpp"
+
+namespace kvscale {
+
+/// One single-request measurement.
+struct CalibrationSample {
+  double keysize = 0.0;  ///< elements in the row
+  Micros micros = 0.0;   ///< measured service time
+};
+
+/// One concurrency-sweep measurement (Figure 7 dot).
+struct SpeedupSample {
+  double keysize = 0.0;
+  double max_speedup = 1.0;       ///< best speed-up over the sweep
+  uint32_t best_parallelism = 1;  ///< concurrency achieving it
+};
+
+/// Fits Formula 6 (segmented linear) from single-request samples, under
+/// relative-error weighting (service-time noise is multiplicative).
+SegmentedFit FitQueryTimeModel(std::span<const CalibrationSample> samples,
+                               size_t min_points_per_side = 4);
+
+/// Fits Formula 7 (linear in ln keysize) from speed-up samples.
+LinearFit FitSpeedupModel(std::span<const SpeedupSample> samples);
+
+/// Builds a DbModel from both fits.
+DbModel CalibrateDbModel(std::span<const CalibrationSample> query_samples,
+                         std::span<const SpeedupSample> speedup_samples);
+
+/// Measures the real in-process store: wall-clock CountByType over each of
+/// `partition_keys`, `repetitions` times (median taken), returning one
+/// sample per (key, repetition is folded). `keysize` comes from the data.
+std::vector<CalibrationSample> MeasureTableQueryTimes(
+    const Table& table, const std::vector<std::string>& partition_keys,
+    uint32_t repetitions);
+
+}  // namespace kvscale

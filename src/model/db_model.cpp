@@ -1,0 +1,48 @@
+#include "model/db_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+DbModel DbModel::FromCalibration(const SegmentedFit& query_time_fit,
+                                 const LinearFit& speedup_log_fit) {
+  DbModelParams params;
+  params.breakpoint_elements = query_time_fit.breakpoint;
+  params.small_intercept = query_time_fit.lower.intercept;
+  params.small_slope = query_time_fit.lower.slope;
+  params.large_intercept = query_time_fit.upper.intercept;
+  params.large_slope = query_time_fit.upper.slope;
+
+  ParallelismModel::Params par;
+  par.intercept = speedup_log_fit.intercept;
+  par.log_slope = speedup_log_fit.slope;
+  return DbModel(params, ParallelismModel(par));
+}
+
+Micros DbModel::QueryTime(double keysize) const {
+  KV_CHECK(keysize >= 0.0);
+  if (keysize > params_.breakpoint_elements) {
+    return params_.large_intercept + params_.large_slope * keysize;
+  }
+  return params_.small_intercept + params_.small_slope * keysize;
+}
+
+Micros DbModel::EffectiveTimePerRequest(double keysize) const {
+  return QueryTime(keysize) / parallelism_.MaxSpeedup(keysize);
+}
+
+std::string DbModel::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "querytime(us) = %.4g + %.4g*k (k<=%.0f) | %.4g + %.4g*k (k>%.0f)",
+      params_.small_intercept, params_.small_slope,
+      params_.breakpoint_elements, params_.large_intercept,
+      params_.large_slope, params_.breakpoint_elements);
+  return buf;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,73 @@
+// The database service-time model (Formulas 6 and 8).
+//
+// Formula 6 (paper, calibrated on Cassandra 2.x / Xeon L5630 / SSD):
+//   querytime(ms) = 1.163 + 0.0387 * keysize   if keysize <= 1425
+//                 = 0.773 + 0.0439 * keysize   if keysize  > 1425
+// where keysize is the number of elements in the row, and 1425 elements is
+// where the row crosses Cassandra's 64 KB `column_index_size_in_kb`
+// threshold and gains a column index.
+//
+// Formula 8 folds in the parallelism speed-up (Formula 7) to give the
+// effective per-request time of a saturated node:
+//   DBmodel = querytime / parallelism.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "model/parallelism_model.hpp"
+#include "stats/regression.hpp"
+
+namespace kvscale {
+
+/// Piecewise-linear single-request service time (Formula 6).
+struct DbModelParams {
+  double breakpoint_elements = 1425.0;
+  // Below / at the breakpoint (unindexed rows).
+  Micros small_intercept = 1163.0;  ///< 1.163 ms
+  Micros small_slope = 38.7;        ///< 0.0387 ms per element
+  // Above the breakpoint (column-indexed rows).
+  Micros large_intercept = 773.0;   ///< 0.773 ms
+  Micros large_slope = 43.9;        ///< 0.0439 ms per element
+  /// Lognormal sigma of multiplicative service noise in the simulator
+  /// (the paper reports "considerable variance in all our tests").
+  double noise_sigma = 0.18;
+};
+
+/// Database time model: single-request latency plus saturated throughput.
+class DbModel {
+ public:
+  /// Paper-calibrated constants.
+  DbModel() = default;
+  explicit DbModel(DbModelParams params,
+                   ParallelismModel parallelism = ParallelismModel{})
+      : params_(params), parallelism_(parallelism) {}
+
+  /// Builds the model from a local re-calibration: a segmented fit of
+  /// (keysize, time us) samples and a log fit of (keysize, max speed-up).
+  static DbModel FromCalibration(const SegmentedFit& query_time_fit,
+                                 const LinearFit& speedup_log_fit);
+
+  /// Formula 6: time to serve one isolated request of `keysize` elements.
+  Micros QueryTime(double keysize) const;
+
+  /// Formula 8: effective per-request time of a node running at its best
+  /// parallelism for this row size.
+  Micros EffectiveTimePerRequest(double keysize) const;
+
+  /// Throughput (requests/second) of one saturated node.
+  double SaturatedThroughput(double keysize) const {
+    return kSecond / EffectiveTimePerRequest(keysize);
+  }
+
+  const DbModelParams& params() const { return params_; }
+  const ParallelismModel& parallelism() const { return parallelism_; }
+
+  std::string ToString() const;
+
+ private:
+  DbModelParams params_;
+  ParallelismModel parallelism_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,11 @@
+#include "model/device_model.hpp"
+
+namespace kvscale {
+
+DeviceModel DramDevice() { return DeviceModel{"dram", 0.1, 10000.0}; }
+DeviceModel HbmDevice() { return DeviceModel{"hbm", 0.15, 400000.0}; }
+DeviceModel NvmDevice() { return DeviceModel{"nvm", 0.3, 2500.0}; }
+DeviceModel SataSsdDevice() { return DeviceModel{"sata-ssd", 80.0, 250.0}; }
+DeviceModel HddDevice() { return DeviceModel{"hdd", 8000.0, 120.0}; }
+
+}  // namespace kvscale

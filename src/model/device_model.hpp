@@ -1,0 +1,42 @@
+// Storage-device latency/bandwidth models (the paper's future-work
+// extension: "extend the model to ... multiple levels of storage, with a
+// hierarchy between two kinds of ram memory, NVM, and SSD and rotational
+// disks", Section IX).
+//
+// A DeviceModel adds a device term to the database read time:
+//   t_device(bytes) = seek_latency + bytes / bandwidth
+// so the query model can answer "what if this working set served from NVM
+// instead of SSD?" — see bench/ablation_devices.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace kvscale {
+
+/// Latency + bandwidth model of one storage tier.
+struct DeviceModel {
+  std::string name = "dram";
+  Micros access_latency = 0.1;          ///< per-read fixed latency
+  double bandwidth_bytes_per_us = 10000; ///< sustained read bandwidth
+
+  /// Time to read `bytes` from this device.
+  Micros ReadTime(double bytes) const {
+    return access_latency + bytes / bandwidth_bytes_per_us;
+  }
+};
+
+/// ~10 GB/s, 100 ns — in-memory working set (the paper's measured case:
+/// dataset fully cached).
+DeviceModel DramDevice();
+/// MCDRAM/HBM tier of the KNL discussion: ~400 GB/s, similar latency.
+DeviceModel HbmDevice();
+/// Byte-addressable NVM: ~2.5 GB/s reads, ~300 ns.
+DeviceModel NvmDevice();
+/// SATA2 SSD (the paper's testbed disk): ~250 MB/s, ~80 us access.
+DeviceModel SataSsdDevice();
+/// 7.2k rotational disk: ~120 MB/s, ~8 ms seek.
+DeviceModel HddDevice();
+
+}  // namespace kvscale

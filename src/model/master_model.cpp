@@ -1,0 +1,27 @@
+#include "model/master_model.hpp"
+
+#include <cstdio>
+
+namespace kvscale {
+
+MasterModel MasterModel::FromSerializer(const SerializerProfile& profile,
+                                        Micros logic_per_message) {
+  Params params;
+  params.time_per_message = profile.TypicalCost();
+  // Receiving a result costs roughly a quarter of sending a request in the
+  // paper's optimised prototype: no object graph to build, small payload.
+  params.time_per_result = profile.TypicalCost() * 0.25;
+  params.logic_per_message = logic_per_message;
+  return MasterModel(params);
+}
+
+std::string MasterModel::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "t_msg=%.1fus t_result=%.1fus t_logic=%.1fus",
+                params_.time_per_message, params_.time_per_result,
+                params_.logic_per_message);
+  return buf;
+}
+
+}  // namespace kvscale

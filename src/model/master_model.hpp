@@ -1,0 +1,59 @@
+// The master-node cost model (Formula 3) and result fetching.
+//
+// masterspeed = keys * time_per_message: the master issues every sub-query
+// sequentially on one CPU, so the per-message cost (dominated by
+// serialization — Section V-B) bounds the whole system once it exceeds what
+// the slaves need to serve the requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "wire/serializer_model.hpp"
+
+namespace kvscale {
+
+/// Cost model of the single master node.
+class MasterModel {
+ public:
+  struct Params {
+    /// End-to-end CPU time to build, serialize and hand one sub-query to
+    /// the transport (paper: 150 us Java-default, 19 us Kryo-optimised).
+    Micros time_per_message = 19.0;
+    /// CPU time to receive and fold one partial result; cheaper than
+    /// sending (no request construction, tiny payload).
+    Micros time_per_result = 5.0;
+    /// Extra per-request master work (replica selection, index navigation);
+    /// Section VII studies how much of this budget exists.
+    Micros logic_per_message = 0.0;
+  };
+
+  MasterModel() = default;
+  explicit MasterModel(Params params) : params_(params) {}
+
+  /// Builds the params from a serialization profile (message size measured
+  /// by the wire codecs, CPU cost from the profile).
+  static MasterModel FromSerializer(const SerializerProfile& profile,
+                                    Micros logic_per_message = 0.0);
+
+  /// Formula 3: time for the master to issue `keys` sub-queries.
+  Micros IssueTime(uint64_t keys) const {
+    return static_cast<double>(keys) *
+           (params_.time_per_message + params_.logic_per_message);
+  }
+
+  /// Time for the master to drain `keys` partial results.
+  Micros FetchTime(uint64_t keys) const {
+    return static_cast<double>(keys) * params_.time_per_result;
+  }
+
+  const Params& params() const { return params_; }
+
+  std::string ToString() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,62 @@
+#include "model/monte_carlo.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "model/balls_into_bins.hpp"
+
+namespace kvscale {
+
+PredictionBands PredictDistribution(const QueryModel& model,
+                                    uint64_t elements, uint64_t keys,
+                                    uint32_t nodes, uint64_t trials,
+                                    Rng& rng) {
+  KV_CHECK(trials >= 10);
+  const QueryPrediction point = model.Predict(elements, keys, nodes);
+  const double keysize = point.keysize;
+  const Micros per_request = point.db_per_request;
+  const double sigma = model.db().params().noise_sigma;
+  const Micros gc_per_request =
+      point.key_max > 0 ? point.gc_overhead / point.key_max : 0.0;
+
+  std::vector<double> samples;
+  samples.reserve(trials);
+  std::vector<uint64_t> bins(nodes);
+  for (uint64_t t = 0; t < trials; ++t) {
+    // Draw the actual placement instead of Formula 5's expectation.
+    std::fill(bins.begin(), bins.end(), 0);
+    for (uint64_t k = 0; k < keys; ++k) ++bins[rng.Below(nodes)];
+
+    Micros slowest = 0.0;
+    for (uint64_t count : bins) {
+      if (count == 0) continue;
+      Micros node_time = 0.0;
+      if (sigma > 0) {
+        for (uint64_t i = 0; i < count; ++i) {
+          node_time += per_request *
+                       rng.LogNormal(-0.5 * sigma * sigma, sigma);
+        }
+      } else {
+        node_time = static_cast<double>(count) * per_request;
+      }
+      node_time += static_cast<double>(count) * gc_per_request;
+      slowest = std::max(slowest, node_time);
+    }
+    samples.push_back(
+        std::max({point.master_issue, slowest, point.result_fetch}));
+  }
+  std::sort(samples.begin(), samples.end());
+
+  PredictionBands bands;
+  bands.formula_point = point.total;
+  bands.mean = Mean(samples);
+  bands.p10 = PercentileSorted(samples, 0.10);
+  bands.p50 = PercentileSorted(samples, 0.50);
+  bands.p90 = PercentileSorted(samples, 0.90);
+  bands.p99 = PercentileSorted(samples, 0.99);
+  (void)keysize;
+  return bands;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,41 @@
+// Monte-Carlo prediction bands for the query model.
+//
+// Formula 2 composes *expectations*: Formula 5's key_max is a smooth
+// with-high-probability bound, so for few keys (the coarse workload) the
+// realised maximum load regularly exceeds it and single runs land above
+// the prediction — visible in the paper's Figure 1 labels and in our
+// Figure 8 residuals. PredictDistribution replaces the smooth terms with
+// sampling: each trial draws an actual balls-into-bins placement and
+// lognormal service noise, yielding percentile bands instead of a point.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "model/query_model.hpp"
+#include "stats/summary.hpp"
+
+namespace kvscale {
+
+/// Distribution of predicted query times over placement + noise draws.
+struct PredictionBands {
+  Micros mean = 0.0;
+  Micros p10 = 0.0;
+  Micros p50 = 0.0;
+  Micros p90 = 0.0;
+  Micros p99 = 0.0;
+  /// The deterministic Formula 2 point, for reference.
+  Micros formula_point = 0.0;
+};
+
+/// Samples `trials` executions of (elements, keys, nodes) under `model`:
+/// multinomial key placement, per-request lognormal noise of the model's
+/// configured sigma, and the master/fetch terms of Formula 2. Queueing
+/// granularity is not sampled (the simulator covers that), so the bands
+/// are slightly optimistic at very low keys-per-node.
+PredictionBands PredictDistribution(const QueryModel& model,
+                                    uint64_t elements, uint64_t keys,
+                                    uint32_t nodes, uint64_t trials,
+                                    Rng& rng);
+
+}  // namespace kvscale

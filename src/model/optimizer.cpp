@@ -1,0 +1,87 @@
+#include "model/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+QueryPrediction PartitionOptimizer::Evaluate(uint64_t elements, uint64_t keys,
+                                             uint32_t nodes) const {
+  return model_.Predict(elements, keys, nodes);
+}
+
+OptimalPartitioning PartitionOptimizer::Optimize(uint64_t elements,
+                                                 uint32_t nodes,
+                                                 uint64_t max_keys) const {
+  KV_CHECK(elements > 0);
+  if (max_keys == 0 || max_keys > elements) max_keys = elements;
+
+  // Coarse multiplicative grid (5% steps cover 1..10^6 in ~290 probes)...
+  std::set<uint64_t> candidates;
+  for (double k = 1.0; k <= static_cast<double>(max_keys); k *= 1.05) {
+    candidates.insert(static_cast<uint64_t>(k));
+  }
+  candidates.insert(max_keys);
+
+  uint64_t best_keys = 1;
+  Micros best_total = -1.0;
+  for (uint64_t k : candidates) {
+    const Micros total = Evaluate(elements, k, nodes).total;
+    if (best_total < 0 || total < best_total) {
+      best_total = total;
+      best_keys = k;
+    }
+  }
+
+  // ...then exhaustive local refinement around the coarse winner.
+  const auto lo = static_cast<uint64_t>(
+      std::max(1.0, static_cast<double>(best_keys) / 1.1));
+  const uint64_t hi = std::min(
+      max_keys, static_cast<uint64_t>(static_cast<double>(best_keys) * 1.1) + 1);
+  // Refine on a unit grid only when the window is small enough to afford it.
+  const uint64_t step = std::max<uint64_t>(1, (hi - lo) / 2000);
+  for (uint64_t k = lo; k <= hi; k += step) {
+    const Micros total = Evaluate(elements, k, nodes).total;
+    if (total < best_total) {
+      best_total = total;
+      best_keys = k;
+    }
+  }
+
+  OptimalPartitioning out;
+  out.nodes = nodes;
+  out.keys = best_keys;
+  out.prediction = Evaluate(elements, best_keys, nodes);
+  return out;
+}
+
+std::vector<OptimalPartitioning> PartitionOptimizer::Sweep(
+    uint64_t elements, const std::vector<uint32_t>& nodes,
+    uint64_t max_keys) const {
+  // The ideal line is anchored at the single-node optimum (the best the
+  // system can do at all), then scaled linearly — Figure 10's baseline.
+  const OptimalPartitioning single = Optimize(elements, 1, max_keys);
+  const Micros single_node_best = single.prediction.total;
+
+  std::vector<OptimalPartitioning> out;
+  out.reserve(nodes.size());
+  for (uint32_t n : nodes) {
+    OptimalPartitioning opt = Optimize(elements, n, max_keys);
+    const Micros ideal = single_node_best / static_cast<double>(n);
+    const QueryPrediction& p = opt.prediction;
+    opt.total_loss = p.total / ideal - 1.0;
+    // What perfect balance would save, expressed as a fraction of ideal.
+    const Micros balanced_total =
+        std::max({p.master_issue, p.balanced_slave + p.gc_overhead,
+                  p.result_fetch});
+    opt.imbalance_loss = (p.total - balanced_total) / ideal;
+    opt.efficiency_loss = opt.total_loss - opt.imbalance_loss;
+    out.push_back(std::move(opt));
+  }
+  return out;
+}
+
+}  // namespace kvscale

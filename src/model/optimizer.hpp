@@ -1,0 +1,59 @@
+// Partition-count optimizer (Section VII, Figures 9 and 10).
+//
+// "we can use an optimizer to find which would be the best number of rows
+// for the query we run": the trade-off is database efficiency (fewer,
+// larger rows amortise per-request cost) against workload balance (more
+// rows shrink the balls-into-bins imbalance). The optimizer scans candidate
+// partition counts on a multiplicative grid with local refinement and
+// returns the argmin of the model's predicted total time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/query_model.hpp"
+
+namespace kvscale {
+
+/// Result of one optimisation.
+struct OptimalPartitioning {
+  uint32_t nodes = 0;          ///< cluster size this optimum is for
+  uint64_t keys = 0;           ///< optimal number of partitions
+  QueryPrediction prediction;  ///< model breakdown at the optimum
+
+  /// Loss decomposition vs linear scaling (Figure 10): fractions of the
+  /// ideal time. `imbalance_loss` is what the balls-into-bins maximum adds
+  /// over a perfect split; `efficiency_loss` is what remains (database
+  /// efficiency the optimizer sacrificed, plus master overheads).
+  double total_loss = 0.0;
+  double imbalance_loss = 0.0;
+  double efficiency_loss = 0.0;
+};
+
+/// Finds the partition count minimising predicted query time.
+class PartitionOptimizer {
+ public:
+  explicit PartitionOptimizer(QueryModel model) : model_(std::move(model)) {}
+
+  /// Optimises `keys` for the given cluster size. `max_keys` bounds the
+  /// search (<= elements; 0 means elements).
+  OptimalPartitioning Optimize(uint64_t elements, uint32_t nodes,
+                               uint64_t max_keys = 0) const;
+
+  /// Figure 9/10 sweep: the optimum for every node count in `nodes`.
+  /// Losses are measured against `IdealTime` anchored at the single-node
+  /// optimum, exactly how the paper draws its ideal line.
+  std::vector<OptimalPartitioning> Sweep(uint64_t elements,
+                                         const std::vector<uint32_t>& nodes,
+                                         uint64_t max_keys = 0) const;
+
+  const QueryModel& model() const { return model_; }
+
+ private:
+  QueryPrediction Evaluate(uint64_t elements, uint64_t keys,
+                           uint32_t nodes) const;
+
+  QueryModel model_;
+};
+
+}  // namespace kvscale

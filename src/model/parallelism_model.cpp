@@ -1,0 +1,52 @@
+#include "model/parallelism_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+double ParallelismModel::MaxSpeedup(double keysize) const {
+  KV_CHECK(keysize >= 1.0);
+  return std::max(1.0,
+                  params_.intercept + params_.log_slope * std::log(keysize));
+}
+
+double ParallelismModel::OptimalConcurrency(double keysize) const {
+  KV_CHECK(keysize >= 1.0);
+  const double c =
+      params_.ref_c *
+      std::pow(params_.ref_keysize / keysize, params_.shape);
+  return std::clamp(c, params_.min_c, params_.max_c);
+}
+
+double ParallelismModel::SpeedupAt(double keysize, double c) const {
+  KV_CHECK(c >= 1.0);
+  const double smax = MaxSpeedup(keysize);
+  const double copt = OptimalConcurrency(keysize);
+  if (smax <= 1.0) return 1.0;
+  if (c <= copt) {
+    // Power-law through (1, 1) and (copt, smax): concave ramp-up.
+    const double alpha = std::log(smax) / std::log(copt);
+    return std::pow(c, alpha);
+  }
+  // Past the optimum interference wins and the speed-up decays gently.
+  return smax * std::pow(copt / c, params_.overload_decay);
+}
+
+double ParallelismModel::ServiceInflation(double keysize, double c) const {
+  return c / SpeedupAt(keysize, c);
+}
+
+std::string ParallelismModel::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "speedup_max = %.3f %+.3f*ln(keysize), C* = %g*(%g/k)^%g",
+                params_.intercept, params_.log_slope, params_.ref_c,
+                params_.ref_keysize, params_.shape);
+  return buf;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,64 @@
+// The concurrency speed-up model (Formula 7).
+//
+// Serving requests concurrently raises a node's throughput until shared-
+// resource interference saturates it; the paper measured the attainable
+// speed-up and found it logarithmic in the row size:
+//   max_speedup = 12.562 - 1.084 * ln(keysize)       (Formula 7)
+// and that the *optimal* concurrency falls with row size (32 requests in
+// flight for small rows, 16 for medium, 8 for large — Figure 7).
+//
+// SpeedupAt(keysize, c) interpolates a full speed-up curve through the
+// anchors speedup(1) = 1 and speedup(C*) = max_speedup, with a gentle
+// decline past C*; the simulator derives per-request service inflation from
+// it, so a sweep over c reproduces Figure 7's dots, peak included.
+#pragma once
+
+#include <string>
+
+namespace kvscale {
+
+/// Concurrency speed-up model for one storage node.
+class ParallelismModel {
+ public:
+  struct Params {
+    double intercept = 12.562;  ///< Formula 7 intercept
+    double log_slope = -1.084;  ///< Formula 7 slope on ln(keysize)
+    /// Optimal concurrency anchor: C*(keysize) = ref_c * (ref_keysize /
+    /// keysize)^shape, clamped to [min_c, max_c]. Defaults reproduce the
+    /// paper's 32 / ~16 / ~8 pattern.
+    double ref_c = 32.0;
+    double ref_keysize = 100.0;
+    double shape = 0.26;
+    double min_c = 2.0;
+    double max_c = 32.0;
+    /// Decay exponent of the speed-up past the optimum.
+    double overload_decay = 0.3;
+  };
+
+  ParallelismModel() = default;
+  explicit ParallelismModel(Params params) : params_(params) {}
+
+  /// Formula 7: the best achievable speed-up for this row size (>= 1).
+  double MaxSpeedup(double keysize) const;
+
+  /// The concurrency at which MaxSpeedup is reached (Figure 7's colour
+  /// bands: ~32 small, ~16 medium, ~8 large rows).
+  double OptimalConcurrency(double keysize) const;
+
+  /// Throughput speed-up at concurrency `c` (c >= 1); equals 1 at c = 1 and
+  /// peaks at OptimalConcurrency with value MaxSpeedup.
+  double SpeedupAt(double keysize, double c) const;
+
+  /// Service-time inflation the simulator charges a request admitted at
+  /// concurrency `c`: c / SpeedupAt(keysize, c) (>= 1 at c = 1).
+  double ServiceInflation(double keysize, double c) const;
+
+  const Params& params() const { return params_; }
+
+  std::string ToString() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,77 @@
+#include "model/query_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::string QueryPrediction::BottleneckName() const {
+  switch (bottleneck) {
+    case Bottleneck::kMaster:
+      return "master";
+    case Bottleneck::kSlave:
+      return "slave";
+    case Bottleneck::kFetch:
+      return "fetch";
+  }
+  return "?";
+}
+
+QueryPrediction QueryModel::Predict(uint64_t elements, uint64_t keys,
+                                    uint32_t nodes) const {
+  KV_CHECK(elements > 0);
+  KV_CHECK(keys > 0 && keys <= elements);
+  KV_CHECK(nodes > 0);
+
+  QueryPrediction p;
+  p.keysize = static_cast<double>(elements) / static_cast<double>(keys);
+  p.key_max = ExpectedMaxKeys(keys, nodes);
+
+  // Formula 8 plus the (optional) storage-device term: the device read of
+  // the row shares the same concurrency speed-up as the CPU part.
+  const double row_bytes = bytes_per_element_ * p.keysize;
+  const Micros single = db_.QueryTime(p.keysize) + device_.ReadTime(row_bytes);
+  p.db_per_request = single / db_.parallelism().MaxSpeedup(p.keysize);
+
+  p.master_issue = master_.IssueTime(keys);
+  p.gc_overhead = gc_.Overhead(p.keysize, p.key_max);
+  p.slowest_slave = p.key_max * p.db_per_request + p.gc_overhead;
+  p.balanced_slave = (static_cast<double>(keys) / nodes) * p.db_per_request;
+  p.result_fetch = master_.FetchTime(keys);
+
+  p.total = std::max({p.master_issue, p.slowest_slave, p.result_fetch});
+  if (p.total == p.master_issue && p.master_issue >= p.slowest_slave) {
+    p.bottleneck = QueryPrediction::Bottleneck::kMaster;
+  } else if (p.total == p.result_fetch && p.result_fetch > p.slowest_slave) {
+    p.bottleneck = QueryPrediction::Bottleneck::kFetch;
+  } else {
+    p.bottleneck = QueryPrediction::Bottleneck::kSlave;
+  }
+  return p;
+}
+
+Micros QueryModel::IdealTime(uint64_t elements, uint64_t keys,
+                             uint32_t nodes) const {
+  return Predict(elements, keys, 1).total / static_cast<double>(nodes);
+}
+
+QueryModel QueryModel::WithMaster(MasterModel master) const {
+  QueryModel copy = *this;
+  copy.master_ = master;
+  return copy;
+}
+
+QueryModel QueryModel::WithGc(GcModel gc) const {
+  QueryModel copy = *this;
+  copy.gc_ = gc;
+  return copy;
+}
+
+QueryModel QueryModel::WithDevice(DeviceModel device) const {
+  QueryModel copy = *this;
+  copy.device_ = std::move(device);
+  return copy;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,93 @@
+// The composed query-time model (Formulas 2, 4, 5).
+//
+// A distributed aggregation of `elements` items split into `keys` equal
+// partitions over `nodes` slaves completes in (Formula 2):
+//
+//   T = max{ master_issue, slowest_slave (+GC), result_fetch }
+//
+// where the slowest slave serves key_max partitions (the balls-into-bins
+// maximum, Formula 5) at the database's effective per-request rate
+// (Formula 8). The GC term is the correction the paper applies to the
+// coarse-grained workload in Figure 8 ("dbModel+GC").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/balls_into_bins.hpp"
+#include "model/db_model.hpp"
+#include "model/device_model.hpp"
+#include "model/master_model.hpp"
+
+namespace kvscale {
+
+/// Per-component breakdown of one predicted query execution.
+struct QueryPrediction {
+  double keysize = 0.0;          ///< elements per partition
+  double key_max = 0.0;          ///< partitions on the most loaded node
+  Micros db_per_request = 0.0;   ///< Formula 8 effective request time
+  Micros master_issue = 0.0;     ///< Formula 3
+  Micros slowest_slave = 0.0;    ///< Formula 4 (+ GC when modelled)
+  Micros balanced_slave = 0.0;   ///< slave time under a perfect split
+  Micros result_fetch = 0.0;
+  Micros gc_overhead = 0.0;
+  Micros total = 0.0;            ///< Formula 2
+
+  /// Which term of Formula 2 dominates.
+  enum class Bottleneck { kMaster, kSlave, kFetch };
+  Bottleneck bottleneck = Bottleneck::kSlave;
+  std::string BottleneckName() const;
+};
+
+/// Garbage-collector overhead model: the JVM cost of churning result
+/// objects, proportional to the elements the hottest node materialises.
+/// The paper treats it as negligible except for coarse-grained rows.
+struct GcModel {
+  Micros us_per_element = 0.0;  ///< 0 disables the correction
+
+  Micros Overhead(double keysize, double key_max) const {
+    return us_per_element * keysize * key_max;
+  }
+};
+
+/// End-to-end analytical model of the master/slave aggregation query.
+class QueryModel {
+ public:
+  QueryModel() = default;
+  QueryModel(DbModel db, MasterModel master, GcModel gc = {},
+             DeviceModel device = DramDevice(),
+             double bytes_per_element = 46.0)
+      : db_(std::move(db)),
+        master_(master),
+        gc_(gc),
+        device_(std::move(device)),
+        bytes_per_element_(bytes_per_element) {}
+
+  /// Predicts the full breakdown for a query of `elements` items split
+  /// into `keys` partitions over `nodes` slaves.
+  QueryPrediction Predict(uint64_t elements, uint64_t keys,
+                          uint32_t nodes) const;
+
+  /// Linear-scaling reference: the single-node prediction divided by n
+  /// (the paper's "ideal" line).
+  Micros IdealTime(uint64_t elements, uint64_t keys, uint32_t nodes) const;
+
+  const DbModel& db() const { return db_; }
+  const MasterModel& master() const { return master_; }
+  const GcModel& gc() const { return gc_; }
+  const DeviceModel& device() const { return device_; }
+
+  /// Copies of this model with one component swapped (what-if analyses).
+  QueryModel WithMaster(MasterModel master) const;
+  QueryModel WithGc(GcModel gc) const;
+  QueryModel WithDevice(DeviceModel device) const;
+
+ private:
+  DbModel db_;
+  MasterModel master_;
+  GcModel gc_;
+  DeviceModel device_ = DramDevice();
+  double bytes_per_element_ = 46.0;
+};
+
+}  // namespace kvscale

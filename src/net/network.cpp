@@ -1,0 +1,38 @@
+#include "net/network.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+Network::Network(Simulator& sim, uint32_t endpoints, NetworkParams params)
+    : sim_(sim), params_(params) {
+  KV_CHECK(endpoints >= 1);
+  KV_CHECK(params_.bandwidth_bytes_per_us > 0);
+  egress_.reserve(endpoints);
+  for (uint32_t e = 0; e < endpoints; ++e) {
+    egress_.push_back(std::make_unique<Resource>(
+        sim, 1, "egress-" + std::to_string(e)));
+  }
+}
+
+void Network::Send(uint32_t src, uint32_t dst, double bytes,
+                   std::function<void()> deliver) {
+  KV_CHECK(src < egress_.size());
+  KV_CHECK(dst < egress_.size());
+  KV_CHECK(bytes >= 0);
+  ++messages_;
+  bytes_ += bytes;
+  const Micros wire_time = bytes / params_.bandwidth_bytes_per_us;
+  const Micros latency = params_.switch_latency;
+  egress_[src]->Submit(
+      wire_time,
+      [this, latency, deliver = std::move(deliver)](SimTime, SimTime,
+                                                    SimTime) {
+        sim_.Schedule(latency, deliver);
+      });
+}
+
+}  // namespace kvscale

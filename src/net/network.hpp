@@ -1,0 +1,55 @@
+// Star-topology network model.
+//
+// The paper's cluster is a star: every node hangs off one switch over
+// gigabit Ethernet. A message from A to B serialises onto A's egress link
+// (bandwidth-limited, one transfer at a time — this is the outbound
+// saturation the authors checked and ruled out in Section V-B), then takes
+// one switch hop of fixed latency. Ingress contention is negligible for the
+// paper's workloads and is not modelled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace kvscale {
+
+/// Link characteristics (defaults: GbE through one switch).
+struct NetworkParams {
+  Micros switch_latency = 50.0;           ///< one-way propagation + switching
+  double bandwidth_bytes_per_us = 125.0;  ///< 1 Gbit/s = 125 bytes/us
+};
+
+/// Simulated star network over `endpoints` endpoints.
+class Network {
+ public:
+  Network(Simulator& sim, uint32_t endpoints, NetworkParams params);
+
+  /// Transfers `bytes` from `src` to `dst`; `deliver` runs at arrival.
+  void Send(uint32_t src, uint32_t dst, double bytes,
+            std::function<void()> deliver);
+
+  uint32_t endpoint_count() const {
+    return static_cast<uint32_t>(egress_.size());
+  }
+  uint64_t messages_sent() const { return messages_; }
+  double bytes_sent() const { return bytes_; }
+
+  /// Egress utilisation diagnostics for one endpoint.
+  const Resource& egress(uint32_t endpoint) const {
+    return *egress_.at(endpoint);
+  }
+
+ private:
+  Simulator& sim_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Resource>> egress_;
+  uint64_t messages_ = 0;
+  double bytes_ = 0;
+};
+
+}  // namespace kvscale

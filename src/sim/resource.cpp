@@ -1,0 +1,44 @@
+#include "sim/resource.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+Resource::Resource(Simulator& sim, uint32_t servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  KV_CHECK(servers_ >= 1);
+}
+
+void Resource::Submit(ServiceFn service, DoneFn done) {
+  pending_.push_back(Job{std::move(service), std::move(done), sim_.now()});
+  TryDispatch();
+}
+
+void Resource::Submit(Micros service_time, DoneFn done) {
+  KV_CHECK(service_time >= 0);
+  Submit([service_time](uint32_t) { return service_time; }, std::move(done));
+}
+
+void Resource::TryDispatch() {
+  while (active_ < servers_ && !pending_.empty()) {
+    Job job = std::move(pending_.front());
+    pending_.pop_front();
+    ++active_;
+    const SimTime started = sim_.now();
+    const Micros service = job.service(active_);
+    KV_CHECK(service >= 0);
+    busy_time_ += service;
+    sim_.Schedule(service, [this, started, job = std::move(job)]() {
+      KV_CHECK(active_ > 0);
+      --active_;
+      ++completed_;
+      const SimTime finished = sim_.now();
+      if (job.done) job.done(job.enqueued, started, finished);
+      TryDispatch();
+    });
+  }
+}
+
+}  // namespace kvscale

@@ -1,0 +1,65 @@
+// k-server FIFO resource for the simulator.
+//
+// Models a bounded-concurrency executor (a slave's database thread pool, a
+// NIC, a CPU): jobs queue in arrival order, up to `servers` run at once, and
+// each job's service time is computed when it *starts* so it can depend on
+// the instantaneous concurrency (database interference, Section VI-a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace kvscale {
+
+/// FIFO queue in front of `servers` parallel servers.
+class Resource {
+ public:
+  /// Computes the service time of a job as it starts; `active_now` is the
+  /// number of jobs in service including this one.
+  using ServiceFn = std::function<Micros(uint32_t active_now)>;
+
+  /// Completion callback with the job's queueing timeline.
+  using DoneFn =
+      std::function<void(SimTime enqueued, SimTime started, SimTime finished)>;
+
+  Resource(Simulator& sim, uint32_t servers, std::string name);
+
+  /// Enqueues a job. Dispatch happens in the same virtual instant if a
+  /// server is free.
+  void Submit(ServiceFn service, DoneFn done);
+
+  /// Convenience for constant service times.
+  void Submit(Micros service_time, DoneFn done);
+
+  uint32_t servers() const { return servers_; }
+  uint32_t active() const { return active_; }
+  size_t queue_depth() const { return pending_.size(); }
+
+  uint64_t jobs_completed() const { return completed_; }
+  /// Integral of busy servers over time (utilisation = busy/(T*servers)).
+  double busy_time() const { return busy_time_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    ServiceFn service;
+    DoneFn done;
+    SimTime enqueued;
+  };
+
+  void TryDispatch();
+
+  Simulator& sim_;
+  uint32_t servers_;
+  std::string name_;
+  std::deque<Job> pending_;
+  uint32_t active_ = 0;
+  uint64_t completed_ = 0;
+  double busy_time_ = 0;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace kvscale {
+
+SimTime Simulator::Run() {
+  while (!queue_.empty()) {
+    // The event callback may schedule more events, so we must pop first.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,36 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/summary.hpp"
+
+namespace kvscale {
+
+ConfidenceInterval BootstrapMeanCI(std::span<const double> sample,
+                                   double confidence, size_t resamples,
+                                   Rng& rng) {
+  KV_CHECK(!sample.empty());
+  KV_CHECK(confidence > 0.0 && confidence < 1.0);
+  KV_CHECK(resamples >= 10);
+
+  ConfidenceInterval ci;
+  ci.point = Mean(sample);
+
+  std::vector<double> means(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      sum += sample[rng.Below(sample.size())];
+    }
+    means[r] = sum / static_cast<double>(sample.size());
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = PercentileSorted(means, alpha);
+  ci.hi = PercentileSorted(means, 1.0 - alpha);
+  return ci;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,26 @@
+// Bootstrap confidence intervals.
+//
+// The paper notes "considerable variance in all our tests"; the benches
+// report bootstrap CIs alongside means so shape comparisons are honest.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace kvscale {
+
+/// Two-sided percentile interval for a statistic of the sample mean.
+struct ConfidenceInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap CI of the mean at the given confidence level
+/// (e.g. 0.95) with `resamples` bootstrap draws.
+ConfidenceInterval BootstrapMeanCI(std::span<const double> sample,
+                                   double confidence, size_t resamples,
+                                   Rng& rng);
+
+}  // namespace kvscale

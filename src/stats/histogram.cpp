@@ -1,0 +1,100 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  KV_CHECK(hi > lo);
+  KV_CHECK(bins > 0);
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<int64_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Density(size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::string Histogram::Render(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    char head[64];
+    std::snprintf(head, sizeof(head), "%10.3f | ", BinCenter(i));
+    out += head;
+    out.append(std::max<size_t>(bar, 1), '#');
+    char tail[32];
+    std::snprintf(tail, sizeof(tail), " %.4f\n", Density(i));
+    out += tail;
+  }
+  return out;
+}
+
+double IntegerDistribution::Probability(int64_t value) const {
+  if (total_ == 0) return 0.0;
+  auto it = counts_.find(value);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+double IntegerDistribution::TailProbability(int64_t value) const {
+  if (total_ == 0) return 0.0;
+  uint64_t tail = 0;
+  for (auto it = counts_.lower_bound(value); it != counts_.end(); ++it) {
+    tail += it->second;
+  }
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+int64_t IntegerDistribution::MinValue() const {
+  KV_CHECK(!counts_.empty());
+  return counts_.begin()->first;
+}
+
+int64_t IntegerDistribution::MaxValue() const {
+  KV_CHECK(!counts_.empty());
+  return counts_.rbegin()->first;
+}
+
+double IntegerDistribution::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, count] : counts_) {
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::vector<std::pair<int64_t, double>> IntegerDistribution::Densities()
+    const {
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(counts_.size());
+  for (const auto& [value, count] : counts_) {
+    out.emplace_back(value,
+                     static_cast<double>(count) / static_cast<double>(total_));
+  }
+  return out;
+}
+
+}  // namespace kvscale

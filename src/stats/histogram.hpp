@@ -1,0 +1,73 @@
+// Fixed-width and integer-count histograms.
+//
+// Used for the Fig. 3 reproduction (probability density of the maximum
+// loaded node) and for service-time distributions in the simulator reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kvscale {
+
+/// Histogram over a continuous range with equal-width bins.
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal intervals; values outside the range
+  /// are clamped into the first/last bin.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bin_count() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_.at(bin); }
+  uint64_t total() const { return total_; }
+
+  /// Centre of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// Fraction of samples in bin `i`.
+  double Density(size_t i) const;
+
+  /// ASCII bar chart, one line per non-empty bin.
+  std::string Render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Exact counts over integer outcomes (e.g. "max bin load = k").
+class IntegerDistribution {
+ public:
+  void Add(int64_t value) {
+    ++counts_[value];
+    ++total_;
+  }
+
+  uint64_t total() const { return total_; }
+
+  /// P(X == value).
+  double Probability(int64_t value) const;
+
+  /// P(X >= value).
+  double TailProbability(int64_t value) const;
+
+  /// Smallest observed value with non-zero count; aborts if empty.
+  int64_t MinValue() const;
+  int64_t MaxValue() const;
+
+  double Mean() const;
+
+  /// Sorted (value, probability) pairs.
+  std::vector<std::pair<int64_t, double>> Densities() const;
+
+ private:
+  std::map<int64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace kvscale

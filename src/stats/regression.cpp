@@ -1,0 +1,205 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::string LinearFit::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "y = %.4g + %.4g*x (r2=%.3f, n=%zu)",
+                intercept, slope, r_squared, n);
+  return buf;
+}
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  KV_CHECK(x.size() == y.size());
+  KV_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  KV_CHECK(sxx > 0);  // x must not be constant
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.n = x.size();
+
+  double sse = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit(x[i]);
+    sse += r * r;
+  }
+  fit.r_squared = syy == 0 ? 1.0 : 1.0 - sse / syy;
+  fit.residual_stddev =
+      x.size() > 2 ? std::sqrt(sse / (n - 2.0)) : std::sqrt(sse / n);
+  return fit;
+}
+
+LinearFit FitLinearWeighted(std::span<const double> x,
+                            std::span<const double> y,
+                            std::span<const double> w) {
+  KV_CHECK(x.size() == y.size());
+  KV_CHECK(x.size() == w.size());
+  KV_CHECK(x.size() >= 2);
+  double total_w = 0, mx = 0, my = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    KV_CHECK(w[i] > 0);
+    total_w += w[i];
+    mx += w[i] * x[i];
+    my += w[i] * y[i];
+  }
+  mx /= total_w;
+  my /= total_w;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * dy;
+    syy += w[i] * dy * dy;
+  }
+  KV_CHECK(sxx > 0);
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.n = x.size();
+  double sse = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit(x[i]);
+    sse += w[i] * r * r;
+  }
+  fit.r_squared = syy == 0 ? 1.0 : 1.0 - sse / syy;
+  fit.residual_stddev = std::sqrt(sse / total_w);
+  return fit;
+}
+
+LinearFit FitLogX(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    KV_CHECK(x[i] > 0);
+    lx[i] = std::log(x[i]);
+  }
+  return FitLinear(lx, y);
+}
+
+double SumSquaredError(const LinearFit& fit, std::span<const double> x,
+                       std::span<const double> y) {
+  KV_CHECK(x.size() == y.size());
+  double sse = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit(x[i]);
+    sse += r * r;
+  }
+  return sse;
+}
+
+std::string SegmentedFit::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "x<=%.4g: y=%.4g+%.4g*x | x>%.4g: y=%.4g+%.4g*x (sse=%.4g)",
+                breakpoint, lower.intercept, lower.slope, breakpoint,
+                upper.intercept, upper.slope, total_sse);
+  return buf;
+}
+
+namespace {
+
+SegmentedFit FitSegmentedImpl(std::span<const double> x,
+                              std::span<const double> y,
+                              size_t min_points_per_side,
+                              const std::vector<double>* weights) {
+  KV_CHECK(x.size() == y.size());
+  KV_CHECK(x.size() >= 2 * min_points_per_side);
+
+  // Sort points by x so candidate breakpoints are contiguous prefixes.
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> sx(x.size()), sy(x.size()), sw;
+  for (size_t i = 0; i < order.size(); ++i) {
+    sx[i] = x[order[i]];
+    sy[i] = y[order[i]];
+  }
+  if (weights != nullptr) {
+    sw.resize(order.size());
+    for (size_t i = 0; i < order.size(); ++i) sw[i] = (*weights)[order[i]];
+  }
+
+  auto fit_side = [&](size_t begin, size_t count) {
+    std::span<const double> fx(sx.data() + begin, count);
+    std::span<const double> fy(sy.data() + begin, count);
+    if (weights == nullptr) return FitLinear(fx, fy);
+    return FitLinearWeighted(fx, fy,
+                             std::span<const double>(sw.data() + begin, count));
+  };
+  auto side_sse = [&](const LinearFit& fit, size_t begin, size_t count) {
+    double sse = 0;
+    for (size_t i = begin; i < begin + count; ++i) {
+      const double r = sy[i] - fit(sx[i]);
+      sse += (weights == nullptr ? 1.0 : sw[i]) * r * r;
+    }
+    return sse;
+  };
+
+  SegmentedFit best;
+  best.total_sse = std::numeric_limits<double>::infinity();
+  for (size_t split = min_points_per_side;
+       split + min_points_per_side <= sx.size(); ++split) {
+    // Skip duplicate-x splits: the breakpoint between equal x values is
+    // ambiguous and produces degenerate sides.
+    if (sx[split - 1] == sx[split]) continue;
+    const LinearFit lo = fit_side(0, split);
+    const LinearFit hi = fit_side(split, sx.size() - split);
+    const double sse =
+        side_sse(lo, 0, split) + side_sse(hi, split, sx.size() - split);
+    if (sse < best.total_sse) {
+      best.total_sse = sse;
+      best.lower = lo;
+      best.upper = hi;
+      best.breakpoint = 0.5 * (sx[split - 1] + sx[split]);
+    }
+  }
+  KV_CHECK(std::isfinite(best.total_sse));
+  return best;
+}
+
+}  // namespace
+
+SegmentedFit FitSegmented(std::span<const double> x, std::span<const double> y,
+                          size_t min_points_per_side) {
+  return FitSegmentedImpl(x, y, min_points_per_side, nullptr);
+}
+
+SegmentedFit FitSegmentedRelative(std::span<const double> x,
+                                  std::span<const double> y,
+                                  size_t min_points_per_side) {
+  std::vector<double> weights(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    KV_CHECK(y[i] != 0);
+    weights[i] = 1.0 / (y[i] * y[i]);
+  }
+  return FitSegmentedImpl(x, y, min_points_per_side, &weights);
+}
+
+}  // namespace kvscale

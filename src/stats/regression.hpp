@@ -1,0 +1,78 @@
+// Least-squares model fitting.
+//
+// The paper's DB model (Formula 6) is a two-piece linear regression of query
+// time on row size with a breakpoint at the column-index threshold, and its
+// parallelism model (Formula 7) is linear in log(row size). This module
+// provides exactly those fits, so a user can re-calibrate the model on their
+// own hardware following the paper's methodology (Section VI).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kvscale {
+
+/// Result of a simple linear fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;       ///< coefficient of determination
+  double residual_stddev = 0.0; ///< sd of residuals (model noise term)
+  size_t n = 0;
+
+  /// Predicted value at `x`.
+  double operator()(double x) const { return intercept + slope * x; }
+
+  std::string ToString() const;
+};
+
+/// Ordinary least squares on (x, y) pairs; requires >= 2 points and
+/// non-constant x.
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+/// Weighted least squares; `w` are per-point weights (> 0). Use weights
+/// 1/y^2 to minimise *relative* error — appropriate when measurement noise
+/// is multiplicative, as database service times are.
+LinearFit FitLinearWeighted(std::span<const double> x,
+                            std::span<const double> y,
+                            std::span<const double> w);
+
+/// Fits y = intercept + slope * log(x); all x must be > 0.
+LinearFit FitLogX(std::span<const double> x, std::span<const double> y);
+
+/// Two-piece linear model with a single breakpoint:
+///   y = lower(x)  if x <= breakpoint
+///   y = upper(x)  if x >  breakpoint
+struct SegmentedFit {
+  double breakpoint = 0.0;
+  LinearFit lower;
+  LinearFit upper;
+  double total_sse = 0.0;
+
+  double operator()(double x) const {
+    return x <= breakpoint ? lower(x) : upper(x);
+  }
+
+  std::string ToString() const;
+};
+
+/// Fits a two-piece linear model by scanning candidate breakpoints over the
+/// observed x values (each side needs >= `min_points_per_side` points) and
+/// keeping the split with the lowest total squared error. This is the
+/// procedure the paper uses to locate the 64 KB column-index discontinuity.
+SegmentedFit FitSegmented(std::span<const double> x, std::span<const double> y,
+                          size_t min_points_per_side = 4);
+
+/// FitSegmented under relative-error (1/y^2) weighting. Prefer this for
+/// service-time data: multiplicative noise otherwise lets the large-x tail
+/// dominate the breakpoint scan and wash out the discontinuity.
+SegmentedFit FitSegmentedRelative(std::span<const double> x,
+                                  std::span<const double> y,
+                                  size_t min_points_per_side = 4);
+
+/// Sum of squared residuals of `fit` over the data.
+double SumSquaredError(const LinearFit& fit, std::span<const double> x,
+                       std::span<const double> y);
+
+}  // namespace kvscale

@@ -1,0 +1,43 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::vector<Stratum> StratifiedSample(std::span<const double> metric,
+                                      double min_metric, double max_metric,
+                                      size_t strata, size_t per_stratum,
+                                      Rng& rng) {
+  KV_CHECK(strata > 0);
+  KV_CHECK(max_metric > min_metric);
+  const double width = (max_metric - min_metric) / static_cast<double>(strata);
+
+  std::vector<std::vector<size_t>> candidates(strata);
+  for (size_t i = 0; i < metric.size(); ++i) {
+    const double m = metric[i];
+    if (m < min_metric || m >= max_metric) continue;
+    auto bin = static_cast<size_t>((m - min_metric) / width);
+    bin = std::min(bin, strata - 1);
+    candidates[bin].push_back(i);
+  }
+
+  std::vector<Stratum> out(strata);
+  for (size_t s = 0; s < strata; ++s) {
+    out[s].lo = min_metric + static_cast<double>(s) * width;
+    out[s].hi = out[s].lo + width;
+    auto& pool = candidates[s];
+    if (pool.size() <= per_stratum) {
+      out[s].selected = std::move(pool);
+    } else {
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(pool.size(), per_stratum);
+      out[s].selected.reserve(per_stratum);
+      for (size_t p : picks) out[s].selected.push_back(pool[p]);
+    }
+  }
+  return out;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,31 @@
+// Stratified sampling.
+//
+// Section VI: "we made a stratified sampling of the rows in our dataset so
+// that we could get the same number of random samples for each range of row
+// size". StratifiedSampler reproduces that selection step for calibration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kvscale {
+
+/// One stratum: items whose metric falls in [lo, hi).
+struct Stratum {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> selected;  ///< indices into the original item span
+};
+
+/// Partitions items into `strata` equal-width ranges of `metric` over
+/// [min_metric, max_metric) and draws up to `per_stratum` random items from
+/// each; strata with fewer candidates contribute all of them.
+std::vector<Stratum> StratifiedSample(std::span<const double> metric,
+                                      double min_metric, double max_metric,
+                                      size_t strata, size_t per_stratum,
+                                      Rng& rng);
+
+}  // namespace kvscale

@@ -1,0 +1,58 @@
+// Streaming descriptive statistics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kvscale {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm;
+/// numerically stable for long runs of simulator samples).
+class RunningSummary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another summary into this one (parallel reduction friendly).
+  void Merge(const RunningSummary& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Coefficient of variation (stddev / mean); 0 if mean is 0.
+  double cv() const;
+
+  /// "n=100 mean=1.23 sd=0.45 min=0.1 max=9.9".
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample set using linear interpolation between order
+/// statistics. `q` in [0, 1]. The input is copied and sorted.
+double Percentile(std::span<const double> values, double q);
+
+/// In-place variant for repeated queries: `sorted` must already be sorted.
+double PercentileSorted(std::span<const double> sorted, double q);
+
+/// Arithmetic mean of a span (0 for empty).
+double Mean(std::span<const double> values);
+
+/// Maximum of a span; aborts on empty input.
+double Max(std::span<const double> values);
+
+}  // namespace kvscale

@@ -1,0 +1,88 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::vector<double> ZipfWeights(size_t n, double s) {
+  KV_CHECK(n > 0);
+  std::vector<double> w(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    sum += w[i];
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+std::vector<uint64_t> ZipfPartitionSizes(uint64_t total, size_t n, double s) {
+  const std::vector<double> w = ZipfWeights(n, s);
+  std::vector<uint64_t> sizes(n);
+  std::vector<std::pair<double, size_t>> remainders(n);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = w[i] * static_cast<double>(total);
+    sizes[i] = static_cast<uint64_t>(exact);
+    remainders[i] = {exact - static_cast<double>(sizes[i]), i};
+    assigned += sizes[i];
+  }
+  // Largest-remainder rounding for the leftover units.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; assigned < total; ++i) {
+    ++sizes[remainders[i % n].second];
+    ++assigned;
+  }
+  if (total >= n) {
+    // Steal from the head to guarantee non-empty partitions.
+    for (size_t i = n; i-- > 0;) {
+      if (sizes[i] == 0) {
+        size_t donor = std::max_element(sizes.begin(), sizes.end()) -
+                       sizes.begin();
+        KV_CHECK(sizes[donor] >= 2);
+        --sizes[donor];
+        ++sizes[i];
+      }
+    }
+  }
+  return sizes;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  KV_CHECK(n > 0 && n <= UINT32_MAX);
+  const std::vector<double> w = ZipfWeights(n, s);
+
+  // Vose's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = w[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s_idx = small.back();
+    small.pop_back();
+    const uint32_t l_idx = large.back();
+    large.pop_back();
+    prob_[s_idx] = scaled[s_idx];
+    alias_[s_idx] = l_idx;
+    scaled[l_idx] = scaled[l_idx] + scaled[s_idx] - 1.0;
+    (scaled[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const size_t column = rng.Below(prob_.size());
+  return rng.Uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace kvscale

@@ -1,0 +1,40 @@
+// Zipf-distributed sizes and sampling.
+//
+// Section II of the paper works through the "phone numbers grouped by city"
+// example: city populations are heavy-tailed (about half of the population
+// lives in the 500 largest cities), so even with high key cardinality the
+// *per-key load* is imbalanced. ZipfWeights generates such heavy-tailed
+// partition sizes; ZipfSampler draws keys with Zipf popularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kvscale {
+
+/// Normalised Zipf weights w_i proportional to 1 / (i+1)^s for n items.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+/// Splits `total` units across `n` partitions proportionally to Zipf
+/// weights, guaranteeing every partition gets at least one unit when
+/// total >= n. Deterministic (largest-remainder rounding).
+std::vector<uint64_t> ZipfPartitionSizes(uint64_t total, size_t n, double s);
+
+/// Draws ranks in [0, n) with probability proportional to 1/(rank+1)^s.
+/// Uses the alias method, so sampling is O(1) after O(n) setup.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;    // alias-method probability table
+  std::vector<uint32_t> alias_; // alias-method alias table
+};
+
+}  // namespace kvscale

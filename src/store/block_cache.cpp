@@ -1,0 +1,98 @@
+#include "store/block_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+size_t BlockCache::SizeOf(const std::vector<Column>& columns) {
+  size_t bytes = sizeof(Entry);
+  for (const Column& c : columns) bytes += c.EncodedSize() + 16;
+  return bytes;
+}
+
+bool BlockCache::Lookup(uint64_t segment_id, uint32_t block_no,
+                        std::vector<Column>* out) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(Key{segment_id, block_no});
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote
+  *out = it->second->columns;
+  return true;
+}
+
+void BlockCache::Insert(uint64_t segment_id, uint32_t block_no,
+                        const std::vector<Column>& columns) {
+  std::lock_guard lock(mu_);
+  const Key key{segment_id, block_no};
+  if (map_.find(key) != map_.end()) return;  // already cached
+  const size_t bytes = SizeOf(columns);
+  if (bytes > capacity_bytes_) return;  // would evict everything: skip
+  EvictTo(capacity_bytes_ - bytes);
+  lru_.push_front(Entry{key, columns, bytes});
+  map_[key] = lru_.begin();
+  used_bytes_ += bytes;
+}
+
+void BlockCache::EvictTo(size_t target_bytes) {
+  while (used_bytes_ > target_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::EraseSegment(uint64_t segment_id) {
+  std::lock_guard lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.segment_id == segment_id) {
+      used_bytes_ -= it->bytes;
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BlockCache::entry_count() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+size_t BlockCache::used_bytes() const {
+  std::lock_guard lock(mu_);
+  return used_bytes_;
+}
+
+uint64_t BlockCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+uint64_t BlockCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+double BlockCache::hit_rate() const {
+  std::lock_guard lock(mu_);
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void BlockCache::ResetStats() {
+  std::lock_guard lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,78 @@
+// LRU cache of decoded blocks.
+//
+// Plays the role of the OS page cache + Cassandra key/row caches in the
+// paper's discussion of replica selection ("spreading calls to different
+// servers results in a higher page fault number"): repeated reads of the
+// same partition on the same node are cheap, spreading them is not.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "store/row.hpp"
+
+namespace kvscale {
+
+/// Byte-capacity-bounded LRU over decoded column blocks. Thread-safe:
+/// concurrent readers share one cache, as Cassandra's row cache does.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  /// Copies the cached block into `out` and returns true on a hit.
+  /// Promotes on hit.
+  bool Lookup(uint64_t segment_id, uint32_t block_no,
+              std::vector<Column>* out);
+
+  /// Inserts (copies) a decoded block, evicting LRU entries as needed.
+  /// Blocks larger than the whole capacity are not cached.
+  void Insert(uint64_t segment_id, uint32_t block_no,
+              const std::vector<Column>& columns);
+
+  /// Drops every cached block of `segment_id` (segment compacted away).
+  void EraseSegment(uint64_t segment_id);
+
+  size_t entry_count() const;
+  size_t used_bytes() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  double hit_rate() const;
+
+  /// Resets hit/miss counters (per-experiment bookkeeping).
+  void ResetStats();
+
+ private:
+  struct Key {
+    uint64_t segment_id;
+    uint32_t block_no;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>{}(k.segment_id * 0x9e3779b97f4a7c15ULL +
+                                   k.block_no);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<Column> columns;
+    size_t bytes;
+  };
+
+  static size_t SizeOf(const std::vector<Column>& columns);
+  void EvictTo(size_t target_bytes);
+
+  mutable std::mutex mu_;
+  size_t capacity_bytes_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  size_t used_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace kvscale

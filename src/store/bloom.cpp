@@ -1,0 +1,57 @@
+#include "store/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "hash/hash.hpp"
+
+namespace kvscale {
+
+BloomFilter::BloomFilter(size_t expected_items, double target_fp_rate) {
+  KV_CHECK(expected_items > 0);
+  KV_CHECK(target_fp_rate > 0.0 && target_fp_rate < 1.0);
+  // Optimal sizing: m = -n ln(p) / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = std::numbers::ln2_v<double>;
+  const double m =
+      -static_cast<double>(expected_items) * std::log(target_fp_rate) /
+      (ln2 * ln2);
+  const auto words = static_cast<size_t>(std::ceil(m / 64.0));
+  bits_.assign(std::max<size_t>(words, 1), 0);
+  hashes_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::round(
+             m / static_cast<double>(expected_items) * ln2)));
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const Hash128 h = Murmur3_128(key);
+  const size_t m = bit_count();
+  for (uint32_t i = 0; i < hashes_; ++i) {
+    const uint64_t bit = (h.lo + i * h.hi) % m;
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const Hash128 h = Murmur3_128(key);
+  const size_t m = bit_count();
+  for (uint32_t i = 0; i < hashes_; ++i) {
+    const uint64_t bit = (h.lo + i * h.hi) % m;
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::MeasureFpRate(
+    const std::vector<std::string>& absent_keys) const {
+  if (absent_keys.empty()) return 0.0;
+  size_t positives = 0;
+  for (const auto& key : absent_keys) {
+    if (MayContain(key)) ++positives;
+  }
+  return static_cast<double>(positives) /
+         static_cast<double>(absent_keys.size());
+}
+
+}  // namespace kvscale

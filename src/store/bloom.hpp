@@ -1,0 +1,38 @@
+// Bloom filter over partition keys.
+//
+// Each immutable segment carries one so reads skip segments that cannot
+// contain the requested partition — the same role Cassandra's SSTable bloom
+// filters play. Uses Kirsch-Mitzenmacher double hashing over Murmur3-128.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvscale {
+
+/// Standard bloom filter; never reports false negatives.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at the target false-positive
+  /// rate (e.g. 0.01).
+  BloomFilter(size_t expected_items, double target_fp_rate);
+
+  void Add(std::string_view key);
+  /// True if the key *may* be present; false means definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  uint32_t hash_count() const { return hashes_; }
+  size_t memory_bytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Measured false-positive rate against `probes` keys known to be absent.
+  double MeasureFpRate(const std::vector<std::string>& absent_keys) const;
+
+ private:
+  std::vector<uint64_t> bits_;
+  uint32_t hashes_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,72 @@
+// Write-ahead commit log.
+//
+// The memtable is volatile: a node crash between a Put and the next flush
+// would lose acknowledged writes. Like Cassandra's commit log, CommitLog
+// appends every mutation to a file before it reaches the memtable;
+// recovery replays the log into the tables, and a successful flush of all
+// memtables marks the log clean (truncates it).
+//
+// Record framing (little-endian):
+//   u32 payload_length | u64 fnv1a(payload) | payload
+// where payload = varint-framed (table, partition_key, Column). Replay
+// stops at the first short or checksum-failing record — the standard
+// torn-tail semantics of an append-only log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "store/row.hpp"
+
+namespace kvscale {
+
+/// One logged mutation.
+struct CommitLogRecord {
+  std::string table;
+  std::string partition_key;
+  Column column;
+
+  friend bool operator==(const CommitLogRecord&,
+                         const CommitLogRecord&) = default;
+};
+
+/// Append-only, checksummed mutation log backed by a real file.
+class CommitLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  explicit CommitLog(std::string path);
+  ~CommitLog();
+
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+
+  /// Appends one mutation; returns a Status instead of aborting so callers
+  /// can surface disk errors.
+  Status Append(std::string_view table, std::string_view partition_key,
+                const Column& column);
+
+  /// Flushes buffered appends to the OS.
+  Status Sync();
+
+  /// Truncates the log: every logged mutation is now durable elsewhere
+  /// (all memtables flushed).
+  Status MarkClean();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return appended_; }
+
+  /// Reads every intact record of the log at `path`; a torn or corrupted
+  /// tail ends the replay silently (its records are simply absent). A
+  /// missing file yields an empty list.
+  static Result<std::vector<CommitLogRecord>> Replay(const std::string& path);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,75 @@
+#include "store/local_store.hpp"
+
+namespace kvscale {
+
+LocalStore::LocalStore(StoreOptions options) : options_(std::move(options)) {
+  if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
+  if (!options_.wal_path.empty()) {
+    wal_ = std::make_unique<CommitLog>(options_.wal_path);
+  }
+}
+
+Table& LocalStore::GetOrCreateTable(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    it = tables_
+             .emplace(std::string(name),
+                      std::make_unique<Table>(std::string(name),
+                                              options_.table, cache()))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<Table*> LocalStore::FindTable(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + std::string(name));
+  }
+  return it->second.get();
+}
+
+Status LocalStore::DurablePut(std::string_view table,
+                              std::string_view partition_key, Column column) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("store has no commit log configured");
+  }
+  KV_RETURN_IF_ERROR(wal_->Append(table, partition_key, column));
+  GetOrCreateTable(table).Put(partition_key, std::move(column));
+  return Status::Ok();
+}
+
+Result<uint64_t> LocalStore::Recover() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("store has no commit log configured");
+  }
+  auto records = CommitLog::Replay(options_.wal_path);
+  if (!records.ok()) return records.status();
+  for (auto& record : records.value()) {
+    GetOrCreateTable(record.table)
+        .Put(record.partition_key, std::move(record.column));
+  }
+  return static_cast<uint64_t>(records.value().size());
+}
+
+void LocalStore::FlushAll() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, table] : tables_) table->Flush();
+  if (wal_ != nullptr) {
+    // Everything that was in a memtable is now in segments: the log can
+    // start over. Errors here are non-fatal (the log only grows).
+    (void)wal_->Sync();
+    (void)wal_->MarkClean();
+  }
+}
+
+size_t LocalStore::table_count() const {
+  std::lock_guard lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace kvscale

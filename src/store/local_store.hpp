@@ -1,0 +1,65 @@
+// LocalStore: the per-node database instance.
+//
+// Owns named tables and a shared block cache, mirroring one Cassandra node.
+// The simulated slaves each hold one LocalStore; the calibration benches run
+// against a single instance in-process.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "store/commit_log.hpp"
+#include "store/table.hpp"
+
+namespace kvscale {
+
+/// Store-wide configuration.
+struct StoreOptions {
+  TableOptions table;
+  size_t block_cache_bytes = 64 * kMiB;  ///< 0 disables block caching
+  /// Path of the write-ahead commit log; empty disables durability.
+  /// With a log, use DurablePut / Recover / FlushAll for the full
+  /// crash-safe cycle.
+  std::string wal_path;
+};
+
+/// A single node's storage engine: named tables over one shared cache.
+class LocalStore {
+ public:
+  explicit LocalStore(StoreOptions options = {});
+
+  /// Returns the table, creating it on first use.
+  Table& GetOrCreateTable(std::string_view name);
+
+  /// Returns the table or NotFound.
+  Result<Table*> FindTable(std::string_view name);
+
+  /// Crash-safe write: appends to the commit log, then applies to the
+  /// table. Requires a configured wal_path.
+  Status DurablePut(std::string_view table, std::string_view partition_key,
+                    Column column);
+
+  /// Replays the commit log into the tables (call once, on startup,
+  /// before new writes). Returns the number of mutations recovered.
+  Result<uint64_t> Recover();
+
+  /// Flushes every table's memtable; with a commit log this also marks
+  /// the log clean (everything is durable in segments).
+  void FlushAll();
+
+  BlockCache* cache() { return cache_ ? cache_.get() : nullptr; }
+  const StoreOptions& options() const { return options_; }
+  size_t table_count() const;
+
+ private:
+  StoreOptions options_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<CommitLog> wal_;
+  mutable std::mutex mu_;  // guards the table map, not the tables
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,138 @@
+// Immutable on-"disk" segment (SSTable equivalent).
+//
+// A segment stores partitions contiguously, each packed into one or more
+// fixed-size blocks of encoded columns. Following Cassandra's
+// `column_index_size_in_kb` behaviour described in Section V of the paper:
+// partitions whose encoded size exceeds the column-index threshold (default
+// 64 KB) get a per-block *column index* (first/last clustering key of each
+// block), enabling block-granular slices; smaller partitions are not
+// indexed, so any read must decode the whole partition. That asymmetry is
+// the mechanism behind the response-time discontinuity at ~1425 elements
+// that the paper's Figure 6 reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "store/bloom.hpp"
+#include "store/memtable.hpp"
+#include "store/row.hpp"
+
+namespace kvscale {
+
+/// Build-time knobs for segments.
+struct SegmentOptions {
+  size_t block_size = 64 * kKiB;             ///< max encoded bytes per block
+  size_t column_index_threshold = 64 * kKiB; ///< partitions above get an index
+  double bloom_fp_rate = 0.01;
+};
+
+/// Telemetry of a single read, accumulated across memtable/segments/cache.
+struct ReadProbe {
+  uint64_t segments_consulted = 0;
+  uint64_t bloom_negatives = 0;   ///< segments skipped by bloom filter
+  uint64_t index_probes = 0;      ///< column-index binary searches
+  uint64_t blocks_decoded = 0;    ///< blocks actually deserialized
+  uint64_t blocks_from_cache = 0; ///< decoded blocks served by the cache
+  uint64_t bytes_decoded = 0;
+  uint64_t columns_returned = 0;
+
+  void MergeFrom(const ReadProbe& other);
+};
+
+class BlockCache;  // forward declaration (block_cache.hpp)
+
+/// Immutable sorted segment.
+class Segment {
+ public:
+  /// Per-block column-index entry (only for indexed partitions).
+  struct ColumnIndexEntry {
+    uint64_t first_clustering = 0;
+    uint64_t last_clustering = 0;
+    uint32_t block = 0;  ///< absolute block number within the segment
+  };
+
+  /// Directory entry for one partition.
+  struct PartitionMeta {
+    uint32_t first_block = 0;
+    uint32_t block_count = 0;
+    uint64_t column_count = 0;
+    uint64_t encoded_bytes = 0;
+    bool has_column_index = false;
+    std::vector<ColumnIndexEntry> column_index;
+  };
+
+  /// Freezes a memtable into a segment.
+  static std::shared_ptr<const Segment> Build(const Memtable& memtable,
+                                              uint64_t segment_id,
+                                              const SegmentOptions& options);
+
+  /// Builds from pre-merged partitions (compaction); `partitions` must be
+  /// sorted by key and each column vector sorted by clustering key.
+  static std::shared_ptr<const Segment> Build(
+      const std::vector<std::pair<std::string, std::vector<Column>>>&
+          partitions,
+      uint64_t segment_id, const SegmentOptions& options);
+
+  /// Bloom-filter pre-check; false means the partition is definitely not
+  /// in this segment.
+  bool MayContain(std::string_view partition_key) const;
+
+  /// Reads a whole partition; NotFound if absent. `cache` may be null.
+  Result<std::vector<Column>> GetPartition(std::string_view partition_key,
+                                           BlockCache* cache,
+                                           ReadProbe* probe) const;
+
+  /// Reads columns with clustering in [lo, hi]. For indexed partitions only
+  /// the overlapping blocks are decoded; unindexed partitions decode all
+  /// blocks (the 64 KB threshold effect).
+  Result<std::vector<Column>> Slice(std::string_view partition_key,
+                                    uint64_t lo, uint64_t hi,
+                                    BlockCache* cache, ReadProbe* probe) const;
+
+  bool HasPartition(std::string_view partition_key) const;
+  const PartitionMeta* FindMeta(std::string_view partition_key) const;
+
+  /// Serialises the whole segment (directory, column indexes, blocks)
+  /// into `out`; Deserialize restores an identical segment (the bloom
+  /// filter is rebuilt from the keys). This is the snapshot format used
+  /// by Table::SaveSnapshot.
+  void SerializeTo(WireBuffer& out) const;
+  static Result<std::shared_ptr<const Segment>> Deserialize(
+      std::span<const std::byte> data);
+
+  uint64_t id() const { return id_; }
+  size_t partition_count() const { return directory_.size(); }
+  size_t block_count() const { return blocks_.size(); }
+  uint64_t column_count() const { return total_columns_; }
+  uint64_t encoded_bytes() const { return total_bytes_; }
+  std::vector<std::string> PartitionKeys() const;
+
+ private:
+  Segment(uint64_t id, const SegmentOptions& options, size_t partitions)
+      : id_(id),
+        options_(options),
+        bloom_(std::max<size_t>(partitions, 1), options.bloom_fp_rate) {}
+
+  void AddPartition(const std::string& key, const std::vector<Column>& columns);
+
+  /// Decodes block `block_no`, through `cache` when provided.
+  Result<std::vector<Column>> ReadBlock(uint32_t block_no, BlockCache* cache,
+                                        ReadProbe* probe) const;
+
+  uint64_t id_;
+  SegmentOptions options_;
+  BloomFilter bloom_;
+  std::map<std::string, PartitionMeta, std::less<>> directory_;
+  std::vector<std::vector<std::byte>> blocks_;  // encoded column runs
+  uint64_t total_columns_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace kvscale

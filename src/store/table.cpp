@@ -1,0 +1,355 @@
+#include "store/table.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "hash/hash.hpp"
+
+namespace kvscale {
+
+Table::Table(std::string name, TableOptions options, BlockCache* cache)
+    : name_(std::move(name)), options_(options), cache_(cache) {}
+
+void Table::Put(std::string_view partition_key, Column column) {
+  std::unique_lock lock(mu_);
+  memtable_.Put(partition_key, std::move(column));
+  ++put_count_;
+  if (options_.auto_flush &&
+      memtable_.approximate_bytes() >= options_.memtable_flush_bytes) {
+    FlushLocked();
+  }
+}
+
+void Table::FlushLocked() {
+  if (memtable_.empty()) return;
+  segments_.push_back(
+      Segment::Build(memtable_, next_segment_id_++, options_.segment));
+  memtable_.Clear();
+  if (options_.compaction_min_segments > 0) MaybeCompactLocked();
+}
+
+std::shared_ptr<const Segment> Table::MergeSegmentsLocked(
+    const std::vector<size_t>& indices, bool purge_tombstones) {
+  std::set<std::string> keys;
+  for (size_t idx : indices) {
+    for (auto& key : segments_[idx]->PartitionKeys()) {
+      keys.insert(std::move(key));
+    }
+  }
+  std::vector<std::pair<std::string, std::vector<Column>>> partitions;
+  partitions.reserve(keys.size());
+  for (const auto& key : keys) {
+    std::map<uint64_t, Column> merged;
+    for (size_t idx : indices) {  // ascending = oldest first
+      auto cols = segments_[idx]->GetPartition(key, nullptr, nullptr);
+      if (cols.ok()) MergeColumns(merged, std::move(cols).value());
+    }
+    std::vector<Column> columns;
+    columns.reserve(merged.size());
+    for (auto& [clustering, column] : merged) {
+      if (purge_tombstones && column.tombstone) continue;
+      columns.push_back(std::move(column));
+    }
+    if (columns.empty()) continue;
+    partitions.emplace_back(key, std::move(columns));
+  }
+  return Segment::Build(partitions, next_segment_id_++, options_.segment);
+}
+
+void Table::MaybeCompactLocked() {
+  // Size-tiered selection restricted to *age-contiguous* runs: without
+  // per-cell timestamps, merging non-adjacent segments could promote an
+  // old cell past a newer overwrite that sits between them. A contiguous
+  // run preserves newer-wins by construction.
+  const size_t want = options_.compaction_min_segments;
+  if (segments_.size() < want) return;
+  for (size_t start = 0; start + want <= segments_.size(); ++start) {
+    uint64_t smallest = UINT64_MAX;
+    uint64_t largest = 0;
+    for (size_t i = start; i < start + want; ++i) {
+      const uint64_t bytes = std::max<uint64_t>(
+          segments_[i]->encoded_bytes(), 1);
+      smallest = std::min(smallest, bytes);
+      largest = std::max(largest, bytes);
+    }
+    if (static_cast<double>(largest) / static_cast<double>(smallest) >
+        options_.compaction_size_ratio) {
+      continue;
+    }
+
+    // Merge the run. Tombstones survive: older data may live in segments
+    // outside the run.
+    std::vector<size_t> run;
+    run.reserve(want);
+    for (size_t i = start; i < start + want; ++i) run.push_back(i);
+    auto merged = MergeSegmentsLocked(run, /*purge_tombstones=*/false);
+    if (cache_ != nullptr) {
+      for (size_t idx : run) cache_->EraseSegment(segments_[idx]->id());
+    }
+    segments_[start] = std::move(merged);
+    segments_.erase(
+        segments_.begin() + static_cast<ptrdiff_t>(start + 1),
+        segments_.begin() + static_cast<ptrdiff_t>(start + want));
+    ++auto_compactions_;
+    return;  // one run per flush keeps the pause bounded
+  }
+}
+
+uint64_t Table::auto_compactions() const {
+  std::shared_lock lock(mu_);
+  return auto_compactions_;
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x4b565353;  // "KVSS"
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+Status Table::SaveSnapshot(const std::string& path) {
+  std::unique_lock lock(mu_);
+  FlushLocked();
+
+  WireBuffer out;
+  out.WriteU32(kSnapshotMagic);
+  out.WriteU32(kSnapshotVersion);
+  out.WriteString(name_);
+  out.WriteVarint(next_segment_id_);
+  out.WriteVarint(segments_.size());
+  for (const auto& segment : segments_) {
+    WireBuffer body;
+    segment->SerializeTo(body);
+    out.WriteU64(Fnv1a64(body.data()));
+    out.WriteBytes(body.data());
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot create snapshot: " + path);
+  }
+  const auto data = out.data();
+  const bool ok =
+      std::fwrite(data.data(), 1, data.size(), file) == data.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    return Status::Unavailable("snapshot write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status Table::LoadSnapshot(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("snapshot: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::byte> bytes(static_cast<size_t>(std::max(size, 0L)));
+  const bool read_ok =
+      std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  std::fclose(file);
+  if (!read_ok) return Status::Unavailable("snapshot read failed: " + path);
+
+  WireReader r(bytes);
+  if (r.ReadU32() != kSnapshotMagic || r.ReadU32() != kSnapshotVersion) {
+    return Status::Corruption("snapshot header: " + path);
+  }
+  (void)r.ReadString();  // stored table name (informational)
+  const uint64_t next_id = r.ReadVarint();
+  const uint64_t segment_count = r.ReadVarint();
+  if (!r.ok() || segment_count > bytes.size()) {
+    return Status::Corruption("snapshot directory: " + path);
+  }
+  std::vector<std::shared_ptr<const Segment>> loaded;
+  loaded.reserve(segment_count);
+  for (uint64_t s = 0; s < segment_count; ++s) {
+    const uint64_t checksum = r.ReadU64();
+    const std::vector<std::byte> body = r.ReadBytes();
+    if (!r.ok()) return Status::Corruption("snapshot truncated: " + path);
+    if (Fnv1a64(body) != checksum) {
+      return Status::Corruption("snapshot checksum mismatch: " + path);
+    }
+    auto segment = Segment::Deserialize(body);
+    if (!segment.ok()) return segment.status();
+    loaded.push_back(std::move(segment).value());
+  }
+
+  std::unique_lock lock(mu_);
+  if (cache_ != nullptr) {
+    for (const auto& segment : segments_) {
+      cache_->EraseSegment(segment->id());
+    }
+  }
+  memtable_.Clear();
+  segments_ = std::move(loaded);
+  next_segment_id_ = std::max<uint64_t>(next_id, 1);
+  return Status::Ok();
+}
+
+void Table::Flush() {
+  std::unique_lock lock(mu_);
+  FlushLocked();
+}
+
+void Table::Delete(std::string_view partition_key, uint64_t clustering) {
+  Put(partition_key, Column::Tombstone(clustering));
+}
+
+void Table::MergeColumns(std::map<uint64_t, Column>& base,
+                         std::vector<Column> newer) {
+  for (Column& c : newer) {
+    base[c.clustering] = std::move(c);  // newer overwrites older
+  }
+}
+
+Result<std::vector<Column>> Table::GetPartition(std::string_view partition_key,
+                                                ReadProbe* probe) const {
+  std::shared_lock lock(mu_);
+  std::map<uint64_t, Column> merged;
+  bool found = false;
+  for (const auto& segment : segments_) {  // oldest -> newest
+    if (!segment->MayContain(partition_key)) {
+      if (probe != nullptr) ++probe->bloom_negatives;
+      continue;
+    }
+    if (probe != nullptr) ++probe->segments_consulted;
+    auto cols = segment->GetPartition(partition_key, cache_, probe);
+    if (!cols.ok()) {
+      if (cols.status().code() == StatusCode::kNotFound) continue;  // bloom FP
+      return cols.status();
+    }
+    found = true;
+    MergeColumns(merged, std::move(cols).value());
+  }
+  if (memtable_.Contains(partition_key)) {
+    found = true;
+    MergeColumns(merged, memtable_.Get(partition_key));
+  }
+  if (!found) return Status::NotFound(std::string(partition_key));
+
+  std::vector<Column> out;
+  out.reserve(merged.size());
+  for (auto& [clustering, column] : merged) {
+    if (column.tombstone) continue;  // shadowed by a delete
+    out.push_back(std::move(column));
+  }
+  return out;
+}
+
+Result<std::vector<Column>> Table::Slice(std::string_view partition_key,
+                                         uint64_t lo, uint64_t hi,
+                                         ReadProbe* probe) const {
+  if (lo > hi) return Status::InvalidArgument("slice lo > hi");
+  std::shared_lock lock(mu_);
+  std::map<uint64_t, Column> merged;
+  bool found = false;
+  for (const auto& segment : segments_) {
+    if (!segment->MayContain(partition_key)) {
+      if (probe != nullptr) ++probe->bloom_negatives;
+      continue;
+    }
+    if (probe != nullptr) ++probe->segments_consulted;
+    auto cols = segment->Slice(partition_key, lo, hi, cache_, probe);
+    if (!cols.ok()) {
+      if (cols.status().code() == StatusCode::kNotFound) continue;
+      return cols.status();
+    }
+    found = true;
+    MergeColumns(merged, std::move(cols).value());
+  }
+  if (memtable_.Contains(partition_key)) {
+    found = true;
+    MergeColumns(merged, memtable_.Slice(partition_key, lo, hi));
+  }
+  if (!found) return Status::NotFound(std::string(partition_key));
+
+  std::vector<Column> out;
+  out.reserve(merged.size());
+  for (auto& [clustering, column] : merged) {
+    if (column.tombstone) continue;
+    out.push_back(std::move(column));
+  }
+  return out;
+}
+
+Result<TypeCounts> Table::CountByType(std::string_view partition_key,
+                                      ReadProbe* probe) const {
+  auto columns = GetPartition(partition_key, probe);
+  if (!columns.ok()) return columns.status();
+  TypeCounts counts;
+  for (const Column& c : columns.value()) ++counts[c.type_id];
+  return counts;
+}
+
+bool Table::HasPartition(std::string_view partition_key) const {
+  std::shared_lock lock(mu_);
+  if (memtable_.Contains(partition_key)) return true;
+  for (const auto& segment : segments_) {
+    if (segment->HasPartition(partition_key)) return true;
+  }
+  return false;
+}
+
+void Table::Compact() {
+  std::unique_lock lock(mu_);
+  FlushLocked();
+  if (segments_.empty()) return;
+
+  // A full compaction sees every copy, so tombstones (and what they
+  // shadow) are purged for good and fully deleted partitions disappear.
+  std::vector<size_t> all(segments_.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  auto merged = MergeSegmentsLocked(all, /*purge_tombstones=*/true);
+  if (cache_ != nullptr) {
+    for (const auto& segment : segments_) cache_->EraseSegment(segment->id());
+  }
+  segments_.clear();
+  if (merged->partition_count() > 0) segments_.push_back(std::move(merged));
+}
+
+size_t Table::segment_count() const {
+  std::shared_lock lock(mu_);
+  return segments_.size();
+}
+
+size_t Table::memtable_bytes() const {
+  std::shared_lock lock(mu_);
+  return memtable_.approximate_bytes();
+}
+
+uint64_t Table::column_count() const {
+  std::shared_lock lock(mu_);
+  uint64_t total = memtable_.column_count();
+  for (const auto& segment : segments_) total += segment->column_count();
+  return total;  // note: counts duplicates across segments until compaction
+}
+
+uint64_t Table::put_count() const {
+  std::shared_lock lock(mu_);
+  return put_count_;
+}
+
+std::vector<std::string> Table::PartitionKeys() const {
+  std::shared_lock lock(mu_);
+  std::set<std::string> keys;
+  for (auto& key : memtable_.PartitionKeys()) keys.insert(std::move(key));
+  for (const auto& segment : segments_) {
+    for (auto& key : segment->PartitionKeys()) keys.insert(std::move(key));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+uint64_t Table::PartitionEncodedBytes(std::string_view partition_key) const {
+  std::shared_lock lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& segment : segments_) {
+    if (const auto* meta = segment->FindMeta(partition_key)) {
+      bytes += meta->encoded_bytes;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace kvscale

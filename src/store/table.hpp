@@ -1,0 +1,127 @@
+// A wide-column table: memtable + immutable segments + block cache.
+//
+// This is the per-node storage engine the simulated slaves conceptually run;
+// it is also used directly (in-process) by the calibration benches and the
+// examples. Reads merge the memtable with all segments, newest write wins on
+// (partition, clustering) collisions. Thread-safe: writes and structural
+// changes take an exclusive lock, reads a shared one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/block_cache.hpp"
+#include "store/memtable.hpp"
+#include "store/segment.hpp"
+
+namespace kvscale {
+
+/// Tuning knobs of a table.
+struct TableOptions {
+  SegmentOptions segment;
+  size_t memtable_flush_bytes = 8 * kMiB; ///< auto-flush threshold
+  bool auto_flush = true;                 ///< flush when the memtable fills
+  /// Size-tiered compaction (Cassandra's STCS): after a flush, if at
+  /// least `compaction_min_segments` segments fall in the same size tier
+  /// (within `compaction_size_ratio` of each other), they are merged into
+  /// one. 0 disables automatic compaction (Compact() still works).
+  uint32_t compaction_min_segments = 4;
+  double compaction_size_ratio = 2.0;
+};
+
+/// Count-by-type aggregation result: type id -> element count.
+using TypeCounts = std::map<uint32_t, uint64_t>;
+
+class Table {
+ public:
+  /// `cache` may be null (no block caching) and must outlive the table.
+  Table(std::string name, TableOptions options, BlockCache* cache);
+
+  /// Inserts or overwrites one column.
+  void Put(std::string_view partition_key, Column column);
+
+  /// Deletes (partition, clustering) by writing a tombstone: the marker
+  /// shadows older values in any segment and is purged by Compact().
+  /// Deleting a non-existent cell is a no-op that still writes the marker
+  /// (Cassandra semantics: deletes cannot check existence cheaply).
+  void Delete(std::string_view partition_key, uint64_t clustering);
+
+  /// Reads a whole partition (merged across memtable and segments);
+  /// NotFound if no source has it.
+  Result<std::vector<Column>> GetPartition(std::string_view partition_key,
+                                           ReadProbe* probe = nullptr) const;
+
+  /// Reads columns with clustering key in [lo, hi].
+  Result<std::vector<Column>> Slice(std::string_view partition_key,
+                                    uint64_t lo, uint64_t hi,
+                                    ReadProbe* probe = nullptr) const;
+
+  /// The paper's benchmark aggregation: counts elements per type within
+  /// one partition.
+  Result<TypeCounts> CountByType(std::string_view partition_key,
+                                 ReadProbe* probe = nullptr) const;
+
+  bool HasPartition(std::string_view partition_key) const;
+
+  /// Freezes the memtable into a new segment (no-op when empty).
+  void Flush();
+
+  /// Merges all segments (and the memtable) into one segment, purging
+  /// tombstones.
+  void Compact();
+
+  /// Total automatic (size-tiered) compactions performed so far.
+  uint64_t auto_compactions() const;
+
+  /// Persists the table (memtable flushed first) to `path` as a
+  /// checksummed snapshot of its segments.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Replaces this table's contents with a snapshot written by
+  /// SaveSnapshot. Fails with kCorruption on damaged files, leaving the
+  /// table unchanged.
+  Status LoadSnapshot(const std::string& path);
+
+  const std::string& name() const { return name_; }
+  size_t segment_count() const;
+  size_t memtable_bytes() const;
+  uint64_t column_count() const;
+  uint64_t put_count() const;
+  /// Union of partition keys across memtable and segments, sorted.
+  std::vector<std::string> PartitionKeys() const;
+  /// Encoded size of one partition on "disk" (0 if absent or memtable-only).
+  uint64_t PartitionEncodedBytes(std::string_view partition_key) const;
+
+ private:
+  /// Merges `newer` on top of `base` by clustering key.
+  static void MergeColumns(std::map<uint64_t, Column>& base,
+                           std::vector<Column> newer);
+
+  void FlushLocked();
+
+  /// Size-tiered compaction pass; merges one tier if one qualifies.
+  /// Tombstones are kept (only a full Compact may purge them safely).
+  void MaybeCompactLocked();
+
+  /// Merges the given segment indices (ascending) into one new segment.
+  /// `purge_tombstones` only when merging *all* segments.
+  std::shared_ptr<const Segment> MergeSegmentsLocked(
+      const std::vector<size_t>& indices, bool purge_tombstones);
+
+  std::string name_;
+  TableOptions options_;
+  BlockCache* cache_;
+  mutable std::shared_mutex mu_;
+  Memtable memtable_;
+  std::vector<std::shared_ptr<const Segment>> segments_;  // oldest first
+  uint64_t next_segment_id_ = 1;
+  uint64_t put_count_ = 0;
+  uint64_t auto_compactions_ = 0;
+};
+
+}  // namespace kvscale

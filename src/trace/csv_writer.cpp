@@ -1,0 +1,38 @@
+#include "trace/csv_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace kvscale {
+
+std::string TracesToCsv(const StageTracer& tracer) {
+  std::string out =
+      "query_id,sub_id,node,keysize,issued_us,received_us,db_start_us,"
+      "db_end_us,completed_us,master_to_slave_us,in_queue_us,in_db_us,"
+      "slave_to_master_us\n";
+  char line[320];
+  for (const auto& t : tracer.traces()) {
+    std::snprintf(line, sizeof(line),
+                  "%llu,%u,%u,%.0f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+                  "%.3f\n",
+                  static_cast<unsigned long long>(t.query_id), t.sub_id,
+                  t.node, t.keysize, t.issued, t.received, t.db_start,
+                  t.db_end, t.completed,
+                  t.StageDuration(Stage::kMasterToSlave),
+                  t.StageDuration(Stage::kInQueue),
+                  t.StageDuration(Stage::kInDb),
+                  t.StageDuration(Stage::kSlaveToMaster));
+    out += line;
+  }
+  return out;
+}
+
+Status WriteTracesCsv(const StageTracer& tracer, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot open " + path);
+  file << TracesToCsv(tracer);
+  return file.good() ? Status::Ok()
+                     : Status::Unavailable("write failed: " + path);
+}
+
+}  // namespace kvscale

@@ -1,0 +1,17 @@
+// CSV export of stage traces for external plotting.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "trace/stage_trace.hpp"
+
+namespace kvscale {
+
+/// Serialises all traces as CSV (header + one row per request).
+std::string TracesToCsv(const StageTracer& tracer);
+
+/// Writes TracesToCsv output to `path`.
+Status WriteTracesCsv(const StageTracer& tracer, const std::string& path);
+
+}  // namespace kvscale

@@ -1,0 +1,103 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace kvscale {
+
+namespace {
+
+char DensityChar(double coverage) {
+  if (coverage <= 0.0) return ' ';
+  if (coverage < 0.5) return '.';
+  if (coverage < 2.0) return '+';
+  return '#';
+}
+
+}  // namespace
+
+std::string RenderGantt(const StageTracer& tracer,
+                        const GanttOptions& options) {
+  const auto& traces = tracer.traces();
+  if (traces.empty()) return "(no traces)\n";
+
+  Micros t0 = traces.front().issued;
+  Micros t1 = traces.front().completed;
+  for (const auto& t : traces) {
+    t0 = std::min(t0, t.issued);
+    t1 = std::max(t1, t.completed);
+  }
+  const Micros span = std::max(t1 - t0, 1.0);
+  const double bucket_width = span / static_cast<double>(options.width);
+
+  // (node, stage) -> per-bucket coverage (fraction of bucket occupied,
+  // summed over requests; > 1 means overlapping requests).
+  std::map<std::pair<uint32_t, uint8_t>, std::vector<double>> rows;
+  for (const auto& t : traces) {
+    const uint32_t node = options.per_node ? t.node : 0;
+    for (size_t s = 0; s < kStageCount; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      Micros start = 0, end = 0;
+      switch (stage) {
+        case Stage::kMasterToSlave:
+          start = t.issued;
+          end = t.received;
+          break;
+        case Stage::kInQueue:
+          start = t.received;
+          end = t.db_start;
+          break;
+        case Stage::kInDb:
+          start = t.db_start;
+          end = t.db_end;
+          break;
+        case Stage::kSlaveToMaster:
+          start = t.db_end;
+          end = t.completed;
+          break;
+      }
+      if (end <= start) continue;
+      auto& buckets = rows[{node, static_cast<uint8_t>(s)}];
+      if (buckets.empty()) buckets.assign(options.width, 0.0);
+      const double b0 = (start - t0) / bucket_width;
+      const double b1 = (end - t0) / bucket_width;
+      for (size_t b = static_cast<size_t>(b0);
+           b < options.width && static_cast<double>(b) < b1; ++b) {
+        const double lo = std::max(b0, static_cast<double>(b));
+        const double hi = std::min(b1, static_cast<double>(b + 1));
+        buckets[b] += std::max(0.0, hi - lo);
+      }
+    }
+  }
+
+  std::string out;
+  char header[96];
+  std::snprintf(header, sizeof(header),
+                "time axis: 0 .. %s (%zu buckets of %s)\n",
+                FormatMicros(span).c_str(), options.width,
+                FormatMicros(bucket_width).c_str());
+  out += header;
+
+  uint32_t last_node = UINT32_MAX;
+  for (const auto& [key, buckets] : rows) {
+    const auto [node, stage] = key;
+    if (options.per_node && node != last_node) {
+      char node_header[32];
+      std::snprintf(node_header, sizeof(node_header), "node %c:\n",
+                    'A' + static_cast<char>(node % 26));
+      out += node_header;
+      last_node = node;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "  %-16s|",
+                  std::string(StageName(static_cast<Stage>(stage))).c_str());
+    out += label;
+    for (double coverage : buckets) out += DensityChar(coverage);
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,25 @@
+// ASCII Gantt rendering of stage traces (the paper's Figure 4).
+//
+// One row per (node, stage); each request paints the interval it spent in
+// that stage onto a bucketed time axis. Dense intervals render darker
+// ('#' > '+' > '.'), so congestion — long in-queue bands, idle in-db gaps —
+// is visible at a glance, which is exactly how the paper spotted that the
+// fine-grained master could not feed Cassandra fast enough.
+#pragma once
+
+#include <string>
+
+#include "trace/stage_trace.hpp"
+
+namespace kvscale {
+
+/// Rendering options.
+struct GanttOptions {
+  size_t width = 100;        ///< characters across the full makespan
+  bool per_node = true;      ///< one row per (node, stage); else per stage
+};
+
+/// Renders the traces as an ASCII Gantt chart.
+std::string RenderGantt(const StageTracer& tracer, const GanttOptions& options);
+
+}  // namespace kvscale

@@ -1,0 +1,137 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+void TimeSeries::Add(Micros time, double value) {
+  KV_DCHECK(samples_.empty() || time >= samples_.back().first);
+  samples_.emplace_back(time, value);
+}
+
+double TimeSeries::MaxValue() const {
+  double max = 0.0;
+  for (const auto& [time, value] : samples_) max = std::max(max, value);
+  return max;
+}
+
+double TimeSeries::MeanValue() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [time, value] : samples_) sum += value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::ValueAt(Micros time) const {
+  double last = 0.0;
+  for (const auto& [t, value] : samples_) {
+    if (t > time) break;
+    last = value;
+  }
+  return last;
+}
+
+Micros TimeSeries::FirstTimeAbove(double threshold) const {
+  for (const auto& [t, value] : samples_) {
+    if (value >= threshold) return t;
+  }
+  return -1.0;
+}
+
+std::string TimeSeries::Sparkline(size_t width) const {
+  if (samples_.empty() || width == 0) return "";
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr size_t kLevels = sizeof(kRamp) - 2;  // highest index
+  const double peak = MaxValue();
+  const Micros t0 = samples_.front().first;
+  const Micros t1 = samples_.back().first;
+  const double span = std::max(t1 - t0, 1.0);
+
+  // Average samples per bucket, then quantise onto the ramp.
+  std::vector<double> sums(width, 0.0);
+  std::vector<uint32_t> counts(width, 0);
+  for (const auto& [t, value] : samples_) {
+    auto bucket = static_cast<size_t>((t - t0) / span *
+                                      static_cast<double>(width));
+    bucket = std::min(bucket, width - 1);
+    sums[bucket] += value;
+    ++counts[bucket];
+  }
+  std::string line;
+  line.reserve(width);
+  for (size_t b = 0; b < width; ++b) {
+    if (counts[b] == 0) {
+      line += ' ';
+      continue;
+    }
+    const double mean = sums[b] / counts[b];
+    const auto level = peak <= 0.0
+                           ? size_t{0}
+                           : static_cast<size_t>(mean / peak * kLevels);
+    line += kRamp[std::min(level, kLevels)];
+  }
+  return line;
+}
+
+MetricsRecorder::MetricsRecorder(Simulator& sim, Micros interval)
+    : sim_(sim), interval_(interval) {
+  KV_CHECK(interval > 0);
+}
+
+void MetricsRecorder::AddGauge(const std::string& name,
+                               std::function<double()> sampler) {
+  KV_CHECK(!started_);
+  KV_CHECK(gauges_.find(name) == gauges_.end());
+  gauges_[name] = Gauge{std::move(sampler), TimeSeries{}};
+}
+
+void MetricsRecorder::Start() {
+  KV_CHECK(!started_);
+  started_ = true;
+  Tick();
+}
+
+void MetricsRecorder::Tick() {
+  for (auto& [name, gauge] : gauges_) {
+    gauge.series.Add(sim_.now(), gauge.sampler());
+  }
+  ++ticks_;
+  // Keep sampling while the simulation still has non-metric work queued;
+  // the tick itself is the only event we add, so an otherwise-empty queue
+  // means the run is over.
+  if (!sim_.empty()) {
+    sim_.Schedule(interval_, [this] { Tick(); });
+  }
+}
+
+const TimeSeries& MetricsRecorder::series(const std::string& name) const {
+  auto it = gauges_.find(name);
+  KV_CHECK(it != gauges_.end());
+  return it->second.series;
+}
+
+std::vector<std::string> MetricsRecorder::gauge_names() const {
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRecorder::Report(size_t width) const {
+  std::string out;
+  for (const auto& [name, gauge] : gauges_) {
+    char head[128];
+    std::snprintf(head, sizeof(head), "%-20s max=%-8.3g mean=%-8.3g |",
+                  name.c_str(), gauge.series.MaxValue(),
+                  gauge.series.MeanValue());
+    out += head;
+    out += gauge.series.Sparkline(width);
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace kvscale

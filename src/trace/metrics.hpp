@@ -1,0 +1,86 @@
+// High-resolution metrics collection (the Aeneas role, Section IV-B).
+//
+// The paper's Aeneas tool recorded "a massive quantity of parameters from
+// each of the distributed nodes" at sub-second resolution because tools
+// like Ganglia cannot see phenomena shorter than their scrape interval.
+// MetricsRecorder samples registered gauges on a fixed virtual-time
+// period inside a Simulator run; TimeSeries stores and summarises the
+// samples and renders ASCII sparklines for bench output.
+//
+// The paper's own conclusion — raw system metrics do not reveal the
+// bottleneck, stage timings do — is why StageTracer (stage_trace.hpp) is
+// the primary instrument and this recorder the supporting one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace kvscale {
+
+/// A (time, value) series with summary helpers.
+class TimeSeries {
+ public:
+  void Add(Micros time, double value);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<std::pair<Micros, double>>& samples() const {
+    return samples_;
+  }
+
+  double MaxValue() const;
+  double MeanValue() const;
+  /// Last sampled value at or before `time` (0 if none).
+  double ValueAt(Micros time) const;
+  /// First sample time whose value is >= `threshold`; -1 if never.
+  Micros FirstTimeAbove(double threshold) const;
+
+  /// Unicode-free ASCII sparkline (` .:-=+*#%@` ramp), `width` buckets.
+  std::string Sparkline(size_t width = 60) const;
+
+ private:
+  std::vector<std::pair<Micros, double>> samples_;  // time-ordered
+};
+
+/// Samples named gauges every `interval` of virtual time while the
+/// simulation has work left.
+class MetricsRecorder {
+ public:
+  MetricsRecorder(Simulator& sim, Micros interval);
+
+  /// Registers a gauge; sampled by calling `sampler` at each tick.
+  void AddGauge(const std::string& name, std::function<double()> sampler);
+
+  /// Starts the sampling loop. Call after scheduling the workload; the
+  /// loop stops by itself when the simulator runs dry.
+  void Start();
+
+  const TimeSeries& series(const std::string& name) const;
+  std::vector<std::string> gauge_names() const;
+  uint64_t ticks() const { return ticks_; }
+
+  /// One line per gauge: name, max, mean and a sparkline.
+  std::string Report(size_t width = 60) const;
+
+ private:
+  void Tick();
+
+  struct Gauge {
+    std::function<double()> sampler;
+    TimeSeries series;
+  };
+
+  Simulator& sim_;
+  Micros interval_;
+  std::map<std::string, Gauge> gauges_;
+  bool started_ = false;
+  uint64_t ticks_ = 0;
+};
+
+}  // namespace kvscale

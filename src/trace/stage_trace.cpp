@@ -1,0 +1,94 @@
+#include "trace/stage_trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/table_printer.hpp"
+
+namespace kvscale {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kMasterToSlave:
+      return "master-to-slave";
+    case Stage::kInQueue:
+      return "in-queue";
+    case Stage::kInDb:
+      return "in-db";
+    case Stage::kSlaveToMaster:
+      return "slave-to-master";
+  }
+  return "?";
+}
+
+Micros RequestTrace::StageDuration(Stage stage) const {
+  switch (stage) {
+    case Stage::kMasterToSlave:
+      return received - issued;
+    case Stage::kInQueue:
+      return db_start - received;
+    case Stage::kInDb:
+      return db_end - db_start;
+    case Stage::kSlaveToMaster:
+      return completed - db_end;
+  }
+  return 0.0;
+}
+
+Micros StageTracer::Makespan() const {
+  if (traces_.empty()) return 0.0;
+  Micros first = traces_.front().issued;
+  Micros last = traces_.front().completed;
+  for (const auto& t : traces_) {
+    first = std::min(first, t.issued);
+    last = std::max(last, t.completed);
+  }
+  return last - first;
+}
+
+RunningSummary StageTracer::StageSummary(Stage stage) const {
+  RunningSummary summary;
+  for (const auto& t : traces_) summary.Add(t.StageDuration(stage));
+  return summary;
+}
+
+RunningSummary StageTracer::StageSummaryForNode(Stage stage,
+                                                uint32_t node) const {
+  RunningSummary summary;
+  for (const auto& t : traces_) {
+    if (t.node == node) summary.Add(t.StageDuration(stage));
+  }
+  return summary;
+}
+
+std::vector<uint64_t> StageTracer::RequestsPerNode() const {
+  uint32_t max_node = 0;
+  for (const auto& t : traces_) max_node = std::max(max_node, t.node);
+  std::vector<uint64_t> counts(traces_.empty() ? 0 : max_node + 1, 0);
+  for (const auto& t : traces_) ++counts[t.node];
+  return counts;
+}
+
+std::vector<Micros> StageTracer::NodeFinishTimes() const {
+  uint32_t max_node = 0;
+  for (const auto& t : traces_) max_node = std::max(max_node, t.node);
+  std::vector<Micros> finish(traces_.empty() ? 0 : max_node + 1, 0.0);
+  for (const auto& t : traces_) {
+    finish[t.node] = std::max(finish[t.node], t.db_end);
+  }
+  return finish;
+}
+
+std::string StageTracer::SummaryReport() const {
+  TablePrinter table({"stage", "mean", "sd", "min", "max"});
+  for (size_t s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const RunningSummary summary = StageSummary(stage);
+    table.AddRow({std::string(StageName(stage)),
+                  FormatMicros(summary.mean()), FormatMicros(summary.stddev()),
+                  FormatMicros(summary.min()), FormatMicros(summary.max())});
+  }
+  return table.ToString();
+}
+
+}  // namespace kvscale

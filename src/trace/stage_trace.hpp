@@ -1,0 +1,80 @@
+// Per-request stage timing (Section IV-B / V-B of the paper).
+//
+// "the best approach is to identify the primary data flow phases and to
+// record the time that requests spend in each of them". Every sub-query
+// carries five timestamps delimiting the four stages the paper defines:
+//
+//   issued --(1 master-to-slave)--> received --(2 in-queue)--> db_start
+//   --(3 in-db)--> db_end --(4 slave-to-master)--> completed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "stats/summary.hpp"
+
+namespace kvscale {
+
+/// The four data-flow stages of a sub-query.
+enum class Stage : uint8_t {
+  kMasterToSlave = 0,
+  kInQueue = 1,
+  kInDb = 2,
+  kSlaveToMaster = 3,
+};
+inline constexpr size_t kStageCount = 4;
+
+std::string_view StageName(Stage stage);
+
+/// Timestamped record of one sub-query's life.
+struct RequestTrace {
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;
+  uint32_t node = 0;       ///< slave that served it
+  double keysize = 0.0;    ///< elements in the partition
+
+  Micros issued = 0.0;     ///< master handed the message to the transport
+  Micros received = 0.0;   ///< slave dequeued it from the network
+  Micros db_start = 0.0;   ///< database began serving it
+  Micros db_end = 0.0;     ///< database finished
+  Micros completed = 0.0;  ///< master folded the partial result
+
+  Micros StageDuration(Stage stage) const;
+  Micros TotalLatency() const { return completed - issued; }
+};
+
+/// Collects the traces of one distributed query execution.
+class StageTracer {
+ public:
+  void Record(RequestTrace trace) { traces_.push_back(trace); }
+  void Clear() { traces_.clear(); }
+
+  const std::vector<RequestTrace>& traces() const { return traces_; }
+  size_t size() const { return traces_.size(); }
+
+  /// Makespan: last completion minus first issue (0 when empty).
+  Micros Makespan() const;
+
+  /// Stage-duration summary across all requests.
+  RunningSummary StageSummary(Stage stage) const;
+
+  /// Stage-duration summary for one node.
+  RunningSummary StageSummaryForNode(Stage stage, uint32_t node) const;
+
+  /// Requests served per node, indexed by node id (size = max node + 1).
+  std::vector<uint64_t> RequestsPerNode() const;
+
+  /// Last db_end per node (the per-node finish line of Figure 2).
+  std::vector<Micros> NodeFinishTimes() const;
+
+  /// Human-readable per-stage table.
+  std::string SummaryReport() const;
+
+ private:
+  std::vector<RequestTrace> traces_;
+};
+
+}  // namespace kvscale

@@ -1,0 +1,25 @@
+#include "wire/messages.hpp"
+
+namespace kvscale {
+
+void RegisterClusterMessages(CompactCodec& codec) {
+  codec.Register<SubQueryRequest>();
+  codec.Register<PartialResult>();
+  codec.Register<QueryAnnounce>();
+  codec.Register<QueryComplete>();
+  codec.Register<Heartbeat>();
+}
+
+SubQueryRequest MakeRepresentativeSubQuery(uint64_t query_id, uint32_t sub_id,
+                                           uint32_t elements) {
+  SubQueryRequest req;
+  req.query_id = query_id;
+  req.sub_id = sub_id;
+  req.table = "alya.particles_d8";
+  req.partition_key =
+      "cube:" + std::to_string(sub_id % 8) + ":" + std::to_string(sub_id);
+  req.expected_elements = elements;
+  return req;
+}
+
+}  // namespace kvscale

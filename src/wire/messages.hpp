@@ -1,0 +1,120 @@
+// RPC message set of the master/slave query prototype.
+//
+// These are the messages exchanged in the paper's four stages:
+//   master --SubQueryRequest--> slave        (master-to-slaves)
+//   slave  --PartialResult----> master       (slaves-to-master)
+// plus control-plane messages used by the cluster runner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wire/codec.hpp"
+
+namespace kvscale {
+
+/// Asks one slave to aggregate a single partition (one D8tree cube).
+struct SubQueryRequest {
+  static constexpr std::string_view kTypeName = "kvscale.SubQueryRequest";
+
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;           ///< index of this sub-query within the query
+  std::string table;             ///< target table name
+  std::string partition_key;     ///< DHT partition key (cube id)
+  uint32_t expected_elements = 0; ///< elements in the partition (for sizing)
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("sub_id", sub_id);
+    v.Field("table", table);
+    v.Field("partition_key", partition_key);
+    v.Field("expected_elements", expected_elements);
+  }
+};
+
+/// Count-by-type aggregation result for one partition.
+struct PartialResult {
+  static constexpr std::string_view kTypeName = "kvscale.PartialResult";
+
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;
+  uint32_t node = 0;                ///< slave that served the sub-query
+  std::vector<std::string> types;   ///< distinct type labels
+  std::vector<uint64_t> counts;     ///< counts[i] pairs with types[i]
+  double db_micros = 0.0;           ///< time spent inside the data store
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("sub_id", sub_id);
+    v.Field("node", node);
+    v.Field("types", types);
+    v.Field("counts", counts);
+    v.Field("db_micros", db_micros);
+  }
+};
+
+/// Master -> all slaves: a query is starting.
+struct QueryAnnounce {
+  static constexpr std::string_view kTypeName = "kvscale.QueryAnnounce";
+
+  uint64_t query_id = 0;
+  std::string table;
+  uint32_t total_subqueries = 0;
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("table", table);
+    v.Field("total_subqueries", total_subqueries);
+  }
+};
+
+/// Master -> client: final aggregated answer.
+struct QueryComplete {
+  static constexpr std::string_view kTypeName = "kvscale.QueryComplete";
+
+  uint64_t query_id = 0;
+  std::vector<std::string> types;
+  std::vector<uint64_t> counts;
+  double elapsed_micros = 0.0;
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("types", types);
+    v.Field("counts", counts);
+    v.Field("elapsed_micros", elapsed_micros);
+  }
+};
+
+/// Liveness ping used by the control plane.
+struct Heartbeat {
+  static constexpr std::string_view kTypeName = "kvscale.Heartbeat";
+
+  uint32_t node = 0;
+  uint64_t sequence = 0;
+  int64_t queue_depth = 0;  ///< advertised load (least-loaded placement)
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("node", node);
+    v.Field("sequence", sequence);
+    v.Field("queue_depth", queue_depth);
+  }
+};
+
+/// Registers the whole message set with a CompactCodec instance; both
+/// peers must call this so type ids agree.
+void RegisterClusterMessages(CompactCodec& codec);
+
+/// Builds a SubQueryRequest representative of the paper's workloads, for
+/// sizing studies: key like "cube:<level>:<morton>" and the given element
+/// count.
+SubQueryRequest MakeRepresentativeSubQuery(uint64_t query_id, uint32_t sub_id,
+                                           uint32_t elements);
+
+}  // namespace kvscale

@@ -1,0 +1,121 @@
+#include "workload/alya.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// A straight airway segment from `from` towards `dir` with length `len`.
+struct BranchSegment {
+  float fx, fy, fz;  // start
+  float dx, dy, dz;  // unit direction
+  float length;
+  uint32_t depth;
+};
+
+/// Builds the branching tube tree: the trachea splits into two children
+/// per generation, each rotated away from the parent and shortened.
+void BuildTree(std::vector<BranchSegment>& out, float fx, float fy, float fz,
+               float dx, float dy, float dz, float length, uint32_t depth,
+               uint32_t max_depth, Rng& rng) {
+  out.push_back(BranchSegment{fx, fy, fz, dx, dy, dz, length, depth});
+  if (depth >= max_depth) return;
+  const float ex = fx + dx * length;
+  const float ey = fy + dy * length;
+  const float ez = fz + dz * length;
+  for (int child = 0; child < 2; ++child) {
+    // Rotate the direction by ~35 degrees in a random azimuth.
+    const double polar = 0.6 + rng.Uniform(-0.15, 0.15);
+    const double azimuth = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+    // Build an orthonormal frame around (dx, dy, dz).
+    float ux = -dy, uy = dx, uz = 0.0f;
+    const float unorm = std::sqrt(ux * ux + uy * uy + uz * uz);
+    if (unorm < 1e-6f) {
+      ux = 1;
+      uy = 0;
+      uz = 0;
+    } else {
+      ux /= unorm;
+      uy /= unorm;
+      uz /= unorm;
+    }
+    const float vx = dy * uz - dz * uy;
+    const float vy = dz * ux - dx * uz;
+    const float vz = dx * uy - dy * ux;
+    const auto cp = static_cast<float>(std::cos(polar));
+    const auto sp = static_cast<float>(std::sin(polar));
+    const auto ca = static_cast<float>(std::cos(azimuth));
+    const auto sa = static_cast<float>(std::sin(azimuth));
+    const float ndx = dx * cp + (ux * ca + vx * sa) * sp;
+    const float ndy = dy * cp + (uy * ca + vy * sa) * sp;
+    const float ndz = dz * cp + (uz * ca + vz * sa) * sp;
+    BuildTree(out, ex, ey, ez, ndx, ndy, ndz, length * 0.72f, depth + 1,
+              max_depth, rng);
+  }
+}
+
+}  // namespace
+
+std::vector<Particle> GenerateAlyaParticles(const AlyaParams& params) {
+  KV_CHECK(params.particles > 0);
+  KV_CHECK(params.distinct_types >= 1);
+  Rng rng(params.seed);
+
+  std::vector<BranchSegment> tree;
+  // Trachea: starts near the top of the cube heading down.
+  BuildTree(tree, 0.5f, 0.95f, 0.5f, 0.0f, -1.0f, 0.0f, 0.22f, 0,
+            params.branch_depth, rng);
+
+  // Deeper generations carry more particles per unit length (the inhaled
+  // aerosol concentrates in the smaller airways).
+  std::vector<double> weights(tree.size());
+  for (size_t i = 0; i < tree.size(); ++i) {
+    weights[i] = tree[i].length * (1.0 + 0.5 * tree[i].depth);
+  }
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+
+  std::vector<Particle> particles;
+  particles.reserve(params.particles);
+  // Cumulative weights for branch sampling.
+  std::vector<double> cumulative(weights.size());
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total_weight;
+    cumulative[i] = acc;
+  }
+
+  for (uint64_t id = 0; id < params.particles; ++id) {
+    const double u = rng.Uniform();
+    const size_t seg_idx = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const BranchSegment& seg = tree[std::min(seg_idx, tree.size() - 1)];
+    const auto t = static_cast<float>(rng.Uniform());
+    const auto r = static_cast<float>(params.radial_sigma);
+    Particle p;
+    p.id = id;
+    p.x = seg.fx + seg.dx * seg.length * t +
+          static_cast<float>(rng.Normal()) * r;
+    p.y = seg.fy + seg.dy * seg.length * t +
+          static_cast<float>(rng.Normal()) * r;
+    p.z = seg.fz + seg.dz * seg.length * t +
+          static_cast<float>(rng.Normal()) * r;
+    p.x = std::clamp(p.x, 0.0f, 0.999999f);
+    p.y = std::clamp(p.y, 0.0f, 0.999999f);
+    p.z = std::clamp(p.z, 0.0f, 0.999999f);
+    // Type correlates with airway depth plus noise: deposition state
+    // depends on where the particle ends up.
+    p.type = static_cast<uint32_t>(
+        (seg.depth + rng.Below(3)) % params.distinct_types);
+    particles.push_back(p);
+  }
+  return particles;
+}
+
+}  // namespace kvscale

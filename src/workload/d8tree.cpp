@@ -1,0 +1,257 @@
+#include "workload/d8tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "store/row.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// Spreads the low 21 bits of v so there are two zero bits between each.
+constexpr uint64_t SpreadBits3(uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+constexpr uint64_t CompactBits3(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+}  // namespace
+
+uint64_t MortonEncode3(uint32_t cx, uint32_t cy, uint32_t cz,
+                       uint32_t level) {
+  KV_CHECK(level <= 20);
+  const uint32_t bound = 1u << level;
+  KV_CHECK(cx < bound && cy < bound && cz < bound);
+  return SpreadBits3(cx) | (SpreadBits3(cy) << 1) | (SpreadBits3(cz) << 2);
+}
+
+void MortonDecode3(uint64_t code, uint32_t level, uint32_t& cx, uint32_t& cy,
+                   uint32_t& cz) {
+  KV_CHECK(level <= 20);
+  cx = static_cast<uint32_t>(CompactBits3(code));
+  cy = static_cast<uint32_t>(CompactBits3(code >> 1));
+  cz = static_cast<uint32_t>(CompactBits3(code >> 2));
+}
+
+std::string CubeKey(uint32_t level, uint64_t morton) {
+  return "d8:" + std::to_string(level) + ":" + std::to_string(morton);
+}
+
+D8Tree::D8Tree(const std::vector<Particle>& particles, uint32_t max_level)
+    : max_level_(max_level),
+      particle_count_(particles.size()),
+      particles_(particles) {
+  KV_CHECK(max_level <= 20);
+  levels_.resize(max_level + 1);
+  for (uint32_t level = 0; level <= max_level; ++level) {
+    const auto cells = static_cast<float>(1u << level);
+    auto& cubes = levels_[level];
+    for (uint32_t i = 0; i < particles_.size(); ++i) {
+      const Particle& p = particles_[i];
+      const auto cx = static_cast<uint32_t>(p.x * cells);
+      const auto cy = static_cast<uint32_t>(p.y * cells);
+      const auto cz = static_cast<uint32_t>(p.z * cells);
+      cubes[MortonEncode3(cx, cy, cz, level)].particle_idx.push_back(i);
+    }
+  }
+}
+
+size_t D8Tree::CubeCount(uint32_t level) const {
+  KV_CHECK(level <= max_level_);
+  return levels_[level].size();
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> D8Tree::CubeSizes(
+    uint32_t level) const {
+  KV_CHECK(level <= max_level_);
+  std::vector<std::pair<uint64_t, uint32_t>> out;
+  out.reserve(levels_[level].size());
+  for (const auto& [morton, cube] : levels_[level]) {
+    out.emplace_back(morton, static_cast<uint32_t>(cube.particle_idx.size()));
+  }
+  return out;
+}
+
+std::vector<D8Tree::CubeRef> D8Tree::AllCubes() const {
+  std::vector<CubeRef> out;
+  for (uint32_t level = 0; level <= max_level_; ++level) {
+    for (const auto& [morton, cube] : levels_[level]) {
+      out.push_back(CubeRef{level, morton,
+                            static_cast<uint32_t>(cube.particle_idx.size())});
+    }
+  }
+  return out;
+}
+
+std::vector<D8Tree::CubeRef> D8Tree::CubesBySize(uint32_t min_elements,
+                                                 uint32_t max_elements) const {
+  KV_CHECK(min_elements <= max_elements);
+  std::vector<CubeRef> out;
+  for (const CubeRef& cube : AllCubes()) {
+    if (cube.elements >= min_elements && cube.elements <= max_elements) {
+      out.push_back(cube);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> D8Tree::CubeParticles(uint32_t level,
+                                            uint64_t morton) const {
+  KV_CHECK(level <= max_level_);
+  auto it = levels_[level].find(morton);
+  if (it == levels_[level].end()) return {};
+  std::vector<uint64_t> ids;
+  ids.reserve(it->second.particle_idx.size());
+  for (uint32_t idx : it->second.particle_idx) {
+    ids.push_back(particles_[idx].id);
+  }
+  return ids;
+}
+
+void D8Tree::LoadLevelIntoTable(uint32_t level, Table& table) const {
+  KV_CHECK(level <= max_level_);
+  for (const auto& [morton, cube] : levels_[level]) {
+    const std::string key = CubeKey(level, morton);
+    for (uint32_t idx : cube.particle_idx) {
+      const Particle& p = particles_[idx];
+      Column column;
+      column.clustering = p.id;
+      column.type_id = p.type;
+      column.payload = MakePayload(morton, p.id, kParticlePayloadBytes);
+      table.Put(key, std::move(column));
+    }
+  }
+}
+
+namespace {
+
+/// Geometric relationship of cube (level, cx, cy, cz) to a box.
+enum class Overlap { kDisjoint, kPartial, kInside };
+
+Overlap Classify(const D8Tree::Box& box, uint32_t level, uint32_t cx,
+                 uint32_t cy, uint32_t cz) {
+  const float width = 1.0f / static_cast<float>(1u << level);
+  const float lo_x = static_cast<float>(cx) * width;
+  const float lo_y = static_cast<float>(cy) * width;
+  const float lo_z = static_cast<float>(cz) * width;
+  const float hi_x = lo_x + width;
+  const float hi_y = lo_y + width;
+  const float hi_z = lo_z + width;
+  if (hi_x <= box.min_x || lo_x >= box.max_x || hi_y <= box.min_y ||
+      lo_y >= box.max_y || hi_z <= box.min_z || lo_z >= box.max_z) {
+    return Overlap::kDisjoint;
+  }
+  if (lo_x >= box.min_x && hi_x <= box.max_x && lo_y >= box.min_y &&
+      hi_y <= box.max_y && lo_z >= box.min_z && hi_z <= box.max_z) {
+    return Overlap::kInside;
+  }
+  return Overlap::kPartial;
+}
+
+}  // namespace
+
+std::vector<D8Tree::PlanEntry> D8Tree::BoxQueryPlan(
+    const Box& box, uint32_t target_keysize) const {
+  KV_CHECK(box.min_x <= box.max_x);
+  KV_CHECK(box.min_y <= box.max_y);
+  KV_CHECK(box.min_z <= box.max_z);
+  std::vector<PlanEntry> plan;
+
+  // Depth-first descent over the *non-empty* cubes only.
+  struct Frame {
+    uint32_t level;
+    uint64_t morton;
+  };
+  std::vector<Frame> stack;
+  if (!levels_[0].empty()) stack.push_back(Frame{0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    auto it = levels_[frame.level].find(frame.morton);
+    if (it == levels_[frame.level].end()) continue;  // empty cube
+    const auto elements =
+        static_cast<uint32_t>(it->second.particle_idx.size());
+
+    uint32_t cx, cy, cz;
+    MortonDecode3(frame.morton, frame.level, cx, cy, cz);
+    const Overlap overlap = Classify(box, frame.level, cx, cy, cz);
+    if (overlap == Overlap::kDisjoint) continue;
+
+    const bool at_bottom = frame.level >= max_level_;
+    if (overlap == Overlap::kInside) {
+      // Take the cube whole once it is small enough (or cannot refine).
+      if (elements <= target_keysize || at_bottom) {
+        plan.push_back(
+            PlanEntry{CubeRef{frame.level, frame.morton, elements}, true});
+        continue;
+      }
+    } else if (at_bottom) {
+      // Boundary cube at the finest level: read and filter.
+      plan.push_back(
+          PlanEntry{CubeRef{frame.level, frame.morton, elements}, false});
+      continue;
+    }
+    // Refine into the eight children.
+    for (uint32_t dx = 0; dx < 2; ++dx) {
+      for (uint32_t dy = 0; dy < 2; ++dy) {
+        for (uint32_t dz = 0; dz < 2; ++dz) {
+          stack.push_back(Frame{
+              frame.level + 1,
+              MortonEncode3(cx * 2 + dx, cy * 2 + dy, cz * 2 + dz,
+                            frame.level + 1)});
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<uint64_t> D8Tree::BoxQueryExecute(const Box& box,
+                                              uint32_t target_keysize) const {
+  std::vector<uint64_t> ids;
+  for (const PlanEntry& entry : BoxQueryPlan(box, target_keysize)) {
+    auto it = levels_[entry.cube.level].find(entry.cube.morton);
+    KV_CHECK(it != levels_[entry.cube.level].end());
+    for (uint32_t idx : it->second.particle_idx) {
+      const Particle& p = particles_[idx];
+      if (entry.fully_inside || box.Contains(p)) ids.push_back(p.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> D8Tree::BoxQueryBruteForce(const Box& box) const {
+  std::vector<uint64_t> ids;
+  for (const Particle& p : particles_) {
+    if (box.Contains(p)) ids.push_back(p.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+uint64_t D8Tree::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& cubes : levels_) {
+    for (const auto& [morton, cube] : cubes) total += cube.particle_idx.size();
+  }
+  return total;
+}
+
+}  // namespace kvscale

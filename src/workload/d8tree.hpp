@@ -1,0 +1,121 @@
+// D8tree: denormalized octree indexing on a key-value store.
+//
+// The authors' prior system (Cugnasco et al., ICDCN'16) replicates every
+// element into its enclosing cube at each level of an octree, so a query
+// can be answered by reading cubes at whatever granularity suits it: "we
+// can arbitrarily decide the number of keys we need to access to run a
+// query" (Section III). Each cube is one KV partition; its key encodes
+// (level, morton code) and its columns are the contained elements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "store/table.hpp"
+#include "workload/alya.hpp"
+
+namespace kvscale {
+
+/// Interleaved 3D Morton code of a cell coordinate at some octree level
+/// (each coordinate must be < 2^level, level <= 20).
+uint64_t MortonEncode3(uint32_t cx, uint32_t cy, uint32_t cz, uint32_t level);
+
+/// Inverse of MortonEncode3.
+void MortonDecode3(uint64_t code, uint32_t level, uint32_t& cx, uint32_t& cy,
+                   uint32_t& cz);
+
+/// Partition key of a cube: "d8:<level>:<morton>".
+std::string CubeKey(uint32_t level, uint64_t morton);
+
+/// In-memory D8tree index over a particle set.
+class D8Tree {
+ public:
+  /// Indexes `particles` into all levels 0..max_level (max_level <= 20).
+  /// Each particle appears once per level (the D8tree denormalization).
+  D8Tree(const std::vector<Particle>& particles, uint32_t max_level);
+
+  uint32_t max_level() const { return max_level_; }
+  uint64_t particle_count() const { return particle_count_; }
+
+  /// Number of non-empty cubes at `level`.
+  size_t CubeCount(uint32_t level) const;
+
+  /// (morton, element count) of every non-empty cube at `level`, sorted by
+  /// morton code.
+  std::vector<std::pair<uint64_t, uint32_t>> CubeSizes(uint32_t level) const;
+
+  /// Cube sizes across *all* levels: (level, morton, count). This is the
+  /// pool the paper's pre-query phase sampled from.
+  struct CubeRef {
+    uint32_t level = 0;
+    uint64_t morton = 0;
+    uint32_t elements = 0;
+  };
+  std::vector<CubeRef> AllCubes() const;
+
+  /// Cubes whose size lies in [min_elements, max_elements], any level.
+  std::vector<CubeRef> CubesBySize(uint32_t min_elements,
+                                   uint32_t max_elements) const;
+
+  /// The particle ids stored in one cube (empty if the cube is empty).
+  std::vector<uint64_t> CubeParticles(uint32_t level, uint64_t morton) const;
+
+  /// An axis-aligned spatial region in the unit cube.
+  struct Box {
+    float min_x = 0, min_y = 0, min_z = 0;
+    float max_x = 1, max_y = 1, max_z = 1;  // exclusive upper bounds
+
+    bool Contains(const Particle& p) const {
+      return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y &&
+             p.z >= min_z && p.z < max_z;
+    }
+  };
+
+  /// One cube of a query plan.
+  struct PlanEntry {
+    CubeRef cube;
+    bool fully_inside = false;  ///< cube entirely within the box
+  };
+
+  /// The D8tree range-query algorithm (the denormalization's purpose):
+  /// descend from the root, emit cubes that are *fully inside* the box as
+  /// soon as their size drops to `target_keysize` (coarser cubes would
+  /// also be correct but the caller wants partitions of roughly that
+  /// size — the granularity trade-off of the paper), and refine cubes
+  /// that straddle the boundary down to the finest level, where they are
+  /// emitted as boundary cubes whose contents need filtering.
+  std::vector<PlanEntry> BoxQueryPlan(const Box& box,
+                                      uint32_t target_keysize) const;
+
+  /// Ground-truth evaluation: ids of all particles inside `box`, via the
+  /// plan (interior cubes taken whole, boundary cubes filtered). Sorted.
+  std::vector<uint64_t> BoxQueryExecute(const Box& box,
+                                        uint32_t target_keysize) const;
+
+  /// Brute-force reference for testing: scan every particle.
+  std::vector<uint64_t> BoxQueryBruteForce(const Box& box) const;
+
+  /// Materialises every cube of `level` as partitions of `table`:
+  /// partition key = CubeKey, clustering = particle id, type_id = particle
+  /// type, payload = kParticlePayloadBytes deterministic bytes.
+  void LoadLevelIntoTable(uint32_t level, Table& table) const;
+
+  /// Total stored entries across levels (the denormalization cost).
+  uint64_t TotalEntries() const;
+
+ private:
+  struct CubeData {
+    std::vector<uint32_t> particle_idx;  ///< indices into particles_
+  };
+
+  uint32_t max_level_;
+  uint64_t particle_count_;
+  std::vector<Particle> particles_;  // owned copy, indexed by cubes
+  // level -> morton -> cube
+  std::vector<std::map<uint64_t, CubeData>> levels_;
+};
+
+}  // namespace kvscale

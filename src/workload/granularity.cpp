@@ -1,0 +1,71 @@
+#include "workload/granularity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kvscale {
+
+std::string_view GranularityName(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kCoarse:
+      return "coarse-grained";
+    case Granularity::kMedium:
+      return "medium-grained";
+    case Granularity::kFine:
+      return "fine-grained";
+  }
+  return "?";
+}
+
+uint32_t KeysizeFor(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kCoarse:
+      return 10000;
+    case Granularity::kMedium:
+      return 1000;
+    case Granularity::kFine:
+      return 100;
+  }
+  return 0;
+}
+
+uint64_t PartitionsFor(Granularity granularity, uint64_t total_elements) {
+  const uint32_t keysize = KeysizeFor(granularity);
+  KV_CHECK(total_elements >= keysize);
+  return total_elements / keysize;
+}
+
+WorkloadSpec MakeUniformWorkload(Granularity granularity,
+                                 uint64_t total_elements) {
+  return UniformWorkload(total_elements,
+                         PartitionsFor(granularity, total_elements));
+}
+
+WorkloadSpec WorkloadFromD8Tree(const D8Tree& tree, uint32_t target_keysize,
+                                uint64_t total_elements, double tolerance,
+                                Rng& rng, const std::string& table) {
+  KV_CHECK(target_keysize > 0);
+  KV_CHECK(tolerance >= 0.0 && tolerance < 1.0);
+  const auto min_elements = static_cast<uint32_t>(
+      std::floor(target_keysize * (1.0 - tolerance)));
+  const auto max_elements = static_cast<uint32_t>(
+      std::ceil(target_keysize * (1.0 + tolerance)));
+  std::vector<D8Tree::CubeRef> pool =
+      tree.CubesBySize(std::max<uint32_t>(min_elements, 1), max_elements);
+  rng.Shuffle(pool);
+
+  WorkloadSpec spec;
+  spec.table = table;
+  uint64_t covered = 0;
+  for (const auto& cube : pool) {
+    if (covered >= total_elements) break;
+    spec.partitions.push_back(
+        PartitionRef{CubeKey(cube.level, cube.morton), cube.elements});
+    covered += cube.elements;
+  }
+  return spec;
+}
+
+}  // namespace kvscale

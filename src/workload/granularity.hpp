@@ -1,0 +1,45 @@
+// Workload construction: the paper's three data models and the pre-query
+// cube selection.
+//
+// Section V: "We selected — in a pre-query phase — all the cubes with sizes
+// that matched the three workloads. We picked at random cubes with one
+// hundred, one thousand and ten thousand elements and we pre-computed the
+// list of keys each workload has to read."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "workload/d8tree.hpp"
+
+namespace kvscale {
+
+/// The paper's named granularities over one million elements.
+enum class Granularity { kCoarse, kMedium, kFine };
+
+std::string_view GranularityName(Granularity granularity);
+
+/// Partition count of a granularity for `total_elements`
+/// (coarse = total/10000, medium = total/1000, fine = total/100).
+uint64_t PartitionsFor(Granularity granularity, uint64_t total_elements);
+
+/// Elements per partition of a granularity (10000 / 1000 / 100).
+uint32_t KeysizeFor(Granularity granularity);
+
+/// The paper's exact workload: `total_elements` split into equal
+/// partitions of the granularity's keysize.
+WorkloadSpec MakeUniformWorkload(Granularity granularity,
+                                 uint64_t total_elements);
+
+/// Pre-query phase over a real D8tree: draws random cubes whose sizes fall
+/// within `tolerance` of `target_keysize` until ~`total_elements` elements
+/// are covered (or the pool is exhausted). Mirrors the paper's selection.
+WorkloadSpec WorkloadFromD8Tree(const D8Tree& tree, uint32_t target_keysize,
+                                uint64_t total_elements, double tolerance,
+                                Rng& rng,
+                                const std::string& table = "alya.particles_d8");
+
+}  // namespace kvscale

@@ -1,0 +1,52 @@
+#include "workload/phonebook.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "model/balls_into_bins.hpp"
+#include "stats/zipf.hpp"
+
+namespace kvscale {
+
+std::vector<PhonebookModel> PhonebookModels() {
+  PhonebookModel country{"by-country", 200, false};
+  PhonebookModel city{"by-city", 1000000, true};
+  PhonebookModel user{"by-user", 1000000000, false};
+  return {country, city, user};
+}
+
+double PhonebookKeyImbalance(const PhonebookModel& model, uint64_t nodes) {
+  return ImbalanceRatio(model.keys, nodes);
+}
+
+std::vector<uint64_t> PhonebookPartitionSizes(const PhonebookModel& model,
+                                              uint64_t total_load,
+                                              uint64_t simulated_keys) {
+  KV_CHECK(simulated_keys > 0);
+  const uint64_t keys = std::min(model.keys, simulated_keys);
+  if (!model.zipf_sizes || keys <= model.head_keys) {
+    return std::vector<uint64_t>(keys,
+                                 std::max<uint64_t>(total_load / keys, 1));
+  }
+  // Head: `head_keys` large cities carrying `head_share` of the load with
+  // a mild internal skew; tail: everyone else, uniform.
+  const auto head_load =
+      static_cast<uint64_t>(model.head_share * static_cast<double>(total_load));
+  std::vector<uint64_t> sizes =
+      ZipfPartitionSizes(head_load, model.head_keys, model.head_exponent);
+  const uint64_t tail_keys = keys - model.head_keys;
+  const uint64_t tail_each =
+      std::max<uint64_t>((total_load - head_load) / tail_keys, 1);
+  sizes.insert(sizes.end(), tail_keys, tail_each);
+  return sizes;
+}
+
+double PhonebookLoadImbalance(const PhonebookModel& model, uint64_t nodes,
+                              uint64_t total_load, uint64_t simulated_keys,
+                              uint64_t trials, Rng& rng) {
+  const std::vector<uint64_t> sizes =
+      PhonebookPartitionSizes(model, total_load, simulated_keys);
+  return SimulateWeightedImbalance(sizes, nodes, trials, rng);
+}
+
+}  // namespace kvscale

@@ -1,0 +1,55 @@
+// The Section II worked example: indexing every phone number in the world.
+//
+// Three candidate data models — partition by country (~200 keys), by city
+// (~1M keys, but Zipf-sized), or by user (~billions of keys) — and the
+// imbalance each implies on an n-node cluster. The paper computes 34%,
+// 0.5% and 0.015% for 10 nodes from Formula 1, and shows that Zipf city
+// sizes still leave ~21% imbalance on 10 nodes (35% on 20) even though the
+// key cardinality is high.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kvscale {
+
+/// One candidate partitioning of the world phonebook.
+struct PhonebookModel {
+  std::string name;
+  uint64_t keys = 0;        ///< distinct partition keys
+  bool zipf_sizes = false;  ///< per-key load is heavy-tailed
+  /// Heavy-tail shape, from the paper's premise: "about half of the
+  /// population lives in the 500 most populated cities". The head cities
+  /// share `head_share` of the load with a mild Zipf(`head_exponent`)
+  /// skew; the remaining keys split the rest uniformly.
+  uint64_t head_keys = 500;
+  double head_share = 0.5;
+  double head_exponent = 0.5;
+};
+
+/// Per-key load sizes of a model, truncated to `simulated_keys` keys
+/// (deterministic; the head construction keeps the truncation faithful
+/// because the tail keys are uniform).
+std::vector<uint64_t> PhonebookPartitionSizes(const PhonebookModel& model,
+                                              uint64_t total_load,
+                                              uint64_t simulated_keys);
+
+/// The three models of the paper's example (country / city / user).
+std::vector<PhonebookModel> PhonebookModels();
+
+/// Formula 1 imbalance of a model on `nodes` nodes (key-count imbalance,
+/// uniform per-key load).
+double PhonebookKeyImbalance(const PhonebookModel& model, uint64_t nodes);
+
+/// Monte-Carlo *load* imbalance including heavy-tailed key sizes: for the
+/// Zipf-city model this is the ~21% @ 10 nodes / ~35% @ 20 nodes effect.
+/// `simulated_keys` bounds the simulation size (the head of the Zipf
+/// carries nearly all the mass, so a truncated simulation converges).
+double PhonebookLoadImbalance(const PhonebookModel& model, uint64_t nodes,
+                              uint64_t total_load, uint64_t simulated_keys,
+                              uint64_t trials, Rng& rng);
+
+}  // namespace kvscale

@@ -1,0 +1,337 @@
+// Tests for src/cluster: placement policies and the distributed-query
+// simulator (correctness of the fold, stage invariants, determinism,
+// paper-anchored behaviours).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/placement.hpp"
+#include "model/query_model.hpp"
+
+namespace kvscale {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Placement policies
+// ---------------------------------------------------------------------------
+
+TEST(PlacementTest, RoundRobinRotatesExactly) {
+  PlacementPolicy policy(PlacementKind::kRoundRobin, 4, 1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.Place("k" + std::to_string(i)), i % 4);
+  }
+}
+
+TEST(PlacementTest, DhtRandomIsDeterministicPerKey) {
+  PlacementPolicy a(PlacementKind::kDhtRandom, 8, 1);
+  PlacementPolicy b(PlacementKind::kDhtRandom, 8, 99);  // seed-independent
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.Place(key), b.Place(key));
+  }
+}
+
+TEST(PlacementTest, DhtRandomSpreadsKeys) {
+  PlacementPolicy policy(PlacementKind::kDhtRandom, 8, 1);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[policy.Place("k" + std::to_string(i))];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(PlacementTest, TokenRingCoversAllNodes) {
+  PlacementPolicy policy(PlacementKind::kTokenRing, 6, 1);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 3000; ++i) seen.insert(policy.Place("k" + std::to_string(i)));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(PlacementTest, JumpHashSpreadsAndIsSeedIndependent) {
+  PlacementPolicy a(PlacementKind::kJumpHash, 8, 1);
+  PlacementPolicy b(PlacementKind::kJumpHash, 8, 99);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const NodeId node = a.Place(key);
+    EXPECT_EQ(node, b.Place(key));  // deterministic, seed-free
+    ++counts[node];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(PlacementTest, LeastLoadedBalancesPerfectlyWithFeedback) {
+  PlacementPolicy policy(PlacementKind::kLeastLoaded, 4, 1);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId node = policy.Place("k" + std::to_string(i));
+    policy.OnDispatch(node);
+    ++counts[node];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(PlacementTest, PowerOfTwoBeatsSingleChoice) {
+  constexpr int kKeys = 200;
+  constexpr uint32_t kNodes = 16;
+  PlacementPolicy single(PlacementKind::kDhtRandom, kNodes, 1);
+  PlacementPolicy two(PlacementKind::kPowerOfTwo, kNodes, 1);
+  std::vector<uint64_t> c1(kNodes, 0), c2(kNodes, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    ++c1[single.Place(key)];
+    const NodeId n2 = two.Place(key);
+    two.OnDispatch(n2);
+    ++c2[n2];
+  }
+  const uint64_t max1 = *std::max_element(c1.begin(), c1.end());
+  const uint64_t max2 = *std::max_element(c2.begin(), c2.end());
+  EXPECT_LE(max2, max1);  // Mitzenmacher: two choices strictly flatter
+}
+
+TEST(PlacementTest, CompleteReducesOutstanding) {
+  PlacementPolicy policy(PlacementKind::kLeastLoaded, 2, 1);
+  policy.OnDispatch(0);
+  policy.OnDispatch(0);
+  policy.OnComplete(0);
+  EXPECT_EQ(policy.outstanding()[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Workload helpers
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpecTest, UniformWorkloadPartitionsEvenly) {
+  const auto spec = UniformWorkload(1000000, 1000);
+  EXPECT_EQ(spec.partitions.size(), 1000u);
+  EXPECT_EQ(spec.TotalElements(), 1000000u);
+  EXPECT_DOUBLE_EQ(spec.MeanKeysize(), 1000.0);
+  for (const auto& p : spec.partitions) EXPECT_EQ(p.elements, 1000u);
+}
+
+TEST(WorkloadSpecTest, UniformWorkloadSpreadsRemainder) {
+  const auto spec = UniformWorkload(1003, 10);
+  EXPECT_EQ(spec.TotalElements(), 1003u);
+  uint32_t large = 0;
+  for (const auto& p : spec.partitions) large += (p.elements == 101);
+  EXPECT_EQ(large, 3u);
+}
+
+TEST(WorkloadSpecTest, ZipfWorkloadConservesTotalsWithHeavyHead) {
+  const auto spec = ZipfWorkload(1000000, 1000, 0.8, 3);
+  EXPECT_EQ(spec.partitions.size(), 1000u);
+  EXPECT_EQ(spec.TotalElements(), 1000000u);
+  uint32_t largest = 0;
+  for (const auto& p : spec.partitions) {
+    EXPECT_GE(p.elements, 1u);
+    largest = std::max(largest, p.elements);
+  }
+  EXPECT_GT(largest, 10000u);  // heavy head: >10x the mean
+}
+
+TEST(ClusterSimTest, InflationCapOnlyChangesHeterogeneousRuns) {
+  // Uniform workload: the cap never binds, results identical.
+  const auto uniform = UniformWorkload(200000, 500);
+  ClusterConfig plain;
+  plain.nodes = 8;
+  plain.seed = 1234;
+  ClusterConfig capped = plain;
+  capped.cap_inflation_at_optimal = true;
+  EXPECT_DOUBLE_EQ(RunDistributedQuery(plain, uniform).makespan,
+                   RunDistributedQuery(capped, uniform).makespan);
+  // Heavy-tailed workload: the cap protects the giant rows.
+  const auto zipf = ZipfWorkload(200000, 500, 1.0, 1);
+  const auto a = RunDistributedQuery(plain, zipf);
+  const auto b = RunDistributedQuery(capped, zipf);
+  EXPECT_LT(b.makespan, a.makespan);
+}
+
+TEST(SyntheticCountsTest, SumToElementsAndAreDeterministic) {
+  const auto counts = SyntheticPartitionCounts("cube:1:17", 1000);
+  uint64_t sum = 0;
+  for (const auto& [type, count] : counts) {
+    EXPECT_LT(type, 8u);
+    sum += count;
+  }
+  EXPECT_EQ(sum, 1000u);
+  EXPECT_EQ(counts, SyntheticPartitionCounts("cube:1:17", 1000));
+  EXPECT_NE(counts, SyntheticPartitionCounts("cube:1:18", 1000));
+}
+
+// ---------------------------------------------------------------------------
+// Distributed query simulation
+// ---------------------------------------------------------------------------
+
+ClusterConfig FastConfig(uint32_t nodes) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.serializer = KryoLikeProfile();
+  config.seed = 1234;
+  return config;
+}
+
+TEST(ClusterSimTest, AggregationMatchesGroundTruth) {
+  const auto workload = UniformWorkload(50000, 100);
+  const auto result = RunDistributedQuery(FastConfig(4), workload);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+}
+
+TEST(ClusterSimTest, OneTracePerPartitionWithOrderedStages) {
+  const auto workload = UniformWorkload(100000, 200);
+  const auto result = RunDistributedQuery(FastConfig(8), workload);
+  ASSERT_EQ(result.tracer.size(), 200u);
+  for (const auto& t : result.tracer.traces()) {
+    EXPECT_GE(t.issued, 0.0);
+    EXPECT_LE(t.issued, t.received);
+    EXPECT_LE(t.received, t.db_start);
+    EXPECT_LE(t.db_start, t.db_end);
+    EXPECT_LE(t.db_end, t.completed);
+    EXPECT_LT(t.node, 8u);
+    EXPECT_GT(t.keysize, 0.0);
+  }
+}
+
+TEST(ClusterSimTest, RequestsPerNodeSumsToPartitions) {
+  const auto workload = UniformWorkload(100000, 500);
+  const auto result = RunDistributedQuery(FastConfig(8), workload);
+  uint64_t sum = 0;
+  for (uint64_t c : result.requests_per_node) sum += c;
+  EXPECT_EQ(sum, 500u);
+}
+
+TEST(ClusterSimTest, DeterministicForSameSeed) {
+  const auto workload = UniformWorkload(50000, 100);
+  const auto a = RunDistributedQuery(FastConfig(4), workload);
+  const auto b = RunDistributedQuery(FastConfig(4), workload);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.tracer.size(), b.tracer.size());
+  for (size_t i = 0; i < a.tracer.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tracer.traces()[i].db_end, b.tracer.traces()[i].db_end);
+  }
+}
+
+TEST(ClusterSimTest, DifferentSeedsChangeNoise) {
+  const auto workload = UniformWorkload(50000, 100);
+  ClusterConfig c1 = FastConfig(4), c2 = FastConfig(4);
+  c2.seed = 999;
+  const auto a = RunDistributedQuery(c1, workload);
+  const auto b = RunDistributedQuery(c2, workload);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(ClusterSimTest, MasterIssueTimeMatchesFormula3) {
+  ClusterConfig config = FastConfig(8);
+  config.db.noise_sigma = 0.0;
+  const auto workload = UniformWorkload(1000000, 10000);
+  const auto result = RunDistributedQuery(config, workload);
+  const MasterModel master = MasterModel::FromSerializer(config.serializer);
+  // The simulator charges the profile cost at the *real* encoded size, so
+  // allow 30% around the profile's typical-cost estimate.
+  EXPECT_NEAR(result.master_issue_done, master.IssueTime(10000),
+              master.IssueTime(10000) * 0.3);
+}
+
+TEST(ClusterSimTest, SlowMasterReproducesPaperBottleneck) {
+  // Section V-B: with Java serialization "the master requires up to 1.5
+  // seconds to finish sending all requests" for the fine-grained workload.
+  ClusterConfig config = FastConfig(16);
+  config.serializer = JavaLikeProfile();
+  config.size_messages_with_compact_codec = false;
+  const auto workload = UniformWorkload(1000000, 10000);
+  const auto result = RunDistributedQuery(config, workload);
+  EXPECT_NEAR(result.master_issue_done / kSecond, 1.5, 0.15);
+  // And the whole query is pinned near that master time.
+  EXPECT_LT(result.makespan / kSecond, 2.6);
+}
+
+TEST(ClusterSimTest, FastMasterRemovesTheBottleneck) {
+  // After the Kryo optimization the same workload sends in ~192 ms.
+  ClusterConfig config = FastConfig(16);
+  const auto workload = UniformWorkload(1000000, 10000);
+  const auto result = RunDistributedQuery(config, workload);
+  EXPECT_LT(result.master_issue_done / kMillisecond, 260);
+}
+
+TEST(ClusterSimTest, ScalingImprovesWithNodes) {
+  const auto workload = UniformWorkload(200000, 1000);
+  Micros prev = RunDistributedQuery(FastConfig(1), workload).makespan;
+  for (uint32_t n : {2u, 4u, 8u}) {
+    const Micros cur = RunDistributedQuery(FastConfig(n), workload).makespan;
+    EXPECT_LT(cur, prev) << n;
+    prev = cur;
+  }
+}
+
+TEST(ClusterSimTest, SimAgreesWithAnalyticalModel) {
+  // The validation loop of Figure 8: simulator vs Formula 2, within the
+  // tolerance set by imbalance draws and service noise.
+  for (uint64_t keys : {100ULL, 1000ULL, 10000ULL}) {
+    ClusterConfig config = FastConfig(8);
+    config.gc.quadratic_us_per_element2 = 0.0;  // compare without GC term
+    const auto workload = UniformWorkload(1000000, keys);
+    const auto sim = RunDistributedQuery(config, workload);
+    const QueryModel model(DbModel{},
+                           MasterModel::FromSerializer(config.serializer));
+    const Micros predicted = model.Predict(1000000, keys, 8).total;
+    EXPECT_NEAR(sim.makespan / predicted, 1.0, 0.45) << keys;
+  }
+}
+
+TEST(ClusterSimTest, NodeFinishTimesTrackRequestCounts) {
+  // Figure 2's observation: the node that served the most requests is
+  // (usually) the last to finish. Check the correlation, not the extreme.
+  ClusterConfig config = FastConfig(16);
+  config.db.noise_sigma = 0.05;
+  const auto workload = UniformWorkload(1000000, 100);
+  const auto result = RunDistributedQuery(config, workload);
+  const auto busiest = std::max_element(result.requests_per_node.begin(),
+                                        result.requests_per_node.end()) -
+                       result.requests_per_node.begin();
+  const auto slowest = std::max_element(result.node_finish_times.begin(),
+                                        result.node_finish_times.end()) -
+                       result.node_finish_times.begin();
+  EXPECT_EQ(result.requests_per_node[busiest],
+            result.requests_per_node[slowest]);
+}
+
+TEST(ClusterSimTest, RoundRobinRemovesRequestImbalance) {
+  ClusterConfig random_config = FastConfig(16);
+  ClusterConfig rr_config = FastConfig(16);
+  rr_config.placement = PlacementKind::kRoundRobin;
+  const auto workload = UniformWorkload(1000000, 100);
+  const auto random_run = RunDistributedQuery(random_config, workload);
+  const auto rr_run = RunDistributedQuery(rr_config, workload);
+  EXPECT_GT(random_run.RequestImbalance(), 0.2);
+  EXPECT_LT(rr_run.RequestImbalance(), 0.15);
+  EXPECT_LT(rr_run.makespan, random_run.makespan);
+}
+
+TEST(ClusterSimTest, NetworkAccountingIsPlausible) {
+  const auto workload = UniformWorkload(100000, 1000);
+  const auto result = RunDistributedQuery(FastConfig(4), workload);
+  // One request + one result per partition.
+  EXPECT_EQ(result.network_messages, 2000u);
+  EXPECT_GT(result.network_bytes, 1000.0 * 20);
+}
+
+TEST(ClusterSimTest, SingleNodeClusterWorks) {
+  const auto workload = UniformWorkload(10000, 10);
+  const auto result = RunDistributedQuery(FastConfig(1), workload);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+  EXPECT_EQ(result.requests_per_node.size(), 1u);
+  EXPECT_EQ(result.requests_per_node[0], 10u);
+}
+
+class ClusterSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ClusterSizeSweep, FoldIsCorrectAtEveryScale) {
+  const auto workload = UniformWorkload(20000, 50);
+  const auto result = RunDistributedQuery(FastConfig(GetParam()), workload);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperClusterSizes, ClusterSizeSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,294 @@
+// Tests for the write-ahead commit log and LocalStore recovery.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "store/commit_log.hpp"
+#include "store/local_store.hpp"
+
+namespace kvscale {
+namespace {
+
+std::string TempLogPath(const char* tag) {
+  return std::string("/tmp/kvscale_wal_") + tag + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+Column MakeColumn(uint64_t clustering, uint32_t type) {
+  Column c;
+  c.clustering = clustering;
+  c.type_id = type;
+  c.payload = MakePayload(3, clustering, 20);
+  return c;
+}
+
+class CommitLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CommitLogTest, AppendReplayRoundTrip) {
+  path_ = TempLogPath("roundtrip");
+  {
+    CommitLog log(path_);
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(log.Append("t", "p" + std::to_string(i % 5),
+                             MakeColumn(i, i % 3))
+                      .ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+    EXPECT_EQ(log.records_appended(), 100u);
+  }
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 100u);
+  EXPECT_EQ(records.value()[7].partition_key, "p2");
+  EXPECT_EQ(records.value()[7].column, MakeColumn(7, 1));
+}
+
+TEST_F(CommitLogTest, ReplayOfMissingFileIsEmpty) {
+  auto records = CommitLog::Replay("/tmp/kvscale_wal_does_not_exist.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST_F(CommitLogTest, TornTailIsDroppedNotFatal) {
+  path_ = TempLogPath("torn");
+  {
+    CommitLog log(path_);
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.Append("t", "p", MakeColumn(i, 0)).ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  // Chop a few bytes off the end: the last record is torn.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 5);
+
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 9u);
+}
+
+TEST_F(CommitLogTest, CorruptedPayloadEndsReplayAtTheBadRecord) {
+  path_ = TempLogPath("corrupt");
+  {
+    CommitLog log(path_);
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.Append("t", "p", MakeColumn(i, 0)).ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  // Flip one byte near the middle of the file.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(200);
+  char byte = 0;
+  file.read(&byte, 1);
+  file.seekp(200);
+  byte = static_cast<char>(byte ^ 0xff);
+  file.write(&byte, 1);
+  file.close();
+
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_LT(records.value().size(), 10u);  // replay stopped at corruption
+}
+
+TEST_F(CommitLogTest, MarkCleanTruncates) {
+  path_ = TempLogPath("clean");
+  CommitLog log(path_);
+  ASSERT_TRUE(log.Append("t", "p", MakeColumn(1, 0)).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  ASSERT_TRUE(log.MarkClean().ok());
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST_F(CommitLogTest, TombstonesSurviveTheLog) {
+  path_ = TempLogPath("tombstone");
+  {
+    CommitLog log(path_);
+    ASSERT_TRUE(log.Append("t", "p", Column::Tombstone(42)).ok());
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_TRUE(records.value()[0].column.tombstone);
+  EXPECT_EQ(records.value()[0].column.clustering, 42u);
+}
+
+TEST_F(CommitLogTest, StoreCrashRecoveryCycle) {
+  path_ = TempLogPath("recovery");
+  StoreOptions options;
+  options.wal_path = path_;
+  TypeCounts expected;
+  {
+    // "Crash": the store object dies with dirty memtables.
+    LocalStore store(options);
+    for (uint64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          store.DurablePut("data", "p" + std::to_string(i % 4),
+                           MakeColumn(i, i % 3))
+              .ok());
+      ++expected[i % 3];
+    }
+    // No FlushAll: everything only lives in memtables + the log.
+  }
+  {
+    LocalStore revived(options);
+    auto recovered = revived.Recover();
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered.value(), 200u);
+    TypeCounts counts;
+    for (int p = 0; p < 4; ++p) {
+      auto partial =
+          revived.GetOrCreateTable("data").CountByType("p" + std::to_string(p));
+      ASSERT_TRUE(partial.ok());
+      for (const auto& [type, count] : partial.value()) {
+        counts[type] += count;
+      }
+    }
+    EXPECT_EQ(counts, expected);
+  }
+}
+
+TEST_F(CommitLogTest, FlushAllMarksTheLogClean) {
+  path_ = TempLogPath("flushclean");
+  StoreOptions options;
+  options.wal_path = path_;
+  LocalStore store(options);
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.DurablePut("data", "p", MakeColumn(i, 0)).ok());
+  }
+  store.FlushAll();  // data now in segments; the log restarts
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+  // The data is still readable.
+  auto counts = store.GetOrCreateTable("data").CountByType("p");
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().at(0), 50u);
+}
+
+TEST_F(CommitLogTest, SnapshotSaveLoadRoundTrip) {
+  path_ = TempLogPath("snapshot");
+  TableOptions options;
+  options.memtable_flush_bytes = 8 * kKiB;  // several segments
+  Table original("t", options, nullptr);
+  for (uint64_t i = 0; i < 600; ++i) {
+    original.Put("p" + std::to_string(i % 7), MakeColumn(i, i % 3));
+  }
+  original.Delete("p0", 0);
+  ASSERT_TRUE(original.SaveSnapshot(path_).ok());
+
+  Table restored("t", options, nullptr);
+  ASSERT_TRUE(restored.LoadSnapshot(path_).ok());
+  for (int p = 0; p < 7; ++p) {
+    const std::string key = "p" + std::to_string(p);
+    auto a = original.GetPartition(key);
+    auto b = restored.GetPartition(key);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << key;
+    // The column-index structure survives too.
+    EXPECT_EQ(original.PartitionEncodedBytes(key),
+              restored.PartitionEncodedBytes(key));
+  }
+  // The tombstone still shadows after restore.
+  auto p0 = restored.GetPartition("p0");
+  ASSERT_TRUE(p0.ok());
+  for (const auto& c : p0.value()) EXPECT_NE(c.clustering, 0u);
+}
+
+TEST_F(CommitLogTest, SnapshotLoadRejectsCorruption) {
+  path_ = TempLogPath("snapshot_corrupt");
+  Table table("t", TableOptions{}, nullptr);
+  for (uint64_t i = 0; i < 100; ++i) table.Put("p", MakeColumn(i, 0));
+  ASSERT_TRUE(table.SaveSnapshot(path_).ok());
+
+  // Flip a byte inside the segment body.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(100);
+  char byte = 0;
+  file.read(&byte, 1);
+  file.seekp(100);
+  byte = static_cast<char>(byte ^ 0x55);
+  file.write(&byte, 1);
+  file.close();
+
+  Table victim("t", TableOptions{}, nullptr);
+  victim.Put("keep", MakeColumn(1, 0));
+  EXPECT_EQ(victim.LoadSnapshot(path_).code(), StatusCode::kCorruption);
+  // The failed load left the table untouched.
+  EXPECT_TRUE(victim.HasPartition("keep"));
+}
+
+TEST_F(CommitLogTest, SnapshotOfEmptyTableIsLoadable) {
+  path_ = TempLogPath("snapshot_empty");
+  Table empty("t", TableOptions{}, nullptr);
+  ASSERT_TRUE(empty.SaveSnapshot(path_).ok());
+  Table restored("t", TableOptions{}, nullptr);
+  ASSERT_TRUE(restored.LoadSnapshot(path_).ok());
+  EXPECT_EQ(restored.segment_count(), 0u);
+}
+
+TEST_F(CommitLogTest, SnapshotLoadOfMissingFileIsNotFound) {
+  Table table("t", TableOptions{}, nullptr);
+  EXPECT_EQ(table.LoadSnapshot("/tmp/kvscale_no_such_snapshot.bin").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CommitLogTest, SnapshotPlusWalIsTheFullDurabilityStory) {
+  // Snapshot = segments at a point in time; WAL = what came after.
+  path_ = TempLogPath("snap_wal");
+  const std::string snap_path = path_ + ".snap";
+  StoreOptions options;
+  options.wal_path = path_;
+  TypeCounts expected;
+  {
+    LocalStore store(options);
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store.DurablePut("data", "p", MakeColumn(i, i % 2)).ok());
+      ++expected[i % 2];
+    }
+    store.FlushAll();  // log marked clean; data in segments
+    ASSERT_TRUE(store.GetOrCreateTable("data").SaveSnapshot(snap_path).ok());
+    for (uint64_t i = 100; i < 150; ++i) {
+      ASSERT_TRUE(store.DurablePut("data", "p", MakeColumn(i, i % 2)).ok());
+      ++expected[i % 2];
+    }
+    // "Crash" with the last 50 writes only in memtable + WAL.
+  }
+  {
+    LocalStore revived(options);
+    ASSERT_TRUE(
+        revived.GetOrCreateTable("data").LoadSnapshot(snap_path).ok());
+    auto recovered = revived.Recover();
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered.value(), 50u);
+    auto counts = revived.GetOrCreateTable("data").CountByType("p");
+    ASSERT_TRUE(counts.ok());
+    EXPECT_EQ(counts.value(), expected);
+  }
+  std::remove(snap_path.c_str());
+}
+
+TEST_F(CommitLogTest, DurablePutWithoutLogFails) {
+  LocalStore store;  // no wal_path
+  EXPECT_EQ(store.DurablePut("t", "p", MakeColumn(1, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(store.Recover().ok());
+}
+
+}  // namespace
+}  // namespace kvscale

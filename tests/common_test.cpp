@@ -1,0 +1,246 @@
+// Tests for src/common: Status/Result, Rng, units, TablePrinter, CliFlags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+
+namespace kvscale {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key k1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "key k1");
+  EXPECT_EQ(s.ToString(), "NotFound: key k1");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMeanOneParametrisation) {
+  // LogNormal(-sigma^2/2, sigma) has mean 1: the simulator relies on this
+  // so noise does not bias service times.
+  Rng rng(23);
+  const double sigma = 0.3;
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.LogNormal(-0.5 * sigma * sigma, sigma);
+  EXPECT_NEAR(sum / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / 50000, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream is not a shifted copy of the parent stream.
+  Rng parent2(31);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.Next() == parent.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(100, 100);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RngTest, SampleWithoutReplacementPartial) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(1000, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t s : sample) EXPECT_LT(s, 1000u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(UnitsTest, FormatMicrosPicksUnit) {
+  EXPECT_EQ(FormatMicros(3.0), "3.00 us");
+  EXPECT_EQ(FormatMicros(1500.0), "1.50 ms");
+  EXPECT_EQ(FormatMicros(2.5e6), "2.50 s");
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(64 * kKiB), "64.0 KiB");
+  EXPECT_EQ(FormatBytes(static_cast<uint64_t>(7.5 * kMiB)), "7.50 MiB");
+}
+
+TEST(UnitsTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.432), "+43.2%");
+  EXPECT_EQ(FormatPercent(-0.05), "-5.0%");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Cell(int64_t{-7}), "-7");
+}
+
+TEST(CliFlagsTest, ParsesAllTypes) {
+  int64_t nodes = 0;
+  double ratio = 0.0;
+  bool verbose = false;
+  std::string name;
+  CliFlags flags;
+  flags.Add("nodes", &nodes, "node count");
+  flags.Add("ratio", &ratio, "a ratio");
+  flags.Add("verbose", &verbose, "chatty");
+  flags.Add("name", &name, "label");
+  const char* argv[] = {"prog", "--nodes=16", "--ratio", "0.5", "--verbose",
+                        "--name=test"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(nodes, 16);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "test");
+}
+
+TEST(CliFlagsTest, RejectsUnknownFlag) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(CliFlagsTest, RejectsMalformedInt) {
+  int64_t v = 0;
+  CliFlags flags;
+  flags.Add("v", &v, "");
+  const char* argv[] = {"prog", "--v=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(CliFlagsTest, HelpReturnsFalse) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+}  // namespace
+}  // namespace kvscale

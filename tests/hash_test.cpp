@@ -1,0 +1,223 @@
+// Tests for src/hash: hash functions and the consistent-hash token ring.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hash/hash.hpp"
+#include "hash/token_ring.hpp"
+#include "model/balls_into_bins.hpp"
+
+namespace kvscale {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Murmur3EmptyWithZeroSeedIsZero) {
+  const Hash128 h = Murmur3_128("", 0);
+  EXPECT_EQ(h.lo, 0u);
+  EXPECT_EQ(h.hi, 0u);
+}
+
+TEST(HashTest, Murmur3Deterministic) {
+  EXPECT_EQ(Murmur3_128("hello world"), Murmur3_128("hello world"));
+  EXPECT_FALSE(Murmur3_128("hello world") == Murmur3_128("hello worlds"));
+}
+
+TEST(HashTest, Murmur3SeedChangesResult) {
+  EXPECT_FALSE(Murmur3_128("key", 0) == Murmur3_128("key", 1));
+}
+
+TEST(HashTest, Murmur3AllTailLengths) {
+  // Exercise every tail-switch branch (lengths 0..16) and beyond.
+  std::set<uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    seen.insert(Murmur3_128(s).lo);
+    s += static_cast<char>('a' + len % 26);
+  }
+  EXPECT_EQ(seen.size(), 41u);  // no collisions among the prefixes
+}
+
+TEST(HashTest, TokenIsUniformAcrossBuckets) {
+  constexpr int kBuckets = 16;
+  constexpr int kKeys = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int k = 0; k < kKeys; ++k) {
+    ++counts[Token("key-" + std::to_string(k)) % kBuckets];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.05);
+  }
+}
+
+TEST(TokenRingTest, AddAndRemoveNodes) {
+  TokenRing ring(16);
+  EXPECT_TRUE(ring.AddNode(0).ok());
+  EXPECT_TRUE(ring.AddNode(1).ok());
+  EXPECT_EQ(ring.AddNode(1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_EQ(ring.token_count(), 32u);
+  EXPECT_TRUE(ring.RemoveNode(0).ok());
+  EXPECT_EQ(ring.RemoveNode(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ring.token_count(), 16u);
+}
+
+TEST(TokenRingTest, EveryKeyHasExactlyOneOwner) {
+  TokenRing ring(64);
+  for (NodeId n = 0; n < 8; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  for (int k = 0; k < 1000; ++k) {
+    const NodeId owner = ring.OwnerOfKey("key-" + std::to_string(k));
+    EXPECT_LT(owner, 8u);
+    // Determinism.
+    EXPECT_EQ(owner, ring.OwnerOfKey("key-" + std::to_string(k)));
+  }
+}
+
+TEST(TokenRingTest, RemovalOnlyMovesVictimsKeys) {
+  // The defining property of consistent hashing: removing a node must not
+  // re-map keys owned by other nodes.
+  TokenRing ring(64);
+  for (NodeId n = 0; n < 8; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  std::map<std::string, NodeId> before;
+  for (int k = 0; k < 2000; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    before[key] = ring.OwnerOfKey(key);
+  }
+  ASSERT_TRUE(ring.RemoveNode(3).ok());
+  for (const auto& [key, owner] : before) {
+    if (owner != 3) EXPECT_EQ(ring.OwnerOfKey(key), owner) << key;
+  }
+}
+
+TEST(TokenRingTest, ReplicasAreDistinctAndLeadWithOwner) {
+  TokenRing ring(32);
+  for (NodeId n = 0; n < 6; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    const auto replicas = ring.ReplicasOfKey(key, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], ring.OwnerOfKey(key));
+    std::set<NodeId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(TokenRingTest, ReplicationClampedToClusterSize) {
+  TokenRing ring(16);
+  ASSERT_TRUE(ring.AddNode(0).ok());
+  ASSERT_TRUE(ring.AddNode(1).ok());
+  EXPECT_EQ(ring.ReplicasOfKey("k", 5).size(), 2u);
+}
+
+TEST(TokenRingTest, CountKeysSumsToTotal) {
+  TokenRing ring(64);
+  for (NodeId n = 0; n < 4; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 500; ++k) keys.push_back("k" + std::to_string(k));
+  const auto counts = ring.CountKeys(keys);
+  uint64_t sum = 0;
+  for (uint64_t c : counts) sum += c;
+  EXPECT_EQ(sum, keys.size());
+}
+
+TEST(TokenRingTest, OwnershipFractionsSumToOne) {
+  TokenRing ring(128);
+  for (NodeId n = 0; n < 5; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  const auto fractions = ring.OwnershipFractions();
+  double sum = 0;
+  for (double f : fractions) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TokenRingTest, ManyVnodesApproachUniformOwnership) {
+  TokenRing ring(512);
+  constexpr uint32_t kNodes = 8;
+  for (NodeId n = 0; n < kNodes; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  for (double f : ring.OwnershipFractions()) {
+    EXPECT_NEAR(f, 1.0 / kNodes, 0.04);
+  }
+}
+
+/// With many keys the ring's distribution should track the balls-into-bins
+/// bound from the paper's Formula 1.
+TEST(TokenRingTest, KeyImbalanceWithinTheoreticalBallpark) {
+  TokenRing ring(256);
+  constexpr uint32_t kNodes = 16;
+  for (NodeId n = 0; n < kNodes; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 20000; ++k) keys.push_back("part-" + std::to_string(k));
+  const auto counts = ring.CountKeys(keys);
+  const double imbalance = EmpiricalImbalance(counts);
+  // F1 predicts ~4.7% for 20k keys / 16 nodes; vnode ownership noise adds
+  // to that, so allow a generous multiple.
+  EXPECT_LT(imbalance, 5 * ImbalanceRatio(20000, kNodes) + 0.05);
+}
+
+TEST(JumpHashTest, UniformOccupancy) {
+  constexpr uint32_t kBuckets = 16;
+  constexpr int kKeys = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int k = 0; k < kKeys; ++k) {
+    const uint32_t bucket =
+        JumpConsistentHash(Token("jump-" + std::to_string(k)), kBuckets);
+    ASSERT_LT(bucket, kBuckets);
+    ++counts[bucket];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.06);
+  }
+}
+
+TEST(JumpHashTest, SingleBucketIsAlwaysZero) {
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(JumpConsistentHash(k * 0x9e3779b97f4a7c15ULL, 1), 0u);
+  }
+}
+
+TEST(JumpHashTest, GrowthMovesMinimalKeys) {
+  // The defining property: going n -> n+1 moves only ~1/(n+1) of keys,
+  // and every moved key lands in the *new* bucket.
+  constexpr uint32_t kFrom = 10;
+  constexpr int kKeys = 50000;
+  int moved = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const uint64_t key = Token("grow-" + std::to_string(k));
+    const uint32_t before = JumpConsistentHash(key, kFrom);
+    const uint32_t after = JumpConsistentHash(key, kFrom + 1);
+    if (before != after) {
+      ++moved;
+      EXPECT_EQ(after, kFrom);  // moved keys go to the new bucket only
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / kKeys, 1.0 / (kFrom + 1), 0.01);
+}
+
+class TokenRingSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TokenRingSizeTest, AllNodesReceiveSomeKeys) {
+  const uint32_t nodes = GetParam();
+  TokenRing ring(128);
+  for (NodeId n = 0; n < nodes; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 5000; ++k) keys.push_back("k" + std::to_string(k));
+  const auto counts = ring.CountKeys(keys);
+  ASSERT_EQ(counts.size(), nodes);
+  for (uint64_t c : counts) EXPECT_GT(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, TokenRingSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace kvscale

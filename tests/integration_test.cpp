@@ -1,0 +1,140 @@
+// End-to-end integration: generate -> index -> shard -> query (real data),
+// then simulate -> calibrate -> predict (the paper's full methodology).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/in_process_cluster.hpp"
+#include "model/calibrator.hpp"
+#include "model/optimizer.hpp"
+#include "model/query_model.hpp"
+#include "workload/alya.hpp"
+#include "workload/d8tree.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+/// Stage 1 of the paper: a real dataset indexed by the D8tree, sharded over
+/// a real cluster, aggregated by a master — counts must be exact.
+TEST(IntegrationTest, RealDataPipelineEndToEnd) {
+  AlyaParams params;
+  params.particles = 30000;
+  params.seed = 2024;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 4);
+
+  // Shard level-4 cubes over 4 nodes.
+  InProcessCluster cluster(4, PlacementKind::kDhtRandom, StoreOptions{}, 3);
+  WorkloadSpec workload;
+  workload.table = "alya.cubes";
+  TypeCounts truth;
+  for (const auto& [morton, count] : tree.CubeSizes(4)) {
+    const std::string key = CubeKey(4, morton);
+    for (uint64_t id : tree.CubeParticles(4, morton)) {
+      const Particle& p = particles[id];
+      Column c;
+      c.clustering = p.id;
+      c.type_id = p.type;
+      c.payload = MakePayload(morton, p.id, kParticlePayloadBytes);
+      cluster.Put(workload.table, key, std::move(c));
+      ++truth[p.type];
+    }
+    workload.partitions.push_back(PartitionRef{key, count});
+  }
+  cluster.FlushAll();
+
+  const GatherResult gathered = cluster.CountByTypeAll(workload);
+  EXPECT_EQ(gathered.partitions_missing, 0u);
+  EXPECT_EQ(gathered.totals, truth);
+
+  // The same workload plan drives the virtual-time simulator; its fold of
+  // synthetic counts must also be internally consistent.
+  ClusterConfig config;
+  config.nodes = 4;
+  const QueryRunResult sim = RunDistributedQuery(config, workload);
+  EXPECT_EQ(sim.aggregated, ExpectedAggregation(workload));
+  EXPECT_GT(sim.makespan, 0.0);
+}
+
+/// Stage 2: the calibration methodology — run single-request measurements
+/// in the simulator, refit Formula 6, and check the refit model predicts
+/// the simulator's cluster results about as well as the built-in one.
+TEST(IntegrationTest, CalibrateThenPredictLoop) {
+  // Single-request "measurements" from the simulator: one partition per
+  // run on one node with concurrency 1 and no noise isolates Formula 6.
+  std::vector<CalibrationSample> samples;
+  for (double keysize : {100.0, 300.0, 700.0, 1000.0, 1200.0, 1400.0,
+                         1600.0, 2500.0, 4000.0, 6000.0, 8000.0, 10000.0}) {
+    ClusterConfig config;
+    config.nodes = 1;
+    config.db_concurrency = 1;
+    config.db.noise_sigma = 0.0;
+    config.gc.quadratic_us_per_element2 = 0.0;
+    WorkloadSpec spec;
+    spec.partitions = {
+        PartitionRef{"probe", static_cast<uint32_t>(keysize)}};
+    const auto run = RunDistributedQuery(config, spec);
+    const auto& trace = run.tracer.traces()[0];
+    samples.push_back(
+        CalibrationSample{keysize, trace.StageDuration(Stage::kInDb)});
+  }
+  const SegmentedFit fit = FitQueryTimeModel(samples, 3);
+  // The refit recovers the planted Formula 6 within a few percent.
+  const DbModel truth;
+  for (double keysize : {200.0, 900.0, 5000.0}) {
+    EXPECT_NEAR(fit(keysize) / truth.QueryTime(keysize), 1.0, 0.06)
+        << keysize;
+  }
+}
+
+/// Stage 3: the optimizer applied to the simulated system — the optimal
+/// partition count must beat the paper's three fixed granularities.
+TEST(IntegrationTest, OptimizerBeatsFixedGranularities) {
+  const QueryModel model(DbModel{},
+                         MasterModel::FromSerializer(KryoLikeProfile()));
+  PartitionOptimizer optimizer(model);
+  constexpr uint32_t kNodes = 8;
+  const auto opt = optimizer.Optimize(1000000, kNodes);
+
+  ClusterConfig config;
+  config.nodes = kNodes;
+  config.gc.quadratic_us_per_element2 = 0.0;
+  const Micros optimal_time =
+      RunDistributedQuery(config, UniformWorkload(1000000, opt.keys))
+          .makespan;
+  for (auto granularity : {Granularity::kCoarse, Granularity::kMedium,
+                           Granularity::kFine}) {
+    const Micros fixed_time =
+        RunDistributedQuery(config,
+                            MakeUniformWorkload(granularity, 1000000))
+            .makespan;
+    EXPECT_LT(optimal_time, fixed_time * 1.15)
+        << GranularityName(granularity);
+  }
+}
+
+/// Model-vs-simulator validation across the full grid (Figure 8's spirit).
+TEST(IntegrationTest, ModelTracksSimulatorAcrossGrid) {
+  const QueryModel model(DbModel{},
+                         MasterModel::FromSerializer(KryoLikeProfile()));
+  for (uint64_t keys : {100ULL, 1000ULL, 10000ULL}) {
+    for (uint32_t nodes : {1u, 4u, 16u}) {
+      ClusterConfig config;
+      config.nodes = nodes;
+      config.gc.quadratic_us_per_element2 = 0.0;
+      const auto run =
+          RunDistributedQuery(config, UniformWorkload(1000000, keys));
+      const Micros predicted = model.Predict(1000000, keys, nodes).total;
+      const double ratio = run.makespan / predicted;
+      // Single imbalance draws put coarse-grained runs furthest from the
+      // expectation; everything stays within a factor ~1.6.
+      EXPECT_GT(ratio, 0.6) << keys << "@" << nodes;
+      EXPECT_LT(ratio, 1.7) << keys << "@" << nodes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,94 @@
+// Tests for the metrics recorder (trace/metrics.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/resource.hpp"
+#include "trace/metrics.hpp"
+
+namespace kvscale {
+namespace {
+
+TEST(TimeSeriesTest, SummariesAndLookup) {
+  TimeSeries series;
+  series.Add(0, 1.0);
+  series.Add(10, 5.0);
+  series.Add(20, 3.0);
+  EXPECT_DOUBLE_EQ(series.MaxValue(), 5.0);
+  EXPECT_DOUBLE_EQ(series.MeanValue(), 3.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(15), 5.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(-1), 0.0);
+  EXPECT_DOUBLE_EQ(series.FirstTimeAbove(4.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.FirstTimeAbove(100.0), -1.0);
+}
+
+TEST(TimeSeriesTest, SparklineShapesFollowValues) {
+  TimeSeries series;
+  for (int i = 0; i <= 100; ++i) {
+    series.Add(i, i < 50 ? 0.0 : 10.0);  // step up at t=50
+  }
+  const std::string spark = series.Sparkline(20);
+  ASSERT_EQ(spark.size(), 20u);
+  EXPECT_EQ(spark.front(), ' ');
+  EXPECT_EQ(spark.back(), '@');
+}
+
+TEST(TimeSeriesTest, EmptySeriesIsSafe) {
+  TimeSeries series;
+  EXPECT_DOUBLE_EQ(series.MaxValue(), 0.0);
+  EXPECT_DOUBLE_EQ(series.MeanValue(), 0.0);
+  EXPECT_EQ(series.Sparkline(10), "");
+}
+
+TEST(MetricsRecorderTest, SamplesGaugesOnTheInterval) {
+  Simulator sim;
+  Resource cpu(sim, 1, "cpu");
+  for (int i = 0; i < 10; ++i) {
+    cpu.Submit(100.0, [](SimTime, SimTime, SimTime) {});
+  }
+  MetricsRecorder metrics(sim, 50.0);
+  metrics.AddGauge("queue", [&] { return static_cast<double>(cpu.queue_depth()); });
+  metrics.AddGauge("active", [&] { return static_cast<double>(cpu.active()); });
+  metrics.Start();
+  sim.Run();
+
+  // 10 jobs x 100 us each = 1000 us of work sampled every 50 us.
+  EXPECT_GE(metrics.ticks(), 20u);
+  const TimeSeries& queue = metrics.series("queue");
+  EXPECT_DOUBLE_EQ(queue.samples().front().second, 9.0);  // 1 active, 9 queued
+  EXPECT_DOUBLE_EQ(queue.ValueAt(1000.0), 0.0);           // drained by the end
+  // Queue length decreases monotonically for FIFO constant-service jobs.
+  double prev = 1e9;
+  for (const auto& [t, v] : queue.samples()) {
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(metrics.series("active").MaxValue(), 1.0);
+}
+
+TEST(MetricsRecorderTest, StopsWhenSimulationDrains) {
+  Simulator sim;
+  MetricsRecorder metrics(sim, 10.0);
+  metrics.AddGauge("constant", [] { return 1.0; });
+  sim.Schedule(35.0, [] {});  // a single event
+  metrics.Start();
+  sim.Run();
+  // Ticks at 0,10,20,30,40(last: queue empty afterwards) — bounded.
+  EXPECT_LE(metrics.ticks(), 6u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(MetricsRecorderTest, ReportListsEveryGauge) {
+  Simulator sim;
+  MetricsRecorder metrics(sim, 10.0);
+  metrics.AddGauge("alpha", [] { return 1.0; });
+  metrics.AddGauge("beta", [] { return 2.0; });
+  sim.Schedule(30.0, [] {});
+  metrics.Start();
+  sim.Run();
+  const std::string report = metrics.Report(20);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_EQ(metrics.gauge_names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,153 @@
+// Tests for the navigational (dependent-request) query runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/navigational_sim.hpp"
+#include "workload/alya.hpp"
+
+namespace kvscale {
+namespace {
+
+NavigationalConfig FastConfig(uint32_t nodes) {
+  NavigationalConfig config;
+  config.base.nodes = nodes;
+  config.base.seed = 31;
+  config.base.db.noise_sigma = 0.0;
+  config.base.gc.quadratic_us_per_element2 = 0.0;
+  return config;
+}
+
+TEST(CubeKeyTest, ParseRoundTrip) {
+  uint32_t level = 0;
+  uint64_t morton = 0;
+  EXPECT_TRUE(ParseCubeKey(CubeKey(5, 123456), level, morton));
+  EXPECT_EQ(level, 5u);
+  EXPECT_EQ(morton, 123456u);
+  EXPECT_FALSE(ParseCubeKey("cube:5:1", level, morton));
+  EXPECT_FALSE(ParseCubeKey("d8:xx:1", level, morton));
+  EXPECT_FALSE(ParseCubeKey("d8:5:12junk", level, morton));
+}
+
+/// A synthetic k-ary expansion of fixed depth for controlled tests.
+ExpandFn FixedTree(uint32_t fanout, uint32_t depth, uint32_t leaf_elements) {
+  return [fanout, depth, leaf_elements](
+             const PartitionRef& done,
+             uint32_t current_depth) -> std::vector<PartitionRef> {
+    if (current_depth >= depth) return {};
+    std::vector<PartitionRef> children;
+    for (uint32_t c = 0; c < fanout; ++c) {
+      children.push_back(PartitionRef{
+          done.key + "/" + std::to_string(c), leaf_elements});
+    }
+    return children;
+  };
+}
+
+TEST(NavigationalSimTest, VisitsTheWholeTree) {
+  const auto result = RunNavigationalQuery(
+      FastConfig(4), {PartitionRef{"d8:0:0", 100}}, FixedTree(2, 3, 100));
+  // 1 + 2 + 4 + 8 = 15 probed cubes, 8 of which become leaf reads.
+  EXPECT_EQ(result.probes, 15u);
+  EXPECT_EQ(result.leaves, 8u);
+  EXPECT_EQ(result.requests, 23u);
+  EXPECT_EQ(result.max_depth, 3u);
+  EXPECT_EQ(result.tracer.size(), 23u);
+}
+
+TEST(NavigationalSimTest, ChainSerialisesOnDepth) {
+  // A depth-6 chain (fanout 1): the makespan must be at least 7 sequential
+  // probe round trips; nothing can overlap.
+  NavigationalConfig config = FastConfig(4);
+  const auto result = RunNavigationalQuery(
+      config, {PartitionRef{"d8:0:0", 100}}, FixedTree(1, 6, 100));
+  EXPECT_EQ(result.probes, 7u);
+  EXPECT_EQ(result.leaves, 1u);
+  const Micros probe_each = DbModel().QueryTime(config.probe_elements);
+  EXPECT_GT(result.makespan, 7 * probe_each);  // serial chain, no overlap
+  // Stage sanity per hop.
+  for (const auto& t : result.tracer.traces()) {
+    EXPECT_LE(t.issued, t.received);
+    EXPECT_LE(t.db_start, t.db_end);
+    EXPECT_LE(t.db_end, t.completed);
+  }
+}
+
+TEST(NavigationalSimTest, WideTreeOverlapsAcrossNodes) {
+  // Same number of leaves, but fanout 8 depth 1 vs fanout 1 depth 8:
+  // breadth parallelises, depth cannot.
+  const auto wide = RunNavigationalQuery(
+      FastConfig(8), {PartitionRef{"d8:0:0", 100}}, FixedTree(8, 1, 100));
+  const auto deep = RunNavigationalQuery(
+      FastConfig(8), {PartitionRef{"d8:0:0", 100}}, FixedTree(1, 8, 100));
+  EXPECT_EQ(wide.probes, 9u);
+  EXPECT_EQ(deep.probes, 9u);
+  EXPECT_LT(wide.makespan, deep.makespan);
+}
+
+TEST(NavigationalSimTest, DecideCostChargesTheMaster) {
+  NavigationalConfig cheap = FastConfig(4);
+  cheap.decide_cost = 1.0;
+  NavigationalConfig costly = FastConfig(4);
+  costly.decide_cost = 5000.0;  // 5 ms of master logic per result
+  const ExpandFn tree = FixedTree(4, 4, 100);
+  const auto a =
+      RunNavigationalQuery(cheap, {PartitionRef{"d8:0:0", 100}}, tree);
+  const auto b =
+      RunNavigationalQuery(costly, {PartitionRef{"d8:0:0", 100}}, tree);
+  EXPECT_EQ(a.requests, b.requests);
+  // 341 requests x ~5 ms of serial master work dominates.
+  EXPECT_GT(b.makespan, a.makespan + 300 * 4000.0);
+}
+
+TEST(NavigationalSimTest, AggregatesLeafCountsExactly) {
+  const auto result = RunNavigationalQuery(
+      FastConfig(4), {PartitionRef{"d8:0:0", 64}}, FixedTree(2, 2, 64));
+  // Leaves: the four depth-2 partitions.
+  WorkloadSpec leaves;
+  leaves.partitions = {PartitionRef{"d8:0:0/0/0", 64},
+                       PartitionRef{"d8:0:0/0/1", 64},
+                       PartitionRef{"d8:0:0/1/0", 64},
+                       PartitionRef{"d8:0:0/1/1", 64}};
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(leaves));
+}
+
+TEST(NavigationalSimTest, D8TreeDrillDownVisitsEveryBigCube) {
+  AlyaParams params;
+  params.particles = 20000;
+  params.seed = 5;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 4);
+
+  NavigationalConfig config = FastConfig(4);
+  constexpr uint32_t kLeafThreshold = 500;
+  const auto result = RunNavigationalQuery(
+      config, {D8TreeRoot(tree)}, D8TreeDrillDown(tree, kLeafThreshold));
+
+  EXPECT_GT(result.requests, 1u);
+  EXPECT_GT(result.leaves, 0u);
+  EXPECT_LE(result.max_depth, tree.max_level());
+  // Every leaf is either small enough or at the bottom level; the leaf
+  // element counts must sum to the full dataset (the drill-down partitions
+  // the space).
+  uint64_t aggregated = 0;
+  for (const auto& [type, count] : result.aggregated) aggregated += count;
+  EXPECT_EQ(aggregated, particles.size());
+}
+
+TEST(NavigationalSimTest, LowerThresholdMeansMoreRequests) {
+  AlyaParams params;
+  params.particles = 20000;
+  params.seed = 5;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 5);
+  const auto coarse = RunNavigationalQuery(
+      FastConfig(4), {D8TreeRoot(tree)}, D8TreeDrillDown(tree, 2000));
+  const auto fine = RunNavigationalQuery(
+      FastConfig(4), {D8TreeRoot(tree)}, D8TreeDrillDown(tree, 200));
+  EXPECT_GT(fine.requests, coarse.requests);
+  EXPECT_GE(fine.max_depth, coarse.max_depth);
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,299 @@
+// Tests for the replicated-cluster simulator: replication, read policies,
+// cache affinity, failure injection / retries, and master architectures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/replicated_sim.hpp"
+
+namespace kvscale {
+namespace {
+
+ReplicatedClusterConfig FastConfig(uint32_t nodes) {
+  ReplicatedClusterConfig config;
+  config.base.nodes = nodes;
+  config.base.seed = 4242;
+  config.base.gc.quadratic_us_per_element2 = 0.0;
+  return config;
+}
+
+TEST(ReplicatedSimTest, CompletesAndAggregatesCorrectly) {
+  const auto workload = UniformWorkload(50000, 100);
+  const auto result = RunReplicatedQuery(FastConfig(4), workload);
+  EXPECT_EQ(result.completed, 100u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+  uint64_t reads = 0;
+  for (uint64_t r : result.reads_per_node) reads += r;
+  EXPECT_EQ(reads, 100u);
+}
+
+TEST(ReplicatedSimTest, MatchesUnreplicatedRunnerOnTheBaseCase) {
+  // replication=1 + primary policy must behave like the paper-faithful
+  // runner within noise (same model, same structure, different seeds of
+  // placement randomness).
+  const auto workload = UniformWorkload(200000, 1000);
+  ReplicatedClusterConfig config = FastConfig(8);
+  const auto replicated = RunReplicatedQuery(config, workload);
+  ClusterConfig simple;
+  simple.nodes = 8;
+  simple.seed = 4242;
+  simple.gc.quadratic_us_per_element2 = 0.0;
+  const auto plain = RunDistributedQuery(simple, workload);
+  EXPECT_NEAR(replicated.makespan / plain.makespan, 1.0, 0.35);
+}
+
+TEST(ReplicatedSimTest, DeterministicForSameSeed) {
+  const auto workload = UniformWorkload(50000, 200);
+  ReplicatedClusterConfig config = FastConfig(4);
+  config.replication = 3;
+  config.read_policy = ReadPolicy::kRandomReplica;
+  const auto a = RunReplicatedQuery(config, workload);
+  const auto b = RunReplicatedQuery(config, workload);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.reads_per_node, b.reads_per_node);
+}
+
+TEST(ReplicatedSimTest, PrimaryPolicyIgnoresReplicas) {
+  const auto workload = UniformWorkload(50000, 200);
+  ReplicatedClusterConfig r1 = FastConfig(8);
+  ReplicatedClusterConfig r3 = FastConfig(8);
+  r3.replication = 3;
+  const auto a = RunReplicatedQuery(r1, workload);
+  const auto b = RunReplicatedQuery(r3, workload);
+  // Primary reads: identical node assignment regardless of replication.
+  EXPECT_EQ(a.reads_per_node, b.reads_per_node);
+}
+
+TEST(ReplicatedSimTest, LeastLoadedReplicaFlattensTheCoarseWorkload) {
+  const auto workload = UniformWorkload(1000000, 100);
+  ReplicatedClusterConfig primary = FastConfig(16);
+  primary.replication = 3;
+  ReplicatedClusterConfig least = FastConfig(16);
+  least.replication = 3;
+  least.read_policy = ReadPolicy::kLeastLoaded;
+  const auto a = RunReplicatedQuery(primary, workload);
+  const auto b = RunReplicatedQuery(least, workload);
+  EXPECT_LT(b.RequestImbalance(), a.RequestImbalance());
+  EXPECT_LT(b.makespan, a.makespan);
+}
+
+TEST(ReplicatedSimTest, StaleLoadInfoIsWorseThanFresh) {
+  const auto workload = UniformWorkload(1000000, 100);
+  ReplicatedClusterConfig fresh = FastConfig(16);
+  fresh.replication = 3;
+  fresh.read_policy = ReadPolicy::kLeastLoaded;
+  ReplicatedClusterConfig stale = FastConfig(16);
+  stale.replication = 3;
+  stale.read_policy = ReadPolicy::kStaleLeastLoaded;
+  stale.load_snapshot_interval = 10.0 * kSecond;  // never refreshed in-run
+  const auto a = RunReplicatedQuery(fresh, workload);
+  const auto b = RunReplicatedQuery(stale, workload);
+  // A snapshot that never updates sees all-zero loads: placement collapses
+  // to first-candidate order, so it cannot beat fresh information.
+  EXPECT_GE(b.RequestImbalance() + 0.02, a.RequestImbalance());
+}
+
+TEST(ReplicatedSimTest, RereadsAreWarm) {
+  const auto base = UniformWorkload(10000, 50);
+  const auto repeated = RepeatWorkload(base, 3);
+  EXPECT_EQ(repeated.partitions.size(), 150u);
+  ReplicatedClusterConfig config = FastConfig(4);
+  const auto result = RunReplicatedQuery(config, repeated);
+  EXPECT_EQ(result.cold_reads, 50u);   // first pass
+  EXPECT_EQ(result.warm_reads, 100u);  // second and third passes
+  EXPECT_NEAR(result.WarmFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ReplicatedSimTest, SpreadingReadsLosesCacheAffinity) {
+  // The Section VIII argument: primary-only re-reads hit a warm cache;
+  // spreading over replicas pays cold reads on every copy.
+  const auto repeated = RepeatWorkload(UniformWorkload(100000, 100), 4);
+  ReplicatedClusterConfig primary = FastConfig(8);
+  primary.replication = 3;
+  ReplicatedClusterConfig spread = FastConfig(8);
+  spread.replication = 3;
+  spread.read_policy = ReadPolicy::kRoundRobinReplica;
+  const auto a = RunReplicatedQuery(primary, repeated);
+  const auto b = RunReplicatedQuery(spread, repeated);
+  EXPECT_GT(a.WarmFraction(), b.WarmFraction());
+  EXPECT_GT(b.cold_reads, a.cold_reads);
+}
+
+TEST(ReplicatedSimTest, FailureWithoutReplicationLosesWork) {
+  const auto workload = UniformWorkload(500000, 500);
+  ReplicatedClusterConfig config = FastConfig(8);
+  config.fail_node = 3;
+  config.fail_at = 1.0 * kMillisecond;  // fail almost immediately
+  config.request_timeout = 200.0 * kMillisecond;
+  config.max_attempts = 3;  // retries exist but there is only one copy
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_GT(result.failed, 0u);
+  EXPECT_EQ(result.reads_per_node[3], 0u);
+  EXPECT_LT(result.completed, 500u);
+}
+
+TEST(ReplicatedSimTest, ReplicationPlusRetriesSurviveAFailure) {
+  const auto workload = UniformWorkload(500000, 500);
+  ReplicatedClusterConfig config = FastConfig(8);
+  config.replication = 2;
+  config.fail_node = 3;
+  config.fail_at = 1.0 * kMillisecond;
+  config.request_timeout = 150.0 * kMillisecond;
+  config.max_attempts = 3;
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.completed, 500u);
+  EXPECT_GT(result.retries, 0u);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+  // Retried work costs time: makespan at least one timeout window.
+  EXPECT_GT(result.makespan, config.request_timeout);
+}
+
+TEST(ReplicatedSimTest, NoRetriesWhenTimeoutDisabled) {
+  const auto workload = UniformWorkload(100000, 100);
+  ReplicatedClusterConfig config = FastConfig(4);
+  config.replication = 2;
+  config.fail_node = 1;
+  config.fail_at = 0.0;
+  config.request_timeout = 0.0;  // fire-and-forget
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_GT(result.failed, 0u);
+}
+
+TEST(ReplicatedSimTest, ShardedMastersCutTheIssueBottleneck) {
+  // Fine-grained with the slow serializer: a single master needs ~1.5 s;
+  // four masters cut the issue phase near 4x (Section VIII's GFS fix).
+  const auto workload = UniformWorkload(1000000, 10000);
+  ReplicatedClusterConfig single = FastConfig(16);
+  single.base.serializer = JavaLikeProfile();
+  single.base.size_messages_with_compact_codec = false;
+  ReplicatedClusterConfig sharded = single;
+  sharded.master_arch = MasterArch::kSharded;
+  sharded.master_count = 4;
+  const auto a = RunReplicatedQuery(single, workload);
+  const auto b = RunReplicatedQuery(sharded, workload);
+  EXPECT_LT(b.makespan, a.makespan * 0.6);
+  EXPECT_EQ(b.completed, 10000u);
+  EXPECT_EQ(b.aggregated, ExpectedAggregation(workload));
+}
+
+TEST(ReplicatedSimTest, PeerToPeerRemovesTheMasterEntirely) {
+  const auto workload = UniformWorkload(1000000, 10000);
+  ReplicatedClusterConfig single = FastConfig(16);
+  single.base.serializer = JavaLikeProfile();
+  single.base.size_messages_with_compact_codec = false;
+  ReplicatedClusterConfig p2p = single;
+  p2p.master_arch = MasterArch::kPeerToPeer;
+  const auto a = RunReplicatedQuery(single, workload);
+  const auto b = RunReplicatedQuery(p2p, workload);
+  EXPECT_EQ(b.completed, 10000u);
+  EXPECT_EQ(b.aggregated, ExpectedAggregation(workload));
+  // No per-message master serialization: the fine-grained workload is no
+  // longer pinned at the master's 1.5 s.
+  EXPECT_LT(b.makespan, a.makespan * 0.5);
+}
+
+TEST(ReplicatedSimTest, PeerToPeerTracesAreLocallyOrdered) {
+  const auto workload = UniformWorkload(50000, 200);
+  ReplicatedClusterConfig config = FastConfig(4);
+  config.master_arch = MasterArch::kPeerToPeer;
+  const auto result = RunReplicatedQuery(config, workload);
+  ASSERT_EQ(result.tracer.size(), 200u);
+  for (const auto& t : result.tracer.traces()) {
+    EXPECT_DOUBLE_EQ(t.issued, t.received);  // local dispatch
+    EXPECT_LE(t.received, t.db_start);
+    EXPECT_LE(t.db_start, t.db_end);
+    EXPECT_DOUBLE_EQ(t.db_end, t.completed);  // folded locally
+  }
+}
+
+TEST(ReplicatedSimTest, ReplicaSetsAreDistinctNodes) {
+  const auto workload = UniformWorkload(10000, 100);
+  ReplicatedClusterConfig config = FastConfig(6);
+  config.replication = 3;
+  config.read_policy = ReadPolicy::kRoundRobinReplica;
+  const auto result = RunReplicatedQuery(config, workload);
+  // With rotation over 3 distinct replicas, reads reach many nodes.
+  size_t nodes_used = 0;
+  for (uint64_t c : result.reads_per_node) nodes_used += (c > 0);
+  EXPECT_GE(nodes_used, 5u);
+}
+
+TEST(ReplicatedSimTest, SuccessfulTracesKeepStageOrderEvenWithRetries) {
+  const auto workload = UniformWorkload(300000, 300);
+  ReplicatedClusterConfig config = FastConfig(8);
+  config.replication = 2;
+  config.fail_node = 2;
+  config.fail_at = 20.0 * kMillisecond;
+  config.request_timeout = 100.0 * kMillisecond;
+  config.max_attempts = 3;
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_GT(result.retries, 0u);
+  for (const auto& t : result.tracer.traces()) {
+    EXPECT_LE(t.issued, t.received) << t.sub_id;
+    EXPECT_LE(t.received, t.db_start) << t.sub_id;
+    EXPECT_LE(t.db_start, t.db_end) << t.sub_id;
+    EXPECT_GT(t.completed, 0.0) << t.sub_id;
+  }
+}
+
+TEST(ReplicatedSimTest, ReadFanoutMultipliesDatabaseWork) {
+  // Section VIII on Kinesis-style multi-reads: "we have to question all k
+  // servers during a read operation and this might result in reducing k
+  // times the performance".
+  const auto workload = UniformWorkload(200000, 200);
+  ReplicatedClusterConfig one = FastConfig(8);
+  one.replication = 3;
+  ReplicatedClusterConfig all = FastConfig(8);
+  all.replication = 3;
+  all.read_fanout = 3;
+  const auto a = RunReplicatedQuery(one, workload);
+  const auto b = RunReplicatedQuery(all, workload);
+  EXPECT_EQ(a.completed, 200u);
+  EXPECT_EQ(b.completed, 200u);
+  EXPECT_EQ(b.aggregated, ExpectedAggregation(workload));
+  uint64_t reads_a = 0, reads_b = 0;
+  for (uint64_t r : a.reads_per_node) reads_a += r;
+  for (uint64_t r : b.reads_per_node) reads_b += r;
+  EXPECT_EQ(reads_a, 200u);
+  EXPECT_EQ(reads_b, 600u);  // every copy served
+  // The query waits for the slowest copy and the cluster does 3x work.
+  EXPECT_GT(b.makespan, a.makespan * 1.5);
+}
+
+TEST(ReplicatedSimTest, FanoutClampedToReplication) {
+  const auto workload = UniformWorkload(50000, 100);
+  ReplicatedClusterConfig config = FastConfig(4);
+  config.replication = 2;
+  config.read_fanout = 16;  // clamped to the 2 available copies
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_EQ(result.completed, 100u);
+  uint64_t reads = 0;
+  for (uint64_t r : result.reads_per_node) reads += r;
+  EXPECT_EQ(reads, 200u);
+}
+
+class ReadPolicySweep : public ::testing::TestWithParam<ReadPolicy> {};
+
+TEST_P(ReadPolicySweep, EveryPolicyCompletesAndAggregates) {
+  const auto workload = UniformWorkload(50000, 100);
+  ReplicatedClusterConfig config = FastConfig(5);
+  config.replication = 2;
+  config.read_policy = GetParam();
+  const auto result = RunReplicatedQuery(config, workload);
+  EXPECT_EQ(result.completed, 100u);
+  EXPECT_EQ(result.aggregated, ExpectedAggregation(workload));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ReadPolicySweep,
+    ::testing::Values(ReadPolicy::kPrimary, ReadPolicy::kRoundRobinReplica,
+                      ReadPolicy::kRandomReplica, ReadPolicy::kLeastLoaded,
+                      ReadPolicy::kStaleLeastLoaded));
+
+}  // namespace
+}  // namespace kvscale

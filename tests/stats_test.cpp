@@ -1,0 +1,303 @@
+// Tests for src/stats: summaries, histograms, regressions, Zipf, sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/sampling.hpp"
+#include "stats/summary.hpp"
+#include "stats/zipf.hpp"
+
+namespace kvscale {
+namespace {
+
+TEST(RunningSummaryTest, BasicMoments) {
+  RunningSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningSummaryTest, EmptyIsSafe) {
+  RunningSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningSummaryTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningSummary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    whole.Add(x);
+    (i < 500 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningSummaryTest, MergeWithEmpty) {
+  RunningSummary a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesOrderStatistics) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.125), 15.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.99), 42.0);
+}
+
+TEST(HistogramTest, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_DOUBLE_EQ(h.Density(b), 0.1);
+    EXPECT_DOUBLE_EQ(h.BinCenter(b), b + 0.5);
+  }
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.5);
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(IntegerDistributionTest, ProbabilityAndTail) {
+  IntegerDistribution d;
+  for (int64_t v : {3, 3, 4, 5, 5, 5, 7, 8}) d.Add(v);
+  EXPECT_DOUBLE_EQ(d.Probability(5), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(d.Probability(6), 0.0);
+  EXPECT_DOUBLE_EQ(d.TailProbability(5), 5.0 / 8.0);
+  EXPECT_EQ(d.MinValue(), 3);
+  EXPECT_EQ(d.MaxValue(), 8);
+  EXPECT_DOUBLE_EQ(d.Mean(), 40.0 / 8.0);
+  EXPECT_EQ(d.Densities().size(), 5u);
+}
+
+TEST(RegressionTest, RecoversPlantedLine) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.Uniform(0, 100);
+    x.push_back(xi);
+    y.push_back(3.5 + 0.8 * xi + rng.Normal(0, 0.5));
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.5, 0.2);
+  EXPECT_NEAR(fit.slope, 0.8, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_NEAR(fit.residual_stddev, 0.5, 0.1);
+}
+
+TEST(RegressionTest, PerfectFitHasUnitR2) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit(10.0), 20.0, 1e-9);
+}
+
+TEST(RegressionTest, LogXRecoversLogModel) {
+  // y = 12.562 - 1.084 ln(x): the paper's Formula 7.
+  Rng rng(9);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    const double xi = rng.Uniform(50, 10000);
+    x.push_back(xi);
+    y.push_back(12.562 - 1.084 * std::log(xi) + rng.Normal(0, 0.05));
+  }
+  const LinearFit fit = FitLogX(x, y);
+  EXPECT_NEAR(fit.intercept, 12.562, 0.1);
+  EXPECT_NEAR(fit.slope, -1.084, 0.02);
+}
+
+TEST(RegressionTest, SegmentedRecoversBreakpoint) {
+  // Plant the paper's Formula 6 shape and check the scan finds it.
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 300; ++i) {
+    const double xi = rng.Uniform(10, 10000);
+    const double yi = xi <= 1425 ? 1163 + 38.7 * xi : 773 + 43.9 * xi;
+    x.push_back(xi);
+    y.push_back(yi + rng.Normal(0, 300));
+  }
+  const SegmentedFit fit = FitSegmented(x, y);
+  EXPECT_NEAR(fit.breakpoint, 1425, 400);
+  EXPECT_NEAR(fit.lower.slope, 38.7, 3.0);
+  EXPECT_NEAR(fit.upper.slope, 43.9, 1.5);
+}
+
+TEST(RegressionTest, SegmentedPredictsWithCorrectPiece) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(i <= 10 ? 2.0 * i : 100.0 + 5.0 * i);
+  }
+  const SegmentedFit fit = FitSegmented(x, y, 3);
+  EXPECT_NEAR(fit(5.0), 10.0, 0.5);
+  EXPECT_NEAR(fit(15.0), 175.0, 1.0);
+}
+
+TEST(RegressionTest, WeightedFitMatchesUnweightedForUnitWeights) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2.1, 3.9, 6.2, 7.8, 10.1};
+  std::vector<double> w(5, 1.0);
+  const LinearFit a = FitLinear(x, y);
+  const LinearFit b = FitLinearWeighted(x, y, w);
+  EXPECT_NEAR(a.intercept, b.intercept, 1e-9);
+  EXPECT_NEAR(a.slope, b.slope, 1e-9);
+}
+
+TEST(RegressionTest, WeightedFitFollowsTheHeavyPoints) {
+  // Two clusters of points on different lines; weighting one cluster
+  // 1000x must pull the fit onto its line.
+  std::vector<double> x{1, 2, 3, 10, 11, 12};
+  std::vector<double> y{1, 2, 3, 100, 100, 100};  // head: y=x, tail: flat
+  std::vector<double> w{1000, 1000, 1000, 1, 1, 1};
+  const LinearFit fit = FitLinearWeighted(x, y, w);
+  EXPECT_NEAR(fit(2.0), 2.0, 0.5);
+}
+
+TEST(RegressionTest, RelativeSegmentedSurvivesMultiplicativeNoise) {
+  // Formula 6 with 8% multiplicative noise: the unweighted scan is pulled
+  // by the large-x tail, the relative-error scan recovers the breakpoint.
+  Rng rng(33);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    const double xi = rng.Uniform(20, 10000);
+    const double yi = xi <= 1425 ? 1163 + 38.7 * xi : 773 + 43.9 * xi;
+    x.push_back(xi);
+    y.push_back(yi * rng.LogNormal(0.0, 0.08));
+  }
+  const SegmentedFit fit = FitSegmentedRelative(x, y);
+  EXPECT_NEAR(fit.breakpoint, 1425, 350);
+  EXPECT_NEAR(fit.lower.slope, 38.7, 4.0);
+  EXPECT_NEAR(fit.upper.slope, 43.9, 2.0);
+}
+
+TEST(ZipfTest, WeightsNormalised) {
+  const auto w = ZipfWeights(100, 1.0);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[10], w[50]);
+}
+
+TEST(ZipfTest, PartitionSizesSumToTotal) {
+  const auto sizes = ZipfPartitionSizes(1000000, 500, 1.07);
+  uint64_t sum = 0;
+  for (uint64_t s : sizes) {
+    EXPECT_GE(s, 1u);
+    sum += s;
+  }
+  EXPECT_EQ(sum, 1000000u);
+  EXPECT_GT(sizes[0], sizes[499]);
+}
+
+TEST(ZipfTest, HeadCarriesHalfTheMass) {
+  // The paper's motivating fact: ~half the population lives in the ~500
+  // most populated cities. With s ~ 1.07 over 1M cities the head of the
+  // distribution dominates similarly.
+  const auto w = ZipfWeights(100000, 1.07);
+  double head = 0;
+  for (size_t i = 0; i < 500; ++i) head += w[i];
+  EXPECT_GT(head, 0.35);
+  EXPECT_LT(head, 0.75);
+}
+
+TEST(ZipfTest, SamplerMatchesWeights) {
+  Rng rng(13);
+  ZipfSampler sampler(50, 1.0);
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.Sample(rng)];
+  const auto w = ZipfWeights(50, 1.0);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, w[i],
+                0.1 * w[i] + 0.001);
+  }
+}
+
+TEST(StratifiedSampleTest, EqualSamplesPerStratum) {
+  Rng rng(17);
+  std::vector<double> metric;
+  for (int i = 0; i < 10000; ++i) metric.push_back(rng.Uniform(0, 100));
+  const auto strata = StratifiedSample(metric, 0, 100, 10, 25, rng);
+  ASSERT_EQ(strata.size(), 10u);
+  for (const auto& s : strata) {
+    EXPECT_EQ(s.selected.size(), 25u);
+    for (size_t idx : s.selected) {
+      EXPECT_GE(metric[idx], s.lo);
+      EXPECT_LT(metric[idx], s.hi);
+    }
+  }
+}
+
+TEST(StratifiedSampleTest, SparseStratumGivesAll) {
+  Rng rng(19);
+  std::vector<double> metric{1.0, 1.5, 99.0};
+  const auto strata = StratifiedSample(metric, 0, 100, 2, 10, rng);
+  EXPECT_EQ(strata[0].selected.size(), 2u);
+  EXPECT_EQ(strata[1].selected.size(), 1u);
+}
+
+TEST(BootstrapTest, CoversTrueMean) {
+  Rng rng(23);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.Normal(50.0, 5.0));
+  const auto ci = BootstrapMeanCI(sample, 0.95, 2000, rng);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 50.0 + 1.5);
+  EXPECT_GT(ci.hi, 50.0 - 1.5);
+  EXPECT_NEAR(ci.point, 50.0, 1.5);
+}
+
+TEST(MeanMaxHelpersTest, Work) {
+  std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Max(v), 6.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,102 @@
+// Tests for the query-stream simulator.
+#include <gtest/gtest.h>
+
+#include "cluster/stream_sim.hpp"
+
+namespace kvscale {
+namespace {
+
+StreamConfig FastConfig() {
+  StreamConfig config;
+  config.base.nodes = 8;
+  config.base.seed = 77;
+  config.base.gc.quadratic_us_per_element2 = 0.0;
+  config.elements_per_query = 50000;
+  config.keys_per_query = 200;
+  config.queries = 30;
+  return config;
+}
+
+TEST(StreamSimTest, AllQueriesCompleteWithPositiveLatency) {
+  StreamConfig config = FastConfig();
+  config.arrival_qps = 2.0;
+  const auto result = RunQueryStream(config);
+  EXPECT_EQ(result.completed, 30u);
+  ASSERT_EQ(result.latencies.size(), 30u);
+  for (Micros latency : result.latencies) EXPECT_GT(latency, 0.0);
+  EXPECT_LE(result.latency_p50, result.latency_p90);
+  EXPECT_LE(result.latency_p90, result.latency_p99);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(StreamSimTest, DeterministicForSameSeed) {
+  StreamConfig config = FastConfig();
+  config.arrival_qps = 3.0;
+  const auto a = RunQueryStream(config);
+  const auto b = RunQueryStream(config);
+  EXPECT_EQ(a.latencies, b.latencies);
+}
+
+TEST(StreamSimTest, LightLoadLatencyMatchesSingleQueryTime) {
+  // Far below capacity, queries rarely overlap: latency ~ one isolated
+  // query's makespan.
+  StreamConfig config = FastConfig();
+  const double capacity = EstimatedCapacityQps(config);
+  config.arrival_qps = capacity * 0.05;
+  const auto result = RunQueryStream(config);
+  const Micros isolated = kSecond / capacity;
+  EXPECT_NEAR(result.latency_p50 / isolated, 1.0, 0.5);
+}
+
+TEST(StreamSimTest, SaturationKneeRaisesTailLatency) {
+  StreamConfig config = FastConfig();
+  const double capacity = EstimatedCapacityQps(config);
+
+  config.arrival_qps = capacity * 0.3;
+  const auto light = RunQueryStream(config);
+  config.arrival_qps = capacity * 1.5;  // overloaded
+  const auto heavy = RunQueryStream(config);
+
+  // Overload: queries queue behind each other and the tail explodes.
+  EXPECT_GT(heavy.latency_p99, light.latency_p99 * 2.0);
+  EXPECT_GT(heavy.latency_mean, light.latency_mean);
+  // Achieved throughput saturates near capacity despite higher offer.
+  EXPECT_LT(heavy.achieved_qps, capacity * 1.3);
+}
+
+TEST(StreamSimTest, MoreNodesSustainHigherLoad) {
+  StreamConfig small = FastConfig();
+  small.base.nodes = 4;
+  StreamConfig large = FastConfig();
+  large.base.nodes = 16;
+  const double rate = EstimatedCapacityQps(small) * 0.9;
+  small.arrival_qps = rate;
+  large.arrival_qps = rate;  // same offered load, 4x the hardware
+  const auto a = RunQueryStream(small);
+  const auto b = RunQueryStream(large);
+  EXPECT_LT(b.latency_p90, a.latency_p90);
+}
+
+TEST(StreamSimTest, MetricsGaugesTrackTheRun) {
+  StreamConfig config = FastConfig();
+  config.arrival_qps = EstimatedCapacityQps(config) * 1.2;
+  config.metrics_interval = 10.0 * kMillisecond;
+  const auto result = RunQueryStream(config);
+  EXPECT_FALSE(result.metrics_report.empty());
+  EXPECT_NE(result.metrics_report.find("db active"), std::string::npos);
+  // Overloaded run: the master queue was observed non-empty at least once.
+  EXPECT_GT(result.peak_master_queue, 0.0);
+  // Disabled by default: no report.
+  config.metrics_interval = 0.0;
+  EXPECT_TRUE(RunQueryStream(config).metrics_report.empty());
+}
+
+TEST(StreamSimTest, CapacityEstimateIsPlausible) {
+  StreamConfig config = FastConfig();
+  const double capacity = EstimatedCapacityQps(config);
+  EXPECT_GT(capacity, 0.1);
+  EXPECT_LT(capacity, 10000.0);
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,140 @@
+// Tests for src/trace: stage durations, summaries, Gantt, CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/csv_writer.hpp"
+#include "trace/gantt.hpp"
+#include "trace/stage_trace.hpp"
+
+namespace kvscale {
+namespace {
+
+RequestTrace MakeTrace(uint32_t sub_id, uint32_t node, Micros base) {
+  RequestTrace t;
+  t.query_id = 1;
+  t.sub_id = sub_id;
+  t.node = node;
+  t.keysize = 100;
+  t.issued = base;
+  t.received = base + 10;
+  t.db_start = base + 25;
+  t.db_end = base + 125;
+  t.completed = base + 140;
+  return t;
+}
+
+TEST(RequestTraceTest, StageDurations) {
+  const RequestTrace t = MakeTrace(0, 0, 1000);
+  EXPECT_DOUBLE_EQ(t.StageDuration(Stage::kMasterToSlave), 10.0);
+  EXPECT_DOUBLE_EQ(t.StageDuration(Stage::kInQueue), 15.0);
+  EXPECT_DOUBLE_EQ(t.StageDuration(Stage::kInDb), 100.0);
+  EXPECT_DOUBLE_EQ(t.StageDuration(Stage::kSlaveToMaster), 15.0);
+  EXPECT_DOUBLE_EQ(t.TotalLatency(), 140.0);
+}
+
+TEST(StageTracerTest, MakespanSpansAllRequests) {
+  StageTracer tracer;
+  tracer.Record(MakeTrace(0, 0, 0));
+  tracer.Record(MakeTrace(1, 1, 500));
+  EXPECT_DOUBLE_EQ(tracer.Makespan(), 640.0);
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(StageTracerTest, EmptyTracerIsSafe) {
+  StageTracer tracer;
+  EXPECT_DOUBLE_EQ(tracer.Makespan(), 0.0);
+  EXPECT_TRUE(tracer.RequestsPerNode().empty());
+  EXPECT_EQ(tracer.StageSummary(Stage::kInDb).count(), 0u);
+}
+
+TEST(StageTracerTest, StageSummaryAggregates) {
+  StageTracer tracer;
+  for (int i = 0; i < 10; ++i) tracer.Record(MakeTrace(i, i % 2, i * 100.0));
+  const auto summary = tracer.StageSummary(Stage::kInDb);
+  EXPECT_EQ(summary.count(), 10u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 100.0);
+  const auto node0 = tracer.StageSummaryForNode(Stage::kInDb, 0);
+  EXPECT_EQ(node0.count(), 5u);
+}
+
+TEST(StageTracerTest, RequestsPerNodeAndFinishTimes) {
+  StageTracer tracer;
+  tracer.Record(MakeTrace(0, 0, 0));
+  tracer.Record(MakeTrace(1, 2, 100));
+  tracer.Record(MakeTrace(2, 2, 200));
+  const auto counts = tracer.RequestsPerNode();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+  const auto finish = tracer.NodeFinishTimes();
+  EXPECT_DOUBLE_EQ(finish[2], 325.0);
+}
+
+TEST(StageTracerTest, SummaryReportListsAllStages) {
+  StageTracer tracer;
+  tracer.Record(MakeTrace(0, 0, 0));
+  const std::string report = tracer.SummaryReport();
+  for (size_t s = 0; s < kStageCount; ++s) {
+    EXPECT_NE(report.find(StageName(static_cast<Stage>(s))),
+              std::string::npos);
+  }
+}
+
+TEST(GanttTest, RendersRowsPerNodeAndStage) {
+  StageTracer tracer;
+  tracer.Record(MakeTrace(0, 0, 0));
+  tracer.Record(MakeTrace(1, 1, 50));
+  const std::string gantt = RenderGantt(tracer, GanttOptions{80, true});
+  EXPECT_NE(gantt.find("node A:"), std::string::npos);
+  EXPECT_NE(gantt.find("node B:"), std::string::npos);
+  EXPECT_NE(gantt.find("in-db"), std::string::npos);
+  // Single non-overlapping intervals render as '.'/'+' marks.
+  EXPECT_NE(gantt.find_first_of(".+#"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyTracerRenders) {
+  StageTracer tracer;
+  EXPECT_EQ(RenderGantt(tracer, GanttOptions{}), "(no traces)\n");
+}
+
+TEST(GanttTest, DenseStageShowsDarkerMarks) {
+  StageTracer tracer;
+  // 20 overlapping in-db intervals on one node.
+  for (int i = 0; i < 20; ++i) tracer.Record(MakeTrace(i, 0, 0));
+  const std::string gantt = RenderGantt(tracer, GanttOptions{40, true});
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(CsvTest, OneLinePerTracePlusHeader) {
+  StageTracer tracer;
+  for (int i = 0; i < 5; ++i) tracer.Record(MakeTrace(i, 0, i * 10.0));
+  const std::string csv = TracesToCsv(tracer);
+  size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, 6u);
+  EXPECT_EQ(csv.rfind("query_id,sub_id,node", 0), 0u);
+}
+
+TEST(CsvTest, WritesToFile) {
+  StageTracer tracer;
+  tracer.Record(MakeTrace(0, 0, 0));
+  const std::string path = "/tmp/kvscale_trace_test.csv";
+  ASSERT_TRUE(WriteTracesCsv(tracer, path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("query_id"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnwritablePathFails) {
+  StageTracer tracer;
+  EXPECT_FALSE(WriteTracesCsv(tracer, "/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace kvscale

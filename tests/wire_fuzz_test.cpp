@@ -1,0 +1,130 @@
+// Randomized robustness tests for the wire layer: round-trips of random
+// message content through both codecs, and decoder behaviour on random
+// byte soup (must never crash or accept garbage silently as structure).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/messages.hpp"
+
+namespace kvscale {
+namespace {
+
+std::string RandomString(Rng& rng, size_t max_len) {
+  std::string s;
+  const size_t len = rng.Below(max_len + 1);
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.Below(256)));
+  }
+  return s;
+}
+
+SubQueryRequest RandomRequest(Rng& rng) {
+  SubQueryRequest msg;
+  msg.query_id = rng.Next();
+  msg.sub_id = static_cast<uint32_t>(rng.Next());
+  msg.table = RandomString(rng, 64);
+  msg.partition_key = RandomString(rng, 128);
+  msg.expected_elements = static_cast<uint32_t>(rng.Next());
+  return msg;
+}
+
+PartialResult RandomResult(Rng& rng) {
+  PartialResult msg;
+  msg.query_id = rng.Next();
+  msg.sub_id = static_cast<uint32_t>(rng.Next());
+  msg.node = static_cast<uint32_t>(rng.Below(1024));
+  const size_t entries = rng.Below(20);
+  for (size_t i = 0; i < entries; ++i) {
+    msg.types.push_back(RandomString(rng, 32));
+    msg.counts.push_back(rng.Next());
+  }
+  msg.db_micros = rng.Uniform(-1e9, 1e9);
+  return msg;
+}
+
+bool Equal(const SubQueryRequest& a, const SubQueryRequest& b) {
+  return a.query_id == b.query_id && a.sub_id == b.sub_id &&
+         a.table == b.table && a.partition_key == b.partition_key &&
+         a.expected_elements == b.expected_elements;
+}
+
+bool Equal(const PartialResult& a, const PartialResult& b) {
+  return a.query_id == b.query_id && a.sub_id == b.sub_id &&
+         a.node == b.node && a.types == b.types && a.counts == b.counts &&
+         a.db_micros == b.db_micros;
+}
+
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomContentRoundTripsBothCodecs) {
+  Rng rng(GetParam());
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  for (int i = 0; i < 200; ++i) {
+    {
+      const SubQueryRequest msg = RandomRequest(rng);
+      WireBuffer tagged, compact;
+      TaggedCodec::Encode(msg, tagged);
+      codec.Encode(msg, compact);
+      auto t = TaggedCodec::Decode<SubQueryRequest>(tagged.data());
+      auto c = codec.Decode<SubQueryRequest>(compact.data());
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(c.ok());
+      EXPECT_TRUE(Equal(t.value(), msg));
+      EXPECT_TRUE(Equal(c.value(), msg));
+    }
+    {
+      const PartialResult msg = RandomResult(rng);
+      WireBuffer tagged, compact;
+      TaggedCodec::Encode(msg, tagged);
+      codec.Encode(msg, compact);
+      auto t = TaggedCodec::Decode<PartialResult>(tagged.data());
+      auto c = codec.Decode<PartialResult>(compact.data());
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(c.ok());
+      EXPECT_TRUE(Equal(t.value(), msg));
+      EXPECT_TRUE(Equal(c.value(), msg));
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashTheDecoders) {
+  Rng rng(GetParam() ^ 0xf00d);
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::byte> soup(rng.Below(300));
+    for (auto& b : soup) b = static_cast<std::byte>(rng.Below(256));
+    // Any outcome is fine except a crash; decoded garbage must at least
+    // carry the right frame structure to be accepted.
+    auto t = TaggedCodec::Decode<SubQueryRequest>(soup);
+    auto c = codec.Decode<PartialResult>(soup);
+    if (soup.size() < 3) {
+      EXPECT_FALSE(t.ok());
+    }
+    (void)c;
+  }
+}
+
+TEST_P(WireFuzzTest, TruncationsOfValidMessagesAlwaysFailTagged) {
+  Rng rng(GetParam() ^ 0xbeef);
+  const SubQueryRequest msg = RandomRequest(rng);
+  WireBuffer buf;
+  TaggedCodec::Encode(msg, buf);
+  const auto data = buf.data();
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    auto decoded = TaggedCodec::Decode<SubQueryRequest>(data.subspan(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace kvscale

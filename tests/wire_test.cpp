@@ -1,0 +1,266 @@
+// Tests for src/wire: buffers, both codecs, message set, serializer models.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+#include "wire/messages.hpp"
+#include "wire/serializer_model.hpp"
+
+namespace kvscale {
+namespace {
+
+TEST(WireBufferTest, FixedWidthRoundTrip) {
+  WireBuffer buf;
+  buf.WriteU8(0xab);
+  buf.WriteU16(0xbeef);
+  buf.WriteU32(0xdeadbeef);
+  buf.WriteU64(0x0123456789abcdefULL);
+  buf.WriteF64(3.14159);
+  WireReader r(buf.data());
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU16(), 0xbeef);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Works) {
+  WireBuffer buf;
+  buf.WriteVarint(GetParam());
+  WireReader r(buf.data());
+  EXPECT_EQ(r.ReadVarint(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32,
+                      std::numeric_limits<uint64_t>::max()));
+
+class ZigZagRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ZigZagRoundTrip, Works) {
+  WireBuffer buf;
+  buf.WriteZigZag(GetParam());
+  WireReader r(buf.data());
+  EXPECT_EQ(r.ReadZigZag(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, ZigZagRoundTrip,
+    ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                      int64_t{-64}, std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(WireBufferTest, VarintSizesArePacked) {
+  WireBuffer small, large;
+  small.WriteVarint(5);
+  large.WriteVarint(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(small.size(), 1u);
+  EXPECT_EQ(large.size(), 10u);
+}
+
+TEST(WireBufferTest, StringAndBytesRoundTrip) {
+  WireBuffer buf;
+  buf.WriteString("hello");
+  buf.WriteString("");
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  buf.WriteBytes(blob);
+  WireReader r(buf.data());
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadBytes(), blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireReaderTest, OverrunSetsStickyError) {
+  WireBuffer buf;
+  buf.WriteU8(1);
+  WireReader r(buf.data());
+  r.ReadU8();
+  r.ReadU64();  // overrun
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  // Further reads keep failing and return zero values.
+  EXPECT_EQ(r.ReadU32(), 0u);
+}
+
+TEST(WireReaderTest, TruncatedStringFails) {
+  WireBuffer buf;
+  buf.WriteVarint(100);  // claims 100 bytes follow
+  buf.WriteU8('x');
+  WireReader r(buf.data());
+  r.ReadString();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReaderTest, OverlongVarintFails) {
+  WireBuffer buf;
+  for (int i = 0; i < 11; ++i) buf.WriteU8(0x80);
+  WireReader r(buf.data());
+  r.ReadVarint();
+  EXPECT_FALSE(r.ok());
+}
+
+SubQueryRequest SampleRequest() {
+  SubQueryRequest req;
+  req.query_id = 77;
+  req.sub_id = 12;
+  req.table = "alya.particles_d8";
+  req.partition_key = "d8:5:123456";
+  req.expected_elements = 1425;
+  return req;
+}
+
+PartialResult SampleResult() {
+  PartialResult res;
+  res.query_id = 77;
+  res.sub_id = 12;
+  res.node = 3;
+  res.types = {"t0", "t1", "t5"};
+  res.counts = {10, 20, 70};
+  res.db_micros = 1234.5;
+  return res;
+}
+
+TEST(TaggedCodecTest, RoundTripsAllMessageTypes) {
+  {
+    WireBuffer buf;
+    TaggedCodec::Encode(SampleRequest(), buf);
+    auto decoded = TaggedCodec::Decode<SubQueryRequest>(buf.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().partition_key, "d8:5:123456");
+    EXPECT_EQ(decoded.value().expected_elements, 1425u);
+  }
+  {
+    WireBuffer buf;
+    TaggedCodec::Encode(SampleResult(), buf);
+    auto decoded = TaggedCodec::Decode<PartialResult>(buf.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().types.size(), 3u);
+    EXPECT_EQ(decoded.value().counts[2], 70u);
+    EXPECT_DOUBLE_EQ(decoded.value().db_micros, 1234.5);
+  }
+  {
+    Heartbeat hb;
+    hb.node = 9;
+    hb.sequence = 1000;
+    hb.queue_depth = -1;  // exercises zigzag
+    WireBuffer buf;
+    TaggedCodec::Encode(hb, buf);
+    auto decoded = TaggedCodec::Decode<Heartbeat>(buf.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().queue_depth, -1);
+  }
+}
+
+TEST(TaggedCodecTest, RejectsWrongType) {
+  WireBuffer buf;
+  TaggedCodec::Encode(SampleRequest(), buf);
+  auto decoded = TaggedCodec::Decode<PartialResult>(buf.data());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TaggedCodecTest, RejectsTruncation) {
+  WireBuffer buf;
+  TaggedCodec::Encode(SampleRequest(), buf);
+  auto data = buf.data();
+  for (size_t cut : {data.size() - 1, data.size() / 2, size_t{3}}) {
+    auto decoded =
+        TaggedCodec::Decode<SubQueryRequest>(data.subspan(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CompactCodecTest, RoundTripsRegisteredTypes) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  EXPECT_EQ(codec.registered_count(), 5u);
+
+  WireBuffer buf;
+  codec.Encode(SampleResult(), buf);
+  auto decoded = codec.Decode<PartialResult>(buf.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().node, 3u);
+  EXPECT_EQ(decoded.value().types[1], "t1");
+}
+
+TEST(CompactCodecTest, RejectsTypeIdMismatch) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  WireBuffer buf;
+  codec.Encode(SampleRequest(), buf);
+  auto decoded = codec.Decode<PartialResult>(buf.data());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CompactCodecTest, PeersAgreeWhenRegistrationOrderMatches) {
+  CompactCodec sender, receiver;
+  RegisterClusterMessages(sender);
+  RegisterClusterMessages(receiver);
+  WireBuffer buf;
+  sender.Encode(SampleRequest(), buf);
+  auto decoded = receiver.Decode<SubQueryRequest>(buf.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().table, "alya.particles_d8");
+}
+
+TEST(CodecComparisonTest, CompactIsMuchSmallerThanTagged) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  // This is the structural size gap behind the paper's 7.5 MB -> 0.9 MB.
+  const auto request = SampleRequest();
+  const size_t tagged = TaggedEncodedSize(request);
+  const size_t compact = CompactEncodedSize(codec, request);
+  EXPECT_LT(compact * 3, tagged);
+
+  const auto result = SampleResult();
+  EXPECT_LT(CompactEncodedSize(codec, result), TaggedEncodedSize(result));
+}
+
+TEST(CodecComparisonTest, RepresentativeRequestSizes) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  const auto req = MakeRepresentativeSubQuery(1, 4242, 100);
+  const size_t compact = CompactEncodedSize(codec, req);
+  const size_t tagged = TaggedEncodedSize(req);
+  // Compact stays in the tens of bytes (paper: ~90 B/message with Kryo);
+  // tagged is several times larger.
+  EXPECT_LT(compact, 64u);
+  EXPECT_GT(tagged, 120u);
+}
+
+TEST(SerializerModelTest, ProfilesMatchPaperNumbers) {
+  const auto java = JavaLikeProfile();
+  EXPECT_NEAR(java.TypicalCost(), 150.0, 0.5);
+  EXPECT_NEAR(java.bytes_per_message, 750.0, 1.0);
+  const auto kryo = KryoLikeProfile();
+  EXPECT_NEAR(kryo.TypicalCost(), 19.0, 0.1);
+  EXPECT_NEAR(kryo.bytes_per_message, 90.0, 1.0);
+  // 10k fine-grained messages: 1.5 s -> 192 ms in the paper.
+  EXPECT_NEAR(java.TypicalCost() * 10000 / kSecond, 1.5, 0.01);
+  EXPECT_NEAR(kryo.TypicalCost() * 10000 / kMillisecond, 190.0, 3.0);
+}
+
+TEST(SerializerModelTest, CostGrowsWithBytes) {
+  const auto p = KryoLikeProfile();
+  EXPECT_GT(p.CostFor(1000), p.CostFor(100));
+  EXPECT_GE(p.CostFor(0), p.cpu_fixed);
+}
+
+TEST(SerializerModelTest, FromMeasurement) {
+  const auto p = ProfileFromMeasurement("local", 120.0, 10.0);
+  EXPECT_NEAR(p.TypicalCost(), 10.0, 1e-9);
+  EXPECT_EQ(p.name, "local");
+}
+
+}  // namespace
+}  // namespace kvscale

@@ -1,0 +1,344 @@
+// Tests for src/workload: Alya particle generator, D8tree index, workload
+// construction, phonebook example.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/alya.hpp"
+#include "workload/d8tree.hpp"
+#include "workload/granularity.hpp"
+#include "workload/phonebook.hpp"
+
+namespace kvscale {
+namespace {
+
+AlyaParams SmallParams() {
+  AlyaParams params;
+  params.particles = 20000;
+  params.branch_depth = 5;
+  params.seed = 77;
+  return params;
+}
+
+TEST(AlyaTest, GeneratesRequestedCount) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  EXPECT_EQ(particles.size(), 20000u);
+}
+
+TEST(AlyaTest, PositionsInUnitCubeAndTypesBounded) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  for (const auto& p : particles) {
+    EXPECT_GE(p.x, 0.0f);
+    EXPECT_LT(p.x, 1.0f);
+    EXPECT_GE(p.y, 0.0f);
+    EXPECT_LT(p.y, 1.0f);
+    EXPECT_GE(p.z, 0.0f);
+    EXPECT_LT(p.z, 1.0f);
+    EXPECT_LT(p.type, 8u);
+  }
+}
+
+TEST(AlyaTest, DeterministicInSeed) {
+  const auto a = GenerateAlyaParticles(SmallParams());
+  const auto b = GenerateAlyaParticles(SmallParams());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+  AlyaParams other = SmallParams();
+  other.seed = 78;
+  const auto c = GenerateAlyaParticles(other);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a[i].x == c[i].x);
+  EXPECT_LT(same, 100);
+}
+
+TEST(AlyaTest, ParticlesAreSpatiallyClustered) {
+  // The bronchi geometry concentrates particles: a D8tree at level 4 must
+  // leave most of the 4096 cells empty (a uniform cloud would fill nearly
+  // all of them with 20k particles).
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  std::set<uint64_t> occupied;
+  for (const auto& p : particles) {
+    const auto cx = static_cast<uint32_t>(p.x * 16);
+    const auto cy = static_cast<uint32_t>(p.y * 16);
+    const auto cz = static_cast<uint32_t>(p.z * 16);
+    occupied.insert(MortonEncode3(cx, cy, cz, 4));
+  }
+  EXPECT_LT(occupied.size(), 2500u);
+  EXPECT_GT(occupied.size(), 20u);
+}
+
+TEST(AlyaTest, AllTypesRepresented) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  std::set<uint32_t> types;
+  for (const auto& p : particles) types.insert(p.type);
+  EXPECT_EQ(types.size(), 8u);
+}
+
+class MortonRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(MortonRoundTrip, EncodeDecodeIdentity) {
+  const auto [level, salt] = GetParam();
+  const uint32_t bound = 1u << level;
+  Rng rng(salt);
+  for (int i = 0; i < 200; ++i) {
+    const auto cx = static_cast<uint32_t>(rng.Below(bound));
+    const auto cy = static_cast<uint32_t>(rng.Below(bound));
+    const auto cz = static_cast<uint32_t>(rng.Below(bound));
+    uint32_t dx, dy, dz;
+    MortonDecode3(MortonEncode3(cx, cy, cz, level), level, dx, dy, dz);
+    EXPECT_EQ(dx, cx);
+    EXPECT_EQ(dy, cy);
+    EXPECT_EQ(dz, cz);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, MortonRoundTrip,
+    ::testing::Values(std::tuple{1u, 1u}, std::tuple{4u, 2u},
+                      std::tuple{8u, 3u}, std::tuple{12u, 4u},
+                      std::tuple{20u, 5u}));
+
+TEST(MortonTest, CodesAreUniquePerCell) {
+  std::set<uint64_t> codes;
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        codes.insert(MortonEncode3(x, y, z, 3));
+      }
+    }
+  }
+  EXPECT_EQ(codes.size(), 512u);
+}
+
+TEST(D8TreeTest, EveryLevelPartitionsAllParticles) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  const D8Tree tree(particles, 5);
+  for (uint32_t level = 0; level <= 5; ++level) {
+    uint64_t sum = 0;
+    for (const auto& [morton, count] : tree.CubeSizes(level)) sum += count;
+    EXPECT_EQ(sum, particles.size()) << "level " << level;
+  }
+}
+
+TEST(D8TreeTest, LevelZeroIsOneCube) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  const D8Tree tree(particles, 4);
+  EXPECT_EQ(tree.CubeCount(0), 1u);
+  EXPECT_GE(tree.CubeCount(4), tree.CubeCount(1));
+}
+
+TEST(D8TreeTest, DenormalizationCostIsLevelsTimesParticles) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  const D8Tree tree(particles, 4);
+  EXPECT_EQ(tree.TotalEntries(), particles.size() * 5);
+}
+
+TEST(D8TreeTest, CubesBySizeFilters) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  const D8Tree tree(particles, 5);
+  const auto cubes = tree.CubesBySize(50, 200);
+  EXPECT_FALSE(cubes.empty());
+  for (const auto& cube : cubes) {
+    EXPECT_GE(cube.elements, 50u);
+    EXPECT_LE(cube.elements, 200u);
+  }
+}
+
+TEST(D8TreeTest, CubeParticlesMatchesSizes) {
+  const auto particles = GenerateAlyaParticles(SmallParams());
+  const D8Tree tree(particles, 3);
+  for (const auto& [morton, count] : tree.CubeSizes(3)) {
+    EXPECT_EQ(tree.CubeParticles(3, morton).size(), count);
+  }
+  EXPECT_TRUE(tree.CubeParticles(3, 0xFFFFFFFFull).empty() ||
+              !tree.CubeParticles(3, 0xFFFFFFFFull).empty());  // no crash
+}
+
+TEST(D8TreeTest, LoadLevelIntoTableRoundTrips) {
+  AlyaParams params = SmallParams();
+  params.particles = 3000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 3);
+
+  Table table("cubes", TableOptions{}, nullptr);
+  tree.LoadLevelIntoTable(3, table);
+  table.Flush();
+
+  // Per-cube count-by-type in the table must match the generator's truth.
+  std::map<uint64_t, TypeCounts> truth;
+  for (const auto& p : particles) {
+    const auto cx = static_cast<uint32_t>(p.x * 8);
+    const auto cy = static_cast<uint32_t>(p.y * 8);
+    const auto cz = static_cast<uint32_t>(p.z * 8);
+    ++truth[MortonEncode3(cx, cy, cz, 3)][p.type];
+  }
+  for (const auto& [morton, counts] : truth) {
+    auto stored = table.CountByType(CubeKey(3, morton));
+    ASSERT_TRUE(stored.ok()) << morton;
+    EXPECT_EQ(stored.value(), counts) << morton;
+  }
+}
+
+class BoxQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoxQueryTest, PlanMatchesBruteForceOnRandomBoxes) {
+  AlyaParams params = SmallParams();
+  params.particles = 15000;
+  params.seed = GetParam();
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 5);
+
+  Rng rng(GetParam() * 31 + 7);
+  for (int q = 0; q < 8; ++q) {
+    D8Tree::Box box;
+    box.min_x = static_cast<float>(rng.Uniform(0.0, 0.8));
+    box.min_y = static_cast<float>(rng.Uniform(0.0, 0.8));
+    box.min_z = static_cast<float>(rng.Uniform(0.0, 0.8));
+    box.max_x = box.min_x + static_cast<float>(rng.Uniform(0.05, 0.5));
+    box.max_y = box.min_y + static_cast<float>(rng.Uniform(0.05, 0.5));
+    box.max_z = box.min_z + static_cast<float>(rng.Uniform(0.05, 0.5));
+    const uint32_t target = 50 + static_cast<uint32_t>(rng.Below(1000));
+    EXPECT_EQ(tree.BoxQueryExecute(box, target), tree.BoxQueryBruteForce(box))
+        << "query " << q << " target " << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxQueryTest, ::testing::Values(1, 2, 3));
+
+TEST(BoxQueryTest, FullCubeReturnsEveryParticle) {
+  AlyaParams params = SmallParams();
+  params.particles = 5000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 4);
+  D8Tree::Box everything;  // defaults to the whole unit cube
+  EXPECT_EQ(tree.BoxQueryExecute(everything, 1000).size(), 5000u);
+  // With a huge target the plan is a single cube: the root.
+  const auto coarse = tree.BoxQueryPlan(everything, 1u << 30);
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_EQ(coarse[0].cube.level, 0u);
+  EXPECT_TRUE(coarse[0].fully_inside);
+}
+
+TEST(BoxQueryTest, DisjointBoxIsEmpty) {
+  AlyaParams params = SmallParams();
+  params.particles = 2000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 3);
+  D8Tree::Box nowhere;
+  nowhere.min_x = nowhere.max_x = 0.0f;  // zero-volume box
+  EXPECT_TRUE(tree.BoxQueryPlan(nowhere, 100).empty());
+  EXPECT_TRUE(tree.BoxQueryExecute(nowhere, 100).empty());
+}
+
+TEST(BoxQueryTest, InteriorCubesRespectTargetSize) {
+  AlyaParams params = SmallParams();
+  params.particles = 30000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 6);
+  D8Tree::Box box{0.2f, 0.2f, 0.2f, 0.8f, 0.8f, 0.8f};
+  constexpr uint32_t kTarget = 300;
+  for (const auto& entry : tree.BoxQueryPlan(box, kTarget)) {
+    if (entry.fully_inside && entry.cube.level < tree.max_level()) {
+      EXPECT_LE(entry.cube.elements, kTarget);
+    }
+    if (!entry.fully_inside) {
+      // Boundary cubes are always refined to the finest level.
+      EXPECT_EQ(entry.cube.level, tree.max_level());
+    }
+  }
+}
+
+TEST(BoxQueryTest, SmallerTargetMeansMorePartitions) {
+  AlyaParams params = SmallParams();
+  params.particles = 30000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 6);
+  D8Tree::Box box{0.1f, 0.1f, 0.1f, 0.9f, 0.9f, 0.9f};
+  const auto coarse = tree.BoxQueryPlan(box, 5000);
+  const auto fine = tree.BoxQueryPlan(box, 100);
+  EXPECT_GT(fine.size(), coarse.size());
+  // Same answer either way — the paper's "arbitrarily decide the number
+  // of keys we need to access to run a query".
+  EXPECT_EQ(tree.BoxQueryExecute(box, 5000), tree.BoxQueryExecute(box, 100));
+}
+
+TEST(GranularityTest, PaperWorkloadShapes) {
+  EXPECT_EQ(PartitionsFor(Granularity::kCoarse, 1000000), 100u);
+  EXPECT_EQ(PartitionsFor(Granularity::kMedium, 1000000), 1000u);
+  EXPECT_EQ(PartitionsFor(Granularity::kFine, 1000000), 10000u);
+  EXPECT_EQ(KeysizeFor(Granularity::kCoarse), 10000u);
+  EXPECT_EQ(GranularityName(Granularity::kFine), "fine-grained");
+}
+
+TEST(GranularityTest, MakeUniformWorkloadMatchesSpec) {
+  const auto spec = MakeUniformWorkload(Granularity::kMedium, 1000000);
+  EXPECT_EQ(spec.partitions.size(), 1000u);
+  EXPECT_EQ(spec.TotalElements(), 1000000u);
+}
+
+TEST(GranularityTest, WorkloadFromD8TreeRespectsSizeTolerance) {
+  AlyaParams params = SmallParams();
+  params.particles = 50000;
+  const auto particles = GenerateAlyaParticles(params);
+  const D8Tree tree(particles, 6);
+  Rng rng(5);
+  const auto spec = WorkloadFromD8Tree(tree, 100, 10000, 0.5, rng);
+  EXPECT_FALSE(spec.partitions.empty());
+  for (const auto& p : spec.partitions) {
+    EXPECT_GE(p.elements, 50u);
+    EXPECT_LE(p.elements, 150u);
+  }
+}
+
+TEST(PhonebookTest, PaperImbalanceNumbers) {
+  const auto models = PhonebookModels();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_NEAR(PhonebookKeyImbalance(models[0], 10), 0.34, 0.01);
+  EXPECT_NEAR(PhonebookKeyImbalance(models[1], 10), 0.005, 0.001);
+  EXPECT_NEAR(PhonebookKeyImbalance(models[2], 10), 0.00015, 0.00005);
+}
+
+TEST(PhonebookTest, CitySizesMatchThePapersPremise) {
+  // "about half of the population lives in the 500 most populated cities".
+  const auto models = PhonebookModels();
+  const auto sizes = PhonebookPartitionSizes(models[1], 10000000, 20000);
+  ASSERT_EQ(sizes.size(), 20000u);
+  uint64_t head = 0, total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    total += sizes[i];
+    if (i < 500) head += sizes[i];
+  }
+  EXPECT_NEAR(static_cast<double>(head) / static_cast<double>(total), 0.5,
+              0.05);
+  // The single biggest city holds percents, not tens of percents.
+  EXPECT_LT(static_cast<double>(sizes[0]) / static_cast<double>(total), 0.05);
+}
+
+TEST(PhonebookTest, UniformModelsHaveUniformSizes) {
+  const auto models = PhonebookModels();
+  const auto sizes = PhonebookPartitionSizes(models[0], 1000000, 20000);
+  ASSERT_EQ(sizes.size(), 200u);
+  for (uint64_t s : sizes) EXPECT_EQ(s, sizes[0]);
+}
+
+TEST(PhonebookTest, ZipfCitiesStayImbalancedDespiteCardinality) {
+  Rng rng(11);
+  const auto models = PhonebookModels();
+  // Key-count imbalance says ~0.5%, but the Zipf sizes keep the *load*
+  // imbalance in the tens of percent (paper: ~21% on 10 nodes).
+  const double load_imbalance =
+      PhonebookLoadImbalance(models[1], 10, 10000000, 20000, 30, rng);
+  EXPECT_GT(load_imbalance, 0.08);
+  // And it grows when doubling the cluster (paper: 21% -> 35%).
+  const double load_imbalance_20 =
+      PhonebookLoadImbalance(models[1], 20, 10000000, 20000, 30, rng);
+  EXPECT_GT(load_imbalance_20, load_imbalance);
+}
+
+}  // namespace
+}  // namespace kvscale

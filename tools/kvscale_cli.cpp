@@ -1,0 +1,254 @@
+// kvscale — command-line front-end to the performance model.
+//
+// The paper closes: the model lets a developer "in front of a set of
+// technologies and SLAs, choose the right architecture for its system".
+// This tool exposes that workflow without writing C++:
+//
+//   kvscale predict  --elements 1000000 --keys 1000 --nodes 16
+//   kvscale optimize --elements 1000000 --nodes 16
+//   kvscale sweep    --elements 1000000 --keys 4000 --max-nodes 128
+//   kvscale simulate --elements 1000000 --keys 10000 --nodes 16 --slow-master
+//   kvscale bands    --elements 1000000 --keys 100 --nodes 16
+//
+// Every subcommand accepts --t-msg-us (master cost per message) and
+// --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster_sim.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "model/architecture.hpp"
+#include "model/monte_carlo.hpp"
+#include "model/optimizer.hpp"
+
+namespace kvscale {
+namespace {
+
+/// Flags shared by every subcommand.
+struct CommonArgs {
+  int64_t elements = 1000000;
+  int64_t keys = 1000;
+  int64_t nodes = 16;
+  double t_msg_us = 19.0;
+  std::string device = "dram";
+
+  void Register(CliFlags& flags) {
+    flags.Add("elements", &elements, "elements the query aggregates");
+    flags.Add("keys", &keys, "partitions the query reads");
+    flags.Add("nodes", &nodes, "cluster size");
+    flags.Add("t-msg-us", &t_msg_us, "master CPU cost per message (us)");
+    flags.Add("device", &device, "working-set tier: dram|hbm|nvm|ssd|hdd");
+  }
+
+  bool ResolveDevice(DeviceModel& out) const {
+    if (device == "dram") out = DramDevice();
+    else if (device == "hbm") out = HbmDevice();
+    else if (device == "nvm") out = NvmDevice();
+    else if (device == "ssd") out = SataSsdDevice();
+    else if (device == "hdd") out = HddDevice();
+    else {
+      std::fprintf(stderr, "unknown device '%s'\n", device.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  QueryModel BuildModel() const {
+    MasterModel::Params master;
+    master.time_per_message = t_msg_us;
+    master.time_per_result = t_msg_us * 0.25;
+    DeviceModel dev = DramDevice();
+    (void)ResolveDevice(dev);
+    return QueryModel(DbModel{}, MasterModel(master)).WithDevice(dev);
+  }
+};
+
+int CmdPredict(CommonArgs& args) {
+  const QueryModel model = args.BuildModel();
+  const QueryPrediction p = model.Predict(
+      static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys),
+      static_cast<uint32_t>(args.nodes));
+  std::printf("prediction for %lld elements / %lld partitions / %lld "
+              "nodes:\n",
+              static_cast<long long>(args.elements),
+              static_cast<long long>(args.keys),
+              static_cast<long long>(args.nodes));
+  TablePrinter table({"component", "value"});
+  table.AddRow({"elements per partition", TablePrinter::Cell(p.keysize, 0)});
+  table.AddRow({"max partitions on one node (F5)",
+                TablePrinter::Cell(p.key_max, 1)});
+  table.AddRow({"effective time per request (F8)",
+                FormatMicros(p.db_per_request)});
+  table.AddRow({"master issue time (F3)", FormatMicros(p.master_issue)});
+  table.AddRow({"slowest slave (F4)", FormatMicros(p.slowest_slave)});
+  table.AddRow({"result fetch", FormatMicros(p.result_fetch)});
+  table.AddRow({"TOTAL (F2)", FormatMicros(p.total)});
+  table.AddRow({"bottleneck", p.BottleneckName()});
+  table.Print();
+  return 0;
+}
+
+int CmdOptimize(CommonArgs& args) {
+  PartitionOptimizer optimizer(args.BuildModel());
+  const auto opt = optimizer.Optimize(static_cast<uint64_t>(args.elements),
+                                      static_cast<uint32_t>(args.nodes));
+  std::printf(
+      "optimal partitioning for %lld elements on %lld nodes:\n"
+      "  %llu partitions of ~%.0f elements -> %s (bottleneck: %s)\n",
+      static_cast<long long>(args.elements),
+      static_cast<long long>(args.nodes),
+      static_cast<unsigned long long>(opt.keys), opt.prediction.keysize,
+      FormatMicros(opt.prediction.total).c_str(),
+      opt.prediction.BottleneckName().c_str());
+  const QueryPrediction fixed = args.BuildModel().Predict(
+      static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys),
+      static_cast<uint32_t>(args.nodes));
+  std::printf("  (your --keys=%lld would take %s: %s)\n",
+              static_cast<long long>(args.keys),
+              FormatMicros(fixed.total).c_str(),
+              FormatPercent(fixed.total / opt.prediction.total - 1.0).c_str());
+  return 0;
+}
+
+int CmdSweep(CommonArgs& args, int64_t max_nodes) {
+  const QueryModel model = args.BuildModel();
+  const auto profile = ScalingProfile(
+      model, static_cast<uint64_t>(args.elements),
+      static_cast<uint64_t>(args.keys), static_cast<uint32_t>(max_nodes));
+  TablePrinter table({"nodes", "query time", "master", "slaves", "bound by"});
+  for (uint32_t n = 1; n <= static_cast<uint32_t>(max_nodes); n *= 2) {
+    const auto& p = profile[n - 1];
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(n)),
+                  FormatMicros(p.query_time), FormatMicros(p.master_time),
+                  FormatMicros(p.slave_time),
+                  p.master_bound ? "master" : "slaves"});
+  }
+  table.Print();
+  const uint32_t crossover = MasterSaturationNodes(
+      model, static_cast<uint64_t>(args.elements),
+      static_cast<uint64_t>(args.keys), static_cast<uint32_t>(max_nodes));
+  if (crossover > 0) {
+    std::printf("single master saturates at %u nodes for this shape.\n",
+                crossover);
+  } else {
+    std::printf("the master keeps up at every size up to %lld nodes.\n",
+                static_cast<long long>(max_nodes));
+  }
+  return 0;
+}
+
+int CmdSimulate(CommonArgs& args, bool slow_master, int64_t seed) {
+  ClusterConfig config;
+  config.nodes = static_cast<uint32_t>(args.nodes);
+  config.seed = static_cast<uint64_t>(seed);
+  if (slow_master) {
+    config.serializer = JavaLikeProfile();
+    config.size_messages_with_compact_codec = false;
+  } else {
+    config.serializer.cpu_fixed = args.t_msg_us * 0.6;
+    config.serializer.cpu_per_byte =
+        args.t_msg_us * 0.4 / config.serializer.bytes_per_message;
+  }
+  (void)args.ResolveDevice(config.device);
+  const auto run = RunDistributedQuery(
+      config, UniformWorkload(static_cast<uint64_t>(args.elements),
+                              static_cast<uint64_t>(args.keys)));
+  std::printf("simulated run (%s master):\n",
+              slow_master ? "java-like 150 us" : "optimised");
+  std::printf("  makespan %s | master done sending at %s | request "
+              "imbalance %s\n",
+              FormatMicros(run.makespan).c_str(),
+              FormatMicros(run.master_issue_done).c_str(),
+              FormatPercent(run.RequestImbalance()).c_str());
+  std::printf("%s", run.tracer.SummaryReport().c_str());
+  return 0;
+}
+
+int CmdBands(CommonArgs& args, int64_t trials) {
+  Rng rng(7);
+  const auto bands = PredictDistribution(
+      args.BuildModel(), static_cast<uint64_t>(args.elements),
+      static_cast<uint64_t>(args.keys), static_cast<uint32_t>(args.nodes),
+      static_cast<uint64_t>(trials), rng);
+  TablePrinter table({"statistic", "value"});
+  table.AddRow({"Formula 2 point", FormatMicros(bands.formula_point)});
+  table.AddRow({"mean", FormatMicros(bands.mean)});
+  table.AddRow({"p10", FormatMicros(bands.p10)});
+  table.AddRow({"p50", FormatMicros(bands.p50)});
+  table.AddRow({"p90", FormatMicros(bands.p90)});
+  table.AddRow({"p99", FormatMicros(bands.p99)});
+  table.Print();
+  std::printf("(Monte-Carlo over %lld placement + noise draws)\n",
+              static_cast<long long>(trials));
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "kvscale <command> [flags]\n"
+      "commands:\n"
+      "  predict    Formula 2 breakdown for (elements, keys, nodes)\n"
+      "  optimize   best partition count for the cluster\n"
+      "  sweep      query time vs node count + master saturation point\n"
+      "  simulate   one virtual-time run of the master/slave prototype\n"
+      "  bands      Monte-Carlo percentile bands of the prediction\n"
+      "common flags: --elements --keys --nodes --t-msg-us --device\n"
+      "see each command's --help for its extras.\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  CommonArgs args;
+  CliFlags flags;
+  args.Register(flags);
+
+  if (command == "predict") {
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    DeviceModel probe;
+    if (!args.ResolveDevice(probe)) return 1;
+    return CmdPredict(args);
+  }
+  if (command == "optimize") {
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    return CmdOptimize(args);
+  }
+  if (command == "sweep") {
+    int64_t max_nodes = 128;
+    flags.Add("max-nodes", &max_nodes, "largest cluster evaluated");
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    return CmdSweep(args, max_nodes);
+  }
+  if (command == "simulate") {
+    bool slow_master = false;
+    int64_t seed = 42;
+    flags.Add("slow-master", &slow_master,
+              "use the java-default 150 us/message profile");
+    flags.Add("seed", &seed, "simulation seed");
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    return CmdSimulate(args, slow_master, seed);
+  }
+  if (command == "bands") {
+    int64_t trials = 1000;
+    flags.Add("trials", &trials, "Monte-Carlo draws");
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    return CmdBands(args, trials);
+  }
+  if (command == "--help" || command == "help" || command == "-h") {
+    PrintUsage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  PrintUsage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Main(argc, argv); }
