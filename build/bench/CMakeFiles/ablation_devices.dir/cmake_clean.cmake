@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_devices.dir/ablation_devices.cpp.o"
+  "CMakeFiles/ablation_devices.dir/ablation_devices.cpp.o.d"
+  "ablation_devices"
+  "ablation_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

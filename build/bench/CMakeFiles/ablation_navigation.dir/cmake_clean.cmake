@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_navigation.dir/ablation_navigation.cpp.o"
+  "CMakeFiles/ablation_navigation.dir/ablation_navigation.cpp.o.d"
+  "ablation_navigation"
+  "ablation_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skewed_rows.dir/ablation_skewed_rows.cpp.o"
+  "CMakeFiles/ablation_skewed_rows.dir/ablation_skewed_rows.cpp.o.d"
+  "ablation_skewed_rows"
+  "ablation_skewed_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skewed_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

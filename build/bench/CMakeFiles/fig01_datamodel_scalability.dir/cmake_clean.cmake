@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_datamodel_scalability.dir/fig01_datamodel_scalability.cpp.o"
+  "CMakeFiles/fig01_datamodel_scalability.dir/fig01_datamodel_scalability.cpp.o.d"
+  "fig01_datamodel_scalability"
+  "fig01_datamodel_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_datamodel_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ops_vs_time.dir/fig02_ops_vs_time.cpp.o"
+  "CMakeFiles/fig02_ops_vs_time.dir/fig02_ops_vs_time.cpp.o.d"
+  "fig02_ops_vs_time"
+  "fig02_ops_vs_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ops_vs_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_maxload_density.dir/fig03_maxload_density.cpp.o"
+  "CMakeFiles/fig03_maxload_density.dir/fig03_maxload_density.cpp.o.d"
+  "fig03_maxload_density"
+  "fig03_maxload_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_maxload_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_optimized_master.dir/fig05_optimized_master.cpp.o"
+  "CMakeFiles/fig05_optimized_master.dir/fig05_optimized_master.cpp.o.d"
+  "fig05_optimized_master"
+  "fig05_optimized_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_optimized_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

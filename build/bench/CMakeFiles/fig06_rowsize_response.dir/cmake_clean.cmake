@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rowsize_response.dir/fig06_rowsize_response.cpp.o"
+  "CMakeFiles/fig06_rowsize_response.dir/fig06_rowsize_response.cpp.o.d"
+  "fig06_rowsize_response"
+  "fig06_rowsize_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rowsize_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

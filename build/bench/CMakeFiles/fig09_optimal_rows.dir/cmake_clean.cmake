@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_optimal_rows.dir/fig09_optimal_rows.cpp.o"
+  "CMakeFiles/fig09_optimal_rows.dir/fig09_optimal_rows.cpp.o.d"
+  "fig09_optimal_rows"
+  "fig09_optimal_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_optimal_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_optimal_vs_ideal.dir/fig10_optimal_vs_ideal.cpp.o"
+  "CMakeFiles/fig10_optimal_vs_ideal.dir/fig10_optimal_vs_ideal.cpp.o.d"
+  "fig10_optimal_vs_ideal"
+  "fig10_optimal_vs_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimal_vs_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_master_limit.dir/fig11_master_limit.cpp.o"
+  "CMakeFiles/fig11_master_limit.dir/fig11_master_limit.cpp.o.d"
+  "fig11_master_limit"
+  "fig11_master_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_master_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

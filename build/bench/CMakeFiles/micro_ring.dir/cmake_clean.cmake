@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ring.dir/micro_ring.cpp.o"
+  "CMakeFiles/micro_ring.dir/micro_ring.cpp.o.d"
+  "micro_ring"
+  "micro_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

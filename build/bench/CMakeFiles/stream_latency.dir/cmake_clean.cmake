@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_latency.dir/stream_latency.cpp.o"
+  "CMakeFiles/stream_latency.dir/stream_latency.cpp.o.d"
+  "stream_latency"
+  "stream_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

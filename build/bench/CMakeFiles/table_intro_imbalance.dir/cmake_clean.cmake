@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_intro_imbalance.dir/table_intro_imbalance.cpp.o"
+  "CMakeFiles/table_intro_imbalance.dir/table_intro_imbalance.cpp.o.d"
+  "table_intro_imbalance"
+  "table_intro_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_intro_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alya_pipeline.dir/alya_pipeline.cpp.o"
+  "CMakeFiles/alya_pipeline.dir/alya_pipeline.cpp.o.d"
+  "alya_pipeline"
+  "alya_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alya_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_trajectory.dir/md_trajectory.cpp.o"
+  "CMakeFiles/md_trajectory.dir/md_trajectory.cpp.o.d"
+  "md_trajectory"
+  "md_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

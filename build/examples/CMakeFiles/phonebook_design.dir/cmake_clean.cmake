@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonebook_design.dir/phonebook_design.cpp.o"
+  "CMakeFiles/phonebook_design.dir/phonebook_design.cpp.o.d"
+  "phonebook_design"
+  "phonebook_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonebook_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_cluster.dir/cluster_sim.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/kvscale_cluster.dir/in_process_cluster.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/in_process_cluster.cpp.o.d"
+  "CMakeFiles/kvscale_cluster.dir/navigational_sim.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/navigational_sim.cpp.o.d"
+  "CMakeFiles/kvscale_cluster.dir/placement.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/kvscale_cluster.dir/replicated_sim.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/replicated_sim.cpp.o.d"
+  "CMakeFiles/kvscale_cluster.dir/stream_sim.cpp.o"
+  "CMakeFiles/kvscale_cluster.dir/stream_sim.cpp.o.d"
+  "libkvscale_cluster.a"
+  "libkvscale_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

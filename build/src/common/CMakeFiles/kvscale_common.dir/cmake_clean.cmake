@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_common.dir/cli.cpp.o"
+  "CMakeFiles/kvscale_common.dir/cli.cpp.o.d"
+  "CMakeFiles/kvscale_common.dir/rng.cpp.o"
+  "CMakeFiles/kvscale_common.dir/rng.cpp.o.d"
+  "CMakeFiles/kvscale_common.dir/status.cpp.o"
+  "CMakeFiles/kvscale_common.dir/status.cpp.o.d"
+  "CMakeFiles/kvscale_common.dir/table_printer.cpp.o"
+  "CMakeFiles/kvscale_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/kvscale_common.dir/units.cpp.o"
+  "CMakeFiles/kvscale_common.dir/units.cpp.o.d"
+  "libkvscale_common.a"
+  "libkvscale_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash.cpp" "src/hash/CMakeFiles/kvscale_hash.dir/hash.cpp.o" "gcc" "src/hash/CMakeFiles/kvscale_hash.dir/hash.cpp.o.d"
+  "/root/repo/src/hash/token_ring.cpp" "src/hash/CMakeFiles/kvscale_hash.dir/token_ring.cpp.o" "gcc" "src/hash/CMakeFiles/kvscale_hash.dir/token_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_hash.dir/hash.cpp.o"
+  "CMakeFiles/kvscale_hash.dir/hash.cpp.o.d"
+  "CMakeFiles/kvscale_hash.dir/token_ring.cpp.o"
+  "CMakeFiles/kvscale_hash.dir/token_ring.cpp.o.d"
+  "libkvscale_hash.a"
+  "libkvscale_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/architecture.cpp" "src/model/CMakeFiles/kvscale_model.dir/architecture.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/architecture.cpp.o.d"
+  "/root/repo/src/model/balls_into_bins.cpp" "src/model/CMakeFiles/kvscale_model.dir/balls_into_bins.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/balls_into_bins.cpp.o.d"
+  "/root/repo/src/model/calibrator.cpp" "src/model/CMakeFiles/kvscale_model.dir/calibrator.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/calibrator.cpp.o.d"
+  "/root/repo/src/model/db_model.cpp" "src/model/CMakeFiles/kvscale_model.dir/db_model.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/db_model.cpp.o.d"
+  "/root/repo/src/model/device_model.cpp" "src/model/CMakeFiles/kvscale_model.dir/device_model.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/device_model.cpp.o.d"
+  "/root/repo/src/model/master_model.cpp" "src/model/CMakeFiles/kvscale_model.dir/master_model.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/master_model.cpp.o.d"
+  "/root/repo/src/model/monte_carlo.cpp" "src/model/CMakeFiles/kvscale_model.dir/monte_carlo.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/model/optimizer.cpp" "src/model/CMakeFiles/kvscale_model.dir/optimizer.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/optimizer.cpp.o.d"
+  "/root/repo/src/model/parallelism_model.cpp" "src/model/CMakeFiles/kvscale_model.dir/parallelism_model.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/parallelism_model.cpp.o.d"
+  "/root/repo/src/model/query_model.cpp" "src/model/CMakeFiles/kvscale_model.dir/query_model.cpp.o" "gcc" "src/model/CMakeFiles/kvscale_model.dir/query_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kvscale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kvscale_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/kvscale_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/kvscale_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_model.dir/architecture.cpp.o"
+  "CMakeFiles/kvscale_model.dir/architecture.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/balls_into_bins.cpp.o"
+  "CMakeFiles/kvscale_model.dir/balls_into_bins.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/calibrator.cpp.o"
+  "CMakeFiles/kvscale_model.dir/calibrator.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/db_model.cpp.o"
+  "CMakeFiles/kvscale_model.dir/db_model.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/device_model.cpp.o"
+  "CMakeFiles/kvscale_model.dir/device_model.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/master_model.cpp.o"
+  "CMakeFiles/kvscale_model.dir/master_model.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/monte_carlo.cpp.o"
+  "CMakeFiles/kvscale_model.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/optimizer.cpp.o"
+  "CMakeFiles/kvscale_model.dir/optimizer.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/parallelism_model.cpp.o"
+  "CMakeFiles/kvscale_model.dir/parallelism_model.cpp.o.d"
+  "CMakeFiles/kvscale_model.dir/query_model.cpp.o"
+  "CMakeFiles/kvscale_model.dir/query_model.cpp.o.d"
+  "libkvscale_model.a"
+  "libkvscale_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

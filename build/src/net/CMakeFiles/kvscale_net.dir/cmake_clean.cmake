@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_net.dir/network.cpp.o"
+  "CMakeFiles/kvscale_net.dir/network.cpp.o.d"
+  "libkvscale_net.a"
+  "libkvscale_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_sim.dir/resource.cpp.o"
+  "CMakeFiles/kvscale_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/kvscale_sim.dir/simulator.cpp.o"
+  "CMakeFiles/kvscale_sim.dir/simulator.cpp.o.d"
+  "libkvscale_sim.a"
+  "libkvscale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

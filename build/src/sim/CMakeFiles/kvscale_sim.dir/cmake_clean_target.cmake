@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvscale_sim.a"
+)

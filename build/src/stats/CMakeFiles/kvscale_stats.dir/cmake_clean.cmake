@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/kvscale_stats.dir/histogram.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/kvscale_stats.dir/regression.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/kvscale_stats.dir/sampling.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/kvscale_stats.dir/summary.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/kvscale_stats.dir/zipf.cpp.o"
+  "CMakeFiles/kvscale_stats.dir/zipf.cpp.o.d"
+  "libkvscale_stats.a"
+  "libkvscale_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

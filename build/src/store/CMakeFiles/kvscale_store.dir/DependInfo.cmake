@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/block_cache.cpp" "src/store/CMakeFiles/kvscale_store.dir/block_cache.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/block_cache.cpp.o.d"
+  "/root/repo/src/store/bloom.cpp" "src/store/CMakeFiles/kvscale_store.dir/bloom.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/bloom.cpp.o.d"
+  "/root/repo/src/store/commit_log.cpp" "src/store/CMakeFiles/kvscale_store.dir/commit_log.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/commit_log.cpp.o.d"
+  "/root/repo/src/store/local_store.cpp" "src/store/CMakeFiles/kvscale_store.dir/local_store.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/local_store.cpp.o.d"
+  "/root/repo/src/store/memtable.cpp" "src/store/CMakeFiles/kvscale_store.dir/memtable.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/memtable.cpp.o.d"
+  "/root/repo/src/store/row.cpp" "src/store/CMakeFiles/kvscale_store.dir/row.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/row.cpp.o.d"
+  "/root/repo/src/store/segment.cpp" "src/store/CMakeFiles/kvscale_store.dir/segment.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/segment.cpp.o.d"
+  "/root/repo/src/store/table.cpp" "src/store/CMakeFiles/kvscale_store.dir/table.cpp.o" "gcc" "src/store/CMakeFiles/kvscale_store.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/kvscale_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/kvscale_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

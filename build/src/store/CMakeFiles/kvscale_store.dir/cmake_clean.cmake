@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_store.dir/block_cache.cpp.o"
+  "CMakeFiles/kvscale_store.dir/block_cache.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/bloom.cpp.o"
+  "CMakeFiles/kvscale_store.dir/bloom.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/commit_log.cpp.o"
+  "CMakeFiles/kvscale_store.dir/commit_log.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/local_store.cpp.o"
+  "CMakeFiles/kvscale_store.dir/local_store.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/memtable.cpp.o"
+  "CMakeFiles/kvscale_store.dir/memtable.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/row.cpp.o"
+  "CMakeFiles/kvscale_store.dir/row.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/segment.cpp.o"
+  "CMakeFiles/kvscale_store.dir/segment.cpp.o.d"
+  "CMakeFiles/kvscale_store.dir/table.cpp.o"
+  "CMakeFiles/kvscale_store.dir/table.cpp.o.d"
+  "libkvscale_store.a"
+  "libkvscale_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

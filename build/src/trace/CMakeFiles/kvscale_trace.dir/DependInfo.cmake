@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv_writer.cpp" "src/trace/CMakeFiles/kvscale_trace.dir/csv_writer.cpp.o" "gcc" "src/trace/CMakeFiles/kvscale_trace.dir/csv_writer.cpp.o.d"
+  "/root/repo/src/trace/gantt.cpp" "src/trace/CMakeFiles/kvscale_trace.dir/gantt.cpp.o" "gcc" "src/trace/CMakeFiles/kvscale_trace.dir/gantt.cpp.o.d"
+  "/root/repo/src/trace/metrics.cpp" "src/trace/CMakeFiles/kvscale_trace.dir/metrics.cpp.o" "gcc" "src/trace/CMakeFiles/kvscale_trace.dir/metrics.cpp.o.d"
+  "/root/repo/src/trace/stage_trace.cpp" "src/trace/CMakeFiles/kvscale_trace.dir/stage_trace.cpp.o" "gcc" "src/trace/CMakeFiles/kvscale_trace.dir/stage_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kvscale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvscale_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_trace.dir/csv_writer.cpp.o"
+  "CMakeFiles/kvscale_trace.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/kvscale_trace.dir/gantt.cpp.o"
+  "CMakeFiles/kvscale_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/kvscale_trace.dir/metrics.cpp.o"
+  "CMakeFiles/kvscale_trace.dir/metrics.cpp.o.d"
+  "CMakeFiles/kvscale_trace.dir/stage_trace.cpp.o"
+  "CMakeFiles/kvscale_trace.dir/stage_trace.cpp.o.d"
+  "libkvscale_trace.a"
+  "libkvscale_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/buffer.cpp" "src/wire/CMakeFiles/kvscale_wire.dir/buffer.cpp.o" "gcc" "src/wire/CMakeFiles/kvscale_wire.dir/buffer.cpp.o.d"
+  "/root/repo/src/wire/messages.cpp" "src/wire/CMakeFiles/kvscale_wire.dir/messages.cpp.o" "gcc" "src/wire/CMakeFiles/kvscale_wire.dir/messages.cpp.o.d"
+  "/root/repo/src/wire/serializer_model.cpp" "src/wire/CMakeFiles/kvscale_wire.dir/serializer_model.cpp.o" "gcc" "src/wire/CMakeFiles/kvscale_wire.dir/serializer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

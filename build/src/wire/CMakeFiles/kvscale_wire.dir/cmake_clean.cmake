@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_wire.dir/buffer.cpp.o"
+  "CMakeFiles/kvscale_wire.dir/buffer.cpp.o.d"
+  "CMakeFiles/kvscale_wire.dir/messages.cpp.o"
+  "CMakeFiles/kvscale_wire.dir/messages.cpp.o.d"
+  "CMakeFiles/kvscale_wire.dir/serializer_model.cpp.o"
+  "CMakeFiles/kvscale_wire.dir/serializer_model.cpp.o.d"
+  "libkvscale_wire.a"
+  "libkvscale_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

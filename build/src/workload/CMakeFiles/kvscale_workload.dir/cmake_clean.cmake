@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_workload.dir/alya.cpp.o"
+  "CMakeFiles/kvscale_workload.dir/alya.cpp.o.d"
+  "CMakeFiles/kvscale_workload.dir/d8tree.cpp.o"
+  "CMakeFiles/kvscale_workload.dir/d8tree.cpp.o.d"
+  "CMakeFiles/kvscale_workload.dir/granularity.cpp.o"
+  "CMakeFiles/kvscale_workload.dir/granularity.cpp.o.d"
+  "CMakeFiles/kvscale_workload.dir/phonebook.cpp.o"
+  "CMakeFiles/kvscale_workload.dir/phonebook.cpp.o.d"
+  "libkvscale_workload.a"
+  "libkvscale_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_log_test.dir/commit_log_test.cpp.o"
+  "CMakeFiles/commit_log_test.dir/commit_log_test.cpp.o.d"
+  "commit_log_test"
+  "commit_log_test.pdb"
+  "commit_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

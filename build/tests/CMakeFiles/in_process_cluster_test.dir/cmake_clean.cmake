@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_process_cluster_test.dir/in_process_cluster_test.cpp.o"
+  "CMakeFiles/in_process_cluster_test.dir/in_process_cluster_test.cpp.o.d"
+  "in_process_cluster_test"
+  "in_process_cluster_test.pdb"
+  "in_process_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_process_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

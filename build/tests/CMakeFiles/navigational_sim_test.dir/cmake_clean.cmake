@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigational_sim_test.dir/navigational_sim_test.cpp.o"
+  "CMakeFiles/navigational_sim_test.dir/navigational_sim_test.cpp.o.d"
+  "navigational_sim_test"
+  "navigational_sim_test.pdb"
+  "navigational_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigational_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_sim_test.dir/replicated_sim_test.cpp.o"
+  "CMakeFiles/replicated_sim_test.dir/replicated_sim_test.cpp.o.d"
+  "replicated_sim_test"
+  "replicated_sim_test.pdb"
+  "replicated_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

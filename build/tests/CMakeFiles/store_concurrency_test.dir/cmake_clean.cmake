@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_concurrency_test.dir/store_concurrency_test.cpp.o"
+  "CMakeFiles/store_concurrency_test.dir/store_concurrency_test.cpp.o.d"
+  "store_concurrency_test"
+  "store_concurrency_test.pdb"
+  "store_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

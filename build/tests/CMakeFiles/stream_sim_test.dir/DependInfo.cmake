@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stream_sim_test.cpp" "tests/CMakeFiles/stream_sim_test.dir/stream_sim_test.cpp.o" "gcc" "tests/CMakeFiles/stream_sim_test.dir/stream_sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/kvscale_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/kvscale_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kvscale_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/kvscale_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kvscale_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/kvscale_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/kvscale_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kvscale_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kvscale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kvscale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

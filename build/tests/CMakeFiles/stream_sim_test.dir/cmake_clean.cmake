@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_sim_test.dir/stream_sim_test.cpp.o"
+  "CMakeFiles/stream_sim_test.dir/stream_sim_test.cpp.o.d"
+  "stream_sim_test"
+  "stream_sim_test.pdb"
+  "stream_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

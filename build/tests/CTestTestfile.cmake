@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/store_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/store_model_test[1]_include.cmake")
+include("/root/repo/build/tests/commit_log_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/in_process_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/navigational_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

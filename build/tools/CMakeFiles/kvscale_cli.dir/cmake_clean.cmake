@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvscale_cli.dir/kvscale_cli.cpp.o"
+  "CMakeFiles/kvscale_cli.dir/kvscale_cli.cpp.o.d"
+  "kvscale"
+  "kvscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvscale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
