@@ -5,6 +5,7 @@
 
 #include "store/local_store.hpp"
 #include "store/row.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace kvscale {
 namespace {
@@ -18,8 +19,13 @@ Column MakeColumn(uint64_t clustering) {
 }
 
 /// Builds a flushed table with one partition of `elements` columns.
-std::unique_ptr<Table> BuildRow(uint64_t elements, BlockCache* cache) {
-  auto table = std::make_unique<Table>("bench", TableOptions{}, cache);
+/// `metrics` non-null wires the table into a registry (the telemetry-on
+/// configuration; null is the default no-telemetry path).
+std::unique_ptr<Table> BuildRow(uint64_t elements, BlockCache* cache,
+                                MetricsRegistry* metrics = nullptr) {
+  TableOptions options;
+  options.metrics = metrics;
+  auto table = std::make_unique<Table>("bench", options, cache);
   for (uint64_t i = 0; i < elements; ++i) table->Put("row", MakeColumn(i));
   table->Flush();
   return table;
@@ -61,6 +67,25 @@ void BM_CountByTypeCached(benchmark::State& state) {
                           static_cast<int64_t>(elements));
 }
 BENCHMARK(BM_CountByTypeCached)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Same cached read with full metrics recording (counters + latency
+// histogram per read). Compare against BM_CountByTypeCached to see the
+// telemetry cost; BM_CountByTypeCached itself measures the disabled
+// path (a single null-pointer branch).
+void BM_CountByTypeCachedTelemetry(benchmark::State& state) {
+  const auto elements = static_cast<uint64_t>(state.range(0));
+  MetricsRegistry registry;
+  BlockCache cache(256 * kMiB);
+  auto table = BuildRow(elements, &cache, &registry);
+  (void)table->CountByType("row");  // warm the cache
+  for (auto _ : state) {
+    auto counts = table->CountByType("row");
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(elements));
+}
+BENCHMARK(BM_CountByTypeCachedTelemetry)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_SliceIndexedRow(benchmark::State& state) {
   // 10k elements: well above the 64 KB threshold, so the column index

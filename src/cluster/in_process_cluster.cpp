@@ -1,10 +1,23 @@
 #include "cluster/in_process_cluster.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "common/check.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
 
 namespace kvscale {
+
+namespace {
+
+double ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
                                    StoreOptions store_options, uint64_t seed,
@@ -15,6 +28,26 @@ InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
   nodes_.reserve(nodes);
   for (uint32_t n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<LocalStore>(store_options));
+  }
+}
+
+void InProcessCluster::AttachTelemetry(SpanTracer* spans,
+                                       MetricsRegistry* metrics) {
+  spans_ = spans;
+  if (spans_ != nullptr) {
+    for (uint32_t n = 0; n < node_count(); ++n) {
+      spans_->SetTrackName(n, "node-" + std::to_string(n));
+    }
+    spans_->SetTrackName(master_track(), "master");
+  }
+  if (metrics != nullptr) {
+    subqueries_counter_ = &metrics->GetCounter("cluster.subqueries");
+    missing_counter_ = &metrics->GetCounter("cluster.partitions_missing");
+    subquery_latency_ = &metrics->GetHistogram("cluster.subquery.latency_us");
+  } else {
+    subqueries_counter_ = nullptr;
+    missing_counter_ = nullptr;
+    subquery_latency_ = nullptr;
   }
 }
 
@@ -58,25 +91,71 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
 
+  SpanTracer::Scope gather;
+  if (spans_ != nullptr) {
+    gather = spans_->StartSpan("gather", master_track());
+    gather.Attr("table", workload.table);
+    gather.Attr("partitions", std::to_string(workload.partitions.size()));
+  }
+
   for (const PartitionRef& part : workload.partitions) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
+
+    SpanTracer::Scope route;
+    if (spans_ != nullptr) route = spans_->StartSpan("route", master_track());
     const std::vector<NodeId>& replicas = ReplicasOf(part.key);
     const NodeId target = replicas[replica % replicas.size()];
+    if (route.active()) {
+      route.Attr("partition", part.key);
+      route.Attr("node", std::to_string(target));
+      route.End();
+    }
+
     ++result.requests_per_node[target];
-    auto table = nodes_[target]->FindTable(workload.table);
-    if (!table.ok()) {
-      ++result.partitions_missing;
-      continue;
-    }
+    bool missing = false;
     ReadProbe probe;
-    auto counts = table.value()->CountByType(part.key, &probe);
-    result.probes_per_node[target].MergeFrom(probe);
-    if (!counts.ok()) {
-      KV_CHECK(counts.status().code() == StatusCode::kNotFound);
-      ++result.partitions_missing;
-      continue;
+    Result<TypeCounts> counts = Status::NotFound(part.key);
+    {
+      SpanTracer::Scope read;
+      if (spans_ != nullptr) {
+        read = spans_->StartSpan("store-read", target);
+        read.Attr("partition", part.key);
+      }
+      auto table = nodes_[target]->FindTable(workload.table);
+      if (table.ok()) {
+        counts = table.value()->CountByType(part.key, &probe);
+        result.probes_per_node[target].MergeFrom(probe);
+        missing = !counts.ok();
+        if (missing) {
+          KV_CHECK(counts.status().code() == StatusCode::kNotFound);
+        }
+      } else {
+        missing = true;
+      }
+      if (read.active()) {
+        read.Attr("blocks_decoded", std::to_string(probe.blocks_decoded));
+        read.Attr("blocks_from_cache",
+                  std::to_string(probe.blocks_from_cache));
+        read.Attr("bloom_negatives", std::to_string(probe.bloom_negatives));
+      }
     }
-    for (const auto& [type, count] : counts.value()) {
-      result.totals[type] += count;
+
+    if (missing) {
+      ++result.partitions_missing;
+      if (missing_counter_ != nullptr) missing_counter_->Increment();
+    } else {
+      SpanTracer::Scope fold;
+      if (spans_ != nullptr) {
+        fold = spans_->StartSpan("fold", master_track());
+        fold.Attr("partition", part.key);
+      }
+      for (const auto& [type, count] : counts.value()) {
+        result.totals[type] += count;
+      }
+    }
+    if (subquery_latency_ != nullptr) {
+      subquery_latency_->Record(ElapsedMicros(t0));
     }
   }
   return result;
@@ -97,36 +176,67 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
   std::vector<std::thread> workers;
   workers.reserve(threads);
   const size_t total = workload.partitions.size();
+  SpanTracer::Scope gather;
+  if (spans_ != nullptr) {
+    gather = spans_->StartSpan("gather-parallel", master_track());
+    gather.Attr("table", workload.table);
+    gather.Attr("partitions", std::to_string(total));
+    gather.Attr("threads", std::to_string(threads));
+    for (uint32_t t = 0; t < threads; ++t) {
+      spans_->SetTrackName(master_track() + 1 + t,
+                           "worker-" + std::to_string(t));
+    }
+  }
   for (uint32_t t = 0; t < threads; ++t) {
     workers.emplace_back([this, &workload, &owners, &partials, t, threads,
                           total] {
       GatherResult& local = partials[t];
       local.requests_per_node.assign(nodes_.size(), 0);
       local.probes_per_node.assign(nodes_.size(), ReadProbe{});
+      SpanTracer::Scope worker_span;
+      if (spans_ != nullptr) {
+        worker_span = spans_->StartSpan("worker", master_track() + 1 + t);
+      }
       for (size_t i = t; i < total; i += threads) {
         const PartitionRef& part = workload.partitions[i];
         const NodeId owner = owners[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
         ++local.requests_per_node[owner];
+        SpanTracer::Scope read;
+        if (spans_ != nullptr) {
+          read = spans_->StartSpan("store-read", owner);
+          read.Attr("partition", part.key);
+          read.Attr("worker", std::to_string(t));
+        }
         auto table = nodes_[owner]->FindTable(workload.table);
         if (!table.ok()) {
           ++local.partitions_missing;
+          if (missing_counter_ != nullptr) missing_counter_->Increment();
           continue;
         }
         ReadProbe probe;
         auto counts = table.value()->CountByType(part.key, &probe);
         local.probes_per_node[owner].MergeFrom(probe);
+        read.End();
         if (!counts.ok()) {
           ++local.partitions_missing;
+          if (missing_counter_ != nullptr) missing_counter_->Increment();
           continue;
         }
         for (const auto& [type, count] : counts.value()) {
           local.totals[type] += count;
+        }
+        if (subquery_latency_ != nullptr) {
+          subquery_latency_->Record(ElapsedMicros(t0));
         }
       }
     });
   }
   for (auto& worker : workers) worker.join();
 
+  SpanTracer::Scope fold;
+  if (spans_ != nullptr) fold = spans_->StartSpan("fold", master_track());
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});

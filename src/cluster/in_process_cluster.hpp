@@ -22,6 +22,11 @@
 
 namespace kvscale {
 
+class SpanTracer;       // telemetry/span_tracer.hpp
+class MetricsRegistry;  // telemetry/metrics_registry.hpp
+class Counter;
+class LatencyHistogram;
+
 /// Result of one scatter/gather aggregation over real data.
 struct GatherResult {
   TypeCounts totals;                     ///< folded count-by-type
@@ -40,6 +45,18 @@ class InProcessCluster {
                    uint32_t replication = 1);
 
   uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+
+  /// Attaches wall-clock telemetry to the scatter/gather path: every
+  /// sub-query records route → store-read → fold spans (one span track
+  /// per node, plus a "master" track) and cluster counters/latency
+  /// histograms. Either pointer may be null; both must outlive the
+  /// cluster. Store-level counters (cache, bloom, flushes) are wired
+  /// separately through StoreOptions::metrics.
+  void AttachTelemetry(SpanTracer* spans, MetricsRegistry* metrics);
+
+  /// The span track used for master-side work (routing, folding);
+  /// node n uses track n.
+  uint32_t master_track() const { return node_count(); }
 
   /// The node that owns `partition_key` under this cluster's placement.
   /// The first placement of a key is remembered in a directory, so even
@@ -89,6 +106,11 @@ class InProcessCluster {
   uint32_t replication_;
   std::vector<std::unique_ptr<LocalStore>> nodes_;
   std::map<std::string, std::vector<NodeId>, std::less<>> directory_;
+
+  SpanTracer* spans_ = nullptr;                 ///< null = no span tracing
+  Counter* subqueries_counter_ = nullptr;       ///< cluster.subqueries
+  Counter* missing_counter_ = nullptr;          ///< cluster.partitions_missing
+  LatencyHistogram* subquery_latency_ = nullptr;  ///< cluster.subquery.latency_us
 };
 
 }  // namespace kvscale

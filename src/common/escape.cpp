@@ -1,0 +1,70 @@
+#include "common/escape.hpp"
+
+#include <cstdio>
+
+namespace kvscale {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string CsvField(std::string_view s) {
+  const bool needs_quoting =
+      s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    if (c == '"') out += '"';  // RFC 4180: double embedded quotes
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvField(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,31 @@
+// Field escaping shared by every text exporter (CSV traces, JSONL
+// metrics, Chrome trace JSON).
+//
+// One implementation so the quoting rules cannot drift between writers:
+// a partition key with a comma or an attribute value with a quote must
+// round-trip identically whether it lands in a CSV row or a JSON string.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvscale {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added): `"` and `\` are backslash-escaped, control characters
+/// become \n, \r, \t or \u00XX.
+std::string JsonEscape(std::string_view s);
+
+/// Convenience: `"` + JsonEscape(s) + `"`.
+std::string JsonQuote(std::string_view s);
+
+/// Renders `s` as one RFC 4180 CSV field: values containing commas,
+/// quotes, or newlines are wrapped in double quotes with embedded quotes
+/// doubled; plain values pass through unchanged.
+std::string CsvField(std::string_view s);
+
+/// Joins escaped fields with commas and appends a newline.
+std::string CsvLine(const std::vector<std::string>& fields);
+
+}  // namespace kvscale

@@ -1,5 +1,7 @@
 #include "store/local_store.hpp"
 
+#include "store/store_metrics.hpp"
+
 namespace kvscale {
 
 LocalStore::LocalStore(StoreOptions options) : options_(std::move(options)) {
@@ -9,7 +11,14 @@ LocalStore::LocalStore(StoreOptions options) : options_(std::move(options)) {
   if (!options_.wal_path.empty()) {
     wal_ = std::make_unique<CommitLog>(options_.wal_path);
   }
+  if (options_.metrics != nullptr) {
+    options_.table.metrics = options_.metrics;  // tables inherit the registry
+    instruments_ = std::make_unique<StoreInstruments>(
+        StoreInstruments::Resolve(*options_.metrics));
+  }
 }
+
+LocalStore::~LocalStore() = default;
 
 Table& LocalStore::GetOrCreateTable(std::string_view name) {
   std::lock_guard lock(mu_);
@@ -39,6 +48,7 @@ Status LocalStore::DurablePut(std::string_view table,
     return Status::InvalidArgument("store has no commit log configured");
   }
   KV_RETURN_IF_ERROR(wal_->Append(table, partition_key, column));
+  if (instruments_ != nullptr) instruments_->commitlog_appends->Increment();
   GetOrCreateTable(table).Put(partition_key, std::move(column));
   return Status::Ok();
 }

@@ -24,12 +24,17 @@ struct StoreOptions {
   /// With a log, use DurablePut / Recover / FlushAll for the full
   /// crash-safe cycle.
   std::string wal_path;
+  /// When set, every table of this store (plus the commit log) reports
+  /// into this registry; overrides `table.metrics`. Must outlive the
+  /// store. Null keeps the data path uninstrumented.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A single node's storage engine: named tables over one shared cache.
 class LocalStore {
  public:
   explicit LocalStore(StoreOptions options = {});
+  ~LocalStore();
 
   /// Returns the table, creating it on first use.
   Table& GetOrCreateTable(std::string_view name);
@@ -58,6 +63,7 @@ class LocalStore {
   StoreOptions options_;
   std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<CommitLog> wal_;
+  std::unique_ptr<StoreInstruments> instruments_;  ///< null = no telemetry
   mutable std::mutex mu_;  // guards the table map, not the tables
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
 };

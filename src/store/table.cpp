@@ -1,16 +1,51 @@
 #include "store/table.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <set>
 
 #include "common/check.hpp"
 #include "hash/hash.hpp"
+#include "store/store_metrics.hpp"
 
 namespace kvscale {
 
+namespace {
+
+using ReadClock = std::chrono::steady_clock;
+
+double ElapsedMicros(ReadClock::time_point since) {
+  return std::chrono::duration<double, std::micro>(ReadClock::now() - since)
+      .count();
+}
+
+/// Per-read telemetry deltas: probes may arrive pre-populated by a
+/// caller accumulating across reads, so only the growth since `before`
+/// belongs to this read.
+ReadProbe ProbeDelta(const ReadProbe& before, const ReadProbe& after) {
+  ReadProbe delta;
+  delta.segments_consulted = after.segments_consulted - before.segments_consulted;
+  delta.bloom_negatives = after.bloom_negatives - before.bloom_negatives;
+  delta.index_probes = after.index_probes - before.index_probes;
+  delta.blocks_decoded = after.blocks_decoded - before.blocks_decoded;
+  delta.blocks_from_cache = after.blocks_from_cache - before.blocks_from_cache;
+  delta.bytes_decoded = after.bytes_decoded - before.bytes_decoded;
+  delta.columns_returned = after.columns_returned - before.columns_returned;
+  return delta;
+}
+
+}  // namespace
+
 Table::Table(std::string name, TableOptions options, BlockCache* cache)
-    : name_(std::move(name)), options_(options), cache_(cache) {}
+    : name_(std::move(name)), options_(options), cache_(cache) {
+  if (options_.metrics != nullptr) {
+    instruments_ = std::make_unique<StoreInstruments>(
+        StoreInstruments::Resolve(*options_.metrics));
+  }
+}
+
+Table::~Table() = default;
 
 void Table::Put(std::string_view partition_key, Column column) {
   std::unique_lock lock(mu_);
@@ -24,10 +59,15 @@ void Table::Put(std::string_view partition_key, Column column) {
 
 void Table::FlushLocked() {
   if (memtable_.empty()) return;
+  const auto t0 = ReadClock::now();
   segments_.push_back(
       Segment::Build(memtable_, next_segment_id_++, options_.segment));
   memtable_.Clear();
   if (options_.compaction_min_segments > 0) MaybeCompactLocked();
+  if (instruments_ != nullptr) {
+    instruments_->memtable_flushes->Increment();
+    instruments_->flush_latency->Record(ElapsedMicros(t0));
+  }
 }
 
 std::shared_ptr<const Segment> Table::MergeSegmentsLocked(
@@ -93,6 +133,7 @@ void Table::MaybeCompactLocked() {
         segments_.begin() + static_cast<ptrdiff_t>(start + 1),
         segments_.begin() + static_cast<ptrdiff_t>(start + want));
     ++auto_compactions_;
+    if (instruments_ != nullptr) instruments_->compactions->Increment();
     return;  // one run per flush keeps the pause bounded
   }
 }
@@ -206,6 +247,18 @@ void Table::MergeColumns(std::map<uint64_t, Column>& base,
 
 Result<std::vector<Column>> Table::GetPartition(std::string_view partition_key,
                                                 ReadProbe* probe) const {
+  if (instruments_ == nullptr) return GetPartitionImpl(partition_key, probe);
+  ReadProbe local;
+  ReadProbe* target = probe != nullptr ? probe : &local;
+  const ReadProbe before = *target;
+  const auto t0 = ReadClock::now();
+  auto result = GetPartitionImpl(partition_key, target);
+  instruments_->RecordRead(ProbeDelta(before, *target), ElapsedMicros(t0));
+  return result;
+}
+
+Result<std::vector<Column>> Table::GetPartitionImpl(
+    std::string_view partition_key, ReadProbe* probe) const {
   std::shared_lock lock(mu_);
   std::map<uint64_t, Column> merged;
   bool found = false;
@@ -241,6 +294,19 @@ Result<std::vector<Column>> Table::GetPartition(std::string_view partition_key,
 Result<std::vector<Column>> Table::Slice(std::string_view partition_key,
                                          uint64_t lo, uint64_t hi,
                                          ReadProbe* probe) const {
+  if (instruments_ == nullptr) return SliceImpl(partition_key, lo, hi, probe);
+  ReadProbe local;
+  ReadProbe* target = probe != nullptr ? probe : &local;
+  const ReadProbe before = *target;
+  const auto t0 = ReadClock::now();
+  auto result = SliceImpl(partition_key, lo, hi, target);
+  instruments_->RecordRead(ProbeDelta(before, *target), ElapsedMicros(t0));
+  return result;
+}
+
+Result<std::vector<Column>> Table::SliceImpl(std::string_view partition_key,
+                                             uint64_t lo, uint64_t hi,
+                                             ReadProbe* probe) const {
   if (lo > hi) return Status::InvalidArgument("slice lo > hi");
   std::shared_lock lock(mu_);
   std::map<uint64_t, Column> merged;
@@ -307,6 +373,7 @@ void Table::Compact() {
   }
   segments_.clear();
   if (merged->partition_count() > 0) segments_.push_back(std::move(merged));
+  if (instruments_ != nullptr) instruments_->compactions->Increment();
 }
 
 size_t Table::segment_count() const {

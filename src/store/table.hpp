@@ -21,6 +21,9 @@
 
 namespace kvscale {
 
+class MetricsRegistry;       // telemetry/metrics_registry.hpp
+struct StoreInstruments;     // store/store_metrics.hpp
+
 /// Tuning knobs of a table.
 struct TableOptions {
   SegmentOptions segment;
@@ -32,6 +35,10 @@ struct TableOptions {
   /// one. 0 disables automatic compaction (Compact() still works).
   uint32_t compaction_min_segments = 4;
   double compaction_size_ratio = 2.0;
+  /// When set, the table records read latency histograms plus cache /
+  /// bloom / flush / compaction counters into this registry (must
+  /// outlive the table). Null keeps the hot path uninstrumented.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Count-by-type aggregation result: type id -> element count.
@@ -41,6 +48,7 @@ class Table {
  public:
   /// `cache` may be null (no block caching) and must outlive the table.
   Table(std::string name, TableOptions options, BlockCache* cache);
+  ~Table();
 
   /// Inserts or overwrites one column.
   void Put(std::string_view partition_key, Column column);
@@ -102,6 +110,14 @@ class Table {
   static void MergeColumns(std::map<uint64_t, Column>& base,
                            std::vector<Column> newer);
 
+  /// Uninstrumented read bodies; the public wrappers add wall-clock
+  /// timing + probe accounting when telemetry is attached.
+  Result<std::vector<Column>> GetPartitionImpl(std::string_view partition_key,
+                                               ReadProbe* probe) const;
+  Result<std::vector<Column>> SliceImpl(std::string_view partition_key,
+                                        uint64_t lo, uint64_t hi,
+                                        ReadProbe* probe) const;
+
   void FlushLocked();
 
   /// Size-tiered compaction pass; merges one tier if one qualifies.
@@ -116,6 +132,7 @@ class Table {
   std::string name_;
   TableOptions options_;
   BlockCache* cache_;
+  std::unique_ptr<StoreInstruments> instruments_;  ///< null = no telemetry
   mutable std::shared_mutex mu_;
   Memtable memtable_;
   std::vector<std::shared_ptr<const Segment>> segments_;  // oldest first

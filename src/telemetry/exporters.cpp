@@ -1,0 +1,105 @@
+#include "telemetry/exporters.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/escape.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// JSON number formatting: plain fixed-point micros with enough precision
+/// for nanosecond resolution; avoids exponent forms some trace viewers
+/// reject.
+std::string JsonMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+Status WriteFile(const std::string& content, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot open " + path);
+  file << content;
+  return file.good() ? Status::Ok()
+                     : Status::Unavailable("write failed: " + path);
+}
+
+}  // namespace
+
+std::string SpansToChromeTrace(
+    std::span<const Span> spans,
+    const std::map<uint32_t, std::string>& track_names) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"name\":" + JsonQuote(name) + "}}";
+  }
+  for (const Span& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"name\":" + JsonQuote(span.name);
+    out += ",\"cat\":\"kvscale\",\"pid\":0,\"tid\":";
+    out += std::to_string(span.track);
+    out += ",\"ts\":" + JsonMicros(span.start_us);
+    out += ",\"dur\":" + JsonMicros(span.duration_us);
+    if (!span.attributes.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < span.attributes.size(); ++a) {
+        if (a > 0) out += ',';
+        out += JsonQuote(span.attributes[a].first) + ":" +
+               JsonQuote(span.attributes[a].second);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string TracerToChromeTrace(const SpanTracer& tracer) {
+  const std::vector<Span> spans = tracer.snapshot();
+  return SpansToChromeTrace(spans, tracer.track_names());
+}
+
+Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path) {
+  return WriteFile(TracerToChromeTrace(tracer), path);
+}
+
+std::string MetricsToJsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "{\"kind\":\"counter\",\"name\":" + JsonQuote(name) +
+           ",\"value\":" + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "{\"kind\":\"gauge\",\"name\":" + JsonQuote(name) +
+           ",\"value\":" + JsonMicros(value) + "}\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out += "{\"kind\":\"histogram\",\"name\":" + JsonQuote(h.name) +
+           ",\"count\":" + std::to_string(h.count) +
+           ",\"sum_us\":" + JsonMicros(h.sum_us) +
+           ",\"min_us\":" + JsonMicros(h.min_us) +
+           ",\"mean_us\":" + JsonMicros(h.mean_us) +
+           ",\"max_us\":" + JsonMicros(h.max_us) +
+           ",\"p50_us\":" + JsonMicros(h.p50_us) +
+           ",\"p95_us\":" + JsonMicros(h.p95_us) +
+           ",\"p99_us\":" + JsonMicros(h.p99_us) +
+           ",\"p999_us\":" + JsonMicros(h.p999_us) + "}\n";
+  }
+  return out;
+}
+
+Status WriteMetricsJsonl(const MetricsRegistry& registry,
+                         const std::string& path) {
+  return WriteFile(MetricsToJsonl(registry.Snapshot()), path);
+}
+
+}  // namespace kvscale

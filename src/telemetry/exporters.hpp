@@ -1,0 +1,44 @@
+// Exporters for the telemetry layer.
+//
+// Two machine-readable formats plus files:
+//   * Chrome trace-event JSON — spans as complete ("ph":"X") events, one
+//     tid (track) per node, loadable in Perfetto / chrome://tracing, so
+//     the paper's Figure-4 stage analysis can be repeated as an
+//     interactive timeline over real (or simulated) executions;
+//   * JSONL metrics snapshots — one JSON object per instrument per line,
+//     trivially greppable / jq-able, with histogram percentiles inline.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
+
+namespace kvscale {
+
+/// Serialises spans as a Chrome trace-event JSON document:
+/// {"traceEvents":[...]} with one "ph":"X" event per span (ts/dur in
+/// microseconds, tid = track) and one "thread_name" metadata event per
+/// named track. Attributes become the event's "args".
+std::string SpansToChromeTrace(std::span<const Span> spans,
+                               const std::map<uint32_t, std::string>&
+                                   track_names = {});
+
+/// SpansToChromeTrace over everything `tracer` recorded.
+std::string TracerToChromeTrace(const SpanTracer& tracer);
+
+/// Writes TracerToChromeTrace output to `path`.
+Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path);
+
+/// Serialises a metrics snapshot as JSONL: one line per counter
+/// ({"kind":"counter","name":...,"value":...}), gauge, and histogram
+/// (count/min/mean/max plus p50/p95/p99/p999, all in microseconds).
+std::string MetricsToJsonl(const MetricsSnapshot& snapshot);
+
+/// Writes MetricsToJsonl(registry.Snapshot()) to `path`.
+Status WriteMetricsJsonl(const MetricsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace kvscale

@@ -1,0 +1,232 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// Atomically lowers/raises a stored extreme (no fetch_min/max pre-C++26).
+void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t MicrosToNanos(double micros) {
+  if (!(micros > 0.0)) return 0;  // also catches NaN
+  return static_cast<uint64_t>(std::llround(micros * 1000.0));
+}
+
+constexpr double kNanosPerMicro = 1000.0;
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(double micros) {
+  const uint64_t n = MicrosToNanos(micros);
+  if (n < kSubBuckets) return static_cast<size_t>(n);
+  const int exp = std::bit_width(n) - 1;  // >= kSubBucketBits
+  const size_t sub =
+      static_cast<size_t>(n >> (exp - kSubBucketBits)) - kSubBuckets;
+  const size_t index =
+      (static_cast<size_t>(exp) - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(index, kBucketCount - 1);
+}
+
+double LatencyHistogram::BucketLowerBoundMicros(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<double>(index) / kNanosPerMicro;
+  }
+  const size_t block = index / kSubBuckets;  // >= 1
+  const size_t sub = index % kSubBuckets;
+  const uint64_t lower = (kSubBuckets + sub) << (block - 1);
+  return static_cast<double>(lower) / kNanosPerMicro;
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t n = MicrosToNanos(micros);
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(n, std::memory_order_relaxed);
+  AtomicMin(min_nanos_, n);
+  AtomicMax(max_nanos_, n);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_nanos_.fetch_add(other.sum_nanos_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  AtomicMin(min_nanos_, other.min_nanos_.load(std::memory_order_relaxed));
+  AtomicMax(max_nanos_, other.max_nanos_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::Sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerMicro;
+}
+
+double LatencyHistogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double LatencyHistogram::Min() const {
+  if (Count() == 0) return 0.0;
+  return static_cast<double>(min_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerMicro;
+}
+
+double LatencyHistogram::Max() const {
+  if (Count() == 0) return 0.0;
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerMicro;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q <= 0.0) return Min();
+  if (q >= 1.0) return Max();
+  const auto rank = static_cast<uint64_t>(std::ceil(q * total));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // Midpoint of the bucket, clamped to the exact recorded extremes so
+      // single-bucket distributions report their true values.
+      const double lo = BucketLowerBoundMicros(b);
+      const double hi = b + 1 < kBucketCount ? BucketLowerBoundMicros(b + 1)
+                                             : lo;
+      return std::clamp((lo + hi) / 2.0, Min(), Max());
+    }
+  }
+  return Max();
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot SnapshotHistogram(std::string name,
+                                    const LatencyHistogram& histogram) {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.count = histogram.Count();
+  snap.sum_us = histogram.Sum();
+  snap.mean_us = histogram.Mean();
+  snap.min_us = histogram.Min();
+  snap.max_us = histogram.Max();
+  snap.p50_us = histogram.Percentile(0.50);
+  snap.p95_us = histogram.Percentile(0.95);
+  snap.p99_us = histogram.Percentile(0.99);
+  snap.p999_us = histogram.Percentile(0.999);
+  return snap;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(SnapshotHistogram(name, *histogram));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::SummaryReport() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TablePrinter table({"metric", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      table.AddRow({name, TablePrinter::Cell(value)});
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      table.AddRow({name, TablePrinter::Cell(value, 3)});
+    }
+    out += table.ToString();
+  }
+  if (!snap.histograms.empty()) {
+    TablePrinter table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& h : snap.histograms) {
+      table.AddRow({h.name, TablePrinter::Cell(h.count),
+                    FormatMicros(h.mean_us), FormatMicros(h.p50_us),
+                    FormatMicros(h.p95_us), FormatMicros(h.p99_us),
+                    FormatMicros(h.max_us)});
+    }
+    out += table.ToString();
+  }
+  if (out.empty()) out = "(no metrics)\n";
+  return out;
+}
+
+}  // namespace kvscale

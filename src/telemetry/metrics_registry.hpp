@@ -1,0 +1,163 @@
+// Thread-safe registry of named counters, gauges, and latency histograms.
+//
+// Where MetricsRecorder (trace/metrics.hpp) samples gauges in *virtual*
+// time inside a Simulator run, this registry instruments *real*
+// executions: the storage engine's hot paths bump lock-free counters and
+// record wall-clock latencies into log-bucketed histograms. The paper's
+// methodology (Section IV-B) needed exactly this split — coarse system
+// gauges to rule causes out, per-request timing to find the bottleneck —
+// and the histograms here are the per-request half for the real data
+// path.
+//
+// Design constraints, in order:
+//   * recording must be cheap enough for the 64 KB-block read path —
+//     instruments are resolved to pointers once, then touched with
+//     relaxed atomics (no locks, no map lookups per operation);
+//   * histograms must merge across nodes (like RunningSummary::Merge),
+//     so per-node registries can be folded into a cluster-wide view;
+//   * everything must snapshot consistently enough for exporters (exact
+//     per-instrument totals; no cross-instrument atomicity is promised).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvscale {
+
+/// Monotonic event count (lock-free).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (lock-free).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed latency histogram (HdrHistogram-style).
+//
+/// Values are recorded in microseconds but bucketed on a nanosecond
+/// integer scale: below 2^kSubBucketBits ns the buckets are exact; above,
+/// each power-of-two range is split into 2^kSubBucketBits linear
+/// sub-buckets, bounding the relative quantile error at
+/// 1/2^kSubBucketBits (6.25%). Recording is wait-free (relaxed atomic
+/// adds); Merge() sums bucket counts, so per-node histograms fold into a
+/// cluster-wide one without losing quantile fidelity.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;  // 16
+  /// Highest representable octave: values above ~2^42 ns (~73 min) clamp
+  /// into the last bucket.
+  static constexpr size_t kOctaves = 39;
+  static constexpr size_t kBucketCount = kSubBuckets * (kOctaves + 1);
+
+  /// Records one latency observation, in microseconds (negatives clamp
+  /// to 0).
+  void Record(double micros);
+
+  /// Sums `other` into this histogram (cross-node reduction).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;   ///< total recorded time, microseconds
+  double Mean() const;  ///< 0 when empty
+  double Min() const;   ///< 0 when empty
+  double Max() const;   ///< 0 when empty
+
+  /// Quantile `q` in [0, 1], microseconds; interpolates to the bucket
+  /// midpoint and clamps to the exact recorded min/max. 0 when empty.
+  double Percentile(double q) const;
+
+  void Reset();
+
+  /// Inclusive lower bound of bucket `index`, in microseconds (exposed
+  /// for boundary tests).
+  static double BucketLowerBoundMicros(size_t index);
+  /// Bucket index a latency of `micros` lands in (exposed for tests).
+  static size_t BucketIndex(double micros);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+/// Point-in-time copy of one histogram's derived statistics.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum_us = 0.0;
+  double mean_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns named instruments; hands out stable pointers.
+//
+/// Instrument creation takes a mutex; the returned references stay valid
+/// for the registry's lifetime, so hot paths resolve once and then write
+/// lock-free. Re-requesting a name returns the same instrument.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name);
+
+  /// Copies every instrument's current value (name-sorted).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and histogram (gauges keep their last value).
+  void Reset();
+
+  /// Human-readable tables, consistent with StageTracer::SummaryReport:
+  /// one counters/gauges table and one histogram table with percentiles.
+  std::string SummaryReport() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+/// Fills a HistogramSnapshot from `histogram` (shared by Snapshot() and
+/// the exporters).
+HistogramSnapshot SnapshotHistogram(std::string name,
+                                    const LatencyHistogram& histogram);
+
+}  // namespace kvscale

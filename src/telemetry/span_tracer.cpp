@@ -1,0 +1,94 @@
+#include "telemetry/span_tracer.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// Open-span count of the current thread; gives each recorded span its
+/// nesting depth without a global parent registry.
+thread_local uint32_t t_open_spans = 0;
+
+Micros ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+SpanTracer::Scope::Scope(SpanTracer* tracer, std::string name, uint32_t track)
+    : tracer_(tracer) {
+  span_.name = std::move(name);
+  span_.track = track;
+  span_.depth = t_open_spans++;
+  span_.start_us = tracer_->NowMicros();
+}
+
+SpanTracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_), span_(std::move(other.span_)) {
+  other.tracer_ = nullptr;
+}
+
+SpanTracer::Scope& SpanTracer::Scope::operator=(Scope&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    span_ = std::move(other.span_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void SpanTracer::Scope::Attr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  span_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void SpanTracer::Scope::End() {
+  if (tracer_ == nullptr) return;
+  span_.duration_us = tracer_->NowMicros() - span_.start_us;
+  --t_open_spans;
+  tracer_->Record(std::move(span_));
+  tracer_ = nullptr;
+}
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer::Scope SpanTracer::StartSpan(std::string name, uint32_t track) {
+  if (!enabled()) return Scope{};
+  return Scope(this, std::move(name), track);
+}
+
+void SpanTracer::Record(Span span) {
+  std::lock_guard lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+Micros SpanTracer::NowMicros() const { return ElapsedMicros(epoch_); }
+
+void SpanTracer::SetTrackName(uint32_t track, std::string name) {
+  std::lock_guard lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> SpanTracer::snapshot() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+std::map<uint32_t, std::string> SpanTracer::track_names() const {
+  std::lock_guard lock(mu_);
+  return track_names_;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace kvscale

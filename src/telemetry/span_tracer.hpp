@@ -1,0 +1,100 @@
+// Nested wall-clock span tracing for real executions.
+//
+// StageTracer records the four canonical stages of *simulated* requests
+// in virtual time; SpanTracer is its wall-clock sibling for the real data
+// path: scoped RAII spans with key=value attributes, one track per node
+// (or logical thread), nested by per-thread depth. The collected spans
+// export to Chrome trace-event JSON (exporters.hpp), so a real
+// InProcessCluster gather can be inspected in Perfetto exactly like the
+// paper inspected its Figure-4 stage Gantts.
+//
+// Recording is mutex-per-span (spans are coarse: a sub-query, a store
+// read, a flush — not a cache probe); a disabled tracer costs one branch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kvscale {
+
+/// One completed timed interval.
+struct Span {
+  std::string name;
+  uint32_t track = 0;     ///< rendering lane (node id, worker id, ...)
+  Micros start_us = 0.0;  ///< relative to the tracer's epoch
+  Micros duration_us = 0.0;
+  uint32_t depth = 0;     ///< nesting depth within its thread at record time
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Thread-safe collector of finished spans with a steady-clock epoch.
+class SpanTracer {
+ public:
+  /// RAII handle: records the span on destruction (or explicit End()).
+  /// A default-constructed or disabled-tracer scope is inert.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(SpanTracer* tracer, std::string name, uint32_t track);
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&& other) noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { End(); }
+
+    /// Attaches a key=value attribute (no-op when inert).
+    void Attr(std::string_view key, std::string_view value);
+
+    /// Records the span now; further calls are no-ops.
+    void End();
+
+    bool active() const { return tracer_ != nullptr; }
+
+   private:
+    SpanTracer* tracer_ = nullptr;
+    Span span_;
+  };
+
+  SpanTracer();
+
+  /// Starts a scoped span; returns an inert scope when disabled.
+  Scope StartSpan(std::string name, uint32_t track = 0);
+
+  /// Records a pre-measured span (bridges from virtual-time traces).
+  void Record(Span span);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds elapsed since the tracer was constructed.
+  Micros NowMicros() const;
+
+  /// Names a track for the exporters ("node-3", "master", ...).
+  void SetTrackName(uint32_t track, std::string name);
+
+  size_t size() const;
+  /// Copies all recorded spans (time-ordered per thread, not globally).
+  std::vector<Span> snapshot() const;
+  std::map<uint32_t, std::string> track_names() const;
+  void Clear();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::map<uint32_t, std::string> track_names_;
+};
+
+}  // namespace kvscale

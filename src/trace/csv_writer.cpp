@@ -3,26 +3,35 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/escape.hpp"
+
 namespace kvscale {
 
+namespace {
+
+std::string Fixed(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace
+
 std::string TracesToCsv(const StageTracer& tracer) {
-  std::string out =
-      "query_id,sub_id,node,keysize,issued_us,received_us,db_start_us,"
-      "db_end_us,completed_us,master_to_slave_us,in_queue_us,in_db_us,"
-      "slave_to_master_us\n";
-  char line[320];
+  std::string out = CsvLine(
+      {"query_id", "sub_id", "node", "keysize", "issued_us", "received_us",
+       "db_start_us", "db_end_us", "completed_us", "master_to_slave_us",
+       "in_queue_us", "in_db_us", "slave_to_master_us"});
   for (const auto& t : tracer.traces()) {
-    std::snprintf(line, sizeof(line),
-                  "%llu,%u,%u,%.0f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
-                  "%.3f\n",
-                  static_cast<unsigned long long>(t.query_id), t.sub_id,
-                  t.node, t.keysize, t.issued, t.received, t.db_start,
-                  t.db_end, t.completed,
-                  t.StageDuration(Stage::kMasterToSlave),
-                  t.StageDuration(Stage::kInQueue),
-                  t.StageDuration(Stage::kInDb),
-                  t.StageDuration(Stage::kSlaveToMaster));
-    out += line;
+    out += CsvLine({std::to_string(t.query_id), std::to_string(t.sub_id),
+                    std::to_string(t.node), Fixed(t.keysize, 0),
+                    Fixed(t.issued, 3), Fixed(t.received, 3),
+                    Fixed(t.db_start, 3), Fixed(t.db_end, 3),
+                    Fixed(t.completed, 3),
+                    Fixed(t.StageDuration(Stage::kMasterToSlave), 3),
+                    Fixed(t.StageDuration(Stage::kInQueue), 3),
+                    Fixed(t.StageDuration(Stage::kInDb), 3),
+                    Fixed(t.StageDuration(Stage::kSlaveToMaster), 3)});
   }
   return out;
 }

@@ -97,6 +97,21 @@ std::string RenderGantt(const StageTracer& tracer,
     for (double coverage : buckets) out += DensityChar(coverage);
     out += "|\n";
   }
+
+  // Footer: order statistics of total sub-query latency, so the chart is
+  // self-contained when pasted into a report.
+  std::vector<double> latencies;
+  latencies.reserve(traces.size());
+  for (const auto& t : traces) latencies.push_back(t.TotalLatency());
+  std::sort(latencies.begin(), latencies.end());
+  char footer[128];
+  std::snprintf(footer, sizeof(footer),
+                "latency: p50=%s p95=%s p99=%s (n=%zu)\n",
+                FormatMicros(PercentileSorted(latencies, 0.50)).c_str(),
+                FormatMicros(PercentileSorted(latencies, 0.95)).c_str(),
+                FormatMicros(PercentileSorted(latencies, 0.99)).c_str(),
+                latencies.size());
+  out += footer;
   return out;
 }
 

@@ -61,6 +61,13 @@ RunningSummary StageTracer::StageSummaryForNode(Stage stage,
   return summary;
 }
 
+std::vector<double> StageTracer::StageDurations(Stage stage) const {
+  std::vector<double> durations;
+  durations.reserve(traces_.size());
+  for (const auto& t : traces_) durations.push_back(t.StageDuration(stage));
+  return durations;
+}
+
 std::vector<uint64_t> StageTracer::RequestsPerNode() const {
   uint32_t max_node = 0;
   for (const auto& t : traces_) max_node = std::max(max_node, t.node);
@@ -80,12 +87,19 @@ std::vector<Micros> StageTracer::NodeFinishTimes() const {
 }
 
 std::string StageTracer::SummaryReport() const {
-  TablePrinter table({"stage", "mean", "sd", "min", "max"});
+  TablePrinter table({"stage", "mean", "sd", "p50", "p95", "p99", "min",
+                      "max"});
   for (size_t s = 0; s < kStageCount; ++s) {
     const auto stage = static_cast<Stage>(s);
     const RunningSummary summary = StageSummary(stage);
-    table.AddRow({std::string(StageName(stage)),
-                  FormatMicros(summary.mean()), FormatMicros(summary.stddev()),
+    std::vector<double> durations = StageDurations(stage);
+    std::sort(durations.begin(), durations.end());
+    const bool empty = durations.empty();
+    table.AddRow({std::string(StageName(stage)), FormatMicros(summary.mean()),
+                  FormatMicros(summary.stddev()),
+                  empty ? "-" : FormatMicros(PercentileSorted(durations, 0.50)),
+                  empty ? "-" : FormatMicros(PercentileSorted(durations, 0.95)),
+                  empty ? "-" : FormatMicros(PercentileSorted(durations, 0.99)),
                   FormatMicros(summary.min()), FormatMicros(summary.max())});
   }
   return table.ToString();

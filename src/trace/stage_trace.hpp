@@ -64,6 +64,10 @@ class StageTracer {
   /// Stage-duration summary for one node.
   RunningSummary StageSummaryForNode(Stage stage, uint32_t node) const;
 
+  /// Per-request durations of one stage, in trace order (feed to
+  /// Percentile / PercentileSorted for order statistics).
+  std::vector<double> StageDurations(Stage stage) const;
+
   /// Requests served per node, indexed by node id (size = max node + 1).
   std::vector<uint64_t> RequestsPerNode() const;
 

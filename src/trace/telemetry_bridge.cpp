@@ -1,0 +1,91 @@
+#include "trace/telemetry_bridge.hpp"
+
+#include <algorithm>
+
+namespace kvscale {
+
+namespace {
+
+/// "master-to-slave" -> "master_to_slave" (metric-name friendly).
+std::string MetricStageName(Stage stage) {
+  std::string name(StageName(stage));
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+Span MakeSpan(std::string name, uint32_t track, Micros start, Micros end,
+              uint32_t depth) {
+  Span span;
+  span.name = std::move(name);
+  span.track = track;
+  span.start_us = start;
+  span.duration_us = std::max(end - start, 0.0);
+  span.depth = depth;
+  return span;
+}
+
+}  // namespace
+
+void AppendStageSpans(const StageTracer& stage_tracer, SpanTracer& tracer,
+                      uint32_t track_base, std::string_view label) {
+  uint32_t max_node = 0;
+  for (const RequestTrace& t : stage_tracer.traces()) {
+    max_node = std::max(max_node, t.node);
+  }
+  if (!stage_tracer.traces().empty()) {
+    for (uint32_t n = 0; n <= max_node; ++n) {
+      std::string name = "node-" + std::to_string(n);
+      if (!label.empty()) name = std::string(label) + "/" + name;
+      tracer.SetTrackName(track_base + n, std::move(name));
+    }
+  }
+
+  for (const RequestTrace& t : stage_tracer.traces()) {
+    const uint32_t track = track_base + t.node;
+    Span request = MakeSpan("request", track, t.issued, t.completed, 0);
+    request.attributes.emplace_back("query_id", std::to_string(t.query_id));
+    request.attributes.emplace_back("sub_id", std::to_string(t.sub_id));
+    request.attributes.emplace_back("keysize",
+                                    std::to_string(t.keysize));
+    if (!label.empty()) {
+      request.attributes.emplace_back("run", std::string(label));
+    }
+    tracer.Record(std::move(request));
+
+    const Micros bounds[] = {t.issued, t.received, t.db_start, t.db_end,
+                             t.completed};
+    for (size_t s = 0; s < kStageCount; ++s) {
+      tracer.Record(MakeSpan(std::string(StageName(static_cast<Stage>(s))),
+                             track, bounds[s], bounds[s + 1], 1));
+    }
+  }
+}
+
+void RecordStageHistograms(const StageTracer& stage_tracer,
+                           MetricsRegistry& registry,
+                           std::string_view prefix) {
+  for (size_t s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    LatencyHistogram& histogram = registry.GetHistogram(
+        std::string(prefix) + MetricStageName(stage) + "_us");
+    for (const RequestTrace& t : stage_tracer.traces()) {
+      histogram.Record(t.StageDuration(stage));
+    }
+  }
+}
+
+void MirrorRecorderToRegistry(const MetricsRecorder& recorder,
+                              MetricsRegistry& registry) {
+  for (const std::string& name : recorder.gauge_names()) {
+    const TimeSeries& series = recorder.series(name);
+    if (series.empty()) continue;
+    registry.GetGauge("sim.gauge." + name)
+        .Set(series.samples().back().second);
+    LatencyHistogram& histogram = registry.GetHistogram("sim.gauge." + name);
+    for (const auto& [time, value] : series.samples()) {
+      histogram.Record(value);
+    }
+  }
+}
+
+}  // namespace kvscale

@@ -1,0 +1,45 @@
+// Bridges the virtual-time instruments (StageTracer, MetricsRecorder)
+// into the wall-clock telemetry layer (SpanTracer, MetricsRegistry).
+//
+// The paper's Figure-4 stage Gantts were ASCII; with these bridges a
+// simulated run exports to the same Chrome trace-event JSON as a real
+// InProcessCluster gather, so both can be inspected side by side in
+// Perfetto, and simulator gauges land in the same JSONL metric snapshots
+// as the real storage counters.
+#pragma once
+
+#include <string_view>
+
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "trace/metrics.hpp"
+#include "trace/stage_trace.hpp"
+
+namespace kvscale {
+
+/// Converts every RequestTrace into spans on `tracer`: one parent
+/// "request" span per sub-query plus one child span per stage, on track
+/// `track_base + node` (named "node-N", or "<label>/node-N"). Virtual
+/// times map one-to-one onto the span timeline; attributes carry
+/// query_id / sub_id / keysize. Use distinct `track_base`s to place
+/// several runs side by side in one trace.
+void AppendStageSpans(const StageTracer& stage_tracer, SpanTracer& tracer,
+                      uint32_t track_base = 0, std::string_view label = "");
+
+/// Records each stage's per-request durations into the registry
+/// histograms "<prefix><name>_us" (e.g. "sim.stage.in_db_us"), so a
+/// simulated run's stage percentiles export through the same JSONL path
+/// as real latencies. Use a distinct prefix per run to keep several
+/// workloads separate in one registry.
+void RecordStageHistograms(const StageTracer& stage_tracer,
+                           MetricsRegistry& registry,
+                           std::string_view prefix = "sim.stage.");
+
+/// Feeds a MetricsRecorder's sampled gauges into the registry: the last
+/// sample becomes gauge "sim.gauge.<name>"; every sample is recorded
+/// into histogram "sim.gauge.<name>" (log-bucketed by value), giving
+/// exportable distribution summaries of the virtual-time series.
+void MirrorRecorderToRegistry(const MetricsRecorder& recorder,
+                              MetricsRegistry& registry);
+
+}  // namespace kvscale

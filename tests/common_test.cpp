@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/escape.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table_printer.hpp"
@@ -13,6 +14,29 @@
 
 namespace kvscale {
 namespace {
+
+TEST(EscapeTest, JsonEscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2\r\tend"), "line1\\nline2\\r\\tend");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonQuote("k,v"), "\"k,v\"");
+}
+
+TEST(EscapeTest, CsvFieldQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvField("plain"), "plain");
+  EXPECT_EQ(CsvField("12.5"), "12.5");
+  EXPECT_EQ(CsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(CsvField("cr\rend"), "\"cr\rend\"");
+}
+
+TEST(EscapeTest, CsvLineJoinsAndEscapes) {
+  EXPECT_EQ(CsvLine({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"\n");
+  EXPECT_EQ(CsvLine({}), "\n");
+}
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;

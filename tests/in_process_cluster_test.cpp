@@ -5,6 +5,8 @@
 
 #include "cluster/in_process_cluster.hpp"
 #include "store/row.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "workload/alya.hpp"
 #include "workload/d8tree.hpp"
 #include "workload/granularity.hpp"
@@ -213,6 +215,72 @@ TEST(InProcessClusterTest, ParallelGatherMatchesSerial) {
     EXPECT_EQ(parallel.partitions_missing, serial.partitions_missing);
     EXPECT_EQ(parallel.requests_per_node, serial.requests_per_node);
   }
+}
+
+TEST(InProcessClusterTest, TelemetryCountersTrackTheDataPath) {
+  MetricsRegistry registry;
+  SpanTracer spans;
+  StoreOptions options;
+  options.metrics = &registry;
+  InProcessCluster cluster(2, PlacementKind::kDhtRandom, options, 7);
+  cluster.AttachTelemetry(&spans, &registry);
+
+  WorkloadSpec workload;
+  workload.table = "t";
+  for (int part = 0; part < 20; ++part) {
+    const std::string key = "p" + std::to_string(part);
+    for (int i = 0; i < 30; ++i) {
+      Column c;
+      c.clustering = i;
+      c.type_id = i % 4;
+      c.payload = MakePayload(part, i, 30);
+      cluster.Put("t", key, c);
+    }
+    workload.partitions.push_back(PartitionRef{key, 30});
+  }
+  cluster.FlushAll();
+  EXPECT_GE(registry.GetCounter("store.memtable.flushes").Value(), 1u);
+
+  // Cold round: every block is decoded (a cache miss), nothing is served
+  // from the cache yet.
+  const auto cold = cluster.CountByTypeAll(workload);
+  EXPECT_EQ(cold.partitions_missing, 0u);
+  const uint64_t cold_misses = registry.GetCounter("store.cache.misses").Value();
+  const uint64_t cold_hits = registry.GetCounter("store.cache.hits").Value();
+  EXPECT_GT(cold_misses, 0u);
+  EXPECT_EQ(cold_hits, 0u);
+  EXPECT_EQ(registry.GetCounter("cluster.subqueries").Value(), 20u);
+  EXPECT_EQ(registry.GetCounter("store.read.count").Value(), 20u);
+
+  // Warm round: the same reads now come from the block cache.
+  const auto warm = cluster.CountByTypeAll(workload);
+  EXPECT_EQ(warm.totals, cold.totals);
+  EXPECT_GT(registry.GetCounter("store.cache.hits").Value(), cold_hits);
+  EXPECT_EQ(registry.GetCounter("store.cache.misses").Value(), cold_misses);
+  EXPECT_EQ(registry.GetCounter("cluster.subqueries").Value(), 40u);
+
+  // Reads of absent partitions are answered by the bloom filter.
+  WorkloadSpec absent;
+  absent.table = "t";
+  for (int i = 0; i < 10; ++i) {
+    absent.partitions.push_back(PartitionRef{"missing-" + std::to_string(i), 1});
+  }
+  const auto missing = cluster.CountByTypeAll(absent);
+  EXPECT_EQ(missing.partitions_missing, 10u);
+  EXPECT_GT(registry.GetCounter("store.bloom.negatives").Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("cluster.partitions_missing").Value(), 10u);
+
+  // The latency histogram saw every instrumented read, and the gather
+  // emitted spans: 3 gathers, route + store-read per sub-query, fold for
+  // the 40 sub-queries that found data.
+  EXPECT_EQ(registry.GetHistogram("cluster.subquery.latency_us").Count(), 50u);
+  EXPECT_GT(registry.GetHistogram("store.read.latency_us").Count(), 0u);
+  EXPECT_EQ(spans.size(), 3u + 2u * 50u + 40u);
+
+  // Detaching telemetry stops the counters without breaking reads.
+  cluster.AttachTelemetry(nullptr, nullptr);
+  (void)cluster.CountByTypeAll(workload);
+  EXPECT_EQ(registry.GetCounter("cluster.subqueries").Value(), 50u);
 }
 
 class PlacementKindSweep : public ::testing::TestWithParam<PlacementKind> {};

@@ -3,6 +3,7 @@
 
 #include "sim/resource.hpp"
 #include "trace/metrics.hpp"
+#include "trace/telemetry_bridge.hpp"
 
 namespace kvscale {
 namespace {
@@ -88,6 +89,26 @@ TEST(MetricsRecorderTest, ReportListsEveryGauge) {
   EXPECT_NE(report.find("alpha"), std::string::npos);
   EXPECT_NE(report.find("beta"), std::string::npos);
   EXPECT_EQ(metrics.gauge_names().size(), 2u);
+}
+
+TEST(MetricsRecorderTest, MirrorsIntoTelemetryRegistry) {
+  Simulator sim;
+  MetricsRecorder metrics(sim, 10.0);
+  double level = 0.0;
+  metrics.AddGauge("queue", [&] { return level; });
+  sim.Schedule(5.0, [&] { level = 4.0; });
+  sim.Schedule(25.0, [&] { level = 2.0; });
+  sim.Schedule(45.0, [] {});
+  metrics.Start();
+  sim.Run();
+
+  MetricsRegistry registry;
+  MirrorRecorderToRegistry(metrics, registry);
+  // Last sample wins for the gauge; every sample lands in the histogram.
+  EXPECT_DOUBLE_EQ(registry.GetGauge("sim.gauge.queue").Value(), 2.0);
+  LatencyHistogram& histogram = registry.GetHistogram("sim.gauge.queue");
+  EXPECT_EQ(histogram.Count(), metrics.series("queue").size());
+  EXPECT_DOUBLE_EQ(histogram.Max(), 4.0);
 }
 
 }  // namespace

@@ -82,6 +82,21 @@ TEST(StageTracerTest, SummaryReportListsAllStages) {
     EXPECT_NE(report.find(StageName(static_cast<Stage>(s))),
               std::string::npos);
   }
+  // Percentile columns ride along with mean/sd.
+  EXPECT_NE(report.find("p50"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+TEST(StageTracerTest, StageDurationsFeedPercentiles) {
+  StageTracer tracer;
+  for (int i = 0; i < 10; ++i) tracer.Record(MakeTrace(i, 0, i * 100.0));
+  const std::vector<double> in_db = tracer.StageDurations(Stage::kInDb);
+  ASSERT_EQ(in_db.size(), 10u);
+  EXPECT_DOUBLE_EQ(Percentile(in_db, 0.5), 100.0);  // all identical
+  EXPECT_TRUE(tracer.StageDurations(Stage::kInQueue).size() == 10u);
+  StageTracer empty;
+  EXPECT_TRUE(empty.StageDurations(Stage::kInDb).empty());
 }
 
 TEST(GanttTest, RendersRowsPerNodeAndStage) {
@@ -99,6 +114,16 @@ TEST(GanttTest, RendersRowsPerNodeAndStage) {
 TEST(GanttTest, EmptyTracerRenders) {
   StageTracer tracer;
   EXPECT_EQ(RenderGantt(tracer, GanttOptions{}), "(no traces)\n");
+}
+
+TEST(GanttTest, FooterReportsLatencyPercentiles) {
+  StageTracer tracer;
+  for (int i = 0; i < 10; ++i) tracer.Record(MakeTrace(i, 0, i * 10.0));
+  const std::string gantt = RenderGantt(tracer, GanttOptions{40, false});
+  // Every request takes 140 us, so all percentiles agree.
+  EXPECT_NE(gantt.find("latency: p50=140 us p95=140 us p99=140 us (n=10)"),
+            std::string::npos)
+      << gantt;
 }
 
 TEST(GanttTest, DenseStageShowsDarkerMarks) {

@@ -9,19 +9,29 @@
 //   kvscale sweep    --elements 1000000 --keys 4000 --max-nodes 128
 //   kvscale simulate --elements 1000000 --keys 10000 --nodes 16 --slow-master
 //   kvscale bands    --elements 1000000 --keys 100 --nodes 16
+//   kvscale gather   --elements 100000 --keys 200 --nodes 4 --rounds 2
 //
 // Every subcommand accepts --t-msg-us (master cost per message) and
-// --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study.
+// --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study,
+// plus --trace-out (Chrome trace-event JSON, open in Perfetto) and
+// --metrics-out (JSONL metric snapshot) for machine-readable telemetry.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "cluster/cluster_sim.hpp"
+#include "cluster/in_process_cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table_printer.hpp"
 #include "model/architecture.hpp"
 #include "model/monte_carlo.hpp"
 #include "model/optimizer.hpp"
+#include "store/row.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "trace/telemetry_bridge.hpp"
 
 namespace kvscale {
 namespace {
@@ -33,6 +43,8 @@ struct CommonArgs {
   int64_t nodes = 16;
   double t_msg_us = 19.0;
   std::string device = "dram";
+  std::string trace_out;    ///< Chrome trace-event JSON path ("" = off)
+  std::string metrics_out;  ///< JSONL metrics snapshot path ("" = off)
 
   void Register(CliFlags& flags) {
     flags.Add("elements", &elements, "elements the query aggregates");
@@ -40,6 +52,10 @@ struct CommonArgs {
     flags.Add("nodes", &nodes, "cluster size");
     flags.Add("t-msg-us", &t_msg_us, "master CPU cost per message (us)");
     flags.Add("device", &device, "working-set tier: dram|hbm|nvm|ssd|hdd");
+    flags.Add("trace-out", &trace_out,
+              "write spans as Chrome trace-event JSON to this file");
+    flags.Add("metrics-out", &metrics_out,
+              "write a JSONL metrics snapshot to this file");
   }
 
   bool ResolveDevice(DeviceModel& out) const {
@@ -65,11 +81,46 @@ struct CommonArgs {
   }
 };
 
+/// Honours --trace-out / --metrics-out; returns false (after printing the
+/// error) if a requested export failed.
+bool ExportTelemetry(const CommonArgs& args, const SpanTracer& tracer,
+                     const MetricsRegistry& registry) {
+  if (!args.trace_out.empty()) {
+    const Status status = WriteChromeTrace(tracer, args.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--trace-out: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %zu spans to %s (open in ui.perfetto.dev)\n",
+                tracer.size(), args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    const Status status = WriteMetricsJsonl(registry, args.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics-out: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote metrics snapshot to %s\n", args.metrics_out.c_str());
+  }
+  return true;
+}
+
 int CmdPredict(CommonArgs& args) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  tracer.SetTrackName(0, "model");
   const QueryModel model = args.BuildModel();
+  SpanTracer::Scope span = tracer.StartSpan("predict", 0);
+  span.Attr("elements", std::to_string(args.elements));
+  span.Attr("keys", std::to_string(args.keys));
+  span.Attr("nodes", std::to_string(args.nodes));
   const QueryPrediction p = model.Predict(
       static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys),
       static_cast<uint32_t>(args.nodes));
+  span.End();
+  registry.GetGauge("model.predicted_total_us").Set(p.total);
+  registry.GetGauge("model.master_issue_us").Set(p.master_issue);
+  registry.GetGauge("model.slowest_slave_us").Set(p.slowest_slave);
   std::printf("prediction for %lld elements / %lld partitions / %lld "
               "nodes:\n",
               static_cast<long long>(args.elements),
@@ -87,13 +138,22 @@ int CmdPredict(CommonArgs& args) {
   table.AddRow({"TOTAL (F2)", FormatMicros(p.total)});
   table.AddRow({"bottleneck", p.BottleneckName()});
   table.Print();
-  return 0;
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
 int CmdOptimize(CommonArgs& args) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  tracer.SetTrackName(0, "model");
   PartitionOptimizer optimizer(args.BuildModel());
+  SpanTracer::Scope span = tracer.StartSpan("optimize", 0);
+  span.Attr("elements", std::to_string(args.elements));
+  span.Attr("nodes", std::to_string(args.nodes));
   const auto opt = optimizer.Optimize(static_cast<uint64_t>(args.elements),
                                       static_cast<uint32_t>(args.nodes));
+  span.End();
+  registry.GetGauge("model.optimal_keys").Set(static_cast<double>(opt.keys));
+  registry.GetGauge("model.optimal_total_us").Set(opt.prediction.total);
   std::printf(
       "optimal partitioning for %lld elements on %lld nodes:\n"
       "  %llu partitions of ~%.0f elements -> %s (bottleneck: %s)\n",
@@ -109,14 +169,24 @@ int CmdOptimize(CommonArgs& args) {
               static_cast<long long>(args.keys),
               FormatMicros(fixed.total).c_str(),
               FormatPercent(fixed.total / opt.prediction.total - 1.0).c_str());
-  return 0;
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
 int CmdSweep(CommonArgs& args, int64_t max_nodes) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  tracer.SetTrackName(0, "model");
   const QueryModel model = args.BuildModel();
+  SpanTracer::Scope span = tracer.StartSpan("sweep", 0);
+  span.Attr("elements", std::to_string(args.elements));
+  span.Attr("keys", std::to_string(args.keys));
+  span.Attr("max_nodes", std::to_string(max_nodes));
   const auto profile = ScalingProfile(
       model, static_cast<uint64_t>(args.elements),
       static_cast<uint64_t>(args.keys), static_cast<uint32_t>(max_nodes));
+  span.End();
+  LatencyHistogram& sweep_hist = registry.GetHistogram("model.sweep.query_us");
+  for (const auto& point : profile) sweep_hist.Record(point.query_time);
   TablePrinter table({"nodes", "query time", "master", "slaves", "bound by"});
   for (uint32_t n = 1; n <= static_cast<uint32_t>(max_nodes); n *= 2) {
     const auto& p = profile[n - 1];
@@ -136,7 +206,9 @@ int CmdSweep(CommonArgs& args, int64_t max_nodes) {
     std::printf("the master keeps up at every size up to %lld nodes.\n",
                 static_cast<long long>(max_nodes));
   }
-  return 0;
+  registry.GetGauge("model.master_saturation_nodes")
+      .Set(static_cast<double>(crossover));
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
 int CmdSimulate(CommonArgs& args, bool slow_master, int64_t seed) {
@@ -163,15 +235,34 @@ int CmdSimulate(CommonArgs& args, bool slow_master, int64_t seed) {
               FormatMicros(run.master_issue_done).c_str(),
               FormatPercent(run.RequestImbalance()).c_str());
   std::printf("%s", run.tracer.SummaryReport().c_str());
-  return 0;
+
+  // Virtual-time stages export through the same telemetry pipeline as
+  // real executions (trace/telemetry_bridge.hpp).
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  AppendStageSpans(run.tracer, tracer);
+  RecordStageHistograms(run.tracer, registry);
+  registry.GetGauge("sim.makespan_us").Set(run.makespan);
+  registry.GetGauge("sim.network_messages")
+      .Set(static_cast<double>(run.network_messages));
+  registry.GetGauge("sim.network_bytes").Set(run.network_bytes);
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
 int CmdBands(CommonArgs& args, int64_t trials) {
   Rng rng(7);
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  tracer.SetTrackName(0, "model");
+  SpanTracer::Scope span = tracer.StartSpan("bands", 0);
+  span.Attr("trials", std::to_string(trials));
   const auto bands = PredictDistribution(
       args.BuildModel(), static_cast<uint64_t>(args.elements),
       static_cast<uint64_t>(args.keys), static_cast<uint32_t>(args.nodes),
       static_cast<uint64_t>(trials), rng);
+  span.End();
+  registry.GetGauge("model.bands.p50_us").Set(bands.p50);
+  registry.GetGauge("model.bands.p99_us").Set(bands.p99);
   TablePrinter table({"statistic", "value"});
   table.AddRow({"Formula 2 point", FormatMicros(bands.formula_point)});
   table.AddRow({"mean", FormatMicros(bands.mean)});
@@ -182,7 +273,64 @@ int CmdBands(CommonArgs& args, int64_t trials) {
   table.Print();
   std::printf("(Monte-Carlo over %lld placement + noise draws)\n",
               static_cast<long long>(trials));
-  return 0;
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
+}
+
+int CmdGather(CommonArgs& args, int64_t threads, int64_t rounds,
+              int64_t payload_bytes, int64_t seed) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+
+  StoreOptions store_options;
+  store_options.metrics = &registry;
+  InProcessCluster cluster(static_cast<uint32_t>(args.nodes),
+                           PlacementKind::kDhtRandom, store_options,
+                           static_cast<uint64_t>(seed));
+  cluster.AttachTelemetry(&tracer, &registry);
+
+  const WorkloadSpec workload = UniformWorkload(
+      static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys));
+  {
+    SpanTracer::Scope load = tracer.StartSpan("load", cluster.master_track());
+    load.Attr("partitions", std::to_string(workload.partitions.size()));
+    uint64_t part_seed = 0;
+    for (const PartitionRef& part : workload.partitions) {
+      for (uint32_t j = 0; j < part.elements; ++j) {
+        Column column;
+        column.clustering = j;
+        column.type_id = j % 8;
+        column.payload = MakePayload(part_seed, j,
+                                     static_cast<size_t>(payload_bytes));
+        cluster.Put(workload.table, part.key, std::move(column));
+      }
+      ++part_seed;
+    }
+    SpanTracer::Scope flush =
+        tracer.StartSpan("flush-all", cluster.master_track());
+    cluster.FlushAll();
+  }
+
+  GatherResult result;
+  for (int64_t r = 0; r < rounds; ++r) {
+    result = threads > 1
+                 ? cluster.CountByTypeAllParallel(
+                       workload, static_cast<uint32_t>(threads))
+                 : cluster.CountByTypeAll(workload);
+  }
+
+  uint64_t total = 0;
+  for (const auto& [type, count] : result.totals) total += count;
+  std::printf("real scatter/gather over %zu partitions x %lld rounds "
+              "(%lld thread%s):\n",
+              workload.partitions.size(), static_cast<long long>(rounds),
+              static_cast<long long>(std::max<int64_t>(threads, 1)),
+              threads > 1 ? "s" : "");
+  std::printf("  %llu elements counted across %zu types | %llu partitions "
+              "missing\n",
+              static_cast<unsigned long long>(total), result.totals.size(),
+              static_cast<unsigned long long>(result.partitions_missing));
+  std::printf("%s", registry.SummaryReport().c_str());
+  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
 void PrintUsage() {
@@ -194,7 +342,10 @@ void PrintUsage() {
       "  sweep      query time vs node count + master saturation point\n"
       "  simulate   one virtual-time run of the master/slave prototype\n"
       "  bands      Monte-Carlo percentile bands of the prediction\n"
+      "  gather     real scatter/gather over in-process stores, with\n"
+      "             store/cluster telemetry (try --rounds 2 for cache hits)\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
+      "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");
 }
 
@@ -238,6 +389,19 @@ int Main(int argc, char** argv) {
     flags.Add("trials", &trials, "Monte-Carlo draws");
     if (!flags.Parse(argc - 1, argv + 1)) return 1;
     return CmdBands(args, trials);
+  }
+  if (command == "gather") {
+    int64_t threads = 1;
+    int64_t rounds = 2;
+    int64_t payload_bytes = 30;
+    int64_t seed = 42;
+    flags.Add("threads", &threads, "gather worker threads (1 = serial)");
+    flags.Add("rounds", &rounds,
+              "query repetitions (first is cold, later ones hit the cache)");
+    flags.Add("payload-bytes", &payload_bytes, "payload bytes per element");
+    flags.Add("seed", &seed, "placement seed");
+    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    return CmdGather(args, threads, rounds, payload_bytes, seed);
   }
   if (command == "--help" || command == "help" || command == "-h") {
     PrintUsage();
