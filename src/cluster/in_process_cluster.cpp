@@ -1,5 +1,6 @@
 #include "cluster/in_process_cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -25,9 +26,17 @@ InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
     : placement_(placement, nodes, seed),
       replication_(std::min(std::max<uint32_t>(replication, 1), nodes)) {
   KV_CHECK(nodes >= 1);
+  node_options_.reserve(nodes);
   nodes_.reserve(nodes);
   for (uint32_t n = 0; n < nodes; ++n) {
-    nodes_.push_back(std::make_unique<LocalStore>(store_options));
+    StoreOptions options = store_options;
+    if (!options.wal_path.empty()) {
+      // Each node logs to its own file so a single-node crash/replay
+      // cycle touches only that node's mutations.
+      options.wal_path += ".node" + std::to_string(n);
+    }
+    node_options_.push_back(options);
+    nodes_.push_back(std::make_unique<LocalStore>(node_options_.back()));
   }
 }
 
@@ -43,12 +52,36 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
   if (metrics != nullptr) {
     subqueries_counter_ = &metrics->GetCounter("cluster.subqueries");
     missing_counter_ = &metrics->GetCounter("cluster.partitions_missing");
+    errors_counter_ = &metrics->GetCounter("cluster.read.errors");
+    retries_counter_ = &metrics->GetCounter("cluster.read.retries");
+    hedged_counter_ = &metrics->GetCounter("cluster.read.hedged");
+    failed_counter_ = &metrics->GetCounter("cluster.subqueries.failed");
     subquery_latency_ = &metrics->GetHistogram("cluster.subquery.latency_us");
+    failover_latency_ = &metrics->GetHistogram("cluster.failover.latency_us");
   } else {
     subqueries_counter_ = nullptr;
     missing_counter_ = nullptr;
+    errors_counter_ = nullptr;
+    retries_counter_ = nullptr;
+    hedged_counter_ = nullptr;
+    failed_counter_ = nullptr;
     subquery_latency_ = nullptr;
+    failover_latency_ = nullptr;
   }
+}
+
+void InProcessCluster::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+}
+
+FaultInjector& InProcessCluster::fault_injector() {
+  if (injector_ == nullptr) {
+    if (owned_injector_ == nullptr) {
+      owned_injector_ = std::make_unique<FaultInjector>();
+    }
+    injector_ = owned_injector_.get();
+  }
+  return *injector_;
 }
 
 const std::vector<NodeId>& InProcessCluster::ReplicasOf(
@@ -73,23 +106,190 @@ NodeId InProcessCluster::OwnerOf(std::string_view partition_key) {
 void InProcessCluster::Put(const std::string& table,
                            const std::string& partition_key, Column column) {
   const std::vector<NodeId>& replicas = ReplicasOf(partition_key);
+  auto put_on_node = [&](NodeId node, Column copy) {
+    if (!node_options_[node].wal_path.empty()) {
+      const Status logged =
+          nodes_[node]->DurablePut(table, partition_key, std::move(copy));
+      KV_CHECK(logged.ok());
+    } else {
+      nodes_[node]->GetOrCreateTable(table).Put(partition_key,
+                                                std::move(copy));
+    }
+  };
   // Write every copy (the last replica may take the original by move).
   for (size_t r = 0; r + 1 < replicas.size(); ++r) {
-    nodes_[replicas[r]]->GetOrCreateTable(table).Put(partition_key, column);
+    put_on_node(replicas[r], column);
   }
-  nodes_[replicas.back()]->GetOrCreateTable(table).Put(partition_key,
-                                                       std::move(column));
+  put_on_node(replicas.back(), std::move(column));
 }
 
 void InProcessCluster::FlushAll() {
   for (auto& node : nodes_) node->FlushAll();
 }
 
+void InProcessCluster::KillNode(NodeId node) {
+  KV_CHECK(node < node_count());
+  fault_injector().KillNode(node);
+}
+
+Result<uint64_t> InProcessCluster::ReviveNode(NodeId node) {
+  KV_CHECK(node < node_count());
+  fault_injector().ReviveNode(node);
+  // A crash loses everything the old store held in memory; only the
+  // commit log survives.
+  nodes_[node] = std::make_unique<LocalStore>(node_options_[node]);
+  if (node_options_[node].wal_path.empty()) return uint64_t{0};
+  return nodes_[node]->Recover();
+}
+
+void InProcessCluster::ExecuteSubQuery(const std::string& table,
+                                       const PartitionRef& part,
+                                       const std::vector<NodeId>& replicas,
+                                       const GatherOptions& options,
+                                       GatherResult& out, Micros& vclock) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ++out.subqueries;
+  if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
+
+  const uint32_t fanout = static_cast<uint32_t>(replicas.size());
+  SpanTracer::Scope route;
+  if (spans_ != nullptr) route = spans_->StartSpan("route", master_track());
+  if (route.active()) {
+    route.Attr("partition", part.key);
+    route.Attr("node", std::to_string(replicas[options.replica % fanout]));
+    route.End();
+  }
+
+  const uint32_t max_attempts = std::max<uint32_t>(options.max_attempts, 1);
+  Result<TypeCounts> counts = Status::NotFound(part.key);
+  bool answered = false;  // data folded, or an authoritative miss
+  bool have_data = false;
+  uint32_t attempts = 0;
+  for (uint32_t a = 0; a < max_attempts && !answered; ++a) {
+    if (a > 0) {
+      // Retries stop once the virtual clock passes the deadline: the
+      // gather degrades instead of spinning on a sick cluster.
+      if (options.deadline_us > 0.0 && vclock >= options.deadline_us) break;
+      ++out.retries;
+      if (retries_counter_ != nullptr) retries_counter_->Increment();
+      vclock +=
+          options.backoff_base_us * static_cast<double>(uint64_t{1} << (a - 1));
+    }
+    ++attempts;
+    NodeId target = replicas[(options.replica + a) % fanout];
+    FaultInjector::ReadFault fault;
+    if (injector_ != nullptr) fault = injector_->OnRead(target, part.key, a);
+
+    // Hedge: an attempt stalled past the threshold races a duplicate
+    // read against the next replica; the faster copy wins and the loser
+    // is abandoned (only the winner's read reaches a store).
+    if (fault.status.ok() && options.hedge && fanout > 1 &&
+        injector_ != nullptr &&
+        fault.extra_latency_us >= options.hedge_threshold_us &&
+        (options.deadline_us <= 0.0 || vclock < options.deadline_us)) {
+      const NodeId alt = replicas[(options.replica + a + 1) % fanout];
+      const FaultInjector::ReadFault alt_fault =
+          injector_->OnRead(alt, part.key, a);
+      ++out.hedged;
+      if (hedged_counter_ != nullptr) hedged_counter_->Increment();
+      if (alt_fault.status.ok()) {
+        const Micros hedge_latency =
+            options.hedge_threshold_us + alt_fault.extra_latency_us;
+        if (hedge_latency < fault.extra_latency_us) {
+          target = alt;
+          fault.extra_latency_us = hedge_latency;
+        }
+      } else {
+        ++out.errors_per_node[alt];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+      }
+    }
+
+    if (!fault.status.ok()) {
+      ++out.errors_per_node[target];
+      if (errors_counter_ != nullptr) errors_counter_->Increment();
+      continue;  // fail over to the next replica
+    }
+    vclock += fault.extra_latency_us;
+
+    SpanTracer::Scope read;
+    if (spans_ != nullptr) {
+      read = spans_->StartSpan("store-read", target);
+      read.Attr("partition", part.key);
+      read.Attr("attempt", std::to_string(a));
+    }
+    ++out.requests_per_node[target];
+    ReadProbe probe;
+    auto found = nodes_[target]->FindTable(table);
+    if (found.ok()) {
+      counts = found.value()->CountByType(part.key, &probe);
+      out.probes_per_node[target].MergeFrom(probe);
+    } else {
+      counts = found.status();
+    }
+    if (read.active()) {
+      read.Attr("blocks_decoded", std::to_string(probe.blocks_decoded));
+      read.Attr("blocks_from_cache", std::to_string(probe.blocks_from_cache));
+      read.Attr("bloom_negatives", std::to_string(probe.bloom_negatives));
+      read.End();
+    }
+
+    if (counts.ok()) {
+      answered = true;
+      have_data = true;
+    } else if (counts.status().code() == StatusCode::kNotFound) {
+      // Authoritative miss: every replica stores the same partition set,
+      // so one clean NotFound settles the sub-query.
+      answered = true;
+    } else {
+      // kCorruption and friends are retryable: the next replica holds a
+      // clean copy of the same data.
+      ++out.errors_per_node[target];
+      if (errors_counter_ != nullptr) errors_counter_->Increment();
+    }
+  }
+
+  if (answered) {
+    ++out.completed;
+    if (have_data) {
+      SpanTracer::Scope fold;
+      if (spans_ != nullptr) {
+        fold = spans_->StartSpan("fold", master_track());
+        fold.Attr("partition", part.key);
+      }
+      for (const auto& [type, count] : counts.value()) {
+        out.totals[type] += count;
+      }
+    } else {
+      ++out.partitions_missing;
+      if (missing_counter_ != nullptr) missing_counter_->Increment();
+    }
+  } else {
+    ++out.failed;
+    if (failed_counter_ != nullptr) failed_counter_->Increment();
+    out.lost_partitions.push_back(part.key);
+  }
+
+  const double wall_us = ElapsedMicros(t0);
+  if (subquery_latency_ != nullptr) subquery_latency_->Record(wall_us);
+  if (attempts > 1 && failover_latency_ != nullptr) {
+    failover_latency_->Record(wall_us);
+  }
+}
+
+void InProcessCluster::FinalizeResult(GatherResult& result) const {
+  std::sort(result.lost_partitions.begin(), result.lost_partitions.end());
+  result.partial = result.failed > 0;
+  // The degraded-result report must account for every sub-query.
+  KV_CHECK(result.completed + result.failed == result.subqueries);
+}
+
 GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
-                                              uint32_t replica) {
+                                              const GatherOptions& options) {
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
+  result.errors_per_node.assign(nodes_.size(), 0);
 
   SpanTracer::Scope gather;
   if (spans_ != nullptr) {
@@ -98,81 +298,38 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
     gather.Attr("partitions", std::to_string(workload.partitions.size()));
   }
 
+  Micros vclock = 0.0;
   for (const PartitionRef& part : workload.partitions) {
-    const auto t0 = std::chrono::steady_clock::now();
-    if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
-
-    SpanTracer::Scope route;
-    if (spans_ != nullptr) route = spans_->StartSpan("route", master_track());
-    const std::vector<NodeId>& replicas = ReplicasOf(part.key);
-    const NodeId target = replicas[replica % replicas.size()];
-    if (route.active()) {
-      route.Attr("partition", part.key);
-      route.Attr("node", std::to_string(target));
-      route.End();
-    }
-
-    ++result.requests_per_node[target];
-    bool missing = false;
-    ReadProbe probe;
-    Result<TypeCounts> counts = Status::NotFound(part.key);
-    {
-      SpanTracer::Scope read;
-      if (spans_ != nullptr) {
-        read = spans_->StartSpan("store-read", target);
-        read.Attr("partition", part.key);
-      }
-      auto table = nodes_[target]->FindTable(workload.table);
-      if (table.ok()) {
-        counts = table.value()->CountByType(part.key, &probe);
-        result.probes_per_node[target].MergeFrom(probe);
-        missing = !counts.ok();
-        if (missing) {
-          KV_CHECK(counts.status().code() == StatusCode::kNotFound);
-        }
-      } else {
-        missing = true;
-      }
-      if (read.active()) {
-        read.Attr("blocks_decoded", std::to_string(probe.blocks_decoded));
-        read.Attr("blocks_from_cache",
-                  std::to_string(probe.blocks_from_cache));
-        read.Attr("bloom_negatives", std::to_string(probe.bloom_negatives));
-      }
-    }
-
-    if (missing) {
-      ++result.partitions_missing;
-      if (missing_counter_ != nullptr) missing_counter_->Increment();
-    } else {
-      SpanTracer::Scope fold;
-      if (spans_ != nullptr) {
-        fold = spans_->StartSpan("fold", master_track());
-        fold.Attr("partition", part.key);
-      }
-      for (const auto& [type, count] : counts.value()) {
-        result.totals[type] += count;
-      }
-    }
-    if (subquery_latency_ != nullptr) {
-      subquery_latency_->Record(ElapsedMicros(t0));
-    }
+    ExecuteSubQuery(workload.table, part, ReplicasOf(part.key), options,
+                    result, vclock);
   }
+  result.virtual_latency_us = vclock;
+  FinalizeResult(result);
   return result;
 }
 
+GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
+                                              uint32_t replica) {
+  GatherOptions options;
+  options.replica = replica;
+  return CountByTypeAll(workload, options);
+}
+
 GatherResult InProcessCluster::CountByTypeAllParallel(
-    const WorkloadSpec& workload, uint32_t threads) {
+    const WorkloadSpec& workload, uint32_t threads,
+    const GatherOptions& options) {
   KV_CHECK(threads >= 1);
-  // Resolve every owner up front: the placement directory is not
-  // thread-safe and owner resolution is cheap.
-  std::vector<NodeId> owners;
-  owners.reserve(workload.partitions.size());
+  // Resolve every replica set up front: the placement directory is not
+  // thread-safe and resolution is cheap. Directory entries are
+  // pointer-stable (std::map) for the life of the cluster.
+  std::vector<const std::vector<NodeId>*> replica_sets;
+  replica_sets.reserve(workload.partitions.size());
   for (const PartitionRef& part : workload.partitions) {
-    owners.push_back(OwnerOf(part.key));
+    replica_sets.push_back(&ReplicasOf(part.key));
   }
 
   std::vector<GatherResult> partials(threads);
+  std::vector<Micros> clocks(threads, 0.0);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   const size_t total = workload.partitions.size();
@@ -188,48 +345,19 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     }
   }
   for (uint32_t t = 0; t < threads; ++t) {
-    workers.emplace_back([this, &workload, &owners, &partials, t, threads,
-                          total] {
+    workers.emplace_back([this, &workload, &replica_sets, &partials, &clocks,
+                          &options, t, threads, total] {
       GatherResult& local = partials[t];
       local.requests_per_node.assign(nodes_.size(), 0);
       local.probes_per_node.assign(nodes_.size(), ReadProbe{});
+      local.errors_per_node.assign(nodes_.size(), 0);
       SpanTracer::Scope worker_span;
       if (spans_ != nullptr) {
         worker_span = spans_->StartSpan("worker", master_track() + 1 + t);
       }
       for (size_t i = t; i < total; i += threads) {
-        const PartitionRef& part = workload.partitions[i];
-        const NodeId owner = owners[i];
-        const auto t0 = std::chrono::steady_clock::now();
-        if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
-        ++local.requests_per_node[owner];
-        SpanTracer::Scope read;
-        if (spans_ != nullptr) {
-          read = spans_->StartSpan("store-read", owner);
-          read.Attr("partition", part.key);
-          read.Attr("worker", std::to_string(t));
-        }
-        auto table = nodes_[owner]->FindTable(workload.table);
-        if (!table.ok()) {
-          ++local.partitions_missing;
-          if (missing_counter_ != nullptr) missing_counter_->Increment();
-          continue;
-        }
-        ReadProbe probe;
-        auto counts = table.value()->CountByType(part.key, &probe);
-        local.probes_per_node[owner].MergeFrom(probe);
-        read.End();
-        if (!counts.ok()) {
-          ++local.partitions_missing;
-          if (missing_counter_ != nullptr) missing_counter_->Increment();
-          continue;
-        }
-        for (const auto& [type, count] : counts.value()) {
-          local.totals[type] += count;
-        }
-        if (subquery_latency_ != nullptr) {
-          subquery_latency_->Record(ElapsedMicros(t0));
-        }
+        ExecuteSubQuery(workload.table, workload.partitions[i],
+                        *replica_sets[i], options, local, clocks[t]);
       }
     });
   }
@@ -240,16 +368,31 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
-  for (const GatherResult& partial : partials) {
+  result.errors_per_node.assign(nodes_.size(), 0);
+  for (uint32_t t = 0; t < threads; ++t) {
+    const GatherResult& partial = partials[t];
     result.partitions_missing += partial.partitions_missing;
+    result.subqueries += partial.subqueries;
+    result.completed += partial.completed;
+    result.failed += partial.failed;
+    result.retries += partial.retries;
+    result.hedged += partial.hedged;
     for (const auto& [type, count] : partial.totals) {
       result.totals[type] += count;
     }
     for (size_t n = 0; n < nodes_.size(); ++n) {
       result.requests_per_node[n] += partial.requests_per_node[n];
       result.probes_per_node[n].MergeFrom(partial.probes_per_node[n]);
+      result.errors_per_node[n] += partial.errors_per_node[n];
     }
+    result.lost_partitions.insert(result.lost_partitions.end(),
+                                  partial.lost_partitions.begin(),
+                                  partial.lost_partitions.end());
+    // Workers burn backoff in parallel: the gather's virtual latency is
+    // the slowest worker's clock.
+    result.virtual_latency_us = std::max(result.virtual_latency_us, clocks[t]);
   }
+  FinalizeResult(result);
   return result;
 }
 

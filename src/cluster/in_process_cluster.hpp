@@ -7,6 +7,14 @@
 // partial results. Integration tests and the examples use it to verify the
 // distributed aggregation end to end (real bytes, real bloom filters, real
 // block cache) and to collect per-node read telemetry.
+//
+// The gather is fault-tolerant: with an attached FaultInjector
+// (fault/fault_injector.hpp) every sub-query tries its preferred replica
+// and fails over through ReplicasOf with bounded retries, deterministic
+// virtual backoff, an optional hedged second attempt, and a per-gather
+// deadline. GatherResult doubles as a degraded-result report — the
+// Section VII story ("the driver selects a replica only if the original
+// node is malfunctioning") with real bytes instead of virtual time.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,7 @@
 
 #include "cluster/cluster_sim.hpp"
 #include "cluster/placement.hpp"
+#include "fault/fault_injector.hpp"
 #include "store/local_store.hpp"
 
 namespace kvscale {
@@ -27,12 +36,55 @@ class MetricsRegistry;  // telemetry/metrics_registry.hpp
 class Counter;
 class LatencyHistogram;
 
-/// Result of one scatter/gather aggregation over real data.
+/// Fault-tolerance knobs of one scatter/gather execution.
+struct GatherOptions {
+  /// Preferred starting copy (0 = primary; taken modulo the replica-set
+  /// size). Failover proceeds to the following replicas in set order.
+  uint32_t replica = 0;
+  /// Total read attempts per sub-query (>= 1). Attempt k targets replica
+  /// (replica + k) mod replication, so with replication=1 retries re-try
+  /// the same node.
+  uint32_t max_attempts = 3;
+  /// Virtual backoff charged before retry k: backoff_base_us * 2^(k-1).
+  /// Virtual time keeps chaos runs deterministic and fast; no real
+  /// sleeping happens.
+  Micros backoff_base_us = 200.0;
+  /// When true, an attempt whose injected latency reaches
+  /// `hedge_threshold_us` races a duplicate read against the next
+  /// replica and the faster copy wins (Dean's tail-at-scale hedge).
+  bool hedge = false;
+  Micros hedge_threshold_us = 1.0 * kMillisecond;
+  /// Per-gather virtual deadline (0 = none). Once the gather's virtual
+  /// clock passes it, no further retries or hedges are issued — each
+  /// remaining sub-query gets exactly one attempt and the gather
+  /// degrades instead of spinning.
+  Micros deadline_us = 0.0;
+};
+
+/// Result of one scatter/gather aggregation over real data. Beyond the
+/// folded counts it is a degraded-result report: how many sub-queries
+/// completed, failed for good, were retried or hedged, and where the
+/// errors landed.
 struct GatherResult {
   TypeCounts totals;                     ///< folded count-by-type
   std::vector<uint64_t> requests_per_node;
   std::vector<ReadProbe> probes_per_node;
   uint64_t partitions_missing = 0;       ///< sub-queries that hit no data
+
+  uint64_t subqueries = 0;  ///< sub-queries issued (= workload partitions)
+  /// Sub-queries that got an authoritative answer (data folded, or every
+  /// replica confirmed the partition absent). Invariant:
+  /// completed + failed == subqueries.
+  uint64_t completed = 0;
+  uint64_t failed = 0;   ///< sub-queries lost for good (data unreachable)
+  uint64_t retries = 0;  ///< failover re-attempts after an error
+  uint64_t hedged = 0;   ///< duplicate reads issued against a second replica
+  bool partial = false;  ///< true iff failed > 0: totals are missing data
+  std::vector<uint64_t> errors_per_node;     ///< error tally per node
+  std::vector<std::string> lost_partitions;  ///< keys lost for good, sorted
+  /// Injected latency + backoff consumed, in virtual microseconds (the
+  /// deadline's clock). For parallel gathers: the slowest worker's clock.
+  Micros virtual_latency_us = 0.0;
 };
 
 /// A sharded multi-store cluster with a single coordinating "master".
@@ -40,6 +92,9 @@ class InProcessCluster {
  public:
   /// `replication` copies of every partition land on distinct nodes (the
   /// primary chosen by `placement`, the rest on the following node ids).
+  /// When `store_options.wal_path` is non-empty it is used as a path
+  /// prefix: node n logs to "<wal_path>.node<n>", writes go through
+  /// DurablePut, and ReviveNode can replay the log after a crash.
   InProcessCluster(uint32_t nodes, PlacementKind placement,
                    StoreOptions store_options, uint64_t seed,
                    uint32_t replication = 1);
@@ -49,10 +104,20 @@ class InProcessCluster {
   /// Attaches wall-clock telemetry to the scatter/gather path: every
   /// sub-query records route → store-read → fold spans (one span track
   /// per node, plus a "master" track) and cluster counters/latency
-  /// histograms. Either pointer may be null; both must outlive the
-  /// cluster. Store-level counters (cache, bloom, flushes) are wired
-  /// separately through StoreOptions::metrics.
+  /// histograms, including the failure/retry/hedge counters. Either
+  /// pointer may be null; both must outlive the cluster. Store-level
+  /// counters (cache, bloom, flushes) are wired separately through
+  /// StoreOptions::metrics.
   void AttachTelemetry(SpanTracer* spans, MetricsRegistry* metrics);
+
+  /// Routes read attempts through `injector` (null detaches: healthy).
+  /// The injector must outlive the cluster. Without an attached
+  /// injector, KillNode lazily creates an internal one.
+  void AttachFaultInjector(FaultInjector* injector);
+
+  /// The injector consulted by reads (the attached one, or the lazily
+  /// created internal one). Never null after the first call.
+  FaultInjector& fault_injector();
 
   /// The span track used for master-side work (routing, folding);
   /// node n uses track n.
@@ -72,18 +137,36 @@ class InProcessCluster {
 
   uint32_t replication() const { return replication_; }
 
-  /// Routes one column write to the owning node's table.
+  /// Routes one column write to every replica's table (through the
+  /// node's commit log when a WAL is configured).
   void Put(const std::string& table, const std::string& partition_key,
            Column column);
 
   /// Flushes every node's memtables (end of load phase).
   void FlushAll();
 
+  /// Marks `node` unreachable: sub-queries against it fail over to the
+  /// surviving replicas (or degrade the gather when none exist).
+  void KillNode(NodeId node);
+
+  /// Restarts a killed node: a fresh LocalStore replaces the old one (a
+  /// crash loses everything held in memory) and, when a WAL is
+  /// configured, Recover() replays every intact logged mutation — the
+  /// torn-tail semantics of CommitLog::Replay. Returns the number of
+  /// mutations recovered (0 without a WAL). Must not race with a
+  /// concurrent gather.
+  Result<uint64_t> ReviveNode(NodeId node);
+
   /// Scatter/gather: CountByType over every partition of `workload`,
-  /// folding partial results exactly as the simulated master does.
-  /// `replica` selects which copy serves the reads (0 = primary; values
-  /// are taken modulo the replica-set size, so any index is valid) —
-  /// every replica must return the same answer, which the tests assert.
+  /// folding partial results exactly as the simulated master does, with
+  /// per-sub-query replica failover per `options`.
+  GatherResult CountByTypeAll(const WorkloadSpec& workload,
+                              const GatherOptions& options);
+
+  /// Back-compat convenience: `replica` selects which copy serves the
+  /// reads first (values are taken modulo the replica-set size, so any
+  /// index is valid) — every replica must return the same answer, which
+  /// the tests assert.
   GatherResult CountByTypeAll(const WorkloadSpec& workload,
                               uint32_t replica = 0);
 
@@ -91,9 +174,11 @@ class InProcessCluster {
   /// partition list each (real std::thread parallelism over the real
   /// storage engine — reads take shared locks, the block cache is
   /// internally synchronised). The fold is deterministic: partial results
-  /// are merged in worker order.
+  /// are merged in worker order, and fault decisions are stateless, so a
+  /// parallel chaos gather matches the serial one bit for bit.
   GatherResult CountByTypeAllParallel(const WorkloadSpec& workload,
-                                      uint32_t threads);
+                                      uint32_t threads,
+                                      const GatherOptions& options = {});
 
   /// Direct access for tests and examples.
   LocalStore& node(uint32_t id) { return *nodes_.at(id); }
@@ -102,15 +187,35 @@ class InProcessCluster {
   std::vector<uint64_t> ColumnsPerNode(const std::string& table);
 
  private:
+  /// Executes one sub-query with failover, folding into `out` (a worker-
+  /// local partial in parallel mode). `vclock` is the caller's virtual
+  /// clock. Thread-safe given pre-resolved `replicas`.
+  void ExecuteSubQuery(const std::string& table, const PartitionRef& part,
+                       const std::vector<NodeId>& replicas,
+                       const GatherOptions& options, GatherResult& out,
+                       Micros& vclock);
+
+  /// Sorts the loss report and derives the partial flag + invariant.
+  void FinalizeResult(GatherResult& result) const;
+
   PlacementPolicy placement_;
   uint32_t replication_;
+  std::vector<StoreOptions> node_options_;
   std::vector<std::unique_ptr<LocalStore>> nodes_;
   std::map<std::string, std::vector<NodeId>, std::less<>> directory_;
+
+  FaultInjector* injector_ = nullptr;  ///< null = healthy cluster
+  std::unique_ptr<FaultInjector> owned_injector_;
 
   SpanTracer* spans_ = nullptr;                 ///< null = no span tracing
   Counter* subqueries_counter_ = nullptr;       ///< cluster.subqueries
   Counter* missing_counter_ = nullptr;          ///< cluster.partitions_missing
+  Counter* errors_counter_ = nullptr;           ///< cluster.read.errors
+  Counter* retries_counter_ = nullptr;          ///< cluster.read.retries
+  Counter* hedged_counter_ = nullptr;           ///< cluster.read.hedged
+  Counter* failed_counter_ = nullptr;           ///< cluster.subqueries.failed
   LatencyHistogram* subquery_latency_ = nullptr;  ///< cluster.subquery.latency_us
+  LatencyHistogram* failover_latency_ = nullptr;  ///< cluster.failover.latency_us
 };
 
 }  // namespace kvscale

@@ -164,8 +164,15 @@ class ReplicatedRun {
     for (const auto& trace : traces_) {
       if (trace.completed > 0) result_.tracer.Record(trace);
     }
-    result_.failed =
-        total - result_.completed;
+    // Count failures from the per-sub-query states rather than deriving
+    // them: `completed` is incremented on the fold path and a bug there
+    // (double-count, missed duplicate suppression) would silently skew a
+    // derived failure count. The invariant ties the two views together.
+    result_.failed = 0;
+    for (const SubQueryState& st : states_) {
+      if (!st.done) ++result_.failed;
+    }
+    KV_CHECK(result_.completed + result_.failed == total);
     return std::move(result_);
   }
 

@@ -1,0 +1,101 @@
+#include "fault/fault_injector.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/rng.hpp"
+#include "hash/hash.hpp"
+#include "store/table.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// Maps 64 hashed bits onto [0, 1) the same way Rng::Uniform does.
+double UnitFromHash(uint64_t bits) {
+  uint64_t s = bits;  // one splitmix64 round scrambles the low entropy away
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+/// Distinct salts keep the error and spike decisions independent.
+constexpr uint64_t kErrorSalt = 0x9d3f2c6a715b04e9ULL;
+constexpr uint64_t kSpikeSalt = 0x1b45ef8820c7d36dULL;
+
+uint64_t AttemptBasis(uint64_t seed, uint32_t node,
+                      std::string_view partition_key, uint32_t attempt) {
+  return Fnv1a64(partition_key) ^ seed ^
+         (static_cast<uint64_t>(node) << 40) ^
+         (static_cast<uint64_t>(attempt) << 8);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), corrupt_rng_state_(config.seed ^ 0xc0ffee) {}
+
+void FaultInjector::KillNode(uint32_t node) {
+  std::lock_guard lock(mu_);
+  down_.insert(node);
+}
+
+void FaultInjector::ReviveNode(uint32_t node) {
+  std::lock_guard lock(mu_);
+  down_.erase(node);
+}
+
+bool FaultInjector::IsNodeDown(uint32_t node) const {
+  std::lock_guard lock(mu_);
+  return down_.contains(node);
+}
+
+FaultInjector::ReadFault FaultInjector::OnRead(uint32_t node,
+                                               std::string_view partition_key,
+                                               uint32_t attempt) const {
+  ReadFault fault;
+  if (IsNodeDown(node)) {
+    rejected_dead_.fetch_add(1, std::memory_order_relaxed);
+    fault.status = Status::Unavailable("node " + std::to_string(node) +
+                                       " is down");
+    return fault;
+  }
+  const uint64_t basis =
+      AttemptBasis(config_.seed, node, partition_key, attempt);
+  if (config_.read_error_rate > 0.0 &&
+      UnitFromHash(basis ^ kErrorSalt) < config_.read_error_rate) {
+    injected_errors_.fetch_add(1, std::memory_order_relaxed);
+    fault.status = Status::Unavailable(
+        "injected read error on node " + std::to_string(node) + " (attempt " +
+        std::to_string(attempt) + ")");
+    return fault;
+  }
+  if (config_.latency_spike_rate > 0.0 &&
+      UnitFromHash(basis ^ kSpikeSalt) < config_.latency_spike_rate) {
+    injected_spikes_.fetch_add(1, std::memory_order_relaxed);
+    fault.extra_latency_us = config_.latency_spike_us;
+  }
+  return fault;
+}
+
+uint64_t FaultInjector::CorruptTableBlocks(Table& table, double fraction) {
+  uint64_t seed;
+  {
+    std::lock_guard lock(mu_);
+    seed = SplitMix64(corrupt_rng_state_);
+  }
+  Rng rng(seed);
+  return table.CorruptBlocksForFaultInjection(fraction, rng);
+}
+
+Status FaultInjector::TruncateFileTail(const std::string& path,
+                                       uint64_t bytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("truncate target: " + path);
+  const uint64_t keep = bytes >= size ? 0 : size - bytes;
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) return Status::Unavailable("truncate failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace kvscale

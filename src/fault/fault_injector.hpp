@@ -1,0 +1,126 @@
+// Deterministic fault injection for the real data path.
+//
+// The simulators (replicated_sim.hpp) already model node failure in
+// virtual time; this subsystem brings the same failure modes to the real
+// storage engine and the in-process cluster so fault tolerance can be
+// exercised with real bytes. A FaultInjector is consulted at well-defined
+// injection points:
+//
+//   * node liveness — KillNode/ReviveNode mark a node unreachable; the
+//     cluster rejects sub-queries to a dead node with kUnavailable
+//     before touching its store (the request "times out");
+//   * per-read errors — each read attempt fails with kUnavailable with
+//     probability `read_error_rate` (a flaky NIC / dropped reply);
+//   * latency spikes — each read attempt is charged `latency_spike_us`
+//     of *virtual* latency with probability `latency_spike_rate` (a GC
+//     pause / slow disk), driving hedged reads and deadlines without
+//     slowing the test suite down with real sleeps;
+//   * segment corruption — CorruptTableBlocks flips one bit per chosen
+//     block of a table's flushed segments; the segment's per-block
+//     checksums then surface kCorruption on the next uncached read;
+//   * WAL torn tails — TruncateFileTail chops bytes off a commit log to
+//     reproduce a crash mid-append.
+//
+// Per-attempt decisions are *stateless*: they hash (seed, node,
+// partition key, attempt) instead of consuming a shared RNG stream, so a
+// parallel gather sees bit-identical faults to a serial one and a
+// re-run reproduces the exact same chaos. All methods are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace kvscale {
+
+class Table;  // store/table.hpp
+
+/// Tunable fault rates. All default to "perfectly healthy".
+struct FaultConfig {
+  uint64_t seed = 0x5eedfa17ULL;  ///< decorrelates chaos runs
+  /// Probability that one read attempt fails with kUnavailable.
+  double read_error_rate = 0.0;
+  /// Probability that one read attempt is charged a virtual latency
+  /// spike of `latency_spike_us`.
+  double latency_spike_rate = 0.0;
+  Micros latency_spike_us = 5.0 * kMillisecond;
+};
+
+/// Seedable, deterministic fault source shared by stores and the cluster.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config = {});
+
+  const FaultConfig& config() const { return config_; }
+
+  // -- Node liveness ------------------------------------------------------
+
+  /// Marks `node` unreachable: every read attempt against it fails with
+  /// kUnavailable until ReviveNode. Safe to call mid-gather from another
+  /// thread (attempts already past the liveness check still finish, like
+  /// an in-flight reply that beats the failure detector).
+  void KillNode(uint32_t node);
+
+  /// Marks `node` reachable again.
+  void ReviveNode(uint32_t node);
+
+  bool IsNodeDown(uint32_t node) const;
+
+  // -- Per-attempt read faults -------------------------------------------
+
+  /// Outcome of consulting the injector for one read attempt.
+  struct ReadFault {
+    Status status = Status::Ok();  ///< non-OK aborts the attempt
+    Micros extra_latency_us = 0.0; ///< virtual latency charged to the attempt
+  };
+
+  /// Decides the fate of attempt number `attempt` of a read of
+  /// `partition_key` on `node`. Deterministic in (seed, node, key,
+  /// attempt) — retries of the same sub-query re-roll, identical reruns
+  /// do not.
+  ReadFault OnRead(uint32_t node, std::string_view partition_key,
+                   uint32_t attempt) const;
+
+  // -- Data corruption ----------------------------------------------------
+
+  /// Flips one bit in roughly `fraction` of `table`'s segment blocks
+  /// (at least one block when fraction > 0 and the table has any),
+  /// using this injector's seeded RNG. Returns the number of blocks
+  /// corrupted. Must not race with reads of `table`.
+  uint64_t CorruptTableBlocks(Table& table, double fraction);
+
+  /// Truncates the file at `path` by `bytes` (clamped to the file size):
+  /// the torn-tail crash a WAL replay must survive.
+  static Status TruncateFileTail(const std::string& path, uint64_t bytes);
+
+  // -- Tallies (what was actually injected) -------------------------------
+
+  uint64_t injected_errors() const {
+    return injected_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_spikes() const {
+    return injected_spikes_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_dead_node_reads() const {
+    return rejected_dead_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultConfig config_;
+  uint64_t corrupt_rng_state_;  ///< splitmix64 stream for CorruptTableBlocks
+
+  mutable std::mutex mu_;  // guards down_ and corrupt_rng_state_
+  std::unordered_set<uint32_t> down_;
+
+  mutable std::atomic<uint64_t> injected_errors_{0};
+  mutable std::atomic<uint64_t> injected_spikes_{0};
+  mutable std::atomic<uint64_t> rejected_dead_{0};
+};
+
+}  // namespace kvscale

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "hash/hash.hpp"
 #include "store/block_cache.hpp"
 
 namespace kvscale {
@@ -69,6 +70,7 @@ void Segment::AddPartition(const std::string& key,
     index.push_back(entry);
     auto span = buf.data();
     blocks_.emplace_back(span.begin(), span.end());
+    block_checksums_.push_back(Fnv1a64(blocks_.back()));
     meta.encoded_bytes += blocks_.back().size();
     pending.clear();
     pending_bytes = 0;
@@ -139,6 +141,7 @@ void Segment::SerializeTo(WireBuffer& out) const {
   }
   out.WriteVarint(blocks_.size());
   for (const auto& block : blocks_) out.WriteBytes(block);
+  for (uint64_t checksum : block_checksums_) out.WriteU64(checksum);
 }
 
 Result<std::shared_ptr<const Segment>> Segment::Deserialize(
@@ -189,6 +192,14 @@ Result<std::shared_ptr<const Segment>> Segment::Deserialize(
   for (uint64_t b = 0; b < block_count; ++b) {
     segment->blocks_.push_back(r.ReadBytes());
   }
+  segment->block_checksums_.reserve(block_count);
+  for (uint64_t b = 0; b < block_count; ++b) {
+    const uint64_t checksum = r.ReadU64();
+    if (!r.ok() || Fnv1a64(segment->blocks_[b]) != checksum) {
+      return Status::Corruption("segment block checksum mismatch");
+    }
+    segment->block_checksums_.push_back(checksum);
+  }
   if (!r.AtEnd()) return Status::Corruption("segment trailing bytes");
   // Validate directory block ranges against the block table.
   for (const auto& [key, meta] : segment->directory_) {
@@ -198,6 +209,15 @@ Result<std::shared_ptr<const Segment>> Segment::Deserialize(
     }
   }
   return std::shared_ptr<const Segment>(std::move(segment));
+}
+
+void Segment::FlipBlockBitForFaultInjection(uint32_t block_no,
+                                            uint64_t bit_index) {
+  KV_CHECK(block_no < blocks_.size());
+  auto& block = blocks_[block_no];
+  KV_CHECK(!block.empty());
+  const uint64_t bit = bit_index % (block.size() * 8);
+  block[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
 }
 
 Result<std::vector<Column>> Segment::ReadBlock(uint32_t block_no,
@@ -210,6 +230,11 @@ Result<std::vector<Column>> Segment::ReadBlock(uint32_t block_no,
       if (probe != nullptr) ++probe->blocks_from_cache;
       return cached;
     }
+  }
+  if (Fnv1a64(blocks_[block_no]) != block_checksums_[block_no]) {
+    return Status::Corruption("segment " + std::to_string(id_) + " block " +
+                              std::to_string(block_no) +
+                              " checksum mismatch");
   }
   auto decoded = DecodeColumns(blocks_[block_no]);
   if (!decoded.ok()) return decoded.status();

@@ -99,13 +99,20 @@ class Segment {
   bool HasPartition(std::string_view partition_key) const;
   const PartitionMeta* FindMeta(std::string_view partition_key) const;
 
-  /// Serialises the whole segment (directory, column indexes, blocks)
-  /// into `out`; Deserialize restores an identical segment (the bloom
-  /// filter is rebuilt from the keys). This is the snapshot format used
-  /// by Table::SaveSnapshot.
+  /// Serialises the whole segment (directory, column indexes, blocks,
+  /// per-block checksums) into `out`; Deserialize restores an identical
+  /// segment (the bloom filter is rebuilt from the keys) and rejects
+  /// blocks whose stored checksum no longer matches their bytes. This is
+  /// the snapshot format used by Table::SaveSnapshot.
   void SerializeTo(WireBuffer& out) const;
   static Result<std::shared_ptr<const Segment>> Deserialize(
       std::span<const std::byte> data);
+
+  /// FAULT INJECTION ONLY: flips one bit of block `block_no`'s encoded
+  /// bytes while leaving the stored checksum untouched, so the next
+  /// uncached read of that block fails verification with kCorruption.
+  /// Must not race with reads of this segment.
+  void FlipBlockBitForFaultInjection(uint32_t block_no, uint64_t bit_index);
 
   uint64_t id() const { return id_; }
   size_t partition_count() const { return directory_.size(); }
@@ -122,7 +129,10 @@ class Segment {
 
   void AddPartition(const std::string& key, const std::vector<Column>& columns);
 
-  /// Decodes block `block_no`, through `cache` when provided.
+  /// Decodes block `block_no`, through `cache` when provided. Verifies
+  /// the block's checksum before decoding (cache hits skip the check:
+  /// cached entries were verified when first decoded) and surfaces a
+  /// mismatch as kCorruption instead of returning damaged columns.
   Result<std::vector<Column>> ReadBlock(uint32_t block_no, BlockCache* cache,
                                         ReadProbe* probe) const;
 
@@ -131,6 +141,7 @@ class Segment {
   BloomFilter bloom_;
   std::map<std::string, PartitionMeta, std::less<>> directory_;
   std::vector<std::vector<std::byte>> blocks_;  // encoded column runs
+  std::vector<uint64_t> block_checksums_;       // fnv1a of each block
   uint64_t total_columns_ = 0;
   uint64_t total_bytes_ = 0;
 };

@@ -9,6 +9,7 @@ StoreInstruments StoreInstruments::Resolve(MetricsRegistry& registry) {
   out.cache_hits = &registry.GetCounter("store.cache.hits");
   out.cache_misses = &registry.GetCounter("store.cache.misses");
   out.bloom_negatives = &registry.GetCounter("store.bloom.negatives");
+  out.corruption_errors = &registry.GetCounter("store.read.corruption");
   out.bytes_decoded = &registry.GetCounter("store.read.bytes_decoded");
   out.memtable_flushes = &registry.GetCounter("store.memtable.flushes");
   out.flush_latency = &registry.GetHistogram("store.flush.latency_us");

@@ -20,6 +20,7 @@ struct StoreInstruments {
   Counter* cache_hits = nullptr;       ///< store.cache.hits
   Counter* cache_misses = nullptr;     ///< store.cache.misses (blocks decoded)
   Counter* bloom_negatives = nullptr;  ///< store.bloom.negatives
+  Counter* corruption_errors = nullptr;  ///< store.read.corruption
   Counter* bytes_decoded = nullptr;    ///< store.read.bytes_decoded
   Counter* memtable_flushes = nullptr; ///< store.memtable.flushes
   LatencyHistogram* flush_latency = nullptr;  ///< store.flush.latency_us

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "hash/hash.hpp"
 #include "store/store_metrics.hpp"
 
@@ -138,6 +139,59 @@ void Table::MaybeCompactLocked() {
   }
 }
 
+uint64_t Table::CorruptBlocksForFaultInjection(double fraction, Rng& rng) {
+  std::unique_lock lock(mu_);
+  uint64_t corrupted = 0;
+  bool any_block = false;
+  for (auto& segment : segments_) {
+    bool touched = false;
+    for (uint32_t b = 0; b < segment->block_count(); ++b) {
+      any_block = true;
+      if (!rng.Chance(fraction)) continue;
+      // Segments are shared as immutable; deliberate damage is the one
+      // sanctioned exception, applied under the exclusive table lock.
+      const_cast<Segment&>(*segment).FlipBlockBitForFaultInjection(
+          b, rng.Next());
+      ++corrupted;
+      touched = true;
+    }
+    if (touched && cache_ != nullptr) cache_->EraseSegment(segment->id());
+  }
+  if (corrupted == 0 && fraction > 0.0 && any_block) {
+    // Guarantee at least one casualty so a chaos run always has teeth.
+    std::vector<size_t> candidates;
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      if (segments_[s]->block_count() > 0) candidates.push_back(s);
+    }
+    auto& segment = segments_[candidates[rng.Below(candidates.size())]];
+    const auto block =
+        static_cast<uint32_t>(rng.Below(segment->block_count()));
+    const_cast<Segment&>(*segment).FlipBlockBitForFaultInjection(block,
+                                                                 rng.Next());
+    if (cache_ != nullptr) cache_->EraseSegment(segment->id());
+    corrupted = 1;
+  }
+  return corrupted;
+}
+
+Status Table::CorruptBlockForFaultInjection(size_t segment_index,
+                                            uint32_t block_no,
+                                            uint64_t bit_index) {
+  std::unique_lock lock(mu_);
+  if (segment_index >= segments_.size()) {
+    return Status::OutOfRange("segment index " +
+                              std::to_string(segment_index));
+  }
+  auto& segment = segments_[segment_index];
+  if (block_no >= segment->block_count()) {
+    return Status::OutOfRange("block " + std::to_string(block_no));
+  }
+  const_cast<Segment&>(*segment).FlipBlockBitForFaultInjection(block_no,
+                                                               bit_index);
+  if (cache_ != nullptr) cache_->EraseSegment(segment->id());
+  return Status::Ok();
+}
+
 uint64_t Table::auto_compactions() const {
   std::shared_lock lock(mu_);
   return auto_compactions_;
@@ -145,7 +199,8 @@ uint64_t Table::auto_compactions() const {
 
 namespace {
 constexpr uint32_t kSnapshotMagic = 0x4b565353;  // "KVSS"
-constexpr uint32_t kSnapshotVersion = 1;
+// v2 added per-block checksums to the segment wire format.
+constexpr uint32_t kSnapshotVersion = 2;
 }  // namespace
 
 Status Table::SaveSnapshot(const std::string& path) {
@@ -254,6 +309,9 @@ Result<std::vector<Column>> Table::GetPartition(std::string_view partition_key,
   const auto t0 = ReadClock::now();
   auto result = GetPartitionImpl(partition_key, target);
   instruments_->RecordRead(ProbeDelta(before, *target), ElapsedMicros(t0));
+  if (!result.ok() && result.status().code() == StatusCode::kCorruption) {
+    instruments_->corruption_errors->Increment();
+  }
   return result;
 }
 
@@ -301,6 +359,9 @@ Result<std::vector<Column>> Table::Slice(std::string_view partition_key,
   const auto t0 = ReadClock::now();
   auto result = SliceImpl(partition_key, lo, hi, target);
   instruments_->RecordRead(ProbeDelta(before, *target), ElapsedMicros(t0));
+  if (!result.ok() && result.status().code() == StatusCode::kCorruption) {
+    instruments_->corruption_errors->Increment();
+  }
   return result;
 }
 

@@ -23,6 +23,7 @@ namespace kvscale {
 
 class MetricsRegistry;       // telemetry/metrics_registry.hpp
 struct StoreInstruments;     // store/store_metrics.hpp
+class Rng;                   // common/rng.hpp
 
 /// Tuning knobs of a table.
 struct TableOptions {
@@ -94,6 +95,19 @@ class Table {
   /// SaveSnapshot. Fails with kCorruption on damaged files, leaving the
   /// table unchanged.
   Status LoadSnapshot(const std::string& path);
+
+  /// FAULT INJECTION ONLY: flips one bit in roughly `fraction` of this
+  /// table's segment blocks (at least one when fraction > 0 and any
+  /// block exists) and evicts the touched segments from the block cache,
+  /// so subsequent reads hit the stale checksum and fail with
+  /// kCorruption. Returns the number of blocks corrupted.
+  uint64_t CorruptBlocksForFaultInjection(double fraction, Rng& rng);
+
+  /// FAULT INJECTION ONLY: precise single-block variant — corrupts bit
+  /// `bit_index` of block `block_no` of segment `segment_index` (oldest
+  /// first). Fails with kOutOfRange on bad indices.
+  Status CorruptBlockForFaultInjection(size_t segment_index,
+                                       uint32_t block_no, uint64_t bit_index);
 
   const std::string& name() const { return name_; }
   size_t segment_count() const;

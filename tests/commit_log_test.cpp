@@ -8,6 +8,7 @@
 #include <fstream>
 #include <string>
 
+#include "fault/fault_injector.hpp"
 #include "store/commit_log.hpp"
 #include "store/local_store.hpp"
 
@@ -76,6 +77,82 @@ TEST_F(CommitLogTest, TornTailIsDroppedNotFatal) {
   auto records = CommitLog::Replay(path_);
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.value().size(), 9u);
+}
+
+// Every record below has the same payload size, so the record's on-disk
+// footprint is file_size / records — letting the tests tear the log at
+// exact offsets without knowing the framing.
+uint64_t UniformRecordSize(const std::string& path, uint64_t records) {
+  const uint64_t size = std::filesystem::file_size(path);
+  EXPECT_EQ(size % records, 0u);
+  return size / records;
+}
+
+TEST_F(CommitLogTest, TruncationMidRecordDropsOnlyTheTornTail) {
+  path_ = TempLogPath("torn_mid");
+  {
+    CommitLog log(path_);
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.Append("t", "p", MakeColumn(i, 0)).ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  // A crash mid-append: the last record is half on disk.
+  const uint64_t record = UniformRecordSize(path_, 10);
+  ASSERT_TRUE(FaultInjector::TruncateFileTail(path_, record / 2).ok());
+
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 9u);
+  // Every surviving record is intact, not just counted.
+  for (uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(records.value()[i].column, MakeColumn(i, 0)) << i;
+  }
+}
+
+TEST_F(CommitLogTest, TruncationAtRecordBoundaryLosesExactlyOneRecord) {
+  path_ = TempLogPath("torn_boundary");
+  {
+    CommitLog log(path_);
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.Append("t", "p", MakeColumn(i, 0)).ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  // A crash between appends: the tail ends exactly on a record boundary,
+  // so replay must not misread the clean end as corruption.
+  const uint64_t record = UniformRecordSize(path_, 10);
+  ASSERT_TRUE(FaultInjector::TruncateFileTail(path_, record).ok());
+
+  auto records = CommitLog::Replay(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 9u);
+  for (uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(records.value()[i].column, MakeColumn(i, 0)) << i;
+  }
+}
+
+TEST_F(CommitLogTest, RecoverReplaysIntactMutationsAfterTornTail) {
+  path_ = TempLogPath("torn_recover");
+  StoreOptions options;
+  options.wal_path = path_;
+  {
+    // "Crash" with everything in memtables + the log.
+    LocalStore store(options);
+    for (uint64_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.DurablePut("data", "p", MakeColumn(i, 0)).ok());
+    }
+  }
+  const uint64_t record = UniformRecordSize(path_, 20);
+  ASSERT_TRUE(FaultInjector::TruncateFileTail(path_, record / 3).ok());
+
+  LocalStore revived(options);
+  auto recovered = revived.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 19u);  // the torn mutation is gone
+  auto counts = revived.GetOrCreateTable("data").CountByType("p");
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().at(0), 19u);
 }
 
 TEST_F(CommitLogTest, CorruptedPayloadEndsReplayAtTheBadRecord) {

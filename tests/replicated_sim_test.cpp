@@ -133,6 +133,27 @@ TEST(ReplicatedSimTest, FailureWithoutReplicationLosesWork) {
   EXPECT_GT(result.failed, 0u);
   EXPECT_EQ(result.reads_per_node[3], 0u);
   EXPECT_LT(result.completed, 500u);
+  // Failure accounting must balance: every issued sub-query either
+  // completed or is reported failed, never both, never neither.
+  EXPECT_EQ(result.completed + result.failed, 500u);
+}
+
+TEST(ReplicatedSimTest, FailureAccountingBalancesAcrossTimeoutShapes) {
+  // The failed count is derived from per-sub-query state, not subtraction;
+  // sweep failure timing against the retry window to probe double-count /
+  // lost-update bugs in the fold path (late duplicates, timer races).
+  const auto workload = UniformWorkload(200000, 300);
+  for (const double fail_at : {0.0, 1.0 * kMillisecond, 40.0 * kMillisecond,
+                               400.0 * kMillisecond}) {
+    ReplicatedClusterConfig config = FastConfig(6);
+    config.replication = 2;
+    config.fail_node = 2;
+    config.fail_at = fail_at;
+    config.request_timeout = 80.0 * kMillisecond;
+    config.max_attempts = 2;
+    const auto result = RunReplicatedQuery(config, workload);
+    EXPECT_EQ(result.completed + result.failed, 300u) << fail_at;
+  }
 }
 
 TEST(ReplicatedSimTest, ReplicationPlusRetriesSurviveAFailure) {

@@ -10,6 +10,7 @@
 //   kvscale simulate --elements 1000000 --keys 10000 --nodes 16 --slow-master
 //   kvscale bands    --elements 1000000 --keys 100 --nodes 16
 //   kvscale gather   --elements 100000 --keys 200 --nodes 4 --rounds 2
+//   kvscale gather   --nodes 4 --replication 3 --fail-node 0 --fail-rate 0.01
 //
 // Every subcommand accepts --t-msg-us (master cost per message) and
 // --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study,
@@ -276,8 +277,73 @@ int CmdBands(CommonArgs& args, int64_t trials) {
   return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
-int CmdGather(CommonArgs& args, int64_t threads, int64_t rounds,
-              int64_t payload_bytes, int64_t seed) {
+/// Fault-tolerance flags of the gather subcommand.
+struct GatherArgs {
+  int64_t threads = 1;
+  int64_t rounds = 2;
+  int64_t payload_bytes = 30;
+  int64_t seed = 42;
+  int64_t replication = 1;
+  int64_t fail_node = -1;      ///< -1 = no node killed
+  double fail_rate = 0.0;      ///< per-read injected error probability
+  double corrupt_rate = 0.0;   ///< fraction of segment blocks bit-flipped
+  double deadline_ms = 0.0;    ///< 0 = no gather deadline
+  int64_t max_attempts = 3;
+  bool hedge = false;
+
+  void Register(CliFlags& flags) {
+    flags.Add("threads", &threads, "gather worker threads (1 = serial)");
+    flags.Add("rounds", &rounds,
+              "query repetitions (first is cold, later ones hit the cache)");
+    flags.Add("payload-bytes", &payload_bytes, "payload bytes per element");
+    flags.Add("seed", &seed, "placement + fault-injection seed");
+    flags.Add("replication", &replication,
+              "copies of every partition (1 = no fault tolerance)");
+    flags.Add("fail-node", &fail_node,
+              "kill this node before querying (-1 = none)");
+    flags.Add("fail-rate", &fail_rate,
+              "probability each read attempt fails (0..1)");
+    flags.Add("corrupt-rate", &corrupt_rate,
+              "fraction of segment blocks to bit-flip after load (0..1)");
+    flags.Add("deadline-ms", &deadline_ms,
+              "virtual per-gather deadline; 0 disables it");
+    flags.Add("max-attempts", &max_attempts,
+              "read attempts per sub-query before giving up");
+    flags.Add("hedge", &hedge,
+              "race a duplicate read against the next replica on a spike");
+  }
+
+  Status Validate(const CommonArgs& args) const {
+    if (threads < 1) return Status::InvalidArgument("--threads must be >= 1");
+    if (rounds < 1) return Status::InvalidArgument("--rounds must be >= 1");
+    if (replication < 1 || replication > args.nodes) {
+      return Status::InvalidArgument(
+          "--replication must be between 1 and --nodes (" +
+          std::to_string(args.nodes) + "), got " + std::to_string(replication));
+    }
+    if (fail_node >= args.nodes) {
+      return Status::InvalidArgument(
+          "--fail-node " + std::to_string(fail_node) +
+          " is out of range: the cluster has only " +
+          std::to_string(args.nodes) + " nodes");
+    }
+    if (fail_rate < 0.0 || fail_rate > 1.0) {
+      return Status::InvalidArgument("--fail-rate must be within [0, 1]");
+    }
+    if (corrupt_rate < 0.0 || corrupt_rate > 1.0) {
+      return Status::InvalidArgument("--corrupt-rate must be within [0, 1]");
+    }
+    if (deadline_ms < 0.0) {
+      return Status::InvalidArgument("--deadline-ms must be >= 0");
+    }
+    if (max_attempts < 1) {
+      return Status::InvalidArgument("--max-attempts must be >= 1");
+    }
+    return Status::Ok();
+  }
+};
+
+int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   SpanTracer tracer;
   MetricsRegistry registry;
 
@@ -285,8 +351,18 @@ int CmdGather(CommonArgs& args, int64_t threads, int64_t rounds,
   store_options.metrics = &registry;
   InProcessCluster cluster(static_cast<uint32_t>(args.nodes),
                            PlacementKind::kDhtRandom, store_options,
-                           static_cast<uint64_t>(seed));
+                           static_cast<uint64_t>(gather_args.seed),
+                           static_cast<uint32_t>(gather_args.replication));
   cluster.AttachTelemetry(&tracer, &registry);
+
+  FaultConfig fault_config;
+  fault_config.seed = static_cast<uint64_t>(gather_args.seed);
+  fault_config.read_error_rate = gather_args.fail_rate;
+  FaultInjector injector(fault_config);
+  const bool chaos = gather_args.fail_node >= 0 ||
+                     gather_args.fail_rate > 0.0 ||
+                     gather_args.corrupt_rate > 0.0;
+  if (chaos) cluster.AttachFaultInjector(&injector);
 
   const WorkloadSpec workload = UniformWorkload(
       static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys));
@@ -299,8 +375,8 @@ int CmdGather(CommonArgs& args, int64_t threads, int64_t rounds,
         Column column;
         column.clustering = j;
         column.type_id = j % 8;
-        column.payload = MakePayload(part_seed, j,
-                                     static_cast<size_t>(payload_bytes));
+        column.payload = MakePayload(
+            part_seed, j, static_cast<size_t>(gather_args.payload_bytes));
         cluster.Put(workload.table, part.key, std::move(column));
       }
       ++part_seed;
@@ -310,25 +386,62 @@ int CmdGather(CommonArgs& args, int64_t threads, int64_t rounds,
     cluster.FlushAll();
   }
 
+  if (gather_args.corrupt_rate > 0.0) {
+    uint64_t corrupted = 0;
+    for (uint32_t n = 0; n < cluster.node_count(); ++n) {
+      auto table = cluster.node(n).FindTable(workload.table);
+      if (table.ok()) {
+        corrupted += injector.CorruptTableBlocks(*table.value(),
+                                                 gather_args.corrupt_rate);
+      }
+    }
+    std::printf("chaos: bit-flipped %llu segment blocks\n",
+                static_cast<unsigned long long>(corrupted));
+  }
+  if (gather_args.fail_node >= 0) {
+    cluster.KillNode(static_cast<NodeId>(gather_args.fail_node));
+    std::printf("chaos: node %lld is down\n",
+                static_cast<long long>(gather_args.fail_node));
+  }
+
+  GatherOptions options;
+  options.max_attempts = static_cast<uint32_t>(gather_args.max_attempts);
+  options.hedge = gather_args.hedge;
+  options.deadline_us = gather_args.deadline_ms * kMillisecond;
+
   GatherResult result;
-  for (int64_t r = 0; r < rounds; ++r) {
-    result = threads > 1
+  for (int64_t r = 0; r < gather_args.rounds; ++r) {
+    result = gather_args.threads > 1
                  ? cluster.CountByTypeAllParallel(
-                       workload, static_cast<uint32_t>(threads))
-                 : cluster.CountByTypeAll(workload);
+                       workload, static_cast<uint32_t>(gather_args.threads),
+                       options)
+                 : cluster.CountByTypeAll(workload, options);
   }
 
   uint64_t total = 0;
   for (const auto& [type, count] : result.totals) total += count;
   std::printf("real scatter/gather over %zu partitions x %lld rounds "
-              "(%lld thread%s):\n",
-              workload.partitions.size(), static_cast<long long>(rounds),
-              static_cast<long long>(std::max<int64_t>(threads, 1)),
-              threads > 1 ? "s" : "");
+              "(%lld thread%s, replication %lld):\n",
+              workload.partitions.size(),
+              static_cast<long long>(gather_args.rounds),
+              static_cast<long long>(gather_args.threads),
+              gather_args.threads > 1 ? "s" : "",
+              static_cast<long long>(gather_args.replication));
   std::printf("  %llu elements counted across %zu types | %llu partitions "
               "missing\n",
               static_cast<unsigned long long>(total), result.totals.size(),
               static_cast<unsigned long long>(result.partitions_missing));
+  std::printf("  sub-queries: %llu completed, %llu failed | %llu retries, "
+              "%llu hedged%s\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.failed),
+              static_cast<unsigned long long>(result.retries),
+              static_cast<unsigned long long>(result.hedged),
+              result.partial ? "  [PARTIAL RESULT]" : "");
+  if (result.partial) {
+    std::printf("  lost partitions: %zu (data unreachable on every replica)\n",
+                result.lost_partitions.size());
+  }
   std::printf("%s", registry.SummaryReport().c_str());
   return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
@@ -343,7 +456,9 @@ void PrintUsage() {
       "  simulate   one virtual-time run of the master/slave prototype\n"
       "  bands      Monte-Carlo percentile bands of the prediction\n"
       "  gather     real scatter/gather over in-process stores, with\n"
-      "             store/cluster telemetry (try --rounds 2 for cache hits)\n"
+      "             store/cluster telemetry (try --rounds 2 for cache hits);\n"
+      "             chaos flags: --replication --fail-node --fail-rate\n"
+      "             --corrupt-rate --deadline-ms --max-attempts --hedge\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
       "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");
@@ -391,17 +506,15 @@ int Main(int argc, char** argv) {
     return CmdBands(args, trials);
   }
   if (command == "gather") {
-    int64_t threads = 1;
-    int64_t rounds = 2;
-    int64_t payload_bytes = 30;
-    int64_t seed = 42;
-    flags.Add("threads", &threads, "gather worker threads (1 = serial)");
-    flags.Add("rounds", &rounds,
-              "query repetitions (first is cold, later ones hit the cache)");
-    flags.Add("payload-bytes", &payload_bytes, "payload bytes per element");
-    flags.Add("seed", &seed, "placement seed");
+    GatherArgs gather_args;
+    gather_args.Register(flags);
     if (!flags.Parse(argc - 1, argv + 1)) return 1;
-    return CmdGather(args, threads, rounds, payload_bytes, seed);
+    const Status valid = gather_args.Validate(args);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return 1;
+    }
+    return CmdGather(args, gather_args);
   }
   if (command == "--help" || command == "help" || command == "-h") {
     PrintUsage();
