@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span_tracer.hpp"
+#include "trace/stage_trace.hpp"
 
 namespace kvscale {
 
@@ -26,6 +27,7 @@ InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
     : placement_(placement, nodes, seed),
       replication_(std::min(std::max<uint32_t>(replication, 1), nodes)) {
   KV_CHECK(nodes >= 1);
+  RegisterClusterMessages(codec_registry_);
   node_options_.reserve(nodes);
   nodes_.reserve(nodes);
   for (uint32_t n = 0; n < nodes; ++n) {
@@ -43,6 +45,7 @@ InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
 void InProcessCluster::AttachTelemetry(SpanTracer* spans,
                                        MetricsRegistry* metrics) {
   spans_ = spans;
+  metrics_ = metrics;
   if (spans_ != nullptr) {
     for (uint32_t n = 0; n < node_count(); ++n) {
       spans_->SetTrackName(n, "node-" + std::to_string(n));
@@ -68,6 +71,10 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     subquery_latency_ = nullptr;
     failover_latency_ = nullptr;
   }
+}
+
+void InProcessCluster::AttachStageTracer(StageTracer* stages) {
+  stage_tracer_ = stages;
 }
 
 void InProcessCluster::AttachFaultInjector(FaultInjector* injector) {
@@ -286,6 +293,9 @@ void InProcessCluster::FinalizeResult(GatherResult& result) const {
 
 GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
                                               const GatherOptions& options) {
+  if (options.transport == GatherTransport::kMessage) {
+    return CountByTypeAllMessage(workload, options);
+  }
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
@@ -319,6 +329,13 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     const WorkloadSpec& workload, uint32_t threads,
     const GatherOptions& options) {
   KV_CHECK(threads >= 1);
+  if (options.transport == GatherTransport::kMessage) {
+    // On the message path the parallelism lives in the per-node worker
+    // pools, not in master-side threads: scale the pools instead.
+    GatherOptions scaled = options;
+    scaled.workers_per_node = std::max(scaled.workers_per_node, threads);
+    return CountByTypeAllMessage(workload, scaled);
+  }
   // Resolve every replica set up front: the placement directory is not
   // thread-safe and resolution is cheap. Directory entries are
   // pointer-stable (std::map) for the life of the cluster.
@@ -392,6 +409,294 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     // the slowest worker's clock.
     result.virtual_latency_us = std::max(result.virtual_latency_us, clocks[t]);
   }
+  FinalizeResult(result);
+  return result;
+}
+
+GatherResult InProcessCluster::CountByTypeAllMessage(
+    const WorkloadSpec& workload, const GatherOptions& options) {
+  GatherResult result;
+  result.requests_per_node.assign(nodes_.size(), 0);
+  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
+  result.errors_per_node.assign(nodes_.size(), 0);
+
+  const uint64_t query_id = next_query_id_++;
+  const size_t total = workload.partitions.size();
+
+  SpanTracer::Scope gather;
+  if (spans_ != nullptr) {
+    gather = spans_->StartSpan("gather-message", master_track());
+    gather.Attr("table", workload.table);
+    gather.Attr("partitions", std::to_string(total));
+    gather.Attr("codec", WireCodecName(options.codec));
+    gather.Attr("batch", options.batch ? "true" : "false");
+  }
+
+  NodeRuntimeOptions rt_options;
+  rt_options.codec = options.codec;
+  rt_options.queue_depth = options.queue_depth;
+  rt_options.workers_per_node = options.workers_per_node;
+  rt_options.on_queue_full = options.queue_policy;
+  rt_options.deadline_us = options.deadline_us;
+  NodeRuntime runtime(
+      node_count(), rt_options,
+      [this](uint32_t node, const SubQueryRequest& req,
+             ReadProbe* probe) -> Result<TypeCounts> {
+        auto found = nodes_[node]->FindTable(req.table);
+        if (!found.ok()) return found.status();
+        return found.value()->CountByType(req.partition_key, probe);
+      },
+      codec_registry_, injector_, metrics_, spans_);
+
+  struct Pending {
+    const PartitionRef* part = nullptr;
+    const std::vector<NodeId>* replicas = nullptr;
+    uint32_t next_attempt = 0;
+    uint32_t attempts = 0;
+    std::chrono::steady_clock::time_point t0;
+  };
+  std::vector<Pending> subs(total);
+  for (size_t i = 0; i < total; ++i) {
+    subs[i].part = &workload.partitions[i];
+    subs[i].replicas = &ReplicasOf(subs[i].part->key);
+    subs[i].t0 = std::chrono::steady_clock::now();
+  }
+
+  // Settles one sub-query's fate in the result. `counts` is non-null only
+  // when real data came back.
+  auto resolve = [&](size_t i, bool answered, const TypeCounts* counts) {
+    const Pending& s = subs[i];
+    if (answered) {
+      ++result.completed;
+      if (counts != nullptr) {
+        SpanTracer::Scope fold;
+        if (spans_ != nullptr) {
+          fold = spans_->StartSpan("fold", master_track());
+          fold.Attr("partition", s.part->key);
+        }
+        for (const auto& [type, count] : *counts) result.totals[type] += count;
+      } else {
+        ++result.partitions_missing;
+        if (missing_counter_ != nullptr) missing_counter_->Increment();
+      }
+    } else {
+      ++result.failed;
+      if (failed_counter_ != nullptr) failed_counter_->Increment();
+      result.lost_partitions.push_back(s.part->key);
+    }
+    const double wall_us = ElapsedMicros(s.t0);
+    if (subquery_latency_ != nullptr) subquery_latency_->Record(wall_us);
+    if (s.attempts > 1 && failover_latency_ != nullptr) {
+      failover_latency_->Record(wall_us);
+    }
+  };
+
+  // One batch slot per node, filled only during a batched scatter.
+  struct BatchItem {
+    SubQueryRequest request;
+    uint32_t attempt = 0;
+    Micros extra_latency_us = 0.0;
+    size_t index = 0;
+  };
+  std::vector<std::vector<BatchItem>> per_node;
+
+  // Advances sub-query `i` to its next viable attempt, making the exact
+  // fault/hedge/backoff decisions ExecuteSubQuery makes, then either
+  // hands the attempt to the transport (or to `collect` during a batched
+  // scatter) and returns true, or exhausts the attempts, records the
+  // loss, and returns false.
+  auto try_dispatch = [&](size_t i,
+                          std::vector<std::vector<BatchItem>>* collect) {
+    Pending& s = subs[i];
+    const std::vector<NodeId>& replicas = *s.replicas;
+    const uint32_t fanout = static_cast<uint32_t>(replicas.size());
+    const uint32_t max_attempts = std::max<uint32_t>(options.max_attempts, 1);
+    while (s.next_attempt < max_attempts) {
+      const uint32_t a = s.next_attempt;
+      if (a > 0) {
+        if (options.deadline_us > 0.0 &&
+            runtime.clock_us() >= options.deadline_us) {
+          break;
+        }
+        ++result.retries;
+        if (retries_counter_ != nullptr) retries_counter_->Increment();
+        runtime.AdvanceClock(options.backoff_base_us *
+                             static_cast<double>(uint64_t{1} << (a - 1)));
+      }
+      s.next_attempt = a + 1;
+      ++s.attempts;
+      NodeId target = replicas[(options.replica + a) % fanout];
+      FaultInjector::ReadFault fault;
+      if (injector_ != nullptr) fault = injector_->OnRead(target, s.part->key, a);
+
+      // The hedge race is decided at dispatch time, before anything is
+      // encoded, so only the winning copy's message ever travels — the
+      // loser is abandoned exactly as on the direct path.
+      if (fault.status.ok() && options.hedge && fanout > 1 &&
+          injector_ != nullptr &&
+          fault.extra_latency_us >= options.hedge_threshold_us &&
+          (options.deadline_us <= 0.0 ||
+           runtime.clock_us() < options.deadline_us)) {
+        const NodeId alt = replicas[(options.replica + a + 1) % fanout];
+        const FaultInjector::ReadFault alt_fault =
+            injector_->OnRead(alt, s.part->key, a);
+        ++result.hedged;
+        if (hedged_counter_ != nullptr) hedged_counter_->Increment();
+        if (alt_fault.status.ok()) {
+          const Micros hedge_latency =
+              options.hedge_threshold_us + alt_fault.extra_latency_us;
+          if (hedge_latency < fault.extra_latency_us) {
+            target = alt;
+            fault.extra_latency_us = hedge_latency;
+          }
+        } else {
+          ++result.errors_per_node[alt];
+          if (errors_counter_ != nullptr) errors_counter_->Increment();
+        }
+      }
+
+      if (!fault.status.ok()) {
+        ++result.errors_per_node[target];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+        continue;  // fail over to the next replica without sending
+      }
+
+      SubQueryRequest req;
+      req.query_id = query_id;
+      req.sub_id = static_cast<uint32_t>(i);
+      req.table = workload.table;
+      req.partition_key = s.part->key;
+      req.expected_elements = s.part->elements;
+      if (collect != nullptr) {
+        (*collect)[target].push_back(
+            {std::move(req), a, fault.extra_latency_us, i});
+        return true;
+      }
+      const Status sent =
+          runtime.Dispatch(target, std::span<const SubQueryRequest>(&req, 1),
+                           std::span<const uint32_t>(&a, 1),
+                           std::span<const Micros>(&fault.extra_latency_us, 1));
+      if (!sent.ok()) {
+        // kReject backpressure: the send itself was refused; fail over
+        // like any other transport error.
+        ++result.errors_per_node[target];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+        continue;
+      }
+      return true;
+    }
+    resolve(i, /*answered=*/false, nullptr);
+    return false;
+  };
+
+  // Scatter: every sub-query's first viable attempt, coalesced per node
+  // when batching is on.
+  size_t outstanding = 0;
+  if (options.batch) per_node.resize(node_count());
+  for (size_t i = 0; i < total; ++i) {
+    ++result.subqueries;
+    if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
+    SpanTracer::Scope route;
+    if (spans_ != nullptr) route = spans_->StartSpan("route", master_track());
+    if (route.active()) {
+      route.Attr("partition", subs[i].part->key);
+      route.Attr("node",
+                 std::to_string((*subs[i].replicas)[options.replica %
+                                                    subs[i].replicas->size()]));
+      route.End();
+    }
+    if (try_dispatch(i, options.batch ? &per_node : nullptr) &&
+        !options.batch) {
+      ++outstanding;
+    }
+  }
+  if (options.batch) {
+    for (uint32_t n = 0; n < node_count(); ++n) {
+      std::vector<BatchItem>& items = per_node[n];
+      if (items.empty()) continue;
+      std::vector<SubQueryRequest> requests;
+      std::vector<uint32_t> attempts;
+      std::vector<Micros> extras;
+      requests.reserve(items.size());
+      attempts.reserve(items.size());
+      extras.reserve(items.size());
+      for (BatchItem& item : items) {
+        requests.push_back(std::move(item.request));
+        attempts.push_back(item.attempt);
+        extras.push_back(item.extra_latency_us);
+      }
+      const Status sent = runtime.Dispatch(n, requests, attempts, extras);
+      if (sent.ok()) {
+        outstanding += items.size();
+        continue;
+      }
+      // The whole frame was refused (kReject): every sub-query in it
+      // fails over individually, unbatched.
+      for (const BatchItem& item : items) {
+        ++result.errors_per_node[n];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+        if (try_dispatch(item.index, nullptr)) ++outstanding;
+      }
+    }
+  }
+
+  // Collect: decode replies as they land, folding answers and failing
+  // unanswered sub-queries over until every one is settled.
+  while (outstanding > 0) {
+    NodeRuntime::DecodedReply r = runtime.AwaitReply();
+    --outstanding;
+    const size_t i = r.sub_id;
+    KV_CHECK(i < total);
+    if (r.store_read) {
+      ++result.requests_per_node[r.node];
+      result.probes_per_node[r.node].MergeFrom(r.probe);
+      if (stage_tracer_ != nullptr) {
+        RequestTrace trace;
+        trace.query_id = query_id;
+        trace.sub_id = r.sub_id;
+        trace.node = r.node;
+        trace.keysize = static_cast<double>(subs[i].part->elements);
+        trace.issued = r.issued_us;
+        trace.received = r.received_us;
+        trace.db_start = r.db_start_us;
+        trace.db_end = r.db_end_us;
+        trace.completed = runtime.now_us();
+        stage_tracer_->Record(trace);
+      }
+    }
+    StatusCode code = StatusCode::kCorruption;  // unreadable reply frame
+    if (r.reply.ok()) code = static_cast<StatusCode>(r.reply.value().status);
+    if (code == StatusCode::kOk) {
+      TypeCounts counts;
+      const SubQueryReply& reply = r.reply.value();
+      for (size_t k = 0; k < reply.type_ids.size(); ++k) {
+        counts[static_cast<uint32_t>(reply.type_ids[k])] =
+            k < reply.counts.size() ? reply.counts[k] : 0;
+      }
+      resolve(i, /*answered=*/true, &counts);
+    } else if (code == StatusCode::kNotFound) {
+      // Authoritative miss, exactly as on the direct path.
+      resolve(i, /*answered=*/true, nullptr);
+    } else {
+      // A shed (kResourceExhausted) is the deadline's doing, not the
+      // node's: it retries without an error tally, and the deadline
+      // check inside try_dispatch settles its fate.
+      if (code != StatusCode::kResourceExhausted) {
+        ++result.errors_per_node[r.node];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+      }
+      if (try_dispatch(i, nullptr)) ++outstanding;
+    }
+  }
+
+  result.virtual_latency_us = runtime.clock_us();
+  runtime.Shutdown();
+  const NodeRuntime::WireStats wire = runtime.wire_stats();
+  result.wire_frames_sent = wire.frames_sent;
+  result.wire_bytes_sent = wire.bytes_sent;
+  result.wire_bytes_received = wire.bytes_received;
+  result.wire_encode_us = wire.encode_us;
+  result.wire_decode_us = wire.decode_us;
   FinalizeResult(result);
   return result;
 }

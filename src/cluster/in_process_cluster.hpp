@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "cluster/node_runtime.hpp"
 #include "cluster/placement.hpp"
 #include "fault/fault_injector.hpp"
 #include "store/local_store.hpp"
@@ -35,6 +36,18 @@ class SpanTracer;       // telemetry/span_tracer.hpp
 class MetricsRegistry;  // telemetry/metrics_registry.hpp
 class Counter;
 class LatencyHistogram;
+class StageTracer;      // trace/stage_trace.hpp
+
+/// How the master reaches the slaves' stores.
+enum class GatherTransport : uint8_t {
+  /// Plain function calls into each node's store (the original path).
+  kDirect = 0,
+  /// Real encoded messages through per-node queues and worker pools
+  /// (node_runtime.hpp): sub-queries are serialized with the selected
+  /// codec, optionally batched per node, executed by worker threads, and
+  /// answered with encoded reply frames the master decodes and folds.
+  kMessage = 1,
+};
 
 /// Fault-tolerance knobs of one scatter/gather execution.
 struct GatherOptions {
@@ -57,8 +70,27 @@ struct GatherOptions {
   /// Per-gather virtual deadline (0 = none). Once the gather's virtual
   /// clock passes it, no further retries or hedges are issued — each
   /// remaining sub-query gets exactly one attempt and the gather
-  /// degrades instead of spinning.
+  /// degrades instead of spinning. On the message path the deadline
+  /// additionally sheds requests that expire *while enqueued*: a worker
+  /// whose turn comes after the clock passed the deadline replies
+  /// kResourceExhausted without touching the store.
   Micros deadline_us = 0.0;
+
+  // -- Message-transport knobs (ignored under kDirect) --------------------
+
+  GatherTransport transport = GatherTransport::kDirect;
+  /// Wire codec for requests and replies (the Section V-B axis).
+  WireCodecKind codec = WireCodecKind::kCompact;
+  /// Coalesce the initial scatter into one SubQueryBatch frame per node
+  /// (failover re-sends still travel one per frame).
+  bool batch = false;
+  /// Request-queue capacity per node.
+  uint32_t queue_depth = 64;
+  /// Worker threads draining each node's queue.
+  uint32_t workers_per_node = 1;
+  /// Full-queue behavior: block (lossless backpressure) or reject (the
+  /// dispatch fails over like any other transport error).
+  QueueFullPolicy queue_policy = QueueFullPolicy::kBlock;
 };
 
 /// Result of one scatter/gather aggregation over real data. Beyond the
@@ -85,6 +117,14 @@ struct GatherResult {
   /// Injected latency + backoff consumed, in virtual microseconds (the
   /// deadline's clock). For parallel gathers: the slowest worker's clock.
   Micros virtual_latency_us = 0.0;
+
+  // -- Wire totals (zero under the direct transport) ----------------------
+
+  uint64_t wire_frames_sent = 0;    ///< request frames dispatched
+  uint64_t wire_bytes_sent = 0;     ///< request frame bytes (master egress)
+  uint64_t wire_bytes_received = 0; ///< reply frame bytes (master ingress)
+  Micros wire_encode_us = 0.0;      ///< total serialization time
+  Micros wire_decode_us = 0.0;      ///< total deserialization time
 };
 
 /// A sharded multi-store cluster with a single coordinating "master".
@@ -109,6 +149,14 @@ class InProcessCluster {
   /// counters (cache, bloom, flushes) are wired separately through
   /// StoreOptions::metrics.
   void AttachTelemetry(SpanTracer* spans, MetricsRegistry* metrics);
+
+  /// Attaches a per-request stage tracer to the *message* transport:
+  /// every sub-query that reaches a store records the paper's five
+  /// timestamps (issued / received / db_start / db_end / completed), so
+  /// the four stage durations are real wall-clock intervals. Null
+  /// detaches; must outlive the cluster. The direct transport never
+  /// records stages (it has no queue or wire to time).
+  void AttachStageTracer(StageTracer* stages);
 
   /// Routes read attempts through `injector` (null detaches: healthy).
   /// The injector must outlive the cluster. Without an attached
@@ -195,6 +243,14 @@ class InProcessCluster {
                        const GatherOptions& options, GatherResult& out,
                        Micros& vclock);
 
+  /// The message-transport gather: scatter encoded frames through a
+  /// NodeRuntime, collect and decode replies, fail over on errors. Makes
+  /// the same fault/hedge/backoff decisions in the same order as
+  /// ExecuteSubQuery, so with no deadline a healthy or chaotic run
+  /// matches the direct transport field for field.
+  GatherResult CountByTypeAllMessage(const WorkloadSpec& workload,
+                                     const GatherOptions& options);
+
   /// Sorts the loss report and derives the partial flag + invariant.
   void FinalizeResult(GatherResult& result) const;
 
@@ -207,7 +263,14 @@ class InProcessCluster {
   FaultInjector* injector_ = nullptr;  ///< null = healthy cluster
   std::unique_ptr<FaultInjector> owned_injector_;
 
+  /// Message set shared by every gather's runtime (both "peers" — the
+  /// master's encoder and the slaves' decoders — see the same ids).
+  CompactCodec codec_registry_;
+  uint64_t next_query_id_ = 1;
+
   SpanTracer* spans_ = nullptr;                 ///< null = no span tracing
+  MetricsRegistry* metrics_ = nullptr;          ///< forwarded to runtimes
+  StageTracer* stage_tracer_ = nullptr;         ///< null = no stage traces
   Counter* subqueries_counter_ = nullptr;       ///< cluster.subqueries
   Counter* missing_counter_ = nullptr;          ///< cluster.partitions_missing
   Counter* errors_counter_ = nullptr;           ///< cluster.read.errors

@@ -1,0 +1,335 @@
+#include "cluster/node_runtime.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
+
+namespace kvscale {
+
+std::string_view QueueFullPolicyName(QueueFullPolicy policy) {
+  switch (policy) {
+    case QueueFullPolicy::kBlock:
+      return "block";
+    case QueueFullPolicy::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+Result<QueueFullPolicy> ParseQueueFullPolicy(std::string_view name) {
+  if (name == "block") return QueueFullPolicy::kBlock;
+  if (name == "reject") return QueueFullPolicy::kReject;
+  return Status::InvalidArgument("unknown queue policy '" + std::string(name) +
+                                 "' (expected block|reject)");
+}
+
+namespace {
+
+uint64_t MicrosToNanos(Micros us) {
+  return us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
+                         SubQueryHandler handler, const CompactCodec& registry,
+                         FaultInjector* injector, MetricsRegistry* metrics,
+                         SpanTracer* spans)
+    : options_(options),
+      handler_(std::move(handler)),
+      registry_(registry),
+      injector_(injector),
+      spans_(spans),
+      // Replies are unbounded on purpose: a worker must never block on
+      // its reply while the master blocks pushing into a full request
+      // queue, or the two would deadlock.
+      replies_(static_cast<size_t>(-1)),
+      epoch_(std::chrono::steady_clock::now()) {
+  KV_CHECK(nodes >= 1);
+  KV_CHECK(handler_ != nullptr);
+  options_.queue_depth = std::max<uint32_t>(options_.queue_depth, 1);
+  options_.workers_per_node = std::max<uint32_t>(options_.workers_per_node, 1);
+  if (metrics != nullptr) {
+    bytes_sent_counter_ = &metrics->GetCounter("wire.bytes.sent");
+    bytes_received_counter_ = &metrics->GetCounter("wire.bytes.received");
+    frames_counter_ = &metrics->GetCounter("wire.frames.sent");
+    encode_hist_ = &metrics->GetHistogram("wire.encode.latency_us");
+    decode_hist_ = &metrics->GetHistogram("wire.decode.latency_us");
+    queue_wait_hist_ = &metrics->GetHistogram("cluster.queue.wait_us");
+    depth_gauges_.reserve(nodes);
+    for (uint32_t n = 0; n < nodes; ++n) {
+      depth_gauges_.push_back(
+          &metrics->GetGauge("cluster.queue.depth.node" + std::to_string(n)));
+    }
+  }
+  queues_.reserve(nodes);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    queues_.push_back(std::make_unique<BoundedQueue<RequestEnvelope>>(
+        options_.queue_depth));
+  }
+  workers_.reserve(static_cast<size_t>(nodes) * options_.workers_per_node);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint32_t w = 0; w < options_.workers_per_node; ++w) {
+      workers_.emplace_back([this, n] { WorkerLoop(n); });
+    }
+  }
+}
+
+NodeRuntime::~NodeRuntime() { Shutdown(); }
+
+Micros NodeRuntime::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Micros NodeRuntime::clock_us() const {
+  return static_cast<double>(clock_nanos_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void NodeRuntime::AdvanceClock(Micros us) {
+  if (us <= 0.0) return;
+  clock_nanos_.fetch_add(MicrosToNanos(us), std::memory_order_relaxed);
+}
+
+size_t NodeRuntime::queue_depth(uint32_t node) const {
+  KV_CHECK(node < queues_.size());
+  return queues_[node]->size();
+}
+
+void NodeRuntime::SetDepthGauge(uint32_t node) {
+  if (node < depth_gauges_.size()) {
+    depth_gauges_[node]->Set(static_cast<double>(queues_[node]->size()));
+  }
+}
+
+NodeRuntime::WireStats NodeRuntime::wire_stats() const {
+  WireStats stats;
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  stats.encode_us =
+      static_cast<double>(encode_nanos_.load(std::memory_order_relaxed)) /
+      1000.0;
+  stats.decode_us =
+      static_cast<double>(decode_nanos_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return stats;
+}
+
+Status NodeRuntime::Dispatch(uint32_t node,
+                             std::span<const SubQueryRequest> requests,
+                             std::span<const uint32_t> attempts,
+                             std::span<const Micros> extra_latency_us) {
+  KV_CHECK(node < queues_.size());
+  KV_CHECK(!requests.empty());
+  KV_CHECK(requests.size() == attempts.size());
+  KV_CHECK(requests.size() == extra_latency_us.size());
+
+  RequestEnvelope env;
+  env.node = node;
+  env.issued_us = NowMicros();  // encode time belongs to master-to-slave
+  WireBuffer buf;
+  EncodeSubQueryBatch(requests, options_.codec, registry_, buf);
+  const Micros encode_us = NowMicros() - env.issued_us;
+  encode_nanos_.fetch_add(MicrosToNanos(encode_us),
+                          std::memory_order_relaxed);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
+
+  const uint64_t frame_bytes = buf.size();
+  env.frame = buf.TakeBytes();
+  env.sub_ids.reserve(requests.size());
+  for (const SubQueryRequest& req : requests) env.sub_ids.push_back(req.sub_id);
+  env.attempts.assign(attempts.begin(), attempts.end());
+  env.extra_latency_us.assign(extra_latency_us.begin(),
+                              extra_latency_us.end());
+
+  auto stamp_received = [this](RequestEnvelope& e) {
+    e.received_us = NowMicros();
+  };
+  const bool pushed =
+      options_.on_queue_full == QueueFullPolicy::kBlock
+          ? queues_[node]->Push(std::move(env), stamp_received)
+          : queues_[node]->TryPush(std::move(env), stamp_received);
+  if (!pushed) {
+    return Status::ResourceExhausted(
+        "node " + std::to_string(node) + " queue full (depth " +
+        std::to_string(options_.queue_depth) + ")");
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (frames_counter_ != nullptr) frames_counter_->Increment();
+  if (bytes_sent_counter_ != nullptr) {
+    bytes_sent_counter_->Increment(frame_bytes);
+  }
+  SetDepthGauge(node);
+  return Status::Ok();
+}
+
+void NodeRuntime::WorkerLoop(uint32_t node) {
+  BoundedQueue<RequestEnvelope>& queue = *queues_[node];
+  while (auto popped = queue.Pop()) {
+    RequestEnvelope env = std::move(*popped);
+    SetDepthGauge(node);
+    if (queue_wait_hist_ != nullptr) {
+      queue_wait_hist_->Record(NowMicros() - env.received_us);
+    }
+
+    const Micros decode_start = NowMicros();
+    auto decoded =
+        DecodeSubQueryBatch(env.frame, options_.codec, registry_);
+    const Micros decode_us = NowMicros() - decode_start;
+    decode_nanos_.fetch_add(MicrosToNanos(decode_us),
+                            std::memory_order_relaxed);
+    if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
+
+    for (size_t i = 0; i < env.sub_ids.size(); ++i) {
+      Status transport = Status::Ok();
+      const SubQueryRequest* request = nullptr;
+      if (!decoded.ok()) {
+        transport = decoded.status();
+      } else if (decoded.value().size() != env.sub_ids.size() ||
+                 decoded.value()[i].sub_id != env.sub_ids[i]) {
+        transport = Status::Corruption(
+            "batch does not match its transport metadata");
+      } else {
+        request = &decoded.value()[i];
+      }
+      SubQueryRequest fallback;
+      if (request == nullptr) {
+        fallback.sub_id = env.sub_ids[i];
+        request = &fallback;
+      }
+      ServeOne(node, *request, env, i, transport);
+    }
+  }
+}
+
+void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
+                           const RequestEnvelope& env, size_t item,
+                           Status transport) {
+  ReplyEnvelope out;
+  out.node = node;
+  out.sub_id = env.sub_ids[item];
+  out.attempt = env.attempts[item];
+  out.issued_us = env.issued_us;
+  out.received_us = env.received_us;
+
+  SubQueryReply reply;
+  reply.query_id = request.query_id;
+  reply.sub_id = out.sub_id;
+  reply.node = node;
+
+  if (!transport.ok()) {
+    reply.status = static_cast<uint32_t>(transport.code());
+  } else if (injector_ != nullptr && injector_->IsNodeDown(node)) {
+    // Dequeue injection point: the node died after the master's
+    // dispatch-time liveness view let the request through.
+    reply.status = static_cast<uint32_t>(StatusCode::kUnavailable);
+  } else if (options_.deadline_us > 0.0 &&
+             clock_us() >= options_.deadline_us) {
+    // The deadline expired while this request sat in the queue: shed it
+    // without touching the store.
+    reply.status = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+  } else {
+    out.db_start_us = NowMicros();
+    SpanTracer::Scope read;
+    if (spans_ != nullptr) {
+      read = spans_->StartSpan("store-read", node);
+      read.Attr("partition", request.partition_key);
+      read.Attr("attempt", std::to_string(out.attempt));
+    }
+    auto counts = handler_(node, request, &out.probe);
+    out.db_end_us = NowMicros();
+    out.store_read = true;
+    if (read.active()) {
+      read.Attr("blocks_decoded", std::to_string(out.probe.blocks_decoded));
+      read.Attr("blocks_from_cache",
+                std::to_string(out.probe.blocks_from_cache));
+      read.Attr("bloom_negatives", std::to_string(out.probe.bloom_negatives));
+      read.End();
+    }
+    if (counts.ok()) {
+      reply.type_ids.reserve(counts.value().size());
+      reply.counts.reserve(counts.value().size());
+      for (const auto& [type, count] : counts.value()) {
+        reply.type_ids.push_back(type);
+        reply.counts.push_back(count);
+      }
+    } else {
+      reply.status = static_cast<uint32_t>(counts.status().code());
+    }
+    reply.db_micros = out.db_end_us - out.db_start_us;
+    // The injected latency is charged after serving, so the request that
+    // burned the clock past a deadline still completes and only the ones
+    // behind it shed — deterministic under one worker.
+    AdvanceClock(env.extra_latency_us[item]);
+  }
+
+  const Micros encode_start = NowMicros();
+  WireBuffer buf;
+  EncodeReplyFrame(reply, options_.codec, registry_, buf);
+  const Micros encode_us = NowMicros() - encode_start;
+  encode_nanos_.fetch_add(MicrosToNanos(encode_us),
+                          std::memory_order_relaxed);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
+  out.frame = buf.TakeBytes();
+
+  if (out.store_read && injector_ != nullptr &&
+      injector_->ShouldCorruptReply(node, request.partition_key,
+                                    out.attempt)) {
+    // In-flight reply corruption: flip a header bit so the frame fails
+    // validation at the master (the frame header plays the role a
+    // checksum would on a real wire) and the master must fail over.
+    out.frame[0] ^= std::byte{0x01};
+  }
+
+  replies_.Push(std::move(out));
+}
+
+NodeRuntime::DecodedReply NodeRuntime::AwaitReply() {
+  DecodedReply out;
+  auto popped = replies_.Pop();
+  if (!popped) {
+    out.reply = Status::Unavailable("node runtime shut down");
+    return out;
+  }
+  ReplyEnvelope env = std::move(*popped);
+  out.node = env.node;
+  out.sub_id = env.sub_id;
+  out.attempt = env.attempt;
+  out.store_read = env.store_read;
+  out.probe = env.probe;
+  out.issued_us = env.issued_us;
+  out.received_us = env.received_us;
+  out.db_start_us = env.db_start_us;
+  out.db_end_us = env.db_end_us;
+  out.reply_bytes = env.frame.size();
+
+  bytes_received_.fetch_add(env.frame.size(), std::memory_order_relaxed);
+  if (bytes_received_counter_ != nullptr) {
+    bytes_received_counter_->Increment(env.frame.size());
+  }
+
+  const Micros decode_start = NowMicros();
+  out.reply = DecodeReplyFrame(env.frame, options_.codec, registry_);
+  const Micros decode_us = NowMicros() - decode_start;
+  decode_nanos_.fetch_add(MicrosToNanos(decode_us),
+                          std::memory_order_relaxed);
+  if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
+  return out;
+}
+
+void NodeRuntime::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& queue : queues_) queue->Close();
+  for (auto& worker : workers_) worker.join();
+  replies_.Close();
+}
+
+}  // namespace kvscale

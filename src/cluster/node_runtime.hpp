@@ -1,0 +1,320 @@
+// NodeRuntime: the message-driven execution layer of the real data path.
+//
+// The direct gather (in_process_cluster.cpp) calls each node's store as a
+// plain function; this layer makes the paper's architecture literal. Each
+// node owns a bounded request queue and a pool of worker threads; the
+// master *encodes* every sub-query through a selectable wire codec
+// (Tagged vs Compact — the Java-vs-Kryo axis of Section V-B), optionally
+// coalescing the sub-queries bound for one node into a single framed
+// SubQueryBatch, and enqueues the frame on the target node. Workers
+// dequeue, decode, execute against the local store, and reply with an
+// encoded SubQueryReply frame that the master decodes and folds.
+//
+// Because requests really sit in queues, the paper's four stages become
+// measurable wall-clock intervals instead of simulated ones:
+//
+//   issued --(master-to-slave: encode + any backpressure blocking)-->
+//   received --(in-queue: queue residency + decode)--> db_start
+//   --(in-db: the store read)--> db_end
+//   --(slave-to-master: reply encode + queue + master decode)--> completed
+//
+// Fault injection composes at three points: the master consults
+// FaultInjector::OnRead at *dispatch* (so failover decisions stay
+// bit-identical to the direct path), workers re-check node liveness at
+// *dequeue* (a kill landing while requests are queued bounces them with
+// kUnavailable), and FaultConfig::reply_corrupt_rate flips a bit in the
+// encoded *reply* so the master sees a frame that fails validation and
+// fails over — a fault class only a real message path has.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "fault/fault_injector.hpp"
+#include "store/segment.hpp"
+#include "store/table.hpp"
+#include "wire/envelope.hpp"
+#include "wire/messages.hpp"
+
+namespace kvscale {
+
+class SpanTracer;       // telemetry/span_tracer.hpp
+class MetricsRegistry;  // telemetry/metrics_registry.hpp
+class Counter;
+class Gauge;
+class LatencyHistogram;
+
+/// What Dispatch does when a node's request queue is at capacity.
+enum class QueueFullPolicy : uint8_t {
+  kBlock = 0,   ///< wait for a worker to drain a slot (lossless)
+  kReject = 1,  ///< fail the dispatch with kResourceExhausted (load shed)
+};
+
+std::string_view QueueFullPolicyName(QueueFullPolicy policy);
+
+/// Parses "block" / "reject" (CLI flag spelling).
+Result<QueueFullPolicy> ParseQueueFullPolicy(std::string_view name);
+
+/// Bounded multi-producer queue guarded by a mutex. The node runtime
+/// drains each instance with one or more workers, so consumers may also
+/// be plural; the implementation is safe for both. Push blocks while
+/// full (backpressure), TryPush rejects instead (load shedding), Pop
+/// blocks while empty and returns nullopt once the queue is closed and
+/// drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until a slot frees up; `on_enqueue(item)` runs under the
+  /// queue lock right before insertion (used to timestamp the moment an
+  /// envelope is "received" by the node). False once closed.
+  template <typename F>
+  bool Push(T item, F&& on_enqueue) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    on_enqueue(item);
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+  bool Push(T item) {
+    return Push(std::move(item), [](T&) {});
+  }
+
+  /// Non-blocking push; false when full or closed (the item is dropped).
+  template <typename F>
+  bool TryPush(T item, F&& on_enqueue) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    on_enqueue(item);
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+  bool TryPush(T item) {
+    return TryPush(std::move(item), [](T&) {});
+  }
+
+  /// Blocks until an item is available; nullopt when closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes every waiter; pushes fail from here on, pops drain the rest.
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Knobs of one NodeRuntime instance.
+struct NodeRuntimeOptions {
+  WireCodecKind codec = WireCodecKind::kCompact;
+  uint32_t queue_depth = 64;       ///< request-queue capacity per node
+  uint32_t workers_per_node = 1;   ///< threads draining each node's queue
+  QueueFullPolicy on_queue_full = QueueFullPolicy::kBlock;
+  /// Virtual deadline shared with the gather (0 = none): a worker sheds
+  /// a request whose turn comes after the virtual clock passed the
+  /// deadline, replying kResourceExhausted without touching the store —
+  /// "expired while enqueued".
+  Micros deadline_us = 0.0;
+};
+
+/// Executes one decoded sub-query against `node`'s store.
+using SubQueryHandler = std::function<Result<TypeCounts>(
+    uint32_t node, const SubQueryRequest& request, ReadProbe* probe)>;
+
+/// Per-node request queues + worker pools, with a shared reply queue
+/// draining back to the master. One instance serves one gather.
+class NodeRuntime {
+ public:
+  /// Wire-level totals of this runtime's lifetime. Bytes "sent" are
+  /// master-egress request frames; bytes "received" are the reply frames
+  /// the master decoded — the two directions of the paper's 7.5 MB
+  /// fine-grained query.
+  struct WireStats {
+    uint64_t frames_sent = 0;     ///< request frames dispatched
+    uint64_t bytes_sent = 0;      ///< request frame bytes (master egress)
+    uint64_t bytes_received = 0;  ///< reply frame bytes (master ingress)
+    Micros encode_us = 0.0;       ///< total encode time, both directions
+    Micros decode_us = 0.0;       ///< total decode time, both directions
+  };
+
+  /// One decoded reply plus the transport metadata echoed alongside it.
+  struct DecodedReply {
+    uint32_t node = 0;     ///< replica that served (or refused)
+    uint32_t sub_id = 0;
+    uint32_t attempt = 0;
+    /// True when the handler actually ran (false for liveness bounces
+    /// and deadline sheds — those never reached the store).
+    bool store_read = false;
+    ReadProbe probe;
+    /// The decoded reply; an error here means the reply *frame* was
+    /// unreadable (in-flight corruption), distinct from a decoded reply
+    /// whose `status` field reports a store error.
+    Result<SubQueryReply> reply = Status::Unavailable("no reply");
+    Micros issued_us = 0.0;
+    Micros received_us = 0.0;
+    Micros db_start_us = 0.0;
+    Micros db_end_us = 0.0;
+    uint64_t reply_bytes = 0;  ///< encoded reply frame size
+  };
+
+  /// Spawns `nodes * options.workers_per_node` workers. `handler` serves
+  /// decoded sub-queries; `registry` must have RegisterClusterMessages
+  /// applied and outlive the runtime, as must the optional `injector`,
+  /// `metrics`, and `spans`.
+  NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
+              SubQueryHandler handler, const CompactCodec& registry,
+              FaultInjector* injector, MetricsRegistry* metrics,
+              SpanTracer* spans);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  uint32_t node_count() const {
+    return static_cast<uint32_t>(queues_.size());
+  }
+
+  /// Encodes `requests` (with per-item attempt numbers and injected
+  /// latency charges) into one frame and enqueues it on `node`. Blocks
+  /// under kBlock when the queue is full; fails with kResourceExhausted
+  /// under kReject. One reply per request eventually reaches AwaitReply.
+  Status Dispatch(uint32_t node, std::span<const SubQueryRequest> requests,
+                  std::span<const uint32_t> attempts,
+                  std::span<const Micros> extra_latency_us);
+
+  /// Blocks until one reply frame arrives and decodes it (the in-flight
+  /// corruption injection point lives between those two steps). Call
+  /// exactly once per dispatched request.
+  DecodedReply AwaitReply();
+
+  /// The gather's shared virtual clock, in microseconds: workers add
+  /// each served request's injected latency, the master adds failover
+  /// backoff. Stored as integer nanoseconds so concurrent additions
+  /// commute exactly.
+  Micros clock_us() const;
+  void AdvanceClock(Micros us);
+
+  /// Wall-clock microseconds since this runtime started — the epoch all
+  /// envelope timestamps (issued/received/db_start/db_end) share, so the
+  /// master can stamp `completed` on the same scale.
+  Micros now_us() const { return NowMicros(); }
+
+  /// Current depth of `node`'s request queue.
+  size_t queue_depth(uint32_t node) const;
+
+  WireStats wire_stats() const;
+
+  /// Closes every queue and joins the workers (idempotent; the
+  /// destructor calls it).
+  void Shutdown();
+
+ private:
+  struct RequestEnvelope {
+    uint32_t node = 0;
+    std::vector<std::byte> frame;  ///< encoded SubQueryBatch
+    // Transport metadata riding outside the encoded bytes: per-item
+    // bookkeeping the master needs echoed back verbatim and the worker
+    // needs for injection and shedding decisions.
+    std::vector<uint32_t> sub_ids;
+    std::vector<uint32_t> attempts;
+    std::vector<Micros> extra_latency_us;
+    Micros issued_us = 0.0;    ///< master began handing off (pre-encode)
+    Micros received_us = 0.0;  ///< envelope entered the node's queue
+  };
+
+  struct ReplyEnvelope {
+    uint32_t node = 0;
+    uint32_t sub_id = 0;
+    uint32_t attempt = 0;
+    bool store_read = false;
+    ReadProbe probe;
+    std::vector<std::byte> frame;  ///< encoded SubQueryReply
+    Micros issued_us = 0.0;
+    Micros received_us = 0.0;
+    Micros db_start_us = 0.0;
+    Micros db_end_us = 0.0;
+  };
+
+  void WorkerLoop(uint32_t node);
+  /// Serves one decoded request (or refuses it), appending the encoded
+  /// reply envelope to the reply queue.
+  void ServeOne(uint32_t node, const SubQueryRequest& request,
+                const RequestEnvelope& env, size_t item, Status transport);
+  Micros NowMicros() const;
+  void SetDepthGauge(uint32_t node);
+
+  NodeRuntimeOptions options_;
+  SubQueryHandler handler_;
+  const CompactCodec& registry_;
+  FaultInjector* injector_;   ///< may be null (healthy)
+  SpanTracer* spans_;         ///< may be null
+
+  std::vector<std::unique_ptr<BoundedQueue<RequestEnvelope>>> queues_;
+  BoundedQueue<ReplyEnvelope> replies_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> clock_nanos_{0};
+
+  // Wire totals (kept independently of the registry so GatherResult can
+  // report them even without telemetry attached).
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> encode_nanos_{0};
+  std::atomic<uint64_t> decode_nanos_{0};
+
+  // Registry instruments (null without telemetry).
+  Counter* bytes_sent_counter_ = nullptr;      ///< wire.bytes.sent
+  Counter* bytes_received_counter_ = nullptr;  ///< wire.bytes.received
+  Counter* frames_counter_ = nullptr;          ///< wire.frames.sent
+  LatencyHistogram* encode_hist_ = nullptr;    ///< wire.encode.latency_us
+  LatencyHistogram* decode_hist_ = nullptr;    ///< wire.decode.latency_us
+  LatencyHistogram* queue_wait_hist_ = nullptr;  ///< cluster.queue.wait_us
+  std::vector<Gauge*> depth_gauges_;  ///< cluster.queue.depth.node<N>
+};
+
+}  // namespace kvscale

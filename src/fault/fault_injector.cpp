@@ -21,6 +21,7 @@ double UnitFromHash(uint64_t bits) {
 /// Distinct salts keep the error and spike decisions independent.
 constexpr uint64_t kErrorSalt = 0x9d3f2c6a715b04e9ULL;
 constexpr uint64_t kSpikeSalt = 0x1b45ef8820c7d36dULL;
+constexpr uint64_t kReplySalt = 0x7e21ab9c44d0f583ULL;
 
 uint64_t AttemptBasis(uint64_t seed, uint32_t node,
                       std::string_view partition_key, uint32_t attempt) {
@@ -75,6 +76,19 @@ FaultInjector::ReadFault FaultInjector::OnRead(uint32_t node,
     fault.extra_latency_us = config_.latency_spike_us;
   }
   return fault;
+}
+
+bool FaultInjector::ShouldCorruptReply(uint32_t node,
+                                       std::string_view partition_key,
+                                       uint32_t attempt) const {
+  if (config_.reply_corrupt_rate <= 0.0) return false;
+  const uint64_t basis =
+      AttemptBasis(config_.seed, node, partition_key, attempt);
+  if (UnitFromHash(basis ^ kReplySalt) < config_.reply_corrupt_rate) {
+    corrupted_replies_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 uint64_t FaultInjector::CorruptTableBlocks(Table& table, double fraction) {

@@ -50,6 +50,12 @@ struct FaultConfig {
   /// spike of `latency_spike_us`.
   double latency_spike_rate = 0.0;
   Micros latency_spike_us = 5.0 * kMillisecond;
+  /// Probability that the encoded reply of one served sub-query gets a
+  /// bit flipped before the master decodes it (a fault class only the
+  /// message-driven path has: the read succeeded, the *reply* is
+  /// garbage). Consulted by NodeRuntime at the reply injection point;
+  /// the direct-call gather never sees it.
+  double reply_corrupt_rate = 0.0;
 };
 
 /// Seedable, deterministic fault source shared by stores and the cluster.
@@ -87,6 +93,13 @@ class FaultInjector {
   ReadFault OnRead(uint32_t node, std::string_view partition_key,
                    uint32_t attempt) const;
 
+  /// True when the encoded reply to attempt `attempt` of a read of
+  /// `partition_key` served by `node` should be corrupted in flight.
+  /// Deterministic in (seed, node, key, attempt) like OnRead, with an
+  /// independent salt.
+  bool ShouldCorruptReply(uint32_t node, std::string_view partition_key,
+                          uint32_t attempt) const;
+
   // -- Data corruption ----------------------------------------------------
 
   /// Flips one bit in roughly `fraction` of `table`'s segment blocks
@@ -110,6 +123,9 @@ class FaultInjector {
   uint64_t rejected_dead_node_reads() const {
     return rejected_dead_.load(std::memory_order_relaxed);
   }
+  uint64_t corrupted_replies() const {
+    return corrupted_replies_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultConfig config_;
@@ -121,6 +137,7 @@ class FaultInjector {
   mutable std::atomic<uint64_t> injected_errors_{0};
   mutable std::atomic<uint64_t> injected_spikes_{0};
   mutable std::atomic<uint64_t> rejected_dead_{0};
+  mutable std::atomic<uint64_t> corrupted_replies_{0};
 };
 
 }  // namespace kvscale

@@ -40,6 +40,10 @@ class WireBuffer {
 
   std::span<const std::byte> data() const { return bytes_; }
   size_t size() const { return bytes_.size(); }
+
+  /// Moves the accumulated bytes out, leaving the buffer empty. Lets a
+  /// transport own an encoded frame without copying it.
+  std::vector<std::byte> TakeBytes() { return std::move(bytes_); }
   void clear() { bytes_.clear(); }
   void reserve(size_t n) { bytes_.reserve(n); }
 

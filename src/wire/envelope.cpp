@@ -1,0 +1,139 @@
+#include "wire/envelope.hpp"
+
+#include <unordered_set>
+
+namespace kvscale {
+
+std::string_view WireCodecName(WireCodecKind kind) {
+  switch (kind) {
+    case WireCodecKind::kTagged:
+      return "tagged";
+    case WireCodecKind::kCompact:
+      return "compact";
+  }
+  return "unknown";
+}
+
+Result<WireCodecKind> ParseWireCodec(std::string_view name) {
+  if (name == "tagged") return WireCodecKind::kTagged;
+  if (name == "compact") return WireCodecKind::kCompact;
+  return Status::InvalidArgument("unknown codec '" + std::string(name) +
+                                 "' (expected tagged|compact)");
+}
+
+void EncodeFrame(WireCodecKind codec, std::span<const WireBuffer> items,
+                 WireBuffer& out) {
+  out.WriteU16(kFrameMagic);
+  out.WriteU8(kFrameVersion);
+  out.WriteU8(static_cast<uint8_t>(codec));
+  out.WriteVarint(items.size());
+  for (const WireBuffer& item : items) {
+    // WriteBytes emits the varint length prefix itself.
+    out.WriteBytes(item.data());
+  }
+}
+
+Result<std::vector<std::span<const std::byte>>> SplitFrame(
+    std::span<const std::byte> frame, WireCodecKind expected) {
+  WireReader r(frame);
+  const uint16_t magic = r.ReadU16();
+  const uint8_t version = r.ReadU8();
+  const uint8_t codec = r.ReadU8();
+  if (!r.ok() || magic != kFrameMagic) {
+    return Status::Corruption("frame: bad magic");
+  }
+  if (version != kFrameVersion) {
+    return Status::Corruption("frame: unsupported version " +
+                              std::to_string(version));
+  }
+  if (codec != static_cast<uint8_t>(WireCodecKind::kTagged) &&
+      codec != static_cast<uint8_t>(WireCodecKind::kCompact)) {
+    return Status::Corruption("frame: unknown codec id " +
+                              std::to_string(codec));
+  }
+  if (codec != static_cast<uint8_t>(expected)) {
+    return Status::Corruption(
+        "frame: codec mismatch (frame is " +
+        std::string(WireCodecName(static_cast<WireCodecKind>(codec))) +
+        ", decoder expected " + std::string(WireCodecName(expected)) + ")");
+  }
+  const uint64_t count = r.ReadVarint();
+  if (!r.ok()) return Status::Corruption("frame: bad item count");
+  // Each item needs at least a one-byte length prefix, so a count larger
+  // than the remaining bytes is a lie — reject before reserving anything.
+  if (count > r.remaining()) {
+    return Status::Corruption("frame: item count " + std::to_string(count) +
+                              " exceeds the bytes present");
+  }
+  std::vector<std::span<const std::byte>> items;
+  items.reserve(static_cast<size_t>(count));
+  size_t offset = frame.size() - r.remaining();
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t length = r.ReadVarint();
+    if (!r.ok()) return Status::Corruption("frame: bad length prefix");
+    offset = frame.size() - r.remaining();
+    if (length > r.remaining()) {
+      return Status::Corruption("frame: length prefix " +
+                                std::to_string(length) +
+                                " overruns the frame");
+    }
+    items.push_back(frame.subspan(offset, static_cast<size_t>(length)));
+    // Skip over the payload without copying it.
+    for (uint64_t skipped = 0; skipped < length; ++skipped) r.ReadU8();
+  }
+  if (!r.AtEnd()) return Status::Corruption("frame: trailing bytes");
+  return items;
+}
+
+void EncodeSubQueryBatch(std::span<const SubQueryRequest> requests,
+                         WireCodecKind kind, const CompactCodec& registry,
+                         WireBuffer& out) {
+  std::vector<WireBuffer> items(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EncodeWith(kind, registry, requests[i], items[i]);
+  }
+  EncodeFrame(kind, items, out);
+}
+
+Result<std::vector<SubQueryRequest>> DecodeSubQueryBatch(
+    std::span<const std::byte> frame, WireCodecKind kind,
+    const CompactCodec& registry) {
+  auto split = SplitFrame(frame, kind);
+  if (!split.ok()) return split.status();
+  if (split.value().empty()) {
+    return Status::Corruption("batch: empty frame");
+  }
+  std::vector<SubQueryRequest> requests;
+  requests.reserve(split.value().size());
+  std::unordered_set<uint32_t> seen_sub_ids;
+  for (std::span<const std::byte> item : split.value()) {
+    auto decoded = DecodeWith<SubQueryRequest>(kind, registry, item);
+    if (!decoded.ok()) return decoded.status();
+    if (!seen_sub_ids.insert(decoded.value().sub_id).second) {
+      return Status::Corruption(
+          "batch: duplicate sub_id " + std::to_string(decoded.value().sub_id));
+    }
+    requests.push_back(std::move(decoded).value());
+  }
+  return requests;
+}
+
+void EncodeReplyFrame(const SubQueryReply& reply, WireCodecKind kind,
+                      const CompactCodec& registry, WireBuffer& out) {
+  std::vector<WireBuffer> items(1);
+  EncodeWith(kind, registry, reply, items[0]);
+  EncodeFrame(kind, items, out);
+}
+
+Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
+                                       WireCodecKind kind,
+                                       const CompactCodec& registry) {
+  auto split = SplitFrame(frame, kind);
+  if (!split.ok()) return split.status();
+  if (split.value().size() != 1) {
+    return Status::Corruption("reply frame: expected exactly one payload");
+  }
+  return DecodeWith<SubQueryReply>(kind, registry, split.value().front());
+}
+
+}  // namespace kvscale

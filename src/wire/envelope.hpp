@@ -1,0 +1,111 @@
+// Framed message envelopes for the node runtime's real message path.
+//
+// The codecs (codec.hpp) encode a single message; the runtime ships
+// *frames*: a fixed header naming the codec that produced the payload,
+// followed by length-prefixed message payloads. Framing buys three things
+// the paper's prototype relied on its RPC stack for:
+//
+//   * batching — one frame coalesces every sub-query bound for a node
+//     (the natural next optimization after the paper's Kryo switch, see
+//     ClusterConfig::send_batch_size for the modelled version);
+//   * codec negotiation — a frame self-identifies as Tagged or Compact,
+//     so feeding bytes to the wrong decoder is a clean Status error, not
+//     silent garbage (the Java-vs-Kryo axis must never cross-decode);
+//   * robustness — every length prefix is validated against the bytes
+//     actually present before any allocation, so truncated or hostile
+//     frames fail with kCorruption instead of crashing or OOMing.
+//
+// Frame layout:
+//   [u16 magic 0xFAB1][u8 version][u8 codec][varint count]
+//   count x { [varint length][length payload bytes] }
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+#include "wire/messages.hpp"
+
+namespace kvscale {
+
+/// Which wire codec a frame's payloads were encoded with. The two ends of
+/// the paper's Section V-B serialization axis, selectable on the real
+/// data path.
+enum class WireCodecKind : uint8_t {
+  kTagged = 1,   ///< self-describing, Java-serialization-like
+  kCompact = 2,  ///< registration-based, Kryo-like
+};
+
+std::string_view WireCodecName(WireCodecKind kind);
+
+/// Parses "tagged" / "compact" (CLI flag spelling).
+Result<WireCodecKind> ParseWireCodec(std::string_view name);
+
+inline constexpr uint16_t kFrameMagic = 0xFAB1;
+inline constexpr uint8_t kFrameVersion = 1;
+
+/// Appends a frame holding `items` (each an already-encoded message) to
+/// `out`.
+void EncodeFrame(WireCodecKind codec, std::span<const WireBuffer> items,
+                 WireBuffer& out);
+
+/// Splits a frame into its payload spans (views into `frame`). Fails with
+/// kCorruption on a bad header, a count or length prefix that does not
+/// fit the bytes present, or trailing garbage; fails with kCorruption
+/// ("codec mismatch") when the frame was produced by a codec other than
+/// `expected`. Never allocates proportionally to a claimed length, only
+/// to bytes actually present.
+Result<std::vector<std::span<const std::byte>>> SplitFrame(
+    std::span<const std::byte> frame, WireCodecKind expected);
+
+/// Encodes one message with the selected codec (Compact consults
+/// `registry`, which both peers must have filled via
+/// RegisterClusterMessages).
+template <typename M>
+void EncodeWith(WireCodecKind kind, const CompactCodec& registry,
+                const M& msg, WireBuffer& out) {
+  if (kind == WireCodecKind::kTagged) {
+    TaggedCodec::Encode(msg, out);
+  } else {
+    registry.Encode(msg, out);
+  }
+}
+
+template <typename M>
+Result<M> DecodeWith(WireCodecKind kind, const CompactCodec& registry,
+                     std::span<const std::byte> data) {
+  if (kind == WireCodecKind::kTagged) {
+    return TaggedCodec::Decode<M>(data);
+  }
+  return registry.Decode<M>(data);
+}
+
+/// Encodes a SubQueryBatch frame: every request encoded with `kind`, then
+/// framed. A batch of one is how single sub-queries travel too.
+void EncodeSubQueryBatch(std::span<const SubQueryRequest> requests,
+                         WireCodecKind kind, const CompactCodec& registry,
+                         WireBuffer& out);
+
+/// Decodes and validates a SubQueryBatch frame. Beyond per-message
+/// decoding it enforces batch-level invariants: at least one request and
+/// no duplicate sub_ids (a duplicate would double-fold a partial result
+/// on the master). Any violation is kCorruption.
+Result<std::vector<SubQueryRequest>> DecodeSubQueryBatch(
+    std::span<const std::byte> frame, WireCodecKind kind,
+    const CompactCodec& registry);
+
+/// Encodes one SubQueryReply as a single-item frame.
+void EncodeReplyFrame(const SubQueryReply& reply, WireCodecKind kind,
+                      const CompactCodec& registry, WireBuffer& out);
+
+/// Decodes a single-item reply frame (kCorruption on anything malformed,
+/// including a frame holding more than one payload).
+Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
+                                       WireCodecKind kind,
+                                       const CompactCodec& registry);
+
+}  // namespace kvscale

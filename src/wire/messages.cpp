@@ -8,6 +8,8 @@ void RegisterClusterMessages(CompactCodec& codec) {
   codec.Register<QueryAnnounce>();
   codec.Register<QueryComplete>();
   codec.Register<Heartbeat>();
+  // Appended last so the ids of the original message set stay stable.
+  codec.Register<SubQueryReply>();
 }
 
 SubQueryRequest MakeRepresentativeSubQuery(uint64_t query_id, uint32_t sub_id,

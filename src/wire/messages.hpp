@@ -57,6 +57,34 @@ struct PartialResult {
   }
 };
 
+/// Slave -> master: outcome of one SubQueryRequest on the message-driven
+/// real path (node_runtime.hpp). Unlike PartialResult (the simulator's
+/// reply, which labels types with strings), this carries the storage
+/// engine's numeric type ids, and a non-OK `status` reports the error the
+/// replica returned so the master can fail over.
+struct SubQueryReply {
+  static constexpr std::string_view kTypeName = "kvscale.SubQueryReply";
+
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;
+  uint32_t node = 0;                 ///< replica that served (or refused)
+  uint32_t status = 0;               ///< static_cast<uint32_t>(StatusCode)
+  std::vector<uint64_t> type_ids;    ///< distinct type ids (empty on error)
+  std::vector<uint64_t> counts;      ///< counts[i] pairs with type_ids[i]
+  double db_micros = 0.0;            ///< wall time inside the data store
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("sub_id", sub_id);
+    v.Field("node", node);
+    v.Field("status", status);
+    v.Field("type_ids", type_ids);
+    v.Field("counts", counts);
+    v.Field("db_micros", db_micros);
+  }
+};
+
 /// Master -> all slaves: a query is starting.
 struct QueryAnnounce {
   static constexpr std::string_view kTypeName = "kvscale.QueryAnnounce";

@@ -183,7 +183,7 @@ TEST(TaggedCodecTest, RejectsTruncation) {
 TEST(CompactCodecTest, RoundTripsRegisteredTypes) {
   CompactCodec codec;
   RegisterClusterMessages(codec);
-  EXPECT_EQ(codec.registered_count(), 5u);
+  EXPECT_EQ(codec.registered_count(), 6u);
 
   WireBuffer buf;
   codec.Encode(SampleResult(), buf);

@@ -11,6 +11,7 @@
 //   kvscale bands    --elements 1000000 --keys 100 --nodes 16
 //   kvscale gather   --elements 100000 --keys 200 --nodes 4 --rounds 2
 //   kvscale gather   --nodes 4 --replication 3 --fail-node 0 --fail-rate 0.01
+//   kvscale gather   --nodes 4 --codec compact --batch --workers-per-node 2
 //
 // Every subcommand accepts --t-msg-us (master cost per message) and
 // --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study,
@@ -32,7 +33,9 @@
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span_tracer.hpp"
+#include "trace/stage_trace.hpp"
 #include "trace/telemetry_bridge.hpp"
+#include "wire/envelope.hpp"
 
 namespace kvscale {
 namespace {
@@ -290,6 +293,11 @@ struct GatherArgs {
   double deadline_ms = 0.0;    ///< 0 = no gather deadline
   int64_t max_attempts = 3;
   bool hedge = false;
+  std::string codec;           ///< "" = direct calls; tagged|compact = wire
+  bool batch = false;
+  int64_t queue_depth = 0;     ///< 0 = runtime default
+  int64_t workers_per_node = 0;  ///< 0 = runtime default
+  std::string queue_policy;    ///< "" = default (block)
 
   void Register(CliFlags& flags) {
     flags.Add("threads", &threads, "gather worker threads (1 = serial)");
@@ -311,6 +319,16 @@ struct GatherArgs {
               "read attempts per sub-query before giving up");
     flags.Add("hedge", &hedge,
               "race a duplicate read against the next replica on a spike");
+    flags.Add("codec", &codec,
+              "route sub-queries through encoded messages: tagged|compact");
+    flags.Add("batch", &batch,
+              "coalesce the scatter into one frame per node (needs --codec)");
+    flags.Add("queue-depth", &queue_depth,
+              "per-node request queue capacity (needs --codec)");
+    flags.Add("workers-per-node", &workers_per_node,
+              "worker threads draining each node's queue (needs --codec)");
+    flags.Add("queue-policy", &queue_policy,
+              "full-queue behavior: block|reject (needs --codec)");
   }
 
   Status Validate(const CommonArgs& args) const {
@@ -338,6 +356,28 @@ struct GatherArgs {
     }
     if (max_attempts < 1) {
       return Status::InvalidArgument("--max-attempts must be >= 1");
+    }
+    if (codec.empty()) {
+      if (batch || queue_depth != 0 || workers_per_node != 0 ||
+          !queue_policy.empty()) {
+        return Status::InvalidArgument(
+            "--batch/--queue-depth/--workers-per-node/--queue-policy "
+            "configure the message transport and require --codec "
+            "{tagged,compact}");
+      }
+    } else {
+      auto parsed = ParseWireCodec(codec);
+      if (!parsed.ok()) return parsed.status();
+      if (queue_depth < 0) {
+        return Status::InvalidArgument("--queue-depth must be >= 1");
+      }
+      if (workers_per_node < 0) {
+        return Status::InvalidArgument("--workers-per-node must be >= 1");
+      }
+      if (!queue_policy.empty()) {
+        auto policy = ParseQueueFullPolicy(queue_policy);
+        if (!policy.ok()) return policy.status();
+      }
     }
     return Status::Ok();
   }
@@ -409,6 +449,25 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   options.hedge = gather_args.hedge;
   options.deadline_us = gather_args.deadline_ms * kMillisecond;
 
+  StageTracer stages;
+  if (!gather_args.codec.empty()) {
+    options.transport = GatherTransport::kMessage;
+    options.codec = ParseWireCodec(gather_args.codec).value();
+    options.batch = gather_args.batch;
+    if (gather_args.queue_depth > 0) {
+      options.queue_depth = static_cast<uint32_t>(gather_args.queue_depth);
+    }
+    if (gather_args.workers_per_node > 0) {
+      options.workers_per_node =
+          static_cast<uint32_t>(gather_args.workers_per_node);
+    }
+    if (!gather_args.queue_policy.empty()) {
+      options.queue_policy =
+          ParseQueueFullPolicy(gather_args.queue_policy).value();
+    }
+    cluster.AttachStageTracer(&stages);
+  }
+
   GatherResult result;
   for (int64_t r = 0; r < gather_args.rounds; ++r) {
     result = gather_args.threads > 1
@@ -442,6 +501,19 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
     std::printf("  lost partitions: %zu (data unreachable on every replica)\n",
                 result.lost_partitions.size());
   }
+  if (!gather_args.codec.empty()) {
+    std::printf("  wire (%s%s): %llu frames, %llu B sent, %llu B received | "
+                "encode %s, decode %s\n",
+                gather_args.codec.c_str(),
+                gather_args.batch ? ", batched" : "",
+                static_cast<unsigned long long>(result.wire_frames_sent),
+                static_cast<unsigned long long>(result.wire_bytes_sent),
+                static_cast<unsigned long long>(result.wire_bytes_received),
+                FormatMicros(result.wire_encode_us).c_str(),
+                FormatMicros(result.wire_decode_us).c_str());
+    // The last round's real four-stage breakdown (Section V-B).
+    std::printf("%s", stages.SummaryReport().c_str());
+  }
   std::printf("%s", registry.SummaryReport().c_str());
   return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
@@ -459,6 +531,8 @@ void PrintUsage() {
       "             store/cluster telemetry (try --rounds 2 for cache hits);\n"
       "             chaos flags: --replication --fail-node --fail-rate\n"
       "             --corrupt-rate --deadline-ms --max-attempts --hedge\n"
+      "             wire flags: --codec {tagged,compact} --batch\n"
+      "             --queue-depth --workers-per-node --queue-policy\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
       "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the tsan CMake preset and runs the concurrency-heavy suites —
+# the bounded queues and worker pools of the node runtime, the message
+# and parallel gather paths, and the store's concurrent readers — under
+# ThreadSanitizer, then drives one end-to-end message-transport gather
+# through the CLI. A clean exit means the queue/worker/clock machinery
+# is data-race-free.
+#
+# Usage: tools/race_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+# The suites that spawn threads: queue push/pop, runtime worker pools,
+# message-vs-direct parity (including the chaos run), parallel gathers,
+# and concurrent store reads.
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency'
+
+# One sanitized end-to-end run over the wire: batched compact frames,
+# multiple workers per node, chaos on top.
+./build-tsan/tools/kvscale gather --nodes 4 --keys 60 --elements 6000 \
+  --replication 3 --fail-node 0 --fail-rate 0.02 --rounds 2 \
+  --max-attempts 4 --codec compact --batch --workers-per-node 4
+
+echo "race_check: OK"
