@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "store/local_store.hpp"
 #include "workload/alya.hpp"
@@ -54,8 +55,8 @@ int Run(int argc, char** argv) {
     t.Flush();
 
     ReadProbe below_probe, above_probe;
-    (void)t.Slice("below", below / 2, below / 2 + 9, &below_probe);
-    (void)t.Slice("above", above / 2, above / 2 + 9, &above_probe);
+    KV_CHECK(t.Slice("below", below / 2, below / 2 + 9, &below_probe).ok());
+    KV_CHECK(t.Slice("above", above / 2, above / 2 + 9, &above_probe).ok());
     table.AddRow(
         {FormatBytes(threshold), TablePrinter::Cell(static_cast<int64_t>(crossover)),
          TablePrinter::Cell(below_probe.blocks_decoded +

@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "model/calibrator.hpp"
@@ -105,9 +106,9 @@ void RealStoreSweep() {
     table.Flush();
 
     ReadProbe full;
-    (void)table.GetPartition(key, &full);
+    KV_CHECK(table.GetPartition(key, &full).ok());
     ReadProbe slice;
-    (void)table.Slice(key, elements / 2, elements / 2 + 9, &slice);
+    KV_CHECK(table.Slice(key, elements / 2, elements / 2 + 9, &slice).ok());
 
     report.AddRow(
         {TablePrinter::Cell(static_cast<int64_t>(elements)),

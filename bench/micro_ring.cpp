@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/check.hpp"
 #include "hash/hash.hpp"
 #include "hash/token_ring.hpp"
 #include "sim/resource.hpp"
@@ -22,7 +23,7 @@ BENCHMARK(BM_Murmur3SmallKey);
 void BM_RingLookup(benchmark::State& state) {
   TokenRing ring(256);
   for (NodeId n = 0; n < static_cast<NodeId>(state.range(0)); ++n) {
-    (void)ring.AddNode(n);
+    KV_CHECK(ring.AddNode(n).ok());
   }
   uint64_t i = 0;
   for (auto _ : state) {
@@ -35,9 +36,9 @@ void BM_RingAddNode(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     TokenRing ring(256);
-    for (NodeId n = 0; n < 15; ++n) (void)ring.AddNode(n);
+    for (NodeId n = 0; n < 15; ++n) KV_CHECK(ring.AddNode(n).ok());
     state.ResumeTiming();
-    (void)ring.AddNode(15);
+    benchmark::DoNotOptimize(ring.AddNode(15));
   }
 }
 BENCHMARK(BM_RingAddNode);

@@ -101,7 +101,7 @@ int Run(int argc, char** argv) {
   }
   cluster.FlushAll();
   // Warm the block cache so the in-db stage is comparable across runs.
-  (void)cluster.CountByTypeAll(workload);
+  cluster.CountByTypeAll(workload);
 
   const CodecRun tagged =
       RunOnce(cluster, workload, WireCodecKind::kTagged, false,

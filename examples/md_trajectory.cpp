@@ -13,6 +13,7 @@
 // Run: ./build/examples/md_trajectory [--atoms=64] [--frames=20000]
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
@@ -115,11 +116,12 @@ int main(int argc, char** argv) {
   }
   by_frame.Flush();
   ReadProbe snapshot_probe;
-  (void)by_frame.GetPartition("frame:1000", &snapshot_probe);
+  KV_CHECK(by_frame.GetPartition("frame:1000", &snapshot_probe).ok());
   ReadProbe series_probe;
   for (int64_t frame = 900; frame < 1100; ++frame) {
-    (void)by_frame.Slice("frame:" + std::to_string(frame), 7, 7,
-                         &series_probe);
+    KV_CHECK(by_frame
+                 .Slice("frame:" + std::to_string(frame), 7, 7, &series_probe)
+                 .ok());
   }
   std::printf(
       "layout trade-off (the paper's Section II choice, in MD terms):\n"

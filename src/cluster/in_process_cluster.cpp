@@ -1,5 +1,8 @@
 #include "cluster/in_process_cluster.hpp"
 
+// kvscale-lint: allow-file(sim-wallclock) real data path: gathers time
+// actual store and network work with the wall clock, not simulated time
+
 #include <algorithm>
 #include <chrono>
 #include <thread>

@@ -47,6 +47,7 @@ NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
       // its reply while the master blocks pushing into a full request
       // queue, or the two would deadlock.
       replies_(static_cast<size_t>(-1)),
+      // kvscale-lint: allow(sim-wallclock) real data path epoch
       epoch_(std::chrono::steady_clock::now()) {
   KV_CHECK(nodes >= 1);
   KV_CHECK(handler_ != nullptr);
@@ -82,6 +83,7 @@ NodeRuntime::~NodeRuntime() { Shutdown(); }
 
 Micros NodeRuntime::NowMicros() const {
   return std::chrono::duration<double, std::micro>(
+             // kvscale-lint: allow(sim-wallclock) real data path epoch
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }
@@ -325,8 +327,7 @@ NodeRuntime::DecodedReply NodeRuntime::AwaitReply() {
 }
 
 void NodeRuntime::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (shut_down_.exchange(true)) return;
   for (auto& queue : queues_) queue->Close();
   for (auto& worker : workers_) worker.join();
   replies_.Close();

@@ -29,12 +29,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -43,6 +41,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "fault/fault_injector.hpp"
 #include "store/segment.hpp"
@@ -86,12 +85,12 @@ class BoundedQueue {
   /// envelope is "received" by the node). False once closed.
   template <typename F>
   bool Push(T item, F&& on_enqueue) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     on_enqueue(item);
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
   bool Push(T item) {
@@ -101,11 +100,11 @@ class BoundedQueue {
   /// Non-blocking push; false when full or closed (the item is dropped).
   template <typename F>
   bool TryPush(T item, F&& on_enqueue) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     on_enqueue(item);
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
   bool TryPush(T item) {
@@ -114,36 +113,36 @@ class BoundedQueue {
 
   /// Blocks until an item is available; nullopt when closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Wakes every waiter; pushes fail from here on, pops drain the rest.
   void Close() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ KV_GUARDED_BY(mu_);
+  bool closed_ KV_GUARDED_BY(mu_) = false;
 };
 
 /// Knobs of one NodeRuntime instance.
@@ -294,8 +293,13 @@ class NodeRuntime {
   std::vector<std::unique_ptr<BoundedQueue<RequestEnvelope>>> queues_;
   BoundedQueue<ReplyEnvelope> replies_;
   std::vector<std::thread> workers_;
-  bool shut_down_ = false;
+  /// exchange() makes Shutdown idempotent even when the destructor races
+  /// an explicit call.
+  std::atomic<bool> shut_down_{false};
 
+  // The runtime measures *real* stage timings; its wall-clock epoch is
+  // the whole point (the simulators never see this class).
+  // kvscale-lint: allow(sim-wallclock) real data path epoch
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<uint64_t> clock_nanos_{0};
 

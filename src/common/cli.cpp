@@ -67,8 +67,10 @@ bool CliFlags::Assign(const std::string& name, const std::string& value) {
 }
 
 void CliFlags::PrintHelp(const char* prog) const {
+  // kvscale-lint: allow(stdout-in-lib) --help output belongs on stdout
   std::printf("usage: %s [flags]\n", prog);
   for (const auto& [name, flag] : flags_) {
+    // kvscale-lint: allow(stdout-in-lib) --help output belongs on stdout
     std::printf("  --%-24s %s\n", name.c_str(), flag.help.c_str());
   }
 }

@@ -1,0 +1,179 @@
+// Compile-time lock-discipline proofs for every locked component.
+//
+// Clang's capability analysis (-Wthread-safety) turns locking conventions
+// into compiler-checked contracts: a field marked KV_GUARDED_BY(mu_) cannot
+// be touched without holding mu_, a method marked KV_REQUIRES(mu_) cannot
+// be called without it, and a forgotten Unlock fails the build instead of
+// deadlocking a nightly TSan run. The std primitives carry no annotations,
+// so this header wraps them:
+//
+//   Mutex / SharedMutex     annotated capabilities over std::mutex /
+//                           std::shared_mutex
+//   MutexLock               scoped exclusive lock (std::lock_guard shape)
+//   WriterMutexLock         scoped exclusive lock on a SharedMutex
+//   ReaderMutexLock         scoped shared lock on a SharedMutex
+//   CondVar                 condition variable whose Wait requires the mutex
+//
+// Under GCC (which lacks the analysis) every macro expands to nothing and
+// the wrappers cost exactly what the std types cost; the proofs activate
+// whenever the tree is built with Clang via the `analyze` CMake preset
+// (tools/static_check.sh). Project rule `raw-mutex` (tools/lint) forbids
+// std::mutex and friends outside this header so no component can opt out
+// silently.
+#pragma once
+
+#include <condition_variable>  // kvscale-lint: allow(raw-mutex) the one sanctioned wrapper site
+#include <mutex>               // kvscale-lint: allow(raw-mutex) the one sanctioned wrapper site
+#include <shared_mutex>        // kvscale-lint: allow(raw-mutex) the one sanctioned wrapper site
+
+#if defined(__clang__)
+#define KV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define KV_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define KV_CAPABILITY(x) KV_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires in its ctor, releases in its dtor.
+#define KV_SCOPED_CAPABILITY KV_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The annotated field may only be accessed while holding `x`.
+#define KV_GUARDED_BY(x) KV_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The pointee of the annotated pointer may only be accessed holding `x`.
+#define KV_PT_GUARDED_BY(x) KV_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define KV_REQUIRES(...) \
+  KV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define KV_REQUIRES_SHARED(...) \
+  KV_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities.
+#define KV_ACQUIRE(...) \
+  KV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define KV_ACQUIRE_SHARED(...) \
+  KV_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define KV_RELEASE(...) \
+  KV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define KV_RELEASE_SHARED(...) \
+  KV_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define KV_TRY_ACQUIRE(...) \
+  KV_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (deadlock prevention for self-calling APIs).
+#define KV_EXCLUDES(...) KV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define KV_RETURN_CAPABILITY(x) KV_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment defending it.
+#define KV_NO_THREAD_SAFETY_ANALYSIS \
+  KV_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace kvscale {
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock.
+class KV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KV_ACQUIRE() { mu_.lock(); }
+  void Unlock() KV_RELEASE() { mu_.unlock(); }
+  bool TryLock() KV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // kvscale-lint: allow(raw-mutex) wrapped primitive
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard of this layer).
+class KV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KV_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KV_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated reader-writer mutex.
+class KV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() KV_ACQUIRE() { mu_.lock(); }
+  void Unlock() KV_RELEASE() { mu_.unlock(); }
+  void LockShared() KV_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() KV_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // kvscale-lint: allow(raw-mutex) wrapped primitive
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class KV_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) KV_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() KV_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class KV_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) KV_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() KV_RELEASE_SHARED() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait() demands the
+/// caller prove it holds the mutex, which makes the classic
+/// `while (!predicate) cv.Wait(mu);` loop verifiable at compile time.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  void Wait(Mutex& mu) KV_REQUIRES(mu) {
+    // kvscale-lint: allow(raw-mutex) adopting the wrapped std handle
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still logically holds the capability
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // kvscale-lint: allow(raw-mutex) wrapped primitive
+  std::condition_variable cv_;
+};
+
+}  // namespace kvscale

@@ -36,17 +36,17 @@ FaultInjector::FaultInjector(FaultConfig config)
     : config_(config), corrupt_rng_state_(config.seed ^ 0xc0ffee) {}
 
 void FaultInjector::KillNode(uint32_t node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   down_.insert(node);
 }
 
 void FaultInjector::ReviveNode(uint32_t node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   down_.erase(node);
 }
 
 bool FaultInjector::IsNodeDown(uint32_t node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return down_.contains(node);
 }
 
@@ -94,7 +94,7 @@ bool FaultInjector::ShouldCorruptReply(uint32_t node,
 uint64_t FaultInjector::CorruptTableBlocks(Table& table, double fraction) {
   uint64_t seed;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     seed = SplitMix64(corrupt_rng_state_);
   }
   Rng rng(seed);

@@ -29,12 +29,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace kvscale {
@@ -129,10 +129,11 @@ class FaultInjector {
 
  private:
   FaultConfig config_;
-  uint64_t corrupt_rng_state_;  ///< splitmix64 stream for CorruptTableBlocks
 
-  mutable std::mutex mu_;  // guards down_ and corrupt_rng_state_
-  std::unordered_set<uint32_t> down_;
+  mutable Mutex mu_;
+  /// splitmix64 stream for CorruptTableBlocks
+  uint64_t corrupt_rng_state_ KV_GUARDED_BY(mu_);
+  std::unordered_set<uint32_t> down_ KV_GUARDED_BY(mu_);
 
   mutable std::atomic<uint64_t> injected_errors_{0};
   mutable std::atomic<uint64_t> injected_spikes_{0};

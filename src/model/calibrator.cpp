@@ -41,6 +41,7 @@ std::vector<CalibrationSample> MeasureTableQueryTimes(
     const Table& table, const std::vector<std::string>& partition_keys,
     uint32_t repetitions) {
   KV_CHECK(repetitions >= 1);
+  // kvscale-lint: allow(sim-wallclock) calibration times real execution
   using Clock = std::chrono::steady_clock;
   std::vector<CalibrationSample> out;
   out.reserve(partition_keys.size());

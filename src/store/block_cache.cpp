@@ -15,7 +15,7 @@ size_t BlockCache::SizeOf(const std::vector<Column>& columns) {
 
 bool BlockCache::Lookup(uint64_t segment_id, uint32_t block_no,
                         std::vector<Column>* out) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(Key{segment_id, block_no});
   if (it == map_.end()) {
     ++misses_;
@@ -29,7 +29,7 @@ bool BlockCache::Lookup(uint64_t segment_id, uint32_t block_no,
 
 void BlockCache::Insert(uint64_t segment_id, uint32_t block_no,
                         const std::vector<Column>& columns) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const Key key{segment_id, block_no};
   if (map_.find(key) != map_.end()) return;  // already cached
   const size_t bytes = SizeOf(columns);
@@ -50,7 +50,7 @@ void BlockCache::EvictTo(size_t target_bytes) {
 }
 
 void BlockCache::EraseSegment(uint64_t segment_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.segment_id == segment_id) {
       used_bytes_ -= it->bytes;
@@ -63,34 +63,34 @@ void BlockCache::EraseSegment(uint64_t segment_id) {
 }
 
 size_t BlockCache::entry_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 size_t BlockCache::used_bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return used_bytes_;
 }
 
 uint64_t BlockCache::hits() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t BlockCache::misses() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 double BlockCache::hit_rate() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
 void BlockCache::ResetStats() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   hits_ = 0;
   misses_ = 0;
 }

@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "store/row.hpp"
 
 namespace kvscale {
@@ -64,15 +64,16 @@ class BlockCache {
   };
 
   static size_t SizeOf(const std::vector<Column>& columns);
-  void EvictTo(size_t target_bytes);
+  void EvictTo(size_t target_bytes) KV_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_bytes_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
-  size_t used_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  const size_t capacity_bytes_;  ///< immutable after construction
+  std::list<Entry> lru_ KV_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_
+      KV_GUARDED_BY(mu_);
+  size_t used_bytes_ KV_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ KV_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ KV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace kvscale

@@ -7,10 +7,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/thread_annotations.hpp"
 #include "store/commit_log.hpp"
 #include "store/table.hpp"
 
@@ -52,7 +52,9 @@ class LocalStore {
   Result<uint64_t> Recover();
 
   /// Flushes every table's memtable; with a commit log this also marks
-  /// the log clean (everything is durable in segments).
+  /// the log clean (everything is durable in segments). WAL sync errors
+  /// are non-fatal (the log only grows) but are tallied into the
+  /// store.commitlog.sync_failures counter when telemetry is attached.
   void FlushAll();
 
   BlockCache* cache() { return cache_ ? cache_.get() : nullptr; }
@@ -64,8 +66,9 @@ class LocalStore {
   std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<CommitLog> wal_;
   std::unique_ptr<StoreInstruments> instruments_;  ///< null = no telemetry
-  mutable std::mutex mu_;  // guards the table map, not the tables
-  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  mutable Mutex mu_;  // guards the table map, not the tables
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_
+      KV_GUARDED_BY(mu_);
 };
 
 }  // namespace kvscale

@@ -15,6 +15,8 @@ StoreInstruments StoreInstruments::Resolve(MetricsRegistry& registry) {
   out.flush_latency = &registry.GetHistogram("store.flush.latency_us");
   out.compactions = &registry.GetCounter("store.compactions");
   out.commitlog_appends = &registry.GetCounter("store.commitlog.appends");
+  out.commitlog_sync_failures =
+      &registry.GetCounter("store.commitlog.sync_failures");
   return out;
 }
 

@@ -26,6 +26,10 @@ struct StoreInstruments {
   LatencyHistogram* flush_latency = nullptr;  ///< store.flush.latency_us
   Counter* compactions = nullptr;      ///< store.compactions
   Counter* commitlog_appends = nullptr;  ///< store.commitlog.appends
+  /// store.commitlog.sync_failures — WAL Sync/MarkClean errors during
+  /// FlushAll, which are non-fatal (the log only grows) but must not
+  /// vanish silently.
+  Counter* commitlog_sync_failures = nullptr;
 
   /// Resolves (creating on first use) every instrument in `registry`.
   static StoreInstruments Resolve(MetricsRegistry& registry);

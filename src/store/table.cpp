@@ -49,7 +49,7 @@ Table::Table(std::string name, TableOptions options, BlockCache* cache)
 Table::~Table() = default;
 
 void Table::Put(std::string_view partition_key, Column column) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   memtable_.Put(partition_key, std::move(column));
   ++put_count_;
   if (options_.auto_flush &&
@@ -140,7 +140,7 @@ void Table::MaybeCompactLocked() {
 }
 
 uint64_t Table::CorruptBlocksForFaultInjection(double fraction, Rng& rng) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   uint64_t corrupted = 0;
   bool any_block = false;
   for (auto& segment : segments_) {
@@ -177,7 +177,7 @@ uint64_t Table::CorruptBlocksForFaultInjection(double fraction, Rng& rng) {
 Status Table::CorruptBlockForFaultInjection(size_t segment_index,
                                             uint32_t block_no,
                                             uint64_t bit_index) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (segment_index >= segments_.size()) {
     return Status::OutOfRange("segment index " +
                               std::to_string(segment_index));
@@ -193,7 +193,7 @@ Status Table::CorruptBlockForFaultInjection(size_t segment_index,
 }
 
 uint64_t Table::auto_compactions() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return auto_compactions_;
 }
 
@@ -204,7 +204,7 @@ constexpr uint32_t kSnapshotVersion = 2;
 }  // namespace
 
 Status Table::SaveSnapshot(const std::string& path) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   FlushLocked();
 
   WireBuffer out;
@@ -252,7 +252,8 @@ Status Table::LoadSnapshot(const std::string& path) {
   if (r.ReadU32() != kSnapshotMagic || r.ReadU32() != kSnapshotVersion) {
     return Status::Corruption("snapshot header: " + path);
   }
-  (void)r.ReadString();  // stored table name (informational)
+  // kvscale-lint: allow(discarded-status) stored table name is informational
+  (void)r.ReadString();
   const uint64_t next_id = r.ReadVarint();
   const uint64_t segment_count = r.ReadVarint();
   if (!r.ok() || segment_count > bytes.size()) {
@@ -272,7 +273,7 @@ Status Table::LoadSnapshot(const std::string& path) {
     loaded.push_back(std::move(segment).value());
   }
 
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (cache_ != nullptr) {
     for (const auto& segment : segments_) {
       cache_->EraseSegment(segment->id());
@@ -285,7 +286,7 @@ Status Table::LoadSnapshot(const std::string& path) {
 }
 
 void Table::Flush() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   FlushLocked();
 }
 
@@ -317,7 +318,7 @@ Result<std::vector<Column>> Table::GetPartition(std::string_view partition_key,
 
 Result<std::vector<Column>> Table::GetPartitionImpl(
     std::string_view partition_key, ReadProbe* probe) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::map<uint64_t, Column> merged;
   bool found = false;
   for (const auto& segment : segments_) {  // oldest -> newest
@@ -369,7 +370,7 @@ Result<std::vector<Column>> Table::SliceImpl(std::string_view partition_key,
                                              uint64_t lo, uint64_t hi,
                                              ReadProbe* probe) const {
   if (lo > hi) return Status::InvalidArgument("slice lo > hi");
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::map<uint64_t, Column> merged;
   bool found = false;
   for (const auto& segment : segments_) {
@@ -411,7 +412,7 @@ Result<TypeCounts> Table::CountByType(std::string_view partition_key,
 }
 
 bool Table::HasPartition(std::string_view partition_key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   if (memtable_.Contains(partition_key)) return true;
   for (const auto& segment : segments_) {
     if (segment->HasPartition(partition_key)) return true;
@@ -420,7 +421,7 @@ bool Table::HasPartition(std::string_view partition_key) const {
 }
 
 void Table::Compact() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   FlushLocked();
   if (segments_.empty()) return;
 
@@ -438,29 +439,29 @@ void Table::Compact() {
 }
 
 size_t Table::segment_count() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return segments_.size();
 }
 
 size_t Table::memtable_bytes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return memtable_.approximate_bytes();
 }
 
 uint64_t Table::column_count() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   uint64_t total = memtable_.column_count();
   for (const auto& segment : segments_) total += segment->column_count();
   return total;  // note: counts duplicates across segments until compaction
 }
 
 uint64_t Table::put_count() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return put_count_;
 }
 
 std::vector<std::string> Table::PartitionKeys() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::set<std::string> keys;
   for (auto& key : memtable_.PartitionKeys()) keys.insert(std::move(key));
   for (const auto& segment : segments_) {
@@ -470,7 +471,7 @@ std::vector<std::string> Table::PartitionKeys() const {
 }
 
 uint64_t Table::PartitionEncodedBytes(std::string_view partition_key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   uint64_t bytes = 0;
   for (const auto& segment : segments_) {
     if (const auto* meta = segment->FindMeta(partition_key)) {

@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "store/block_cache.hpp"
 #include "store/memtable.hpp"
 #include "store/segment.hpp"
@@ -132,27 +132,29 @@ class Table {
                                         uint64_t lo, uint64_t hi,
                                         ReadProbe* probe) const;
 
-  void FlushLocked();
+  void FlushLocked() KV_REQUIRES(mu_);
 
   /// Size-tiered compaction pass; merges one tier if one qualifies.
   /// Tombstones are kept (only a full Compact may purge them safely).
-  void MaybeCompactLocked();
+  void MaybeCompactLocked() KV_REQUIRES(mu_);
 
   /// Merges the given segment indices (ascending) into one new segment.
   /// `purge_tombstones` only when merging *all* segments.
   std::shared_ptr<const Segment> MergeSegmentsLocked(
-      const std::vector<size_t>& indices, bool purge_tombstones);
+      const std::vector<size_t>& indices, bool purge_tombstones)
+      KV_REQUIRES(mu_);
 
   std::string name_;
   TableOptions options_;
   BlockCache* cache_;
   std::unique_ptr<StoreInstruments> instruments_;  ///< null = no telemetry
-  mutable std::shared_mutex mu_;
-  Memtable memtable_;
-  std::vector<std::shared_ptr<const Segment>> segments_;  // oldest first
-  uint64_t next_segment_id_ = 1;
-  uint64_t put_count_ = 0;
-  uint64_t auto_compactions_ = 0;
+  mutable SharedMutex mu_;
+  Memtable memtable_ KV_GUARDED_BY(mu_);
+  // oldest first
+  std::vector<std::shared_ptr<const Segment>> segments_ KV_GUARDED_BY(mu_);
+  uint64_t next_segment_id_ KV_GUARDED_BY(mu_) = 1;
+  uint64_t put_count_ KV_GUARDED_BY(mu_) = 0;
+  uint64_t auto_compactions_ KV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace kvscale

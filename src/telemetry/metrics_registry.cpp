@@ -148,7 +148,7 @@ HistogramSnapshot SnapshotHistogram(std::string name,
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -158,7 +158,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -167,7 +167,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -178,7 +178,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -196,7 +196,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }

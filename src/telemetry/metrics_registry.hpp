@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace kvscale {
 
@@ -148,11 +149,15 @@ class MetricsRegistry {
   std::string SummaryReport() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_;
+  // The maps are guarded; the *instruments* they own are lock-free and
+  // deliberately escape the lock (stable pointers, hot-path writes).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      KV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      KV_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      histograms_;
+      histograms_ KV_GUARDED_BY(mu_);
 };
 
 /// Fills a HistogramSnapshot from `histogram` (shared by Snapshot() and

@@ -60,34 +60,34 @@ SpanTracer::Scope SpanTracer::StartSpan(std::string name, uint32_t track) {
 }
 
 void SpanTracer::Record(Span span) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 Micros SpanTracer::NowMicros() const { return ElapsedMicros(epoch_); }
 
 void SpanTracer::SetTrackName(uint32_t track, std::string name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   track_names_[track] = std::move(name);
 }
 
 size_t SpanTracer::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::vector<Span> SpanTracer::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 std::map<uint32_t, std::string> SpanTracer::track_names() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return track_names_;
 }
 
 void SpanTracer::Clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

@@ -16,12 +16,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace kvscale {
@@ -92,9 +92,9 @@ class SpanTracer {
  private:
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  std::map<uint32_t, std::string> track_names_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ KV_GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> track_names_ KV_GUARDED_BY(mu_);
 };
 
 }  // namespace kvscale

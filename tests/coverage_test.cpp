@@ -35,6 +35,7 @@ TEST(StatusMacroTest, ReturnIfErrorPropagatesAndShortCircuits) {
 
 TEST(ResultContractTest, AccessingErrorValueAborts) {
   Result<int> r(Status::Internal("boom"));
+  // kvscale-lint: allow(discarded-status) death test must discard value()
   EXPECT_DEATH((void)r.value(), "KV_CHECK failed");
 }
 

@@ -39,7 +39,7 @@ WorkloadSpec LoadUniform(InProcessCluster& cluster, int partitions,
       if (truth != nullptr) ++(*truth)[i % 5];
     }
     workload.partitions.push_back(
-        PartitionRef{key, static_cast<uint64_t>(columns)});
+        PartitionRef{key, static_cast<uint32_t>(columns)});
   }
   return workload;
 }

@@ -93,7 +93,9 @@ TEST(TokenRingTest, RemovalOnlyMovesVictimsKeys) {
   }
   ASSERT_TRUE(ring.RemoveNode(3).ok());
   for (const auto& [key, owner] : before) {
-    if (owner != 3) EXPECT_EQ(ring.OwnerOfKey(key), owner) << key;
+    if (owner != 3) {
+      EXPECT_EQ(ring.OwnerOfKey(key), owner) << key;
+    }
   }
 }
 

@@ -279,7 +279,7 @@ TEST(InProcessClusterTest, TelemetryCountersTrackTheDataPath) {
 
   // Detaching telemetry stops the counters without breaking reads.
   cluster.AttachTelemetry(nullptr, nullptr);
-  (void)cluster.CountByTypeAll(workload);
+  cluster.CountByTypeAll(workload);
   EXPECT_EQ(registry.GetCounter("cluster.subqueries").Value(), 50u);
 }
 

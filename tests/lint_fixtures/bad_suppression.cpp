@@ -1,0 +1,26 @@
+// Linted as src/sim/fixture.cpp. Each marker below is defective and must
+// produce a lint-suppression finding; the findings they fail to suppress
+// must still be reported.
+#include <chrono>
+
+namespace kvscale {
+
+double A() {
+  // kvscale-lint: allow(no-such-rule) rule id does not exist
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double B() {
+  // kvscale-lint: allow(sim-wallclock)
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double C() {
+  // kvscale-lint: disable-everything-forever
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace kvscale

@@ -1,0 +1,11 @@
+// Linted as src/store/fixture.cpp. (void) on a plain variable and
+// C-style `f(void)` parameter lists are not discards of a call result.
+namespace kvscale {
+
+int TakesVoid(void);
+
+void Use(int unused_argument) {
+  (void)unused_argument;
+}
+
+}  // namespace kvscale

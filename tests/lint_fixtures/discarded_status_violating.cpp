@@ -1,0 +1,12 @@
+// Linted as src/store/fixture.cpp: (void) discards of call results.
+#include "common/status.hpp"
+
+namespace kvscale {
+
+Status DoWrite();
+
+void Flush() {
+  (void)DoWrite();  // line 9: discarded-status
+}
+
+}  // namespace kvscale

@@ -1,0 +1,12 @@
+// Linted as src/store/order.cpp: own header first, then the rest.
+#include "store/order.hpp"
+
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace kvscale {
+
+int Noop() { return 0; }
+
+}  // namespace kvscale

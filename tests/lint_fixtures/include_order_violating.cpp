@@ -1,0 +1,11 @@
+// Linted as src/store/order.cpp: the own header must be the first
+// include, but here a system header sneaks in before it.
+#include <vector>
+
+#include "store/order.hpp"
+
+namespace kvscale {
+
+int Noop() { return 0; }
+
+}  // namespace kvscale

@@ -1,0 +1,20 @@
+// Linted as src/store/fixture.cpp: the annotated wrappers are the
+// sanctioned way to lock, and prose mentioning std::mutex is fine.
+#include "common/thread_annotations.hpp"
+
+namespace kvscale {
+
+// Wraps std::mutex internally; see thread_annotations.hpp.
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++n_;
+  }
+
+ private:
+  Mutex mu_;
+  int n_ KV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kvscale

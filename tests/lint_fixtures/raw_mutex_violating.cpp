@@ -1,0 +1,19 @@
+// Linted as src/store/fixture.cpp: raw standard-library locking
+// primitives belong behind the annotated wrappers.
+#include <mutex>  // line 3: raw-mutex
+
+namespace kvscale {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // line 10: raw-mutex
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // line 15: raw-mutex
+  int n_ = 0;
+};
+
+}  // namespace kvscale

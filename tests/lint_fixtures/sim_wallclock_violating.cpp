@@ -1,0 +1,14 @@
+// Linted as src/sim/fixture.cpp: wall clocks and rand() are banned there.
+#include <chrono>
+#include <cstdlib>
+
+namespace kvscale {
+
+double NowSeconds() {
+  const auto t = std::chrono::steady_clock::now();  // line 8: sim-wallclock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int Jitter() { return rand() % 10; }  // line 12: sim-wallclock
+
+}  // namespace kvscale

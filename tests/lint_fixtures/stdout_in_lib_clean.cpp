@@ -1,0 +1,14 @@
+// Linted two ways by the test: as src/net/fixture.cpp (stderr and
+// snprintf are fine in libraries) and as bench/fixture.cpp (where even
+// printf would be exempt).
+#include <cstdio>
+
+namespace kvscale {
+
+void Report(const char* message) {
+  char line[128];
+  snprintf(line, sizeof(line), "note: %s", message);
+  fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace kvscale

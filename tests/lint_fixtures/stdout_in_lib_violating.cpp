@@ -1,0 +1,12 @@
+// Linted as src/net/fixture.cpp: stdout printing from library code.
+#include <cstdio>
+#include <iostream>
+
+namespace kvscale {
+
+void Announce() {
+  std::cout << "hello\n";  // line 8: stdout-in-lib
+  printf("world\n");       // line 9: stdout-in-lib
+}
+
+}  // namespace kvscale

@@ -1,0 +1,26 @@
+// Linted as src/sim/fixture.cpp. Every violation below carries a valid
+// justification, so the linter must stay silent.
+#include <chrono>
+
+// kvscale-lint: allow-file(stdout-in-lib) fixture exercises file-wide allows
+#include <cstdio>
+
+namespace kvscale {
+
+double Now() {
+  // kvscale-lint: allow(sim-wallclock) marker on the line above the code
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double Also() {
+  const auto t = std::chrono::steady_clock::now();  // kvscale-lint: allow(sim-wallclock) trailing marker on the same line
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+void Print() {
+  printf("covered by the allow-file marker\n");
+  printf("every printf in this file is\n");
+}
+
+}  // namespace kvscale

@@ -1,0 +1,192 @@
+// Drives the kvscale_lint rule engine (tools/lint/lint_rules.hpp)
+// against the fixtures in tests/lint_fixtures/. Each fixture is linted
+// under a synthetic repo-relative path because rule scoping keys off the
+// path prefix.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_rules.hpp"
+
+namespace kvscale::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFixture(const std::string& name) {
+  const fs::path path = fs::path(KVSCALE_LINT_FIXTURE_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+std::vector<int> LinesOf(const std::vector<Finding>& findings) {
+  std::vector<int> lines;
+  lines.reserve(findings.size());
+  for (const Finding& f : findings) lines.push_back(f.line);
+  return lines;
+}
+
+TEST(LintCatalogueTest, FiveRulesEachDescribed) {
+  const std::vector<std::string_view> ids = RuleIds();
+  ASSERT_EQ(ids.size(), 5u);
+  for (std::string_view id : ids) {
+    EXPECT_FALSE(RuleDescription(id).empty()) << id;
+  }
+  EXPECT_TRUE(RuleDescription("no-such-rule").empty());
+}
+
+TEST(SimWallclockRuleTest, FlagsWallClockAndRandInSimCode) {
+  const auto findings = LintFileContent(
+      "src/sim/fixture.cpp", ReadFixture("sim_wallclock_violating.cpp"));
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"sim-wallclock", "sim-wallclock"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{8, 12}));
+}
+
+TEST(SimWallclockRuleTest, ScopedToSimModelClusterOnly) {
+  const std::string content = ReadFixture("sim_wallclock_violating.cpp");
+  EXPECT_TRUE(LintFileContent("src/store/fixture.cpp", content).empty());
+  EXPECT_TRUE(LintFileContent("bench/fixture.cpp", content).empty());
+  EXPECT_FALSE(LintFileContent("src/model/fixture.cpp", content).empty());
+  EXPECT_FALSE(LintFileContent("src/cluster/fixture.cpp", content).empty());
+}
+
+TEST(SimWallclockRuleTest, CommentsStringsAndSubstringsAreClean) {
+  const auto findings = LintFileContent(
+      "src/sim/fixture.cpp", ReadFixture("sim_wallclock_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(DiscardedStatusRuleTest, FlagsVoidCastOfCallResult) {
+  const auto findings = LintFileContent(
+      "src/store/fixture.cpp", ReadFixture("discarded_status_violating.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "discarded-status");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(DiscardedStatusRuleTest, VariableDiscardsAndParameterListsAreClean) {
+  const auto findings = LintFileContent(
+      "src/store/fixture.cpp", ReadFixture("discarded_status_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(StdoutInLibRuleTest, FlagsCoutAndPrintfUnderSrc) {
+  const auto findings = LintFileContent(
+      "src/net/fixture.cpp", ReadFixture("stdout_in_lib_violating.cpp"));
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"stdout-in-lib", "stdout-in-lib"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{8, 9}));
+}
+
+TEST(StdoutInLibRuleTest, BenchAndToolsAreExempt) {
+  const std::string content = ReadFixture("stdout_in_lib_violating.cpp");
+  EXPECT_TRUE(LintFileContent("bench/fixture.cpp", content).empty());
+  EXPECT_TRUE(LintFileContent("tools/fixture.cpp", content).empty());
+}
+
+TEST(StdoutInLibRuleTest, StderrAndSnprintfAreClean) {
+  const auto findings = LintFileContent(
+      "src/net/fixture.cpp", ReadFixture("stdout_in_lib_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(RawMutexRuleTest, FlagsPrimitivesAndHeaders) {
+  const auto findings = LintFileContent(
+      "src/store/fixture.cpp", ReadFixture("raw_mutex_violating.cpp"));
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"raw-mutex", "raw-mutex", "raw-mutex"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{3, 10, 15}));
+}
+
+TEST(RawMutexRuleTest, AnnotatedWrappersAreClean) {
+  const auto findings = LintFileContent(
+      "src/store/fixture.cpp", ReadFixture("raw_mutex_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(IncludeOrderRuleTest, OwnHeaderMustComeFirst) {
+  const auto findings = LintFileContent(
+      "src/store/order.cpp", ReadFixture("include_order_violating.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-order");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(IncludeOrderRuleTest, CleanOrderAndNonSrcFilesPass) {
+  EXPECT_TRUE(LintFileContent("src/store/order.cpp",
+                              ReadFixture("include_order_clean.cpp"))
+                  .empty());
+  // Outside src/ the rule does not apply at all.
+  EXPECT_TRUE(LintFileContent("tests/order.cpp",
+                              ReadFixture("include_order_violating.cpp"))
+                  .empty());
+}
+
+TEST(SuppressionTest, JustifiedAllowsSilenceFindings) {
+  const auto findings = LintFileContent("src/sim/fixture.cpp",
+                                        ReadFixture("suppressed.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(SuppressionTest, DefectiveMarkersAreThemselvesFindings) {
+  const auto findings = LintFileContent("src/sim/fixture.cpp",
+                                        ReadFixture("bad_suppression.cpp"));
+  // Each defective marker is reported AND fails to suppress the
+  // violation on the next line.
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"lint-suppression", "sim-wallclock",
+                                      "lint-suppression", "sim-wallclock",
+                                      "lint-suppression", "sim-wallclock"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{9, 10, 15, 16, 21, 22}));
+}
+
+TEST(SuppressionTest, MarkerInsideStringLiteralIsInert) {
+  // The marker text lives in a string literal, so it must neither
+  // suppress the violation on the next line nor count as a marker.
+  const std::string content =
+      "const char* s = \"// kvscale-lint: allow(sim-wallclock) x\";\n"
+      "const auto t = std::chrono::steady_clock::now();\n";
+  const auto findings = LintFileContent("src/sim/fixture.cpp", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sim-wallclock");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintTreeTest, WalksSourceDirsAndSkipsFixtures) {
+  const fs::path root = fs::path(::testing::TempDir()) / "lint_tree_root";
+  fs::create_directories(root / "src" / "sim");
+  fs::create_directories(root / "tests" / "lint_fixtures");
+  const std::string bad =
+      "const auto t = std::chrono::steady_clock::now();\n";
+  std::ofstream(root / "src" / "sim" / "bad.cpp") << bad;
+  std::ofstream(root / "tests" / "lint_fixtures" / "bad.cpp") << bad;
+
+  const auto findings = LintTree(root);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/sim/bad.cpp");
+  EXPECT_EQ(findings[0].rule, "sim-wallclock");
+  fs::remove_all(root);
+}
+
+TEST(FormatFindingTest, RendersFileLineRuleMessage) {
+  const Finding finding{"src/a.cpp", 7, "raw-mutex", "no"};
+  EXPECT_EQ(FormatFinding(finding), "src/a.cpp:7: [raw-mutex] no");
+}
+
+}  // namespace
+}  // namespace kvscale::lint

@@ -40,12 +40,16 @@ void CheckPartition(const Table& table, const Oracle& oracle,
   if (it == oracle.end()) {
     // Never written at all -> NotFound. (Written-then-fully-deleted
     // partitions legitimately return an empty vector before compaction.)
-    if (stored.ok()) EXPECT_TRUE(stored.value().empty()) << key;
+    if (stored.ok()) {
+      EXPECT_TRUE(stored.value().empty()) << key;
+    }
     return;
   }
   // Fully-deleted partitions may be NotFound (after compaction) or empty.
   if (it->second.empty()) {
-    if (stored.ok()) EXPECT_TRUE(stored.value().empty()) << key;
+    if (stored.ok()) {
+      EXPECT_TRUE(stored.value().empty()) << key;
+    }
     return;
   }
   ASSERT_TRUE(stored.ok()) << key;

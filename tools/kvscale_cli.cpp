@@ -23,6 +23,7 @@
 #include <string>
 
 #include "cluster/cluster_sim.hpp"
+#include "common/check.hpp"
 #include "cluster/in_process_cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table_printer.hpp"
@@ -80,7 +81,9 @@ struct CommonArgs {
     master.time_per_message = t_msg_us;
     master.time_per_result = t_msg_us * 0.25;
     DeviceModel dev = DramDevice();
-    (void)ResolveDevice(dev);
+    // Main() resolves --device right after flag parsing, so this cannot
+    // fail on user input.
+    KV_CHECK(ResolveDevice(dev));
     return QueryModel(DbModel{}, MasterModel(master)).WithDevice(dev);
   }
 };
@@ -227,7 +230,7 @@ int CmdSimulate(CommonArgs& args, bool slow_master, int64_t seed) {
     config.serializer.cpu_per_byte =
         args.t_msg_us * 0.4 / config.serializer.bytes_per_message;
   }
-  (void)args.ResolveDevice(config.device);
+  KV_CHECK(args.ResolveDevice(config.device));
   const auto run = RunDistributedQuery(
       config, UniformWorkload(static_cast<uint64_t>(args.elements),
                               static_cast<uint64_t>(args.keys)));
@@ -548,20 +551,26 @@ int Main(int argc, char** argv) {
   CliFlags flags;
   args.Register(flags);
 
-  if (command == "predict") {
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+  // Every command resolves --device up front; the discarded ResolveDevice
+  // calls deeper in (BuildModel, CmdSimulate) rely on this.
+  const auto parse = [&]() {
+    if (!flags.Parse(argc - 1, argv + 1)) return false;
     DeviceModel probe;
-    if (!args.ResolveDevice(probe)) return 1;
+    return args.ResolveDevice(probe);
+  };
+
+  if (command == "predict") {
+    if (!parse()) return 1;
     return CmdPredict(args);
   }
   if (command == "optimize") {
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    if (!parse()) return 1;
     return CmdOptimize(args);
   }
   if (command == "sweep") {
     int64_t max_nodes = 128;
     flags.Add("max-nodes", &max_nodes, "largest cluster evaluated");
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    if (!parse()) return 1;
     return CmdSweep(args, max_nodes);
   }
   if (command == "simulate") {
@@ -570,19 +579,19 @@ int Main(int argc, char** argv) {
     flags.Add("slow-master", &slow_master,
               "use the java-default 150 us/message profile");
     flags.Add("seed", &seed, "simulation seed");
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    if (!parse()) return 1;
     return CmdSimulate(args, slow_master, seed);
   }
   if (command == "bands") {
     int64_t trials = 1000;
     flags.Add("trials", &trials, "Monte-Carlo draws");
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    if (!parse()) return 1;
     return CmdBands(args, trials);
   }
   if (command == "gather") {
     GatherArgs gather_args;
     gather_args.Register(flags);
-    if (!flags.Parse(argc - 1, argv + 1)) return 1;
+    if (!parse()) return 1;
     const Status valid = gather_args.Validate(args);
     if (!valid.ok()) {
       std::fprintf(stderr, "%s\n", valid.ToString().c_str());

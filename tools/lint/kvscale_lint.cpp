@@ -1,0 +1,115 @@
+// kvscale_lint — the project linter (see lint_rules.hpp for the rules).
+//
+// Usage:
+//   kvscale_lint --check-tree [--root DIR]   lint src/ bench/ tests/
+//                                            tools/ examples/ under DIR
+//                                            (default: cwd)
+//   kvscale_lint [--root DIR] FILE...        lint individual files
+//   kvscale_lint --list-rules                print the rule catalogue
+//
+// Exits 0 when clean, 1 on any finding, 2 on usage errors. Registered as
+// a ctest (KvscaleLint.CheckTree) so tier-1 fails on new violations;
+// tools/static_check.sh runs it as part of the full check matrix.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using kvscale::lint::Finding;
+
+int PrintFindings(const std::vector<Finding>& findings) {
+  for (const Finding& finding : findings) {
+    std::fprintf(stderr, "%s\n",
+                 kvscale::lint::FormatFinding(finding).c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "kvscale_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "kvscale_lint: %zu finding(s); suppress a deliberate one "
+               "with  // kvscale-lint: allow(<rule>) <reason>\n",
+               findings.size());
+  return 1;
+}
+
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") {
+    return file.generic_string();
+  }
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool check_tree = false;
+  std::vector<fs::path> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-tree") {
+      check_tree = true;
+    } else if (arg == "--list-rules") {
+      for (std::string_view rule : kvscale::lint::RuleIds()) {
+        std::printf("%-18s %s\n", std::string(rule).c_str(),
+                    std::string(kvscale::lint::RuleDescription(rule)).c_str());
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kvscale_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "kvscale_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (check_tree) {
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "kvscale_lint: root %s is not a directory\n",
+                   root.generic_string().c_str());
+      return 2;
+    }
+    return PrintFindings(kvscale::lint::LintTree(root));
+  }
+
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: kvscale_lint --check-tree [--root DIR] | "
+                 "[--root DIR] FILE... | --list-rules\n");
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "kvscale_lint: cannot read %s\n",
+                   file.generic_string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = kvscale::lint::LintFileContent(
+        RelPath(fs::absolute(file), fs::absolute(root)), buffer.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return PrintFindings(findings);
+}

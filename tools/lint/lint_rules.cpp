@@ -1,0 +1,519 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace kvscale::lint {
+
+namespace {
+
+constexpr std::string_view kSimWallclock = "sim-wallclock";
+constexpr std::string_view kDiscardedStatus = "discarded-status";
+constexpr std::string_view kStdoutInLib = "stdout-in-lib";
+constexpr std::string_view kRawMutex = "raw-mutex";
+constexpr std::string_view kIncludeOrder = "include-order";
+constexpr std::string_view kSuppression = "lint-suppression";
+
+constexpr std::array<std::pair<std::string_view, std::string_view>, 5>
+    kRuleCatalogue = {{
+        {kSimWallclock,
+         "simulation code must use the virtual clock / seeded Rng, not "
+         "wall clocks or rand()"},
+        {kDiscardedStatus,
+         "no (void) casts discarding a call's Status/Result"},
+        {kStdoutInLib,
+         "no stdout printing from src/ library code (CLI/bench exempt)"},
+        {kRawMutex,
+         "std::mutex & friends only inside thread_annotations.hpp; use "
+         "the annotated wrappers"},
+        {kIncludeOrder,
+         "a .cpp under src/ must include its own header first"},
+    }};
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// True when `pattern` occurs in `line` delimited by non-identifier
+/// characters on both sides. When `then_call` is set, the match must be
+/// followed (after optional spaces) by '('.
+bool MatchesWord(std::string_view line, std::string_view pattern,
+                 bool then_call = false) {
+  size_t pos = 0;
+  while ((pos = line.find(pattern, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + pattern.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      if (!then_call) return true;
+      while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) {
+        ++end;
+      }
+      if (end < line.size() && line[end] == '(') return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+/// Splits `content` into three parallel line sets: verbatim, a "code
+/// view" with comments / string literals / char literals blanked (so
+/// prose mentioning std::mutex never trips a rule), and a "comment view"
+/// keeping only comment text (suppression markers are comments, never
+/// string contents).
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+FileView BuildView(std::string_view content) {
+  FileView view;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw_line;
+  std::string code_line;
+  std::string comment_line;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      view.raw.push_back(std::move(raw_line));
+      view.code.push_back(std::move(code_line));
+      view.comment.push_back(std::move(comment_line));
+      raw_line.clear();
+      code_line.clear();
+      comment_line.clear();
+      continue;
+    }
+    raw_line.push_back(c);
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else {
+          code_line.push_back(c);
+          comment_line.push_back(' ');
+        }
+        break;
+      case State::kLineComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        break;
+      case State::kBlockComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          comment_line.push_back(next);
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        code_line.push_back(' ');
+        comment_line.push_back(' ');
+        if (c == '\\' && next != '\0') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  view.raw.push_back(std::move(raw_line));
+  view.code.push_back(std::move(code_line));
+  view.comment.push_back(std::move(comment_line));
+  return view;
+}
+
+/// Parsed `// kvscale-lint: allow(rule) reason` / `allow-file(rule) reason`
+/// markers, plus the findings malformed ones produce.
+struct Suppressions {
+  std::set<std::pair<int, std::string>> lines;  ///< (line covered, rule)
+  std::set<std::string> whole_file;
+  std::vector<Finding> problems;
+};
+
+bool KnownRule(std::string_view rule) {
+  for (const auto& [id, description] : kRuleCatalogue) {
+    if (id == rule) return true;
+  }
+  return false;
+}
+
+Suppressions CollectSuppressions(std::string_view rel_path,
+                                 const FileView& view) {
+  constexpr std::string_view kMarker = "kvscale-lint:";
+  Suppressions out;
+  // The linter's own sources document the marker syntax in comments;
+  // parsing those examples as live suppressions would flag them.
+  if (StartsWith(rel_path, "tools/lint/")) return out;
+  for (size_t i = 0; i < view.comment.size(); ++i) {
+    const std::string& line = view.comment[i];
+    const int line_no = static_cast<int>(i) + 1;
+    size_t pos = line.find(kMarker);
+    if (pos == std::string::npos) continue;
+    std::string_view rest = Trim(std::string_view(line).substr(
+        pos + kMarker.size()));
+    bool file_wide = false;
+    if (StartsWith(rest, "allow-file(")) {
+      file_wide = true;
+      rest.remove_prefix(std::string_view("allow-file(").size());
+    } else if (StartsWith(rest, "allow(")) {
+      rest.remove_prefix(std::string_view("allow(").size());
+    } else {
+      out.problems.push_back({std::string(rel_path), line_no,
+                              std::string(kSuppression),
+                              "malformed marker: expected allow(rule) or "
+                              "allow-file(rule)"});
+      continue;
+    }
+    const size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      out.problems.push_back({std::string(rel_path), line_no,
+                              std::string(kSuppression),
+                              "unterminated allow(...)"});
+      continue;
+    }
+    const std::string rule(Trim(rest.substr(0, close)));
+    std::string_view reason = Trim(rest.substr(close + 1));
+    while (reason.size() >= 2 &&
+           reason.substr(reason.size() - 2) == "*/") {
+      // strip the closer of a block comment
+      reason = Trim(reason.substr(0, reason.size() - 2));
+    }
+    if (!KnownRule(rule)) {
+      out.problems.push_back({std::string(rel_path), line_no,
+                              std::string(kSuppression),
+                              "unknown rule '" + rule + "' in suppression"});
+      continue;
+    }
+    if (reason.empty()) {
+      out.problems.push_back(
+          {std::string(rel_path), line_no, std::string(kSuppression),
+           "suppression of '" + rule + "' needs a justification after the "
+           "closing parenthesis"});
+      continue;
+    }
+    if (file_wide) {
+      out.whole_file.insert(rule);
+    } else {
+      // Covers its own line (trailing comment) and the next (a
+      // comment-only line directly above the offending code).
+      out.lines.insert({line_no, rule});
+      out.lines.insert({line_no + 1, rule});
+    }
+  }
+  return out;
+}
+
+bool InSimulationCode(std::string_view rel_path) {
+  return StartsWith(rel_path, "src/sim/") ||
+         StartsWith(rel_path, "src/model/") ||
+         StartsWith(rel_path, "src/cluster/");
+}
+
+bool InLibraryCode(std::string_view rel_path) {
+  return StartsWith(rel_path, "src/");
+}
+
+/// Basename of this .cpp's own header ("src/store/table.cpp" -> "table.hpp").
+std::string OwnHeaderName(std::string_view rel_path) {
+  if (!StartsWith(rel_path, "src/")) return {};
+  if (rel_path.size() < 4 || rel_path.substr(rel_path.size() - 4) != ".cpp") {
+    return {};
+  }
+  const size_t slash = rel_path.rfind('/');
+  std::string_view stem = rel_path.substr(slash + 1);
+  stem.remove_suffix(4);
+  return std::string(stem) + ".hpp";
+}
+
+struct IncludeDirective {
+  int line_no = 0;
+  std::string target;  ///< path inside the <> or "" delimiters
+  bool quoted = false;
+};
+
+std::vector<IncludeDirective> ParseIncludes(const FileView& view) {
+  std::vector<IncludeDirective> out;
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    std::string_view line = Trim(view.code[i]);
+    if (!StartsWith(line, "#")) continue;
+    line = Trim(line.substr(1));
+    if (!StartsWith(line, "include")) continue;
+    // The code view blanks string literals, so read the target from the
+    // raw line instead.
+    const std::string& raw = view.raw[i];
+    const size_t open = raw.find_first_of("<\"", raw.find("include"));
+    if (open == std::string::npos) continue;
+    const char closer = raw[open] == '<' ? '>' : '"';
+    const size_t close = raw.find(closer, open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back({static_cast<int>(i) + 1,
+                   raw.substr(open + 1, close - open - 1),
+                   raw[open] == '"'});
+  }
+  return out;
+}
+
+class FileLinter {
+ public:
+  FileLinter(std::string_view rel_path, const FileView& view)
+      : rel_path_(rel_path),
+        view_(view),
+        suppressions_(CollectSuppressions(rel_path, view)) {}
+
+  std::vector<Finding> Run() {
+    findings_ = suppressions_.problems;
+    for (size_t i = 0; i < view_.code.size(); ++i) {
+      const std::string& code = view_.code[i];
+      const int line_no = static_cast<int>(i) + 1;
+      CheckSimWallclock(code, line_no);
+      CheckDiscardedStatus(code, line_no);
+      CheckStdoutInLib(code, line_no);
+      CheckRawMutex(code, line_no);
+    }
+    CheckIncludeOrder();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(std::string_view rule, int line_no, std::string message) {
+    if (suppressions_.whole_file.count(std::string(rule)) > 0) return;
+    if (suppressions_.lines.count({line_no, std::string(rule)}) > 0) return;
+    findings_.push_back(
+        {std::string(rel_path_), line_no, std::string(rule),
+         std::move(message)});
+  }
+
+  void CheckSimWallclock(const std::string& code, int line_no) {
+    if (!InSimulationCode(rel_path_)) return;
+    for (std::string_view clock :
+         {"system_clock", "steady_clock", "high_resolution_clock"}) {
+      if (MatchesWord(code, clock)) {
+        Report(kSimWallclock, line_no,
+               std::string(clock) +
+                   " in simulation code; route timing through the virtual "
+                   "clock");
+        return;
+      }
+    }
+    for (std::string_view fn : {"rand", "srand"}) {
+      if (MatchesWord(code, fn, /*then_call=*/true)) {
+        Report(kSimWallclock, line_no,
+               std::string(fn) +
+                   "() in simulation code; use the seeded kvscale::Rng");
+        return;
+      }
+    }
+  }
+
+  void CheckDiscardedStatus(const std::string& code, int line_no) {
+    constexpr std::string_view kCast = "(void)";
+    size_t pos = 0;
+    while ((pos = code.find(kCast, pos)) != std::string::npos) {
+      // `foo(void)` is a parameter list, not a cast.
+      const bool is_cast = pos == 0 || !IsIdentChar(code[pos - 1]);
+      const std::string_view rest =
+          std::string_view(code).substr(pos + kCast.size());
+      if (is_cast) {
+        // A discarded *call* has a '(' before the statement ends.
+        const size_t semi = rest.find(';');
+        const size_t paren = rest.find('(');
+        if (paren != std::string_view::npos &&
+            (semi == std::string_view::npos || paren < semi)) {
+          Report(kDiscardedStatus, line_no,
+                 "(void) discards a call result; handle the Status/Result "
+                 "or justify the discard");
+          return;
+        }
+      }
+      pos += kCast.size();
+    }
+  }
+
+  void CheckStdoutInLib(const std::string& code, int line_no) {
+    if (!InLibraryCode(rel_path_)) return;
+    if (MatchesWord(code, "std::cout")) {
+      Report(kStdoutInLib, line_no,
+             "std::cout in library code; return strings or take an ostream");
+      return;
+    }
+    for (std::string_view fn : {"printf", "puts"}) {
+      if (MatchesWord(code, fn, /*then_call=*/true)) {
+        Report(kStdoutInLib, line_no,
+               std::string(fn) +
+                   "() writes to stdout from library code; return strings "
+                   "or take an ostream");
+        return;
+      }
+    }
+  }
+
+  void CheckRawMutex(const std::string& code, int line_no) {
+    for (std::string_view primitive :
+         {"std::mutex", "std::timed_mutex", "std::recursive_mutex",
+          "std::shared_mutex", "std::shared_timed_mutex",
+          "std::condition_variable", "std::condition_variable_any",
+          "std::lock_guard", "std::unique_lock", "std::shared_lock",
+          "std::scoped_lock"}) {
+      if (MatchesWord(code, primitive)) {
+        Report(kRawMutex, line_no,
+               std::string(primitive) +
+                   " outside thread_annotations.hpp; use the annotated "
+                   "Mutex/MutexLock/CondVar wrappers");
+        return;
+      }
+    }
+    const std::string_view trimmed = Trim(code);
+    if (StartsWith(trimmed, "#")) {
+      for (std::string_view header :
+           {"<mutex>", "<shared_mutex>", "<condition_variable>"}) {
+        if (trimmed.find(header) != std::string_view::npos) {
+          Report(kRawMutex, line_no,
+                 "include of " + std::string(header) +
+                     " outside thread_annotations.hpp");
+          return;
+        }
+      }
+    }
+  }
+
+  void CheckIncludeOrder() {
+    const std::string own = OwnHeaderName(rel_path_);
+    if (own.empty()) return;
+    const std::vector<IncludeDirective> includes = ParseIncludes(view_);
+    for (size_t i = 0; i < includes.size(); ++i) {
+      const IncludeDirective& inc = includes[i];
+      if (!inc.quoted) continue;
+      const size_t slash = inc.target.rfind('/');
+      const std::string base = slash == std::string::npos
+                                   ? inc.target
+                                   : inc.target.substr(slash + 1);
+      if (base != own) continue;
+      if (i != 0) {
+        Report(kIncludeOrder, inc.line_no,
+               "own header \"" + inc.target +
+                   "\" must be the first include of this .cpp");
+      }
+      return;  // only the first own-header include matters
+    }
+  }
+
+  std::string_view rel_path_;
+  const FileView& view_;
+  Suppressions suppressions_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<std::string_view> RuleIds() {
+  std::vector<std::string_view> ids;
+  ids.reserve(kRuleCatalogue.size());
+  for (const auto& [id, description] : kRuleCatalogue) ids.push_back(id);
+  return ids;
+}
+
+std::string_view RuleDescription(std::string_view rule) {
+  for (const auto& [id, description] : kRuleCatalogue) {
+    if (id == rule) return description;
+  }
+  return {};
+}
+
+std::vector<Finding> LintFileContent(std::string_view rel_path,
+                                     std::string_view content) {
+  const FileView view = BuildView(content);
+  return FileLinter(rel_path, view).Run();
+}
+
+std::vector<Finding> LintTree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_paths;
+  for (std::string_view dir :
+       {"src", "bench", "tests", "tools", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h") continue;
+      std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      // Fixtures violate on purpose; the lint *tests* cover them.
+      if (rel.find("tests/lint_fixtures/") != std::string::npos) continue;
+      rel_paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings =
+        LintFileContent(rel, buffer.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace kvscale::lint

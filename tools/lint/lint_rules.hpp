@@ -1,0 +1,66 @@
+// kvscale_lint: project-specific rules the compiler cannot enforce.
+//
+// Clang's -Wthread-safety (src/common/thread_annotations.hpp) proves lock
+// discipline; this linter covers the invariants that live above the type
+// system:
+//
+//   sim-wallclock     simulation code (src/sim, src/model, src/cluster)
+//                     must not read wall clocks or OS randomness — results
+//                     must be reproducible from the virtual clock and the
+//                     seeded Rng
+//   discarded-status  no `(void)` casts that silence a [[nodiscard]]
+//                     Status / Result (or any other call's return value)
+//   stdout-in-lib     library code under src/ must not print to stdout
+//                     (CLI, bench, tests, examples are exempt)
+//   raw-mutex         std::mutex & friends are forbidden outside
+//                     src/common/thread_annotations.hpp — use the
+//                     annotated wrappers so -Wthread-safety sees the locks
+//   include-order     a .cpp under src/ that includes its own header must
+//                     include it first (catches headers that only compile
+//                     because of include-order luck)
+//
+// Every rule is suppressible, with a mandatory justification:
+//
+//   code();  // kvscale-lint: allow(rule-id) reason why this is fine
+//
+// on the offending line, or on a comment-only line directly above it. A
+// file-wide exemption is `// kvscale-lint: allow-file(rule-id) reason`.
+// A suppression without a reason is itself reported (rule
+// `lint-suppression`), as is one naming an unknown rule.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvscale::lint {
+
+/// One rule violation (or malformed suppression) at a source line.
+struct Finding {
+  std::string file;  ///< repo-relative path, forward slashes
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Stable list of enforced rule ids (excludes `lint-suppression`).
+std::vector<std::string_view> RuleIds();
+
+/// One-line description of `rule` (empty for unknown ids).
+std::string_view RuleDescription(std::string_view rule);
+
+/// Lints one file's text. `rel_path` must be the repo-relative path with
+/// forward slashes — it determines which rules apply.
+std::vector<Finding> LintFileContent(std::string_view rel_path,
+                                     std::string_view content);
+
+/// Walks src/, bench/, tests/, tools/, and examples/ under `root` and
+/// lints every .hpp/.cpp (tests/lint_fixtures/ excluded: those files
+/// violate on purpose). Findings are sorted by (file, line).
+std::vector<Finding> LintTree(const std::filesystem::path& root);
+
+/// `file:line: [rule] message` rendering shared by the CLI and tests.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace kvscale::lint

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# The static-analysis gate. Three stages, any failure exits non-zero:
+#
+#   1. analyze build — the `analyze` CMake preset compiles the whole tree
+#      with -Werror (and, when clang++ is installed, -Wthread-safety
+#      -Wthread-safety-beta, which *proves* the lock annotations in
+#      src/common/thread_annotations.hpp). Under GCC the annotations are
+#      no-ops, so the stage still catches ordinary warnings.
+#   2. kvscale_lint — the project linter (tools/lint/) over src/ bench/
+#      tests/ tools/ examples/. Rules: sim-wallclock, discarded-status,
+#      stdout-in-lib, raw-mutex, include-order; see
+#      docs/STATIC_ANALYSIS.md.
+#   3. clang-tidy — over the compile_commands.json the analyze preset
+#      exports, with the checks in .clang-tidy. SKIPPED (with a notice)
+#      when clang-tidy is not installed; stages 1-2 still gate.
+#
+# Usage:
+#   tools/static_check.sh          run the static stages above
+#   tools/static_check.sh --all    also run the dynamic checks:
+#                                  tools/race_check.sh (tsan preset) and
+#                                  tools/chaos_check.sh (asan-ubsan preset)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_all=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) run_all=1 ;;
+    *)
+      echo "usage: tools/static_check.sh [--all]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+failures=()
+
+echo "== static_check: analyze build (-Werror, thread-safety proofs) =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset analyze -DCMAKE_CXX_COMPILER=clang++
+else
+  echo "static_check: clang++ not installed; thread-safety annotations"
+  echo "static_check: compile as no-ops under $(c++ --version | head -1)"
+  cmake --preset analyze
+fi
+cmake --build --preset analyze -j"$(nproc)" || failures+=("analyze-build")
+
+echo "== static_check: kvscale_lint =="
+if [[ -x build-analyze/tools/kvscale_lint ]]; then
+  ./build-analyze/tools/kvscale_lint --root . --check-tree ||
+    failures+=("kvscale_lint")
+else
+  # The analyze build failed before producing the linter; build it in the
+  # default tree so lint findings are still reported.
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target kvscale_lint -j"$(nproc)" >/dev/null
+  ./build/tools/kvscale_lint --root . --check-tree || failures+=("kvscale_lint")
+fi
+
+echo "== static_check: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f build-analyze/compile_commands.json ]]; then
+    mapfile -t tidy_sources < <(git ls-files 'src/**/*.cpp' 'tools/**/*.cpp')
+    clang-tidy -p build-analyze --quiet "${tidy_sources[@]}" ||
+      failures+=("clang-tidy")
+  else
+    echo "static_check: no compile_commands.json (analyze configure failed?)"
+    failures+=("clang-tidy")
+  fi
+else
+  echo "static_check: clang-tidy not installed — skipping (stages 1-2 gate)"
+fi
+
+if [[ "$run_all" -eq 1 ]]; then
+  echo "== static_check --all: race_check (tsan) =="
+  tools/race_check.sh || failures+=("race_check")
+  echo "== static_check --all: chaos_check (asan-ubsan) =="
+  tools/chaos_check.sh || failures+=("chaos_check")
+fi
+
+if [[ "${#failures[@]}" -gt 0 ]]; then
+  echo "static_check: FAILED: ${failures[*]}" >&2
+  exit 1
+fi
+echo "static_check: OK"
