@@ -19,6 +19,7 @@
 
 #include "bench_util.hpp"
 #include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "store/row.hpp"
 #include "trace/stage_trace.hpp"
@@ -94,7 +95,7 @@ int Run(int argc, char** argv) {
       column.type_id = static_cast<uint64_t>(c % 5);
       column.payload = MakePayload(static_cast<uint64_t>(p),
                                    static_cast<uint64_t>(c), 24);
-      cluster.Put(workload.table, key, std::move(column));
+      KV_CHECK(cluster.Put(workload.table, key, std::move(column)).ok());
     }
     workload.partitions.push_back(
         PartitionRef{key, static_cast<uint32_t>(columns)});

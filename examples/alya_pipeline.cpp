@@ -12,6 +12,7 @@
 
 #include "cluster/cluster_sim.hpp"
 #include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table_printer.hpp"
 #include "workload/alya.hpp"
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
       column.clustering = p.id;
       column.type_id = p.type;
       column.payload = MakePayload(morton, p.id, kParticlePayloadBytes);
-      cluster.Put(all_cubes.table, key, std::move(column));
+      KV_CHECK(cluster.Put(all_cubes.table, key, std::move(column)).ok());
     }
     all_cubes.partitions.push_back(PartitionRef{key, count});
   }

@@ -62,6 +62,7 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     retries_counter_ = &metrics->GetCounter("cluster.read.retries");
     hedged_counter_ = &metrics->GetCounter("cluster.read.hedged");
     failed_counter_ = &metrics->GetCounter("cluster.subqueries.failed");
+    put_errors_counter_ = &metrics->GetCounter("cluster.put.errors");
     subquery_latency_ = &metrics->GetHistogram("cluster.subquery.latency_us");
     failover_latency_ = &metrics->GetHistogram("cluster.failover.latency_us");
   } else {
@@ -71,9 +72,13 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     retries_counter_ = nullptr;
     hedged_counter_ = nullptr;
     failed_counter_ = nullptr;
+    put_errors_counter_ = nullptr;
     subquery_latency_ = nullptr;
     failover_latency_ = nullptr;
   }
+  // The shared runtime captured the old pointers at build; the next
+  // message gather rebuilds it against the new ones.
+  InvalidateRuntime();
 }
 
 void InProcessCluster::AttachStageTracer(StageTracer* stages) {
@@ -82,6 +87,7 @@ void InProcessCluster::AttachStageTracer(StageTracer* stages) {
 
 void InProcessCluster::AttachFaultInjector(FaultInjector* injector) {
   injector_ = injector;
+  InvalidateRuntime();
 }
 
 FaultInjector& InProcessCluster::fault_injector() {
@@ -90,16 +96,17 @@ FaultInjector& InProcessCluster::fault_injector() {
       owned_injector_ = std::make_unique<FaultInjector>();
     }
     injector_ = owned_injector_.get();
+    InvalidateRuntime();
   }
   return *injector_;
 }
 
 const std::vector<NodeId>& InProcessCluster::ReplicasOf(
     std::string_view partition_key) {
+  MutexLock lock(route_mu_);
   auto it = directory_.find(partition_key);
   if (it != directory_.end()) return it->second;
   const NodeId primary = placement_.Place(partition_key);
-  placement_.OnDispatch(primary);  // load feedback for load-aware policies
   std::vector<NodeId> replicas;
   replicas.reserve(replication_);
   for (uint32_t r = 0; r < replication_; ++r) {
@@ -113,24 +120,51 @@ NodeId InProcessCluster::OwnerOf(std::string_view partition_key) {
   return ReplicasOf(partition_key).front();
 }
 
-void InProcessCluster::Put(const std::string& table,
-                           const std::string& partition_key, Column column) {
+void InProcessCluster::RecordDispatch(NodeId node) {
+  MutexLock lock(route_mu_);
+  placement_.OnDispatch(node);
+}
+
+std::vector<int64_t> InProcessCluster::PlacementLoad() const {
+  MutexLock lock(route_mu_);
+  return placement_.outstanding();
+}
+
+Status InProcessCluster::Put(const std::string& table,
+                             const std::string& partition_key, Column column) {
   const std::vector<NodeId>& replicas = ReplicasOf(partition_key);
+  Status first_error = Status::Ok();
   auto put_on_node = [&](NodeId node, Column copy) {
+    Status written = Status::Ok();
     if (!node_options_[node].wal_path.empty()) {
-      const Status logged =
-          nodes_[node]->DurablePut(table, partition_key, std::move(copy));
-      KV_CHECK(logged.ok());
+      // The WAL fault injection point: a full or failing log device
+      // refuses the append before any bytes land.
+      if (injector_ != nullptr) {
+        written = injector_->OnWalWrite(node, partition_key);
+      }
+      if (written.ok()) {
+        written = nodes_[node]->DurablePut(table, partition_key,
+                                           std::move(copy));
+      }
     } else {
       nodes_[node]->GetOrCreateTable(table).Put(partition_key,
                                                 std::move(copy));
     }
+    if (written.ok()) {
+      RecordDispatch(node);  // replica writes are dispatched load too
+      return;
+    }
+    // One replica's failed write degrades the put instead of crashing
+    // the process; the other copies still receive the column.
+    if (put_errors_counter_ != nullptr) put_errors_counter_->Increment();
+    if (first_error.ok()) first_error = written;
   };
   // Write every copy (the last replica may take the original by move).
   for (size_t r = 0; r + 1 < replicas.size(); ++r) {
     put_on_node(replicas[r], column);
   }
   put_on_node(replicas.back(), std::move(column));
+  return first_error;
 }
 
 void InProcessCluster::FlushAll() {
@@ -150,6 +184,55 @@ Result<uint64_t> InProcessCluster::ReviveNode(NodeId node) {
   nodes_[node] = std::make_unique<LocalStore>(node_options_[node]);
   if (node_options_[node].wal_path.empty()) return uint64_t{0};
   return nodes_[node]->Recover();
+}
+
+uint64_t InProcessCluster::runtime_builds() const {
+  MutexLock lock(runtime_mu_);
+  return runtime_builds_;
+}
+
+void InProcessCluster::InvalidateRuntime() {
+  // In-flight gathers hold their own shared_ptr; the old runtime shuts
+  // down when the last of them releases it.
+  MutexLock lock(runtime_mu_);
+  runtime_.reset();
+}
+
+std::shared_ptr<NodeRuntime> InProcessCluster::EnsureRuntime(
+    const GatherOptions& options) {
+  MutexLock lock(runtime_mu_);
+  const RuntimeConfig wanted{options.queue_depth, options.workers_per_node,
+                             options.queue_policy};
+  const bool reusable =
+      runtime_ != nullptr &&
+      runtime_config_.queue_depth == wanted.queue_depth &&
+      runtime_config_.workers_per_node == wanted.workers_per_node &&
+      runtime_config_.queue_policy == wanted.queue_policy;
+  if (reusable) {
+    // Admission is a controller setting, not a structural one: re-arm it
+    // without touching the queues or workers.
+    runtime_->SetAdmissionLimit(options.max_inflight,
+                                options.admission_policy);
+    return runtime_;
+  }
+  NodeRuntimeOptions rt_options;
+  rt_options.queue_depth = options.queue_depth;
+  rt_options.workers_per_node = options.workers_per_node;
+  rt_options.on_queue_full = options.queue_policy;
+  rt_options.max_inflight_queries = options.max_inflight;
+  rt_options.on_admission_full = options.admission_policy;
+  runtime_ = std::make_shared<NodeRuntime>(
+      node_count(), rt_options,
+      [this](uint32_t node, const SubQueryRequest& req,
+             ReadProbe* probe) -> Result<TypeCounts> {
+        auto found = nodes_[node]->FindTable(req.table);
+        if (!found.ok()) return found.status();
+        return found.value()->CountByType(req.partition_key, probe);
+      },
+      codec_registry_, injector_, metrics_, spans_);
+  runtime_config_ = wanted;
+  ++runtime_builds_;
+  return runtime_;
 }
 
 void InProcessCluster::ExecuteSubQuery(const std::string& table,
@@ -228,6 +311,7 @@ void InProcessCluster::ExecuteSubQuery(const std::string& table,
       read.Attr("partition", part.key);
       read.Attr("attempt", std::to_string(a));
     }
+    RecordDispatch(target);  // a read actually issued against the store
     ++out.requests_per_node[target];
     ReadProbe probe;
     auto found = nodes_[target]->FindTable(table);
@@ -339,9 +423,8 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     scaled.workers_per_node = std::max(scaled.workers_per_node, threads);
     return CountByTypeAllMessage(workload, scaled);
   }
-  // Resolve every replica set up front: the placement directory is not
-  // thread-safe and resolution is cheap. Directory entries are
-  // pointer-stable (std::map) for the life of the cluster.
+  // Resolve every replica set up front: resolution is cheap and entries
+  // are pointer-stable (std::map) for the life of the cluster.
   std::vector<const std::vector<NodeId>*> replica_sets;
   replica_sets.reserve(workload.partitions.size());
   for (const PartitionRef& part : workload.partitions) {
@@ -423,8 +506,33 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
   result.errors_per_node.assign(nodes_.size(), 0);
 
-  const uint64_t query_id = next_query_id_++;
   const size_t total = workload.partitions.size();
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // The shared runtime: built on the first message gather, reused by
+  // every one after it (and by every one running concurrently).
+  std::shared_ptr<NodeRuntime> runtime = EnsureRuntime(options);
+
+  NodeRuntime::QueryOptions query_options;
+  query_options.codec = options.codec;
+  query_options.deadline_us = options.deadline_us;
+  const Status admitted = runtime->BeginQuery(query_id, query_options);
+  if (!admitted.ok()) {
+    // Shed at admission: nothing was dispatched, every sub-query is
+    // reported lost, and the caller sees a degraded (but accounted-for)
+    // result instead of an exception path.
+    result.shed_by_admission = true;
+    for (const PartitionRef& part : workload.partitions) {
+      ++result.subqueries;
+      if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
+      ++result.failed;
+      if (failed_counter_ != nullptr) failed_counter_->Increment();
+      result.lost_partitions.push_back(part.key);
+    }
+    FinalizeResult(result);
+    return result;
+  }
 
   SpanTracer::Scope gather;
   if (spans_ != nullptr) {
@@ -433,36 +541,21 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     gather.Attr("partitions", std::to_string(total));
     gather.Attr("codec", WireCodecName(options.codec));
     gather.Attr("batch", options.batch ? "true" : "false");
+    gather.Attr("query", std::to_string(query_id));
   }
-
-  NodeRuntimeOptions rt_options;
-  rt_options.codec = options.codec;
-  rt_options.queue_depth = options.queue_depth;
-  rt_options.workers_per_node = options.workers_per_node;
-  rt_options.on_queue_full = options.queue_policy;
-  rt_options.deadline_us = options.deadline_us;
-  NodeRuntime runtime(
-      node_count(), rt_options,
-      [this](uint32_t node, const SubQueryRequest& req,
-             ReadProbe* probe) -> Result<TypeCounts> {
-        auto found = nodes_[node]->FindTable(req.table);
-        if (!found.ok()) return found.status();
-        return found.value()->CountByType(req.partition_key, probe);
-      },
-      codec_registry_, injector_, metrics_, spans_);
 
   struct Pending {
     const PartitionRef* part = nullptr;
     const std::vector<NodeId>* replicas = nullptr;
     uint32_t next_attempt = 0;
     uint32_t attempts = 0;
+    bool started = false;  ///< t0 stamped (first dispatch processing)
     std::chrono::steady_clock::time_point t0;
   };
   std::vector<Pending> subs(total);
   for (size_t i = 0; i < total; ++i) {
     subs[i].part = &workload.partitions[i];
     subs[i].replicas = &ReplicasOf(subs[i].part->key);
-    subs[i].t0 = std::chrono::steady_clock::now();
   }
 
   // Settles one sub-query's fate in the result. `counts` is non-null only
@@ -511,6 +604,13 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   auto try_dispatch = [&](size_t i,
                           std::vector<std::vector<BatchItem>>* collect) {
     Pending& s = subs[i];
+    if (!s.started) {
+      // The latency clock starts when the master first *processes* this
+      // sub-query, not when the scatter loop began: a late-scattered
+      // sub-query must not be charged its predecessors' dispatch work.
+      s.started = true;
+      s.t0 = std::chrono::steady_clock::now();
+    }
     const std::vector<NodeId>& replicas = *s.replicas;
     const uint32_t fanout = static_cast<uint32_t>(replicas.size());
     const uint32_t max_attempts = std::max<uint32_t>(options.max_attempts, 1);
@@ -518,19 +618,22 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
       const uint32_t a = s.next_attempt;
       if (a > 0) {
         if (options.deadline_us > 0.0 &&
-            runtime.clock_us() >= options.deadline_us) {
+            runtime->clock_us(query_id) >= options.deadline_us) {
           break;
         }
         ++result.retries;
         if (retries_counter_ != nullptr) retries_counter_->Increment();
-        runtime.AdvanceClock(options.backoff_base_us *
-                             static_cast<double>(uint64_t{1} << (a - 1)));
+        runtime->AdvanceClock(
+            query_id, options.backoff_base_us *
+                          static_cast<double>(uint64_t{1} << (a - 1)));
       }
       s.next_attempt = a + 1;
       ++s.attempts;
       NodeId target = replicas[(options.replica + a) % fanout];
       FaultInjector::ReadFault fault;
-      if (injector_ != nullptr) fault = injector_->OnRead(target, s.part->key, a);
+      if (injector_ != nullptr) {
+        fault = injector_->OnRead(target, s.part->key, a);
+      }
 
       // The hedge race is decided at dispatch time, before anything is
       // encoded, so only the winning copy's message ever travels — the
@@ -539,7 +642,7 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
           injector_ != nullptr &&
           fault.extra_latency_us >= options.hedge_threshold_us &&
           (options.deadline_us <= 0.0 ||
-           runtime.clock_us() < options.deadline_us)) {
+           runtime->clock_us(query_id) < options.deadline_us)) {
         const NodeId alt = replicas[(options.replica + a + 1) % fanout];
         const FaultInjector::ReadFault alt_fault =
             injector_->OnRead(alt, s.part->key, a);
@@ -575,10 +678,10 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
             {std::move(req), a, fault.extra_latency_us, i});
         return true;
       }
-      const Status sent =
-          runtime.Dispatch(target, std::span<const SubQueryRequest>(&req, 1),
-                           std::span<const uint32_t>(&a, 1),
-                           std::span<const Micros>(&fault.extra_latency_us, 1));
+      const Status sent = runtime->Dispatch(
+          query_id, target, std::span<const SubQueryRequest>(&req, 1),
+          std::span<const uint32_t>(&a, 1),
+          std::span<const Micros>(&fault.extra_latency_us, 1));
       if (!sent.ok()) {
         // kReject backpressure: the send itself was refused; fail over
         // like any other transport error.
@@ -586,6 +689,7 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         if (errors_counter_ != nullptr) errors_counter_->Increment();
         continue;
       }
+      RecordDispatch(target);  // a request actually left the master
       return true;
     }
     resolve(i, /*answered=*/false, nullptr);
@@ -628,8 +732,10 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         attempts.push_back(item.attempt);
         extras.push_back(item.extra_latency_us);
       }
-      const Status sent = runtime.Dispatch(n, requests, attempts, extras);
+      const Status sent =
+          runtime->Dispatch(query_id, n, requests, attempts, extras);
       if (sent.ok()) {
+        for (size_t k = 0; k < items.size(); ++k) RecordDispatch(n);
         outstanding += items.size();
         continue;
       }
@@ -644,9 +750,11 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   }
 
   // Collect: decode replies as they land, folding answers and failing
-  // unanswered sub-queries over until every one is settled.
+  // unanswered sub-queries over until every one is settled. AwaitReply
+  // only ever surfaces this query's replies — concurrent gathers drain
+  // their own channels.
   while (outstanding > 0) {
-    NodeRuntime::DecodedReply r = runtime.AwaitReply();
+    NodeRuntime::DecodedReply r = runtime->AwaitReply(query_id);
     --outstanding;
     const size_t i = r.sub_id;
     KV_CHECK(i < total);
@@ -663,7 +771,7 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         trace.received = r.received_us;
         trace.db_start = r.db_start_us;
         trace.db_end = r.db_end_us;
-        trace.completed = runtime.now_us();
+        trace.completed = runtime->now_us();
         stage_tracer_->Record(trace);
       }
     }
@@ -692,16 +800,64 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     }
   }
 
-  result.virtual_latency_us = runtime.clock_us();
-  runtime.Shutdown();
-  const NodeRuntime::WireStats wire = runtime.wire_stats();
+  // Read the query's private accounting before releasing its slot.
+  result.virtual_latency_us = runtime->clock_us(query_id);
+  result.queue_wait_us = runtime->query_queue_wait_us(query_id);
+  const NodeRuntime::WireStats wire = runtime->query_wire_stats(query_id);
   result.wire_frames_sent = wire.frames_sent;
   result.wire_bytes_sent = wire.bytes_sent;
   result.wire_bytes_received = wire.bytes_received;
   result.wire_encode_us = wire.encode_us;
   result.wire_decode_us = wire.decode_us;
+  runtime->EndQuery(query_id);
   FinalizeResult(result);
   return result;
+}
+
+ConcurrentGatherReport InProcessCluster::CountByTypeAllConcurrent(
+    const WorkloadSpec& workload, uint32_t clients,
+    uint32_t queries_per_client, const GatherOptions& options) {
+  KV_CHECK(clients >= 1);
+  KV_CHECK(queries_per_client >= 1);
+  GatherOptions opts = options;
+  opts.transport = GatherTransport::kMessage;
+
+  // Warm the routing directory and the shared runtime outside the timed
+  // region: the measurement is queries per second, not setup.
+  for (const PartitionRef& part : workload.partitions) {
+    ReplicasOf(part.key);
+  }
+  EnsureRuntime(opts);
+
+  ConcurrentGatherReport report;
+  report.results.resize(static_cast<size_t>(clients) * queries_per_client);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([this, &workload, &opts, &report,
+                                 queries_per_client, c] {
+      for (uint32_t q = 0; q < queries_per_client; ++q) {
+        report.results[static_cast<size_t>(c) * queries_per_client + q] =
+            CountByTypeAllMessage(workload, opts);
+      }
+    });
+  }
+  for (auto& client : client_threads) client.join();
+  report.wall_us = ElapsedMicros(start);
+  report.queries = report.results.size();
+  for (const GatherResult& r : report.results) {
+    if (r.shed_by_admission) {
+      ++report.shed;
+    } else {
+      ++report.admitted;
+    }
+  }
+  if (report.wall_us > 0.0) {
+    report.queries_per_sec =
+        static_cast<double>(report.admitted) * 1e6 / report.wall_us;
+  }
+  return report;
 }
 
 std::vector<uint64_t> InProcessCluster::ColumnsPerNode(

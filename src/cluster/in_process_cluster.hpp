@@ -15,8 +15,18 @@
 // deadline. GatherResult doubles as a degraded-result report — the
 // Section VII story ("the driver selects a replica only if the original
 // node is malfunctioning") with real bytes instead of virtual time.
+//
+// The message transport runs through a single long-lived NodeRuntime the
+// cluster owns: queues and worker pools are built lazily on the first
+// message-path gather and reused by every one after it — including
+// *concurrent* gathers, each a registered query with its own reply
+// channel, virtual clock, and wire accounting, bounded by the runtime's
+// admission controller. CountByTypeAllConcurrent drives that path with N
+// client threads, which is how the Fig. 11 master-saturation curve is
+// measured on real bytes (bench/master_throughput.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,6 +37,7 @@
 #include "cluster/cluster_sim.hpp"
 #include "cluster/node_runtime.hpp"
 #include "cluster/placement.hpp"
+#include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
 #include "store/local_store.hpp"
 
@@ -73,24 +84,36 @@ struct GatherOptions {
   /// degrades instead of spinning. On the message path the deadline
   /// additionally sheds requests that expire *while enqueued*: a worker
   /// whose turn comes after the clock passed the deadline replies
-  /// kResourceExhausted without touching the store.
+  /// kResourceExhausted without touching the store. Each gather's clock
+  /// is private, so a concurrent gather's backoff never burns this one's
+  /// deadline.
   Micros deadline_us = 0.0;
 
   // -- Message-transport knobs (ignored under kDirect) --------------------
 
   GatherTransport transport = GatherTransport::kDirect;
-  /// Wire codec for requests and replies (the Section V-B axis).
+  /// Wire codec for requests and replies (the Section V-B axis). Per
+  /// query: concurrent gathers with different codecs share the runtime.
   WireCodecKind codec = WireCodecKind::kCompact;
   /// Coalesce the initial scatter into one SubQueryBatch frame per node
   /// (failover re-sends still travel one per frame).
   bool batch = false;
-  /// Request-queue capacity per node.
+  /// Request-queue capacity per node. Structural: changing it rebuilds
+  /// the shared runtime.
   uint32_t queue_depth = 64;
-  /// Worker threads draining each node's queue.
+  /// Worker threads draining each node's queue. Structural: changing it
+  /// rebuilds the shared runtime.
   uint32_t workers_per_node = 1;
   /// Full-queue behavior: block (lossless backpressure) or reject (the
-  /// dispatch fails over like any other transport error).
+  /// dispatch fails over like any other transport error). Structural.
   QueueFullPolicy queue_policy = QueueFullPolicy::kBlock;
+  /// Admission bound on concurrently in-flight queries through the
+  /// shared runtime (0 = unbounded). Re-arms the admission controller on
+  /// every message-path gather without rebuilding the runtime.
+  uint32_t max_inflight = 0;
+  /// Full-admission behavior: block until a slot frees, or shed the
+  /// whole gather with kResourceExhausted (GatherResult::shed_by_admission).
+  QueueFullPolicy admission_policy = QueueFullPolicy::kBlock;
 };
 
 /// Result of one scatter/gather aggregation over real data. Beyond the
@@ -112,6 +135,9 @@ struct GatherResult {
   uint64_t retries = 0;  ///< failover re-attempts after an error
   uint64_t hedged = 0;   ///< duplicate reads issued against a second replica
   bool partial = false;  ///< true iff failed > 0: totals are missing data
+  /// The admission controller refused this gather outright: nothing was
+  /// dispatched, every sub-query counts as failed.
+  bool shed_by_admission = false;
   std::vector<uint64_t> errors_per_node;     ///< error tally per node
   std::vector<std::string> lost_partitions;  ///< keys lost for good, sorted
   /// Injected latency + backoff consumed, in virtual microseconds (the
@@ -125,6 +151,22 @@ struct GatherResult {
   uint64_t wire_bytes_received = 0; ///< reply frame bytes (master ingress)
   Micros wire_encode_us = 0.0;      ///< total serialization time
   Micros wire_decode_us = 0.0;      ///< total deserialization time
+  /// Total request-queue residency of this gather's frames (real
+  /// wall-clock microseconds in the nodes' queues).
+  Micros queue_wait_us = 0.0;
+};
+
+/// What N concurrent client threads achieved through the shared runtime —
+/// one point of the Fig. 11 master-saturation curve.
+struct ConcurrentGatherReport {
+  /// Per-query results, client-major: client c's q-th gather sits at
+  /// index c * queries_per_client + q.
+  std::vector<GatherResult> results;
+  uint64_t queries = 0;   ///< gathers issued (= results.size())
+  uint64_t admitted = 0;  ///< gathers that ran
+  uint64_t shed = 0;      ///< gathers refused by admission control
+  Micros wall_us = 0.0;   ///< wall time of the whole run
+  double queries_per_sec = 0.0;  ///< admitted / wall seconds
 };
 
 /// A sharded multi-store cluster with a single coordinating "master".
@@ -147,7 +189,8 @@ class InProcessCluster {
   /// histograms, including the failure/retry/hedge counters. Either
   /// pointer may be null; both must outlive the cluster. Store-level
   /// counters (cache, bloom, flushes) are wired separately through
-  /// StoreOptions::metrics.
+  /// StoreOptions::metrics. Drops the shared runtime (it captures the
+  /// telemetry pointers at build), so attach before gathering.
   void AttachTelemetry(SpanTracer* spans, MetricsRegistry* metrics);
 
   /// Attaches a per-request stage tracer to the *message* transport:
@@ -160,7 +203,9 @@ class InProcessCluster {
 
   /// Routes read attempts through `injector` (null detaches: healthy).
   /// The injector must outlive the cluster. Without an attached
-  /// injector, KillNode lazily creates an internal one.
+  /// injector, KillNode lazily creates an internal one. Drops the shared
+  /// runtime (it captures the injector at build), so attach before
+  /// gathering.
   void AttachFaultInjector(FaultInjector* injector);
 
   /// The injector consulted by reads (the attached one, or the lazily
@@ -180,15 +225,21 @@ class InProcessCluster {
   NodeId OwnerOf(std::string_view partition_key);
 
   /// All replica holders of a key, primary first (size = replication,
-  /// clamped to the cluster size).
+  /// clamped to the cluster size). Thread-safe; the returned reference
+  /// stays valid for the cluster's life (directory entries are
+  /// pointer-stable).
   const std::vector<NodeId>& ReplicasOf(std::string_view partition_key);
 
   uint32_t replication() const { return replication_; }
 
   /// Routes one column write to every replica's table (through the
-  /// node's commit log when a WAL is configured).
-  void Put(const std::string& table, const std::string& partition_key,
-           Column column);
+  /// node's commit log when a WAL is configured). A replica whose WAL
+  /// append fails — for real, or via FaultConfig::wal_error_rate — is
+  /// skipped, tallied in cluster.put.errors, and the first such error is
+  /// returned; the remaining replicas still receive the write, so a
+  /// degraded put leaves the surviving copies serviceable.
+  Status Put(const std::string& table, const std::string& partition_key,
+             Column column);
 
   /// Flushes every node's memtables (end of load phase).
   void FlushAll();
@@ -228,6 +279,26 @@ class InProcessCluster {
                                       uint32_t threads,
                                       const GatherOptions& options = {});
 
+  /// N client threads, each issuing `queries_per_client` message-path
+  /// gathers of `workload` back to back through the shared runtime (the
+  /// transport is forced to kMessage). The runtime is warmed before the
+  /// clock starts, so the wall time measures queries, not construction.
+  /// Every client sees the same options — including the admission bound,
+  /// which is what turns this into the Fig. 11 saturation measurement.
+  ConcurrentGatherReport CountByTypeAllConcurrent(
+      const WorkloadSpec& workload, uint32_t clients,
+      uint32_t queries_per_client, const GatherOptions& options);
+
+  /// How many times the shared runtime has been (re)built. A sequence of
+  /// gathers with identical structural knobs holds this at 1 — the
+  /// acceptance criterion for "zero per-gather thread-pool construction".
+  uint64_t runtime_builds() const;
+
+  /// Snapshot of the placement policy's per-node load feedback
+  /// (cumulative dispatched requests — reads and replica writes). What
+  /// the load-aware policies consult for new keys.
+  std::vector<int64_t> PlacementLoad() const;
+
   /// Direct access for tests and examples.
   LocalStore& node(uint32_t id) { return *nodes_.at(id); }
 
@@ -243,22 +314,47 @@ class InProcessCluster {
                        const GatherOptions& options, GatherResult& out,
                        Micros& vclock);
 
-  /// The message-transport gather: scatter encoded frames through a
-  /// NodeRuntime, collect and decode replies, fail over on errors. Makes
-  /// the same fault/hedge/backoff decisions in the same order as
-  /// ExecuteSubQuery, so with no deadline a healthy or chaotic run
-  /// matches the direct transport field for field.
+  /// The message-transport gather: scatter encoded frames through the
+  /// shared NodeRuntime under a fresh query_id, collect and decode
+  /// replies, fail over on errors. Makes the same fault/hedge/backoff
+  /// decisions in the same order as ExecuteSubQuery, so with no deadline
+  /// a healthy or chaotic run matches the direct transport field for
+  /// field — and, with per-query clocks and reply channels, matches it
+  /// even while other gathers run interleaved. Thread-safe.
   GatherResult CountByTypeAllMessage(const WorkloadSpec& workload,
                                      const GatherOptions& options);
+
+  /// Returns the shared runtime, building it on first use and rebuilding
+  /// only when `options` changes a structural knob (queue depth, worker
+  /// count, queue policy). A replaced runtime stays alive — via the
+  /// shared_ptr each in-flight gather holds — until its last query ends.
+  /// Always re-arms the admission controller from `options`.
+  std::shared_ptr<NodeRuntime> EnsureRuntime(const GatherOptions& options);
+
+  /// Drops the shared runtime so the next gather rebuilds it with fresh
+  /// captured pointers (telemetry / injector).
+  void InvalidateRuntime();
+
+  /// Load feedback at an actual dispatch site: a read attempt or a
+  /// replica write was issued against `node`. This is what the
+  /// load-aware placement policies consume, so *repeat* traffic keeps
+  /// moving the signal (a directory hit no longer freezes it).
+  void RecordDispatch(NodeId node);
 
   /// Sorts the loss report and derives the partial flag + invariant.
   void FinalizeResult(GatherResult& result) const;
 
-  PlacementPolicy placement_;
+  /// Guards the routing state shared by concurrent gathers: the
+  /// placement policy (whose load feedback mutates) and the directory.
+  mutable Mutex route_mu_;
+  PlacementPolicy placement_ KV_GUARDED_BY(route_mu_);
   uint32_t replication_;
   std::vector<StoreOptions> node_options_;
   std::vector<std::unique_ptr<LocalStore>> nodes_;
-  std::map<std::string, std::vector<NodeId>, std::less<>> directory_;
+  /// Entries are pointer-stable (std::map): ReplicasOf hands out
+  /// references that outlive the lock.
+  std::map<std::string, std::vector<NodeId>, std::less<>> directory_
+      KV_GUARDED_BY(route_mu_);
 
   FaultInjector* injector_ = nullptr;  ///< null = healthy cluster
   std::unique_ptr<FaultInjector> owned_injector_;
@@ -266,7 +362,7 @@ class InProcessCluster {
   /// Message set shared by every gather's runtime (both "peers" — the
   /// master's encoder and the slaves' decoders — see the same ids).
   CompactCodec codec_registry_;
-  uint64_t next_query_id_ = 1;
+  std::atomic<uint64_t> next_query_id_{1};
 
   SpanTracer* spans_ = nullptr;                 ///< null = no span tracing
   MetricsRegistry* metrics_ = nullptr;          ///< forwarded to runtimes
@@ -277,8 +373,22 @@ class InProcessCluster {
   Counter* retries_counter_ = nullptr;          ///< cluster.read.retries
   Counter* hedged_counter_ = nullptr;           ///< cluster.read.hedged
   Counter* failed_counter_ = nullptr;           ///< cluster.subqueries.failed
+  Counter* put_errors_counter_ = nullptr;       ///< cluster.put.errors
   LatencyHistogram* subquery_latency_ = nullptr;  ///< cluster.subquery.latency_us
   LatencyHistogram* failover_latency_ = nullptr;  ///< cluster.failover.latency_us
+
+  /// The structural knobs the current runtime_ was built with.
+  struct RuntimeConfig {
+    uint32_t queue_depth = 0;
+    uint32_t workers_per_node = 0;
+    QueueFullPolicy queue_policy = QueueFullPolicy::kBlock;
+  };
+  mutable Mutex runtime_mu_;
+  RuntimeConfig runtime_config_ KV_GUARDED_BY(runtime_mu_);
+  uint64_t runtime_builds_ KV_GUARDED_BY(runtime_mu_) = 0;
+  /// Declared last: destroyed first, so the runtime's workers join
+  /// before the stores (and everything else they reach) go away.
+  std::shared_ptr<NodeRuntime> runtime_ KV_GUARDED_BY(runtime_mu_);
 };
 
 }  // namespace kvscale

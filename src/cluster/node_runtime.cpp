@@ -32,6 +32,10 @@ uint64_t MicrosToNanos(Micros us) {
   return us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us * 1000.0));
 }
 
+double NanosToMicros(uint64_t nanos) {
+  return static_cast<double>(nanos) / 1000.0;
+}
+
 }  // namespace
 
 NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
@@ -43,23 +47,30 @@ NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
       registry_(registry),
       injector_(injector),
       spans_(spans),
-      // Replies are unbounded on purpose: a worker must never block on
-      // its reply while the master blocks pushing into a full request
-      // queue, or the two would deadlock.
-      replies_(static_cast<size_t>(-1)),
       // kvscale-lint: allow(sim-wallclock) real data path epoch
       epoch_(std::chrono::steady_clock::now()) {
   KV_CHECK(nodes >= 1);
   KV_CHECK(handler_ != nullptr);
   options_.queue_depth = std::max<uint32_t>(options_.queue_depth, 1);
   options_.workers_per_node = std::max<uint32_t>(options_.workers_per_node, 1);
+  {
+    MutexLock lock(queries_mu_);
+    max_inflight_ = options_.max_inflight_queries;
+    admission_policy_ = options_.on_admission_full;
+  }
   if (metrics != nullptr) {
     bytes_sent_counter_ = &metrics->GetCounter("wire.bytes.sent");
     bytes_received_counter_ = &metrics->GetCounter("wire.bytes.received");
     frames_counter_ = &metrics->GetCounter("wire.frames.sent");
+    admitted_counter_ = &metrics->GetCounter("master.admission.admitted");
+    shed_counter_ = &metrics->GetCounter("master.admission.shed");
+    inflight_gauge_ = &metrics->GetGauge("master.queries.inflight");
     encode_hist_ = &metrics->GetHistogram("wire.encode.latency_us");
     decode_hist_ = &metrics->GetHistogram("wire.decode.latency_us");
     queue_wait_hist_ = &metrics->GetHistogram("cluster.queue.wait_us");
+    admission_wait_hist_ = &metrics->GetHistogram("master.admission.wait_us");
+    query_queue_wait_hist_ =
+        &metrics->GetHistogram("master.query.queue_wait_us");
     depth_gauges_.reserve(nodes);
     for (uint32_t n = 0; n < nodes; ++n) {
       depth_gauges_.push_back(
@@ -88,14 +99,94 @@ Micros NodeRuntime::NowMicros() const {
       .count();
 }
 
-Micros NodeRuntime::clock_us() const {
-  return static_cast<double>(clock_nanos_.load(std::memory_order_relaxed)) /
-         1000.0;
+Micros NodeRuntime::ClockMicros(const QueryState& query) {
+  return NanosToMicros(query.clock_nanos.load(std::memory_order_relaxed));
 }
 
-void NodeRuntime::AdvanceClock(Micros us) {
+std::shared_ptr<NodeRuntime::QueryState> NodeRuntime::FindQuery(
+    uint64_t query_id) const {
+  MutexLock lock(queries_mu_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second;
+}
+
+Status NodeRuntime::BeginQuery(uint64_t query_id, const QueryOptions& query) {
+  const Micros wait_start = NowMicros();
+  MutexLock lock(queries_mu_);
+  // Re-read the limit each pass: SetAdmissionLimit can re-arm the
+  // controller while admitters sleep.
+  while (!shut_down_.load(std::memory_order_relaxed) && max_inflight_ > 0 &&
+         queries_.size() >= max_inflight_ &&
+         admission_policy_ == QueueFullPolicy::kBlock) {
+    admission_cv_.Wait(queries_mu_);
+  }
+  if (shut_down_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("node runtime shut down");
+  }
+  if (max_inflight_ > 0 && queries_.size() >= max_inflight_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_counter_ != nullptr) shed_counter_->Increment();
+    return Status::ResourceExhausted(
+        "admission: " + std::to_string(queries_.size()) +
+        " queries in flight (limit " + std::to_string(max_inflight_) + ")");
+  }
+  auto [it, inserted] = queries_.emplace(
+      query_id, std::make_shared<QueryState>(query_id, query));
+  KV_CHECK(inserted);  // query_id collision would cross-route replies
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (admitted_counter_ != nullptr) admitted_counter_->Increment();
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<double>(queries_.size()));
+  }
+  if (admission_wait_hist_ != nullptr) {
+    admission_wait_hist_->Record(NowMicros() - wait_start);
+  }
+  return Status::Ok();
+}
+
+void NodeRuntime::EndQuery(uint64_t query_id) {
+  MutexLock lock(queries_mu_);
+  auto it = queries_.find(query_id);
+  KV_CHECK(it != queries_.end());
+  if (query_queue_wait_hist_ != nullptr) {
+    query_queue_wait_hist_->Record(NanosToMicros(
+        it->second->queue_wait_nanos.load(std::memory_order_relaxed)));
+  }
+  // No replies for this query can be outstanding (the gather awaits one
+  // reply per dispatch), so closing is purely defensive: a stray late
+  // reply would hit a closed queue instead of leaking.
+  it->second->replies.Close();
+  queries_.erase(it);
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<double>(queries_.size()));
+  }
+  admission_cv_.NotifyAll();
+}
+
+uint32_t NodeRuntime::inflight_queries() const {
+  MutexLock lock(queries_mu_);
+  return static_cast<uint32_t>(queries_.size());
+}
+
+void NodeRuntime::SetAdmissionLimit(uint32_t max_inflight,
+                                    QueueFullPolicy policy) {
+  MutexLock lock(queries_mu_);
+  max_inflight_ = max_inflight;
+  admission_policy_ = policy;
+  admission_cv_.NotifyAll();
+}
+
+Micros NodeRuntime::clock_us(uint64_t query_id) const {
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
+  return ClockMicros(*query);
+}
+
+void NodeRuntime::AdvanceClock(uint64_t query_id, Micros us) {
   if (us <= 0.0) return;
-  clock_nanos_.fetch_add(MicrosToNanos(us), std::memory_order_relaxed);
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
+  query->clock_nanos.fetch_add(MicrosToNanos(us), std::memory_order_relaxed);
 }
 
 size_t NodeRuntime::queue_depth(uint32_t node) const {
@@ -115,15 +206,34 @@ NodeRuntime::WireStats NodeRuntime::wire_stats() const {
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   stats.encode_us =
-      static_cast<double>(encode_nanos_.load(std::memory_order_relaxed)) /
-      1000.0;
+      NanosToMicros(encode_nanos_.load(std::memory_order_relaxed));
   stats.decode_us =
-      static_cast<double>(decode_nanos_.load(std::memory_order_relaxed)) /
-      1000.0;
+      NanosToMicros(decode_nanos_.load(std::memory_order_relaxed));
   return stats;
 }
 
-Status NodeRuntime::Dispatch(uint32_t node,
+NodeRuntime::WireStats NodeRuntime::query_wire_stats(uint64_t query_id) const {
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
+  WireStats stats;
+  stats.frames_sent = query->frames_sent.load(std::memory_order_relaxed);
+  stats.bytes_sent = query->bytes_sent.load(std::memory_order_relaxed);
+  stats.bytes_received =
+      query->bytes_received.load(std::memory_order_relaxed);
+  stats.encode_us =
+      NanosToMicros(query->encode_nanos.load(std::memory_order_relaxed));
+  stats.decode_us =
+      NanosToMicros(query->decode_nanos.load(std::memory_order_relaxed));
+  return stats;
+}
+
+Micros NodeRuntime::query_queue_wait_us(uint64_t query_id) const {
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
+  return NanosToMicros(query->queue_wait_nanos.load(std::memory_order_relaxed));
+}
+
+Status NodeRuntime::Dispatch(uint64_t query_id, uint32_t node,
                              std::span<const SubQueryRequest> requests,
                              std::span<const uint32_t> attempts,
                              std::span<const Micros> extra_latency_us) {
@@ -131,15 +241,19 @@ Status NodeRuntime::Dispatch(uint32_t node,
   KV_CHECK(!requests.empty());
   KV_CHECK(requests.size() == attempts.size());
   KV_CHECK(requests.size() == extra_latency_us.size());
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);  // dispatch before BeginQuery / after EndQuery
 
   RequestEnvelope env;
   env.node = node;
+  env.query = query;
   env.issued_us = NowMicros();  // encode time belongs to master-to-slave
   WireBuffer buf;
-  EncodeSubQueryBatch(requests, options_.codec, registry_, buf);
+  EncodeSubQueryBatch(requests, query->codec, registry_, buf);
   const Micros encode_us = NowMicros() - env.issued_us;
-  encode_nanos_.fetch_add(MicrosToNanos(encode_us),
-                          std::memory_order_relaxed);
+  const uint64_t encode_nanos = MicrosToNanos(encode_us);
+  encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
+  query->encode_nanos.fetch_add(encode_nanos, std::memory_order_relaxed);
   if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
 
   const uint64_t frame_bytes = buf.size();
@@ -164,6 +278,8 @@ Status NodeRuntime::Dispatch(uint32_t node,
   }
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  query->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  query->bytes_sent.fetch_add(frame_bytes, std::memory_order_relaxed);
   if (frames_counter_ != nullptr) frames_counter_->Increment();
   if (bytes_sent_counter_ != nullptr) {
     bytes_sent_counter_->Increment(frame_bytes);
@@ -177,16 +293,17 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
   while (auto popped = queue.Pop()) {
     RequestEnvelope env = std::move(*popped);
     SetDepthGauge(node);
-    if (queue_wait_hist_ != nullptr) {
-      queue_wait_hist_->Record(NowMicros() - env.received_us);
-    }
+    const Micros wait_us = NowMicros() - env.received_us;
+    if (queue_wait_hist_ != nullptr) queue_wait_hist_->Record(wait_us);
+    env.query->queue_wait_nanos.fetch_add(MicrosToNanos(wait_us),
+                                          std::memory_order_relaxed);
 
     const Micros decode_start = NowMicros();
-    auto decoded =
-        DecodeSubQueryBatch(env.frame, options_.codec, registry_);
+    auto decoded = DecodeSubQueryBatch(env.frame, env.query->codec, registry_);
     const Micros decode_us = NowMicros() - decode_start;
-    decode_nanos_.fetch_add(MicrosToNanos(decode_us),
-                            std::memory_order_relaxed);
+    const uint64_t decode_nanos = MicrosToNanos(decode_us);
+    decode_nanos_.fetch_add(decode_nanos, std::memory_order_relaxed);
+    env.query->decode_nanos.fetch_add(decode_nanos, std::memory_order_relaxed);
     if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
 
     for (size_t i = 0; i < env.sub_ids.size(); ++i) {
@@ -203,6 +320,7 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
       }
       SubQueryRequest fallback;
       if (request == nullptr) {
+        fallback.query_id = env.query->query_id;
         fallback.sub_id = env.sub_ids[i];
         request = &fallback;
       }
@@ -214,6 +332,7 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
 void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
                            const RequestEnvelope& env, size_t item,
                            Status transport) {
+  QueryState& query = *env.query;
   ReplyEnvelope out;
   out.node = node;
   out.sub_id = env.sub_ids[item];
@@ -232,10 +351,10 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
     // Dequeue injection point: the node died after the master's
     // dispatch-time liveness view let the request through.
     reply.status = static_cast<uint32_t>(StatusCode::kUnavailable);
-  } else if (options_.deadline_us > 0.0 &&
-             clock_us() >= options_.deadline_us) {
-    // The deadline expired while this request sat in the queue: shed it
-    // without touching the store.
+  } else if (query.deadline_us > 0.0 &&
+             ClockMicros(query) >= query.deadline_us) {
+    // The owning query's deadline expired (on its own clock) while this
+    // request sat in the queue: shed it without touching the store.
     reply.status = static_cast<uint32_t>(StatusCode::kResourceExhausted);
   } else {
     out.db_start_us = NowMicros();
@@ -266,18 +385,21 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
       reply.status = static_cast<uint32_t>(counts.status().code());
     }
     reply.db_micros = out.db_end_us - out.db_start_us;
-    // The injected latency is charged after serving, so the request that
-    // burned the clock past a deadline still completes and only the ones
-    // behind it shed — deterministic under one worker.
-    AdvanceClock(env.extra_latency_us[item]);
+    // The injected latency is charged after serving (to the owning
+    // query's private clock), so the request that burned the clock past
+    // a deadline still completes and only the ones behind it shed —
+    // deterministic under one worker.
+    query.clock_nanos.fetch_add(MicrosToNanos(env.extra_latency_us[item]),
+                                std::memory_order_relaxed);
   }
 
   const Micros encode_start = NowMicros();
   WireBuffer buf;
-  EncodeReplyFrame(reply, options_.codec, registry_, buf);
+  EncodeReplyFrame(reply, query.codec, registry_, buf);
   const Micros encode_us = NowMicros() - encode_start;
-  encode_nanos_.fetch_add(MicrosToNanos(encode_us),
-                          std::memory_order_relaxed);
+  const uint64_t encode_nanos = MicrosToNanos(encode_us);
+  encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
+  query.encode_nanos.fetch_add(encode_nanos, std::memory_order_relaxed);
   if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
   out.frame = buf.TakeBytes();
 
@@ -290,12 +412,16 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
     out.frame[0] ^= std::byte{0x01};
   }
 
-  replies_.Push(std::move(out));
+  // Demultiplex: the reply lands on the owning query's private channel,
+  // never on another query's collector.
+  query.replies.Push(std::move(out));
 }
 
-NodeRuntime::DecodedReply NodeRuntime::AwaitReply() {
+NodeRuntime::DecodedReply NodeRuntime::AwaitReply(uint64_t query_id) {
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
   DecodedReply out;
-  auto popped = replies_.Pop();
+  auto popped = query->replies.Pop();
   if (!popped) {
     out.reply = Status::Unavailable("node runtime shut down");
     return out;
@@ -313,15 +439,21 @@ NodeRuntime::DecodedReply NodeRuntime::AwaitReply() {
   out.reply_bytes = env.frame.size();
 
   bytes_received_.fetch_add(env.frame.size(), std::memory_order_relaxed);
+  query->bytes_received.fetch_add(env.frame.size(),
+                                  std::memory_order_relaxed);
   if (bytes_received_counter_ != nullptr) {
     bytes_received_counter_->Increment(env.frame.size());
   }
 
   const Micros decode_start = NowMicros();
-  out.reply = DecodeReplyFrame(env.frame, options_.codec, registry_);
+  // The query_id-checked decode is the wire half of the demultiplexer: a
+  // reply naming another query is kCorruption, handled like any other
+  // unreadable reply (failover), never folded.
+  out.reply = DecodeReplyFrame(env.frame, query->codec, registry_, query_id);
   const Micros decode_us = NowMicros() - decode_start;
-  decode_nanos_.fetch_add(MicrosToNanos(decode_us),
-                          std::memory_order_relaxed);
+  const uint64_t decode_nanos = MicrosToNanos(decode_us);
+  decode_nanos_.fetch_add(decode_nanos, std::memory_order_relaxed);
+  query->decode_nanos.fetch_add(decode_nanos, std::memory_order_relaxed);
   if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
   return out;
 }
@@ -330,7 +462,11 @@ void NodeRuntime::Shutdown() {
   if (shut_down_.exchange(true)) return;
   for (auto& queue : queues_) queue->Close();
   for (auto& worker : workers_) worker.join();
-  replies_.Close();
+  MutexLock lock(queries_mu_);
+  // Wake live queries: their AwaitReply calls drain whatever the workers
+  // already replied, then observe the closed channel as kUnavailable.
+  for (auto& [id, query] : queries_) query->replies.Close();
+  admission_cv_.NotifyAll();
 }
 
 }  // namespace kvscale

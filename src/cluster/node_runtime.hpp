@@ -10,6 +10,16 @@
 // dequeue, decode, execute against the local store, and reply with an
 // encoded SubQueryReply frame that the master decodes and folds.
 //
+// One runtime serves *many concurrent queries*. The queues and worker
+// pools are built once and shared; each query registers with BeginQuery
+// (which is also the admission-control point: in-flight queries are
+// bounded, excess ones block or are shed with kResourceExhausted),
+// dispatches and awaits replies under its own query_id, and releases its
+// slot with EndQuery. Replies demultiplex onto per-query channels keyed
+// by query_id — interleaved gathers never see each other's replies — and
+// each query owns a private virtual clock, so one query's backoff or
+// injected latency cannot push another past its deadline.
+//
 // Because requests really sit in queues, the paper's four stages become
 // measurable wall-clock intervals instead of simulated ones:
 //
@@ -32,6 +42,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -145,31 +156,45 @@ class BoundedQueue {
   bool closed_ KV_GUARDED_BY(mu_) = false;
 };
 
-/// Knobs of one NodeRuntime instance.
+/// Structural knobs of one NodeRuntime instance — the parts that size the
+/// shared queues, worker pools, and admission controller. Per-query knobs
+/// (codec, deadline) travel with NodeRuntime::QueryOptions instead.
 struct NodeRuntimeOptions {
-  WireCodecKind codec = WireCodecKind::kCompact;
   uint32_t queue_depth = 64;       ///< request-queue capacity per node
   uint32_t workers_per_node = 1;   ///< threads draining each node's queue
   QueueFullPolicy on_queue_full = QueueFullPolicy::kBlock;
-  /// Virtual deadline shared with the gather (0 = none): a worker sheds
-  /// a request whose turn comes after the virtual clock passed the
-  /// deadline, replying kResourceExhausted without touching the store —
-  /// "expired while enqueued".
-  Micros deadline_us = 0.0;
+  /// In-flight query bound enforced by BeginQuery (0 = unbounded).
+  uint32_t max_inflight_queries = 0;
+  /// Full-admission behavior: block until a slot frees, or shed the new
+  /// query with kResourceExhausted (mirrors the queue's backpressure
+  /// policy, one level up).
+  QueueFullPolicy on_admission_full = QueueFullPolicy::kBlock;
 };
 
 /// Executes one decoded sub-query against `node`'s store.
 using SubQueryHandler = std::function<Result<TypeCounts>(
     uint32_t node, const SubQueryRequest& request, ReadProbe* probe)>;
 
-/// Per-node request queues + worker pools, with a shared reply queue
-/// draining back to the master. One instance serves one gather.
+/// Per-node request queues + worker pools shared by concurrent queries,
+/// with per-query reply channels demultiplexed on query_id.
 class NodeRuntime {
  public:
-  /// Wire-level totals of this runtime's lifetime. Bytes "sent" are
-  /// master-egress request frames; bytes "received" are the reply frames
-  /// the master decoded — the two directions of the paper's 7.5 MB
-  /// fine-grained query.
+  /// Per-query knobs, fixed for the query's lifetime at BeginQuery.
+  struct QueryOptions {
+    /// Wire codec for this query's requests and replies (the Section V-B
+    /// axis). Queries with different codecs share the runtime: each
+    /// envelope is encoded and decoded with its own query's codec.
+    WireCodecKind codec = WireCodecKind::kCompact;
+    /// Virtual deadline on this query's private clock (0 = none): a
+    /// worker sheds a request whose turn comes after the query's clock
+    /// passed its deadline, replying kResourceExhausted without touching
+    /// the store — "expired while enqueued".
+    Micros deadline_us = 0.0;
+  };
+
+  /// Wire-level totals. Bytes "sent" are master-egress request frames;
+  /// bytes "received" are the reply frames the master decoded — the two
+  /// directions of the paper's 7.5 MB fine-grained query.
   struct WireStats {
     uint64_t frames_sent = 0;     ///< request frames dispatched
     uint64_t bytes_sent = 0;      ///< request frame bytes (master egress)
@@ -188,8 +213,9 @@ class NodeRuntime {
     bool store_read = false;
     ReadProbe probe;
     /// The decoded reply; an error here means the reply *frame* was
-    /// unreadable (in-flight corruption), distinct from a decoded reply
-    /// whose `status` field reports a store error.
+    /// unreadable (in-flight corruption) or named a different query (a
+    /// demux violation), distinct from a decoded reply whose `status`
+    /// field reports a store error.
     Result<SubQueryReply> reply = Status::Unavailable("no reply");
     Micros issued_us = 0.0;
     Micros received_us = 0.0;
@@ -198,10 +224,12 @@ class NodeRuntime {
     uint64_t reply_bytes = 0;  ///< encoded reply frame size
   };
 
-  /// Spawns `nodes * options.workers_per_node` workers. `handler` serves
-  /// decoded sub-queries; `registry` must have RegisterClusterMessages
-  /// applied and outlive the runtime, as must the optional `injector`,
-  /// `metrics`, and `spans`.
+  /// Spawns `nodes * options.workers_per_node` workers — once, for the
+  /// runtime's whole life; queries come and go without touching a
+  /// thread. `handler` serves decoded sub-queries (and must be safe to
+  /// call from many workers at once); `registry` must have
+  /// RegisterClusterMessages applied and outlive the runtime, as must
+  /// the optional `injector`, `metrics`, and `spans`.
   NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
               SubQueryHandler handler, const CompactCodec& registry,
               FaultInjector* injector, MetricsRegistry* metrics,
@@ -215,25 +243,55 @@ class NodeRuntime {
     return static_cast<uint32_t>(queues_.size());
   }
 
+  /// Admission control: registers `query_id` (which must be unique among
+  /// live queries) and claims an in-flight slot. When the bound is
+  /// reached, kBlock waits for a slot (the wait lands in the
+  /// master.admission.wait_us histogram) and kReject sheds with
+  /// kResourceExhausted. kUnavailable after Shutdown. On OK the caller
+  /// owns the slot until EndQuery.
+  Status BeginQuery(uint64_t query_id, const QueryOptions& query);
+
+  /// Releases `query_id`'s slot and reply channel (all dispatched
+  /// requests must have been awaited) and wakes blocked admissions.
+  void EndQuery(uint64_t query_id);
+
+  /// Queries currently admitted and not yet ended.
+  uint32_t inflight_queries() const;
+
+  /// Re-arms the admission controller (0 = unbounded). Takes effect for
+  /// subsequent BeginQuery calls; blocked admitters re-evaluate.
+  void SetAdmissionLimit(uint32_t max_inflight, QueueFullPolicy policy);
+
+  std::atomic<uint64_t>* admitted_total() { return &admitted_; }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
   /// Encodes `requests` (with per-item attempt numbers and injected
-  /// latency charges) into one frame and enqueues it on `node`. Blocks
-  /// under kBlock when the queue is full; fails with kResourceExhausted
-  /// under kReject. One reply per request eventually reaches AwaitReply.
-  Status Dispatch(uint32_t node, std::span<const SubQueryRequest> requests,
+  /// latency charges) into one frame with `query_id`'s codec and
+  /// enqueues it on `node`. Blocks under kBlock when the queue is full;
+  /// fails with kResourceExhausted under kReject. One reply per request
+  /// eventually reaches AwaitReply(query_id). The query must be live
+  /// (between BeginQuery and EndQuery).
+  Status Dispatch(uint64_t query_id, uint32_t node,
+                  std::span<const SubQueryRequest> requests,
                   std::span<const uint32_t> attempts,
                   std::span<const Micros> extra_latency_us);
 
-  /// Blocks until one reply frame arrives and decodes it (the in-flight
-  /// corruption injection point lives between those two steps). Call
-  /// exactly once per dispatched request.
-  DecodedReply AwaitReply();
+  /// Blocks until one of `query_id`'s reply frames arrives and decodes
+  /// it (the in-flight corruption injection point lives between those
+  /// two steps; a decoded reply naming a different query_id is a demux
+  /// corruption). Call exactly once per dispatched request.
+  DecodedReply AwaitReply(uint64_t query_id);
 
-  /// The gather's shared virtual clock, in microseconds: workers add
+  /// `query_id`'s private virtual clock, in microseconds: workers add
   /// each served request's injected latency, the master adds failover
   /// backoff. Stored as integer nanoseconds so concurrent additions
-  /// commute exactly.
-  Micros clock_us() const;
-  void AdvanceClock(Micros us);
+  /// commute exactly, and per-query so one query's charges never move
+  /// another's deadline.
+  Micros clock_us(uint64_t query_id) const;
+  void AdvanceClock(uint64_t query_id, Micros us);
 
   /// Wall-clock microseconds since this runtime started — the epoch all
   /// envelope timestamps (issued/received/db_start/db_end) share, so the
@@ -243,26 +301,22 @@ class NodeRuntime {
   /// Current depth of `node`'s request queue.
   size_t queue_depth(uint32_t node) const;
 
+  /// Lifetime totals across every query this runtime served.
   WireStats wire_stats() const;
 
+  /// This query's own wire totals (read before EndQuery).
+  WireStats query_wire_stats(uint64_t query_id) const;
+
+  /// Total request-queue residency charged to this query's envelopes so
+  /// far, in microseconds (read before EndQuery).
+  Micros query_queue_wait_us(uint64_t query_id) const;
+
   /// Closes every queue and joins the workers (idempotent; the
-  /// destructor calls it).
+  /// destructor calls it). Live queries' AwaitReply calls drain and then
+  /// report kUnavailable.
   void Shutdown();
 
  private:
-  struct RequestEnvelope {
-    uint32_t node = 0;
-    std::vector<std::byte> frame;  ///< encoded SubQueryBatch
-    // Transport metadata riding outside the encoded bytes: per-item
-    // bookkeeping the master needs echoed back verbatim and the worker
-    // needs for injection and shedding decisions.
-    std::vector<uint32_t> sub_ids;
-    std::vector<uint32_t> attempts;
-    std::vector<Micros> extra_latency_us;
-    Micros issued_us = 0.0;    ///< master began handing off (pre-encode)
-    Micros received_us = 0.0;  ///< envelope entered the node's queue
-  };
-
   struct ReplyEnvelope {
     uint32_t node = 0;
     uint32_t sub_id = 0;
@@ -276,13 +330,58 @@ class NodeRuntime {
     Micros db_end_us = 0.0;
   };
 
+  /// Everything private to one admitted query: the reply channel the
+  /// demultiplexer routes into, the virtual clock, and wire totals.
+  struct QueryState {
+    QueryState(uint64_t id, const QueryOptions& options)
+        : query_id(id),
+          codec(options.codec),
+          deadline_us(options.deadline_us),
+          replies(static_cast<size_t>(-1)) {}
+
+    const uint64_t query_id;
+    const WireCodecKind codec;
+    const Micros deadline_us;
+    /// Unbounded for the same reason the old global reply queue was: a
+    /// worker must never block on a reply while the master blocks
+    /// pushing into a full request queue, or the two would deadlock.
+    BoundedQueue<ReplyEnvelope> replies;
+    std::atomic<uint64_t> clock_nanos{0};
+    std::atomic<uint64_t> frames_sent{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> encode_nanos{0};
+    std::atomic<uint64_t> decode_nanos{0};
+    std::atomic<uint64_t> queue_wait_nanos{0};
+  };
+
+  struct RequestEnvelope {
+    uint32_t node = 0;
+    /// The owning query: workers route the reply into its channel and
+    /// consult its codec, clock, and deadline. The shared_ptr keeps the
+    /// state alive even if the runtime shuts down mid-flight.
+    std::shared_ptr<QueryState> query;
+    std::vector<std::byte> frame;  ///< encoded SubQueryBatch
+    // Transport metadata riding outside the encoded bytes: per-item
+    // bookkeeping the master needs echoed back verbatim and the worker
+    // needs for injection and shedding decisions.
+    std::vector<uint32_t> sub_ids;
+    std::vector<uint32_t> attempts;
+    std::vector<Micros> extra_latency_us;
+    Micros issued_us = 0.0;    ///< master began handing off (pre-encode)
+    Micros received_us = 0.0;  ///< envelope entered the node's queue
+  };
+
   void WorkerLoop(uint32_t node);
   /// Serves one decoded request (or refuses it), appending the encoded
-  /// reply envelope to the reply queue.
+  /// reply envelope to the owning query's channel.
   void ServeOne(uint32_t node, const SubQueryRequest& request,
                 const RequestEnvelope& env, size_t item, Status transport);
   Micros NowMicros() const;
   void SetDepthGauge(uint32_t node);
+  /// The live state registered for `query_id`, or null.
+  std::shared_ptr<QueryState> FindQuery(uint64_t query_id) const;
+  static Micros ClockMicros(const QueryState& query);
 
   NodeRuntimeOptions options_;
   SubQueryHandler handler_;
@@ -291,20 +390,29 @@ class NodeRuntime {
   SpanTracer* spans_;         ///< may be null
 
   std::vector<std::unique_ptr<BoundedQueue<RequestEnvelope>>> queues_;
-  BoundedQueue<ReplyEnvelope> replies_;
   std::vector<std::thread> workers_;
   /// exchange() makes Shutdown idempotent even when the destructor races
   /// an explicit call.
   std::atomic<bool> shut_down_{false};
 
+  // -- Admission controller + query demultiplexer -------------------------
+  mutable Mutex queries_mu_;
+  CondVar admission_cv_;
+  std::map<uint64_t, std::shared_ptr<QueryState>> queries_
+      KV_GUARDED_BY(queries_mu_);
+  uint32_t max_inflight_ KV_GUARDED_BY(queries_mu_) = 0;
+  QueueFullPolicy admission_policy_ KV_GUARDED_BY(queries_mu_) =
+      QueueFullPolicy::kBlock;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+
   // The runtime measures *real* stage timings; its wall-clock epoch is
   // the whole point (the simulators never see this class).
   // kvscale-lint: allow(sim-wallclock) real data path epoch
   std::chrono::steady_clock::time_point epoch_;
-  std::atomic<uint64_t> clock_nanos_{0};
 
-  // Wire totals (kept independently of the registry so GatherResult can
-  // report them even without telemetry attached).
+  // Lifetime wire totals (kept independently of the registry so callers
+  // can read them even without telemetry attached).
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
@@ -315,9 +423,17 @@ class NodeRuntime {
   Counter* bytes_sent_counter_ = nullptr;      ///< wire.bytes.sent
   Counter* bytes_received_counter_ = nullptr;  ///< wire.bytes.received
   Counter* frames_counter_ = nullptr;          ///< wire.frames.sent
+  Counter* admitted_counter_ = nullptr;        ///< master.admission.admitted
+  Counter* shed_counter_ = nullptr;            ///< master.admission.shed
+  Gauge* inflight_gauge_ = nullptr;            ///< master.queries.inflight
   LatencyHistogram* encode_hist_ = nullptr;    ///< wire.encode.latency_us
   LatencyHistogram* decode_hist_ = nullptr;    ///< wire.decode.latency_us
   LatencyHistogram* queue_wait_hist_ = nullptr;  ///< cluster.queue.wait_us
+  /// master.admission.wait_us: time BeginQuery blocked for a slot.
+  LatencyHistogram* admission_wait_hist_ = nullptr;
+  /// master.query.queue_wait_us: one sample per query at EndQuery — the
+  /// query's total request-queue residency.
+  LatencyHistogram* query_queue_wait_hist_ = nullptr;
   std::vector<Gauge*> depth_gauges_;  ///< cluster.queue.depth.node<N>
 };
 

@@ -22,6 +22,7 @@ double UnitFromHash(uint64_t bits) {
 constexpr uint64_t kErrorSalt = 0x9d3f2c6a715b04e9ULL;
 constexpr uint64_t kSpikeSalt = 0x1b45ef8820c7d36dULL;
 constexpr uint64_t kReplySalt = 0x7e21ab9c44d0f583ULL;
+constexpr uint64_t kWalSalt = 0x35c8d91e6f0a27b4ULL;
 
 uint64_t AttemptBasis(uint64_t seed, uint32_t node,
                       std::string_view partition_key, uint32_t attempt) {
@@ -89,6 +90,19 @@ bool FaultInjector::ShouldCorruptReply(uint32_t node,
     return true;
   }
   return false;
+}
+
+Status FaultInjector::OnWalWrite(uint32_t node,
+                                 std::string_view partition_key) const {
+  if (config_.wal_error_rate <= 0.0) return Status::Ok();
+  const uint64_t basis =
+      AttemptBasis(config_.seed, node, partition_key, /*attempt=*/0);
+  if (UnitFromHash(basis ^ kWalSalt) < config_.wal_error_rate) {
+    injected_wal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected WAL write error on node " +
+                               std::to_string(node));
+  }
+  return Status::Ok();
 }
 
 uint64_t FaultInjector::CorruptTableBlocks(Table& table, double fraction) {

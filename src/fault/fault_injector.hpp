@@ -56,6 +56,11 @@ struct FaultConfig {
   /// garbage). Consulted by NodeRuntime at the reply injection point;
   /// the direct-call gather never sees it.
   double reply_corrupt_rate = 0.0;
+  /// Probability that one WAL append (a replica's DurablePut) fails with
+  /// kUnavailable — a full or failing log device. Consulted by
+  /// InProcessCluster::Put at the write injection point; reads never
+  /// see it.
+  double wal_error_rate = 0.0;
 };
 
 /// Seedable, deterministic fault source shared by stores and the cluster.
@@ -100,6 +105,14 @@ class FaultInjector {
   bool ShouldCorruptReply(uint32_t node, std::string_view partition_key,
                           uint32_t attempt) const;
 
+  // -- Write faults -------------------------------------------------------
+
+  /// Decides the fate of the WAL append for one replica write of
+  /// `partition_key` on `node`: Ok, or kUnavailable with probability
+  /// `wal_error_rate`. Deterministic in (seed, node, key) with an
+  /// independent salt, so identical load phases fail identically.
+  Status OnWalWrite(uint32_t node, std::string_view partition_key) const;
+
   // -- Data corruption ----------------------------------------------------
 
   /// Flips one bit in roughly `fraction` of `table`'s segment blocks
@@ -126,6 +139,9 @@ class FaultInjector {
   uint64_t corrupted_replies() const {
     return corrupted_replies_.load(std::memory_order_relaxed);
   }
+  uint64_t injected_wal_errors() const {
+    return injected_wal_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultConfig config_;
@@ -139,6 +155,7 @@ class FaultInjector {
   mutable std::atomic<uint64_t> injected_spikes_{0};
   mutable std::atomic<uint64_t> rejected_dead_{0};
   mutable std::atomic<uint64_t> corrupted_replies_{0};
+  mutable std::atomic<uint64_t> injected_wal_errors_{0};
 };
 
 }  // namespace kvscale

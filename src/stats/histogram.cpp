@@ -16,6 +16,11 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 
 void Histogram::Add(double x) {
   auto idx = static_cast<int64_t>(std::floor((x - lo_) / width_));
+  if (idx < 0) {
+    ++underflow_;
+  } else if (idx >= static_cast<int64_t>(counts_.size())) {
+    ++overflow_;
+  }
   idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(idx)];
   ++total_;
@@ -47,6 +52,20 @@ std::string Histogram::Render(size_t max_width) const {
     char tail[32];
     std::snprintf(tail, sizeof(tail), " %.4f\n", Density(i));
     out += tail;
+  }
+  char clamped[96];
+  if (underflow_ > 0) {
+    std::snprintf(clamped, sizeof(clamped),
+                  "underflow (x < %.3f, clamped into first bin): %llu\n", lo_,
+                  static_cast<unsigned long long>(underflow_));
+    out += clamped;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(clamped, sizeof(clamped),
+                  "overflow (x >= %.3f, clamped into last bin): %llu\n",
+                  lo_ + width_ * static_cast<double>(counts_.size()),
+                  static_cast<unsigned long long>(overflow_));
+    out += clamped;
   }
   return out;
 }

@@ -15,7 +15,9 @@ namespace kvscale {
 class Histogram {
  public:
   /// Bins [lo, hi) into `bins` equal intervals; values outside the range
-  /// are clamped into the first/last bin.
+  /// are clamped into the first/last bin *and* tallied as underflow /
+  /// overflow, so a clamped edge bin can be told apart from a genuine
+  /// edge mode (Fig. 3's max-load tail reads the edges).
   Histogram(double lo, double hi, size_t bins);
 
   void Add(double x);
@@ -23,6 +25,12 @@ class Histogram {
   size_t bin_count() const { return counts_.size(); }
   uint64_t count(size_t bin) const { return counts_.at(bin); }
   uint64_t total() const { return total_; }
+
+  /// Samples below lo (clamped into bin 0).
+  uint64_t underflow() const { return underflow_; }
+  /// Samples at or above hi (clamped into the last bin; hi itself is
+  /// outside the half-open range).
+  uint64_t overflow() const { return overflow_; }
 
   /// Centre of bin `i`.
   double BinCenter(size_t i) const;
@@ -38,6 +46,8 @@ class Histogram {
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
 };
 
 /// Exact counts over integer outcomes (e.g. "max bin load = k").

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "stats/summary.hpp"
 
@@ -47,13 +48,42 @@ struct RequestTrace {
 };
 
 /// Collects the traces of one distributed query execution.
+///
+/// Recording is thread-safe: concurrent gathers sharing one runtime all
+/// record into the same tracer. The read-side accessors are not locked —
+/// they assume recording has quiesced (every recording thread joined),
+/// which every consumer (reports, exports, tests) already guarantees.
 class StageTracer {
  public:
-  void Record(RequestTrace trace) { traces_.push_back(trace); }
-  void Clear() { traces_.clear(); }
+  StageTracer() = default;
+  // The mutex pins copies/moves, so transfer just the recorded traces.
+  // Transferring a tracer while another thread records into it is a
+  // contract violation (same quiescence rule as the read side).
+  StageTracer(const StageTracer& other) : traces_(other.Snapshot()) {}
+  StageTracer(StageTracer&& other) noexcept : traces_(other.Take()) {}
+  StageTracer& operator=(const StageTracer& other) {
+    if (this != &other) Replace(other.Snapshot());
+    return *this;
+  }
+  StageTracer& operator=(StageTracer&& other) noexcept {
+    if (this != &other) Replace(other.Take());
+    return *this;
+  }
+
+  void Record(RequestTrace trace) {
+    MutexLock lock(mu_);
+    traces_.push_back(trace);
+  }
+  void Clear() {
+    MutexLock lock(mu_);
+    traces_.clear();
+  }
 
   const std::vector<RequestTrace>& traces() const { return traces_; }
-  size_t size() const { return traces_.size(); }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return traces_.size();
+  }
 
   /// Makespan: last completion minus first issue (0 when empty).
   Micros Makespan() const;
@@ -78,6 +108,22 @@ class StageTracer {
   std::string SummaryReport() const;
 
  private:
+  std::vector<RequestTrace> Snapshot() const {
+    MutexLock lock(mu_);
+    return traces_;
+  }
+  std::vector<RequestTrace> Take() {
+    MutexLock lock(mu_);
+    return std::move(traces_);
+  }
+  void Replace(std::vector<RequestTrace> traces) {
+    MutexLock lock(mu_);
+    traces_ = std::move(traces);
+  }
+
+  mutable Mutex mu_;
+  // Deliberately not KV_GUARDED_BY(mu_): the read-side methods are
+  // unlocked by contract (recording must have quiesced first).
   std::vector<RequestTrace> traces_;
 };
 

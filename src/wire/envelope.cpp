@@ -136,4 +136,19 @@ Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
   return DecodeWith<SubQueryReply>(kind, registry, split.value().front());
 }
 
+Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
+                                       WireCodecKind kind,
+                                       const CompactCodec& registry,
+                                       uint64_t expected_query_id) {
+  auto decoded = DecodeReplyFrame(frame, kind, registry);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded.value().query_id != expected_query_id) {
+    return Status::Corruption(
+        "reply frame: demux mismatch (reply names query " +
+        std::to_string(decoded.value().query_id) + ", channel belongs to " +
+        std::to_string(expected_query_id) + ")");
+  }
+  return decoded;
+}
+
 }  // namespace kvscale

@@ -108,4 +108,13 @@ Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
                                        WireCodecKind kind,
                                        const CompactCodec& registry);
 
+/// Query-id-checked variant for demultiplexed reply channels: beyond
+/// frame validation, a decoded reply whose query_id differs from
+/// `expected_query_id` is kCorruption — a reply that slipped onto the
+/// wrong query's channel must never be folded into its result.
+Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
+                                       WireCodecKind kind,
+                                       const CompactCodec& registry,
+                                       uint64_t expected_query_id);
+
 }  // namespace kvscale

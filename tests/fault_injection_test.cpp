@@ -35,7 +35,7 @@ WorkloadSpec LoadUniform(InProcessCluster& cluster, int partitions,
       c.clustering = i;
       c.type_id = i % 5;
       c.payload = MakePayload(part, i, 24);
-      cluster.Put("t", key, std::move(c));
+      EXPECT_TRUE(cluster.Put("t", key, std::move(c)).ok());
       if (truth != nullptr) ++(*truth)[i % 5];
     }
     workload.partitions.push_back(
@@ -368,6 +368,68 @@ TEST(ClusterFaultToleranceTest, DeadlineStopsRetryingAndDegrades) {
   EXPECT_LT(deadlined.retries, unbounded.retries);
   EXPECT_LE(deadlined.virtual_latency_us, unbounded.virtual_latency_us);
   EXPECT_EQ(deadlined.completed + deadlined.failed, deadlined.subqueries);
+}
+
+// A failing log device must degrade the put — skip the replica, tally
+// the error, surface a Status — never crash the process. (Before the
+// fix, Put KV_CHECKed the WAL append and a single injected failure
+// aborted the whole run.)
+TEST(ClusterFaultToleranceTest, InjectedWalFailureDegradesPutNotTheProcess) {
+  const std::string wal_prefix = TempPath("walfail");
+  StoreOptions store_options;
+  store_options.wal_path = wal_prefix;
+  MetricsRegistry registry;
+  InProcessCluster cluster(3, PlacementKind::kDhtRandom, store_options, 7);
+  cluster.AttachTelemetry(nullptr, &registry);
+
+  FaultConfig config;
+  config.seed = 77;
+  config.wal_error_rate = 0.2;
+  FaultInjector injector(config);
+  cluster.AttachFaultInjector(&injector);
+
+  // OnWalWrite hashes (seed, node, key): every column of a partition
+  // lands on the same decision, so with replication 1 a partition is
+  // either fully written or fully refused.
+  WorkloadSpec workload;
+  workload.table = "t";
+  TypeCounts truth;
+  uint64_t lost_partitions = 0;
+  uint64_t failed_puts = 0;
+  for (int part = 0; part < 40; ++part) {
+    const std::string key = "p" + std::to_string(part);
+    bool wrote = true;
+    for (int i = 0; i < 4; ++i) {
+      Column c;
+      c.clustering = i;
+      c.type_id = i % 3;
+      c.payload = MakePayload(part, i, 24);
+      const Status put = cluster.Put("t", key, std::move(c));
+      if (put.ok()) {
+        ++truth[i % 3];
+      } else {
+        EXPECT_EQ(put.code(), StatusCode::kUnavailable);
+        wrote = false;
+        ++failed_puts;
+      }
+    }
+    if (!wrote) ++lost_partitions;
+    workload.partitions.push_back(PartitionRef{key, 4});
+  }
+  ASSERT_GT(failed_puts, 0u);  // the fault really fired...
+  ASSERT_LT(lost_partitions, 40u);  // ...but not everywhere
+  EXPECT_GT(injector.injected_wal_errors(), 0u);
+  EXPECT_EQ(registry.GetCounter("cluster.put.errors").Value(), failed_puts);
+
+  // The written partitions still answer exactly; the refused ones read
+  // as clean authoritative misses, not errors.
+  const GatherResult result = cluster.CountByTypeAll(workload);
+  EXPECT_EQ(result.totals, truth);
+  EXPECT_EQ(result.partitions_missing, lost_partitions);
+  EXPECT_EQ(result.failed, 0u);
+  for (int n = 0; n < 3; ++n) {
+    std::remove((wal_prefix + ".node" + std::to_string(n)).c_str());
+  }
 }
 
 }  // namespace

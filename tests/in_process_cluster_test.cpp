@@ -46,7 +46,7 @@ TEST(InProcessClusterTest, DistributedAggregationMatchesTruth) {
     const std::string key = CubeKey(3, morton);
     for (uint64_t id : tree.CubeParticles(3, morton)) {
       const Particle& p = particles[id];
-      cluster.Put("cubes", key, ParticleColumn(p, morton));
+      EXPECT_TRUE(cluster.Put("cubes", key, ParticleColumn(p, morton)).ok());
       ++truth[p.type];
     }
     workload.partitions.push_back(PartitionRef{key, count});
@@ -67,7 +67,7 @@ TEST(InProcessClusterTest, ColumnsLandOnOwnersOnly) {
   c.clustering = 1;
   c.type_id = 0;
   for (int i = 0; i < 200; ++i) {
-    cluster.Put("t", "part-" + std::to_string(i), c);
+    EXPECT_TRUE(cluster.Put("t", "part-" + std::to_string(i), c).ok());
   }
   cluster.FlushAll();
   const auto per_node = cluster.ColumnsPerNode("t");
@@ -88,7 +88,7 @@ TEST(InProcessClusterTest, MissingPartitionsAreCounted) {
   InProcessCluster cluster(2, PlacementKind::kDhtRandom, StoreOptions{}, 7);
   Column c;
   c.clustering = 1;
-  cluster.Put("t", "exists", c);
+  EXPECT_TRUE(cluster.Put("t", "exists", c).ok());
   cluster.FlushAll();
   WorkloadSpec workload;
   workload.table = "t";
@@ -104,7 +104,7 @@ TEST(InProcessClusterTest, ProbesRecordRealWork) {
   c.clustering = 1;
   for (int i = 0; i < 50; ++i) {
     c.clustering = i;
-    cluster.Put("t", "p", c);
+    EXPECT_TRUE(cluster.Put("t", "p", c).ok());
   }
   cluster.FlushAll();
   WorkloadSpec workload;
@@ -133,7 +133,7 @@ TEST(InProcessClusterTest, ReplicationStoresEveryCopyAndAllReplicasAgree) {
       Column c;
       c.clustering = i;
       c.type_id = i % 3;
-      cluster.Put("t", key, c);
+      EXPECT_TRUE(cluster.Put("t", key, c).ok());
       ++truth[i % 3];
     }
     workload.partitions.push_back(PartitionRef{key, 25});
@@ -177,7 +177,7 @@ TEST(InProcessClusterTest, ReplicaReadsSpreadRequestLoad) {
     const std::string key = "p" + std::to_string(part);
     Column c;
     c.clustering = 1;
-    cluster.Put("t", key, c);
+    EXPECT_TRUE(cluster.Put("t", key, c).ok());
     workload.partitions.push_back(PartitionRef{key, 1});
   }
   cluster.FlushAll();
@@ -201,7 +201,7 @@ TEST(InProcessClusterTest, ParallelGatherMatchesSerial) {
   for (const auto& [morton, count] : tree.CubeSizes(3)) {
     const std::string key = CubeKey(3, morton);
     for (uint64_t id : tree.CubeParticles(3, morton)) {
-      cluster.Put("cubes", key, ParticleColumn(particles[id], morton));
+      EXPECT_TRUE(cluster.Put("cubes", key, ParticleColumn(particles[id], morton)).ok());
     }
     workload.partitions.push_back(PartitionRef{key, count});
   }
@@ -234,7 +234,7 @@ TEST(InProcessClusterTest, TelemetryCountersTrackTheDataPath) {
       c.clustering = i;
       c.type_id = i % 4;
       c.payload = MakePayload(part, i, 30);
-      cluster.Put("t", key, c);
+      EXPECT_TRUE(cluster.Put("t", key, c).ok());
     }
     workload.partitions.push_back(PartitionRef{key, 30});
   }
@@ -296,7 +296,7 @@ TEST_P(PlacementKindSweep, AggregationCorrectUnderEveryPolicy) {
       Column c;
       c.clustering = i;
       c.type_id = i % 4;
-      cluster.Put("t", key, c);
+      EXPECT_TRUE(cluster.Put("t", key, c).ok());
       ++truth[i % 4];
     }
     workload.partitions.push_back(PartitionRef{key, 20});
@@ -312,6 +312,41 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PlacementKind::kDhtRandom, PlacementKind::kTokenRing,
                       PlacementKind::kRoundRobin,
                       PlacementKind::kJumpHash));
+
+// A load-aware policy must see *read* traffic, not just first placements:
+// dispatch feedback is recorded where requests are actually issued, so a
+// hot partition's repeat traffic steers new placements away from its
+// node. (Before the fix, OnDispatch only fired on a directory miss, so a
+// thousand gathers over one key looked like zero load.)
+TEST(InProcessClusterTest, RepeatedGathersSteerLoadAwarePlacement) {
+  InProcessCluster cluster(2, PlacementKind::kLeastLoaded, StoreOptions{}, 5);
+  WorkloadSpec hot;
+  hot.table = "t";
+  Column c;
+  c.clustering = 1;
+  c.type_id = 0;
+  EXPECT_TRUE(cluster.Put("t", "hot", c).ok());
+  hot.partitions.push_back(PartitionRef{"hot", 1});
+  cluster.FlushAll();
+  const NodeId hot_node = cluster.OwnerOf("hot");
+  const NodeId cold_node = 1 - hot_node;
+
+  // Hammer the hot partition: every read is dispatched load.
+  for (int round = 0; round < 20; ++round) {
+    const GatherResult r = cluster.CountByTypeAll(hot);
+    ASSERT_EQ(r.failed, 0u);
+  }
+  const std::vector<int64_t> load = cluster.PlacementLoad();
+  EXPECT_GE(load[hot_node], 20);  // the write + twenty reads
+  EXPECT_GT(load[hot_node], load[cold_node] + 10);
+
+  // Least-loaded now sends every fresh key to the cold node until it
+  // catches up — far more than the ten we place.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cluster.OwnerOf("fresh-" + std::to_string(i)), cold_node)
+        << "fresh key " << i << " ignored the hot node's read traffic";
+  }
+}
 
 }  // namespace
 }  // namespace kvscale

@@ -38,7 +38,7 @@ TEST(IntegrationTest, RealDataPipelineEndToEnd) {
       c.clustering = p.id;
       c.type_id = p.type;
       c.payload = MakePayload(morton, p.id, kParticlePayloadBytes);
-      cluster.Put(workload.table, key, std::move(c));
+      ASSERT_TRUE(cluster.Put(workload.table, key, std::move(c)).ok());
       ++truth[p.type];
     }
     workload.partitions.push_back(PartitionRef{key, count});

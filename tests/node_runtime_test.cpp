@@ -34,7 +34,7 @@ WorkloadSpec LoadUniform(InProcessCluster& cluster, int partitions,
       c.clustering = i;
       c.type_id = i % 5;
       c.payload = MakePayload(part, i, 24);
-      cluster.Put("t", key, std::move(c));
+      EXPECT_TRUE(cluster.Put("t", key, std::move(c)).ok());
       if (truth != nullptr) ++(*truth)[i % 5];
     }
     workload.partitions.push_back(
@@ -128,6 +128,7 @@ TEST(NodeRuntimeTest, DispatchRoundTripsOneSubQuery) {
         return TypeCounts{{3, req.expected_elements}};
       },
       registry, nullptr, nullptr, nullptr);
+  ASSERT_TRUE(runtime.BeginQuery(42, NodeRuntime::QueryOptions{}).ok());
 
   SubQueryRequest req;
   req.query_id = 42;
@@ -138,12 +139,12 @@ TEST(NodeRuntimeTest, DispatchRoundTripsOneSubQuery) {
   const uint32_t attempt = 0;
   const Micros extra = 0.0;
   ASSERT_TRUE(runtime
-                  .Dispatch(1, std::span<const SubQueryRequest>(&req, 1),
+                  .Dispatch(42, 1, std::span<const SubQueryRequest>(&req, 1),
                             std::span<const uint32_t>(&attempt, 1),
                             std::span<const Micros>(&extra, 1))
                   .ok());
 
-  const NodeRuntime::DecodedReply reply = runtime.AwaitReply();
+  const NodeRuntime::DecodedReply reply = runtime.AwaitReply(42);
   EXPECT_EQ(reply.node, 1u);
   EXPECT_EQ(reply.sub_id, 7u);
   EXPECT_TRUE(reply.store_read);
@@ -162,6 +163,13 @@ TEST(NodeRuntimeTest, DispatchRoundTripsOneSubQuery) {
   EXPECT_EQ(wire.frames_sent, 1u);
   EXPECT_GT(wire.bytes_sent, 0u);
   EXPECT_GT(wire.bytes_received, 0u);
+  // The query's private accounting matches: it was the only traffic.
+  const NodeRuntime::WireStats own = runtime.query_wire_stats(42);
+  EXPECT_EQ(own.frames_sent, wire.frames_sent);
+  EXPECT_EQ(own.bytes_sent, wire.bytes_sent);
+  EXPECT_EQ(own.bytes_received, wire.bytes_received);
+  runtime.EndQuery(42);
+  EXPECT_EQ(runtime.inflight_queries(), 0u);
 }
 
 TEST(NodeRuntimeTest, RejectPolicyShedsWhenQueueAndWorkerAreBusy) {
@@ -184,15 +192,17 @@ TEST(NodeRuntimeTest, RejectPolicyShedsWhenQueueAndWorkerAreBusy) {
         return TypeCounts{};
       },
       registry, nullptr, nullptr, nullptr);
+  ASSERT_TRUE(runtime.BeginQuery(9, NodeRuntime::QueryOptions{}).ok());
 
   auto dispatch_one = [&](uint32_t sub_id) {
     SubQueryRequest req;
+    req.query_id = 9;
     req.sub_id = sub_id;
     req.table = "t";
     req.partition_key = "p" + std::to_string(sub_id);
     const uint32_t attempt = 0;
     const Micros extra = 0.0;
-    return runtime.Dispatch(0, std::span<const SubQueryRequest>(&req, 1),
+    return runtime.Dispatch(9, 0, std::span<const SubQueryRequest>(&req, 1),
                             std::span<const uint32_t>(&attempt, 1),
                             std::span<const Micros>(&extra, 1));
   };
@@ -205,9 +215,10 @@ TEST(NodeRuntimeTest, RejectPolicyShedsWhenQueueAndWorkerAreBusy) {
   EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
 
   release_worker.count_down();
-  EXPECT_TRUE(runtime.AwaitReply().reply.ok());
-  EXPECT_TRUE(runtime.AwaitReply().reply.ok());
+  EXPECT_TRUE(runtime.AwaitReply(9).reply.ok());
+  EXPECT_TRUE(runtime.AwaitReply(9).reply.ok());
   EXPECT_EQ(runtime.wire_stats().frames_sent, 2u);  // the reject sent nothing
+  runtime.EndQuery(9);
 }
 
 // ---------------------------------------------------------------------------

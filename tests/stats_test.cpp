@@ -93,6 +93,43 @@ TEST(HistogramTest, ClampsOutOfRange) {
   EXPECT_EQ(h.count(3), 1u);
 }
 
+// Clamping used to be silent: a pile-up in an edge bin was
+// indistinguishable from genuine edge samples. The tallies tell them
+// apart.
+TEST(HistogramTest, TalliesUnderflowAndOverflowAtExactBoundaries) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.0);   // lowest in-range value: first bin, no underflow
+  h.Add(-0.1);  // below range
+  h.Add(0.999); // last bin, in range
+  h.Add(1.0);   // the half-open upper edge is out of range
+  h.Add(2.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // the clamped underflow landed here
+  EXPECT_EQ(h.count(3), 3u);  // and the two overflows here
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, InRangeSamplesLeaveTalliesAtZero) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.Render(10).find("underflow"), std::string::npos);
+  EXPECT_EQ(h.Render(10).find("overflow"), std::string::npos);
+}
+
+TEST(HistogramTest, RenderReportsClampedTails) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(-1.0);
+  h.Add(9.0);
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find("underflow (x < 0.000"), std::string::npos) << out;
+  EXPECT_NE(out.find("overflow (x >= 2.000"), std::string::npos) << out;
+  EXPECT_NE(out.find(": 1"), std::string::npos);
+}
+
 TEST(HistogramTest, RenderShowsBars) {
   Histogram h(0.0, 2.0, 2);
   h.Add(0.5);

@@ -269,6 +269,32 @@ TEST(FrameEnvelopeTest, EmptyBatchAndMultiPayloadRepliesAreRejected) {
   EXPECT_EQ(reply.status().code(), StatusCode::kCorruption);
 }
 
+// The demultiplexed reply channels are per-query: a structurally valid
+// reply naming the wrong query must be refused at decode, not folded
+// into the wrong gather's result.
+TEST(FrameEnvelopeTest, QueryIdCheckedDecodeRejectsCrossQueryReplies) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  SubQueryReply msg;
+  msg.query_id = 7;
+  msg.sub_id = 3;
+  msg.status = 0;
+  msg.type_ids = {1, 2};
+  msg.counts = {10, 20};
+  for (const WireCodecKind kind :
+       {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
+    WireBuffer buffer;
+    EncodeReplyFrame(msg, kind, codec, buffer);
+    const auto own = DecodeReplyFrame(buffer.data(), kind, codec, 7);
+    ASSERT_TRUE(own.ok());
+    EXPECT_EQ(own.value().sub_id, 3u);
+    const auto stray = DecodeReplyFrame(buffer.data(), kind, codec, 8);
+    ASSERT_FALSE(stray.ok());
+    EXPECT_EQ(stray.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(stray.status().message().find("demux"), std::string::npos);
+  }
+}
+
 TEST_P(WireFuzzTest, RandomBytesNeverCrashTheFrameDecoders) {
   Rng rng(GetParam() ^ 0x50fa);
   CompactCodec codec;

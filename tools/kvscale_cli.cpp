@@ -301,6 +301,10 @@ struct GatherArgs {
   int64_t queue_depth = 0;     ///< 0 = runtime default
   int64_t workers_per_node = 0;  ///< 0 = runtime default
   std::string queue_policy;    ///< "" = default (block)
+  int64_t clients = 1;         ///< concurrent client threads (needs --codec)
+  int64_t queries = 1;         ///< queries per client when --clients > 1
+  int64_t max_inflight = 0;    ///< admission limit; 0 = unlimited
+  std::string admission_policy;  ///< "" = default (block)
 
   void Register(CliFlags& flags) {
     flags.Add("threads", &threads, "gather worker threads (1 = serial)");
@@ -332,6 +336,14 @@ struct GatherArgs {
               "worker threads draining each node's queue (needs --codec)");
     flags.Add("queue-policy", &queue_policy,
               "full-queue behavior: block|reject (needs --codec)");
+    flags.Add("clients", &clients,
+              "concurrent client threads sharing one runtime (needs --codec)");
+    flags.Add("queries", &queries,
+              "queries issued per client when --clients > 1");
+    flags.Add("max-inflight", &max_inflight,
+              "admission limit on concurrent queries; 0 = unlimited");
+    flags.Add("admission-policy", &admission_policy,
+              "behavior at the admission limit: block|reject");
   }
 
   Status Validate(const CommonArgs& args) const {
@@ -360,13 +372,19 @@ struct GatherArgs {
     if (max_attempts < 1) {
       return Status::InvalidArgument("--max-attempts must be >= 1");
     }
+    if (clients < 1) return Status::InvalidArgument("--clients must be >= 1");
+    if (queries < 1) return Status::InvalidArgument("--queries must be >= 1");
+    if (max_inflight < 0) {
+      return Status::InvalidArgument("--max-inflight must be >= 0");
+    }
     if (codec.empty()) {
       if (batch || queue_depth != 0 || workers_per_node != 0 ||
-          !queue_policy.empty()) {
+          !queue_policy.empty() || clients != 1 || max_inflight != 0 ||
+          !admission_policy.empty()) {
         return Status::InvalidArgument(
-            "--batch/--queue-depth/--workers-per-node/--queue-policy "
-            "configure the message transport and require --codec "
-            "{tagged,compact}");
+            "--batch/--queue-depth/--workers-per-node/--queue-policy/"
+            "--clients/--max-inflight/--admission-policy configure the "
+            "message transport and require --codec {tagged,compact}");
       }
     } else {
       auto parsed = ParseWireCodec(codec);
@@ -379,6 +397,10 @@ struct GatherArgs {
       }
       if (!queue_policy.empty()) {
         auto policy = ParseQueueFullPolicy(queue_policy);
+        if (!policy.ok()) return policy.status();
+      }
+      if (!admission_policy.empty()) {
+        auto policy = ParseQueueFullPolicy(admission_policy);
         if (!policy.ok()) return policy.status();
       }
     }
@@ -420,7 +442,7 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
         column.type_id = j % 8;
         column.payload = MakePayload(
             part_seed, j, static_cast<size_t>(gather_args.payload_bytes));
-        cluster.Put(workload.table, part.key, std::move(column));
+        KV_CHECK(cluster.Put(workload.table, part.key, std::move(column)).ok());
       }
       ++part_seed;
     }
@@ -468,7 +490,43 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
       options.queue_policy =
           ParseQueueFullPolicy(gather_args.queue_policy).value();
     }
+    options.max_inflight = static_cast<uint32_t>(gather_args.max_inflight);
+    if (!gather_args.admission_policy.empty()) {
+      options.admission_policy =
+          ParseQueueFullPolicy(gather_args.admission_policy).value();
+    }
     cluster.AttachStageTracer(&stages);
+  }
+
+  if (gather_args.clients > 1) {
+    // Multi-client mode: N threads hammer the shared runtime; the
+    // figure of merit is queries/s at the master (paper Fig. 11).
+    const ConcurrentGatherReport report = cluster.CountByTypeAllConcurrent(
+        workload, static_cast<uint32_t>(gather_args.clients),
+        static_cast<uint32_t>(gather_args.queries), options);
+    uint64_t failed = 0;
+    for (const GatherResult& r : report.results) failed += r.failed;
+    std::printf(
+        "concurrent gather: %lld clients x %lld queries over %zu "
+        "partitions (replication %lld, max-inflight %lld)\n",
+        static_cast<long long>(gather_args.clients),
+        static_cast<long long>(gather_args.queries),
+        workload.partitions.size(),
+        static_cast<long long>(gather_args.replication),
+        static_cast<long long>(gather_args.max_inflight));
+    std::printf(
+        "  %llu queries in %s: %.1f queries/s | admitted %llu, shed %llu | "
+        "%llu failed sub-queries\n",
+        static_cast<unsigned long long>(report.queries),
+        FormatMicros(report.wall_us).c_str(), report.queries_per_sec,
+        static_cast<unsigned long long>(report.admitted),
+        static_cast<unsigned long long>(report.shed),
+        static_cast<unsigned long long>(failed));
+    std::printf("  runtime built %llu time%s for the whole run\n",
+                static_cast<unsigned long long>(cluster.runtime_builds()),
+                cluster.runtime_builds() == 1 ? "" : "s");
+    std::printf("%s", registry.SummaryReport().c_str());
+    return ExportTelemetry(args, tracer, registry) ? 0 : 1;
   }
 
   GatherResult result;
@@ -536,6 +594,8 @@ void PrintUsage() {
       "             --corrupt-rate --deadline-ms --max-attempts --hedge\n"
       "             wire flags: --codec {tagged,compact} --batch\n"
       "             --queue-depth --workers-per-node --queue-policy\n"
+      "             multi-query flags: --clients --queries --max-inflight\n"
+      "             --admission-policy {block,reject}\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
       "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");

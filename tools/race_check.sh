@@ -19,12 +19,18 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # message-vs-direct parity (including the chaos run), parallel gathers,
 # and concurrent store reads.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency'
+  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency|SharedRuntime|AdmissionControl|ConcurrentGather'
 
 # One sanitized end-to-end run over the wire: batched compact frames,
 # multiple workers per node, chaos on top.
 ./build-tsan/tools/kvscale gather --nodes 4 --keys 60 --elements 6000 \
   --replication 3 --fail-node 0 --fail-rate 0.02 --rounds 2 \
   --max-attempts 4 --codec compact --batch --workers-per-node 4
+
+# And one with concurrent clients sharing the runtime, admission capped:
+# every data structure on the multi-query path gets exercised under TSan.
+./build-tsan/tools/kvscale gather --nodes 4 --keys 40 --elements 4000 \
+  --replication 2 --fail-rate 0.01 --max-attempts 4 --codec compact \
+  --batch --workers-per-node 2 --clients 6 --queries 2 --max-inflight 4
 
 echo "race_check: OK"
