@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span_tracer.hpp"
+#include "telemetry/timeseries.hpp"
 #include "trace/stage_trace.hpp"
 
 namespace kvscale {
@@ -55,6 +56,13 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     }
     spans_->SetTrackName(master_track(), "master");
   }
+  if (spans_ != nullptr) {
+    // Span drops are operational signal: mirror them into the registry so
+    // a truncated trace is visible next to the metrics it accompanies.
+    spans_->set_dropped_counter(
+        metrics != nullptr ? &metrics->GetCounter("telemetry.spans.dropped")
+                           : nullptr);
+  }
   if (metrics != nullptr) {
     subqueries_counter_ = &metrics->GetCounter("cluster.subqueries");
     missing_counter_ = &metrics->GetCounter("cluster.partitions_missing");
@@ -83,6 +91,52 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
 
 void InProcessCluster::AttachStageTracer(StageTracer* stages) {
   stage_tracer_ = stages;
+}
+
+void InProcessCluster::AttachFlightRecorder(FlightRecorder* recorder) {
+  flight_recorder_ = recorder;
+}
+
+void InProcessCluster::AttachTimeSeries(MetricsTimeSeries* timeseries) {
+  timeseries_ = timeseries;
+}
+
+void InProcessCluster::RecordGather(uint64_t query_id, const std::string& table,
+                                    std::string_view transport,
+                                    const GatherResult& result,
+                                    std::vector<SubQueryTimelineEntry> timeline) {
+  // Advance the cadence clock even when nothing is attached: a collector
+  // attached mid-run starts from the cluster's accumulated time, not 0.
+  const uint64_t advance =
+      static_cast<uint64_t>(std::max(result.wall_us, 0.0) * 1e3);
+  const uint64_t clock_nanos =
+      telemetry_clock_nanos_.fetch_add(advance, std::memory_order_relaxed) +
+      advance;
+  if (flight_recorder_ != nullptr) {
+    QueryRecord record;
+    record.query_id = query_id;
+    record.table = table;
+    record.transport = std::string(transport);
+    record.subqueries = result.subqueries;
+    record.completed = result.completed;
+    record.failed = result.failed;
+    record.retries = result.retries;
+    record.hedged = result.hedged;
+    record.partial = result.partial;
+    record.shed_by_admission = result.shed_by_admission;
+    record.admission_wait_us = result.admission_wait_us;
+    record.queue_wait_us = result.queue_wait_us;
+    record.virtual_latency_us = result.virtual_latency_us;
+    record.wall_us = result.wall_us;
+    record.wire_bytes_sent = result.wire_bytes_sent;
+    record.wire_bytes_received = result.wire_bytes_received;
+    record.wire_frames_sent = result.wire_frames_sent;
+    record.timeline = std::move(timeline);
+    flight_recorder_->Record(std::move(record));
+  }
+  if (timeseries_ != nullptr) {
+    timeseries_->Tick(static_cast<Micros>(clock_nanos) / 1e3);
+  }
 }
 
 void InProcessCluster::AttachFaultInjector(FaultInjector* injector) {
@@ -383,6 +437,7 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
   if (options.transport == GatherTransport::kMessage) {
     return CountByTypeAllMessage(workload, options);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
@@ -402,6 +457,13 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
   }
   result.virtual_latency_us = vclock;
   FinalizeResult(result);
+  result.wall_us = ElapsedMicros(t0);
+  // Direct gathers have no wire query_id; mint one only when someone is
+  // recording, so the message path's id sequence stays undisturbed.
+  RecordGather(flight_recorder_ != nullptr
+                   ? next_query_id_.fetch_add(1, std::memory_order_relaxed)
+                   : 0,
+               workload.table, "direct", result, {});
   return result;
 }
 
@@ -423,6 +485,7 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     scaled.workers_per_node = std::max(scaled.workers_per_node, threads);
     return CountByTypeAllMessage(workload, scaled);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   // Resolve every replica set up front: resolution is cheap and entries
   // are pointer-stable (std::map) for the life of the cluster.
   std::vector<const std::vector<NodeId>*> replica_sets;
@@ -496,11 +559,17 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     result.virtual_latency_us = std::max(result.virtual_latency_us, clocks[t]);
   }
   FinalizeResult(result);
+  result.wall_us = ElapsedMicros(t0);
+  RecordGather(flight_recorder_ != nullptr
+                   ? next_query_id_.fetch_add(1, std::memory_order_relaxed)
+                   : 0,
+               workload.table, "direct", result, {});
   return result;
 }
 
 GatherResult InProcessCluster::CountByTypeAllMessage(
     const WorkloadSpec& workload, const GatherOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   GatherResult result;
   result.requests_per_node.assign(nodes_.size(), 0);
   result.probes_per_node.assign(nodes_.size(), ReadProbe{});
@@ -514,10 +583,18 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   // every one after it (and by every one running concurrently).
   std::shared_ptr<NodeRuntime> runtime = EnsureRuntime(options);
 
+  // With tracing on, the sampled bit rides in every frame this query
+  // sends: workers see it *on the wire* and record their spans
+  // flow-linked to the sub-query that caused the work.
+  const bool sampled = spans_ != nullptr && spans_->enabled();
+
   NodeRuntime::QueryOptions query_options;
   query_options.codec = options.codec;
   query_options.deadline_us = options.deadline_us;
+  query_options.trace_flags = sampled ? kTraceSampled : 0;
+  const auto admission_t0 = std::chrono::steady_clock::now();
   const Status admitted = runtime->BeginQuery(query_id, query_options);
+  result.admission_wait_us = ElapsedMicros(admission_t0);
   if (!admitted.ok()) {
     // Shed at admission: nothing was dispatched, every sub-query is
     // reported lost, and the caller sees a degraded (but accounted-for)
@@ -531,6 +608,8 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
       result.lost_partitions.push_back(part.key);
     }
     FinalizeResult(result);
+    result.wall_us = ElapsedMicros(t0);
+    RecordGather(query_id, workload.table, "message", result, {});
     return result;
   }
 
@@ -558,10 +637,25 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     subs[i].replicas = &ReplicasOf(subs[i].part->key);
   }
 
+  // The flight recorder's per-sub-query stage stamps (last attempt wins).
+  std::vector<SubQueryTimelineEntry> timeline;
+  if (flight_recorder_ != nullptr) {
+    timeline.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+      timeline[i].sub_id = static_cast<uint32_t>(i);
+    }
+  }
+
   // Settles one sub-query's fate in the result. `counts` is non-null only
   // when real data came back.
   auto resolve = [&](size_t i, bool answered, const TypeCounts* counts) {
     const Pending& s = subs[i];
+    if (!timeline.empty()) {
+      SubQueryTimelineEntry& entry = timeline[i];
+      entry.attempts = s.attempts;
+      entry.completed = answered;
+      entry.completed_us = runtime->now_us();
+    }
     if (answered) {
       ++result.completed;
       if (counts != nullptr) {
@@ -678,10 +772,24 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
             {std::move(req), a, fault.extra_latency_us, i});
         return true;
       }
+      // The flow's origin: the dispatch span covers encode + enqueue (any
+      // backpressure blocking included) and starts the arrow the node's
+      // worker spans and the master's reply span attach to.
+      SpanTracer::Scope dispatch;
+      if (sampled) {
+        dispatch = spans_->StartSpan("dispatch", master_track());
+        dispatch.Attr("partition", s.part->key);
+        dispatch.Attr("node", std::to_string(target));
+        dispatch.Attr("attempt", std::to_string(a));
+        dispatch.Flow(TraceFlowId(query_id, static_cast<uint32_t>(i), a),
+                      FlowPhase::kStart);
+      }
       const Status sent = runtime->Dispatch(
           query_id, target, std::span<const SubQueryRequest>(&req, 1),
           std::span<const uint32_t>(&a, 1),
           std::span<const Micros>(&fault.extra_latency_us, 1));
+      if (dispatch.active() && !sent.ok()) dispatch.Attr("refused", "true");
+      dispatch.End();
       if (!sent.ok()) {
         // kReject backpressure: the send itself was refused; fail over
         // like any other transport error.
@@ -732,8 +840,29 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         attempts.push_back(item.attempt);
         extras.push_back(item.extra_latency_us);
       }
+      // One dispatch span per coalesced sub-query: each starts its own
+      // flow even though they all travelled in a single frame.
+      std::vector<SpanTracer::Scope> dispatch_spans;
+      if (sampled) {
+        dispatch_spans.reserve(requests.size());
+        for (size_t k = 0; k < requests.size(); ++k) {
+          SpanTracer::Scope span = spans_->StartSpan("dispatch",
+                                                     master_track());
+          span.Attr("partition", requests[k].partition_key);
+          span.Attr("node", std::to_string(n));
+          span.Attr("attempt", std::to_string(attempts[k]));
+          span.Attr("batched", "true");
+          span.Flow(TraceFlowId(query_id, requests[k].sub_id, attempts[k]),
+                    FlowPhase::kStart);
+          dispatch_spans.push_back(std::move(span));
+        }
+      }
       const Status sent =
           runtime->Dispatch(query_id, n, requests, attempts, extras);
+      for (SpanTracer::Scope& span : dispatch_spans) {
+        if (!sent.ok()) span.Attr("refused", "true");
+        span.End();
+      }
       if (sent.ok()) {
         for (size_t k = 0; k < items.size(); ++k) RecordDispatch(n);
         outstanding += items.size();
@@ -758,7 +887,27 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     --outstanding;
     const size_t i = r.sub_id;
     KV_CHECK(i < total);
+    // The flow's terminus: the reply span covers this reply's fold (or
+    // failover decision) and closes the arrow the dispatch span opened —
+    // but only when the wire actually carried the sampled bit back.
+    SpanTracer::Scope reply_span;
+    if (sampled && (r.trace_flags & kTraceSampled) != 0) {
+      reply_span = spans_->StartSpan("reply", master_track());
+      reply_span.Attr("sub", std::to_string(r.sub_id));
+      reply_span.Attr("node", std::to_string(r.node));
+      reply_span.Attr("attempt", std::to_string(r.attempt));
+      reply_span.Flow(TraceFlowId(query_id, r.sub_id, r.attempt),
+                      FlowPhase::kFinish);
+    }
     if (r.store_read) {
+      if (!timeline.empty()) {
+        SubQueryTimelineEntry& entry = timeline[i];
+        entry.node = r.node;
+        entry.issued_us = r.issued_us;
+        entry.received_us = r.received_us;
+        entry.db_start_us = r.db_start_us;
+        entry.db_end_us = r.db_end_us;
+      }
       ++result.requests_per_node[r.node];
       result.probes_per_node[r.node].MergeFrom(r.probe);
       if (stage_tracer_ != nullptr) {
@@ -811,6 +960,9 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   result.wire_decode_us = wire.decode_us;
   runtime->EndQuery(query_id);
   FinalizeResult(result);
+  result.wall_us = ElapsedMicros(t0);
+  RecordGather(query_id, workload.table, "message", result,
+               std::move(timeline));
   return result;
 }
 

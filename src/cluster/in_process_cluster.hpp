@@ -40,14 +40,16 @@
 #include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
 #include "store/local_store.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace kvscale {
 
-class SpanTracer;       // telemetry/span_tracer.hpp
-class MetricsRegistry;  // telemetry/metrics_registry.hpp
+class SpanTracer;         // telemetry/span_tracer.hpp
+class MetricsRegistry;    // telemetry/metrics_registry.hpp
 class Counter;
 class LatencyHistogram;
-class StageTracer;      // trace/stage_trace.hpp
+class StageTracer;        // trace/stage_trace.hpp
+class MetricsTimeSeries;  // telemetry/timeseries.hpp
 
 /// How the master reaches the slaves' stores.
 enum class GatherTransport : uint8_t {
@@ -143,6 +145,10 @@ struct GatherResult {
   /// Injected latency + backoff consumed, in virtual microseconds (the
   /// deadline's clock). For parallel gathers: the slowest worker's clock.
   Micros virtual_latency_us = 0.0;
+  /// Real wall-clock duration of this gather, admission wait included.
+  Micros wall_us = 0.0;
+  /// How long BeginQuery blocked for an admission slot (message path).
+  Micros admission_wait_us = 0.0;
 
   // -- Wire totals (zero under the direct transport) ----------------------
 
@@ -200,6 +206,18 @@ class InProcessCluster {
   /// detaches; must outlive the cluster. The direct transport never
   /// records stages (it has no queue or wire to time).
   void AttachStageTracer(StageTracer* stages);
+
+  /// Attaches a per-query flight recorder: every gather (any transport)
+  /// deposits one QueryRecord — message-path gathers include the
+  /// per-sub-query stage timeline. Null detaches; must outlive the
+  /// cluster.
+  void AttachFlightRecorder(FlightRecorder* recorder);
+
+  /// Attaches a time-series collector ticked at the end of every gather
+  /// with the cluster's telemetry clock, so a run of gathers produces a
+  /// metrics trajectory without the caller having to tick manually. Null
+  /// detaches; must outlive the cluster.
+  void AttachTimeSeries(MetricsTimeSeries* timeseries);
 
   /// Routes read attempts through `injector` (null detaches: healthy).
   /// The injector must outlive the cluster. Without an attached
@@ -344,6 +362,15 @@ class InProcessCluster {
   /// Sorts the loss report and derives the partial flag + invariant.
   void FinalizeResult(GatherResult& result) const;
 
+  /// End-of-gather observability: deposits one QueryRecord into the
+  /// attached flight recorder (when any) and ticks the attached
+  /// time-series collector on the cluster's accumulated gather clock.
+  /// `timeline` is the message path's per-sub-query stage stamps (empty
+  /// for direct/aggregate-only gathers).
+  void RecordGather(uint64_t query_id, const std::string& table,
+                    std::string_view transport, const GatherResult& result,
+                    std::vector<SubQueryTimelineEntry> timeline);
+
   /// Guards the routing state shared by concurrent gathers: the
   /// placement policy (whose load feedback mutates) and the directory.
   mutable Mutex route_mu_;
@@ -363,10 +390,16 @@ class InProcessCluster {
   /// master's encoder and the slaves' decoders — see the same ids).
   CompactCodec codec_registry_;
   std::atomic<uint64_t> next_query_id_{1};
+  /// Monotone clock driving the time-series cadence: the cumulative wall
+  /// time of finished gathers, in nanoseconds (integer so concurrent
+  /// additions commute exactly).
+  std::atomic<uint64_t> telemetry_clock_nanos_{0};
 
   SpanTracer* spans_ = nullptr;                 ///< null = no span tracing
   MetricsRegistry* metrics_ = nullptr;          ///< forwarded to runtimes
   StageTracer* stage_tracer_ = nullptr;         ///< null = no stage traces
+  FlightRecorder* flight_recorder_ = nullptr;   ///< null = no flight records
+  MetricsTimeSeries* timeseries_ = nullptr;     ///< null = no trajectory
   Counter* subqueries_counter_ = nullptr;       ///< cluster.subqueries
   Counter* missing_counter_ = nullptr;          ///< cluster.partitions_missing
   Counter* errors_counter_ = nullptr;           ///< cluster.read.errors

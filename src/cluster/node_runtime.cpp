@@ -249,7 +249,8 @@ Status NodeRuntime::Dispatch(uint64_t query_id, uint32_t node,
   env.query = query;
   env.issued_us = NowMicros();  // encode time belongs to master-to-slave
   WireBuffer buf;
-  EncodeSubQueryBatch(requests, query->codec, registry_, buf);
+  EncodeSubQueryBatch(requests, attempts, query->trace_flags, query->codec,
+                      registry_, buf);
   const Micros encode_us = NowMicros() - env.issued_us;
   const uint64_t encode_nanos = MicrosToNanos(encode_us);
   encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
@@ -306,17 +307,54 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
     env.query->decode_nanos.fetch_add(decode_nanos, std::memory_order_relaxed);
     if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
 
+    // Node-side observability runs off the *decoded wire context*, not
+    // the in-memory transport metadata: a frame is only traced when its
+    // envelope carried the sampled bit across the (simulated) wire.
+    const bool sampled = decoded.ok() && spans_ != nullptr &&
+                         (decoded.value().trace_flags & kTraceSampled) != 0;
+    if (sampled) {
+      // The frame-level stages, flow-linked to the first sub-query they
+      // served (queue residency and decode are per-frame, not per-item).
+      const uint64_t frame_flow =
+          TraceFlowId(decoded.value().query_id,
+                      decoded.value().requests.front().sub_id,
+                      decoded.value().attempts.front());
+      Span queue_span;
+      queue_span.name = "queue-wait";
+      queue_span.track = node;
+      queue_span.start_us = spans_->NowMicros() - decode_us - wait_us;
+      queue_span.duration_us = wait_us;
+      queue_span.flow_id = frame_flow;
+      queue_span.flow_phase = FlowPhase::kStep;
+      queue_span.attributes.emplace_back(
+          "query", std::to_string(decoded.value().query_id));
+      spans_->Record(std::move(queue_span));
+      Span decode_span;
+      decode_span.name = "decode";
+      decode_span.track = node;
+      decode_span.start_us = spans_->NowMicros() - decode_us;
+      decode_span.duration_us = decode_us;
+      decode_span.flow_id = frame_flow;
+      decode_span.flow_phase = FlowPhase::kStep;
+      decode_span.attributes.emplace_back(
+          "query", std::to_string(decoded.value().query_id));
+      decode_span.attributes.emplace_back(
+          "items", std::to_string(decoded.value().requests.size()));
+      spans_->Record(std::move(decode_span));
+    }
+
     for (size_t i = 0; i < env.sub_ids.size(); ++i) {
       Status transport = Status::Ok();
       const SubQueryRequest* request = nullptr;
       if (!decoded.ok()) {
         transport = decoded.status();
-      } else if (decoded.value().size() != env.sub_ids.size() ||
-                 decoded.value()[i].sub_id != env.sub_ids[i]) {
+      } else if (decoded.value().requests.size() != env.sub_ids.size() ||
+                 decoded.value().requests[i].sub_id != env.sub_ids[i] ||
+                 decoded.value().attempts[i] != env.attempts[i]) {
         transport = Status::Corruption(
             "batch does not match its transport metadata");
       } else {
-        request = &decoded.value()[i];
+        request = &decoded.value().requests[i];
       }
       SubQueryRequest fallback;
       if (request == nullptr) {
@@ -324,14 +362,16 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
         fallback.sub_id = env.sub_ids[i];
         request = &fallback;
       }
-      ServeOne(node, *request, env, i, transport);
+      const uint8_t wire_flags =
+          decoded.ok() ? decoded.value().trace_flags : env.query->trace_flags;
+      ServeOne(node, *request, env, i, transport, wire_flags);
     }
   }
 }
 
 void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
                            const RequestEnvelope& env, size_t item,
-                           Status transport) {
+                           Status transport, uint8_t wire_trace_flags) {
   QueryState& query = *env.query;
   ReplyEnvelope out;
   out.node = node;
@@ -339,6 +379,12 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
   out.attempt = env.attempts[item];
   out.issued_us = env.issued_us;
   out.received_us = env.received_us;
+  const bool sampled = (wire_trace_flags & kTraceSampled) != 0 &&
+                       transport.ok() && spans_ != nullptr;
+  // The flow id every span of this attempt shares with the master's
+  // dispatch span — derived from the wire-propagated context.
+  const uint64_t flow =
+      TraceFlowId(query.query_id, out.sub_id, out.attempt);
 
   SubQueryReply reply;
   reply.query_id = request.query_id;
@@ -363,6 +409,11 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
       read = spans_->StartSpan("store-read", node);
       read.Attr("partition", request.partition_key);
       read.Attr("attempt", std::to_string(out.attempt));
+      if (sampled) {
+        read.Flow(flow, FlowPhase::kStep);
+        read.Attr("query", std::to_string(query.query_id));
+        read.Attr("sub", std::to_string(out.sub_id));
+      }
     }
     auto counts = handler_(node, request, &out.probe);
     out.db_end_us = NowMicros();
@@ -394,8 +445,18 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
   }
 
   const Micros encode_start = NowMicros();
+  SpanTracer::Scope encode_scope;
+  if (sampled) {
+    encode_scope = spans_->StartSpan("encode", node);
+    encode_scope.Flow(flow, FlowPhase::kStep);
+    encode_scope.Attr("query", std::to_string(query.query_id));
+    encode_scope.Attr("sub", std::to_string(out.sub_id));
+    encode_scope.Attr("attempt", std::to_string(out.attempt));
+  }
   WireBuffer buf;
-  EncodeReplyFrame(reply, query.codec, registry_, buf);
+  EncodeReplyFrame(reply, out.attempt, wire_trace_flags, query.codec,
+                   registry_, buf);
+  encode_scope.End();
   const Micros encode_us = NowMicros() - encode_start;
   const uint64_t encode_nanos = MicrosToNanos(encode_us);
   encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
@@ -449,7 +510,19 @@ NodeRuntime::DecodedReply NodeRuntime::AwaitReply(uint64_t query_id) {
   // The query_id-checked decode is the wire half of the demultiplexer: a
   // reply naming another query is kCorruption, handled like any other
   // unreadable reply (failover), never folded.
-  out.reply = DecodeReplyFrame(env.frame, query->codec, registry_, query_id);
+  auto decoded = DecodeReplyFrame(env.frame, query->codec, registry_, query_id);
+  if (!decoded.ok()) {
+    out.reply = decoded.status();
+  } else if (decoded.value().attempt != env.attempt) {
+    out.reply = Status::Corruption(
+        "reply frame: envelope attempt " +
+        std::to_string(decoded.value().attempt) +
+        " disagrees with the transport metadata's " +
+        std::to_string(env.attempt));
+  } else {
+    out.trace_flags = decoded.value().trace_flags;
+    out.reply = std::move(decoded).value().reply;
+  }
   const Micros decode_us = NowMicros() - decode_start;
   const uint64_t decode_nanos = MicrosToNanos(decode_us);
   decode_nanos_.fetch_add(decode_nanos, std::memory_order_relaxed);

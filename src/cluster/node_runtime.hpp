@@ -190,6 +190,11 @@ class NodeRuntime {
     /// passed its deadline, replying kResourceExhausted without touching
     /// the store — "expired while enqueued".
     Micros deadline_us = 0.0;
+    /// Trace flags carried in every frame this query sends (envelope.hpp
+    /// bits). With kTraceSampled set, workers record queue-wait / decode
+    /// / store-read / encode spans flow-linked to the owning sub-query
+    /// via the context they decode off the wire.
+    uint8_t trace_flags = 0;
   };
 
   /// Wire-level totals. Bytes "sent" are master-egress request frames;
@@ -212,6 +217,9 @@ class NodeRuntime {
     /// and deadline sheds — those never reached the store).
     bool store_read = false;
     ReadProbe probe;
+    /// Trace flags the worker echoed back in the reply envelope (what
+    /// the wire actually carried, not what the master asked for).
+    uint8_t trace_flags = 0;
     /// The decoded reply; an error here means the reply *frame* was
     /// unreadable (in-flight corruption) or named a different query (a
     /// demux violation), distinct from a decoded reply whose `status`
@@ -337,11 +345,13 @@ class NodeRuntime {
         : query_id(id),
           codec(options.codec),
           deadline_us(options.deadline_us),
+          trace_flags(options.trace_flags),
           replies(static_cast<size_t>(-1)) {}
 
     const uint64_t query_id;
     const WireCodecKind codec;
     const Micros deadline_us;
+    const uint8_t trace_flags;
     /// Unbounded for the same reason the old global reply queue was: a
     /// worker must never block on a reply while the master blocks
     /// pushing into a full request queue, or the two would deadlock.
@@ -374,9 +384,12 @@ class NodeRuntime {
 
   void WorkerLoop(uint32_t node);
   /// Serves one decoded request (or refuses it), appending the encoded
-  /// reply envelope to the owning query's channel.
+  /// reply envelope to the owning query's channel. `wire_trace_flags` is
+  /// the trace context decoded off the request frame (echoed into the
+  /// reply and, when sampled, stamped on the worker's spans).
   void ServeOne(uint32_t node, const SubQueryRequest& request,
-                const RequestEnvelope& env, size_t item, Status transport);
+                const RequestEnvelope& env, size_t item, Status transport,
+                uint8_t wire_trace_flags);
   Micros NowMicros() const;
   void SetDepthGauge(uint32_t node);
   /// The live state registered for `query_id`, or null.

@@ -58,6 +58,24 @@ std::string SpansToChromeTrace(
       out += '}';
     }
     out += '}';
+    if (span.flow_id != 0 && span.flow_phase != FlowPhase::kNone) {
+      // A flow event rides alongside the slice: the viewer draws an
+      // arrow chain through every event sharing the id, which is how a
+      // node-side span visually nests under the master span that caused
+      // it. "bp":"e" binds the arrow to the enclosing slice.
+      const char* ph = span.flow_phase == FlowPhase::kStart   ? "s"
+                       : span.flow_phase == FlowPhase::kFinish ? "f"
+                                                                : "t";
+      out += ",{\"ph\":\"";
+      out += ph;
+      out += "\",\"name\":\"subquery\",\"cat\":\"kvscale.flow\",\"id\":";
+      out += std::to_string(span.flow_id);
+      out += ",\"pid\":0,\"tid\":";
+      out += std::to_string(span.track);
+      out += ",\"ts\":" + JsonMicros(span.start_us);
+      if (span.flow_phase == FlowPhase::kFinish) out += ",\"bp\":\"e\"";
+      out += '}';
+    }
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
   return out;

@@ -37,6 +37,15 @@ constexpr double kNanosPerMicro = 1000.0;
 
 }  // namespace
 
+size_t Counter::StripeIndex() {
+  /// Round-robin assignment spreads threads evenly over the stripes no
+  /// matter how the OS hands out thread ids.
+  static std::atomic<size_t> next_stripe{0};
+  thread_local const size_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
 size_t LatencyHistogram::BucketIndex(double micros) {
   const uint64_t n = MicrosToNanos(micros);
   if (n < kSubBuckets) return static_cast<size_t>(n);

@@ -32,17 +32,45 @@
 
 namespace kvscale {
 
-/// Monotonic event count (lock-free).
+/// Monotonic event count (lock-free, striped).
+//
+/// A single shared atomic turns into a cache-line ping-pong under the
+/// scatter path's concurrency (every worker bumping wire.bytes.sent
+/// bounces one line across every core). Increments therefore land on one
+/// of kStripes cache-line-sized slots — each thread is assigned a stripe
+/// once, round-robin — and Value() folds the stripes. Counts stay exact
+/// (every increment lands on exactly one stripe); only the read pays for
+/// the fan-out, and reads are snapshot-rate, not hot-path-rate.
 class Counter {
  public:
+  static constexpr size_t kStripes = 16;
+
   void Increment(uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    stripes_[StripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
   }
-  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Stripe& stripe : stripes_) {
+      stripe.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::atomic<uint64_t> value_{0};
+  /// One cache line per stripe so two stripes never share a line.
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// The calling thread's stripe, assigned round-robin on first use.
+  static size_t StripeIndex();
+
+  std::array<Stripe, kStripes> stripes_{};
 };
 
 /// Last-write-wins instantaneous value (lock-free).

@@ -1,5 +1,7 @@
 #include "telemetry/span_tracer.hpp"
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace kvscale {
 
 namespace {
@@ -44,6 +46,12 @@ void SpanTracer::Scope::Attr(std::string_view key, std::string_view value) {
   span_.attributes.emplace_back(std::string(key), std::string(value));
 }
 
+void SpanTracer::Scope::Flow(uint64_t id, FlowPhase phase) {
+  if (tracer_ == nullptr) return;
+  span_.flow_id = id;
+  span_.flow_phase = phase;
+}
+
 void SpanTracer::Scope::End() {
   if (tracer_ == nullptr) return;
   span_.duration_us = tracer_->NowMicros() - span_.start_us;
@@ -60,8 +68,19 @@ SpanTracer::Scope SpanTracer::StartSpan(std::string name, uint32_t track) {
 }
 
 void SpanTracer::Record(Span span) {
-  MutexLock lock(mu_);
-  spans_.push_back(std::move(span));
+  const size_t cap = max_spans_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(mu_);
+    if (cap == 0 || spans_.size() < cap) {
+      spans_.push_back(std::move(span));
+      return;
+    }
+  }
+  // At capacity: drop (newest-lose) and account for it outside the lock.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (Counter* counter = dropped_counter_.load(std::memory_order_relaxed)) {
+    counter->Increment();
+  }
 }
 
 Micros SpanTracer::NowMicros() const { return ElapsedMicros(epoch_); }
@@ -87,6 +106,7 @@ std::map<uint32_t, std::string> SpanTracer::track_names() const {
 }
 
 void SpanTracer::Clear() {
+  dropped_.store(0, std::memory_order_relaxed);
   MutexLock lock(mu_);
   spans_.clear();
 }

@@ -10,6 +10,9 @@
 //
 // Recording is mutex-per-span (spans are coarse: a sub-query, a store
 // read, a flush — not a cache probe); a disabled tracer costs one branch.
+// Memory is bounded: past `max_spans` recorded spans, new ones are
+// dropped (and counted), so a long-lived cluster cannot grow the trace
+// without limit.
 #pragma once
 
 #include <atomic>
@@ -26,6 +29,20 @@
 
 namespace kvscale {
 
+class Counter;  // telemetry/metrics_registry.hpp
+
+/// How a span participates in a cross-track causal flow (rendered as
+/// Chrome trace flow arrows). A flow is identified by a nonzero
+/// Span::flow_id shared by every span on the causal chain — e.g. a
+/// master dispatch (kStart), the node-side work it caused (kStep), and
+/// the master-side fold of its reply (kFinish).
+enum class FlowPhase : uint8_t {
+  kNone = 0,    ///< not part of a flow
+  kStart = 1,   ///< flow origin
+  kStep = 2,    ///< intermediate hop
+  kFinish = 3,  ///< flow terminus
+};
+
 /// One completed timed interval.
 struct Span {
   std::string name;
@@ -33,6 +50,10 @@ struct Span {
   Micros start_us = 0.0;  ///< relative to the tracer's epoch
   Micros duration_us = 0.0;
   uint32_t depth = 0;     ///< nesting depth within its thread at record time
+  /// Causal-flow linkage (0 = none). Spans sharing a flow_id are drawn
+  /// as one arrow chain across tracks in the Chrome trace viewer.
+  uint64_t flow_id = 0;
+  FlowPhase flow_phase = FlowPhase::kNone;
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
@@ -53,6 +74,9 @@ class SpanTracer {
 
     /// Attaches a key=value attribute (no-op when inert).
     void Attr(std::string_view key, std::string_view value);
+
+    /// Marks this span as one hop of causal flow `id` (no-op when inert).
+    void Flow(uint64_t id, FlowPhase phase);
 
     /// Records the span now; further calls are no-ops.
     void End();
@@ -77,6 +101,26 @@ class SpanTracer {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
+  /// Caps the number of retained spans (0 = unbounded). Spans recorded
+  /// past the cap are dropped — newest-lose, so the head of the trace
+  /// stays intact — and tallied in dropped() and, when wired, the
+  /// `telemetry.spans.dropped` counter.
+  void set_max_spans(size_t max_spans) {
+    max_spans_.store(max_spans, std::memory_order_relaxed);
+  }
+  size_t max_spans() const {
+    return max_spans_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Mirrors every drop into `counter` (typically the registry's
+  /// `telemetry.spans.dropped`); null detaches. The counter must outlive
+  /// the tracer.
+  void set_dropped_counter(Counter* counter) {
+    dropped_counter_.store(counter, std::memory_order_relaxed);
+  }
+
   /// Microseconds elapsed since the tracer was constructed.
   Micros NowMicros() const;
 
@@ -90,8 +134,15 @@ class SpanTracer {
   void Clear();
 
  private:
+  /// Default retention cap: ~1M spans keeps worst-case memory near a few
+  /// hundred MB instead of unbounded on long benchmark runs.
+  static constexpr size_t kDefaultMaxSpans = size_t{1} << 20;
+
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
+  std::atomic<size_t> max_spans_{kDefaultMaxSpans};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<Counter*> dropped_counter_{nullptr};
   mutable Mutex mu_;
   std::vector<Span> spans_ KV_GUARDED_BY(mu_);
   std::map<uint32_t, std::string> track_names_ KV_GUARDED_BY(mu_);

@@ -1,0 +1,138 @@
+#include "telemetry/timeseries.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/escape.hpp"
+
+namespace kvscale {
+
+namespace {
+
+std::string JsonMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+/// The previous sample's value of a named instrument (0 when it did not
+/// exist yet — a counter born mid-run deltas from zero).
+uint64_t PreviousCounter(const MetricsSnapshot* prev, const std::string& name) {
+  if (prev == nullptr) return 0;
+  for (const auto& [n, v] : prev->counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+uint64_t PreviousHistogramCount(const MetricsSnapshot* prev,
+                                const std::string& name) {
+  if (prev == nullptr) return 0;
+  for (const HistogramSnapshot& h : prev->histograms) {
+    if (h.name == name) return h.count;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MetricsTimeSeries::MetricsTimeSeries(const MetricsRegistry* registry)
+    : MetricsTimeSeries(registry, Options()) {}
+
+MetricsTimeSeries::MetricsTimeSeries(const MetricsRegistry* registry,
+                                     Options options)
+    : registry_(registry), options_(options) {
+  KV_CHECK(registry_ != nullptr);
+}
+
+void MetricsTimeSeries::Tick(Micros now_us) {
+  {
+    MutexLock lock(mu_);
+    if (has_sampled_ && now_us - last_sample_us_ < options_.interval_us) {
+      return;
+    }
+  }
+  Sample(now_us);
+}
+
+void MetricsTimeSeries::Sample(Micros now_us) {
+  // Snapshot outside the lock: the registry has its own synchronisation
+  // and snapshotting is the expensive part.
+  SamplePoint point;
+  point.t_us = now_us;
+  point.snapshot = registry_->Snapshot();
+  MutexLock lock(mu_);
+  has_sampled_ = true;
+  last_sample_us_ = now_us;
+  if (options_.max_samples > 0 && samples_.size() >= options_.max_samples) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(std::move(point));
+}
+
+size_t MetricsTimeSeries::size() const {
+  MutexLock lock(mu_);
+  return samples_.size();
+}
+
+uint64_t MetricsTimeSeries::dropped_samples() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+std::string MetricsTimeSeries::ToJsonl() const {
+  std::vector<SamplePoint> samples;
+  {
+    MutexLock lock(mu_);
+    samples = samples_;
+  }
+  std::string out;
+  const MetricsSnapshot* prev = nullptr;
+  for (const SamplePoint& point : samples) {
+    const std::string t = JsonMicros(point.t_us);
+    for (const auto& [name, value] : point.snapshot.counters) {
+      const uint64_t before = PreviousCounter(prev, name);
+      const uint64_t delta = value >= before ? value - before : 0;
+      out += "{\"t_us\":" + t + ",\"kind\":\"counter\",\"name\":" +
+             JsonQuote(name) + ",\"value\":" + std::to_string(value) +
+             ",\"delta\":" + std::to_string(delta) + "}\n";
+    }
+    for (const auto& [name, value] : point.snapshot.gauges) {
+      out += "{\"t_us\":" + t + ",\"kind\":\"gauge\",\"name\":" +
+             JsonQuote(name) + ",\"value\":" + JsonMicros(value) + "}\n";
+    }
+    for (const HistogramSnapshot& h : point.snapshot.histograms) {
+      const uint64_t before = PreviousHistogramCount(prev, h.name);
+      const uint64_t delta = h.count >= before ? h.count - before : 0;
+      out += "{\"t_us\":" + t + ",\"kind\":\"histogram\",\"name\":" +
+             JsonQuote(h.name) + ",\"count\":" + std::to_string(h.count) +
+             ",\"delta_count\":" + std::to_string(delta) +
+             ",\"p50_us\":" + JsonMicros(h.p50_us) +
+             ",\"p95_us\":" + JsonMicros(h.p95_us) +
+             ",\"p99_us\":" + JsonMicros(h.p99_us) +
+             ",\"max_us\":" + JsonMicros(h.max_us) + "}\n";
+    }
+    prev = &point.snapshot;
+  }
+  return out;
+}
+
+Status MetricsTimeSeries::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot open " + path);
+  file << ToJsonl();
+  return file.good() ? Status::Ok()
+                     : Status::Unavailable("write failed: " + path);
+}
+
+void MetricsTimeSeries::Clear() {
+  MutexLock lock(mu_);
+  samples_.clear();
+  has_sampled_ = false;
+  last_sample_us_ = 0.0;
+  dropped_ = 0;
+}
+
+}  // namespace kvscale

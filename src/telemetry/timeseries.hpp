@@ -1,0 +1,82 @@
+// Time-series metrics: periodic delta snapshots of a MetricsRegistry.
+//
+// A final MetricsRegistry::Snapshot() tells you where a run *ended*; it
+// cannot show the saturation knee forming, a queue draining, or
+// throughput decaying as clients pile on. This collector samples the
+// registry on a caller-driven cadence — the caller supplies the
+// timestamp, so a bench can tick it on the gather path's clock and a
+// simulation could tick it in virtual time — and exports the trajectory
+// as JSONL: one line per instrument per sample, with per-interval deltas
+// alongside cumulative values.
+//
+// Sampling is pull-based and explicit (no background thread): call
+// Tick(now_us) from the measurement loop; it samples only when the
+// configured interval has elapsed, so a hot loop can tick every
+// iteration at negligible cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/units.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace kvscale {
+
+/// Caller-clocked periodic sampler over one registry.
+class MetricsTimeSeries {
+ public:
+  struct Options {
+    /// Minimum spacing between samples on the caller's clock.
+    Micros interval_us = 100.0 * 1000.0;
+    /// Retention cap: past this many samples, Tick/Sample drop (and
+    /// count) instead of growing without bound. 0 = unbounded.
+    size_t max_samples = 4096;
+  };
+
+  /// `registry` must outlive this collector.
+  explicit MetricsTimeSeries(const MetricsRegistry* registry);
+  MetricsTimeSeries(const MetricsRegistry* registry, Options options);
+
+  /// Samples if at least interval_us elapsed since the previous sample
+  /// (the first call always samples). `now_us` is the caller's clock —
+  /// wall or virtual, as long as it is monotone.
+  void Tick(Micros now_us);
+
+  /// Unconditionally takes a sample stamped `now_us`.
+  void Sample(Micros now_us);
+
+  size_t size() const;
+  uint64_t dropped_samples() const;
+
+  /// JSONL trajectory: per sample, one line per counter
+  /// ({"t_us","kind","name","value","delta"}), gauge ("value"), and
+  /// histogram ("count","delta_count",percentiles,"max_us"). Deltas are
+  /// against the previous sample (the first sample's delta is its
+  /// absolute value).
+  std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path`.
+  Status WriteJsonl(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  struct SamplePoint {
+    Micros t_us = 0.0;
+    MetricsSnapshot snapshot;
+  };
+
+  const MetricsRegistry* registry_;
+  const Options options_;
+  mutable Mutex mu_;
+  std::vector<SamplePoint> samples_ KV_GUARDED_BY(mu_);
+  bool has_sampled_ KV_GUARDED_BY(mu_) = false;
+  Micros last_sample_us_ KV_GUARDED_BY(mu_) = 0.0;
+  uint64_t dropped_ KV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kvscale

@@ -1,5 +1,6 @@
 #include "wire/envelope.hpp"
 
+#include <limits>
 #include <unordered_set>
 
 namespace kvscale {
@@ -21,20 +22,26 @@ Result<WireCodecKind> ParseWireCodec(std::string_view name) {
                                  "' (expected tagged|compact)");
 }
 
-void EncodeFrame(WireCodecKind codec, std::span<const WireBuffer> items,
-                 WireBuffer& out) {
+void EncodeFrame(WireCodecKind codec, uint64_t query_id, uint8_t trace_flags,
+                 std::span<const uint32_t> sub_ids,
+                 std::span<const uint32_t> attempts,
+                 std::span<const WireBuffer> items, WireBuffer& out) {
   out.WriteU16(kFrameMagic);
   out.WriteU8(kFrameVersion);
   out.WriteU8(static_cast<uint8_t>(codec));
+  out.WriteU8(trace_flags);
+  out.WriteVarint(query_id);
   out.WriteVarint(items.size());
-  for (const WireBuffer& item : items) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    out.WriteVarint(i < sub_ids.size() ? sub_ids[i] : 0);
+    out.WriteVarint(i < attempts.size() ? attempts[i] : 0);
     // WriteBytes emits the varint length prefix itself.
-    out.WriteBytes(item.data());
+    out.WriteBytes(items[i].data());
   }
 }
 
-Result<std::vector<std::span<const std::byte>>> SplitFrame(
-    std::span<const std::byte> frame, WireCodecKind expected) {
+Result<FrameParts> SplitFrame(std::span<const std::byte> frame,
+                              WireCodecKind expected) {
   WireReader r(frame);
   const uint16_t magic = r.ReadU16();
   const uint8_t version = r.ReadU8();
@@ -57,96 +64,161 @@ Result<std::vector<std::span<const std::byte>>> SplitFrame(
         std::string(WireCodecName(static_cast<WireCodecKind>(codec))) +
         ", decoder expected " + std::string(WireCodecName(expected)) + ")");
   }
+  const uint8_t trace_flags = r.ReadU8();
+  if (!r.ok()) return Status::Corruption("frame: truncated trace flags");
+  if ((trace_flags & ~kTraceFlagsMask) != 0) {
+    return Status::Corruption("frame: unknown trace flag bits " +
+                              std::to_string(trace_flags & ~kTraceFlagsMask));
+  }
+  const uint64_t query_id = r.ReadVarint();
+  if (!r.ok()) return Status::Corruption("frame: bad query id");
   const uint64_t count = r.ReadVarint();
   if (!r.ok()) return Status::Corruption("frame: bad item count");
-  // Each item needs at least a one-byte length prefix, so a count larger
-  // than the remaining bytes is a lie — reject before reserving anything.
-  if (count > r.remaining()) {
+  // Each item needs at least three bytes (sub_id, attempt, and length
+  // varints), so a count larger than a third of the remaining bytes is a
+  // lie — reject before reserving anything.
+  if (count > r.remaining() / 3) {
     return Status::Corruption("frame: item count " + std::to_string(count) +
                               " exceeds the bytes present");
   }
-  std::vector<std::span<const std::byte>> items;
-  items.reserve(static_cast<size_t>(count));
-  size_t offset = frame.size() - r.remaining();
+  FrameParts parts;
+  parts.query_id = query_id;
+  parts.trace_flags = trace_flags;
+  parts.items.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t sub_id = r.ReadVarint();
+    if (!r.ok() || sub_id > std::numeric_limits<uint32_t>::max()) {
+      return Status::Corruption("frame: bad item sub_id");
+    }
+    const uint64_t attempt = r.ReadVarint();
+    if (!r.ok() || attempt > std::numeric_limits<uint32_t>::max()) {
+      return Status::Corruption("frame: bad item attempt");
+    }
     const uint64_t length = r.ReadVarint();
     if (!r.ok()) return Status::Corruption("frame: bad length prefix");
-    offset = frame.size() - r.remaining();
+    const size_t offset = frame.size() - r.remaining();
     if (length > r.remaining()) {
       return Status::Corruption("frame: length prefix " +
                                 std::to_string(length) +
                                 " overruns the frame");
     }
-    items.push_back(frame.subspan(offset, static_cast<size_t>(length)));
+    FrameItem item;
+    item.sub_id = static_cast<uint32_t>(sub_id);
+    item.attempt = static_cast<uint32_t>(attempt);
+    item.payload = frame.subspan(offset, static_cast<size_t>(length));
+    parts.items.push_back(item);
     // Skip over the payload without copying it.
     for (uint64_t skipped = 0; skipped < length; ++skipped) r.ReadU8();
   }
   if (!r.AtEnd()) return Status::Corruption("frame: trailing bytes");
-  return items;
+  return parts;
 }
 
 void EncodeSubQueryBatch(std::span<const SubQueryRequest> requests,
-                         WireCodecKind kind, const CompactCodec& registry,
-                         WireBuffer& out) {
+                         std::span<const uint32_t> attempts,
+                         uint8_t trace_flags, WireCodecKind kind,
+                         const CompactCodec& registry, WireBuffer& out) {
   std::vector<WireBuffer> items(requests.size());
+  std::vector<uint32_t> sub_ids(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     EncodeWith(kind, registry, requests[i], items[i]);
+    sub_ids[i] = requests[i].sub_id;
   }
-  EncodeFrame(kind, items, out);
+  const uint64_t query_id = requests.empty() ? 0 : requests[0].query_id;
+  EncodeFrame(kind, query_id, trace_flags, sub_ids, attempts, items, out);
 }
 
-Result<std::vector<SubQueryRequest>> DecodeSubQueryBatch(
+Result<DecodedSubQueryBatch> DecodeSubQueryBatch(
     std::span<const std::byte> frame, WireCodecKind kind,
     const CompactCodec& registry) {
   auto split = SplitFrame(frame, kind);
   if (!split.ok()) return split.status();
-  if (split.value().empty()) {
+  if (split.value().items.empty()) {
     return Status::Corruption("batch: empty frame");
   }
-  std::vector<SubQueryRequest> requests;
-  requests.reserve(split.value().size());
+  DecodedSubQueryBatch batch;
+  batch.query_id = split.value().query_id;
+  batch.trace_flags = split.value().trace_flags;
+  batch.requests.reserve(split.value().items.size());
+  batch.attempts.reserve(split.value().items.size());
   std::unordered_set<uint32_t> seen_sub_ids;
-  for (std::span<const std::byte> item : split.value()) {
-    auto decoded = DecodeWith<SubQueryRequest>(kind, registry, item);
+  for (const FrameItem& item : split.value().items) {
+    auto decoded = DecodeWith<SubQueryRequest>(kind, registry, item.payload);
     if (!decoded.ok()) return decoded.status();
+    if (decoded.value().query_id != batch.query_id) {
+      return Status::Corruption(
+          "batch: payload query_id " +
+          std::to_string(decoded.value().query_id) +
+          " disagrees with the envelope's " + std::to_string(batch.query_id));
+    }
+    if (decoded.value().sub_id != item.sub_id) {
+      return Status::Corruption(
+          "batch: payload sub_id " + std::to_string(decoded.value().sub_id) +
+          " disagrees with the envelope's " + std::to_string(item.sub_id));
+    }
     if (!seen_sub_ids.insert(decoded.value().sub_id).second) {
       return Status::Corruption(
           "batch: duplicate sub_id " + std::to_string(decoded.value().sub_id));
     }
-    requests.push_back(std::move(decoded).value());
+    batch.requests.push_back(std::move(decoded).value());
+    batch.attempts.push_back(item.attempt);
   }
-  return requests;
+  return batch;
 }
 
-void EncodeReplyFrame(const SubQueryReply& reply, WireCodecKind kind,
+void EncodeReplyFrame(const SubQueryReply& reply, uint32_t attempt,
+                      uint8_t trace_flags, WireCodecKind kind,
                       const CompactCodec& registry, WireBuffer& out) {
   std::vector<WireBuffer> items(1);
   EncodeWith(kind, registry, reply, items[0]);
-  EncodeFrame(kind, items, out);
+  const uint32_t sub_id = reply.sub_id;
+  EncodeFrame(kind, reply.query_id, trace_flags,
+              std::span<const uint32_t>(&sub_id, 1),
+              std::span<const uint32_t>(&attempt, 1), items, out);
 }
 
-Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
-                                       WireCodecKind kind,
-                                       const CompactCodec& registry) {
+Result<DecodedReplyFrame> DecodeReplyFrame(std::span<const std::byte> frame,
+                                           WireCodecKind kind,
+                                           const CompactCodec& registry) {
   auto split = SplitFrame(frame, kind);
   if (!split.ok()) return split.status();
-  if (split.value().size() != 1) {
+  if (split.value().items.size() != 1) {
     return Status::Corruption("reply frame: expected exactly one payload");
   }
-  return DecodeWith<SubQueryReply>(kind, registry, split.value().front());
+  const FrameItem& item = split.value().items.front();
+  auto decoded = DecodeWith<SubQueryReply>(kind, registry, item.payload);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded.value().query_id != split.value().query_id) {
+    return Status::Corruption(
+        "reply frame: payload query_id " +
+        std::to_string(decoded.value().query_id) +
+        " disagrees with the envelope's " +
+        std::to_string(split.value().query_id));
+  }
+  if (decoded.value().sub_id != item.sub_id) {
+    return Status::Corruption(
+        "reply frame: payload sub_id " +
+        std::to_string(decoded.value().sub_id) +
+        " disagrees with the envelope's " + std::to_string(item.sub_id));
+  }
+  DecodedReplyFrame out;
+  out.trace_flags = split.value().trace_flags;
+  out.attempt = item.attempt;
+  out.reply = std::move(decoded).value();
+  return out;
 }
 
-Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
-                                       WireCodecKind kind,
-                                       const CompactCodec& registry,
-                                       uint64_t expected_query_id) {
+Result<DecodedReplyFrame> DecodeReplyFrame(std::span<const std::byte> frame,
+                                           WireCodecKind kind,
+                                           const CompactCodec& registry,
+                                           uint64_t expected_query_id) {
   auto decoded = DecodeReplyFrame(frame, kind, registry);
   if (!decoded.ok()) return decoded.status();
-  if (decoded.value().query_id != expected_query_id) {
+  if (decoded.value().reply.query_id != expected_query_id) {
     return Status::Corruption(
         "reply frame: demux mismatch (reply names query " +
-        std::to_string(decoded.value().query_id) + ", channel belongs to " +
-        std::to_string(expected_query_id) + ")");
+        std::to_string(decoded.value().reply.query_id) +
+        ", channel belongs to " + std::to_string(expected_query_id) + ")");
   }
   return decoded;
 }

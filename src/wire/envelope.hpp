@@ -15,9 +15,18 @@
 //     actually present before any allocation, so truncated or hostile
 //     frames fail with kCorruption instead of crashing or OOMing.
 //
-// Frame layout:
-//   [u16 magic 0xFAB1][u8 version][u8 codec][varint count]
-//   count x { [varint length][length payload bytes] }
+// Version 2 adds trace context to the envelope so node-side worker spans
+// can be causally linked to the query that issued them without trusting
+// the payloads: the frame names its owning query and flags, and every
+// item carries its sub-query id and attempt ordinal alongside the
+// payload. The decoder cross-checks the envelope context against the
+// decoded payloads — a frame whose wire metadata disagrees with its
+// contents is kCorruption, exactly like a bad length prefix.
+//
+// Frame layout (version 2):
+//   [u16 magic 0xFAB1][u8 version][u8 codec][u8 trace_flags]
+//   [varint query_id][varint count]
+//   count x { [varint sub_id][varint attempt][varint length][payload] }
 #pragma once
 
 #include <cstdint>
@@ -46,21 +55,64 @@ std::string_view WireCodecName(WireCodecKind kind);
 Result<WireCodecKind> ParseWireCodec(std::string_view name);
 
 inline constexpr uint16_t kFrameMagic = 0xFAB1;
-inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr uint8_t kFrameVersion = 2;
+
+/// Trace flag bits carried in the envelope header. Any bit outside
+/// kTraceFlagsMask is kCorruption at decode time, like every other
+/// header field.
+inline constexpr uint8_t kTraceSampled = 0x01;
+inline constexpr uint8_t kTraceFlagsMask = kTraceSampled;
+
+/// Deterministic nonzero flow id for one sub-query attempt, used to link
+/// a master-side dispatch span to the node-side worker spans it caused
+/// in a Chrome trace (flow events require a shared id). Mixes the three
+/// coordinates so distinct attempts never collide in practice.
+inline constexpr uint64_t TraceFlowId(uint64_t query_id, uint32_t sub_id,
+                                      uint32_t attempt) {
+  // splitmix64-style finalizer over the packed coordinates.
+  uint64_t x = query_id * 0x9E3779B97F4A7C15ull;
+  x ^= (static_cast<uint64_t>(sub_id) << 32) | attempt;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x | 1;  // never zero: 0 means "no flow" in Span
+}
+
+/// One decoded frame item: the wire-level trace coordinates plus a view
+/// into the frame's payload bytes.
+struct FrameItem {
+  uint32_t sub_id = 0;
+  uint32_t attempt = 0;
+  std::span<const std::byte> payload;
+};
+
+/// A split frame: the envelope's trace context plus its items (payload
+/// spans view into the original frame buffer).
+struct FrameParts {
+  uint64_t query_id = 0;
+  uint8_t trace_flags = 0;
+  std::vector<FrameItem> items;
+};
 
 /// Appends a frame holding `items` (each an already-encoded message) to
-/// `out`.
-void EncodeFrame(WireCodecKind codec, std::span<const WireBuffer> items,
-                 WireBuffer& out);
+/// `out`. `sub_ids` and `attempts` must parallel `items` — they are the
+/// wire-level trace coordinates of each payload.
+void EncodeFrame(WireCodecKind codec, uint64_t query_id, uint8_t trace_flags,
+                 std::span<const uint32_t> sub_ids,
+                 std::span<const uint32_t> attempts,
+                 std::span<const WireBuffer> items, WireBuffer& out);
 
-/// Splits a frame into its payload spans (views into `frame`). Fails with
-/// kCorruption on a bad header, a count or length prefix that does not
-/// fit the bytes present, or trailing garbage; fails with kCorruption
-/// ("codec mismatch") when the frame was produced by a codec other than
+/// Splits a frame into its trace context and payload spans (views into
+/// `frame`). Fails with kCorruption on a bad header, unknown trace-flag
+/// bits, a count / length / id prefix that does not fit the bytes
+/// present, or trailing garbage; fails with kCorruption ("codec
+/// mismatch") when the frame was produced by a codec other than
 /// `expected`. Never allocates proportionally to a claimed length, only
 /// to bytes actually present.
-Result<std::vector<std::span<const std::byte>>> SplitFrame(
-    std::span<const std::byte> frame, WireCodecKind expected);
+Result<FrameParts> SplitFrame(std::span<const std::byte> frame,
+                              WireCodecKind expected);
 
 /// Encodes one message with the selected codec (Compact consults
 /// `registry`, which both peers must have filled via
@@ -84,37 +136,63 @@ Result<M> DecodeWith(WireCodecKind kind, const CompactCodec& registry,
   return registry.Decode<M>(data);
 }
 
+/// A decoded and validated SubQueryBatch frame: the envelope trace
+/// context plus the requests with their wire attempt ordinals.
+struct DecodedSubQueryBatch {
+  uint64_t query_id = 0;
+  uint8_t trace_flags = 0;
+  std::vector<SubQueryRequest> requests;
+  std::vector<uint32_t> attempts;  ///< parallel to `requests`
+};
+
 /// Encodes a SubQueryBatch frame: every request encoded with `kind`, then
-/// framed. A batch of one is how single sub-queries travel too.
+/// framed with the envelope trace context (query_id from the requests,
+/// sub_ids from each request, attempt ordinals from `attempts`). A batch
+/// of one is how single sub-queries travel too.
 void EncodeSubQueryBatch(std::span<const SubQueryRequest> requests,
-                         WireCodecKind kind, const CompactCodec& registry,
-                         WireBuffer& out);
+                         std::span<const uint32_t> attempts,
+                         uint8_t trace_flags, WireCodecKind kind,
+                         const CompactCodec& registry, WireBuffer& out);
 
 /// Decodes and validates a SubQueryBatch frame. Beyond per-message
-/// decoding it enforces batch-level invariants: at least one request and
-/// no duplicate sub_ids (a duplicate would double-fold a partial result
-/// on the master). Any violation is kCorruption.
-Result<std::vector<SubQueryRequest>> DecodeSubQueryBatch(
+/// decoding it enforces batch-level invariants: at least one request, no
+/// duplicate sub_ids (a duplicate would double-fold a partial result on
+/// the master), and envelope/payload agreement — every payload's
+/// query_id must match the frame's and every payload's sub_id must match
+/// its wire item's. Any violation is kCorruption.
+Result<DecodedSubQueryBatch> DecodeSubQueryBatch(
     std::span<const std::byte> frame, WireCodecKind kind,
     const CompactCodec& registry);
 
-/// Encodes one SubQueryReply as a single-item frame.
-void EncodeReplyFrame(const SubQueryReply& reply, WireCodecKind kind,
+/// A decoded and validated single-reply frame with its envelope context.
+struct DecodedReplyFrame {
+  uint8_t trace_flags = 0;
+  uint32_t attempt = 0;
+  SubQueryReply reply;
+};
+
+/// Encodes one SubQueryReply as a single-item frame. The envelope echoes
+/// the reply's query_id/sub_id plus the request's attempt ordinal and
+/// trace flags, so the master can re-link the reply without trusting the
+/// payload alone.
+void EncodeReplyFrame(const SubQueryReply& reply, uint32_t attempt,
+                      uint8_t trace_flags, WireCodecKind kind,
                       const CompactCodec& registry, WireBuffer& out);
 
 /// Decodes a single-item reply frame (kCorruption on anything malformed,
-/// including a frame holding more than one payload).
-Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
-                                       WireCodecKind kind,
-                                       const CompactCodec& registry);
+/// including a frame holding more than one payload or an envelope whose
+/// query_id/sub_id disagree with the decoded reply's).
+Result<DecodedReplyFrame> DecodeReplyFrame(std::span<const std::byte> frame,
+                                           WireCodecKind kind,
+                                           const CompactCodec& registry);
 
 /// Query-id-checked variant for demultiplexed reply channels: beyond
 /// frame validation, a decoded reply whose query_id differs from
 /// `expected_query_id` is kCorruption — a reply that slipped onto the
 /// wrong query's channel must never be folded into its result.
-Result<SubQueryReply> DecodeReplyFrame(std::span<const std::byte> frame,
-                                       WireCodecKind kind,
-                                       const CompactCodec& registry,
-                                       uint64_t expected_query_id);
+Result<DecodedReplyFrame> DecodeReplyFrame(std::span<const std::byte> frame,
+                                           WireCodecKind kind,
+                                           const CompactCodec& registry,
+                                           uint64_t expected_query_id);
 
 }  // namespace kvscale

@@ -1,0 +1,21 @@
+// Linted as src/telemetry/fixture.cpp: well-formed metric names, a
+// prefix concatenation, a dynamic name, and a justified suppression.
+#include <string>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace kvscale {
+
+void Clean(MetricsRegistry& registry, const std::string& name) {
+  registry.GetCounter("cluster.read.errors").Increment();
+  registry.GetHistogram("store.read.latency_us").Record(1.0);
+  // A trailing dot is fine when the literal is a concatenated prefix.
+  registry.GetGauge("sim.gauge." + name).Set(1.0);
+  // Dynamic names cannot be linted statically.
+  registry.GetCounter(name).Increment();
+  // kvscale-lint: allow(metric-name) legacy dashboard key kept verbatim
+  registry.GetCounter("legacy").Increment();
+  // Prose mentioning GetCounter("flat") in a comment is not a call.
+}
+
+}  // namespace kvscale

@@ -1,0 +1,14 @@
+// Linted as src/telemetry/fixture.cpp: flat or malformed metric names.
+#include "telemetry/metrics_registry.hpp"
+
+namespace kvscale {
+
+void Violations(MetricsRegistry& registry) {
+  registry.GetCounter("reads").Increment();      // line 7: no namespace dot
+  registry.GetGauge("Cache.Fill").Set(1.0);      // line 8: uppercase
+  registry.GetHistogram(".lat.us").Record(1.0);  // line 9: leading dot
+  registry.GetCounter("a..b").Increment();       // line 10: empty segment
+  registry.GetCounter("trailing.").Increment();  // line 11: dangling prefix
+}
+
+}  // namespace kvscale

@@ -40,9 +40,9 @@ std::vector<int> LinesOf(const std::vector<Finding>& findings) {
   return lines;
 }
 
-TEST(LintCatalogueTest, FiveRulesEachDescribed) {
+TEST(LintCatalogueTest, SixRulesEachDescribed) {
   const std::vector<std::string_view> ids = RuleIds();
-  ASSERT_EQ(ids.size(), 5u);
+  ASSERT_EQ(ids.size(), 6u);
   for (std::string_view id : ids) {
     EXPECT_FALSE(RuleDescription(id).empty()) << id;
   }
@@ -135,6 +135,30 @@ TEST(IncludeOrderRuleTest, CleanOrderAndNonSrcFilesPass) {
   EXPECT_TRUE(LintFileContent("tests/order.cpp",
                               ReadFixture("include_order_violating.cpp"))
                   .empty());
+}
+
+TEST(MetricNameRuleTest, FlagsFlatAndMalformedNames) {
+  const auto findings = LintFileContent(
+      "src/telemetry/fixture.cpp", ReadFixture("metric_name_violating.cpp"));
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"metric-name", "metric-name",
+                                      "metric-name", "metric-name",
+                                      "metric-name"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{7, 8, 9, 10, 11}));
+}
+
+TEST(MetricNameRuleTest, NamespacedConcatenatedDynamicAndAllowedAreClean) {
+  const auto findings = LintFileContent(
+      "src/telemetry/fixture.cpp", ReadFixture("metric_name_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(MetricNameRuleTest, AppliesOutsideSrcToo) {
+  // Tests and benches register metrics into the same dashboards, so the
+  // namespace rule is tree-wide (unlike stdout-in-lib).
+  const auto findings = LintFileContent(
+      "tests/fixture.cpp", ReadFixture("metric_name_violating.cpp"));
+  EXPECT_EQ(findings.size(), 5u);
 }
 
 TEST(SuppressionTest, JustifiedAllowsSilenceFindings) {

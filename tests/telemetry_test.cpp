@@ -8,13 +8,28 @@
 #include <vector>
 
 #include "telemetry/exporters.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span_tracer.hpp"
+#include "telemetry/timeseries.hpp"
 #include "trace/stage_trace.hpp"
 #include "trace/telemetry_bridge.hpp"
 
 namespace kvscale {
 namespace {
+
+/// Non-empty lines of a JSONL blob, for line-by-line validation.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
 
 // ---------------------------------------------------------------------------
 // A minimal recursive-descent JSON syntax checker, so the exporter tests
@@ -170,12 +185,12 @@ TEST(CounterTest, ConcurrentIncrementsAreLossless) {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&registry] {
       // Resolve-once-then-increment, the hot-path pattern.
-      Counter& counter = registry.GetCounter("shared");
+      Counter& counter = registry.GetCounter("test.shared");
       for (int i = 0; i < kIncrements; ++i) counter.Increment();
     });
   }
   for (auto& w : workers) w.join();
-  EXPECT_EQ(registry.GetCounter("shared").Value(),
+  EXPECT_EQ(registry.GetCounter("test.shared").Value(),
             static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
@@ -244,18 +259,18 @@ TEST(HistogramTest, MergeFoldsNodesTogether) {
 
 TEST(RegistryTest, SameNameReturnsSameInstrument) {
   MetricsRegistry registry;
-  Counter& a = registry.GetCounter("x");
+  Counter& a = registry.GetCounter("test.x");
   a.Increment();
-  EXPECT_EQ(&a, &registry.GetCounter("x"));
-  EXPECT_EQ(registry.GetCounter("x").Value(), 1u);
-  EXPECT_NE(&a, &registry.GetCounter("y"));
+  EXPECT_EQ(&a, &registry.GetCounter("test.x"));
+  EXPECT_EQ(registry.GetCounter("test.x").Value(), 1u);
+  EXPECT_NE(&a, &registry.GetCounter("test.y"));
 }
 
 TEST(RegistryTest, SnapshotAndSummaryReport) {
   MetricsRegistry registry;
-  registry.GetCounter("reads").Increment(7);
-  registry.GetGauge("fill").Set(0.5);
-  registry.GetHistogram("lat_us").Record(123.0);
+  registry.GetCounter("test.reads").Increment(7);
+  registry.GetGauge("test.fill").Set(0.5);
+  registry.GetHistogram("test.lat_us").Record(123.0);
   const MetricsSnapshot snapshot = registry.Snapshot();
   ASSERT_EQ(snapshot.counters.size(), 1u);
   EXPECT_EQ(snapshot.counters[0].second, 7u);
@@ -405,6 +420,175 @@ TEST(TelemetryBridgeTest, RecordStageHistogramsUsesPrefix) {
   LatencyHistogram& in_db = registry.GetHistogram("test.stage.in_db_us");
   EXPECT_EQ(in_db.Count(), 5u);
   EXPECT_NEAR(in_db.Percentile(0.5), 25.0, 25.0 * 0.07);
+}
+
+// ---------------------------------------------------------------------------
+// Span retention cap.
+
+TEST(SpanTracerTest, MaxSpansDropsNewestAndCountsThem) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+  tracer.set_max_spans(3);
+  tracer.set_dropped_counter(&registry.GetCounter("telemetry.spans.dropped"));
+  for (int i = 0; i < 5; ++i) {
+    SpanTracer::Scope s = tracer.StartSpan("s" + std::to_string(i));
+  }
+  // Newest-lose: the head of the trace survives intact.
+  const std::vector<Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "s0");
+  EXPECT_EQ(spans[2].name, "s2");
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(registry.GetCounter("telemetry.spans.dropped").Value(), 2u);
+  // Clearing frees capacity again; the drop tally is cumulative.
+  tracer.set_dropped_counter(nullptr);
+  tracer.Clear();
+  { SpanTracer::Scope s = tracer.StartSpan("after"); }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+QueryRecord MakeRecord(uint64_t id, double wall_us) {
+  QueryRecord r;
+  r.query_id = id;
+  r.table = "t";
+  r.transport = "message";
+  r.subqueries = 4;
+  r.completed = 4;
+  r.wall_us = wall_us;
+  return r;
+}
+
+TEST(FlightRecorderTest, RingIsBoundedAndEvictsOldest) {
+  FlightRecorder::Options options;
+  options.capacity = 3;
+  FlightRecorder recorder(options);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    recorder.Record(MakeRecord(id, 100.0));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.recorded(), 5u);
+  EXPECT_EQ(recorder.evicted(), 2u);
+  const std::vector<QueryRecord> records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().query_id, 3u);  // 1 and 2 were evicted
+  EXPECT_EQ(records.back().query_id, 5u);
+}
+
+TEST(FlightRecorderTest, SlowRuleCatchesLatencyAndDegradation) {
+  FlightRecorder::Options options;
+  options.slow_query_us = 1000.0;
+  FlightRecorder recorder(options);
+
+  recorder.Record(MakeRecord(1, 100.0));   // fast, healthy
+  recorder.Record(MakeRecord(2, 5000.0));  // over the threshold
+  QueryRecord degraded = MakeRecord(3, 100.0);
+  degraded.completed = 3;
+  degraded.failed = 1;
+  degraded.partial = true;
+  recorder.Record(degraded);  // fast but degraded: still slow-logged
+  QueryRecord shed = MakeRecord(4, 0.0);
+  shed.shed_by_admission = true;
+  recorder.Record(shed);
+
+  EXPECT_EQ(recorder.recorded(), 4u);
+  EXPECT_EQ(recorder.slow_queries(), 3u);
+  const std::vector<QueryRecord> records = recorder.snapshot();
+  EXPECT_FALSE(records[0].slow);
+  EXPECT_TRUE(records[1].slow);
+  EXPECT_TRUE(records[2].slow);
+  EXPECT_TRUE(records[3].slow);
+}
+
+TEST(FlightRecorderTest, ZeroThresholdDisablesTheSlowLog) {
+  FlightRecorder recorder;  // slow_query_us defaults to 0 = off
+  QueryRecord degraded = MakeRecord(1, 1e9);
+  degraded.failed = 1;
+  recorder.Record(degraded);
+  EXPECT_EQ(recorder.slow_queries(), 0u);
+  EXPECT_TRUE(recorder.SlowQueriesJsonl().empty());
+}
+
+TEST(FlightRecorderTest, JsonlIsWellFormedPerLine) {
+  FlightRecorder::Options options;
+  options.slow_query_us = 1.0;
+  FlightRecorder recorder(options);
+  QueryRecord record = MakeRecord(7, 250.5);
+  SubQueryTimelineEntry entry;
+  entry.sub_id = 2;
+  entry.node = 1;
+  entry.attempts = 2;
+  entry.completed = true;
+  entry.issued_us = 10.0;
+  entry.received_us = 12.0;
+  entry.db_start_us = 15.0;
+  entry.db_end_us = 20.0;
+  entry.completed_us = 25.0;
+  record.timeline.push_back(entry);
+  recorder.Record(record);
+
+  const std::string jsonl = recorder.ToJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  for (const std::string_view line : SplitLines(jsonl)) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+  EXPECT_NE(jsonl.find("\"sub_id\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"slow\":true"), std::string::npos);
+  EXPECT_EQ(recorder.SlowQueriesJsonl(), jsonl);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics time series.
+
+TEST(MetricsTimeSeriesTest, TickHonoursTheInterval) {
+  MetricsRegistry registry;
+  MetricsTimeSeries::Options options;
+  options.interval_us = 100.0;
+  MetricsTimeSeries series(&registry, options);
+
+  series.Tick(0.0);    // first tick always samples
+  series.Tick(50.0);   // within the interval: skipped
+  series.Tick(100.0);  // samples
+  series.Tick(120.0);  // skipped
+  series.Tick(250.0);  // samples
+  EXPECT_EQ(series.size(), 3u);
+}
+
+TEST(MetricsTimeSeriesTest, DeltasAreAgainstThePreviousSample) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.ts.ops");
+  MetricsTimeSeries::Options options;
+  options.interval_us = 0.0;
+  MetricsTimeSeries series(&registry, options);
+
+  counter.Increment(10);
+  series.Sample(100.0);
+  counter.Increment(5);
+  series.Sample(200.0);
+
+  const std::string jsonl = series.ToJsonl();
+  for (const std::string_view line : SplitLines(jsonl)) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+  // First sample deltas from zero; the second from the first.
+  EXPECT_NE(jsonl.find("\"value\":10,\"delta\":10"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"value\":15,\"delta\":5"), std::string::npos);
+}
+
+TEST(MetricsTimeSeriesTest, RetentionCapDropsAndCounts) {
+  MetricsRegistry registry;
+  MetricsTimeSeries::Options options;
+  options.interval_us = 0.0;
+  options.max_samples = 2;
+  MetricsTimeSeries series(&registry, options);
+  for (int i = 0; i < 5; ++i) series.Sample(static_cast<double>(i));
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.dropped_samples(), 3u);
+  series.Clear();
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(series.dropped_samples(), 0u);
 }
 
 }  // namespace

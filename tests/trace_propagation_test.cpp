@@ -1,0 +1,250 @@
+// Trace-context propagation over the wire: the envelope carries
+// {query_id, sub_id, attempt, trace_flags}, node-side worker spans are
+// sampled iff the decoded wire context asks for it, and master/node
+// spans join into causal flows. Tracing must be an observer: every
+// gather result is bit-identical with tracing on, off, or detached,
+// across codecs, batching, retries, and hedges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/in_process_cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "store/row.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "wire/envelope.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+WorkloadSpec LoadUniform(InProcessCluster& cluster, int partitions,
+                         int columns, TypeCounts* truth = nullptr) {
+  WorkloadSpec workload;
+  workload.table = "t";
+  for (int part = 0; part < partitions; ++part) {
+    const std::string key = "p" + std::to_string(part);
+    for (int i = 0; i < columns; ++i) {
+      Column c;
+      c.clustering = i;
+      c.type_id = i % 5;
+      c.payload = MakePayload(part, i, 24);
+      EXPECT_TRUE(cluster.Put("t", key, std::move(c)).ok());
+      if (truth != nullptr) ++(*truth)[i % 5];
+    }
+    workload.partitions.push_back(
+        PartitionRef{key, static_cast<uint32_t>(columns)});
+  }
+  return workload;
+}
+
+/// The observable outcome of a gather — everything that must not change
+/// when tracing is toggled.
+void ExpectIdenticalOutcome(const GatherResult& a, const GatherResult& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.totals, b.totals) << label;
+  EXPECT_EQ(a.subqueries, b.subqueries) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.failed, b.failed) << label;
+  EXPECT_EQ(a.retries, b.retries) << label;
+  EXPECT_EQ(a.hedged, b.hedged) << label;
+  EXPECT_EQ(a.partial, b.partial) << label;
+  EXPECT_EQ(a.partitions_missing, b.partitions_missing) << label;
+  EXPECT_EQ(a.requests_per_node, b.requests_per_node) << label;
+  EXPECT_EQ(a.errors_per_node, b.errors_per_node) << label;
+  EXPECT_EQ(a.lost_partitions, b.lost_partitions) << label;
+}
+
+TEST(TraceFlowIdTest, NonZeroDeterministicAndDistinct) {
+  std::set<uint64_t> seen;
+  for (uint64_t query = 1; query <= 8; ++query) {
+    for (uint32_t sub = 0; sub < 8; ++sub) {
+      for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+        const uint64_t id = TraceFlowId(query, sub, attempt);
+        EXPECT_NE(id, 0u);  // 0 means "no flow" in the exporter
+        EXPECT_EQ(id, TraceFlowId(query, sub, attempt));
+        seen.insert(id);
+      }
+    }
+  }
+  // Distinct coordinates virtually never collide (8*8*3 = 192 ids).
+  EXPECT_EQ(seen.size(), 192u);
+}
+
+TEST(TracePropagationTest, ResultsAreBitIdenticalAcrossCodecAndBatch) {
+  InProcessCluster cluster(4, PlacementKind::kDhtRandom, StoreOptions{}, 7);
+  TypeCounts truth;
+  const WorkloadSpec workload = LoadUniform(cluster, 40, 10, &truth);
+  cluster.FlushAll();
+
+  for (const WireCodecKind codec :
+       {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
+    for (const bool batch : {false, true}) {
+      GatherOptions options;
+      options.transport = GatherTransport::kMessage;
+      options.codec = codec;
+      options.batch = batch;
+      options.workers_per_node = 2;
+
+      cluster.AttachTelemetry(nullptr, nullptr);
+      const GatherResult untraced = cluster.CountByTypeAll(workload, options);
+      ASSERT_EQ(untraced.totals, truth);
+
+      SpanTracer spans;
+      MetricsRegistry registry;
+      cluster.AttachTelemetry(&spans, &registry);
+      const GatherResult traced = cluster.CountByTypeAll(workload, options);
+      cluster.AttachTelemetry(nullptr, nullptr);
+
+      const std::string label = std::string(WireCodecName(codec)) +
+                                (batch ? "/batch" : "/single");
+      ExpectIdenticalOutcome(traced, untraced, label);
+      EXPECT_GT(spans.size(), 0u) << label;
+    }
+  }
+}
+
+TEST(TracePropagationTest, NodeSpansFlowLinkUnderTheQuery) {
+  InProcessCluster cluster(4, PlacementKind::kDhtRandom, StoreOptions{}, 7);
+  const WorkloadSpec workload = LoadUniform(cluster, 30, 6);
+  cluster.FlushAll();
+
+  SpanTracer spans;
+  MetricsRegistry registry;
+  cluster.AttachTelemetry(&spans, &registry);
+
+  GatherOptions options;
+  options.transport = GatherTransport::kMessage;
+  options.codec = WireCodecKind::kCompact;
+  options.batch = true;
+  options.workers_per_node = 2;
+  const GatherResult result = cluster.CountByTypeAll(workload, options);
+  cluster.AttachTelemetry(nullptr, nullptr);
+  ASSERT_EQ(result.failed, 0u);
+
+  std::set<uint64_t> starts;
+  std::set<uint64_t> steps;
+  std::set<uint64_t> finishes;
+  std::set<std::string> step_names;
+  for (const Span& span : spans.snapshot()) {
+    switch (span.flow_phase) {
+      case FlowPhase::kStart:
+        EXPECT_NE(span.flow_id, 0u);
+        EXPECT_EQ(span.name, "dispatch");
+        starts.insert(span.flow_id);
+        break;
+      case FlowPhase::kStep:
+        EXPECT_NE(span.flow_id, 0u);
+        steps.insert(span.flow_id);
+        step_names.insert(span.name);
+        break;
+      case FlowPhase::kFinish:
+        EXPECT_NE(span.flow_id, 0u);
+        EXPECT_EQ(span.name, "reply");
+        finishes.insert(span.flow_id);
+        break;
+      case FlowPhase::kNone:
+        break;
+    }
+  }
+
+  // One flow per sub-query: every dispatch has a terminating reply and
+  // node-side work in between, under the same flow id.
+  EXPECT_EQ(starts.size(), result.subqueries);
+  EXPECT_EQ(starts, finishes);
+  for (const uint64_t id : steps) {
+    EXPECT_TRUE(starts.count(id) > 0) << "orphan step flow " << id;
+  }
+  // The node-side stages reached by the propagated context.
+  EXPECT_TRUE(step_names.count("store-read") > 0);
+  EXPECT_TRUE(step_names.count("encode") > 0);
+}
+
+TEST(TracePropagationTest, RetriesAndHedgesKeepParityAndDistinctFlows) {
+  InProcessCluster cluster(4, PlacementKind::kDhtRandom, StoreOptions{}, 7,
+                           2);
+  TypeCounts truth;
+  const WorkloadSpec workload = LoadUniform(cluster, 48, 8, &truth);
+  cluster.FlushAll();
+
+  FaultConfig config;
+  config.seed = 11;
+  config.read_error_rate = 0.2;
+  config.latency_spike_rate = 0.2;
+  config.latency_spike_us = 10.0 * kMillisecond;
+  FaultInjector injector(config);
+  cluster.AttachFaultInjector(&injector);
+
+  GatherOptions options;
+  options.transport = GatherTransport::kMessage;
+  options.codec = WireCodecKind::kCompact;
+  options.batch = true;
+  options.max_attempts = 4;
+  options.hedge = true;
+  options.hedge_threshold_us = 1.0 * kMillisecond;
+  options.workers_per_node = 2;
+
+  cluster.AttachTelemetry(nullptr, nullptr);
+  const GatherResult untraced = cluster.CountByTypeAll(workload, options);
+  ASSERT_EQ(untraced.totals, truth);
+  ASSERT_GT(untraced.retries, 0u);
+
+  SpanTracer spans;
+  MetricsRegistry registry;
+  cluster.AttachTelemetry(&spans, &registry);
+  const GatherResult traced = cluster.CountByTypeAll(workload, options);
+  cluster.AttachTelemetry(nullptr, nullptr);
+
+  ExpectIdenticalOutcome(traced, untraced, "retry/hedge");
+
+  // Fault decisions happen at dispatch time, so only the winning attempt
+  // of each sub-query ever travels: exactly one flow per sub-query, and
+  // retried sub-queries dispatch under their later attempt number (the
+  // attempt is part of the propagated context and the flow id).
+  std::set<uint64_t> starts;
+  std::set<uint64_t> finishes;
+  bool saw_retried_attempt = false;
+  for (const Span& span : spans.snapshot()) {
+    if (span.flow_phase == FlowPhase::kStart) {
+      starts.insert(span.flow_id);
+      for (const auto& [key, value] : span.attributes) {
+        if (key == "attempt" && value != "0") saw_retried_attempt = true;
+      }
+    } else if (span.flow_phase == FlowPhase::kFinish) {
+      finishes.insert(span.flow_id);
+    }
+  }
+  EXPECT_EQ(starts.size(), static_cast<size_t>(traced.subqueries));
+  EXPECT_EQ(starts, finishes);
+  EXPECT_TRUE(saw_retried_attempt);
+}
+
+TEST(TracePropagationTest, DisabledTracerSuppressesNodeSpansViaWireBit) {
+  InProcessCluster cluster(3, PlacementKind::kDhtRandom, StoreOptions{}, 7);
+  const WorkloadSpec workload = LoadUniform(cluster, 20, 5);
+  cluster.FlushAll();
+
+  SpanTracer spans;
+  spans.set_enabled(false);
+  MetricsRegistry registry;
+  cluster.AttachTelemetry(&spans, &registry);
+
+  GatherOptions options;
+  options.transport = GatherTransport::kMessage;
+  options.codec = WireCodecKind::kCompact;
+  options.batch = true;
+  const GatherResult result = cluster.CountByTypeAll(workload, options);
+  cluster.AttachTelemetry(nullptr, nullptr);
+
+  EXPECT_EQ(result.failed, 0u);
+  // A disabled tracer means the wire carries trace_flags = 0, so the
+  // nodes do not record worker spans either.
+  EXPECT_EQ(spans.size(), 0u);
+}
+
+}  // namespace
+}  // namespace kvscale

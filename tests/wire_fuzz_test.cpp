@@ -133,22 +133,31 @@ TEST_P(WireFuzzTest, BatchFrameRoundTripsBothCodecs) {
   RegisterClusterMessages(codec);
   for (int round = 0; round < 50; ++round) {
     const size_t n = 1 + rng.Below(12);
+    const uint64_t query_id = rng.Next();
+    const uint8_t trace_flags = round % 2 == 0 ? kTraceSampled : 0;
     std::vector<SubQueryRequest> batch;
+    std::vector<uint32_t> attempts;
     batch.reserve(n);
+    attempts.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       SubQueryRequest msg = RandomRequest(rng);
+      msg.query_id = query_id;  // one frame, one owning query
       msg.sub_id = static_cast<uint32_t>(i);  // keep sub_ids unique
       batch.push_back(std::move(msg));
+      attempts.push_back(static_cast<uint32_t>(rng.Below(4)));
     }
     for (const WireCodecKind kind :
          {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
       WireBuffer frame;
-      EncodeSubQueryBatch(batch, kind, codec, frame);
+      EncodeSubQueryBatch(batch, attempts, trace_flags, kind, codec, frame);
       auto decoded = DecodeSubQueryBatch(frame.data(), kind, codec);
       ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-      ASSERT_EQ(decoded.value().size(), n);
+      ASSERT_EQ(decoded.value().requests.size(), n);
+      EXPECT_EQ(decoded.value().query_id, query_id);
+      EXPECT_EQ(decoded.value().trace_flags, trace_flags);
+      EXPECT_EQ(decoded.value().attempts, attempts);
       for (size_t i = 0; i < n; ++i) {
-        EXPECT_TRUE(Equal(decoded.value()[i], batch[i]));
+        EXPECT_TRUE(Equal(decoded.value().requests[i], batch[i]));
       }
     }
   }
@@ -159,15 +168,19 @@ TEST_P(WireFuzzTest, BatchFrameTruncationsAlwaysFail) {
   CompactCodec codec;
   RegisterClusterMessages(codec);
   std::vector<SubQueryRequest> batch;
+  std::vector<uint32_t> attempts;
+  const uint64_t query_id = rng.Next();
   for (uint32_t i = 0; i < 4; ++i) {
     SubQueryRequest msg = RandomRequest(rng);
+    msg.query_id = query_id;
     msg.sub_id = i;
     batch.push_back(std::move(msg));
+    attempts.push_back(i % 3);
   }
   for (const WireCodecKind kind :
        {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
     WireBuffer frame;
-    EncodeSubQueryBatch(batch, kind, codec, frame);
+    EncodeSubQueryBatch(batch, attempts, kTraceSampled, kind, codec, frame);
     const auto data = frame.data();
     for (size_t cut = 0; cut < data.size(); ++cut) {
       auto decoded = DecodeSubQueryBatch(data.subspan(0, cut), kind, codec);
@@ -185,12 +198,14 @@ TEST_P(WireFuzzTest, DuplicateSubIdsInABatchAreRejected) {
   RegisterClusterMessages(codec);
   SubQueryRequest a = RandomRequest(rng);
   SubQueryRequest b = RandomRequest(rng);
+  b.query_id = a.query_id;
   b.sub_id = a.sub_id;  // transport metadata can no longer tell them apart
   const std::vector<SubQueryRequest> batch = {a, b};
+  const std::vector<uint32_t> attempts = {0, 0};
   for (const WireCodecKind kind :
        {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
     WireBuffer frame;
-    EncodeSubQueryBatch(batch, kind, codec, frame);
+    EncodeSubQueryBatch(batch, attempts, 0, kind, codec, frame);
     auto decoded = DecodeSubQueryBatch(frame.data(), kind, codec);
     ASSERT_FALSE(decoded.ok());
     EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
@@ -207,7 +222,11 @@ TEST(FrameEnvelopeTest, LengthPrefixOverflowIsRejectedBeforeAllocation) {
   frame.WriteU16(kFrameMagic);
   frame.WriteU8(kFrameVersion);
   frame.WriteU8(static_cast<uint8_t>(WireCodecKind::kCompact));
+  frame.WriteU8(0);                          // trace flags
+  frame.WriteVarint(7);                      // query id
   frame.WriteVarint(1);                      // one item...
+  frame.WriteVarint(0);                      // sub_id
+  frame.WriteVarint(0);                      // attempt
   frame.WriteVarint(0xFFFFFFFFFFFFULL);      // ...of 256 TiB, allegedly
   frame.WriteU8(0);
   auto decoded =
@@ -220,6 +239,8 @@ TEST(FrameEnvelopeTest, LengthPrefixOverflowIsRejectedBeforeAllocation) {
   counted.WriteU16(kFrameMagic);
   counted.WriteU8(kFrameVersion);
   counted.WriteU8(static_cast<uint8_t>(WireCodecKind::kCompact));
+  counted.WriteU8(0);
+  counted.WriteVarint(7);
   counted.WriteVarint(0xFFFFFFFFULL);
   auto overcounted =
       DecodeSubQueryBatch(counted.data(), WireCodecKind::kCompact, codec);
@@ -236,17 +257,20 @@ TEST(FrameEnvelopeTest, CrossCodecFramesFailCleanly) {
   msg.table = "t";
   msg.partition_key = "p1";
   const std::vector<SubQueryRequest> batch = {msg};
+  const std::vector<uint32_t> attempts = {0};
   // A frame announcing one codec decoded by the other must fail at the
   // header, before any payload bytes are misinterpreted.
   WireBuffer tagged;
-  EncodeSubQueryBatch(batch, WireCodecKind::kTagged, codec, tagged);
+  EncodeSubQueryBatch(batch, attempts, 0, WireCodecKind::kTagged, codec,
+                      tagged);
   auto as_compact =
       DecodeSubQueryBatch(tagged.data(), WireCodecKind::kCompact, codec);
   ASSERT_FALSE(as_compact.ok());
   EXPECT_EQ(as_compact.status().code(), StatusCode::kCorruption);
 
   WireBuffer compact;
-  EncodeSubQueryBatch(batch, WireCodecKind::kCompact, codec, compact);
+  EncodeSubQueryBatch(batch, attempts, 0, WireCodecKind::kCompact, codec,
+                      compact);
   auto as_tagged =
       DecodeSubQueryBatch(compact.data(), WireCodecKind::kTagged, codec);
   ASSERT_FALSE(as_tagged.ok());
@@ -257,7 +281,7 @@ TEST(FrameEnvelopeTest, EmptyBatchAndMultiPayloadRepliesAreRejected) {
   CompactCodec codec;
   RegisterClusterMessages(codec);
   WireBuffer empty;
-  EncodeSubQueryBatch({}, WireCodecKind::kCompact, codec, empty);
+  EncodeSubQueryBatch({}, {}, 0, WireCodecKind::kCompact, codec, empty);
   auto decoded =
       DecodeSubQueryBatch(empty.data(), WireCodecKind::kCompact, codec);
   ASSERT_FALSE(decoded.ok());
@@ -284,10 +308,12 @@ TEST(FrameEnvelopeTest, QueryIdCheckedDecodeRejectsCrossQueryReplies) {
   for (const WireCodecKind kind :
        {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
     WireBuffer buffer;
-    EncodeReplyFrame(msg, kind, codec, buffer);
+    EncodeReplyFrame(msg, /*attempt=*/2, kTraceSampled, kind, codec, buffer);
     const auto own = DecodeReplyFrame(buffer.data(), kind, codec, 7);
     ASSERT_TRUE(own.ok());
-    EXPECT_EQ(own.value().sub_id, 3u);
+    EXPECT_EQ(own.value().reply.sub_id, 3u);
+    EXPECT_EQ(own.value().attempt, 2u);
+    EXPECT_EQ(own.value().trace_flags, kTraceSampled);
     const auto stray = DecodeReplyFrame(buffer.data(), kind, codec, 8);
     ASSERT_FALSE(stray.ok());
     EXPECT_EQ(stray.status().code(), StatusCode::kCorruption);
@@ -326,7 +352,8 @@ TEST_P(WireFuzzTest, SingleBitFlipsInTheHeaderAreDetected) {
   msg.sub_id = 3;
   WireBuffer frame;
   EncodeSubQueryBatch(std::vector<SubQueryRequest>{msg},
-                      WireCodecKind::kCompact, codec, frame);
+                      std::vector<uint32_t>{0}, 0, WireCodecKind::kCompact,
+                      codec, frame);
   std::vector<std::byte> bytes(frame.data().begin(), frame.data().end());
   // The first four bytes are magic/version/codec — every single-bit flip
   // there must be caught by header validation (this is the property the
@@ -341,6 +368,99 @@ TEST_P(WireFuzzTest, SingleBitFlipsInTheHeaderAreDetected) {
       EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
     }
   }
+}
+
+// Byte 4 is the trace-flags field. Bit 0 is kTraceSampled — flipping it
+// on a clean frame yields a *valid* sampled frame (trace context is data,
+// not a checksum) — but every undefined bit must be refused, so a future
+// flag can be added without old decoders silently misreading it.
+TEST_P(WireFuzzTest, UnknownTraceFlagBitsAreRejected) {
+  Rng rng(GetParam() ^ 0x7f7f);
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  SubQueryRequest msg = RandomRequest(rng);
+  msg.sub_id = 0;
+  WireBuffer frame;
+  EncodeSubQueryBatch(std::vector<SubQueryRequest>{msg},
+                      std::vector<uint32_t>{0}, 0, WireCodecKind::kCompact,
+                      codec, frame);
+  std::vector<std::byte> bytes(frame.data().begin(), frame.data().end());
+  ASSERT_EQ(bytes[4], std::byte{0});  // the trace-flags byte
+
+  auto sampled = bytes;
+  sampled[4] = std::byte{kTraceSampled};
+  auto as_sampled = DecodeSubQueryBatch(sampled, WireCodecKind::kCompact,
+                                        codec);
+  ASSERT_TRUE(as_sampled.ok()) << as_sampled.status().ToString();
+  EXPECT_EQ(as_sampled.value().trace_flags, kTraceSampled);
+
+  for (int bit = 1; bit < 8; ++bit) {
+    auto flipped = bytes;
+    flipped[4] = static_cast<std::byte>(1u << bit);
+    auto decoded =
+        DecodeSubQueryBatch(flipped, WireCodecKind::kCompact, codec);
+    ASSERT_FALSE(decoded.ok()) << "bit=" << bit;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+// The wire trace coordinates are validated like every other header
+// field: a sub_id or attempt that disagrees with the decoded payload, or
+// that does not fit in 32 bits, is kCorruption — never a crash, never a
+// silently mislinked span.
+TEST_P(WireFuzzTest, CorruptedTraceCoordinatesAreRejected) {
+  Rng rng(GetParam() ^ 0x3c3c);
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  SubQueryRequest msg = RandomRequest(rng);
+  msg.query_id = 77;
+  msg.sub_id = 5;
+  for (const WireCodecKind kind :
+       {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
+    // Re-frame the encoded payload with envelope coordinates that lie.
+    WireBuffer payload;
+    EncodeWith(kind, codec, msg, payload);
+    const std::vector<WireBuffer> items = [&] {
+      std::vector<WireBuffer> v;
+      v.push_back(std::move(payload));
+      return v;
+    }();
+
+    WireBuffer wrong_sub;
+    const uint32_t lying_sub = 6;  // payload says 5
+    const uint32_t attempt = 0;
+    EncodeFrame(kind, 77, 0, std::span<const uint32_t>(&lying_sub, 1),
+                std::span<const uint32_t>(&attempt, 1), items, wrong_sub);
+    auto sub_mismatch = DecodeSubQueryBatch(wrong_sub.data(), kind, codec);
+    ASSERT_FALSE(sub_mismatch.ok());
+    EXPECT_EQ(sub_mismatch.status().code(), StatusCode::kCorruption);
+
+    WireBuffer wrong_query;
+    const uint32_t honest_sub = 5;
+    EncodeFrame(kind, 78, 0, std::span<const uint32_t>(&honest_sub, 1),
+                std::span<const uint32_t>(&attempt, 1), items, wrong_query);
+    auto query_mismatch = DecodeSubQueryBatch(wrong_query.data(), kind, codec);
+    ASSERT_FALSE(query_mismatch.ok());
+    EXPECT_EQ(query_mismatch.status().code(), StatusCode::kCorruption);
+  }
+
+  // An attempt varint too large for uint32 is rejected before decoding
+  // any payload.
+  WireBuffer oversized;
+  oversized.WriteU16(kFrameMagic);
+  oversized.WriteU8(kFrameVersion);
+  oversized.WriteU8(static_cast<uint8_t>(WireCodecKind::kCompact));
+  oversized.WriteU8(0);
+  oversized.WriteVarint(77);              // query id
+  oversized.WriteVarint(1);               // one item
+  oversized.WriteVarint(5);               // sub_id
+  oversized.WriteVarint(uint64_t{1} << 40);  // attempt: does not fit u32
+  oversized.WriteVarint(1);
+  oversized.WriteU8(0);
+  auto decoded =
+      DecodeSubQueryBatch(oversized.data(), WireCodecKind::kCompact, codec);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,

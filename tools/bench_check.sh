@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regression gate for the bench scoreboard: runs a quick-config
+# master_throughput sweep and compares its queries/s against the
+# committed baseline (BENCH_master_throughput.json). The gate is
+# lower-bound-only — a faster machine passes, a slowdown past the
+# tolerance fails — so it catches "this PR made the gather path 3x
+# slower" without being flaky across hardware.
+#
+# Usage: tools/bench_check.sh            # compare against the baseline
+#        tools/bench_check.sh --update   # rewrite the baseline from a run
+#
+# The quick config keeps a full sweep under ~10s; override via env:
+#   BENCH_ELEMENTS BENCH_KEYS BENCH_NODES BENCH_MAX_CLIENTS
+#   BENCH_QUERIES BENCH_TOLERANCE_PCT BENCH_BUILD_DIR
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BENCH_BUILD_DIR:-build}"
+BASELINE="bench/BENCH_master_throughput.json"
+ELEMENTS="${BENCH_ELEMENTS:-8000}"
+KEYS="${BENCH_KEYS:-40}"
+NODES="${BENCH_NODES:-4}"
+MAX_CLIENTS="${BENCH_MAX_CLIENTS:-4}"
+QUERIES="${BENCH_QUERIES:-3}"
+TOLERANCE_PCT="${BENCH_TOLERANCE_PCT:-60}"
+BIN="$BUILD_DIR/bench/master_throughput"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_check: $BIN not built — run: cmake --build $BUILD_DIR -j --target master_throughput" >&2
+  exit 1
+fi
+
+common_flags=(
+  --elements="$ELEMENTS" --keys="$KEYS" --nodes="$NODES"
+  --max-clients="$MAX_CLIENTS" --queries="$QUERIES"
+)
+
+if [[ "${1:-}" == "--update" ]]; then
+  "$BIN" "${common_flags[@]}" --json-out="$BASELINE"
+  echo "bench_check: baseline updated at $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_check: no baseline at $BASELINE — create one with: tools/bench_check.sh --update" >&2
+  exit 1
+fi
+
+"$BIN" "${common_flags[@]}" \
+  --check-against="$BASELINE" --tolerance-pct="$TOLERANCE_PCT"

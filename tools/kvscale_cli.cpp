@@ -32,8 +32,10 @@
 #include "model/optimizer.hpp"
 #include "store/row.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span_tracer.hpp"
+#include "telemetry/timeseries.hpp"
 #include "trace/stage_trace.hpp"
 #include "trace/telemetry_bridge.hpp"
 #include "wire/envelope.hpp"
@@ -305,6 +307,10 @@ struct GatherArgs {
   int64_t queries = 1;         ///< queries per client when --clients > 1
   int64_t max_inflight = 0;    ///< admission limit; 0 = unlimited
   std::string admission_policy;  ///< "" = default (block)
+  double slow_query_us = 0.0;  ///< flight-recorder slow threshold; 0 = off
+  std::string flight_out;      ///< flight-recorder ring JSONL ("" = off)
+  std::string slow_log;        ///< slow-query JSONL append file ("" = off)
+  std::string timeseries_out;  ///< metric time-series JSONL ("" = off)
 
   void Register(CliFlags& flags) {
     flags.Add("threads", &threads, "gather worker threads (1 = serial)");
@@ -344,6 +350,15 @@ struct GatherArgs {
               "admission limit on concurrent queries; 0 = unlimited");
     flags.Add("admission-policy", &admission_policy,
               "behavior at the admission limit: block|reject");
+    flags.Add("slow-query-us", &slow_query_us,
+              "flight-recorder slow-query wall-time threshold in us "
+              "(0 = off; degraded queries always count as slow)");
+    flags.Add("flight-out", &flight_out,
+              "write the per-query flight-recorder ring as JSONL");
+    flags.Add("slow-log", &slow_log,
+              "append slow/degraded query records as JSONL to this file");
+    flags.Add("timeseries-out", &timeseries_out,
+              "write per-gather metric time-series deltas as JSONL");
   }
 
   Status Validate(const CommonArgs& args) const {
@@ -377,6 +392,9 @@ struct GatherArgs {
     if (max_inflight < 0) {
       return Status::InvalidArgument("--max-inflight must be >= 0");
     }
+    if (slow_query_us < 0.0) {
+      return Status::InvalidArgument("--slow-query-us must be >= 0");
+    }
     if (codec.empty()) {
       if (batch || queue_depth != 0 || workers_per_node != 0 ||
           !queue_policy.empty() || clients != 1 || max_inflight != 0 ||
@@ -408,6 +426,42 @@ struct GatherArgs {
   }
 };
 
+/// Honours the gather observability flags; returns false (after printing
+/// the error) if a requested export failed.
+bool ExportGatherObservability(const GatherArgs& gather_args,
+                               const FlightRecorder& flight,
+                               const MetricsTimeSeries& timeseries) {
+  if (gather_args.slow_query_us > 0.0 || !gather_args.slow_log.empty()) {
+    std::printf("  flight recorder: %llu quer%s recorded, %llu slow/degraded"
+                "%s%s\n",
+                static_cast<unsigned long long>(flight.recorded()),
+                flight.recorded() == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(flight.slow_queries()),
+                gather_args.slow_log.empty() ? "" : " -> ",
+                gather_args.slow_log.c_str());
+  }
+  if (!gather_args.flight_out.empty()) {
+    const Status status = flight.WriteJsonl(gather_args.flight_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--flight-out: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %zu flight records to %s\n", flight.size(),
+                gather_args.flight_out.c_str());
+  }
+  if (!gather_args.timeseries_out.empty()) {
+    const Status status = timeseries.WriteJsonl(gather_args.timeseries_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--timeseries-out: %s\n",
+                   status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %zu time-series samples to %s\n", timeseries.size(),
+                gather_args.timeseries_out.c_str());
+  }
+  return true;
+}
+
 int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   SpanTracer tracer;
   MetricsRegistry registry;
@@ -419,6 +473,14 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
                            static_cast<uint64_t>(gather_args.seed),
                            static_cast<uint32_t>(gather_args.replication));
   cluster.AttachTelemetry(&tracer, &registry);
+
+  FlightRecorder::Options flight_options;
+  flight_options.slow_query_us = gather_args.slow_query_us;
+  flight_options.slow_log_path = gather_args.slow_log;
+  FlightRecorder flight(flight_options);
+  cluster.AttachFlightRecorder(&flight);
+  MetricsTimeSeries timeseries(&registry);
+  cluster.AttachTimeSeries(&timeseries);
 
   FaultConfig fault_config;
   fault_config.seed = static_cast<uint64_t>(gather_args.seed);
@@ -526,7 +588,10 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
                 static_cast<unsigned long long>(cluster.runtime_builds()),
                 cluster.runtime_builds() == 1 ? "" : "s");
     std::printf("%s", registry.SummaryReport().c_str());
-    return ExportTelemetry(args, tracer, registry) ? 0 : 1;
+    const bool exported =
+        ExportGatherObservability(gather_args, flight, timeseries) &&
+        ExportTelemetry(args, tracer, registry);
+    return exported ? 0 : 1;
   }
 
   GatherResult result;
@@ -576,7 +641,10 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
     std::printf("%s", stages.SummaryReport().c_str());
   }
   std::printf("%s", registry.SummaryReport().c_str());
-  return ExportTelemetry(args, tracer, registry) ? 0 : 1;
+  const bool exported =
+      ExportGatherObservability(gather_args, flight, timeseries) &&
+      ExportTelemetry(args, tracer, registry);
+  return exported ? 0 : 1;
 }
 
 void PrintUsage() {
@@ -596,6 +664,8 @@ void PrintUsage() {
       "             --queue-depth --workers-per-node --queue-policy\n"
       "             multi-query flags: --clients --queries --max-inflight\n"
       "             --admission-policy {block,reject}\n"
+      "             observability flags: --slow-query-us --slow-log=FILE\n"
+      "             --flight-out=FILE --timeseries-out=FILE\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
       "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");

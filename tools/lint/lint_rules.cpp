@@ -17,9 +17,10 @@ constexpr std::string_view kDiscardedStatus = "discarded-status";
 constexpr std::string_view kStdoutInLib = "stdout-in-lib";
 constexpr std::string_view kRawMutex = "raw-mutex";
 constexpr std::string_view kIncludeOrder = "include-order";
+constexpr std::string_view kMetricName = "metric-name";
 constexpr std::string_view kSuppression = "lint-suppression";
 
-constexpr std::array<std::pair<std::string_view, std::string_view>, 5>
+constexpr std::array<std::pair<std::string_view, std::string_view>, 6>
     kRuleCatalogue = {{
         {kSimWallclock,
          "simulation code must use the virtual clock / seeded Rng, not "
@@ -33,6 +34,9 @@ constexpr std::array<std::pair<std::string_view, std::string_view>, 5>
          "the annotated wrappers"},
         {kIncludeOrder,
          "a .cpp under src/ must include its own header first"},
+        {kMetricName,
+         "MetricsRegistry instrument names must be dot-namespaced "
+         "lowercase (e.g. cluster.read.errors)"},
     }};
 
 bool IsIdentChar(char c) {
@@ -316,6 +320,7 @@ class FileLinter {
       CheckDiscardedStatus(code, line_no);
       CheckStdoutInLib(code, line_no);
       CheckRawMutex(code, line_no);
+      CheckMetricName(code, view_.raw[i], line_no);
     }
     CheckIncludeOrder();
     std::sort(findings_.begin(), findings_.end(),
@@ -424,6 +429,75 @@ class FileLinter {
                      " outside thread_annotations.hpp");
           return;
         }
+      }
+    }
+  }
+
+  /// A name is well-formed when it is [a-z0-9_.], contains at least one
+  /// dot (a namespace), starts no segment with a dot, and has no empty
+  /// segments. A trailing dot is allowed only for `"prefix." + suffix`
+  /// concatenations.
+  static bool ValidMetricName(std::string_view name, bool concatenated) {
+    if (name.empty() || name.front() == '.') return false;
+    if (name.back() == '.' && !concatenated) return false;
+    bool has_dot = false;
+    char prev = '\0';
+    for (const char c : name) {
+      const bool allowed = (c >= 'a' && c <= 'z') ||
+                           (c >= '0' && c <= '9') || c == '_' || c == '.';
+      if (!allowed) return false;
+      if (c == '.') {
+        if (prev == '.') return false;
+        has_dot = true;
+      }
+      prev = c;
+    }
+    return has_dot;
+  }
+
+  /// Dashboards and the time-series exporter group instruments by their
+  /// dotted prefix, so every literal registry name must carry one. The
+  /// code view locates the Get*( call (comments/strings blanked); the
+  /// literal itself is read from the raw view at the same columns.
+  void CheckMetricName(const std::string& code, const std::string& raw,
+                       int line_no) {
+    for (std::string_view method :
+         {"GetCounter", "GetGauge", "GetHistogram"}) {
+      size_t pos = 0;
+      while ((pos = code.find(method, pos)) != std::string::npos) {
+        const size_t end = pos + method.size();
+        const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+        pos = end;
+        if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
+          continue;
+        }
+        size_t p = end;
+        while (p < code.size() && (code[p] == ' ' || code[p] == '\t')) ++p;
+        if (p >= code.size() || code[p] != '(') continue;
+        ++p;
+        // Skip whitespace in the *raw* view: the code view blanks the
+        // literal to spaces, so skipping there would jump past it.
+        while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+        // Only literal names are lintable; a variable (or a literal
+        // continuing on the next line) is skipped.
+        if (p >= raw.size() || raw[p] != '"') continue;
+        const size_t close = raw.find('"', p + 1);
+        if (close == std::string::npos) continue;
+        const std::string_view name =
+            std::string_view(raw).substr(p + 1, close - p - 1);
+        size_t after = close + 1;
+        while (after < raw.size() &&
+               (raw[after] == ' ' || raw[after] == '\t')) {
+          ++after;
+        }
+        const bool concatenated = after < raw.size() && raw[after] == '+';
+        if (!ValidMetricName(name, concatenated)) {
+          Report(kMetricName, line_no,
+                 "metric name \"" + std::string(name) +
+                     "\" must be dot-namespaced lowercase "
+                     "(e.g. cluster.read.errors)");
+        }
+        pos = close;
       }
     }
   }

@@ -18,6 +18,10 @@
 //   include-order     a .cpp under src/ that includes its own header must
 //                     include it first (catches headers that only compile
 //                     because of include-order luck)
+//   metric-name       literal MetricsRegistry instrument names must be
+//                     dot-namespaced lowercase ("cluster.read.errors");
+//                     dashboards and the time-series exporter group by
+//                     the dotted prefix, so flat names get lost
 //
 // Every rule is suppressible, with a mandatory justification:
 //

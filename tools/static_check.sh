@@ -17,8 +17,10 @@
 # Usage:
 #   tools/static_check.sh          run the static stages above
 #   tools/static_check.sh --all    also run the dynamic checks:
-#                                  tools/race_check.sh (tsan preset) and
-#                                  tools/chaos_check.sh (asan-ubsan preset)
+#                                  tools/race_check.sh (tsan preset),
+#                                  tools/chaos_check.sh (asan-ubsan preset),
+#                                  and tools/bench_check.sh (scoreboard
+#                                  throughput regression gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,6 +78,11 @@ if [[ "$run_all" -eq 1 ]]; then
   tools/race_check.sh || failures+=("race_check")
   echo "== static_check --all: chaos_check (asan-ubsan) =="
   tools/chaos_check.sh || failures+=("chaos_check")
+  echo "== static_check --all: bench_check (scoreboard regression gate) =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target master_throughput -j"$(nproc)" \
+    >/dev/null
+  tools/bench_check.sh || failures+=("bench_check")
 fi
 
 if [[ "${#failures[@]}" -gt 0 ]]; then
