@@ -1,0 +1,422 @@
+// Rebalance throughput: how fast live migration moves ownership, and
+// what it costs the gathers running through it.
+//
+// The paper's elasticity argument (Section V: scaling the store with the
+// cluster) only holds if ownership can move while the system serves
+// queries. This bench drives the three membership operations — join,
+// graceful decommission, permanent failure — against a loaded cluster
+// while client threads keep gathering, and reports (a) migration
+// throughput (partitions and columns re-homed per second, bytes on the
+// wire) and (b) gather latency during the churn vs a quiet cluster.
+//
+// Run: ./build/bench/rebalance [--elements=8000] [--keys=48] [--nodes=4]
+//      [--replication=2] [--clients=4] [--queries=3]
+//
+// Scoreboard mode: --json-out=FILE writes the measured points as JSON;
+// --check-against=BASELINE compares the current run against a committed
+// scoreboard and fails (exit 1) when migration throughput regresses past
+// --tolerance-pct or the configs differ. The gate is lower-bound-only on
+// columns moved/s — gather latency during churn is reported but not
+// gated (it is too machine-sensitive for a pass/fail line).
+// tools/bench_check.sh wraps the quick-config flow.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "stats/summary.hpp"
+#include "store/row.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+/// One membership operation's measured cost. `op` is numeric so the
+/// baseline check can scan it with the same targeted-key parser the
+/// other scoreboards use: 0 = join, 1 = decommission, 2 = perma-kill.
+struct OpPoint {
+  uint32_t op = 0;
+  uint64_t partitions_moved = 0;
+  uint64_t columns_moved = 0;
+  uint64_t bytes_streamed = 0;
+  uint64_t block_retries = 0;
+  double wall_us = 0.0;
+  double columns_per_sec = 0.0;
+};
+
+const char* OpName(uint32_t op) {
+  switch (op) {
+    case 0: return "join";
+    case 1: return "decommission";
+    default: return "perma-kill";
+  }
+}
+
+/// The knobs that shape the measurement; a baseline is only comparable
+/// against a run with the identical config.
+struct BenchConfig {
+  int64_t elements = 0;
+  int64_t keys = 0;
+  int64_t nodes = 0;
+  int64_t replication = 0;
+  int64_t clients = 0;
+  int64_t queries = 0;
+};
+
+/// Gather latency percentiles for one phase (quiet or churn).
+struct GatherStats {
+  uint64_t gathers = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string ScoreboardJson(const BenchConfig& config,
+                           const std::vector<OpPoint>& ops,
+                           const GatherStats& quiet,
+                           const GatherStats& churn) {
+  std::string out = "{\"bench\":\"rebalance\",\"config\":{";
+  out += "\"elements\":" + std::to_string(config.elements);
+  out += ",\"keys\":" + std::to_string(config.keys);
+  out += ",\"nodes\":" + std::to_string(config.nodes);
+  out += ",\"replication\":" + std::to_string(config.replication);
+  out += ",\"clients\":" + std::to_string(config.clients);
+  out += ",\"queries\":" + std::to_string(config.queries);
+  out += "},\"ops\":[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpPoint& p = ops[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"op\":" + std::to_string(p.op);
+    out += ",\"partitions_moved\":" + std::to_string(p.partitions_moved);
+    out += ",\"columns_moved\":" + std::to_string(p.columns_moved);
+    out += ",\"bytes_streamed\":" + std::to_string(p.bytes_streamed);
+    out += ",\"block_retries\":" + std::to_string(p.block_retries);
+    out += ",\"wall_us\":" + FormatDouble(p.wall_us);
+    out += ",\"columns_per_sec\":" + FormatDouble(p.columns_per_sec);
+    out += '}';
+  }
+  out += "\n],\"gather\":{";
+  out += "\"quiet_gathers\":" + std::to_string(quiet.gathers);
+  out += ",\"quiet_p50_us\":" + FormatDouble(quiet.p50_us);
+  out += ",\"quiet_p99_us\":" + FormatDouble(quiet.p99_us);
+  out += ",\"churn_gathers\":" + std::to_string(churn.gathers);
+  out += ",\"churn_p50_us\":" + FormatDouble(churn.p50_us);
+  out += ",\"churn_p99_us\":" + FormatDouble(churn.p99_us);
+  out += "}}\n";
+  return out;
+}
+
+/// Every number following an exact `"key":` occurrence, in document
+/// order — the scoreboard's keys are chosen so no key is a quoted prefix
+/// of another (see master_throughput.cpp).
+std::vector<double> JsonNumbers(const std::string& json,
+                                const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtod(json.c_str() + pos, nullptr));
+  }
+  return out;
+}
+
+bool ConfigMatches(const std::string& baseline, const char* key,
+                   int64_t current) {
+  const std::vector<double> values = JsonNumbers(baseline, key);
+  if (values.size() != 1 || static_cast<int64_t>(values[0]) != current) {
+    std::fprintf(stderr,
+                 "bench-check: config mismatch on \"%s\" (baseline %s, "
+                 "current %lld) — regenerate the baseline with "
+                 "tools/bench_check.sh --update\n",
+                 key,
+                 values.empty() ? "missing" : FormatDouble(values[0]).c_str(),
+                 static_cast<long long>(current));
+    return false;
+  }
+  return true;
+}
+
+/// Lower-bound migration-throughput gate: each baseline op must be
+/// matched by the same op in the current run whose columns moved/s is at
+/// least (1 - tolerance) of the recorded value. Only slowdowns fail.
+int CheckAgainstBaseline(const std::string& path, const BenchConfig& config,
+                         const std::vector<OpPoint>& ops,
+                         double tolerance_pct) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench-check: cannot open baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string baseline = buffer.str();
+
+  bool ok = true;
+  ok &= ConfigMatches(baseline, "elements", config.elements);
+  ok &= ConfigMatches(baseline, "keys", config.keys);
+  ok &= ConfigMatches(baseline, "nodes", config.nodes);
+  ok &= ConfigMatches(baseline, "replication", config.replication);
+  ok &= ConfigMatches(baseline, "clients", config.clients);
+  ok &= ConfigMatches(baseline, "queries", config.queries);
+  if (!ok) return 1;
+
+  const std::vector<double> base_ops = JsonNumbers(baseline, "op");
+  const std::vector<double> base_rate = JsonNumbers(baseline,
+                                                    "columns_per_sec");
+  if (base_ops.empty() || base_ops.size() != base_rate.size()) {
+    std::fprintf(stderr, "bench-check: malformed baseline %s\n", path.c_str());
+    return 1;
+  }
+
+  const double floor_fraction = 1.0 - tolerance_pct / 100.0;
+  int failures = 0;
+  for (size_t i = 0; i < base_ops.size(); ++i) {
+    const uint32_t op = static_cast<uint32_t>(base_ops[i]);
+    const OpPoint* current = nullptr;
+    for (const OpPoint& p : ops) {
+      if (p.op == op) current = &p;
+    }
+    if (current == nullptr) {
+      std::fprintf(stderr,
+                   "bench-check: FAIL op=%s missing from the current run\n",
+                   OpName(op));
+      ++failures;
+      continue;
+    }
+    const double floor = base_rate[i] * floor_fraction;
+    const bool pass = current->columns_per_sec >= floor;
+    std::printf("bench-check: %s op=%-12s %.1f columns/s (baseline %.1f, "
+                "floor %.1f)\n",
+                pass ? "ok  " : "FAIL", OpName(op), current->columns_per_sec,
+                base_rate[i], floor);
+    if (!pass) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench-check: %d op(s) regressed past %.0f%% tolerance\n",
+                 failures, tolerance_pct);
+    return 1;
+  }
+  std::printf("bench-check: all %zu ops within %.0f%% of the baseline\n",
+              base_ops.size(), tolerance_pct);
+  return 0;
+}
+
+OpPoint ToPoint(uint32_t op, const MembershipReport& report) {
+  OpPoint point;
+  point.op = op;
+  point.partitions_moved = report.partitions_moved;
+  point.columns_moved = report.columns_moved;
+  point.bytes_streamed = report.bytes_streamed;
+  point.block_retries = report.block_retries;
+  point.wall_us = report.wall_us;
+  point.columns_per_sec =
+      report.wall_us > 0.0
+          ? static_cast<double>(report.columns_moved) * 1e6 / report.wall_us
+          : 0.0;
+  return point;
+}
+
+/// Runs `clients` threads x `queries` gathers each (message transport,
+/// retries on) and collects their wall-clock latencies. `body` runs on
+/// the calling thread while the clients gather — the membership churn
+/// during the churn phase, nothing during the quiet phase.
+template <typename Body>
+GatherStats GatherPhase(InProcessCluster& cluster,
+                        const WorkloadSpec& workload, uint32_t clients,
+                        uint32_t queries, Body&& body) {
+  GatherOptions options;
+  options.transport = GatherTransport::kMessage;
+  options.codec = WireCodecKind::kCompact;
+  options.max_attempts = 5;
+  std::vector<double> latencies(static_cast<size_t>(clients) * queries, 0.0);
+  std::atomic<uint64_t> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (uint32_t q = 0; q < queries; ++q) {
+        const GatherResult r = cluster.CountByTypeAll(workload, options);
+        KV_CHECK(r.completed + r.failed == r.subqueries);
+        latencies[static_cast<size_t>(c) * queries + q] = r.wall_us;
+        started.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let at least one gather land before the churn starts, so the ops
+  // genuinely overlap in-flight queries.
+  while (started.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  body();
+  for (std::thread& t : threads) t.join();
+  GatherStats stats;
+  stats.gathers = latencies.size();
+  stats.p50_us = Percentile(latencies, 0.50);
+  stats.p95_us = Percentile(latencies, 0.95);
+  stats.p99_us = Percentile(latencies, 0.99);
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  int64_t elements = 8000;
+  int64_t keys = 48;
+  int64_t nodes = 4;
+  int64_t replication = 2;
+  int64_t clients = 4;
+  int64_t queries = 3;
+  std::string json_out;
+  std::string check_against;
+  double tolerance_pct = 60.0;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements per query");
+  flags.Add("keys", &keys, "partitions per query");
+  flags.Add("nodes", &nodes, "starting cluster size");
+  flags.Add("replication", &replication, "copies of every partition");
+  flags.Add("clients", &clients, "gather threads running through the churn");
+  flags.Add("queries", &queries, "gathers each client issues per phase");
+  flags.Add("json-out", &json_out, "write the scoreboard as JSON to FILE");
+  flags.Add("check-against", &check_against,
+            "compare this run against a baseline scoreboard JSON");
+  flags.Add("tolerance-pct", &tolerance_pct,
+            "allowed migration-throughput drop vs the baseline before "
+            "failing");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (tolerance_pct < 0.0 || tolerance_pct >= 100.0) {
+    std::fprintf(stderr, "--tolerance-pct must be in [0, 100)\n");
+    return 1;
+  }
+  if (replication < 1 || replication > nodes) {
+    std::fprintf(stderr, "--replication must be in [1, nodes]\n");
+    return 1;
+  }
+  if (nodes < 3) {
+    std::fprintf(stderr, "--nodes must be >= 3 (the drill removes two)\n");
+    return 1;
+  }
+
+  bench::Banner(
+      "Rebalance throughput: live migration speed and its cost to gathers",
+      "Section V's elasticity only pays off if ownership moves while the "
+      "cluster serves: keys re-homed per second for join / decommission / "
+      "permanent failure, with gather p99 during the churn vs quiet",
+      std::to_string(keys) + " partitions x " + std::to_string(elements) +
+          " elements, " + std::to_string(nodes) + " nodes, replication " +
+          std::to_string(replication) + ", " + std::to_string(clients) +
+          " gather clients");
+
+  InProcessCluster cluster(static_cast<uint32_t>(nodes),
+                           PlacementKind::kDhtRandom, StoreOptions{}, 7,
+                           static_cast<uint32_t>(replication));
+  const WorkloadSpec workload = UniformWorkload(
+      static_cast<uint64_t>(elements), static_cast<uint64_t>(keys));
+  uint64_t part_seed = 0;
+  for (const PartitionRef& part : workload.partitions) {
+    for (uint32_t j = 0; j < part.elements; ++j) {
+      Column column;
+      column.clustering = j;
+      column.type_id = j % 8;
+      column.payload = MakePayload(part_seed, j, 24);
+      KV_CHECK(cluster.Put(workload.table, part.key, std::move(column)).ok());
+    }
+    ++part_seed;
+  }
+  cluster.FlushAll();
+
+  const BenchConfig config{elements, keys,    nodes,
+                           replication, clients, queries};
+
+  // Quiet phase: the latency baseline, no churn.
+  const GatherStats quiet =
+      GatherPhase(cluster, workload, static_cast<uint32_t>(clients),
+                  static_cast<uint32_t>(queries), [] {});
+
+  // Churn phase: join a node, drain the first original, permanently kill
+  // the second, all while the clients gather.
+  std::vector<OpPoint> ops;
+  const GatherStats churn = GatherPhase(
+      cluster, workload, static_cast<uint32_t>(clients),
+      static_cast<uint32_t>(queries), [&] {
+        const Result<MembershipReport> joined = cluster.AddNode();
+        KV_CHECK(joined.ok());
+        ops.push_back(ToPoint(0, joined.value()));
+        const Result<MembershipReport> drained = cluster.DecommissionNode(0);
+        KV_CHECK(drained.ok());
+        ops.push_back(ToPoint(1, drained.value()));
+        const Result<MembershipReport> repaired =
+            cluster.FailNodePermanently(1);
+        KV_CHECK(repaired.ok());
+        KV_CHECK(repaired.value().partitions_lost == 0);
+        ops.push_back(ToPoint(2, repaired.value()));
+      });
+
+  TablePrinter table({"op", "partitions", "columns", "bytes", "retries",
+                      "wall", "columns/s"});
+  for (const OpPoint& p : ops) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.0f", p.columns_per_sec);
+    table.AddRow({OpName(p.op),
+                  TablePrinter::Cell(static_cast<int64_t>(p.partitions_moved)),
+                  TablePrinter::Cell(static_cast<int64_t>(p.columns_moved)),
+                  TablePrinter::Cell(static_cast<int64_t>(p.bytes_streamed)),
+                  TablePrinter::Cell(static_cast<int64_t>(p.block_retries)),
+                  FormatMicros(p.wall_us), std::string(rate)});
+  }
+  table.Print();
+
+  TablePrinter gather_table({"phase", "gathers", "p50", "p95", "p99"});
+  gather_table.AddRow({"quiet",
+                       TablePrinter::Cell(static_cast<int64_t>(quiet.gathers)),
+                       FormatMicros(quiet.p50_us), FormatMicros(quiet.p95_us),
+                       FormatMicros(quiet.p99_us)});
+  gather_table.AddRow({"churn",
+                       TablePrinter::Cell(static_cast<int64_t>(churn.gathers)),
+                       FormatMicros(churn.p50_us), FormatMicros(churn.p95_us),
+                       FormatMicros(churn.p99_us)});
+  gather_table.Print();
+  std::printf(
+      "\nevery churn-phase gather stayed balanced (completed + failed == "
+      "subqueries) while three membership ops re-homed ownership; the "
+      "p99 gap between the phases is what live migration costs readers\n");
+
+  if (!json_out.empty()) {
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    file << ScoreboardJson(config, ops, quiet, churn);
+    if (!file.good()) {
+      std::fprintf(stderr, "write failed: %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("scoreboard written to %s\n", json_out.c_str());
+  }
+  if (!check_against.empty()) {
+    return CheckAgainstBaseline(check_against, config, ops, tolerance_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -23,15 +23,28 @@ double ElapsedMicros(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+/// Grows a per-node tally vector to cover `node` (a slot added by a
+/// membership change after the gather's vectors were sized).
+template <typename T>
+void EnsureSlot(std::vector<T>& v, size_t node) {
+  if (v.size() <= node) v.resize(node + 1);
+}
+
 }  // namespace
 
 InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
                                    StoreOptions store_options, uint64_t seed,
                                    uint32_t replication)
     : placement_(placement, nodes, seed),
-      replication_(std::min(std::max<uint32_t>(replication, 1), nodes)) {
+      replication_(std::min(std::max<uint32_t>(replication, 1), nodes)),
+      initial_nodes_(nodes),
+      base_store_options_(store_options) {
   KV_CHECK(nodes >= 1);
   RegisterClusterMessages(codec_registry_);
+  owned_injector_ = std::make_unique<FaultInjector>();
+  injector_ = owned_injector_.get();
+  MutexLock route_lock(route_mu_);
+  MutexLock nodes_lock(nodes_mu_);
   node_options_.reserve(nodes);
   nodes_.reserve(nodes);
   for (uint32_t n = 0; n < nodes; ++n) {
@@ -42,8 +55,35 @@ InProcessCluster::InProcessCluster(uint32_t nodes, PlacementKind placement,
       options.wal_path += ".node" + std::to_string(n);
     }
     node_options_.push_back(options);
-    nodes_.push_back(std::make_unique<LocalStore>(node_options_.back()));
+    nodes_.push_back(std::make_shared<LocalStore>(node_options_.back()));
+    members_.insert(n);
   }
+}
+
+uint32_t InProcessCluster::node_count() const {
+  MutexLock lock(nodes_mu_);
+  return static_cast<uint32_t>(nodes_.size());
+}
+
+std::shared_ptr<LocalStore> InProcessCluster::NodePtr(NodeId id) const {
+  MutexLock lock(nodes_mu_);
+  return id < nodes_.size() ? nodes_[id] : nullptr;
+}
+
+bool InProcessCluster::NodeHasWal(NodeId id) const {
+  MutexLock lock(nodes_mu_);
+  return id < node_options_.size() && !node_options_[id].wal_path.empty();
+}
+
+LocalStore& InProcessCluster::node(uint32_t id) {
+  std::shared_ptr<LocalStore> store = NodePtr(id);
+  KV_CHECK(store != nullptr);
+  return *store;  // the slot's shared_ptr keeps the store alive
+}
+
+std::vector<NodeId> InProcessCluster::Members() const {
+  MutexLock lock(route_mu_);
+  return std::vector<NodeId>(members_.begin(), members_.end());
 }
 
 void InProcessCluster::AttachTelemetry(SpanTracer* spans,
@@ -73,6 +113,22 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     put_errors_counter_ = &metrics->GetCounter("cluster.put.errors");
     subquery_latency_ = &metrics->GetHistogram("cluster.subquery.latency_us");
     failover_latency_ = &metrics->GetHistogram("cluster.failover.latency_us");
+    joins_counter_ = &metrics->GetCounter("cluster.membership.joins");
+    decommissions_counter_ =
+        &metrics->GetCounter("cluster.membership.decommissions");
+    perma_failures_counter_ =
+        &metrics->GetCounter("cluster.membership.permanent_failures");
+    epoch_gauge_ = &metrics->GetGauge("cluster.membership.epoch");
+    migrated_partitions_counter_ =
+        &metrics->GetCounter("cluster.migration.partitions");
+    migrated_blocks_counter_ = &metrics->GetCounter("cluster.migration.blocks");
+    migrated_bytes_counter_ = &metrics->GetCounter("cluster.migration.bytes");
+    migration_retries_counter_ =
+        &metrics->GetCounter("cluster.migration.block_retries");
+    migration_failovers_counter_ =
+        &metrics->GetCounter("cluster.migration.source_failovers");
+    repaired_counter_ = &metrics->GetCounter("cluster.repair.partitions");
+    lost_counter_ = &metrics->GetCounter("cluster.repair.lost_partitions");
   } else {
     subqueries_counter_ = nullptr;
     missing_counter_ = nullptr;
@@ -83,6 +139,17 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     put_errors_counter_ = nullptr;
     subquery_latency_ = nullptr;
     failover_latency_ = nullptr;
+    joins_counter_ = nullptr;
+    decommissions_counter_ = nullptr;
+    perma_failures_counter_ = nullptr;
+    epoch_gauge_ = nullptr;
+    migrated_partitions_counter_ = nullptr;
+    migrated_blocks_counter_ = nullptr;
+    migrated_bytes_counter_ = nullptr;
+    migration_retries_counter_ = nullptr;
+    migration_failovers_counter_ = nullptr;
+    repaired_counter_ = nullptr;
+    lost_counter_ = nullptr;
   }
   // The shared runtime captured the old pointers at build; the next
   // message gather rebuilds it against the new ones.
@@ -131,42 +198,43 @@ void InProcessCluster::RecordGather(uint64_t query_id, const std::string& table,
     record.wire_bytes_sent = result.wire_bytes_sent;
     record.wire_bytes_received = result.wire_bytes_received;
     record.wire_frames_sent = result.wire_frames_sent;
+    record.ring_epoch = ring_epoch();
     record.timeline = std::move(timeline);
     flight_recorder_->Record(std::move(record));
   }
   if (timeseries_ != nullptr) {
-    timeseries_->Tick(static_cast<Micros>(clock_nanos) / 1e3);
+    timeseries_->Tick(static_cast<Micros>(clock_nanos) / 1e3, ring_epoch());
   }
 }
 
 void InProcessCluster::AttachFaultInjector(FaultInjector* injector) {
-  injector_ = injector;
+  // Detaching falls back to the internal (all-healthy) injector so the
+  // pointer concurrent gathers read is never null and never mutated by a
+  // membership op's first KillNode.
+  injector_ = injector != nullptr ? injector : owned_injector_.get();
   InvalidateRuntime();
 }
 
-FaultInjector& InProcessCluster::fault_injector() {
-  if (injector_ == nullptr) {
-    if (owned_injector_ == nullptr) {
-      owned_injector_ = std::make_unique<FaultInjector>();
-    }
-    injector_ = owned_injector_.get();
-    InvalidateRuntime();
-  }
-  return *injector_;
-}
+FaultInjector& InProcessCluster::fault_injector() { return *injector_; }
 
-const std::vector<NodeId>& InProcessCluster::ReplicasOf(
+std::vector<NodeId> InProcessCluster::ReplicasOf(
     std::string_view partition_key) {
   MutexLock lock(route_mu_);
   auto it = directory_.find(partition_key);
   if (it != directory_.end()) return it->second;
-  const NodeId primary = placement_.Place(partition_key);
   std::vector<NodeId> replicas;
-  replicas.reserve(replication_);
-  for (uint32_t r = 0; r < replication_; ++r) {
-    replicas.push_back((primary + r) % node_count());
+  if (elastic_) {
+    // Ring routing: membership ops keep members_ >= replication_, so the
+    // lookup cannot hit the short-cluster precondition.
+    replicas = ring_.ReplicasOfKey(partition_key, replication_).value();
+  } else {
+    const NodeId primary = placement_.Place(partition_key);
+    replicas.reserve(replication_);
+    for (uint32_t r = 0; r < replication_; ++r) {
+      replicas.push_back((primary + r) % initial_nodes_);
+    }
   }
-  return directory_.emplace(std::string(partition_key), std::move(replicas))
+  return directory_.emplace(std::string(partition_key), replicas)
       .first->second;
 }
 
@@ -186,23 +254,28 @@ std::vector<int64_t> InProcessCluster::PlacementLoad() const {
 
 Status InProcessCluster::Put(const std::string& table,
                              const std::string& partition_key, Column column) {
-  const std::vector<NodeId>& replicas = ReplicasOf(partition_key);
+  {
+    // The migration planner's table universe (stores list no tables).
+    MutexLock lock(route_mu_);
+    tables_.insert(table);
+  }
+  const std::vector<NodeId> replicas = ReplicasOf(partition_key);
   Status first_error = Status::Ok();
   auto put_on_node = [&](NodeId node, Column copy) {
     Status written = Status::Ok();
-    if (!node_options_[node].wal_path.empty()) {
+    std::shared_ptr<LocalStore> store = NodePtr(node);
+    KV_CHECK(store != nullptr);  // replica sets only reference real slots
+    if (NodeHasWal(node)) {
       // The WAL fault injection point: a full or failing log device
       // refuses the append before any bytes land.
       if (injector_ != nullptr) {
         written = injector_->OnWalWrite(node, partition_key);
       }
       if (written.ok()) {
-        written = nodes_[node]->DurablePut(table, partition_key,
-                                           std::move(copy));
+        written = store->DurablePut(table, partition_key, std::move(copy));
       }
     } else {
-      nodes_[node]->GetOrCreateTable(table).Put(partition_key,
-                                                std::move(copy));
+      store->GetOrCreateTable(table).Put(partition_key, std::move(copy));
     }
     if (written.ok()) {
       RecordDispatch(node);  // replica writes are dispatched load too
@@ -222,7 +295,12 @@ Status InProcessCluster::Put(const std::string& table,
 }
 
 void InProcessCluster::FlushAll() {
-  for (auto& node : nodes_) node->FlushAll();
+  std::vector<std::shared_ptr<LocalStore>> stores;
+  {
+    MutexLock lock(nodes_mu_);
+    stores = nodes_;
+  }
+  for (auto& store : stores) store->FlushAll();
 }
 
 void InProcessCluster::KillNode(NodeId node) {
@@ -235,9 +313,16 @@ Result<uint64_t> InProcessCluster::ReviveNode(NodeId node) {
   fault_injector().ReviveNode(node);
   // A crash loses everything the old store held in memory; only the
   // commit log survives.
-  nodes_[node] = std::make_unique<LocalStore>(node_options_[node]);
-  if (node_options_[node].wal_path.empty()) return uint64_t{0};
-  return nodes_[node]->Recover();
+  std::shared_ptr<LocalStore> fresh;
+  bool has_wal = false;
+  {
+    MutexLock lock(nodes_mu_);
+    fresh = std::make_shared<LocalStore>(node_options_[node]);
+    nodes_[node] = fresh;
+    has_wal = !node_options_[node].wal_path.empty();
+  }
+  if (!has_wal) return uint64_t{0};
+  return fresh->Recover();
 }
 
 uint64_t InProcessCluster::runtime_builds() const {
@@ -279,7 +364,12 @@ std::shared_ptr<NodeRuntime> InProcessCluster::EnsureRuntime(
       node_count(), rt_options,
       [this](uint32_t node, const SubQueryRequest& req,
              ReadProbe* probe) -> Result<TypeCounts> {
-        auto found = nodes_[node]->FindTable(req.table);
+        std::shared_ptr<LocalStore> store = NodePtr(node);
+        if (store == nullptr) {
+          return Status::Unavailable("node " + std::to_string(node) +
+                                     " has no store");
+        }
+        auto found = store->FindTable(req.table);
         if (!found.ok()) return found.status();
         return found.value()->CountByType(req.partition_key, probe);
       },
@@ -291,19 +381,20 @@ std::shared_ptr<NodeRuntime> InProcessCluster::EnsureRuntime(
 
 void InProcessCluster::ExecuteSubQuery(const std::string& table,
                                        const PartitionRef& part,
-                                       const std::vector<NodeId>& replicas,
+                                       std::vector<NodeId> replicas,
+                                       uint64_t resolved_epoch,
                                        const GatherOptions& options,
                                        GatherResult& out, Micros& vclock) {
   const auto t0 = std::chrono::steady_clock::now();
   ++out.subqueries;
   if (subqueries_counter_ != nullptr) subqueries_counter_->Increment();
 
-  const uint32_t fanout = static_cast<uint32_t>(replicas.size());
   SpanTracer::Scope route;
   if (spans_ != nullptr) route = spans_->StartSpan("route", master_track());
   if (route.active()) {
     route.Attr("partition", part.key);
-    route.Attr("node", std::to_string(replicas[options.replica % fanout]));
+    route.Attr("node",
+               std::to_string(replicas[options.replica % replicas.size()]));
     route.End();
   }
 
@@ -321,8 +412,17 @@ void InProcessCluster::ExecuteSubQuery(const std::string& table,
       if (retries_counter_ != nullptr) retries_counter_->Increment();
       vclock +=
           options.backoff_base_us * static_cast<double>(uint64_t{1} << (a - 1));
+      // A ring-epoch bump means ownership moved while this sub-query was
+      // failing over: re-resolve so the retry chases the data to its new
+      // owner instead of re-probing a set that no longer holds it.
+      const uint64_t epoch_now = ring_epoch();
+      if (epoch_now != resolved_epoch) {
+        replicas = ReplicasOf(part.key);
+        resolved_epoch = epoch_now;
+      }
     }
     ++attempts;
+    const uint32_t fanout = static_cast<uint32_t>(replicas.size());
     NodeId target = replicas[(options.replica + a) % fanout];
     FaultInjector::ReadFault fault;
     if (injector_ != nullptr) fault = injector_->OnRead(target, part.key, a);
@@ -347,12 +447,14 @@ void InProcessCluster::ExecuteSubQuery(const std::string& table,
           fault.extra_latency_us = hedge_latency;
         }
       } else {
+        EnsureSlot(out.errors_per_node, alt);
         ++out.errors_per_node[alt];
         if (errors_counter_ != nullptr) errors_counter_->Increment();
       }
     }
 
     if (!fault.status.ok()) {
+      EnsureSlot(out.errors_per_node, target);
       ++out.errors_per_node[target];
       if (errors_counter_ != nullptr) errors_counter_->Increment();
       continue;  // fail over to the next replica
@@ -366,9 +468,15 @@ void InProcessCluster::ExecuteSubQuery(const std::string& table,
       read.Attr("attempt", std::to_string(a));
     }
     RecordDispatch(target);  // a read actually issued against the store
+    EnsureSlot(out.requests_per_node, target);
+    EnsureSlot(out.probes_per_node, target);
     ++out.requests_per_node[target];
     ReadProbe probe;
-    auto found = nodes_[target]->FindTable(table);
+    std::shared_ptr<LocalStore> store = NodePtr(target);
+    auto found = store != nullptr
+                     ? store->FindTable(table)
+                     : Result<Table*>(Status::Unavailable(
+                           "node " + std::to_string(target) + " has no store"));
     if (found.ok()) {
       counts = found.value()->CountByType(part.key, &probe);
       out.probes_per_node[target].MergeFrom(probe);
@@ -392,6 +500,7 @@ void InProcessCluster::ExecuteSubQuery(const std::string& table,
     } else {
       // kCorruption and friends are retryable: the next replica holds a
       // clean copy of the same data.
+      EnsureSlot(out.errors_per_node, target);
       ++out.errors_per_node[target];
       if (errors_counter_ != nullptr) errors_counter_->Increment();
     }
@@ -439,9 +548,9 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
   }
   const auto t0 = std::chrono::steady_clock::now();
   GatherResult result;
-  result.requests_per_node.assign(nodes_.size(), 0);
-  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
-  result.errors_per_node.assign(nodes_.size(), 0);
+  result.requests_per_node.assign(node_count(), 0);
+  result.probes_per_node.assign(node_count(), ReadProbe{});
+  result.errors_per_node.assign(node_count(), 0);
 
   SpanTracer::Scope gather;
   if (spans_ != nullptr) {
@@ -452,7 +561,8 @@ GatherResult InProcessCluster::CountByTypeAll(const WorkloadSpec& workload,
 
   Micros vclock = 0.0;
   for (const PartitionRef& part : workload.partitions) {
-    ExecuteSubQuery(workload.table, part, ReplicasOf(part.key), options,
+    const uint64_t epoch = ring_epoch();
+    ExecuteSubQuery(workload.table, part, ReplicasOf(part.key), epoch, options,
                     result, vclock);
   }
   result.virtual_latency_us = vclock;
@@ -486,12 +596,16 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     return CountByTypeAllMessage(workload, scaled);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  // Resolve every replica set up front: resolution is cheap and entries
-  // are pointer-stable (std::map) for the life of the cluster.
-  std::vector<const std::vector<NodeId>*> replica_sets;
+  // Resolve every replica set up front (cheap), snapshotting the epoch
+  // *before* each resolution so a worker's retry can tell whether its
+  // set predates a concurrent membership flip.
+  std::vector<std::vector<NodeId>> replica_sets;
+  std::vector<uint64_t> replica_epochs;
   replica_sets.reserve(workload.partitions.size());
+  replica_epochs.reserve(workload.partitions.size());
   for (const PartitionRef& part : workload.partitions) {
-    replica_sets.push_back(&ReplicasOf(part.key));
+    replica_epochs.push_back(ring_epoch());
+    replica_sets.push_back(ReplicasOf(part.key));
   }
 
   std::vector<GatherResult> partials(threads);
@@ -510,20 +624,23 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
                            "worker-" + std::to_string(t));
     }
   }
+  const uint32_t slots = node_count();
   for (uint32_t t = 0; t < threads; ++t) {
-    workers.emplace_back([this, &workload, &replica_sets, &partials, &clocks,
-                          &options, t, threads, total] {
+    workers.emplace_back([this, &workload, &replica_sets, &replica_epochs,
+                          &partials, &clocks, &options, t, threads, total,
+                          slots] {
       GatherResult& local = partials[t];
-      local.requests_per_node.assign(nodes_.size(), 0);
-      local.probes_per_node.assign(nodes_.size(), ReadProbe{});
-      local.errors_per_node.assign(nodes_.size(), 0);
+      local.requests_per_node.assign(slots, 0);
+      local.probes_per_node.assign(slots, ReadProbe{});
+      local.errors_per_node.assign(slots, 0);
       SpanTracer::Scope worker_span;
       if (spans_ != nullptr) {
         worker_span = spans_->StartSpan("worker", master_track() + 1 + t);
       }
       for (size_t i = t; i < total; i += threads) {
         ExecuteSubQuery(workload.table, workload.partitions[i],
-                        *replica_sets[i], options, local, clocks[t]);
+                        replica_sets[i], replica_epochs[i], options, local,
+                        clocks[t]);
       }
     });
   }
@@ -532,9 +649,9 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
   SpanTracer::Scope fold;
   if (spans_ != nullptr) fold = spans_->StartSpan("fold", master_track());
   GatherResult result;
-  result.requests_per_node.assign(nodes_.size(), 0);
-  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
-  result.errors_per_node.assign(nodes_.size(), 0);
+  result.requests_per_node.assign(node_count(), 0);
+  result.probes_per_node.assign(node_count(), ReadProbe{});
+  result.errors_per_node.assign(node_count(), 0);
   for (uint32_t t = 0; t < threads; ++t) {
     const GatherResult& partial = partials[t];
     result.partitions_missing += partial.partitions_missing;
@@ -546,7 +663,10 @@ GatherResult InProcessCluster::CountByTypeAllParallel(
     for (const auto& [type, count] : partial.totals) {
       result.totals[type] += count;
     }
-    for (size_t n = 0; n < nodes_.size(); ++n) {
+    for (size_t n = 0; n < partial.requests_per_node.size(); ++n) {
+      EnsureSlot(result.requests_per_node, n);
+      EnsureSlot(result.probes_per_node, n);
+      EnsureSlot(result.errors_per_node, n);
       result.requests_per_node[n] += partial.requests_per_node[n];
       result.probes_per_node[n].MergeFrom(partial.probes_per_node[n]);
       result.errors_per_node[n] += partial.errors_per_node[n];
@@ -571,9 +691,9 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     const WorkloadSpec& workload, const GatherOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   GatherResult result;
-  result.requests_per_node.assign(nodes_.size(), 0);
-  result.probes_per_node.assign(nodes_.size(), ReadProbe{});
-  result.errors_per_node.assign(nodes_.size(), 0);
+  result.requests_per_node.assign(node_count(), 0);
+  result.probes_per_node.assign(node_count(), ReadProbe{});
+  result.errors_per_node.assign(node_count(), 0);
 
   const size_t total = workload.partitions.size();
   const uint64_t query_id =
@@ -625,7 +745,8 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
 
   struct Pending {
     const PartitionRef* part = nullptr;
-    const std::vector<NodeId>* replicas = nullptr;
+    std::vector<NodeId> replicas;  ///< snapshot from `epoch`
+    uint64_t epoch = 0;            ///< ring epoch the set was resolved at
     uint32_t next_attempt = 0;
     uint32_t attempts = 0;
     bool started = false;  ///< t0 stamped (first dispatch processing)
@@ -634,7 +755,8 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
   std::vector<Pending> subs(total);
   for (size_t i = 0; i < total; ++i) {
     subs[i].part = &workload.partitions[i];
-    subs[i].replicas = &ReplicasOf(subs[i].part->key);
+    subs[i].epoch = ring_epoch();
+    subs[i].replicas = ReplicasOf(subs[i].part->key);
   }
 
   // The flight recorder's per-sub-query stage stamps (last attempt wins).
@@ -705,8 +827,6 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
       s.started = true;
       s.t0 = std::chrono::steady_clock::now();
     }
-    const std::vector<NodeId>& replicas = *s.replicas;
-    const uint32_t fanout = static_cast<uint32_t>(replicas.size());
     const uint32_t max_attempts = std::max<uint32_t>(options.max_attempts, 1);
     while (s.next_attempt < max_attempts) {
       const uint32_t a = s.next_attempt;
@@ -720,9 +840,18 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         runtime->AdvanceClock(
             query_id, options.backoff_base_us *
                           static_cast<double>(uint64_t{1} << (a - 1)));
+        // Ownership may have moved since the scatter: chase the data to
+        // its post-migration owner (same rule as the direct path).
+        const uint64_t epoch_now = ring_epoch();
+        if (epoch_now != s.epoch) {
+          s.replicas = ReplicasOf(s.part->key);
+          s.epoch = epoch_now;
+        }
       }
       s.next_attempt = a + 1;
       ++s.attempts;
+      const std::vector<NodeId>& replicas = s.replicas;
+      const uint32_t fanout = static_cast<uint32_t>(replicas.size());
       NodeId target = replicas[(options.replica + a) % fanout];
       FaultInjector::ReadFault fault;
       if (injector_ != nullptr) {
@@ -750,15 +879,57 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
             fault.extra_latency_us = hedge_latency;
           }
         } else {
+          EnsureSlot(result.errors_per_node, alt);
           ++result.errors_per_node[alt];
           if (errors_counter_ != nullptr) errors_counter_->Increment();
         }
       }
 
       if (!fault.status.ok()) {
+        EnsureSlot(result.errors_per_node, target);
         ++result.errors_per_node[target];
         if (errors_counter_ != nullptr) errors_counter_->Increment();
         continue;  // fail over to the next replica without sending
+      }
+
+      if (target >= runtime->node_count()) {
+        // A join raced this gather: the shared runtime predates the new
+        // node, so the stale pool has no queue for it — yet the store is
+        // live and may hold the only reachable copy while the migration
+        // window is open. Read it directly (a fresh connection outside
+        // the stale pool) instead of burning every attempt on
+        // kUnavailable.
+        runtime->AdvanceClock(query_id, fault.extra_latency_us);
+        RecordDispatch(target);
+        EnsureSlot(result.requests_per_node, target);
+        EnsureSlot(result.probes_per_node, target);
+        ++result.requests_per_node[target];
+        ReadProbe probe;
+        std::shared_ptr<LocalStore> store = NodePtr(target);
+        auto found = store != nullptr
+                         ? store->FindTable(workload.table)
+                         : Result<Table*>(Status::Unavailable(
+                               "node " + std::to_string(target) +
+                               " has no store"));
+        Result<TypeCounts> counts = Status::NotFound(s.part->key);
+        if (found.ok()) {
+          counts = found.value()->CountByType(s.part->key, &probe);
+          result.probes_per_node[target].MergeFrom(probe);
+        } else {
+          counts = found.status();
+        }
+        if (counts.ok()) {
+          resolve(i, /*answered=*/true, &counts.value());
+          return false;  // settled here, nothing left in flight
+        }
+        if (counts.status().code() == StatusCode::kNotFound) {
+          resolve(i, /*answered=*/true, nullptr);  // authoritative miss
+          return false;
+        }
+        EnsureSlot(result.errors_per_node, target);
+        ++result.errors_per_node[target];
+        if (errors_counter_ != nullptr) errors_counter_->Increment();
+        continue;  // retryable: fail over like any transport error
       }
 
       SubQueryRequest req;
@@ -793,6 +964,7 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
       if (!sent.ok()) {
         // kReject backpressure: the send itself was refused; fail over
         // like any other transport error.
+        EnsureSlot(result.errors_per_node, target);
         ++result.errors_per_node[target];
         if (errors_counter_ != nullptr) errors_counter_->Increment();
         continue;
@@ -816,8 +988,8 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
     if (route.active()) {
       route.Attr("partition", subs[i].part->key);
       route.Attr("node",
-                 std::to_string((*subs[i].replicas)[options.replica %
-                                                    subs[i].replicas->size()]));
+                 std::to_string(subs[i].replicas[options.replica %
+                                                 subs[i].replicas.size()]));
       route.End();
     }
     if (try_dispatch(i, options.batch ? &per_node : nullptr) &&
@@ -908,6 +1080,8 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
         entry.db_start_us = r.db_start_us;
         entry.db_end_us = r.db_end_us;
       }
+      EnsureSlot(result.requests_per_node, r.node);
+      EnsureSlot(result.probes_per_node, r.node);
       ++result.requests_per_node[r.node];
       result.probes_per_node[r.node].MergeFrom(r.probe);
       if (stage_tracer_ != nullptr) {
@@ -942,6 +1116,7 @@ GatherResult InProcessCluster::CountByTypeAllMessage(
       // node's: it retries without an error tally, and the deadline
       // check inside try_dispatch settles its fate.
       if (code != StatusCode::kResourceExhausted) {
+        EnsureSlot(result.errors_per_node, r.node);
         ++result.errors_per_node[r.node];
         if (errors_counter_ != nullptr) errors_counter_->Increment();
       }
@@ -1012,11 +1187,324 @@ ConcurrentGatherReport InProcessCluster::CountByTypeAllConcurrent(
   return report;
 }
 
+Status InProcessCluster::EnsureElastic(MembershipReport& report) {
+  std::vector<std::pair<std::string, std::vector<NodeId>>> affected;
+  {
+    MutexLock lock(route_mu_);
+    if (elastic_) return Status::Ok();
+    for (const NodeId m : members_) KV_CHECK(ring_.AddNode(m).ok());
+    for (const auto& [key, set] : directory_) affected.emplace_back(key, set);
+  }
+  // Adoption: move every partition whose ring owners differ from its
+  // static placement, then flip. The legacy directory keeps serving
+  // gathers until the flip, and keeps serving forever if the stream
+  // fails (the ring is rolled back below).
+  RingPlan plan = PlanRingTransition(affected);
+  const Status streamed = ExecutePlan(std::move(plan), report);
+  MutexLock lock(route_mu_);
+  if (!streamed.ok()) {
+    const std::vector<NodeId> members(members_.begin(), members_.end());
+    for (const NodeId m : members) KV_CHECK(ring_.RemoveNode(m).ok());
+    return streamed;
+  }
+  elastic_ = true;
+  return Status::Ok();
+}
+
+InProcessCluster::RingPlan InProcessCluster::PlanRingTransition(
+    const std::vector<std::pair<std::string, std::vector<NodeId>>>& affected) {
+  std::vector<std::string> tables;
+  {
+    MutexLock lock(route_mu_);
+    tables.assign(tables_.begin(), tables_.end());
+  }
+  RingPlan plan;
+  for (const auto& [key, old_set] : affected) {
+    std::vector<NodeId> new_set;
+    {
+      MutexLock lock(route_mu_);
+      // Membership ops keep members_ >= replication_, so this resolves.
+      new_set = ring_.ReplicasOfKey(key, replication_).value();
+    }
+    if (new_set == old_set) continue;
+    std::vector<NodeId> gained;
+    for (const NodeId n : new_set) {
+      if (std::find(old_set.begin(), old_set.end(), n) == old_set.end()) {
+        gained.push_back(n);
+      }
+    }
+    bool lost = false;
+    for (const std::string& table : tables) {
+      // Which old replicas actually hold this (table, key) right now?
+      // Store contents decide — a table the key was never written to
+      // must not count as a loss.
+      std::vector<NodeId> live;
+      bool held_anywhere = false;
+      for (const NodeId s : old_set) {
+        std::shared_ptr<LocalStore> store = NodePtr(s);
+        if (store == nullptr) continue;
+        auto found = store->FindTable(table);
+        if (!found.ok() || !found.value()->HasPartition(key)) continue;
+        held_anywhere = true;
+        if (injector_ == nullptr || !injector_->IsNodeDown(s)) {
+          live.push_back(s);
+        }
+      }
+      if (!held_anywhere) continue;  // key not in this table: nothing to move
+      if (live.empty()) {
+        // Data exists but every holder is dead: nothing can re-protect
+        // it. The key keeps its old routing so gathers fail loudly.
+        lost = true;
+        continue;
+      }
+      for (const NodeId target : gained) {
+        plan.moves.push_back(PartitionMove{table, key, target, live});
+      }
+    }
+    if (lost) {
+      plan.lost.push_back(key);
+    } else {
+      plan.flips.emplace_back(key, std::move(new_set));
+    }
+  }
+  return plan;
+}
+
+Status InProcessCluster::ExecutePlan(RingPlan plan, MembershipReport& report) {
+  const uint64_t migration_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  MigrationEngine engine([this](NodeId id) { return NodePtr(id); },
+                         codec_registry_, injector_);
+  auto streamed = engine.Run(migration_id, std::move(plan.moves));
+  if (!streamed.ok()) return streamed.status();
+  const MigrationStreamStats& stats = streamed.value();
+
+  // Mid-stream source kills can strand partitions the planner saw live
+  // sources for: fold the engine's skips into the loss report and keep
+  // their old routing entries (same rule as planner-detected losses).
+  std::vector<std::string> lost = std::move(plan.lost);
+  lost.insert(lost.end(), stats.skipped_keys.begin(),
+              stats.skipped_keys.end());
+  std::sort(lost.begin(), lost.end());
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+  const std::set<std::string> lost_set(lost.begin(), lost.end());
+
+  uint64_t epoch = 0;
+  {
+    MutexLock lock(route_mu_);
+    for (auto& [key, set] : plan.flips) {
+      if (!lost_set.contains(key)) directory_[key] = std::move(set);
+    }
+    epoch = ring_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  report.ring_epoch = epoch;
+  report.partitions_moved += stats.partitions;
+  report.columns_moved += stats.columns;
+  report.blocks_streamed += stats.blocks;
+  report.bytes_streamed += stats.bytes;
+  report.block_retries += stats.block_retries;
+  report.source_failovers += stats.source_failovers;
+  report.lost_partitions.insert(report.lost_partitions.end(), lost.begin(),
+                                lost.end());
+  std::sort(report.lost_partitions.begin(), report.lost_partitions.end());
+  report.lost_partitions.erase(std::unique(report.lost_partitions.begin(),
+                                           report.lost_partitions.end()),
+                               report.lost_partitions.end());
+  // A key lost at ring adoption keeps routing to the dead node, so the
+  // removal pass re-discovers it: count the deduplicated union, not the
+  // per-pass sums.
+  report.partitions_lost = report.lost_partitions.size();
+
+  if (epoch_gauge_ != nullptr) epoch_gauge_->Set(static_cast<double>(epoch));
+  if (migrated_partitions_counter_ != nullptr) {
+    migrated_partitions_counter_->Increment(stats.partitions);
+  }
+  if (migrated_blocks_counter_ != nullptr) {
+    migrated_blocks_counter_->Increment(stats.blocks);
+  }
+  if (migrated_bytes_counter_ != nullptr) {
+    migrated_bytes_counter_->Increment(stats.bytes);
+  }
+  if (migration_retries_counter_ != nullptr) {
+    migration_retries_counter_->Increment(stats.block_retries);
+  }
+  if (migration_failovers_counter_ != nullptr) {
+    migration_failovers_counter_->Increment(stats.source_failovers);
+  }
+  return Status::Ok();
+}
+
+Result<MembershipReport> InProcessCluster::AddNode() {
+  MutexLock membership(membership_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  MembershipReport report;
+  KV_RETURN_IF_ERROR(EnsureElastic(report));
+
+  NodeId id = 0;
+  {
+    MutexLock lock(nodes_mu_);
+    id = static_cast<NodeId>(nodes_.size());
+    StoreOptions options = base_store_options_;
+    if (!options.wal_path.empty()) {
+      options.wal_path += ".node" + std::to_string(id);
+    }
+    node_options_.push_back(options);
+    nodes_.push_back(std::make_shared<LocalStore>(node_options_.back()));
+  }
+  report.node = id;
+
+  std::vector<std::pair<std::string, std::vector<NodeId>>> affected;
+  {
+    MutexLock lock(route_mu_);
+    placement_.GrowTo(id + 1);  // load-feedback slots for the new id
+    KV_CHECK(ring_.AddNode(id).ok());
+    members_.insert(id);
+    affected.assign(directory_.begin(), directory_.end());
+  }
+  // Minimal movement: only keys whose ring set gained the new node plan
+  // any moves; the planner drops unchanged sets.
+  RingPlan plan = PlanRingTransition(affected);
+  const Status streamed = ExecutePlan(std::move(plan), report);
+  if (!streamed.ok()) {
+    // The join aborts before any routing flip: evict the half-joined
+    // node so ownership stays with the data. Its empty slot stays
+    // allocated (ids are append-only).
+    MutexLock lock(route_mu_);
+    KV_CHECK(ring_.RemoveNode(id).ok());
+    members_.erase(id);
+    return streamed;
+  }
+  if (joins_counter_ != nullptr) joins_counter_->Increment();
+  // The shared runtime was sized for the old member count; rebuild so
+  // message gathers can reach the new node. In-flight gathers keep the
+  // old runtime and see kUnavailable for the new id, which retries
+  // handle like any transport error.
+  InvalidateRuntime();
+  report.wall_us = ElapsedMicros(t0);
+  return report;
+}
+
+Result<MembershipReport> InProcessCluster::DecommissionNode(NodeId node) {
+  MutexLock membership(membership_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  MembershipReport report;
+  report.node = node;
+  KV_RETURN_IF_ERROR(EnsureElastic(report));
+
+  std::vector<std::pair<std::string, std::vector<NodeId>>> affected;
+  {
+    MutexLock lock(route_mu_);
+    if (!members_.contains(node)) {
+      return Status::NotFound("node " + std::to_string(node) +
+                              " is not a member");
+    }
+    if (members_.size() - 1 < replication_) {
+      return Status::FailedPrecondition(
+          "decommissioning node " + std::to_string(node) + " would leave " +
+          std::to_string(members_.size() - 1) + " members, replication " +
+          std::to_string(replication_) + " needs " +
+          std::to_string(replication_));
+    }
+    KV_CHECK(ring_.RemoveNode(node).ok());
+    members_.erase(node);
+    for (const auto& [key, set] : directory_) {
+      if (std::find(set.begin(), set.end(), node) != set.end()) {
+        affected.emplace_back(key, set);
+      }
+    }
+  }
+  RingPlan plan = PlanRingTransition(affected);
+  const Status streamed = ExecutePlan(std::move(plan), report);
+  if (!streamed.ok()) {
+    // Nothing flipped: re-admit the node (its tokens are deterministic,
+    // so the ring comes back bit-identical) and keep serving.
+    MutexLock lock(route_mu_);
+    KV_CHECK(ring_.AddNode(node).ok());
+    members_.insert(node);
+    return streamed;
+  }
+  // Only now does the node go dark: gathers that resolved replicas
+  // before the flip can still drain their reads from it.
+  fault_injector().KillNode(node);
+  if (decommissions_counter_ != nullptr) decommissions_counter_->Increment();
+  InvalidateRuntime();
+  report.wall_us = ElapsedMicros(t0);
+  return report;
+}
+
+Result<MembershipReport> InProcessCluster::FailNodePermanently(NodeId node) {
+  MutexLock membership(membership_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  MembershipReport report;
+  report.node = node;
+  {
+    MutexLock lock(route_mu_);
+    if (!members_.contains(node)) {
+      return Status::NotFound("node " + std::to_string(node) +
+                              " is not a member");
+    }
+    if (members_.size() - 1 < replication_) {
+      return Status::FailedPrecondition(
+          "losing node " + std::to_string(node) + " would leave " +
+          std::to_string(members_.size() - 1) + " members, replication " +
+          std::to_string(replication_) + " needs " +
+          std::to_string(replication_));
+    }
+  }
+  // The failure comes first — this models reacting to an unplanned,
+  // unrecoverable death, so nothing below may read the corpse.
+  fault_injector().KillNode(node);
+  KV_RETURN_IF_ERROR(EnsureElastic(report));
+
+  std::vector<std::pair<std::string, std::vector<NodeId>>> affected;
+  {
+    MutexLock lock(route_mu_);
+    KV_CHECK(ring_.RemoveNode(node).ok());
+    members_.erase(node);
+    for (const auto& [key, set] : directory_) {
+      if (std::find(set.begin(), set.end(), node) != set.end()) {
+        affected.emplace_back(key, set);
+      }
+    }
+  }
+  // Re-protection: every partition the dead node co-owned streams a
+  // fresh copy from a surviving replica to the ring's replacement owner.
+  RingPlan plan = PlanRingTransition(affected);
+  const uint64_t moved_before = report.partitions_moved;
+  const Status streamed = ExecutePlan(std::move(plan), report);
+  if (!streamed.ok()) {
+    // The node stays dead (it is), but membership rolls back so the
+    // cluster's view matches a plain KillNode until a retry heals it.
+    MutexLock lock(route_mu_);
+    KV_CHECK(ring_.AddNode(node).ok());
+    members_.insert(node);
+    return streamed;
+  }
+  report.partitions_repaired = report.partitions_moved - moved_before;
+  if (perma_failures_counter_ != nullptr) {
+    perma_failures_counter_->Increment();
+  }
+  if (repaired_counter_ != nullptr) {
+    repaired_counter_->Increment(report.partitions_repaired);
+  }
+  if (lost_counter_ != nullptr) {
+    lost_counter_->Increment(report.partitions_lost);
+  }
+  InvalidateRuntime();
+  report.wall_us = ElapsedMicros(t0);
+  return report;
+}
+
 std::vector<uint64_t> InProcessCluster::ColumnsPerNode(
     const std::string& table) {
-  std::vector<uint64_t> counts(nodes_.size(), 0);
-  for (size_t n = 0; n < nodes_.size(); ++n) {
-    auto found = nodes_[n]->FindTable(table);
+  std::vector<std::shared_ptr<LocalStore>> stores;
+  {
+    MutexLock lock(nodes_mu_);
+    stores = nodes_;
+  }
+  std::vector<uint64_t> counts(stores.size(), 0);
+  for (size_t n = 0; n < stores.size(); ++n) {
+    auto found = stores[n]->FindTable(table);
     if (found.ok()) counts[n] = found.value()->column_count();
   }
   return counts;

@@ -30,15 +30,18 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "cluster/migration.hpp"
 #include "cluster/node_runtime.hpp"
 #include "cluster/placement.hpp"
 #include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
+#include "hash/token_ring.hpp"
 #include "store/local_store.hpp"
 #include "telemetry/flight_recorder.hpp"
 
@@ -47,6 +50,7 @@ namespace kvscale {
 class SpanTracer;         // telemetry/span_tracer.hpp
 class MetricsRegistry;    // telemetry/metrics_registry.hpp
 class Counter;
+class Gauge;
 class LatencyHistogram;
 class StageTracer;        // trace/stage_trace.hpp
 class MetricsTimeSeries;  // telemetry/timeseries.hpp
@@ -175,6 +179,26 @@ struct ConcurrentGatherReport {
   double queries_per_sec = 0.0;  ///< admitted / wall seconds
 };
 
+/// What one elastic membership change did: the streamed re-distribution
+/// behind an AddNode / DecommissionNode / FailNodePermanently call.
+struct MembershipReport {
+  NodeId node = 0;            ///< the node that joined / left / died
+  uint64_t ring_epoch = 0;    ///< routing epoch after the change
+  uint64_t partitions_moved = 0;   ///< partition copies streamed + applied
+  uint64_t columns_moved = 0;      ///< columns those copies carried
+  uint64_t blocks_streamed = 0;    ///< checksum-verified migration blocks
+  uint64_t bytes_streamed = 0;     ///< frame bytes on the migration wire
+  uint64_t block_retries = 0;      ///< blocks re-sent after corruption
+  uint64_t source_failovers = 0;   ///< streams that survived a source kill
+  uint64_t partitions_repaired = 0;  ///< under-replicated copies re-protected
+  uint64_t partitions_lost = 0;    ///< partitions with no surviving replica
+  /// Keys behind partitions_lost, sorted. Their routing entries are left
+  /// pointing at the dead node, so gathers keep reporting them failed
+  /// instead of laundering the loss into an authoritative miss.
+  std::vector<std::string> lost_partitions;
+  Micros wall_us = 0.0;  ///< wall-clock duration of the whole change
+};
+
 /// A sharded multi-store cluster with a single coordinating "master".
 class InProcessCluster {
  public:
@@ -187,7 +211,51 @@ class InProcessCluster {
                    StoreOptions store_options, uint64_t seed,
                    uint32_t replication = 1);
 
-  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  /// Number of node *slots* ever created — dead and decommissioned nodes
+  /// keep their id, so slots are append-only and ids stay dense.
+  uint32_t node_count() const;
+
+  // -- Elastic membership --------------------------------------------------
+  //
+  // The three operations below change the member set of a *running*
+  // cluster. The first one called adopts consistent-hash routing: a
+  // TokenRing over the current members replaces the static placement for
+  // every known partition (data is streamed to its ring owners first, the
+  // directory flips after, and the ring epoch advances). From then on,
+  // gathers racing a membership change re-resolve their replica sets when
+  // they notice an epoch bump between retries, so a sub-query that raced
+  // a move retries against the new owner. Membership changes serialize
+  // against each other and must not race Put / FlushAll / ReviveNode;
+  // concurrent *gathers* (any transport) are the supported workload.
+
+  /// Adds a fresh empty node, streams every partition the ring now
+  /// assigns it from the surviving replicas (checksummed blocks, bounded
+  /// re-sends, source failover), then flips routing and bumps the epoch.
+  Result<MembershipReport> AddNode();
+
+  /// Gracefully removes a live member: partitions it holds are streamed
+  /// to the nodes gaining ownership *before* routing flips, then the node
+  /// is killed. Refuses with kFailedPrecondition when the remaining
+  /// members could not hold `replication` distinct copies.
+  Result<MembershipReport> DecommissionNode(NodeId node);
+
+  /// Permanent, unplanned loss: the node is killed first, then every
+  /// partition it co-owned is re-protected by streaming a fresh copy from
+  /// a surviving replica to the ring's replacement owner. Partitions with
+  /// no surviving replica are reported lost (their routing entries keep
+  /// failing loudly). Refuses with kFailedPrecondition when the remaining
+  /// members could not hold `replication` distinct copies.
+  Result<MembershipReport> FailNodePermanently(NodeId node);
+
+  /// Monotone routing epoch: 0 until the first membership change, +1 per
+  /// adopted ring flip. Gathers use it to detect ownership moves between
+  /// retries; telemetry records are tagged with it.
+  uint64_t ring_epoch() const {
+    return ring_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Current members (live or temporarily down), ascending.
+  std::vector<NodeId> Members() const;
 
   /// Attaches wall-clock telemetry to the scatter/gather path: every
   /// sub-query records route → store-read → fold spans (one span track
@@ -219,15 +287,14 @@ class InProcessCluster {
   /// detaches; must outlive the cluster.
   void AttachTimeSeries(MetricsTimeSeries* timeseries);
 
-  /// Routes read attempts through `injector` (null detaches: healthy).
-  /// The injector must outlive the cluster. Without an attached
-  /// injector, KillNode lazily creates an internal one. Drops the shared
-  /// runtime (it captures the injector at build), so attach before
-  /// gathering.
+  /// Routes read attempts through `injector` (null detaches, falling
+  /// back to the internal all-healthy injector). The injector must
+  /// outlive the cluster. Drops the shared runtime (it captures the
+  /// injector at build), so attach before gathering.
   void AttachFaultInjector(FaultInjector* injector);
 
-  /// The injector consulted by reads (the attached one, or the lazily
-  /// created internal one). Never null after the first call.
+  /// The injector consulted by reads and migrations: the attached one,
+  /// or the internal one created at construction. Never null.
   FaultInjector& fault_injector();
 
   /// The span track used for master-side work (routing, folding);
@@ -243,10 +310,11 @@ class InProcessCluster {
   NodeId OwnerOf(std::string_view partition_key);
 
   /// All replica holders of a key, primary first (size = replication,
-  /// clamped to the cluster size). Thread-safe; the returned reference
-  /// stays valid for the cluster's life (directory entries are
-  /// pointer-stable).
-  const std::vector<NodeId>& ReplicasOf(std::string_view partition_key);
+  /// clamped to the cluster size). Thread-safe. Returned by value: the
+  /// set is a snapshot of the current ring epoch — membership changes
+  /// rewrite directory entries in place, so a reference could not be
+  /// handed out safely once the cluster is elastic.
+  std::vector<NodeId> ReplicasOf(std::string_view partition_key);
 
   uint32_t replication() const { return replication_; }
 
@@ -317,8 +385,9 @@ class InProcessCluster {
   /// the load-aware policies consult for new keys.
   std::vector<int64_t> PlacementLoad() const;
 
-  /// Direct access for tests and examples.
-  LocalStore& node(uint32_t id) { return *nodes_.at(id); }
+  /// Direct access for tests and examples. The store object outlives the
+  /// call even if ReviveNode replaces the slot concurrently elsewhere.
+  LocalStore& node(uint32_t id);
 
   /// Columns stored per node for `table` (storage balance diagnostics).
   std::vector<uint64_t> ColumnsPerNode(const std::string& table);
@@ -326,11 +395,49 @@ class InProcessCluster {
  private:
   /// Executes one sub-query with failover, folding into `out` (a worker-
   /// local partial in parallel mode). `vclock` is the caller's virtual
-  /// clock. Thread-safe given pre-resolved `replicas`.
+  /// clock. `replicas` is the set resolved at `resolved_epoch`; a retry
+  /// that observes a newer ring epoch re-resolves before failing over, so
+  /// a sub-query racing a migration finds the partition's new owner.
+  /// Thread-safe.
   void ExecuteSubQuery(const std::string& table, const PartitionRef& part,
-                       const std::vector<NodeId>& replicas,
+                       std::vector<NodeId> replicas, uint64_t resolved_epoch,
                        const GatherOptions& options, GatherResult& out,
                        Micros& vclock);
+
+  /// The store in slot `id`, or null when no such slot exists. Slots are
+  /// append-only; holding the returned pointer keeps the store alive
+  /// across a concurrent ReviveNode swap.
+  std::shared_ptr<LocalStore> NodePtr(NodeId id) const;
+
+  /// Whether slot `id` logs through a WAL (node_options_ snapshot).
+  bool NodeHasWal(NodeId id) const;
+
+  /// One planned ring transition: the moves to stream, the directory
+  /// rewrites to apply on success, and the partitions already lost.
+  struct RingPlan {
+    std::vector<PartitionMove> moves;
+    std::vector<std::pair<std::string, std::vector<NodeId>>> flips;
+    std::vector<std::string> lost;  ///< keys with data but no live source
+  };
+
+  /// Adopts ring routing on the first membership change: builds the
+  /// token ring over the current members, streams every partition to its
+  /// ring owners, flips the directory, and bumps the epoch. No-op once
+  /// elastic. Caller holds membership_mu_.
+  Status EnsureElastic(MembershipReport& report);
+
+  /// Computes moves/flips/losses for the directory keys whose ring
+  /// replica set changed. `affected` is the (key, old set) snapshot to
+  /// consider; real store contents decide which old replicas can serve
+  /// as sources (down nodes — including a just-failed one — never do).
+  RingPlan PlanRingTransition(
+      const std::vector<std::pair<std::string, std::vector<NodeId>>>&
+          affected);
+
+  /// Streams `plan.moves`, applies `plan.flips` under route_mu_, bumps
+  /// the epoch, and folds everything into `report`. The directory is
+  /// untouched when streaming fails.
+  Status ExecutePlan(RingPlan plan, MembershipReport& report);
 
   /// The message-transport gather: scatter encoded frames through the
   /// shared NodeRuntime under a fresh query_id, collect and decode
@@ -372,18 +479,43 @@ class InProcessCluster {
                     std::vector<SubQueryTimelineEntry> timeline);
 
   /// Guards the routing state shared by concurrent gathers: the
-  /// placement policy (whose load feedback mutates) and the directory.
+  /// placement policy (whose load feedback mutates), the directory, and
+  /// the elastic-membership state (ring, member set).
   mutable Mutex route_mu_;
   PlacementPolicy placement_ KV_GUARDED_BY(route_mu_);
   uint32_t replication_;
-  std::vector<StoreOptions> node_options_;
-  std::vector<std::unique_ptr<LocalStore>> nodes_;
-  /// Entries are pointer-stable (std::map): ReplicasOf hands out
-  /// references that outlive the lock.
+  /// Node count at construction: the modulus of the legacy
+  /// (primary + r) % n replica walk, frozen so pre-elastic placements
+  /// stay reproducible after slots grow.
+  uint32_t initial_nodes_;
+  StoreOptions base_store_options_;  ///< template for joining nodes' stores
   std::map<std::string, std::vector<NodeId>, std::less<>> directory_
       KV_GUARDED_BY(route_mu_);
+  /// Tables ever written through Put: the migration planner's universe
+  /// (LocalStore has no table listing).
+  std::set<std::string> tables_ KV_GUARDED_BY(route_mu_);
 
-  FaultInjector* injector_ = nullptr;  ///< null = healthy cluster
+  // -- Elastic membership state -------------------------------------------
+  /// Serializes membership operations end to end (including streaming);
+  /// acquired before route_mu_ / nodes_mu_, never while holding them.
+  Mutex membership_mu_;
+  bool elastic_ KV_GUARDED_BY(route_mu_) = false;
+  TokenRing ring_ KV_GUARDED_BY(route_mu_);
+  std::set<NodeId> members_ KV_GUARDED_BY(route_mu_);
+  std::atomic<uint64_t> ring_epoch_{0};
+
+  /// Guards the node slots themselves: gathers read them constantly while
+  /// AddNode appends, so every access snapshots the shared_ptr under this
+  /// lock. Never held while calling into a store.
+  mutable Mutex nodes_mu_;
+  std::vector<StoreOptions> node_options_ KV_GUARDED_BY(nodes_mu_);
+  std::vector<std::shared_ptr<LocalStore>> nodes_ KV_GUARDED_BY(nodes_mu_);
+
+  /// Consulted by reads and migrations; points at the attached injector
+  /// or the internal one (created eagerly at construction so the pointer
+  /// stays stable while concurrent gathers read it — a lazily created
+  /// injector would race a membership op's first KillNode against them).
+  FaultInjector* injector_ = nullptr;
   std::unique_ptr<FaultInjector> owned_injector_;
 
   /// Message set shared by every gather's runtime (both "peers" — the
@@ -409,6 +541,17 @@ class InProcessCluster {
   Counter* put_errors_counter_ = nullptr;       ///< cluster.put.errors
   LatencyHistogram* subquery_latency_ = nullptr;  ///< cluster.subquery.latency_us
   LatencyHistogram* failover_latency_ = nullptr;  ///< cluster.failover.latency_us
+  Counter* joins_counter_ = nullptr;            ///< cluster.membership.joins
+  Counter* decommissions_counter_ = nullptr;    ///< cluster.membership.decommissions
+  Counter* perma_failures_counter_ = nullptr;   ///< cluster.membership.permanent_failures
+  Gauge* epoch_gauge_ = nullptr;                ///< cluster.membership.epoch
+  Counter* migrated_partitions_counter_ = nullptr;  ///< cluster.migration.partitions
+  Counter* migrated_blocks_counter_ = nullptr;      ///< cluster.migration.blocks
+  Counter* migrated_bytes_counter_ = nullptr;       ///< cluster.migration.bytes
+  Counter* migration_retries_counter_ = nullptr;    ///< cluster.migration.block_retries
+  Counter* migration_failovers_counter_ = nullptr;  ///< cluster.migration.source_failovers
+  Counter* repaired_counter_ = nullptr;         ///< cluster.repair.partitions
+  Counter* lost_counter_ = nullptr;             ///< cluster.repair.lost_partitions
 
   /// The structural knobs the current runtime_ was built with.
   struct RuntimeConfig {

@@ -237,7 +237,14 @@ Status NodeRuntime::Dispatch(uint64_t query_id, uint32_t node,
                              std::span<const SubQueryRequest> requests,
                              std::span<const uint32_t> attempts,
                              std::span<const Micros> extra_latency_us) {
-  KV_CHECK(node < queues_.size());
+  if (node >= queues_.size()) {
+    // A gather holding a runtime built before a membership change can
+    // route to a node this runtime never had a queue for. That is a
+    // transport failure, not a bug: the caller's retry machinery
+    // re-resolves against the current ring.
+    return Status::Unavailable("node " + std::to_string(node) +
+                               " is not part of this runtime");
+  }
   KV_CHECK(!requests.empty());
   KV_CHECK(requests.size() == attempts.size());
   KV_CHECK(requests.size() == extra_latency_us.size());

@@ -81,4 +81,10 @@ void PlacementPolicy::OnComplete(NodeId node) {
   --outstanding_[node];
 }
 
+void PlacementPolicy::GrowTo(uint32_t nodes) {
+  if (nodes <= nodes_) return;
+  nodes_ = nodes;
+  outstanding_.resize(nodes, 0);
+}
+
 }  // namespace kvscale

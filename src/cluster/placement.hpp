@@ -54,6 +54,11 @@ class PlacementPolicy {
   void OnDispatch(NodeId node);
   void OnComplete(NodeId node);
 
+  /// Widens the node-id space to `nodes` (no-op if already that wide).
+  /// Elastic membership appends node ids; the load-feedback tallies must
+  /// have a slot for each before feedback for it arrives.
+  void GrowTo(uint32_t nodes);
+
   PlacementKind kind() const { return kind_; }
   uint32_t nodes() const { return nodes_; }
   const std::vector<int64_t>& outstanding() const { return outstanding_; }

@@ -135,9 +135,13 @@ class ReplicatedRun {
     states_.resize(total);
     traces_.resize(total);
     for (uint32_t i = 0; i < total; ++i) {
+      // The sim sizes its ring from the config, so a short cluster would
+      // trip the ring's precondition; clamp like the paper's simulator
+      // always has (replication beyond the cluster is just "everywhere").
+      const uint32_t effective = std::min<uint32_t>(
+          config_.replication, static_cast<uint32_t>(ring_.node_count()));
       states_[i].replicas =
-          ring_.ReplicasOfKey(workload_.partitions[i].key,
-                              config_.replication);
+          ring_.ReplicasOfKey(workload_.partitions[i].key, effective).value();
       traces_[i].query_id = 1;
       traces_[i].sub_id = i;
       traces_[i].keysize = workload_.partitions[i].elements;

@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted, ///< queue/capacity limit hit
   kUnavailable,     ///< node is down or unreachable
   kInternal,        ///< invariant violation that is not the caller's fault
+  kFailedPrecondition, ///< system state forbids the operation (retry never helps)
 };
 
 /// Human-readable name of a StatusCode ("Ok", "NotFound", ...).
@@ -66,6 +67,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -23,6 +23,7 @@ constexpr uint64_t kErrorSalt = 0x9d3f2c6a715b04e9ULL;
 constexpr uint64_t kSpikeSalt = 0x1b45ef8820c7d36dULL;
 constexpr uint64_t kReplySalt = 0x7e21ab9c44d0f583ULL;
 constexpr uint64_t kWalSalt = 0x35c8d91e6f0a27b4ULL;
+constexpr uint64_t kMigrationSalt = 0x52af7d03e9c168b7ULL;
 
 uint64_t AttemptBasis(uint64_t seed, uint32_t node,
                       std::string_view partition_key, uint32_t attempt) {
@@ -90,6 +91,42 @@ bool FaultInjector::ShouldCorruptReply(uint32_t node,
     return true;
   }
   return false;
+}
+
+bool FaultInjector::ShouldCorruptMigrationFrame(uint32_t source,
+                                                uint32_t target, uint32_t seq,
+                                                uint32_t attempt) const {
+  if (config_.migration_corrupt_rate <= 0.0) return false;
+  const uint64_t basis = config_.seed ^ kMigrationSalt ^
+                         (static_cast<uint64_t>(source) << 48) ^
+                         (static_cast<uint64_t>(target) << 32) ^
+                         (static_cast<uint64_t>(seq) << 8) ^ attempt;
+  if (UnitFromHash(basis) < config_.migration_corrupt_rate) {
+    corrupted_migration_frames_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::ArmMigrationSourceKill(uint32_t node,
+                                           uint64_t after_blocks) {
+  MutexLock lock(mu_);
+  if (after_blocks == 0) {
+    armed_source_kills_.erase(node);
+  } else {
+    armed_source_kills_[node] = after_blocks;
+  }
+}
+
+bool FaultInjector::OnMigrationBlockStreamed(uint32_t node) {
+  MutexLock lock(mu_);
+  auto it = armed_source_kills_.find(node);
+  if (it == armed_source_kills_.end()) return false;
+  if (--it->second > 0) return false;
+  armed_source_kills_.erase(it);
+  down_.insert(node);
+  migration_source_kills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 Status FaultInjector::OnWalWrite(uint32_t node,

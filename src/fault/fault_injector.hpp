@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/status.hpp"
@@ -61,6 +62,11 @@ struct FaultConfig {
   /// InProcessCluster::Put at the write injection point; reads never
   /// see it.
   double wal_error_rate = 0.0;
+  /// Probability that one migration block frame gets a bit flipped in
+  /// flight (the rebalance stream's version of reply_corrupt_rate).
+  /// The block's checksum catches it on arrival and the source re-sends;
+  /// consulted by the migration engine, never by the query path.
+  double migration_corrupt_rate = 0.0;
 };
 
 /// Seedable, deterministic fault source shared by stores and the cluster.
@@ -105,6 +111,26 @@ class FaultInjector {
   bool ShouldCorruptReply(uint32_t node, std::string_view partition_key,
                           uint32_t attempt) const;
 
+  // -- Migration faults ---------------------------------------------------
+
+  /// True when the encoded frame of migration block `seq` (re-send
+  /// attempt `attempt`) from `source` to `target` should be corrupted in
+  /// flight. Deterministic in (seed, source, target, seq, attempt) so a
+  /// corrupted block's re-send can come through clean.
+  bool ShouldCorruptMigrationFrame(uint32_t source, uint32_t target,
+                                   uint32_t seq, uint32_t attempt) const;
+
+  /// Arms a delayed permanent failure: after `after_blocks` more
+  /// migration blocks leave `node`, the node is killed mid-stream (the
+  /// classic "source dies during rebalance" drill). 0 disarms.
+  void ArmMigrationSourceKill(uint32_t node, uint64_t after_blocks);
+
+  /// Accounts one migration block streamed from `node`; fires an armed
+  /// source kill when its countdown reaches zero. Returns true when this
+  /// call killed the node (the engine must fail the stream over to
+  /// another replica).
+  bool OnMigrationBlockStreamed(uint32_t node);
+
   // -- Write faults -------------------------------------------------------
 
   /// Decides the fate of the WAL append for one replica write of
@@ -142,6 +168,12 @@ class FaultInjector {
   uint64_t injected_wal_errors() const {
     return injected_wal_errors_.load(std::memory_order_relaxed);
   }
+  uint64_t corrupted_migration_frames() const {
+    return corrupted_migration_frames_.load(std::memory_order_relaxed);
+  }
+  uint64_t migration_source_kills() const {
+    return migration_source_kills_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultConfig config_;
@@ -150,12 +182,17 @@ class FaultInjector {
   /// splitmix64 stream for CorruptTableBlocks
   uint64_t corrupt_rng_state_ KV_GUARDED_BY(mu_);
   std::unordered_set<uint32_t> down_ KV_GUARDED_BY(mu_);
+  /// node -> blocks left before an armed mid-stream source kill fires
+  std::unordered_map<uint32_t, uint64_t> armed_source_kills_
+      KV_GUARDED_BY(mu_);
 
   mutable std::atomic<uint64_t> injected_errors_{0};
   mutable std::atomic<uint64_t> injected_spikes_{0};
   mutable std::atomic<uint64_t> rejected_dead_{0};
   mutable std::atomic<uint64_t> corrupted_replies_{0};
   mutable std::atomic<uint64_t> injected_wal_errors_{0};
+  mutable std::atomic<uint64_t> corrupted_migration_frames_{0};
+  std::atomic<uint64_t> migration_source_kills_{0};
 };
 
 }  // namespace kvscale

@@ -50,17 +50,22 @@ NodeId TokenRing::OwnerOfKey(uint64_t numeric_key) const {
   return OwnerOfToken(Token(numeric_key));
 }
 
-std::vector<NodeId> TokenRing::ReplicasOfKey(std::string_view partition_key,
-                                             uint32_t replication) const {
-  KV_CHECK(!ring_.empty());
+Result<std::vector<NodeId>> TokenRing::ReplicasOfKey(
+    std::string_view partition_key, uint32_t replication) const {
   KV_CHECK(replication >= 1);
+  if (nodes_.size() < replication) {
+    return Status::FailedPrecondition(
+        "replication " + std::to_string(replication) + " needs " +
+        std::to_string(replication) + " nodes, ring has " +
+        std::to_string(nodes_.size()));
+  }
   const uint64_t token = Token(partition_key);
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), token,
       [](const Entry& e, uint64_t t) { return e.token < t; });
 
   std::vector<NodeId> replicas;
-  const size_t want = std::min<size_t>(replication, nodes_.size());
+  const size_t want = replication;
   replicas.reserve(want);
   for (size_t step = 0; step < ring_.size() && replicas.size() < want;
        ++step) {

@@ -45,8 +45,13 @@ class TokenRing {
 
   /// The `replication` distinct nodes clockwise from the key's token
   /// (primary first) — Cassandra SimpleStrategy replica placement.
-  std::vector<NodeId> ReplicasOfKey(std::string_view partition_key,
-                                    uint32_t replication) const;
+  /// Fails with kFailedPrecondition when the ring is empty or holds
+  /// fewer than `replication` nodes: a short replica set would silently
+  /// under-protect the key, which is exactly the bug elastic removals
+  /// used to hit, so the caller must either shrink its replication or
+  /// refuse the membership change.
+  Result<std::vector<NodeId>> ReplicasOfKey(std::string_view partition_key,
+                                            uint32_t replication) const;
 
   size_t node_count() const { return nodes_.size(); }
   size_t token_count() const { return ring_.size(); }

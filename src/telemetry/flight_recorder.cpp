@@ -44,6 +44,7 @@ std::string QueryRecordToJson(const QueryRecord& record) {
   out += ",\"wire_bytes_received\":" +
          std::to_string(record.wire_bytes_received);
   out += ",\"wire_frames_sent\":" + std::to_string(record.wire_frames_sent);
+  out += ",\"ring_epoch\":" + std::to_string(record.ring_epoch);
   out += ",\"timeline\":[";
   for (size_t i = 0; i < record.timeline.size(); ++i) {
     const SubQueryTimelineEntry& entry = record.timeline[i];

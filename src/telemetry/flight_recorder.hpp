@@ -59,6 +59,10 @@ struct QueryRecord {
   uint64_t wire_bytes_sent = 0;
   uint64_t wire_bytes_received = 0;
   uint64_t wire_frames_sent = 0;
+  /// Ring epoch the cluster was at when the query finished: 0 until the
+  /// first membership change, then monotone. Lets a post-mortem split a
+  /// drill's records into before/during/after a migration.
+  uint64_t ring_epoch = 0;
   /// Per-sub-query stage timelines (message transport only; empty for
   /// direct/aggregate-only records).
   std::vector<SubQueryTimelineEntry> timeline;

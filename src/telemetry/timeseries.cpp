@@ -46,21 +46,22 @@ MetricsTimeSeries::MetricsTimeSeries(const MetricsRegistry* registry,
   KV_CHECK(registry_ != nullptr);
 }
 
-void MetricsTimeSeries::Tick(Micros now_us) {
+void MetricsTimeSeries::Tick(Micros now_us, uint64_t ring_epoch) {
   {
     MutexLock lock(mu_);
     if (has_sampled_ && now_us - last_sample_us_ < options_.interval_us) {
       return;
     }
   }
-  Sample(now_us);
+  Sample(now_us, ring_epoch);
 }
 
-void MetricsTimeSeries::Sample(Micros now_us) {
+void MetricsTimeSeries::Sample(Micros now_us, uint64_t ring_epoch) {
   // Snapshot outside the lock: the registry has its own synchronisation
   // and snapshotting is the expensive part.
   SamplePoint point;
   point.t_us = now_us;
+  point.ring_epoch = ring_epoch;
   point.snapshot = registry_->Snapshot();
   MutexLock lock(mu_);
   has_sampled_ = true;
@@ -91,7 +92,8 @@ std::string MetricsTimeSeries::ToJsonl() const {
   std::string out;
   const MetricsSnapshot* prev = nullptr;
   for (const SamplePoint& point : samples) {
-    const std::string t = JsonMicros(point.t_us);
+    const std::string t = JsonMicros(point.t_us) +
+                          ",\"epoch\":" + std::to_string(point.ring_epoch);
     for (const auto& [name, value] : point.snapshot.counters) {
       const uint64_t before = PreviousCounter(prev, name);
       const uint64_t delta = value >= before ? value - before : 0;

@@ -43,11 +43,13 @@ class MetricsTimeSeries {
 
   /// Samples if at least interval_us elapsed since the previous sample
   /// (the first call always samples). `now_us` is the caller's clock —
-  /// wall or virtual, as long as it is monotone.
-  void Tick(Micros now_us);
+  /// wall or virtual, as long as it is monotone. `ring_epoch` tags the
+  /// sample with the cluster's membership epoch (0 = pre-elastic), so a
+  /// trajectory can be cut at the exact sample a migration flipped.
+  void Tick(Micros now_us, uint64_t ring_epoch = 0);
 
   /// Unconditionally takes a sample stamped `now_us`.
-  void Sample(Micros now_us);
+  void Sample(Micros now_us, uint64_t ring_epoch = 0);
 
   size_t size() const;
   uint64_t dropped_samples() const;
@@ -67,6 +69,7 @@ class MetricsTimeSeries {
  private:
   struct SamplePoint {
     Micros t_us = 0.0;
+    uint64_t ring_epoch = 0;
     MetricsSnapshot snapshot;
   };
 

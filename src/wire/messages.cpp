@@ -10,6 +10,28 @@ void RegisterClusterMessages(CompactCodec& codec) {
   codec.Register<Heartbeat>();
   // Appended last so the ids of the original message set stay stable.
   codec.Register<SubQueryReply>();
+  codec.Register<MigrationBegin>();
+  codec.Register<MigrationBlock>();
+  codec.Register<MigrationDone>();
+}
+
+uint64_t MigrationBlockChecksum(const std::vector<std::string>& payloads) {
+  // FNV-1a chained across payloads, folding each payload's length in
+  // first so ("ab","c") and ("a","bc") can never collide by
+  // concatenation.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte & 0xffU;
+    h *= 0x100000001b3ULL;
+  };
+  for (const std::string& payload : payloads) {
+    for (uint64_t len = payload.size();; len >>= 7) {
+      mix((len & 0x7fU) | (len >= 0x80 ? 0x80U : 0U));
+      if (len < 0x80) break;
+    }
+    for (const char c : payload) mix(static_cast<unsigned char>(c));
+  }
+  return h;
 }
 
 SubQueryRequest MakeRepresentativeSubQuery(uint64_t query_id, uint32_t sub_id,

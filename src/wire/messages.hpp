@@ -135,6 +135,96 @@ struct Heartbeat {
   }
 };
 
+// -- Partition-migration frames (elastic membership) ------------------------
+//
+// When the cluster grows or shrinks, the partitions whose ownership moves
+// are streamed from a surviving replica to their new owner as a sequence
+// of MigrationBlock frames over the same envelope the query path uses:
+//
+//   MigrationBegin  -> target     (stream header: what is coming)
+//   MigrationBlock* -> target     (batched keys + encoded columns,
+//                                  per-block checksum)
+//   MigrationDone   -> target     (trailer: totals the target can audit)
+//
+// A block whose checksum fails on arrival is re-sent; a source that dies
+// mid-stream is replaced by another replica holding the same data.
+
+/// Stream header: announces one ownership transfer to `target`.
+struct MigrationBegin {
+  static constexpr std::string_view kTypeName = "kvscale.MigrationBegin";
+
+  uint64_t migration_id = 0;  ///< one per membership operation
+  uint32_t source = 0;        ///< replica the data is read from
+  uint32_t target = 0;        ///< node gaining ownership
+  std::string table;
+  uint64_t partitions = 0;    ///< partitions this stream will carry
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("migration_id", migration_id);
+    v.Field("source", source);
+    v.Field("target", target);
+    v.Field("table", table);
+    v.Field("partitions", partitions);
+  }
+};
+
+/// One batched block of partitions: keys[i] pairs with payloads[i], the
+/// EncodeColumns bytes of that partition. `checksum` is FNV-1a over every
+/// payload (in order), so in-flight corruption is detected before any
+/// column is applied to the target's store.
+struct MigrationBlock {
+  static constexpr std::string_view kTypeName = "kvscale.MigrationBlock";
+
+  uint64_t migration_id = 0;
+  uint32_t seq = 0;           ///< block ordinal within the stream
+  uint32_t source = 0;
+  uint32_t target = 0;
+  std::string table;
+  std::vector<std::string> keys;      ///< partition keys in this block
+  std::vector<std::string> payloads;  ///< EncodeColumns bytes per key
+  uint64_t checksum = 0;              ///< FNV-1a over all payload bytes
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("migration_id", migration_id);
+    v.Field("seq", seq);
+    v.Field("source", source);
+    v.Field("target", target);
+    v.Field("table", table);
+    v.Field("keys", keys);
+    v.Field("payloads", payloads);
+    v.Field("checksum", checksum);
+  }
+};
+
+/// Stream trailer: totals the target audits against what it applied.
+struct MigrationDone {
+  static constexpr std::string_view kTypeName = "kvscale.MigrationDone";
+
+  uint64_t migration_id = 0;
+  uint32_t source = 0;
+  uint32_t target = 0;
+  uint64_t blocks = 0;
+  uint64_t partitions = 0;
+  uint64_t columns = 0;
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("migration_id", migration_id);
+    v.Field("source", source);
+    v.Field("target", target);
+    v.Field("blocks", blocks);
+    v.Field("partitions", partitions);
+    v.Field("columns", columns);
+  }
+};
+
+/// The expected checksum of one MigrationBlock: FNV-1a chained over every
+/// payload string, in order. Defined next to the message so the sender
+/// and the verifier can never disagree on the recipe.
+uint64_t MigrationBlockChecksum(const std::vector<std::string>& payloads);
+
 /// Registers the whole message set with a CompactCodec instance; both
 /// peers must call this so type ids agree.
 void RegisterClusterMessages(CompactCodec& codec);

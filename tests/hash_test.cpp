@@ -1,6 +1,7 @@
 // Tests for src/hash: hash functions and the consistent-hash token ring.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -104,7 +105,9 @@ TEST(TokenRingTest, ReplicasAreDistinctAndLeadWithOwner) {
   for (NodeId n = 0; n < 6; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
   for (int k = 0; k < 200; ++k) {
     const std::string key = "key-" + std::to_string(k);
-    const auto replicas = ring.ReplicasOfKey(key, 3);
+    const auto resolved = ring.ReplicasOfKey(key, 3);
+    ASSERT_TRUE(resolved.ok());
+    const auto& replicas = resolved.value();
     ASSERT_EQ(replicas.size(), 3u);
     EXPECT_EQ(replicas[0], ring.OwnerOfKey(key));
     std::set<NodeId> unique(replicas.begin(), replicas.end());
@@ -112,11 +115,105 @@ TEST(TokenRingTest, ReplicasAreDistinctAndLeadWithOwner) {
   }
 }
 
-TEST(TokenRingTest, ReplicationClampedToClusterSize) {
+TEST(TokenRingTest, ShortClusterIsAFailedPrecondition) {
+  // Regression: this used to silently clamp and hand back an under-filled
+  // replica set, so a removal below the replication factor quietly
+  // stopped protecting every key. The ring now refuses outright.
   TokenRing ring(16);
   ASSERT_TRUE(ring.AddNode(0).ok());
   ASSERT_TRUE(ring.AddNode(1).ok());
-  EXPECT_EQ(ring.ReplicasOfKey("k", 5).size(), 2u);
+  EXPECT_EQ(ring.ReplicasOfKey("k", 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ring.ReplicasOfKey("k", 2).value().size(), 2u);
+  ASSERT_TRUE(ring.RemoveNode(1).ok());
+  EXPECT_EQ(ring.ReplicasOfKey("k", 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(ring.RemoveNode(0).ok());
+  EXPECT_EQ(ring.ReplicasOfKey("k", 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TokenRingTest, ChurnMovesOnlyMinimalReplicaSets) {
+  // Ring-churn invariant behind live migration: across any AddNode /
+  // RemoveNode sequence, a key's replica set only changes when the
+  // churned node enters or leaves it — after AddNode(x) every changed
+  // set gained at most {x}; after RemoveNode(x) every set that did not
+  // contain x is untouched. Keys whose owners are unchanged never move.
+  constexpr uint32_t kReplication = 2;
+  TokenRing ring(64);
+  for (NodeId n = 0; n < 5; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 500; ++k) keys.push_back("part-" + std::to_string(k));
+
+  auto snapshot = [&] {
+    std::map<std::string, std::vector<NodeId>> sets;
+    for (const auto& key : keys) {
+      sets[key] = ring.ReplicasOfKey(key, kReplication).value();
+    }
+    return sets;
+  };
+
+  struct ChurnStep {
+    bool add;
+    NodeId node;
+  };
+  const std::vector<ChurnStep> sequence = {
+      {true, 5}, {false, 2}, {true, 6}, {false, 0}, {true, 7}, {false, 5}};
+  for (const ChurnStep& step : sequence) {
+    const auto before = snapshot();
+    if (step.add) {
+      ASSERT_TRUE(ring.AddNode(step.node).ok());
+    } else {
+      ASSERT_TRUE(ring.RemoveNode(step.node).ok());
+    }
+    const auto after = snapshot();
+    for (const auto& key : keys) {
+      const std::vector<NodeId>& old_set = before.at(key);
+      const std::vector<NodeId>& new_set = after.at(key);
+      if (step.add) {
+        // Everything newly gained must be the joining node.
+        for (NodeId n : new_set) {
+          if (std::find(old_set.begin(), old_set.end(), n) == old_set.end()) {
+            EXPECT_EQ(n, step.node) << key;
+          }
+        }
+      } else if (std::find(old_set.begin(), old_set.end(), step.node) ==
+                 old_set.end()) {
+        // Sets that never touched the victim are bit-identical.
+        EXPECT_EQ(new_set, old_set) << key;
+      }
+    }
+  }
+}
+
+TEST(TokenRingTest, OwnershipRebalancesWithinToleranceAcrossChurn) {
+  // After any membership change the surviving nodes should still own
+  // statistically even slices of the token space (the balls-into-bins
+  // guarantee vnodes buy). 256 vnodes keep every node within a factor
+  // of ~2 of fair share with high probability; assert a loose band so
+  // the test is deterministic-safe.
+  TokenRing ring(256);
+  for (NodeId n = 0; n < 4; ++n) ASSERT_TRUE(ring.AddNode(n).ok());
+  auto check_balance = [&] {
+    const auto fractions = ring.OwnershipFractions();
+    const double fair = 1.0 / static_cast<double>(fractions.size());
+    double sum = 0.0;
+    for (double f : fractions) {
+      EXPECT_GT(f, fair * 0.5);
+      EXPECT_LT(f, fair * 2.0);
+      sum += f;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  };
+  check_balance();
+  ASSERT_TRUE(ring.AddNode(4).ok());
+  check_balance();
+  ASSERT_TRUE(ring.AddNode(5).ok());
+  check_balance();
+  ASSERT_TRUE(ring.RemoveNode(1).ok());
+  check_balance();
+  ASSERT_TRUE(ring.RemoveNode(4).ok());
+  check_balance();
 }
 
 TEST(TokenRingTest, CountKeysSumsToTotal) {

@@ -183,7 +183,7 @@ TEST(TaggedCodecTest, RejectsTruncation) {
 TEST(CompactCodecTest, RoundTripsRegisteredTypes) {
   CompactCodec codec;
   RegisterClusterMessages(codec);
-  EXPECT_EQ(codec.registered_count(), 6u);
+  EXPECT_EQ(codec.registered_count(), 9u);
 
   WireBuffer buf;
   codec.Encode(SampleResult(), buf);
@@ -191,6 +191,39 @@ TEST(CompactCodecTest, RoundTripsRegisteredTypes) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().node, 3u);
   EXPECT_EQ(decoded.value().types[1], "t1");
+}
+
+TEST(MigrationMessageTest, BlockRoundTripsWithChecksum) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  MigrationBlock block;
+  block.migration_id = 42;
+  block.seq = 7;
+  block.source = 1;
+  block.target = 4;
+  block.table = "particles";
+  block.keys = {"p:0001", "p:0002"};
+  block.payloads = {std::string("ab\0cd", 5), "efg"};  // embedded NUL survives
+  block.checksum = MigrationBlockChecksum(block.payloads);
+
+  WireBuffer buf;
+  codec.Encode(block, buf);
+  auto decoded = codec.Decode<MigrationBlock>(buf.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().migration_id, 42u);
+  EXPECT_EQ(decoded.value().seq, 7u);
+  EXPECT_EQ(decoded.value().keys, block.keys);
+  EXPECT_EQ(decoded.value().payloads, block.payloads);
+  EXPECT_EQ(MigrationBlockChecksum(decoded.value().payloads), block.checksum);
+}
+
+TEST(MigrationMessageTest, ChecksumSeesPayloadBoundaries) {
+  // The length-mixing keeps concatenation-equal payload lists distinct.
+  EXPECT_NE(MigrationBlockChecksum({"ab", "c"}),
+            MigrationBlockChecksum({"a", "bc"}));
+  EXPECT_NE(MigrationBlockChecksum({}), MigrationBlockChecksum({""}));
+  EXPECT_EQ(MigrationBlockChecksum({"ab", "c"}),
+            MigrationBlockChecksum({"ab", "c"}));
 }
 
 TEST(CompactCodecTest, RejectsTypeIdMismatch) {

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Regression gate for the bench scoreboard: runs a quick-config
-# master_throughput sweep and compares its queries/s against the
-# committed baseline (BENCH_master_throughput.json). The gate is
-# lower-bound-only — a faster machine passes, a slowdown past the
-# tolerance fails — so it catches "this PR made the gather path 3x
-# slower" without being flaky across hardware.
+# Regression gate for the bench scoreboards: runs a quick-config
+# master_throughput sweep and a rebalance churn, comparing each against
+# its committed baseline (BENCH_master_throughput.json and
+# BENCH_rebalance.json). Both gates are lower-bound-only — a faster
+# machine passes, a slowdown past the tolerance fails — so they catch
+# "this PR made the gather path 3x slower" or "migration crawls now"
+# without being flaky across hardware. The rebalance tolerance is wide
+# (the churn ops take single-digit milliseconds while racing the gather
+# clients, so run-to-run variance is high); its gate catches
+# order-of-magnitude regressions, not percentage drift.
 #
-# Usage: tools/bench_check.sh            # compare against the baseline
-#        tools/bench_check.sh --update   # rewrite the baseline from a run
+# Usage: tools/bench_check.sh            # compare against the baselines
+#        tools/bench_check.sh --update   # rewrite the baselines from a run
 #
-# The quick config keeps a full sweep under ~10s; override via env:
+# The quick config keeps a full sweep under ~15s; override via env:
 #   BENCH_ELEMENTS BENCH_KEYS BENCH_NODES BENCH_MAX_CLIENTS
 #   BENCH_QUERIES BENCH_TOLERANCE_PCT BENCH_BUILD_DIR
+#   BENCH_REBALANCE_KEYS BENCH_REBALANCE_TOLERANCE_PCT
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,26 +30,43 @@ QUERIES="${BENCH_QUERIES:-3}"
 TOLERANCE_PCT="${BENCH_TOLERANCE_PCT:-60}"
 BIN="$BUILD_DIR/bench/master_throughput"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "bench_check: $BIN not built — run: cmake --build $BUILD_DIR -j --target master_throughput" >&2
-  exit 1
-fi
+REBALANCE_BASELINE="bench/BENCH_rebalance.json"
+REBALANCE_KEYS="${BENCH_REBALANCE_KEYS:-48}"
+REBALANCE_TOLERANCE_PCT="${BENCH_REBALANCE_TOLERANCE_PCT:-95}"
+REBALANCE_BIN="$BUILD_DIR/bench/rebalance"
+
+for bin in "$BIN" "$REBALANCE_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_check: $bin not built — run: cmake --build $BUILD_DIR -j --target $(basename "$bin")" >&2
+    exit 1
+  fi
+done
 
 common_flags=(
   --elements="$ELEMENTS" --keys="$KEYS" --nodes="$NODES"
   --max-clients="$MAX_CLIENTS" --queries="$QUERIES"
 )
+rebalance_flags=(
+  --elements="$ELEMENTS" --keys="$REBALANCE_KEYS" --nodes="$NODES"
+)
 
 if [[ "${1:-}" == "--update" ]]; then
   "$BIN" "${common_flags[@]}" --json-out="$BASELINE"
   echo "bench_check: baseline updated at $BASELINE"
+  "$REBALANCE_BIN" "${rebalance_flags[@]}" --json-out="$REBALANCE_BASELINE"
+  echo "bench_check: baseline updated at $REBALANCE_BASELINE"
   exit 0
 fi
 
-if [[ ! -f "$BASELINE" ]]; then
-  echo "bench_check: no baseline at $BASELINE — create one with: tools/bench_check.sh --update" >&2
-  exit 1
-fi
+for baseline in "$BASELINE" "$REBALANCE_BASELINE"; do
+  if [[ ! -f "$baseline" ]]; then
+    echo "bench_check: no baseline at $baseline — create one with: tools/bench_check.sh --update" >&2
+    exit 1
+  fi
+done
 
 "$BIN" "${common_flags[@]}" \
   --check-against="$BASELINE" --tolerance-pct="$TOLERANCE_PCT"
+"$REBALANCE_BIN" "${rebalance_flags[@]}" \
+  --check-against="$REBALANCE_BASELINE" \
+  --tolerance-pct="$REBALANCE_TOLERANCE_PCT"

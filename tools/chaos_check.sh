@@ -17,12 +17,21 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 # The suites that exercise fault injection, failover, torn WALs, and the
 # concurrent gather paths.
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency'
+  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency|Membership|MigrationFault'
 
 # One sanitized end-to-end chaos run: replication 3, a dead node, flaky
 # reads, and corrupted segment blocks must still produce a full answer.
 ./build-asan/tools/kvscale gather --nodes 4 --keys 60 --elements 6000 \
   --replication 3 --fail-node 0 --fail-rate 0.02 --corrupt-rate 0.02 \
   --rounds 2 --max-attempts 4
+
+# The membership drill under crossfire: while reads stay flaky and
+# migration frames get bit-flipped in flight, a node joins, another is
+# gracefully drained, and a third dies permanently. Replication 2 must
+# heal every partition (lost 0) and the post-churn gather must still
+# fold the full answer.
+./build-asan/tools/kvscale gather --nodes 4 --keys 60 --elements 6000 \
+  --replication 2 --join-node --decommission-node 1 --perma-kill 2 \
+  --fail-rate 0.02 --migration-corrupt-rate 0.2 --rounds 2 --max-attempts 4
 
 echo "chaos_check: OK"

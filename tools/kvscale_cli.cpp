@@ -295,6 +295,10 @@ struct GatherArgs {
   int64_t fail_node = -1;      ///< -1 = no node killed
   double fail_rate = 0.0;      ///< per-read injected error probability
   double corrupt_rate = 0.0;   ///< fraction of segment blocks bit-flipped
+  bool join_node = false;        ///< join one fresh node (live migration)
+  int64_t decommission_node = -1;  ///< -1 = no graceful removal
+  int64_t perma_kill = -1;     ///< -1 = no permanent unplanned loss
+  double migration_corrupt_rate = 0.0;  ///< migration frame bit-flip rate
   double deadline_ms = 0.0;    ///< 0 = no gather deadline
   int64_t max_attempts = 3;
   bool hedge = false;
@@ -326,6 +330,18 @@ struct GatherArgs {
               "probability each read attempt fails (0..1)");
     flags.Add("corrupt-rate", &corrupt_rate,
               "fraction of segment blocks to bit-flip after load (0..1)");
+    flags.Add("join-node", &join_node,
+              "membership drill: join one fresh empty node after load "
+              "(streams its ring share over checksummed blocks)");
+    flags.Add("decommission-node", &decommission_node,
+              "membership drill: gracefully drain then remove this node "
+              "(-1 = none)");
+    flags.Add("perma-kill", &perma_kill,
+              "membership drill: permanently fail this node and re-protect "
+              "its partitions from the survivors (-1 = none)");
+    flags.Add("migration-corrupt-rate", &migration_corrupt_rate,
+              "probability each migration block frame gets a bit flipped "
+              "in flight (0..1; checksums force re-sends)");
     flags.Add("deadline-ms", &deadline_ms,
               "virtual per-gather deadline; 0 disables it");
     flags.Add("max-attempts", &max_attempts,
@@ -380,6 +396,24 @@ struct GatherArgs {
     }
     if (corrupt_rate < 0.0 || corrupt_rate > 1.0) {
       return Status::InvalidArgument("--corrupt-rate must be within [0, 1]");
+    }
+    if (migration_corrupt_rate < 0.0 || migration_corrupt_rate > 1.0) {
+      return Status::InvalidArgument(
+          "--migration-corrupt-rate must be within [0, 1]");
+    }
+    if (decommission_node >= args.nodes + (join_node ? 1 : 0)) {
+      return Status::InvalidArgument(
+          "--decommission-node " + std::to_string(decommission_node) +
+          " is out of range for this run's node ids");
+    }
+    if (perma_kill >= args.nodes + (join_node ? 1 : 0)) {
+      return Status::InvalidArgument(
+          "--perma-kill " + std::to_string(perma_kill) +
+          " is out of range for this run's node ids");
+    }
+    if (perma_kill >= 0 && perma_kill == decommission_node) {
+      return Status::InvalidArgument(
+          "--perma-kill and --decommission-node target the same node");
     }
     if (deadline_ms < 0.0) {
       return Status::InvalidArgument("--deadline-ms must be >= 0");
@@ -485,10 +519,12 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   FaultConfig fault_config;
   fault_config.seed = static_cast<uint64_t>(gather_args.seed);
   fault_config.read_error_rate = gather_args.fail_rate;
+  fault_config.migration_corrupt_rate = gather_args.migration_corrupt_rate;
   FaultInjector injector(fault_config);
   const bool chaos = gather_args.fail_node >= 0 ||
                      gather_args.fail_rate > 0.0 ||
-                     gather_args.corrupt_rate > 0.0;
+                     gather_args.corrupt_rate > 0.0 ||
+                     gather_args.migration_corrupt_rate > 0.0;
   if (chaos) cluster.AttachFaultInjector(&injector);
 
   const WorkloadSpec workload = UniformWorkload(
@@ -529,6 +565,49 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
     cluster.KillNode(static_cast<NodeId>(gather_args.fail_node));
     std::printf("chaos: node %lld is down\n",
                 static_cast<long long>(gather_args.fail_node));
+  }
+
+  // Membership drill: join, then drain, then unplanned loss — each op
+  // streams ownership over checksummed blocks before routing flips, so
+  // the gathers below read the post-churn cluster.
+  const auto run_membership = [&](const char* what,
+                                  Result<MembershipReport> change) {
+    if (!change.ok()) {
+      std::fprintf(stderr, "membership: %s failed: %s\n", what,
+                   change.status().ToString().c_str());
+      return false;
+    }
+    const MembershipReport& m = change.value();
+    std::printf(
+        "membership: %s node %u -> epoch %llu | streamed %llu partitions "
+        "(%llu columns) in %llu blocks, %llu B | %llu block re-sends, "
+        "%llu source failovers | repaired %llu, lost %llu | %s\n",
+        what, m.node, static_cast<unsigned long long>(m.ring_epoch),
+        static_cast<unsigned long long>(m.partitions_moved),
+        static_cast<unsigned long long>(m.columns_moved),
+        static_cast<unsigned long long>(m.blocks_streamed),
+        static_cast<unsigned long long>(m.bytes_streamed),
+        static_cast<unsigned long long>(m.block_retries),
+        static_cast<unsigned long long>(m.source_failovers),
+        static_cast<unsigned long long>(m.partitions_repaired),
+        static_cast<unsigned long long>(m.partitions_lost),
+        FormatMicros(m.wall_us).c_str());
+    return true;
+  };
+  if (gather_args.join_node && !run_membership("joined", cluster.AddNode())) {
+    return 1;
+  }
+  if (gather_args.decommission_node >= 0 &&
+      !run_membership("decommissioned",
+                      cluster.DecommissionNode(static_cast<NodeId>(
+                          gather_args.decommission_node)))) {
+    return 1;
+  }
+  if (gather_args.perma_kill >= 0 &&
+      !run_membership("permanently failed",
+                      cluster.FailNodePermanently(
+                          static_cast<NodeId>(gather_args.perma_kill)))) {
+    return 1;
   }
 
   GatherOptions options;
@@ -660,6 +739,8 @@ void PrintUsage() {
       "             store/cluster telemetry (try --rounds 2 for cache hits);\n"
       "             chaos flags: --replication --fail-node --fail-rate\n"
       "             --corrupt-rate --deadline-ms --max-attempts --hedge\n"
+      "             membership flags: --join-node --decommission-node\n"
+      "             --perma-kill --migration-corrupt-rate\n"
       "             wire flags: --codec {tagged,compact} --batch\n"
       "             --queue-depth --workers-per-node --queue-policy\n"
       "             multi-query flags: --clients --queries --max-inflight\n"
