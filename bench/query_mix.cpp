@@ -1,0 +1,395 @@
+// Query-mix throughput: the four query plans (count, scan, top-k, box)
+// through the one shared gather engine, over the message transport.
+//
+// The engine refactor's promise is that new query types ride the same
+// retry/hedge/admission loop the paper's count-by-type aggregation
+// always used — so they should all sustain comparable gather rates, and
+// the D8tree box plan should do *less* work than a full scatter (its
+// partitions-pruned column is the index's payoff). This bench measures
+// queries/s and latency percentiles per kind on one loaded cluster, and
+// reports the box plan's touched-vs-pruned partition split.
+//
+// Run: ./build/bench/query_mix [--elements=8000] [--keys=48] [--nodes=4]
+//      [--replication=2] [--repeats=30] [--particles=20000] [--level=4]
+//
+// Scoreboard mode: --json-out=FILE writes the measured points as JSON;
+// --check-against=BASELINE compares against a committed scoreboard and
+// fails (exit 1) when any kind's queries/s regresses past
+// --tolerance-pct or the configs differ. The gate is lower-bound-only:
+// only slowdowns fail, latency is reported but not gated.
+// tools/bench_check.sh wraps the quick-config flow.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "stats/summary.hpp"
+#include "store/row.hpp"
+#include "workload/alya.hpp"
+#include "workload/box_query.hpp"
+#include "workload/d8tree.hpp"
+
+namespace kvscale {
+namespace {
+
+/// One query kind's measured throughput. `kind` is numeric (the QueryKind
+/// enum value) so the baseline check can scan it with the targeted-key
+/// parser the other scoreboards use.
+struct KindPoint {
+  uint32_t kind = 0;
+  uint64_t repeats = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t touched = 0;  ///< partitions the scatter targeted (last run)
+  uint64_t pruned = 0;   ///< candidates the selector skipped (box only)
+};
+
+/// The knobs that shape the measurement; a baseline is only comparable
+/// against a run with the identical config.
+struct BenchConfig {
+  int64_t elements = 0;
+  int64_t keys = 0;
+  int64_t nodes = 0;
+  int64_t replication = 0;
+  int64_t repeats = 0;
+  int64_t particles = 0;
+  int64_t level = 0;
+};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string ScoreboardJson(const BenchConfig& config,
+                           const std::vector<KindPoint>& points) {
+  std::string out = "{\"bench\":\"query_mix\",\"config\":{";
+  out += "\"elements\":" + std::to_string(config.elements);
+  out += ",\"keys\":" + std::to_string(config.keys);
+  out += ",\"nodes\":" + std::to_string(config.nodes);
+  out += ",\"replication\":" + std::to_string(config.replication);
+  out += ",\"repeats\":" + std::to_string(config.repeats);
+  out += ",\"particles\":" + std::to_string(config.particles);
+  out += ",\"level\":" + std::to_string(config.level);
+  out += "},\"points\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KindPoint& p = points[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"kind\":" + std::to_string(p.kind);
+    out += ",\"qps\":" + FormatDouble(p.qps);
+    out += ",\"p50_us\":" + FormatDouble(p.p50_us);
+    out += ",\"p99_us\":" + FormatDouble(p.p99_us);
+    out += ",\"touched\":" + std::to_string(p.touched);
+    out += ",\"pruned\":" + std::to_string(p.pruned);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+/// Every number following an exact `"key":` occurrence, in document
+/// order — the scoreboard's keys are chosen so no key is a quoted prefix
+/// of another (see master_throughput.cpp).
+std::vector<double> JsonNumbers(const std::string& json,
+                                const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtod(json.c_str() + pos, nullptr));
+  }
+  return out;
+}
+
+bool ConfigMatches(const std::string& baseline, const char* key,
+                   int64_t current) {
+  const std::vector<double> values = JsonNumbers(baseline, key);
+  if (values.size() != 1 || static_cast<int64_t>(values[0]) != current) {
+    std::fprintf(stderr,
+                 "bench-check: config mismatch on \"%s\" (baseline %s, "
+                 "current %lld) — regenerate the baseline with "
+                 "tools/bench_check.sh --update\n",
+                 key,
+                 values.empty() ? "missing" : FormatDouble(values[0]).c_str(),
+                 static_cast<long long>(current));
+    return false;
+  }
+  return true;
+}
+
+/// Lower-bound throughput gate: each baseline kind must be matched by the
+/// same kind in the current run whose queries/s is at least
+/// (1 - tolerance) of the recorded value. Only slowdowns fail.
+int CheckAgainstBaseline(const std::string& path, const BenchConfig& config,
+                         const std::vector<KindPoint>& points,
+                         double tolerance_pct) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench-check: cannot open baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string baseline = buffer.str();
+
+  bool ok = true;
+  ok &= ConfigMatches(baseline, "elements", config.elements);
+  ok &= ConfigMatches(baseline, "keys", config.keys);
+  ok &= ConfigMatches(baseline, "nodes", config.nodes);
+  ok &= ConfigMatches(baseline, "replication", config.replication);
+  ok &= ConfigMatches(baseline, "repeats", config.repeats);
+  ok &= ConfigMatches(baseline, "particles", config.particles);
+  ok &= ConfigMatches(baseline, "level", config.level);
+  if (!ok) return 1;
+
+  const std::vector<double> base_kinds = JsonNumbers(baseline, "kind");
+  const std::vector<double> base_qps = JsonNumbers(baseline, "qps");
+  if (base_kinds.empty() || base_kinds.size() != base_qps.size()) {
+    std::fprintf(stderr, "bench-check: malformed baseline %s\n", path.c_str());
+    return 1;
+  }
+
+  const double floor_fraction = 1.0 - tolerance_pct / 100.0;
+  int failures = 0;
+  for (size_t i = 0; i < base_kinds.size(); ++i) {
+    const uint32_t kind = static_cast<uint32_t>(base_kinds[i]);
+    const KindPoint* current = nullptr;
+    for (const KindPoint& p : points) {
+      if (p.kind == kind) current = &p;
+    }
+    const std::string_view name = QueryKindName(static_cast<QueryKind>(kind));
+    if (current == nullptr) {
+      std::fprintf(stderr,
+                   "bench-check: FAIL kind=%.*s missing from the current "
+                   "run\n",
+                   static_cast<int>(name.size()), name.data());
+      ++failures;
+      continue;
+    }
+    const double floor = base_qps[i] * floor_fraction;
+    const bool pass = current->qps >= floor;
+    std::printf("bench-check: %s kind=%-6.*s %.1f queries/s (baseline %.1f, "
+                "floor %.1f)\n",
+                pass ? "ok  " : "FAIL", static_cast<int>(name.size()),
+                name.data(), current->qps, base_qps[i], floor);
+    if (!pass) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench-check: %d kind(s) regressed past %.0f%% tolerance\n",
+                 failures, tolerance_pct);
+    return 1;
+  }
+  std::printf("bench-check: all %zu kinds within %.0f%% of the baseline\n",
+              base_kinds.size(), tolerance_pct);
+  return 0;
+}
+
+/// Runs one plan `repeats` times over the message transport and folds the
+/// wall-clock latencies into a KindPoint. Every gather must stay
+/// balanced; the last result's selector accounting is recorded.
+KindPoint MeasureKind(InProcessCluster& cluster, const QueryPlan& plan,
+                      uint64_t repeats) {
+  GatherOptions options;
+  options.transport = GatherTransport::kMessage;
+  options.codec = WireCodecKind::kCompact;
+  options.max_attempts = 3;
+  std::vector<double> latencies;
+  latencies.reserve(repeats);
+  KindPoint point;
+  point.kind = static_cast<uint32_t>(plan.kind);
+  point.repeats = repeats;
+  double total_us = 0.0;
+  for (uint64_t i = 0; i < repeats; ++i) {
+    const GatherResult r = cluster.Gather(plan, options);
+    KV_CHECK(r.completed + r.failed == r.subqueries);
+    KV_CHECK(!r.partial);
+    latencies.push_back(r.wall_us);
+    total_us += r.wall_us;
+    point.touched = r.partitions_touched;
+    point.pruned = r.partitions_pruned;
+  }
+  point.qps = total_us > 0.0 ? static_cast<double>(repeats) * 1e6 / total_us
+                             : 0.0;
+  point.p50_us = Percentile(latencies, 0.50);
+  point.p99_us = Percentile(latencies, 0.99);
+  return point;
+}
+
+int Run(int argc, char** argv) {
+  int64_t elements = 8000;
+  int64_t keys = 48;
+  int64_t nodes = 4;
+  int64_t replication = 2;
+  int64_t repeats = 30;
+  int64_t particles = 20000;
+  int64_t level = 4;
+  std::string json_out;
+  std::string check_against;
+  double tolerance_pct = 60.0;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total elements in the uniform table");
+  flags.Add("keys", &keys, "partitions in the uniform table");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("replication", &replication, "copies of every partition");
+  flags.Add("repeats", &repeats, "gathers per query kind");
+  flags.Add("particles", &particles, "particle count behind the box query");
+  flags.Add("level", &level, "D8tree depth for the box query");
+  flags.Add("json-out", &json_out, "write the scoreboard as JSON to FILE");
+  flags.Add("check-against", &check_against,
+            "compare this run against a baseline scoreboard JSON");
+  flags.Add("tolerance-pct", &tolerance_pct,
+            "allowed queries/s drop vs the baseline before failing");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (tolerance_pct < 0.0 || tolerance_pct >= 100.0) {
+    std::fprintf(stderr, "--tolerance-pct must be in [0, 100)\n");
+    return 1;
+  }
+  if (replication < 1 || replication > nodes) {
+    std::fprintf(stderr, "--replication must be in [1, nodes]\n");
+    return 1;
+  }
+  if (level < 1 || level > 8) {
+    std::fprintf(stderr, "--level must be in [1, 8]\n");
+    return 1;
+  }
+
+  bench::Banner(
+      "Query mix: four plans, one gather engine",
+      "the generic engine serves range scans, top-k, and D8tree box "
+      "queries at rates comparable to the paper's count-by-type "
+      "aggregation, and the box plan's pruning touches a fraction of "
+      "the candidate partitions",
+      std::to_string(keys) + " partitions x " + std::to_string(elements) +
+          " elements + " + std::to_string(particles) + " particles, " +
+          std::to_string(nodes) + " nodes, replication " +
+          std::to_string(replication));
+
+  InProcessCluster cluster(static_cast<uint32_t>(nodes),
+                           PlacementKind::kDhtRandom, StoreOptions{}, 7,
+                           static_cast<uint32_t>(replication));
+
+  // The uniform table behind count/scan/topk.
+  const WorkloadSpec workload = UniformWorkload(
+      static_cast<uint64_t>(elements), static_cast<uint64_t>(keys));
+  uint64_t part_seed = 0;
+  for (const PartitionRef& part : workload.partitions) {
+    for (uint32_t j = 0; j < part.elements; ++j) {
+      Column column;
+      column.clustering = j;
+      column.type_id = j % 8;
+      column.payload = MakePayload(part_seed, j, 24);
+      KV_CHECK(cluster.Put(workload.table, part.key, std::move(column)).ok());
+    }
+    ++part_seed;
+  }
+
+  // The denormalized D8tree behind the box query: every non-empty cube of
+  // every level becomes one partition of "cubes".
+  AlyaParams params;
+  params.particles = static_cast<uint64_t>(particles);
+  params.seed = 17;
+  const std::vector<Particle> cloud = GenerateAlyaParticles(params);
+  const D8Tree tree(cloud, static_cast<uint32_t>(level));
+  for (const D8Tree::CubeRef& cube : tree.AllCubes()) {
+    const std::string key = CubeKey(cube.level, cube.morton);
+    for (const uint64_t id : tree.CubeParticles(cube.level, cube.morton)) {
+      Column column;
+      column.clustering = id;
+      column.type_id = cloud[id].type;
+      column.payload = MakePayload(cube.morton, id, kParticlePayloadBytes);
+      KV_CHECK(cluster.Put("cubes", key, std::move(column)).ok());
+    }
+  }
+  cluster.FlushAll();
+
+  const uint32_t per_part = workload.partitions.front().elements;
+  ScanSpec scan;
+  scan.start = per_part / 4;
+  scan.end = (3 * per_part) / 4;
+  scan.limit = 256;
+  TopKSpec topk;
+  topk.k = 32;
+  D8Tree::Box box;
+  box.min_x = 0.3f;
+  box.min_y = 0.3f;
+  box.min_z = 0.3f;
+  box.max_x = 0.7f;
+  box.max_y = 0.7f;
+  box.max_z = 0.7f;
+  const uint32_t target_keysize = static_cast<uint32_t>(
+      std::max<uint64_t>(1, tree.particle_count() >>
+                                (3 * static_cast<uint32_t>(level))));
+
+  const std::vector<QueryPlan> plans = {
+      MakeCountPlan(workload),
+      MakeScanPlan(workload, scan),
+      MakeTopKPlan(workload, topk),
+      MakeBoxPlan(tree, "cubes", box, target_keysize),
+  };
+  std::vector<KindPoint> points;
+  points.reserve(plans.size());
+  for (const QueryPlan& plan : plans) {
+    points.push_back(
+        MeasureKind(cluster, plan, static_cast<uint64_t>(repeats)));
+  }
+
+  TablePrinter table(
+      {"kind", "gathers", "queries/s", "p50", "p99", "touched", "pruned"});
+  for (const KindPoint& p : points) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.0f", p.qps);
+    table.AddRow({std::string(QueryKindName(static_cast<QueryKind>(p.kind))),
+                  TablePrinter::Cell(static_cast<int64_t>(p.repeats)),
+                  std::string(rate), FormatMicros(p.p50_us),
+                  FormatMicros(p.p99_us),
+                  TablePrinter::Cell(static_cast<int64_t>(p.touched)),
+                  TablePrinter::Cell(static_cast<int64_t>(p.pruned))});
+  }
+  table.Print();
+  const KindPoint& box_point = points.back();
+  std::printf(
+      "\nall four kinds rode the same message-transport gather loop; the "
+      "box plan touched %llu of %llu candidate cubes (%llu pruned by the "
+      "D8tree index)\n",
+      static_cast<unsigned long long>(box_point.touched),
+      static_cast<unsigned long long>(box_point.touched + box_point.pruned),
+      static_cast<unsigned long long>(box_point.pruned));
+
+  const BenchConfig config{elements, keys,      nodes, replication,
+                           repeats,  particles, level};
+  if (!json_out.empty()) {
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    file << ScoreboardJson(config, points);
+    if (!file.good()) {
+      std::fprintf(stderr, "write failed: %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("scoreboard written to %s\n", json_out.c_str());
+  }
+  if (!check_against.empty()) {
+    return CheckAgainstBaseline(check_against, config, points, tolerance_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

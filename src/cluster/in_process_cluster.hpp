@@ -2,11 +2,13 @@
 //
 // Where RunDistributedQuery models *time*, this class exercises the full
 // *data path*: n real LocalStore instances, a placement policy routing
-// every partition, and a master-style scatter/gather that issues one
-// CountByType per partition against the owning node's store and folds the
-// partial results. Integration tests and the examples use it to verify the
-// distributed aggregation end to end (real bytes, real bloom filters, real
-// block cache) and to collect per-node read telemetry.
+// every partition, and a master-style scatter/gather that executes one
+// QueryPlan (cluster/query_plan.hpp) — count-by-type, range scan, top-k,
+// or a D8tree box query — issuing the plan's operator per selected
+// partition against the owning node's store and folding the partial
+// results per the plan's kind. Integration tests and the examples use it
+// to verify the distributed queries end to end (real bytes, real bloom
+// filters, real block cache) and to collect per-node read telemetry.
 //
 // The gather is fault-tolerant: with an attached FaultInjector
 // (fault/fault_injector.hpp) every sub-query tries its preferred replica
@@ -39,6 +41,7 @@
 #include "cluster/migration.hpp"
 #include "cluster/node_runtime.hpp"
 #include "cluster/placement.hpp"
+#include "cluster/query_plan.hpp"
 #include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
 #include "hash/token_ring.hpp"
@@ -122,49 +125,8 @@ struct GatherOptions {
   QueueFullPolicy admission_policy = QueueFullPolicy::kBlock;
 };
 
-/// Result of one scatter/gather aggregation over real data. Beyond the
-/// folded counts it is a degraded-result report: how many sub-queries
-/// completed, failed for good, were retried or hedged, and where the
-/// errors landed.
-struct GatherResult {
-  TypeCounts totals;                     ///< folded count-by-type
-  std::vector<uint64_t> requests_per_node;
-  std::vector<ReadProbe> probes_per_node;
-  uint64_t partitions_missing = 0;       ///< sub-queries that hit no data
-
-  uint64_t subqueries = 0;  ///< sub-queries issued (= workload partitions)
-  /// Sub-queries that got an authoritative answer (data folded, or every
-  /// replica confirmed the partition absent). Invariant:
-  /// completed + failed == subqueries.
-  uint64_t completed = 0;
-  uint64_t failed = 0;   ///< sub-queries lost for good (data unreachable)
-  uint64_t retries = 0;  ///< failover re-attempts after an error
-  uint64_t hedged = 0;   ///< duplicate reads issued against a second replica
-  bool partial = false;  ///< true iff failed > 0: totals are missing data
-  /// The admission controller refused this gather outright: nothing was
-  /// dispatched, every sub-query counts as failed.
-  bool shed_by_admission = false;
-  std::vector<uint64_t> errors_per_node;     ///< error tally per node
-  std::vector<std::string> lost_partitions;  ///< keys lost for good, sorted
-  /// Injected latency + backoff consumed, in virtual microseconds (the
-  /// deadline's clock). For parallel gathers: the slowest worker's clock.
-  Micros virtual_latency_us = 0.0;
-  /// Real wall-clock duration of this gather, admission wait included.
-  Micros wall_us = 0.0;
-  /// How long BeginQuery blocked for an admission slot (message path).
-  Micros admission_wait_us = 0.0;
-
-  // -- Wire totals (zero under the direct transport) ----------------------
-
-  uint64_t wire_frames_sent = 0;    ///< request frames dispatched
-  uint64_t wire_bytes_sent = 0;     ///< request frame bytes (master egress)
-  uint64_t wire_bytes_received = 0; ///< reply frame bytes (master ingress)
-  Micros wire_encode_us = 0.0;      ///< total serialization time
-  Micros wire_decode_us = 0.0;      ///< total deserialization time
-  /// Total request-queue residency of this gather's frames (real
-  /// wall-clock microseconds in the nodes' queues).
-  Micros queue_wait_us = 0.0;
-};
+// GatherResult lives in cluster/query_plan.hpp, next to the plans and the
+// fold that fill it.
 
 /// What N concurrent client threads achieved through the shared runtime —
 /// one point of the Fig. 11 master-saturation curve.
@@ -342,9 +304,37 @@ class InProcessCluster {
   /// concurrent gather.
   Result<uint64_t> ReviveNode(NodeId node);
 
-  /// Scatter/gather: CountByType over every partition of `workload`,
-  /// folding partial results exactly as the simulated master does, with
-  /// per-sub-query replica failover per `options`.
+  /// Scatter/gather: executes `plan` — its per-node operator against
+  /// every selected partition, folded per its kind — with per-sub-query
+  /// replica failover per `options`. The one engine every query type and
+  /// every transport runs on: `options.transport` selects direct calls
+  /// or the message path.
+  GatherResult Gather(const QueryPlan& plan, const GatherOptions& options = {});
+
+  /// Same result computed by `threads` worker threads, one slice of the
+  /// partition list each (real std::thread parallelism over the real
+  /// storage engine — reads take shared locks, the block cache is
+  /// internally synchronised). The fold is deterministic: partial results
+  /// are merged in worker order, fault decisions are stateless, and
+  /// row merges are order-independent by construction, so a parallel
+  /// chaos gather matches the serial one bit for bit.
+  GatherResult GatherParallel(const QueryPlan& plan, uint32_t threads,
+                              const GatherOptions& options = {});
+
+  /// N client threads, each issuing `queries_per_client` message-path
+  /// executions of `plan` back to back through the shared runtime (the
+  /// transport is forced to kMessage). The runtime is warmed before the
+  /// clock starts, so the wall time measures queries, not construction.
+  /// Every client sees the same options — including the admission bound,
+  /// which is what turns this into the Fig. 11 saturation measurement.
+  ConcurrentGatherReport GatherConcurrent(const QueryPlan& plan,
+                                          uint32_t clients,
+                                          uint32_t queries_per_client,
+                                          const GatherOptions& options);
+
+  /// The paper's benchmark aggregation as a plan: a thin wrapper over
+  /// Gather(MakeCountPlan(workload), options), kept because it is the
+  /// vocabulary of the tests, benches, and examples.
   GatherResult CountByTypeAll(const WorkloadSpec& workload,
                               const GatherOptions& options);
 
@@ -355,22 +345,12 @@ class InProcessCluster {
   GatherResult CountByTypeAll(const WorkloadSpec& workload,
                               uint32_t replica = 0);
 
-  /// Same result computed by `threads` worker threads, one slice of the
-  /// partition list each (real std::thread parallelism over the real
-  /// storage engine — reads take shared locks, the block cache is
-  /// internally synchronised). The fold is deterministic: partial results
-  /// are merged in worker order, and fault decisions are stateless, so a
-  /// parallel chaos gather matches the serial one bit for bit.
+  /// GatherParallel over MakeCountPlan(workload).
   GatherResult CountByTypeAllParallel(const WorkloadSpec& workload,
                                       uint32_t threads,
                                       const GatherOptions& options = {});
 
-  /// N client threads, each issuing `queries_per_client` message-path
-  /// gathers of `workload` back to back through the shared runtime (the
-  /// transport is forced to kMessage). The runtime is warmed before the
-  /// clock starts, so the wall time measures queries, not construction.
-  /// Every client sees the same options — including the admission bound,
-  /// which is what turns this into the Fig. 11 saturation measurement.
+  /// GatherConcurrent over MakeCountPlan(workload).
   ConcurrentGatherReport CountByTypeAllConcurrent(
       const WorkloadSpec& workload, uint32_t clients,
       uint32_t queries_per_client, const GatherOptions& options);
@@ -393,16 +373,23 @@ class InProcessCluster {
   std::vector<uint64_t> ColumnsPerNode(const std::string& table);
 
  private:
-  /// Executes one sub-query with failover, folding into `out` (a worker-
-  /// local partial in parallel mode). `vclock` is the caller's virtual
-  /// clock. `replicas` is the set resolved at `resolved_epoch`; a retry
-  /// that observes a newer ring epoch re-resolves before failing over, so
-  /// a sub-query racing a migration finds the partition's new owner.
-  /// Thread-safe.
-  void ExecuteSubQuery(const std::string& table, const PartitionRef& part,
+  /// The single retry/hedge/deadline/epoch decision loop every transport
+  /// shares — defined in gather_engine.cpp; this is the only place in
+  /// the codebase that decides which replica an attempt targets, when a
+  /// retry backs off, when a hedge races a second copy, and when a ring
+  /// epoch bump forces re-resolution.
+  struct SubQueryFailover;
+
+  /// Executes sub-query `index` of `plan` with failover on the direct
+  /// transport, folding into `fold`/`out` (worker-local partials in
+  /// parallel mode). `vclock` is the caller's virtual clock. `replicas`
+  /// is the set resolved at `resolved_epoch`; a retry that observes a
+  /// newer ring epoch re-resolves before failing over, so a sub-query
+  /// racing a migration finds the partition's new owner. Thread-safe.
+  void ExecuteSubQuery(const QueryPlan& plan, size_t index,
                        std::vector<NodeId> replicas, uint64_t resolved_epoch,
-                       const GatherOptions& options, GatherResult& out,
-                       Micros& vclock);
+                       const GatherOptions& options, PlanFold& fold,
+                       GatherResult& out, Micros& vclock);
 
   /// The store in slot `id`, or null when no such slot exists. Slots are
   /// append-only; holding the returned pointer keeps the store alive
@@ -441,13 +428,13 @@ class InProcessCluster {
 
   /// The message-transport gather: scatter encoded frames through the
   /// shared NodeRuntime under a fresh query_id, collect and decode
-  /// replies, fail over on errors. Makes the same fault/hedge/backoff
-  /// decisions in the same order as ExecuteSubQuery, so with no deadline
-  /// a healthy or chaotic run matches the direct transport field for
-  /// field — and, with per-query clocks and reply channels, matches it
-  /// even while other gathers run interleaved. Thread-safe.
-  GatherResult CountByTypeAllMessage(const WorkloadSpec& workload,
-                                     const GatherOptions& options);
+  /// replies, fail over on errors. Runs the same SubQueryFailover loop
+  /// as ExecuteSubQuery, so with no deadline a healthy or chaotic run
+  /// matches the direct transport field for field — and, with per-query
+  /// clocks and reply channels, matches it even while other gathers run
+  /// interleaved. Thread-safe.
+  GatherResult GatherMessage(const QueryPlan& plan,
+                             const GatherOptions& options);
 
   /// Returns the shared runtime, building it on first use and rebuilding
   /// only when `options` changes a structural knob (queue depth, worker
@@ -466,16 +453,15 @@ class InProcessCluster {
   /// moving the signal (a directory hit no longer freezes it).
   void RecordDispatch(NodeId node);
 
-  /// Sorts the loss report and derives the partial flag + invariant.
-  void FinalizeResult(GatherResult& result) const;
-
-  /// End-of-gather observability: deposits one QueryRecord into the
-  /// attached flight recorder (when any) and ticks the attached
-  /// time-series collector on the cluster's accumulated gather clock.
-  /// `timeline` is the message path's per-sub-query stage stamps (empty
-  /// for direct/aggregate-only gathers).
-  void RecordGather(uint64_t query_id, const std::string& table,
-                    std::string_view transport, const GatherResult& result,
+  /// End-of-gather observability: bumps the per-kind query counter,
+  /// deposits one QueryRecord into the attached flight recorder (when
+  /// any), and ticks the attached time-series collector on the cluster's
+  /// accumulated gather clock. `timeline` is the message path's
+  /// per-sub-query stage stamps (empty for direct/aggregate-only
+  /// gathers).
+  void RecordGather(uint64_t query_id, QueryKind kind,
+                    const std::string& table, std::string_view transport,
+                    const GatherResult& result,
                     std::vector<SubQueryTimelineEntry> timeline);
 
   /// Guards the routing state shared by concurrent gathers: the
@@ -552,6 +538,8 @@ class InProcessCluster {
   Counter* migration_failovers_counter_ = nullptr;  ///< cluster.migration.source_failovers
   Counter* repaired_counter_ = nullptr;         ///< cluster.repair.partitions
   Counter* lost_counter_ = nullptr;             ///< cluster.repair.lost_partitions
+  /// cluster.query.{count,scan,topk,box}: gathers finished, per kind.
+  Counter* query_kind_counters_[kQueryKindCount] = {};
 
   /// The structural knobs the current runtime_ was built with.
   struct RuntimeConfig {

@@ -422,7 +422,7 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
         read.Attr("sub", std::to_string(out.sub_id));
       }
     }
-    auto counts = handler_(node, request, &out.probe);
+    auto columns = handler_(node, request, &out.probe);
     out.db_end_us = NowMicros();
     out.store_read = true;
     if (read.active()) {
@@ -432,15 +432,13 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
       read.Attr("bloom_negatives", std::to_string(out.probe.bloom_negatives));
       read.End();
     }
-    if (counts.ok()) {
-      reply.type_ids.reserve(counts.value().size());
-      reply.counts.reserve(counts.value().size());
-      for (const auto& [type, count] : counts.value()) {
-        reply.type_ids.push_back(type);
-        reply.counts.push_back(count);
-      }
+    if (columns.ok()) {
+      // The operator's paired result columns ride the reply's two u64
+      // vectors; the master's fold interprets them per the plan's kind.
+      reply.type_ids = std::move(columns.value().col_a);
+      reply.counts = std::move(columns.value().col_b);
     } else {
-      reply.status = static_cast<uint32_t>(counts.status().code());
+      reply.status = static_cast<uint32_t>(columns.status().code());
     }
     reply.db_micros = out.db_end_us - out.db_start_us;
     // The injected latency is charged after serving (to the owning

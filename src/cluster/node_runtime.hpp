@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/query_ops.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/units.hpp"
@@ -171,8 +172,10 @@ struct NodeRuntimeOptions {
   QueueFullPolicy on_admission_full = QueueFullPolicy::kBlock;
 };
 
-/// Executes one decoded sub-query against `node`'s store.
-using SubQueryHandler = std::function<Result<TypeCounts>(
+/// Executes one decoded sub-query's operator against `node`'s store,
+/// returning the paired result columns the reply frame carries
+/// (cluster/query_ops.hpp defines the per-operator pairing).
+using SubQueryHandler = std::function<Result<OperatorResult>(
     uint32_t node, const SubQueryRequest& request, ReadProbe* probe)>;
 
 /// Per-node request queues + worker pools shared by concurrent queries,

@@ -1,0 +1,67 @@
+#include "cluster/query_ops.hpp"
+
+namespace kvscale {
+
+namespace {
+
+/// (clustering, type_id) row columns from a column read, preserving the
+/// read's order (ScanRange ascends, TopKByClustering descends).
+OperatorResult RowColumns(const std::vector<Column>& columns) {
+  OperatorResult out;
+  out.col_a.reserve(columns.size());
+  out.col_b.reserve(columns.size());
+  for (const Column& column : columns) {
+    out.col_a.push_back(column.clustering);
+    out.col_b.push_back(column.type_id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OperatorResult> ExecuteOperator(const Table& table,
+                                       std::string_view partition_key,
+                                       uint32_t op, uint64_t arg_lo,
+                                       uint64_t arg_hi, uint32_t arg_limit,
+                                       ReadProbe* probe) {
+  switch (op) {
+    case kOpCountByType: {
+      auto counts = table.CountByType(partition_key, probe);
+      if (!counts.ok()) return counts.status();
+      OperatorResult out;
+      out.col_a.reserve(counts.value().size());
+      out.col_b.reserve(counts.value().size());
+      // std::map iteration ascends by type id — the reply order the
+      // count fold has always seen on the wire.
+      for (const auto& [type, count] : counts.value()) {
+        out.col_a.push_back(type);
+        out.col_b.push_back(count);
+      }
+      return out;
+    }
+    case kOpRangeScan: {
+      auto columns =
+          table.ScanRange(partition_key, arg_lo, arg_hi, arg_limit, probe);
+      if (!columns.ok()) return columns.status();
+      return RowColumns(columns.value());
+    }
+    case kOpTopK: {
+      auto columns = table.TopKByClustering(partition_key, arg_limit, probe);
+      if (!columns.ok()) return columns.status();
+      return RowColumns(columns.value());
+    }
+    default:
+      return Status::InvalidArgument("unknown query operator " +
+                                     std::to_string(op));
+  }
+}
+
+Result<OperatorResult> ExecuteOperator(const Table& table,
+                                       const SubQueryRequest& request,
+                                       ReadProbe* probe) {
+  return ExecuteOperator(table, request.partition_key, request.op,
+                         request.arg_lo, request.arg_hi, request.arg_limit,
+                         probe);
+}
+
+}  // namespace kvscale

@@ -411,6 +411,31 @@ Result<TypeCounts> Table::CountByType(std::string_view partition_key,
   return counts;
 }
 
+Result<std::vector<Column>> Table::ScanRange(std::string_view partition_key,
+                                             uint64_t lo, uint64_t hi,
+                                             uint32_t limit,
+                                             ReadProbe* probe) const {
+  auto columns = Slice(partition_key, lo, hi, probe);
+  if (!columns.ok()) return columns.status();
+  // Slice returns ascending clustering order, so the first `limit` rows
+  // are the range's smallest — exactly what a bounded forward scan keeps.
+  if (limit > 0 && columns.value().size() > limit) {
+    columns.value().resize(limit);
+  }
+  return columns;
+}
+
+Result<std::vector<Column>> Table::TopKByClustering(
+    std::string_view partition_key, uint32_t k, ReadProbe* probe) const {
+  if (k == 0) return Status::InvalidArgument("top-k with k == 0");
+  auto columns = GetPartition(partition_key, probe);
+  if (!columns.ok()) return columns.status();
+  std::vector<Column>& cols = columns.value();
+  std::reverse(cols.begin(), cols.end());  // ascending -> descending
+  if (cols.size() > k) cols.resize(k);
+  return columns;
+}
+
 bool Table::HasPartition(std::string_view partition_key) const {
   ReaderMutexLock lock(mu_);
   if (memtable_.Contains(partition_key)) return true;

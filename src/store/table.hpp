@@ -75,6 +75,22 @@ class Table {
   Result<TypeCounts> CountByType(std::string_view partition_key,
                                  ReadProbe* probe = nullptr) const;
 
+  /// Bounded range scan: columns with clustering key in [lo, hi],
+  /// ascending, truncated to the first `limit` rows (0 = unbounded).
+  /// The per-node body of the kOpRangeScan operator — the limit caps
+  /// what one node ships back; the master merges and re-limits.
+  Result<std::vector<Column>> ScanRange(std::string_view partition_key,
+                                        uint64_t lo, uint64_t hi,
+                                        uint32_t limit,
+                                        ReadProbe* probe = nullptr) const;
+
+  /// The `k` columns with the largest clustering keys, descending.
+  /// The per-node body of the kOpTopK operator; the master k-way merges
+  /// the per-partition candidates.
+  Result<std::vector<Column>> TopKByClustering(
+      std::string_view partition_key, uint32_t k,
+      ReadProbe* probe = nullptr) const;
+
   bool HasPartition(std::string_view partition_key) const;
 
   /// Freezes the memtable into a new segment (no-op when empty).

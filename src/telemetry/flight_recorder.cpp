@@ -28,6 +28,7 @@ std::string QueryRecordToJson(const QueryRecord& record) {
   std::string out = "{\"query_id\":" + std::to_string(record.query_id);
   out += ",\"table\":" + JsonQuote(record.table);
   out += ",\"transport\":" + JsonQuote(record.transport);
+  out += ",\"query_kind\":" + JsonQuote(record.query_kind);
   out += ",\"subqueries\":" + std::to_string(record.subqueries);
   out += ",\"completed\":" + std::to_string(record.completed);
   out += ",\"failed\":" + std::to_string(record.failed);

@@ -44,7 +44,8 @@ struct SubQueryTimelineEntry {
 struct QueryRecord {
   uint64_t query_id = 0;
   std::string table;
-  std::string transport;  ///< "direct" | "message"
+  std::string transport;   ///< "direct" | "message"
+  std::string query_kind;  ///< "count" | "scan" | "topk" | "box"
   uint64_t subqueries = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;

@@ -160,6 +160,10 @@ Result<DecodedSubQueryBatch> DecodeSubQueryBatch(
       return Status::Corruption(
           "batch: duplicate sub_id " + std::to_string(decoded.value().sub_id));
     }
+    if (!IsKnownQueryOp(decoded.value().op)) {
+      return Status::Corruption("batch: unknown operator id " +
+                                std::to_string(decoded.value().op));
+    }
     batch.requests.push_back(std::move(decoded).value());
     batch.attempts.push_back(item.attempt);
   }

@@ -15,7 +15,27 @@
 
 namespace kvscale {
 
-/// Asks one slave to aggregate a single partition (one D8tree cube).
+// -- Per-node operators ------------------------------------------------------
+//
+// A SubQueryRequest names the *operator* a node executes against one
+// partition, plus up to three scalar arguments. The reply's paired u64
+// columns carry whatever result schema the operator defines (see
+// SubQueryReply). D8tree box queries have no operator of their own: the
+// box is resolved master-side into covering cubes, and each covered
+// partition is read with kOpCountByType.
+enum QueryOp : uint32_t {
+  kOpCountByType = 0,  ///< result: (type_id, count) pairs
+  kOpRangeScan = 1,    ///< result: (clustering, type_id) rows, ascending
+  kOpTopK = 2,         ///< result: (clustering, type_id) rows, descending
+};
+
+/// Operators the decoder accepts; anything >= this is a corrupt frame.
+inline constexpr uint32_t kQueryOpCount = 3;
+
+inline bool IsKnownQueryOp(uint64_t op) { return op < kQueryOpCount; }
+
+/// Asks one slave to run one operator over a single partition (one
+/// D8tree cube).
 struct SubQueryRequest {
   static constexpr std::string_view kTypeName = "kvscale.SubQueryRequest";
 
@@ -24,6 +44,10 @@ struct SubQueryRequest {
   std::string table;             ///< target table name
   std::string partition_key;     ///< DHT partition key (cube id)
   uint32_t expected_elements = 0; ///< elements in the partition (for sizing)
+  uint32_t op = kOpCountByType;  ///< QueryOp the node executes
+  uint64_t arg_lo = 0;           ///< kOpRangeScan: inclusive clustering lo
+  uint64_t arg_hi = 0;           ///< kOpRangeScan: inclusive clustering hi
+  uint32_t arg_limit = 0;        ///< per-node row cap (scan limit / top-k k)
 
   template <typename V>
   void Visit(V&& v) {
@@ -32,6 +56,10 @@ struct SubQueryRequest {
     v.Field("table", table);
     v.Field("partition_key", partition_key);
     v.Field("expected_elements", expected_elements);
+    v.Field("op", op);
+    v.Field("arg_lo", arg_lo);
+    v.Field("arg_hi", arg_hi);
+    v.Field("arg_limit", arg_limit);
   }
 };
 
@@ -59,9 +87,11 @@ struct PartialResult {
 
 /// Slave -> master: outcome of one SubQueryRequest on the message-driven
 /// real path (node_runtime.hpp). Unlike PartialResult (the simulator's
-/// reply, which labels types with strings), this carries the storage
-/// engine's numeric type ids, and a non-OK `status` reports the error the
-/// replica returned so the master can fail over.
+/// reply, which labels types with strings), this carries two paired u64
+/// result columns whose meaning the request's operator defines —
+/// kOpCountByType: (type_id, count); kOpRangeScan / kOpTopK:
+/// (clustering, type_id) rows — and a non-OK `status` reports the error
+/// the replica returned so the master can fail over.
 struct SubQueryReply {
   static constexpr std::string_view kTypeName = "kvscale.SubQueryReply";
 
@@ -69,8 +99,8 @@ struct SubQueryReply {
   uint32_t sub_id = 0;
   uint32_t node = 0;                 ///< replica that served (or refused)
   uint32_t status = 0;               ///< static_cast<uint32_t>(StatusCode)
-  std::vector<uint64_t> type_ids;    ///< distinct type ids (empty on error)
-  std::vector<uint64_t> counts;      ///< counts[i] pairs with type_ids[i]
+  std::vector<uint64_t> type_ids;    ///< result column A (empty on error)
+  std::vector<uint64_t> counts;      ///< result column B; pairs with A
   double db_micros = 0.0;            ///< wall time inside the data store
 
   template <typename V>

@@ -1,0 +1,29 @@
+#include "workload/box_query.hpp"
+
+namespace kvscale {
+
+QueryPlan MakeBoxPlan(const D8Tree& tree, const std::string& table,
+                      const D8Tree::Box& box, uint32_t target_keysize) {
+  QueryPlan plan;
+  plan.kind = QueryKind::kBox;
+  plan.table = table;
+  plan.op = kOpCountByType;
+  const std::vector<D8Tree::PlanEntry> entries =
+      tree.BoxQueryPlan(box, target_keysize);
+  plan.partitions.reserve(entries.size());
+  for (const D8Tree::PlanEntry& entry : entries) {
+    PlanPartition part;
+    part.part.key = CubeKey(entry.cube.level, entry.cube.morton);
+    part.part.elements = entry.cube.elements;
+    part.fully_inside = entry.fully_inside;
+    plan.partitions.push_back(std::move(part));
+  }
+  // The pruning ledger: every cube the tree indexes was a candidate
+  // partition; the plan routed only to the ones the box touches.
+  plan.candidate_partitions = tree.AllCubes().size();
+  plan.partitions_pruned =
+      plan.candidate_partitions - plan.partitions.size();
+  return plan;
+}
+
+}  // namespace kvscale

@@ -1,0 +1,26 @@
+#pragma once
+
+// D8tree box queries as QueryPlans: the octree's cube decomposition is
+// a partition *pruning* index. A box query never scatters to the whole
+// table — the planner walks the Morton cube hierarchy, keeps only the
+// cubes the box touches, and the gather engine contacts just their
+// partitions. GatherResult's partitions_touched/partitions_pruned pair
+// reports how much work the index saved.
+
+#include "cluster/query_plan.hpp"
+#include "workload/d8tree.hpp"
+
+namespace kvscale {
+
+/// A count-by-type plan over exactly the cubes of `tree` (at the level
+/// chosen by `target_keysize`, refined where the box clips a cube) that
+/// intersect `box`. Cubes fully inside the box fold into
+/// GatherResult::totals; boundary cubes — whose partitions may hold
+/// particles outside the box — fold into boundary_totals, so the caller
+/// sees an exact interior count plus an explicit overcount margin.
+/// Partition keys are CubeKey(level, morton): load the tree's levels
+/// into the cluster with LoadLevelIntoTable-style puts first.
+QueryPlan MakeBoxPlan(const D8Tree& tree, const std::string& table,
+                      const D8Tree::Box& box, uint32_t target_keysize);
+
+}  // namespace kvscale

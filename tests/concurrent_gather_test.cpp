@@ -98,8 +98,8 @@ TEST(AdmissionControlTest, RejectPolicyShedsAtTheLimitAndRearms) {
   options.on_admission_full = QueueFullPolicy::kReject;
   NodeRuntime runtime(
       1, options,
-      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<TypeCounts> {
-        return TypeCounts{};
+      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<OperatorResult> {
+        return OperatorResult{};
       },
       registry, nullptr, nullptr, nullptr);
 
@@ -130,8 +130,8 @@ TEST(AdmissionControlTest, BlockPolicyWaitsForASlot) {
   options.on_admission_full = QueueFullPolicy::kBlock;
   NodeRuntime runtime(
       1, options,
-      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<TypeCounts> {
-        return TypeCounts{};
+      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<OperatorResult> {
+        return OperatorResult{};
       },
       registry, nullptr, nullptr, nullptr);
 
@@ -154,8 +154,8 @@ TEST(AdmissionControlTest, PerQueryClocksAreIsolated) {
   NodeRuntimeOptions options;
   NodeRuntime runtime(
       1, options,
-      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<TypeCounts> {
-        return TypeCounts{};
+      [](uint32_t, const SubQueryRequest&, ReadProbe*) -> Result<OperatorResult> {
+        return OperatorResult{};
       },
       registry, nullptr, nullptr, nullptr);
   ASSERT_TRUE(runtime.BeginQuery(1, NodeRuntime::QueryOptions{}).ok());

@@ -123,9 +123,9 @@ TEST(NodeRuntimeTest, DispatchRoundTripsOneSubQuery) {
   NodeRuntime runtime(
       2, options,
       [](uint32_t, const SubQueryRequest& req, ReadProbe* probe)
-          -> Result<TypeCounts> {
+          -> Result<OperatorResult> {
         probe->columns_returned = req.expected_elements;
-        return TypeCounts{{3, req.expected_elements}};
+        return OperatorResult{{3}, {req.expected_elements}};
       },
       registry, nullptr, nullptr, nullptr);
   ASSERT_TRUE(runtime.BeginQuery(42, NodeRuntime::QueryOptions{}).ok());
@@ -184,12 +184,12 @@ TEST(NodeRuntimeTest, RejectPolicyShedsWhenQueueAndWorkerAreBusy) {
   NodeRuntime runtime(
       1, options,
       [&](uint32_t, const SubQueryRequest& req, ReadProbe*)
-          -> Result<TypeCounts> {
+          -> Result<OperatorResult> {
         if (req.sub_id == 0) {
           worker_started.count_down();
           release_worker.wait();
         }
-        return TypeCounts{};
+        return OperatorResult{};
       },
       registry, nullptr, nullptr, nullptr);
   ASSERT_TRUE(runtime.BeginQuery(9, NodeRuntime::QueryOptions{}).ok());

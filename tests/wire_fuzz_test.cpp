@@ -31,6 +31,12 @@ SubQueryRequest RandomRequest(Rng& rng) {
   msg.table = RandomString(rng, 64);
   msg.partition_key = RandomString(rng, 128);
   msg.expected_elements = static_cast<uint32_t>(rng.Next());
+  // Any known operator with arbitrary arguments: count ignores the args,
+  // scan/topk read them, the wire carries all of it either way.
+  msg.op = static_cast<uint32_t>(rng.Below(kQueryOpCount));
+  msg.arg_lo = rng.Next();
+  msg.arg_hi = rng.Next();
+  msg.arg_limit = static_cast<uint32_t>(rng.Next());
   return msg;
 }
 
@@ -51,7 +57,9 @@ PartialResult RandomResult(Rng& rng) {
 bool Equal(const SubQueryRequest& a, const SubQueryRequest& b) {
   return a.query_id == b.query_id && a.sub_id == b.sub_id &&
          a.table == b.table && a.partition_key == b.partition_key &&
-         a.expected_elements == b.expected_elements;
+         a.expected_elements == b.expected_elements && a.op == b.op &&
+         a.arg_lo == b.arg_lo && a.arg_hi == b.arg_hi &&
+         a.arg_limit == b.arg_limit;
 }
 
 bool Equal(const PartialResult& a, const PartialResult& b) {
@@ -461,6 +469,49 @@ TEST_P(WireFuzzTest, CorruptedTraceCoordinatesAreRejected) {
       DecodeSubQueryBatch(oversized.data(), WireCodecKind::kCompact, codec);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+// The operator id is validated at the batch decoder, not left for a
+// worker to trip over: an id this build does not know (a newer peer's
+// query type, or corruption that landed in the op field) is refused as
+// kCorruption before any store work, for every codec. Truncating an
+// operator frame anywhere must also never crash or decode.
+TEST_P(WireFuzzTest, UnknownOperatorIdsAndTruncatedOperatorFramesAreRejected) {
+  Rng rng(GetParam() ^ 0x0b0b);
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  for (const WireCodecKind kind :
+       {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
+    SubQueryRequest msg = RandomRequest(rng);
+    msg.sub_id = 2;
+    msg.op = kOpRangeScan;
+    WireBuffer valid;
+    EncodeSubQueryBatch(std::vector<SubQueryRequest>{msg},
+                        std::vector<uint32_t>{0}, 0, kind, codec,
+                        valid);
+    ASSERT_TRUE(
+        DecodeSubQueryBatch(valid.data(), kind, codec).ok());
+
+    // Same frame, unknown operator id: refused at decode.
+    SubQueryRequest unknown = msg;
+    unknown.op = 7;  // beyond kQueryOpCount in every released build
+    WireBuffer frame;
+    EncodeSubQueryBatch(std::vector<SubQueryRequest>{unknown},
+                        std::vector<uint32_t>{0}, 0, kind,
+                        codec, frame);
+    auto decoded = DecodeSubQueryBatch(frame.data(), kind, codec);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+    // Every truncation of the valid operator frame fails cleanly.
+    const std::vector<std::byte> bytes(valid.data().begin(),
+                                       valid.data().end());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      auto cut = DecodeSubQueryBatch(
+          std::span<const std::byte>(bytes.data(), len), kind, codec);
+      EXPECT_FALSE(cut.ok()) << "len=" << len;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,

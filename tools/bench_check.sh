@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regression gate for the bench scoreboards: runs a quick-config
-# master_throughput sweep and a rebalance churn, comparing each against
-# its committed baseline (BENCH_master_throughput.json and
-# BENCH_rebalance.json). Both gates are lower-bound-only — a faster
+# master_throughput sweep, a rebalance churn, and a query_mix pass over
+# the four query plans, comparing each against its committed baseline
+# (BENCH_master_throughput.json, BENCH_rebalance.json,
+# BENCH_query_mix.json). All gates are lower-bound-only — a faster
 # machine passes, a slowdown past the tolerance fails — so they catch
 # "this PR made the gather path 3x slower" or "migration crawls now"
 # without being flaky across hardware. The rebalance tolerance is wide
@@ -17,6 +18,7 @@
 #   BENCH_ELEMENTS BENCH_KEYS BENCH_NODES BENCH_MAX_CLIENTS
 #   BENCH_QUERIES BENCH_TOLERANCE_PCT BENCH_BUILD_DIR
 #   BENCH_REBALANCE_KEYS BENCH_REBALANCE_TOLERANCE_PCT
+#   BENCH_QUERY_MIX_REPEATS BENCH_QUERY_MIX_TOLERANCE_PCT
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +37,12 @@ REBALANCE_KEYS="${BENCH_REBALANCE_KEYS:-48}"
 REBALANCE_TOLERANCE_PCT="${BENCH_REBALANCE_TOLERANCE_PCT:-95}"
 REBALANCE_BIN="$BUILD_DIR/bench/rebalance"
 
-for bin in "$BIN" "$REBALANCE_BIN"; do
+QUERY_MIX_BASELINE="bench/BENCH_query_mix.json"
+QUERY_MIX_REPEATS="${BENCH_QUERY_MIX_REPEATS:-20}"
+QUERY_MIX_TOLERANCE_PCT="${BENCH_QUERY_MIX_TOLERANCE_PCT:-75}"
+QUERY_MIX_BIN="$BUILD_DIR/bench/query_mix"
+
+for bin in "$BIN" "$REBALANCE_BIN" "$QUERY_MIX_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_check: $bin not built — run: cmake --build $BUILD_DIR -j --target $(basename "$bin")" >&2
     exit 1
@@ -49,16 +56,22 @@ common_flags=(
 rebalance_flags=(
   --elements="$ELEMENTS" --keys="$REBALANCE_KEYS" --nodes="$NODES"
 )
+query_mix_flags=(
+  --elements="$ELEMENTS" --keys="$REBALANCE_KEYS" --nodes="$NODES"
+  --repeats="$QUERY_MIX_REPEATS"
+)
 
 if [[ "${1:-}" == "--update" ]]; then
   "$BIN" "${common_flags[@]}" --json-out="$BASELINE"
   echo "bench_check: baseline updated at $BASELINE"
   "$REBALANCE_BIN" "${rebalance_flags[@]}" --json-out="$REBALANCE_BASELINE"
   echo "bench_check: baseline updated at $REBALANCE_BASELINE"
+  "$QUERY_MIX_BIN" "${query_mix_flags[@]}" --json-out="$QUERY_MIX_BASELINE"
+  echo "bench_check: baseline updated at $QUERY_MIX_BASELINE"
   exit 0
 fi
 
-for baseline in "$BASELINE" "$REBALANCE_BASELINE"; do
+for baseline in "$BASELINE" "$REBALANCE_BASELINE" "$QUERY_MIX_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
     echo "bench_check: no baseline at $baseline — create one with: tools/bench_check.sh --update" >&2
     exit 1
@@ -70,3 +83,6 @@ done
 "$REBALANCE_BIN" "${rebalance_flags[@]}" \
   --check-against="$REBALANCE_BASELINE" \
   --tolerance-pct="$REBALANCE_TOLERANCE_PCT"
+"$QUERY_MIX_BIN" "${query_mix_flags[@]}" \
+  --check-against="$QUERY_MIX_BASELINE" \
+  --tolerance-pct="$QUERY_MIX_TOLERANCE_PCT"

@@ -17,7 +17,7 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 # The suites that exercise fault injection, failover, torn WALs, and the
 # concurrent gather paths.
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency|Membership|MigrationFault'
+  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency|Membership|MigrationFault|QueryPlan|BoxQuery|WireFuzz'
 
 # One sanitized end-to-end chaos run: replication 3, a dead node, flaky
 # reads, and corrupted segment blocks must still produce a full answer.
@@ -33,5 +33,18 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
 ./build-asan/tools/kvscale gather --nodes 4 --keys 60 --elements 6000 \
   --replication 2 --join-node --decommission-node 1 --perma-kill 2 \
   --fail-rate 0.02 --migration-corrupt-rate 0.2 --rounds 2 --max-attempts 4
+
+# The non-count plans under the same crossfire: a range scan over the
+# message transport with flaky reads, and a pruned D8tree box query with
+# a dead node — the engine must fold both without touching freed memory
+# or tripping UB in the row merge.
+./build-asan/tools/kvscale gather --query scan --scan-start 5 \
+  --scan-end 90 --limit 300 --nodes 4 --keys 60 --elements 6000 \
+  --replication 3 --fail-node 0 --fail-rate 0.02 --max-attempts 4 \
+  --codec compact --batch
+./build-asan/tools/kvscale gather --query box \
+  --box 0.25,0.25,0.25,0.75,0.75,0.75 --level 4 --elements 20000 \
+  --nodes 4 --replication 3 --fail-node 0 --fail-rate 0.02 \
+  --max-attempts 4
 
 echo "chaos_check: OK"

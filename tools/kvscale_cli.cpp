@@ -12,6 +12,9 @@
 //   kvscale gather   --elements 100000 --keys 200 --nodes 4 --rounds 2
 //   kvscale gather   --nodes 4 --replication 3 --fail-node 0 --fail-rate 0.01
 //   kvscale gather   --nodes 4 --codec compact --batch --workers-per-node 2
+//   kvscale gather   --query scan --scan-start 10 --scan-end 99 --limit 50
+//   kvscale gather   --query topk --k 10 --nodes 4 --replication 2
+//   kvscale gather   --query box --box 0.2,0.2,0.2,0.5,0.5,0.5 --level 4
 //
 // Every subcommand accepts --t-msg-us (master cost per message) and
 // --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study,
@@ -20,6 +23,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "cluster/cluster_sim.hpp"
@@ -39,6 +43,7 @@
 #include "trace/stage_trace.hpp"
 #include "trace/telemetry_bridge.hpp"
 #include "wire/envelope.hpp"
+#include "workload/box_query.hpp"
 
 namespace kvscale {
 namespace {
@@ -285,8 +290,42 @@ int CmdBands(CommonArgs& args, int64_t trials) {
   return ExportTelemetry(args, tracer, registry) ? 0 : 1;
 }
 
+/// Parses --box="x0,y0,z0,x1,y1,z1" (unit-cube coordinates, exclusive
+/// upper corner) into a D8tree box.
+Result<D8Tree::Box> ParseBoxSpec(const std::string& spec) {
+  float v[6];
+  int consumed = 0;
+  if (std::sscanf(spec.c_str(), "%f,%f,%f,%f,%f,%f%n", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5], &consumed) != 6 ||
+      consumed != static_cast<int>(spec.size())) {
+    return Status::InvalidArgument(
+        "--box expects six comma-separated floats x0,y0,z0,x1,y1,z1, got '" +
+        spec + "'");
+  }
+  if (!(v[0] < v[3] && v[1] < v[4] && v[2] < v[5])) {
+    return Status::InvalidArgument(
+        "--box min corner must be strictly below the max corner on every "
+        "axis");
+  }
+  D8Tree::Box box;
+  box.min_x = v[0];
+  box.min_y = v[1];
+  box.min_z = v[2];
+  box.max_x = v[3];
+  box.max_y = v[4];
+  box.max_z = v[5];
+  return box;
+}
+
 /// Fault-tolerance flags of the gather subcommand.
 struct GatherArgs {
+  std::string query = "count";  ///< count|scan|topk|box
+  int64_t scan_start = 0;       ///< --query=scan: clustering range lower bound
+  int64_t scan_end = -1;        ///< --query=scan: upper bound (-1 = unbounded)
+  int64_t limit = 0;            ///< --query=scan: row cap (0 = unbounded)
+  int64_t k = 0;                ///< --query=topk: rows to keep (required)
+  std::string box;              ///< --query=box: "x0,y0,z0,x1,y1,z1" (required)
+  int64_t level = 0;            ///< --query=box: octree depth (0 = default 4)
   int64_t threads = 1;
   int64_t rounds = 2;
   int64_t payload_bytes = 30;
@@ -317,6 +356,21 @@ struct GatherArgs {
   std::string timeseries_out;  ///< metric time-series JSONL ("" = off)
 
   void Register(CliFlags& flags) {
+    flags.Add("query", &query,
+              "query type: count|scan|topk|box (default count)");
+    flags.Add("scan-start", &scan_start,
+              "--query=scan: first clustering key of the range");
+    flags.Add("scan-end", &scan_end,
+              "--query=scan: last clustering key of the range "
+              "(-1 = unbounded)");
+    flags.Add("limit", &limit,
+              "--query=scan: total rows to return (0 = unbounded)");
+    flags.Add("k", &k, "--query=topk: rows with the largest clustering keys");
+    flags.Add("box", &box,
+              "--query=box: spatial region x0,y0,z0,x1,y1,z1 in the unit "
+              "cube");
+    flags.Add("level", &level,
+              "--query=box: D8tree octree depth (0 = default 4)");
     flags.Add("threads", &threads, "gather worker threads (1 = serial)");
     flags.Add("rounds", &rounds,
               "query repetitions (first is cold, later ones hit the cache)");
@@ -378,6 +432,50 @@ struct GatherArgs {
   }
 
   Status Validate(const CommonArgs& args) const {
+    auto kind = ParseQueryKind(query);
+    if (!kind.ok()) return kind.status();
+    if (kind.value() != QueryKind::kScan &&
+        (scan_start != 0 || scan_end != -1 || limit != 0)) {
+      return Status::InvalidArgument(
+          "--scan-start/--scan-end/--limit apply only to --query=scan");
+    }
+    if (kind.value() != QueryKind::kTopK && k != 0) {
+      return Status::InvalidArgument("--k applies only to --query=topk");
+    }
+    if (kind.value() != QueryKind::kBox && (!box.empty() || level != 0)) {
+      return Status::InvalidArgument(
+          "--box/--level apply only to --query=box");
+    }
+    if (kind.value() == QueryKind::kScan) {
+      if (scan_start < 0) {
+        return Status::InvalidArgument("--scan-start must be >= 0");
+      }
+      if (scan_end < -1) {
+        return Status::InvalidArgument(
+            "--scan-end must be >= --scan-start (or -1 for unbounded)");
+      }
+      if (scan_end >= 0 && scan_end < scan_start) {
+        return Status::InvalidArgument(
+            "--scan-end " + std::to_string(scan_end) +
+            " is below --scan-start " + std::to_string(scan_start));
+      }
+      if (limit < 0) return Status::InvalidArgument("--limit must be >= 0");
+    }
+    if (kind.value() == QueryKind::kTopK && k < 1) {
+      return Status::InvalidArgument("--query=topk requires --k >= 1");
+    }
+    if (kind.value() == QueryKind::kBox) {
+      if (box.empty()) {
+        return Status::InvalidArgument(
+            "--query=box requires --box=x0,y0,z0,x1,y1,z1");
+      }
+      auto parsed = ParseBoxSpec(box);
+      if (!parsed.ok()) return parsed.status();
+      if (level < 0 || level > 20) {
+        return Status::InvalidArgument(
+            "--level must be within [1, 20] (0 = default 4)");
+      }
+    }
     if (threads < 1) return Status::InvalidArgument("--threads must be >= 1");
     if (rounds < 1) return Status::InvalidArgument("--rounds must be >= 1");
     if (replication < 1 || replication > args.nodes) {
@@ -527,9 +625,38 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
                      gather_args.migration_corrupt_rate > 0.0;
   if (chaos) cluster.AttachFaultInjector(&injector);
 
+  const QueryKind kind = ParseQueryKind(gather_args.query).value();
   const WorkloadSpec workload = UniformWorkload(
       static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys));
-  {
+  std::optional<D8Tree> tree;  // built only for --query=box
+  const uint32_t tree_level = gather_args.level > 0
+                                  ? static_cast<uint32_t>(gather_args.level)
+                                  : 4u;
+  if (kind == QueryKind::kBox) {
+    // Box queries run against the D8tree's denormalized cube partitions,
+    // not the uniform workload: every non-empty cube of every level is
+    // one partition keyed by CubeKey(level, morton).
+    AlyaParams params;
+    params.particles = static_cast<uint64_t>(args.elements);
+    params.seed = static_cast<uint64_t>(gather_args.seed);
+    const std::vector<Particle> particles = GenerateAlyaParticles(params);
+    tree.emplace(particles, tree_level);
+    SpanTracer::Scope load = tracer.StartSpan("load", cluster.master_track());
+    load.Attr("cubes", std::to_string(tree->AllCubes().size()));
+    for (const D8Tree::CubeRef& cube : tree->AllCubes()) {
+      const std::string key = CubeKey(cube.level, cube.morton);
+      for (const uint64_t id : tree->CubeParticles(cube.level, cube.morton)) {
+        Column column;
+        column.clustering = id;
+        column.type_id = particles[id].type;  // ids are dense indices
+        column.payload = MakePayload(cube.morton, id, kParticlePayloadBytes);
+        KV_CHECK(cluster.Put(workload.table, key, std::move(column)).ok());
+      }
+    }
+    SpanTracer::Scope flush =
+        tracer.StartSpan("flush-all", cluster.master_track());
+    cluster.FlushAll();
+  } else {
     SpanTracer::Scope load = tracer.StartSpan("load", cluster.master_track());
     load.Attr("partitions", std::to_string(workload.partitions.size()));
     uint64_t part_seed = 0;
@@ -610,6 +737,39 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
     return 1;
   }
 
+  QueryPlan plan;
+  switch (kind) {
+    case QueryKind::kCount:
+      plan = MakeCountPlan(workload);
+      break;
+    case QueryKind::kScan: {
+      ScanSpec spec;
+      spec.start = static_cast<uint64_t>(gather_args.scan_start);
+      spec.end = gather_args.scan_end < 0
+                     ? UINT64_MAX
+                     : static_cast<uint64_t>(gather_args.scan_end);
+      spec.limit = static_cast<uint32_t>(gather_args.limit);
+      plan = MakeScanPlan(workload, spec);
+      break;
+    }
+    case QueryKind::kTopK: {
+      TopKSpec spec;
+      spec.k = static_cast<uint32_t>(gather_args.k);
+      plan = MakeTopKPlan(workload, spec);
+      break;
+    }
+    case QueryKind::kBox: {
+      // Target cubes of roughly the mean size at the tree's deepest
+      // level: the granularity the operator asked for with --level.
+      const uint32_t target_keysize = static_cast<uint32_t>(std::max<uint64_t>(
+          1, tree->particle_count() >> (3 * tree_level)));
+      plan = MakeBoxPlan(*tree, workload.table,
+                         ParseBoxSpec(gather_args.box).value(),
+                         target_keysize);
+      break;
+    }
+  }
+
   GatherOptions options;
   options.max_attempts = static_cast<uint32_t>(gather_args.max_attempts);
   options.hedge = gather_args.hedge;
@@ -642,17 +802,18 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   if (gather_args.clients > 1) {
     // Multi-client mode: N threads hammer the shared runtime; the
     // figure of merit is queries/s at the master (paper Fig. 11).
-    const ConcurrentGatherReport report = cluster.CountByTypeAllConcurrent(
-        workload, static_cast<uint32_t>(gather_args.clients),
+    const ConcurrentGatherReport report = cluster.GatherConcurrent(
+        plan, static_cast<uint32_t>(gather_args.clients),
         static_cast<uint32_t>(gather_args.queries), options);
     uint64_t failed = 0;
     for (const GatherResult& r : report.results) failed += r.failed;
     std::printf(
-        "concurrent gather: %lld clients x %lld queries over %zu "
+        "concurrent %s gather: %lld clients x %lld queries over %zu "
         "partitions (replication %lld, max-inflight %lld)\n",
+        QueryKindName(kind).data(),
         static_cast<long long>(gather_args.clients),
         static_cast<long long>(gather_args.queries),
-        workload.partitions.size(),
+        plan.partitions.size(),
         static_cast<long long>(gather_args.replication),
         static_cast<long long>(gather_args.max_inflight));
     std::printf(
@@ -676,25 +837,78 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   GatherResult result;
   for (int64_t r = 0; r < gather_args.rounds; ++r) {
     result = gather_args.threads > 1
-                 ? cluster.CountByTypeAllParallel(
-                       workload, static_cast<uint32_t>(gather_args.threads),
+                 ? cluster.GatherParallel(
+                       plan, static_cast<uint32_t>(gather_args.threads),
                        options)
-                 : cluster.CountByTypeAll(workload, options);
+                 : cluster.Gather(plan, options);
   }
 
   uint64_t total = 0;
   for (const auto& [type, count] : result.totals) total += count;
-  std::printf("real scatter/gather over %zu partitions x %lld rounds "
+  std::printf("real %s scatter/gather over %zu partitions x %lld rounds "
               "(%lld thread%s, replication %lld):\n",
-              workload.partitions.size(),
+              QueryKindName(kind).data(), plan.partitions.size(),
               static_cast<long long>(gather_args.rounds),
               static_cast<long long>(gather_args.threads),
               gather_args.threads > 1 ? "s" : "",
               static_cast<long long>(gather_args.replication));
-  std::printf("  %llu elements counted across %zu types | %llu partitions "
-              "missing\n",
-              static_cast<unsigned long long>(total), result.totals.size(),
-              static_cast<unsigned long long>(result.partitions_missing));
+  switch (kind) {
+    case QueryKind::kCount:
+      std::printf("  %llu elements counted across %zu types | %llu "
+                  "partitions missing\n",
+                  static_cast<unsigned long long>(total),
+                  result.totals.size(),
+                  static_cast<unsigned long long>(result.partitions_missing));
+      break;
+    case QueryKind::kScan:
+      std::printf("  scan [%lld, %s] limit %lld -> %zu rows",
+                  static_cast<long long>(gather_args.scan_start),
+                  gather_args.scan_end < 0
+                      ? "inf"
+                      : std::to_string(gather_args.scan_end).c_str(),
+                  static_cast<long long>(gather_args.limit),
+                  result.rows.size());
+      if (!result.rows.empty()) {
+        std::printf(" (clustering %llu..%llu)",
+                    static_cast<unsigned long long>(
+                        result.rows.front().clustering),
+                    static_cast<unsigned long long>(
+                        result.rows.back().clustering));
+      }
+      std::printf(" | %llu partitions missing\n",
+                  static_cast<unsigned long long>(result.partitions_missing));
+      break;
+    case QueryKind::kTopK:
+      std::printf("  top-%lld -> %zu rows",
+                  static_cast<long long>(gather_args.k), result.rows.size());
+      if (!result.rows.empty()) {
+        std::printf(" (clustering %llu down to %llu)",
+                    static_cast<unsigned long long>(
+                        result.rows.front().clustering),
+                    static_cast<unsigned long long>(
+                        result.rows.back().clustering));
+      }
+      std::printf(" | %llu partitions missing\n",
+                  static_cast<unsigned long long>(result.partitions_missing));
+      break;
+    case QueryKind::kBox: {
+      uint64_t boundary = 0;
+      for (const auto& [type, count] : result.boundary_totals) {
+        boundary += count;
+      }
+      std::printf("  %llu elements in fully-covered cubes (+%llu in "
+                  "boundary cubes needing filtering) across %zu types\n",
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(boundary),
+                  result.totals.size());
+      std::printf("  D8tree pruning: %llu partitions touched, %llu pruned "
+                  "of %llu candidate cubes\n",
+                  static_cast<unsigned long long>(result.partitions_touched),
+                  static_cast<unsigned long long>(result.partitions_pruned),
+                  static_cast<unsigned long long>(plan.candidate_partitions));
+      break;
+    }
+  }
   std::printf("  sub-queries: %llu completed, %llu failed | %llu retries, "
               "%llu hedged%s\n",
               static_cast<unsigned long long>(result.completed),
@@ -737,6 +951,9 @@ void PrintUsage() {
       "  bands      Monte-Carlo percentile bands of the prediction\n"
       "  gather     real scatter/gather over in-process stores, with\n"
       "             store/cluster telemetry (try --rounds 2 for cache hits);\n"
+      "             query flags: --query {count,scan,topk,box}\n"
+      "             --scan-start --scan-end --limit (scan) | --k (topk)\n"
+      "             --box=x0,y0,z0,x1,y1,z1 --level (box)\n"
       "             chaos flags: --replication --fail-node --fail-rate\n"
       "             --corrupt-rate --deadline-ms --max-attempts --hedge\n"
       "             membership flags: --join-node --decommission-node\n"

@@ -19,7 +19,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # message-vs-direct parity (including the chaos run), parallel gathers,
 # and concurrent store reads.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency|SharedRuntime|AdmissionControl|ConcurrentGather|Membership|MigrationFault'
+  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency|SharedRuntime|AdmissionControl|ConcurrentGather|Membership|MigrationFault|QueryPlan|BoxQuery'
 
 # One sanitized end-to-end run over the wire: batched compact frames,
 # multiple workers per node, chaos on top.
@@ -32,5 +32,15 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 ./build-tsan/tools/kvscale gather --nodes 4 --keys 40 --elements 4000 \
   --replication 2 --fail-rate 0.01 --max-attempts 4 --codec compact \
   --batch --workers-per-node 2 --clients 6 --queries 2 --max-inflight 4
+
+# The non-count plans through the same shared engine: a range scan with
+# concurrent clients, and a top-k merge over the parallel path — both
+# exercise the per-sub-query row buffers under threads.
+./build-tsan/tools/kvscale gather --query scan --scan-start 10 \
+  --scan-end 80 --limit 200 --nodes 4 --keys 40 --elements 4000 \
+  --replication 2 --codec compact --batch --workers-per-node 2 \
+  --clients 4 --queries 2
+./build-tsan/tools/kvscale gather --query topk --k 25 --nodes 4 \
+  --keys 40 --elements 4000 --replication 2 --threads 4
 
 echo "race_check: OK"
