@@ -1,0 +1,26 @@
+// Fixture bodies for pair.hpp (see there). Never compiled.
+#include "pair.hpp"
+
+void Alpha::Lead() {
+  MutexLock lock(mu_);
+  peer_->Grab();
+}
+
+void Alpha::Grab() {
+  MutexLock lock(mu_);
+}
+
+void Beta::Lead() {
+  MutexLock lock(mu_);
+  peer_->Grab();
+}
+
+void Beta::Grab() {
+  MutexLock lock(mu_);
+}
+
+void Gamma::Stall() {
+  MutexLock outer(wait_mu_);
+  MutexLock inner(extra_mu_);
+  cv_.Wait(wait_mu_);
+}

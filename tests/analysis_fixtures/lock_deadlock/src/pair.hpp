@@ -1,0 +1,39 @@
+// Fixture: a textbook lock-order inversion. Alpha::Lead locks its own
+// mutex and calls into Beta, whose Lead does the mirror image — the
+// analyzer must prove {Alpha::mu_, Beta::mu_} form a cycle. Never
+// compiled; parsed by tests/analysis_test.cpp.
+#pragma once
+
+class Beta;
+
+class Alpha {
+ public:
+  void Lead();
+  void Grab();
+
+ private:
+  Beta* peer_ = nullptr;
+  Mutex mu_;
+};
+
+class Beta {
+ public:
+  void Lead();
+  void Grab();
+
+ private:
+  Alpha* peer_ = nullptr;
+  Mutex mu_;
+};
+
+/// Waits on one capability while holding a second: the wait releases
+/// only wait_mu_, so the thread that would signal blocks on extra_mu_.
+class Gamma {
+ public:
+  void Stall();
+
+ private:
+  Mutex wait_mu_;
+  Mutex extra_mu_;
+  CondVar cv_;
+};

@@ -1,0 +1,21 @@
+// Fixture bodies for chain.hpp (see there). Never compiled.
+#include "chain.hpp"
+
+void Back::Touch() {
+  MutexLock lock(mu_);
+}
+
+void Front::Lead() {
+  MutexLock lock(mu_);
+  back_->Touch();
+  RefreshLocked();
+}
+
+void Front::Refresh() {
+  MutexLock lock(mu_);
+  RefreshLocked();
+}
+
+void Front::RefreshLocked() {
+  back_->Touch();
+}

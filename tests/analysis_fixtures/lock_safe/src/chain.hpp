@@ -1,0 +1,25 @@
+// Fixture: the same two-class shape as lock_deadlock, but the lock
+// order is a strict hierarchy (Front::mu_ before Back::mu_, never the
+// reverse), plus a KV_REQUIRES helper that must NOT count as a
+// re-acquisition. The analyzer must report nothing. Never compiled.
+#pragma once
+
+class Back {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;
+};
+
+class Front {
+ public:
+  void Lead();
+  void Refresh();
+
+ private:
+  void RefreshLocked() KV_REQUIRES(mu_);
+
+  Back* back_ = nullptr;
+  Mutex mu_;
+};

@@ -1,0 +1,14 @@
+// Fixture: three seeded metric-registry defects — a near-collision pair
+// (one trailing 's'), one name registered as two instrument kinds, and
+// one undocumented name — plus a documented dynamic family that must
+// stay clean. Never compiled.
+#include "instruments.hpp"
+
+void TouchInstruments(MetricsRegistry& registry, const std::string& label) {
+  registry.GetCounter("fixture.read.errors").Increment();
+  registry.GetCounter("fixture.read.error").Increment();
+  registry.GetGauge("fixture.queue.depth").Set(1.0);
+  registry.GetHistogram("fixture.queue.depth").Record(2.0);
+  registry.GetCounter("fixture.undocumented.total").Increment();
+  registry.GetHistogram("fixture.stage." + label).Record(3.0);
+}

@@ -1,0 +1,7 @@
+// Fixture registration with a seeded gap: OrderRequest is never
+// registered with the compact codec. Never compiled.
+#include "messages.hpp"
+
+void RegisterClusterMessages(CompactCodec& codec) {
+  codec.Register<DriftRequest>();
+}

@@ -1,0 +1,37 @@
+// Fixture: every way a message's Visit can drift from its declaration.
+// DriftRequest skips a member, visits one twice, references a ghost,
+// mislabels another, and declares an unencodable type; OrderRequest
+// visits in reverse declaration order. Never compiled.
+#pragma once
+
+struct DriftRequest {
+  static constexpr std::string_view kTypeName = "drift_request";
+
+  uint32_t sequence = 0;
+  std::string payload;
+  uint64_t skipped = 0;
+  uint64_t renamed_member = 0;
+  std::map<uint32_t, uint32_t> weird;
+
+  template <typename V>
+  void Visit(V& v) {
+    v.Field("sequence", sequence);
+    v.Field("payload", payload);
+    v.Field("payload", payload);
+    v.Field("ghost", ghost);
+    v.Field("renamed", renamed_member);
+  }
+};
+
+struct OrderRequest {
+  static constexpr std::string_view kTypeName = "order_request";
+
+  uint32_t first = 0;
+  uint32_t second = 0;
+
+  template <typename V>
+  void Visit(V& v) {
+    v.Field("second", second);
+    v.Field("first", first);
+  }
+};

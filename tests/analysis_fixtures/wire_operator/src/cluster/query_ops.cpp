@@ -1,0 +1,11 @@
+// Fixture operator switch with two seeded gaps: kOpScan has no case and
+// there is no default arm rejecting unknown ids. Never compiled.
+#include "query_ops.hpp"
+
+Status ExecuteSubQuery(QueryOp op) {
+  switch (op) {
+    case kOpPing:
+      return Pong();
+  }
+  return Status::Ok();
+}

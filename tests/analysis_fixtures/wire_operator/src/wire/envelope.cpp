@@ -1,0 +1,9 @@
+// Fixture decode path with a seeded gap: the operator id is decoded
+// straight into the sub-query with no IsKnownQueryOp gate. Never
+// compiled.
+#include "envelope.hpp"
+
+Status DecodeSubQuery(WireReader& r, SubQuery& out) {
+  out.op = r.ReadU32();
+  return Status::Ok();
+}

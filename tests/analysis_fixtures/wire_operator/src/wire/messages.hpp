@@ -1,0 +1,11 @@
+// Fixture: the QueryOp enum gained an operator (kOpScan) and a wrong
+// count, but the execution switch and the decode gate never followed.
+// Never compiled.
+#pragma once
+
+enum QueryOp : uint32_t {
+  kOpPing = 0,
+  kOpScan = 1,
+};
+
+inline constexpr uint32_t kQueryOpCount = 3;

@@ -1,0 +1,12 @@
+// Fixture operator switch: every QueryOp enumerator has a case and the
+// default arm rejects unknown ids. Never compiled.
+#include "query_ops.hpp"
+
+Status ExecuteSubQuery(QueryOp op) {
+  switch (op) {
+    case kOpPing:
+      return Pong();
+    default:
+      return Status::Corruption("unknown operator");
+  }
+}

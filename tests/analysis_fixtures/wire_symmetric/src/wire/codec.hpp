@@ -1,0 +1,42 @@
+// Fixture codecs: the four Field-overload sets (tagged/compact x
+// writer/reader) all support the same two types, and the tagged pair
+// agrees on every FieldTag. Never compiled.
+#pragma once
+
+class TaggedCodec {
+ public:
+  struct Writer {
+    void Field(std::string_view name, uint32_t& v) {
+      Head(name, FieldTag::kU32);
+      out.WriteU32(v);
+    }
+    void Field(std::string_view name, std::string& v) {
+      Head(name, FieldTag::kString);
+      out.WriteString(v);
+    }
+  };
+
+  struct Reader {
+    void Field(std::string_view name, uint32_t& v) {
+      Head(name, FieldTag::kU32);
+      v = in.ReadU32();
+    }
+    void Field(std::string_view name, std::string& v) {
+      Head(name, FieldTag::kString);
+      v = in.ReadString();
+    }
+  };
+};
+
+class CompactCodec {
+ public:
+  struct Writer {
+    void Field(std::string_view, uint32_t& v) { out.WriteVarint(v); }
+    void Field(std::string_view, std::string& v) { out.WriteString(v); }
+  };
+
+  struct Reader {
+    void Field(std::string_view, uint32_t& v) { v = in.ReadVarint(); }
+    void Field(std::string_view, std::string& v) { v = in.ReadString(); }
+  };
+};

@@ -1,0 +1,11 @@
+// Fixture decode gate: the sub-query decode path rejects unknown
+// operator ids before they reach execution. Never compiled.
+#include "envelope.hpp"
+
+Status DecodeSubQuery(WireReader& r, SubQuery& out) {
+  out.op = r.ReadU32();
+  if (!IsKnownQueryOp(out.op)) {
+    return Status::Corruption("unknown query op");
+  }
+  return Status::Ok();
+}

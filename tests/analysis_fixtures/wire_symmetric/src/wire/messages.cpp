@@ -1,0 +1,7 @@
+// Fixture registration: every message struct is registered. Never
+// compiled.
+#include "messages.hpp"
+
+void RegisterClusterMessages(CompactCodec& codec) {
+  codec.Register<PingRequest>();
+}

@@ -1,0 +1,24 @@
+// Fixture: one wire message whose Visit is perfectly symmetric with its
+// declaration (every member visited once, in order, under its own
+// name), and a QueryOp enum whose count matches. The wire-drift pass
+// must report nothing. Never compiled.
+#pragma once
+
+struct PingRequest {
+  static constexpr std::string_view kTypeName = "ping_request";
+
+  uint32_t sequence = 0;
+  std::string payload;
+
+  template <typename V>
+  void Visit(V& v) {
+    v.Field("sequence", sequence);
+    v.Field("payload", payload);
+  }
+};
+
+enum QueryOp : uint32_t {
+  kOpPing = 0,
+};
+
+inline constexpr uint32_t kQueryOpCount = 1;

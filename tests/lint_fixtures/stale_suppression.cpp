@@ -1,0 +1,20 @@
+// Fixture: suppressions whose rule no longer fires. Each marker below is
+// syntactically valid (known rule, justification present) but dead — the
+// code it once excused has been fixed — so each must be reported as
+// stale-suppression. Linted as src/sim/fixture.cpp.
+#include <cstdint>
+
+// A line marker covering the next line, but the line is clean now.
+// kvscale-lint: allow(sim-wallclock) the wall-clock read was removed
+uint64_t Now() { return 42; }
+
+// A trailing marker on a clean line.
+uint64_t Later() { return 43; }  // kvscale-lint: allow(discarded-status) call was dropped
+
+// A file-wide marker for a rule that fires nowhere in this file.
+// kvscale-lint: allow-file(raw-mutex) the raw mutex member is gone
+
+// A live marker for contrast: it suppresses a real violation and must
+// NOT be reported as stale.
+// kvscale-lint: allow(stdout-in-lib) fixture exercises a live marker
+int Print() { return puts("ok"); }

@@ -179,6 +179,22 @@ TEST(SuppressionTest, DefectiveMarkersAreThemselvesFindings) {
   EXPECT_EQ(LinesOf(findings), (std::vector<int>{9, 10, 15, 16, 21, 22}));
 }
 
+TEST(SuppressionTest, StaleMarkersAreReported) {
+  const auto findings = LintFileContent("src/sim/fixture.cpp",
+                                        ReadFixture("stale_suppression.cpp"));
+  // Three dead markers (line allow, trailing allow, allow-file) are
+  // stale; the live stdout-in-lib marker at the bottom is not.
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"stale-suppression",
+                                      "stale-suppression",
+                                      "stale-suppression"}));
+  EXPECT_EQ(LinesOf(findings), (std::vector<int>{8, 12, 15}));
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("remove the stale"), std::string::npos)
+        << FormatFinding(f);
+  }
+}
+
 TEST(SuppressionTest, MarkerInsideStringLiteralIsInert) {
   // The marker text lives in a string literal, so it must neither
   // suppress the violation on the next line nor count as a marker.

@@ -36,7 +36,7 @@ WorkloadSpec LoadCluster(InProcessCluster& cluster, int partitions,
       ++truth[i % 3];
     }
     workload.partitions.push_back(
-        PartitionRef{key, static_cast<uint64_t>(columns)});
+        PartitionRef{key, static_cast<uint32_t>(columns)});
   }
   cluster.FlushAll();
   return workload;

@@ -1,0 +1,113 @@
+// Cross-file static analysis passes (stage 2-4 of tools/static_check.sh).
+//
+// Three passes, all built on the comment/string-aware scanner in
+// tools/lint/source_view.hpp, all emitting lint-style findings
+// ("file:line: [analysis-id] message"):
+//
+//   lock-graph      parses Mutex/SharedMutex members, MutexLock RAII
+//                   sites, KV_REQUIRES/KV_ACQUIRE annotations and the
+//                   call graph across src/ into a global
+//                   lock-acquisition-order graph; reports cycles
+//                   (lock-order inversions = potential deadlocks, id
+//                   `lock-cycle`) and CondVar waits executed while a
+//                   second capability is held (id `wait-holding`)
+//   wire-drift      proves the visit-pattern message set coherent: per
+//                   message, declared fields == visited fields in
+//                   declaration order (`wire-visit-drift`,
+//                   `wire-field-order`); the four codec Field-overload
+//                   sets (tagged/compact x writer/reader) agree and the
+//                   tagged reader/writer use the same FieldTag per type
+//                   (`wire-codec-asymmetry`); every message is
+//                   registered with the compact codec
+//                   (`wire-unregistered-message`); every QueryOp
+//                   enumerator is handled by the operator switch and
+//                   gated at decode (`wire-operator-unhandled`,
+//                   `wire-operator-count`, `wire-decode-gate`)
+//   metric-registry collects every literal Get{Counter,Gauge,Histogram}
+//                   name tree-wide; reports near-collision pairs
+//                   (`metric-collision`), one name registered as two
+//                   instrument kinds (`metric-kind-overlap`) and names
+//                   missing from docs/OBSERVABILITY.md
+//                   (`metric-undocumented`); can emit the registry as
+//                   JSON for CI consumption
+//
+// Proven-safe exceptions live in tools/lint/analysis/ANALYSIS_WHITELIST.txt,
+// one entry per line, justification mandatory:
+//
+//   lock-order: From::mu_ -> To::mu_ -- why this edge cannot deadlock
+//   wait-holding: Class::Method -- why waiting with extra locks is safe
+//   metric-pair: name.a ~ name.b -- why these similar names are distinct
+//   metric-kind: name.or.prefix -- why two instrument kinds share it
+//
+// Malformed or unused (stale) entries are findings (`analysis-whitelist`).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace kvscale::lint {
+
+/// One proven-safe exception from ANALYSIS_WHITELIST.txt.
+struct WhitelistEntry {
+  int line = 0;
+  std::string kind;     ///< lock-order | wait-holding | metric-pair | metric-kind
+  std::string subject;  ///< normalized (no spaces): "A->B", "a~b", "Class::Fn"
+  std::string reason;
+  bool used = false;    ///< flips when the entry suppresses a finding
+};
+
+/// Parsed whitelist plus the findings its malformed lines produce.
+struct Whitelist {
+  std::string rel_path;  ///< repo-relative path, used in findings
+  std::vector<WhitelistEntry> entries;
+  std::vector<Finding> problems;
+
+  /// True (and marks the entry used) when an entry matches.
+  bool Allow(std::string_view kind, std::string_view subject);
+
+  /// `analysis-whitelist` findings for entries that never matched.
+  /// Only meaningful after every pass that consults the whitelist ran.
+  std::vector<Finding> StaleEntries() const;
+};
+
+/// Loads `file` (missing file => empty whitelist, no findings).
+Whitelist LoadWhitelist(const std::filesystem::path& file,
+                        std::string_view rel_path);
+
+/// One literal metrics-registry instrument extracted from the tree.
+struct MetricInstrument {
+  std::string name;   ///< literal (a namespace prefix when `dynamic`)
+  std::string kind;   ///< counter | gauge | histogram
+  std::string file;   ///< repo-relative path
+  int line = 0;
+  bool dynamic = false;  ///< literal is concatenated with an expression
+};
+
+/// Pass 1: lock-acquisition-order graph over src/. Consults `wl` for
+/// lock-order and wait-holding exceptions.
+std::vector<Finding> AnalyzeLockGraph(const std::filesystem::path& root,
+                                      Whitelist& wl);
+
+/// Pass 2: wire-protocol drift over src/wire/ + src/cluster/query_ops.cpp.
+std::vector<Finding> AnalyzeWireDrift(const std::filesystem::path& root);
+
+/// Pass 3: metric-name registry over src/, bench/, tools/ and examples/.
+/// Consults `wl` for metric-pair / metric-kind exceptions. When
+/// `registry_out` is non-null the extracted instruments are appended,
+/// sorted by (name, kind).
+std::vector<Finding> AnalyzeMetricRegistry(
+    const std::filesystem::path& root, Whitelist& wl,
+    std::vector<MetricInstrument>* registry_out);
+
+/// Stable JSON rendering of findings: {"findings":[{file,line,id,message}]}.
+std::string FindingsJson(const std::vector<Finding>& findings);
+
+/// Stable JSON rendering of the metric registry:
+/// {"metrics":[{name,kind,file,line,dynamic}]}.
+std::string MetricRegistryJson(const std::vector<MetricInstrument>& metrics);
+
+}  // namespace kvscale::lint

@@ -1,0 +1,1120 @@
+// Pass 1: global lock-acquisition-order graph over src/.
+//
+// A lightweight structural parse (scope tracking over the
+// comment/string-blanked code view) recovers, per class, its
+// Mutex/SharedMutex capability members, CondVar members, member types
+// and method set; and per function, its RAII acquisitions (MutexLock /
+// WriterMutexLock / ReaderMutexLock), KV_REQUIRES / KV_ACQUIRE
+// annotations, CondVar waits, and resolved call sites with the set of
+// capabilities held at each site. A may-acquire fixpoint over the call
+// graph then yields the interprocedural edge set "holding A, acquires
+// B"; any strongly-connected component in that graph is a lock-order
+// inversion (potential deadlock), and any CondVar wait executed while a
+// second capability is held is a lost-wakeup/deadlock hazard.
+//
+// Precision choices (all toward fewer false positives):
+//  * A call site only contributes edges when its receiver chain resolves
+//    to a known class that defines the method; unresolvable receivers
+//    are skipped.
+//  * Lambda bodies are not attributed to the enclosing function (they
+//    often run on another thread, where the caller's locks are NOT
+//    held); methods a lambda calls are still analyzed on their own.
+//  * KV_REQUIRES capabilities are entry-held, not acquired: calling a
+//    *Locked() helper adds no edge for the lock the caller already
+//    holds, but the helper's body is analyzed with that lock held.
+//
+// src/common/thread_annotations.hpp is excluded: it is the one file
+// allowed to use raw primitives, and its wrappers' lock semantics are
+// what this pass models.
+#include "analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "source_view.hpp"
+
+namespace kvscale::lint {
+
+namespace {
+
+constexpr std::string_view kLockCycle = "lock-cycle";
+constexpr std::string_view kWaitHolding = "wait-holding";
+
+bool IsKeyword(std::string_view word) {
+  static const std::set<std::string_view> kWords = {
+      "if",     "for",      "while",       "switch",     "do",
+      "else",   "try",      "catch",       "return",     "sizeof",
+      "new",    "delete",   "static_cast", "const_cast", "dynamic_cast",
+      "co_await", "reinterpret_cast", "alignof", "decltype", "assert",
+      "case",   "default",  "throw",       "goto",       "operator"};
+  return kWords.count(word) > 0;
+}
+
+/// Collapses every whitespace run to one space and trims.
+std::string Collapse(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_space = true;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> IdentifiersIn(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (IsIdentChar(text[i])) {
+      size_t j = i;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      out.emplace_back(text.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct ClassInfo {
+  std::set<std::string> capabilities;  ///< Mutex/SharedMutex member names
+  std::set<std::string> condvars;
+  std::map<std::string, std::string> member_types;  ///< name -> type text
+  std::set<std::string> methods;
+};
+
+/// One interesting point in a function body, with the capabilities that
+/// are (locally) held when control reaches it.
+struct BodySite {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> held;
+  std::string acquires;  ///< capability, for RAII sites
+  std::string callee;    ///< function id, for resolved call sites
+  std::string wait_cap;  ///< capability a CondVar wait releases
+};
+
+struct FunctionInfo {
+  std::string cls;
+  std::set<std::string> requires_caps;
+  std::set<std::string> acquire_caps;  ///< KV_ACQUIRE on the signature
+  std::vector<BodySite> sites;
+};
+
+struct Model {
+  std::map<std::string, ClassInfo> classes;
+  std::map<std::string, FunctionInfo> functions;
+  /// member name -> classes declaring it (unique-member fallback)
+  std::map<std::string, std::set<std::string>> member_owners;
+};
+
+// ---------------------------------------------------------------------------
+// Structural parser
+// ---------------------------------------------------------------------------
+
+class FileParser {
+ public:
+  FileParser(Model& model, std::string file, const FileView& view)
+      : model_(model), file_(std::move(file)), view_(view) {}
+
+  void Run() {
+    bool preproc_continues = false;
+    for (size_t i = 0; i < view_.code.size(); ++i) {
+      line_no_ = static_cast<int>(i) + 1;
+      const std::string& line = view_.code[i];
+      const std::string_view trimmed = Trim(line);
+      if (preproc_continues || StartsWith(trimmed, "#")) {
+        preproc_continues = !trimmed.empty() && trimmed.back() == '\\';
+        continue;
+      }
+      for (const char c : line) {
+        if (c == '{') {
+          OpenBrace();
+        } else if (c == '}') {
+          CloseBrace();
+        } else if (c == ';') {
+          EndStatement();
+        } else {
+          if (stmt_.empty() && (c == ' ' || c == '\t')) continue;
+          if (stmt_.empty()) stmt_line_ = line_no_;
+          stmt_.push_back(c);
+        }
+      }
+      if (!stmt_.empty()) stmt_.push_back(' ');
+    }
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kLambda, kBlock, kOther };
+    Kind kind = kBlock;
+    std::string name;         ///< class name / function id
+    std::string cls;          ///< enclosing class of a kFunction scope
+    std::string resume_text;  ///< kOther: statement text to restore on close
+    bool resume = false;
+    /// Range-for loop variables mapped to candidate classes within this
+    /// scope.
+    std::map<std::string, std::set<std::string>> loop_vars;
+  };
+
+  struct HeldLock {
+    std::string cap;
+    size_t depth;  ///< scope-stack size the RAII object lives at
+  };
+
+  // -- scope helpers --------------------------------------------------------
+
+  Scope* InnermostFunction() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kLambda) return nullptr;  // deferred context
+      if (it->kind == Scope::kFunction) return &*it;
+      if (it->kind == Scope::kClass) return nullptr;
+    }
+    return nullptr;
+  }
+
+  Scope* InnermostClass() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return &*it;
+      if (it->kind == Scope::kFunction || it->kind == Scope::kLambda) {
+        break;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Class names to try for unqualified member/capability lookups, inner
+  /// first: the current function's class, then enclosing class scopes.
+  std::vector<std::string> ClassContext() {
+    std::vector<std::string> out;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction && !it->cls.empty()) {
+        out.push_back(it->cls);
+      }
+      if (it->kind == Scope::kClass) out.push_back(it->name);
+    }
+    return out;
+  }
+
+  // -- brace / statement dispatch -------------------------------------------
+
+  void OpenBrace() {
+    const std::string head = Collapse(StripLabels(stmt_));
+    const std::string saved = stmt_;
+    stmt_.clear();
+    Scope scope;
+    if (head.empty()) {
+      scope.kind = Scope::kBlock;
+    } else if (FirstToken(head) == "namespace") {
+      scope.kind = Scope::kNamespace;
+    } else if (head.find("enum") != std::string::npos &&
+               MatchesWord(head, "enum")) {
+      scope.kind = Scope::kOther;
+      scope.resume = true;
+      scope.resume_text = saved;
+    } else if (std::string cls = ClassHeadName(head); !cls.empty()) {
+      scope.kind = Scope::kClass;
+      scope.name = std::move(cls);
+      model_.classes[scope.name];  // ensure the class is known
+    } else if (IsLambdaHead(head)) {
+      scope.kind = Scope::kLambda;
+    } else if (const std::string first = FirstToken(head);
+               first == "if" || first == "for" || first == "while" ||
+               first == "switch" || first == "do" || first == "else" ||
+               first == "try" || first == "catch") {
+      scope.kind = Scope::kBlock;
+      if (Scope* fn = InnermostFunction()) {
+        if (first == "for") MapRangeForVars(head, scope);
+        ScanExecutableText(head, *fn);
+      }
+    } else if (head.find('(') != std::string::npos && FunctionHead(head, scope)) {
+      // scope filled in by FunctionHead
+    } else {
+      // Brace-init of a member/variable, an array initializer, or
+      // something else that is not a new control scope: restore the
+      // statement once the brace closes so `Type x{0};` still parses as
+      // one declaration.
+      scope.kind = Scope::kOther;
+      scope.resume = true;
+      scope.resume_text = saved;
+    }
+    scopes_.push_back(std::move(scope));
+  }
+
+  void CloseBrace() {
+    std::string resume;
+    if (!scopes_.empty()) {
+      if (scopes_.back().resume) resume = scopes_.back().resume_text;
+      scopes_.pop_back();
+    }
+    // RAII locks die with their scope.
+    while (!held_.empty() && held_.back().depth > scopes_.size()) {
+      held_.pop_back();
+    }
+    stmt_ = std::move(resume);
+  }
+
+  void EndStatement() {
+    const std::string head = Collapse(StripLabels(stmt_));
+    stmt_.clear();
+    if (head.empty()) return;
+    if (Scope* fn = InnermostFunction()) {
+      ScanExecutableText(head, *fn);
+      return;
+    }
+    if (Scope* cls = InnermostClass()) {
+      ClassMemberStatement(head, cls->name);
+    }
+  }
+
+  /// Strips access specifiers and case labels off the statement front.
+  static std::string StripLabels(std::string_view text) {
+    std::string_view s = Trim(text);
+    for (;;) {
+      bool stripped = false;
+      for (std::string_view label : {"public:", "private:", "protected:"}) {
+        if (StartsWith(s, label)) {
+          s = Trim(s.substr(label.size()));
+          stripped = true;
+        }
+      }
+      if (!stripped) break;
+    }
+    return std::string(s);
+  }
+
+  static std::string FirstToken(std::string_view head) {
+    size_t i = 0;
+    while (i < head.size() && IsIdentChar(head[i])) ++i;
+    return std::string(head.substr(0, i));
+  }
+
+  /// "template <...> class Name ..." / "struct Name : Base" -> Name.
+  static std::string ClassHeadName(std::string_view head) {
+    std::string text(head);
+    if (StartsWith(text, "template")) {
+      // Drop the template<...> prefix (balanced angle brackets).
+      size_t i = text.find('<');
+      int depth = 0;
+      for (; i < text.size(); ++i) {
+        if (text[i] == '<') ++depth;
+        if (text[i] == '>' && --depth == 0) break;
+      }
+      if (i >= text.size()) return {};
+      text = std::string(Trim(std::string_view(text).substr(i + 1)));
+    }
+    const std::string first = FirstToken(text);
+    if (first != "class" && first != "struct") return {};
+    std::string_view rest = Trim(std::string_view(text).substr(first.size()));
+    // Skip attribute-like macro invocations (KV_CAPABILITY(...)).
+    while (StartsWith(rest, "KV_")) {
+      const size_t close = rest.find(')');
+      if (close == std::string_view::npos) return {};
+      rest = Trim(rest.substr(close + 1));
+    }
+    size_t i = 0;
+    while (i < rest.size() && IsIdentChar(rest[i])) ++i;
+    const std::string name(rest.substr(0, i));
+    if (name.empty() || name == "final") return {};
+    // `class Foo bar` is a variable of elaborated type, not a definition
+    // — but at brace-open time the next char is '{', so a bare name or a
+    // base-clause is what remains.
+    std::string_view after = Trim(rest.substr(i));
+    if (!after.empty() && after.front() != ':' && after != "final") return {};
+    return name;
+  }
+
+  static bool IsLambdaHead(std::string_view head) {
+    for (size_t i = 0; i < head.size(); ++i) {
+      if (head[i] != '[') continue;
+      if (i + 1 < head.size() && head[i + 1] == '[') return false;  // attr
+      const char prev = i == 0 ? '(' : head[i - 1];
+      if (IsIdentChar(prev) || prev == ')' || prev == ']') continue;
+      return true;  // capture-intro in expression position
+    }
+    return false;
+  }
+
+  /// Parses a function head ("Ret Class::Name(args) const KV_REQUIRES(x)").
+  /// Returns false when the brace is actually a member brace-initializer
+  /// inside a constructor init list.
+  bool FunctionHead(const std::string& head, Scope& scope) {
+    const size_t paren = head.find('(');
+    if (paren == std::string::npos) return false;
+    // After the LAST ')', only function-suffix tokens may remain;
+    // anything else (": member_" / ", member_") is an init-list brace.
+    const size_t last_close = head.rfind(')');
+    if (last_close == std::string::npos || last_close < paren) {
+      // `foo(` with no `)` yet cannot legally be followed by '{'.
+      return false;
+    }
+    std::string_view tail = Trim(std::string_view(head).substr(last_close + 1));
+    while (!tail.empty()) {
+      bool ok = false;
+      for (std::string_view suffix :
+           {"const", "noexcept", "override", "final", "try", "mutable"}) {
+        if (StartsWith(tail, suffix)) {
+          tail = Trim(tail.substr(suffix.size()));
+          ok = true;
+          break;
+        }
+      }
+      if (!ok && StartsWith(tail, "->")) {
+        tail = {};  // trailing return type: accept the rest
+        ok = true;
+      }
+      if (!ok) return false;
+    }
+    // Identifier immediately before the first '(' is the name; an
+    // immediately preceding "Class::" qualifies it.
+    size_t end = paren;
+    while (end > 0 && head[end - 1] == ' ') --end;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(head[begin - 1])) --begin;
+    if (begin > 0 && head[begin - 1] == '~') --begin;
+    std::string name = head.substr(begin, end - begin);
+    std::string cls;
+    if (begin >= 2 && head[begin - 1] == ':' && head[begin - 2] == ':') {
+      size_t cend = begin - 2;
+      size_t cbegin = cend;
+      while (cbegin > 0 && IsIdentChar(head[cbegin - 1])) --cbegin;
+      cls = head.substr(cbegin, cend - cbegin);
+    }
+    if (name.empty()) {
+      if (head.find("operator") == std::string::npos) return false;
+      name = "operator";
+    }
+    if (IsKeyword(name)) return false;
+    if (cls.empty()) {
+      if (const Scope* enclosing = InnermostClass()) cls = enclosing->name;
+    }
+    scope.kind = Scope::kFunction;
+    scope.cls = cls;
+    scope.name = FunctionId(cls, name);
+    FunctionInfo& fn = model_.functions[scope.name];
+    fn.cls = cls;
+    if (!cls.empty()) model_.classes[cls].methods.insert(name);
+    ParseSignatureAnnotations(head, cls, fn);
+    return true;
+  }
+
+  static std::string FunctionId(std::string_view cls, std::string_view name) {
+    return std::string(cls) + "::" + std::string(name);
+  }
+
+  /// KV_REQUIRES(a, b) / KV_ACQUIRE(a) on a signature or declaration.
+  void ParseSignatureAnnotations(const std::string& head,
+                                 const std::string& cls, FunctionInfo& fn) {
+    for (const auto& [macro, into] :
+         {std::pair<std::string_view, std::set<std::string>*>(
+              "KV_REQUIRES(", &fn.requires_caps),
+          std::pair<std::string_view, std::set<std::string>*>(
+              "KV_ACQUIRE(", &fn.acquire_caps)}) {
+      size_t pos = head.find(macro);
+      while (pos != std::string::npos) {
+        const size_t close = head.find(')', pos);
+        if (close == std::string::npos) break;
+        const std::string_view args = std::string_view(head).substr(
+            pos + macro.size(), close - pos - macro.size());
+        size_t start = 0;
+        while (start <= args.size()) {
+          size_t comma = args.find(',', start);
+          if (comma == std::string_view::npos) comma = args.size();
+          const std::string cap =
+              ResolveCapExpr(Collapse(args.substr(start, comma - start)), cls);
+          if (!cap.empty()) into->insert(cap);
+          start = comma + 1;
+        }
+        pos = head.find(macro, close);
+      }
+    }
+  }
+
+  // -- class bodies ---------------------------------------------------------
+
+  void ClassMemberStatement(const std::string& head, const std::string& cls) {
+    std::string text = head;
+    // Strip a KV_GUARDED_BY(...) / KV_PT_GUARDED_BY(...) annotation.
+    for (std::string_view macro : {"KV_GUARDED_BY(", "KV_PT_GUARDED_BY("}) {
+      const size_t pos = text.find(macro);
+      if (pos == std::string::npos) continue;
+      const size_t close = text.find(')', pos);
+      if (close == std::string::npos) continue;
+      text = text.substr(0, pos) + text.substr(close + 1);
+    }
+    const std::string first = FirstToken(text);
+    if (first == "using" || first == "friend" || first == "typedef" ||
+        first == "template" || first == "static" || first == "enum") {
+      return;
+    }
+    if (text.find('(') != std::string::npos) {
+      // Method declaration: record the name and any annotations so a
+      // definition in another file is analyzed with the right entry set.
+      const size_t paren = text.find('(');
+      size_t end = paren;
+      while (end > 0 && text[end - 1] == ' ') --end;
+      size_t begin = end;
+      while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+      if (begin > 0 && text[begin - 1] == '~') --begin;
+      const std::string name = text.substr(begin, end - begin);
+      if (name.empty() || IsKeyword(name)) return;
+      model_.classes[cls].methods.insert(name);
+      FunctionInfo& fn = model_.functions[FunctionId(cls, name)];
+      fn.cls = cls;
+      ParseSignatureAnnotations(text, cls, fn);
+      return;
+    }
+    // Data member: name is the last identifier; a trailing "= init" was
+    // cut off by the initializer expression having no braces/parens
+    // (brace initializers were handled by the resume mechanism).
+    const size_t eq = text.find('=');
+    if (eq != std::string::npos) text = text.substr(0, eq);
+    std::string_view s = Trim(text);
+    if (s.empty()) return;
+    size_t end = s.size();
+    if (!IsIdentChar(s[end - 1])) return;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(s[begin - 1])) --begin;
+    const std::string name(s.substr(begin, end - begin));
+    std::string type = Collapse(s.substr(0, begin));
+    for (std::string_view qualifier : {"mutable ", "inline "}) {
+      if (StartsWith(type, qualifier)) type = type.substr(qualifier.size());
+    }
+    if (type.empty() || name.empty()) return;
+    ClassInfo& info = model_.classes[cls];
+    if (type == "Mutex" || type == "SharedMutex") {
+      info.capabilities.insert(name);
+    } else if (type == "CondVar") {
+      info.condvars.insert(name);
+    } else {
+      info.member_types[name] = type;
+      model_.member_owners[name].insert(cls);
+    }
+  }
+
+  // -- function bodies ------------------------------------------------------
+
+  void MapRangeForVars(const std::string& head, Scope& scope) {
+    // for (decl : expr) — find the top-level ':' (not part of '::').
+    const size_t open = head.find('(');
+    if (open == std::string::npos) return;
+    int depth = 0;
+    size_t colon = std::string::npos, close = std::string::npos;
+    for (size_t i = open; i < head.size(); ++i) {
+      if (head[i] == '(') ++depth;
+      if (head[i] == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+      if (head[i] == ':' && depth == 1) {
+        const bool part_of_scope =
+            (i > 0 && head[i - 1] == ':') ||
+            (i + 1 < head.size() && head[i + 1] == ':');
+        if (!part_of_scope && colon == std::string::npos) colon = i;
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) return;
+    const std::string decl = head.substr(open + 1, colon - open - 1);
+    const std::string expr =
+        Collapse(head.substr(colon + 1, close - colon - 1));
+    const std::set<std::string> classes = ResolveExprClasses(expr);
+    if (classes.empty()) return;
+    // `auto& [a, b]` maps both bindings; `auto& x` maps x.
+    std::vector<std::string> vars;
+    const size_t bracket = decl.find('[');
+    if (bracket != std::string::npos) {
+      for (const std::string& id :
+           IdentifiersIn(std::string_view(decl).substr(bracket))) {
+        vars.push_back(id);
+      }
+    } else {
+      const std::vector<std::string> ids = IdentifiersIn(decl);
+      if (!ids.empty()) vars.push_back(ids.back());
+    }
+    for (const std::string& v : vars) scope.loop_vars[v] = classes;
+  }
+
+  /// Candidate lock-owning classes a member/loop expression may denote:
+  /// every known class named inside its type text.
+  std::set<std::string> TypeClasses(const std::string& type_text) {
+    std::set<std::string> out;
+    for (const std::string& id : IdentifiersIn(type_text)) {
+      if (model_.classes.count(id)) out.insert(id);
+    }
+    return out;
+  }
+
+  /// Resolves an expression (loop var, member, chain) to candidate
+  /// classes.
+  std::set<std::string> ResolveExprClasses(const std::string& expr) {
+    const std::vector<std::string> chain = SplitChain(expr);
+    if (chain.empty()) return {};
+    std::set<std::string> current = ResolveFirstLink(chain[0]);
+    for (size_t i = 1; i < chain.size() && !current.empty(); ++i) {
+      std::set<std::string> next;
+      for (const std::string& cls : current) {
+        const auto it = model_.classes.find(cls);
+        if (it == model_.classes.end()) continue;
+        const auto member = it->second.member_types.find(chain[i]);
+        if (member == it->second.member_types.end()) continue;
+        for (const std::string& c : TypeClasses(member->second)) {
+          next.insert(c);
+        }
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  /// Splits "a->b.c" into {a, b, c}; returns {} if the text is not a
+  /// pure identifier chain.
+  static std::vector<std::string> SplitChain(std::string_view expr) {
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < expr.size()) {
+      if (!IsIdentChar(expr[i])) return {};
+      size_t j = i;
+      while (j < expr.size() && IsIdentChar(expr[j])) ++j;
+      out.emplace_back(expr.substr(i, j - i));
+      i = j;
+      if (i == expr.size()) break;
+      if (expr[i] == '.') {
+        ++i;
+      } else if (i + 1 < expr.size() && expr[i] == '-' && expr[i + 1] == '>') {
+        i += 2;
+      } else {
+        return {};
+      }
+    }
+    return out;
+  }
+
+  std::set<std::string> ResolveFirstLink(const std::string& ident) {
+    if (ident == "this") {
+      std::set<std::string> out;
+      const std::vector<std::string> ctx = ClassContext();
+      if (!ctx.empty()) out.insert(ctx.front());
+      return out;
+    }
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->loop_vars.find(ident);
+      if (found != it->loop_vars.end()) return found->second;
+    }
+    for (const std::string& cls : ClassContext()) {
+      const auto it = model_.classes.find(cls);
+      if (it == model_.classes.end()) continue;
+      const auto member = it->second.member_types.find(ident);
+      if (member != it->second.member_types.end()) {
+        return TypeClasses(member->second);
+      }
+    }
+    return {};
+  }
+
+  /// "mu_" / "node->mu_" / "Class::mu_" -> fully-qualified capability.
+  std::string ResolveCapExpr(const std::string& expr,
+                             const std::string& fallback_cls) {
+    std::string text = Collapse(expr);
+    if (text.empty()) return {};
+    const size_t scope_sep = text.find("::");
+    if (scope_sep != std::string::npos) {
+      const std::string cls = text.substr(0, scope_sep);
+      const std::string cap = text.substr(scope_sep + 2);
+      const auto it = model_.classes.find(cls);
+      if (it != model_.classes.end() && it->second.capabilities.count(cap)) {
+        return cls + "::" + cap;
+      }
+      return {};
+    }
+    const std::vector<std::string> chain = SplitChain(text);
+    if (chain.empty()) return {};
+    if (chain.size() == 1) {
+      std::vector<std::string> ctx = ClassContext();
+      if (!fallback_cls.empty()) ctx.insert(ctx.begin(), fallback_cls);
+      for (const std::string& cls : ctx) {
+        const auto it = model_.classes.find(cls);
+        if (it != model_.classes.end() &&
+            it->second.capabilities.count(chain[0])) {
+          return cls + "::" + chain[0];
+        }
+      }
+      return {};
+    }
+    const std::vector<std::string> prefix(chain.begin(), chain.end() - 1);
+    std::string joined;
+    for (const std::string& link : prefix) {
+      if (!joined.empty()) joined += ".";
+      joined += link;
+    }
+    for (const std::string& cls : ResolveExprClasses(joined)) {
+      const auto it = model_.classes.find(cls);
+      if (it != model_.classes.end() &&
+          it->second.capabilities.count(chain.back())) {
+        return cls + "::" + chain.back();
+      }
+    }
+    return {};
+  }
+
+  std::vector<std::string> HeldSnapshot() const {
+    std::vector<std::string> out;
+    out.reserve(held_.size());
+    for (const HeldLock& h : held_) out.push_back(h.cap);
+    return out;
+  }
+
+  /// Extracts RAII acquisitions, CondVar waits and resolved calls from
+  /// one executable statement (or control-flow head) of `fn`.
+  void ScanExecutableText(const std::string& text, Scope& fn_scope) {
+    FunctionInfo& fn = model_.functions[fn_scope.name];
+    // RAII acquisition: `MutexLock name(expr)`.
+    const std::string first = FirstToken(text);
+    if (first == "MutexLock" || first == "WriterMutexLock" ||
+        first == "ReaderMutexLock") {
+      const size_t open = text.find('(');
+      const size_t close = text.rfind(')');
+      if (open != std::string::npos && close != std::string::npos &&
+          close > open) {
+        const std::string cap = ResolveCapExpr(
+            text.substr(open + 1, close - open - 1), fn_scope.cls);
+        if (!cap.empty()) {
+          BodySite site{file_, stmt_line_, HeldSnapshot(), cap, "", ""};
+          fn.sites.push_back(std::move(site));
+          held_.push_back({cap, scopes_.size()});
+        }
+      }
+      return;
+    }
+    ScanWaits(text, fn);
+    ScanCalls(text, fn_scope, fn);
+  }
+
+  void ScanWaits(const std::string& text, FunctionInfo& fn) {
+    for (std::string_view probe : {".Wait(", "->Wait(", ".WaitFor("}) {
+      size_t pos = text.find(probe);
+      while (pos != std::string::npos) {
+        const size_t open = pos + probe.size() - 1;
+        const size_t close = text.find_first_of(",)", open);
+        if (close != std::string::npos) {
+          const std::string cap = ResolveCapExpr(
+              Collapse(text.substr(open + 1, close - open - 1)), "");
+          if (!cap.empty()) {
+            fn.sites.push_back(
+                {file_, stmt_line_, HeldSnapshot(), "", "", cap});
+          }
+        }
+        pos = text.find(probe, pos + 1);
+      }
+    }
+  }
+
+  void ScanCalls(const std::string& text, Scope& fn_scope, FunctionInfo& fn) {
+    // Constructor calls via factories.
+    for (std::string_view factory : {"make_shared<", "make_unique<"}) {
+      size_t pos = text.find(factory);
+      while (pos != std::string::npos) {
+        const std::string_view after =
+            std::string_view(text).substr(pos + factory.size());
+        const std::vector<std::string> ids = IdentifiersIn(
+            after.substr(0, after.find('>')));
+        RecordCtorCall(ids, fn);
+        pos = text.find(factory, pos + 1);
+      }
+    }
+    size_t pos = text.find("new ");
+    while (pos != std::string::npos) {
+      const std::vector<std::string> ids =
+          IdentifiersIn(std::string_view(text).substr(pos + 4, 64));
+      RecordCtorCall(ids, fn);
+      pos = text.find("new ", pos + 1);
+    }
+    // Plain and chained method calls.
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] != '(') continue;
+      size_t end = i;
+      while (end > 0 && text[end - 1] == ' ') --end;
+      size_t begin = end;
+      while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+      if (begin == end) continue;
+      const std::string method = text.substr(begin, end - begin);
+      if (IsKeyword(method) || StartsWith(method, "KV_") ||
+          method == "Wait" || method == "WaitFor") {
+        continue;
+      }
+      // Qualified static call `Class::Method(`.
+      if (begin >= 2 && text[begin - 1] == ':' && text[begin - 2] == ':') {
+        size_t cend = begin - 2;
+        size_t cbegin = cend;
+        while (cbegin > 0 && IsIdentChar(text[cbegin - 1])) --cbegin;
+        const std::string cls = text.substr(cbegin, cend - cbegin);
+        const auto it = model_.classes.find(cls);
+        if (it != model_.classes.end() && it->second.methods.count(method)) {
+          fn.sites.push_back({file_, stmt_line_, HeldSnapshot(), "",
+                              FunctionId(cls, method), ""});
+        }
+        continue;
+      }
+      // Collect the receiver chain (a.b->c) ending at `method`.
+      std::vector<std::string> chain{method};
+      size_t cursor = begin;
+      bool pure = true;
+      while (cursor > 0) {
+        size_t sep_end = cursor;
+        if (text[sep_end - 1] == '.') {
+          cursor = sep_end - 1;
+        } else if (sep_end >= 2 && text[sep_end - 2] == '-' &&
+                   text[sep_end - 1] == '>') {
+          cursor = sep_end - 2;
+        } else {
+          break;
+        }
+        // `member_[i]->Method(`: a balanced subscript is transparent; the
+        // element class is recovered from the member's declared type.
+        while (cursor > 0 && text[cursor - 1] == ']') {
+          int depth = 1;
+          size_t k = cursor - 1;
+          while (k > 0 && depth > 0) {
+            --k;
+            if (text[k] == ']') ++depth;
+            if (text[k] == '[') --depth;
+          }
+          if (depth != 0) break;  // unbalanced: caught as impure below
+          cursor = k;
+        }
+        size_t lbegin = cursor;
+        while (lbegin > 0 && IsIdentChar(text[lbegin - 1])) --lbegin;
+        if (lbegin == cursor) {
+          pure = false;  // chain starts at ')' or ']' — give up
+          break;
+        }
+        chain.insert(chain.begin(), text.substr(lbegin, cursor - lbegin));
+        cursor = lbegin;
+      }
+      if (chain.size() == 1) {
+        // An impure single-link chain is `)->Method(` or similar: the
+        // receiver is unknown, NOT the enclosing class.
+        if (!pure) continue;
+        if (!fn_scope.cls.empty() &&
+            model_.classes[fn_scope.cls].methods.count(method)) {
+          fn.sites.push_back({file_, stmt_line_, HeldSnapshot(), "",
+                              FunctionId(fn_scope.cls, method), ""});
+        } else if (model_.classes.count(method)) {
+          RecordCtorCall({method}, fn);  // direct constructor call
+        }
+        continue;
+      }
+      std::set<std::string> classes;
+      if (pure) {
+        std::string receiver;
+        for (size_t k = 0; k + 1 < chain.size(); ++k) {
+          if (!receiver.empty()) receiver += ".";
+          receiver += chain[k];
+        }
+        classes = ResolveExprClasses(receiver);
+      }
+      if (classes.empty()) {
+        // Unique-member fallback: the direct receiver (penultimate link)
+        // may be a member name that exists in exactly the right classes.
+        const std::string& direct = chain[chain.size() - 2];
+        const auto owners = model_.member_owners.find(direct);
+        if (owners != model_.member_owners.end()) {
+          for (const std::string& owner : owners->second) {
+            for (const std::string& c :
+                 TypeClasses(model_.classes[owner].member_types[direct])) {
+              classes.insert(c);
+            }
+          }
+        }
+      }
+      // Of the candidates, keep those that define the method; a unique
+      // survivor is a resolved call, anything else is skipped.
+      std::vector<std::string> defining;
+      for (const std::string& cls : classes) {
+        if (model_.classes[cls].methods.count(method)) {
+          defining.push_back(cls);
+        }
+      }
+      if (defining.size() == 1) {
+        fn.sites.push_back({file_, stmt_line_, HeldSnapshot(), "",
+                            FunctionId(defining.front(), method), ""});
+      }
+    }
+  }
+
+  void RecordCtorCall(const std::vector<std::string>& ids, FunctionInfo& fn) {
+    for (const std::string& id : ids) {
+      if (model_.classes.count(id)) {
+        fn.sites.push_back({file_, stmt_line_, HeldSnapshot(), "",
+                            FunctionId(id, id), ""});
+        return;
+      }
+    }
+  }
+
+  Model& model_;
+  std::string file_;
+  const FileView& view_;
+  int line_no_ = 0;
+  int stmt_line_ = 0;
+  std::string stmt_;
+  std::vector<Scope> scopes_;
+  std::vector<HeldLock> held_;
+};
+
+// ---------------------------------------------------------------------------
+// Graph construction and cycle detection
+// ---------------------------------------------------------------------------
+
+struct Edge {
+  std::string file;
+  int line = 0;
+  std::string via;  ///< "" for a direct nested acquisition
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, Edge>;
+
+/// may-acquire fixpoint: every capability a function may take, directly
+/// or through any resolved callee.
+std::map<std::string, std::set<std::string>> MayAcquire(const Model& model) {
+  std::map<std::string, std::set<std::string>> ma;
+  for (const auto& [id, fn] : model.functions) {
+    std::set<std::string>& caps = ma[id];
+    caps = fn.acquire_caps;
+    for (const BodySite& site : fn.sites) {
+      if (!site.acquires.empty()) caps.insert(site.acquires);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [id, fn] : model.functions) {
+      std::set<std::string>& caps = ma[id];
+      for (const BodySite& site : fn.sites) {
+        if (site.callee.empty()) continue;
+        const auto it = ma.find(site.callee);
+        if (it == ma.end()) continue;
+        for (const std::string& cap : it->second) {
+          if (caps.insert(cap).second) changed = true;
+        }
+      }
+    }
+  }
+  return ma;
+}
+
+/// Tarjan strongly-connected components over the capability digraph.
+class SccFinder {
+ public:
+  explicit SccFinder(const EdgeMap& edges) {
+    for (const auto& [key, edge] : edges) {
+      adjacency_[key.first].push_back(key.second);
+      adjacency_[key.second];  // ensure the sink node exists
+    }
+  }
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const auto& [node, next] : adjacency_) {
+      if (!index_.count(node)) Strongconnect(node);
+    }
+    return components_;
+  }
+
+ private:
+  void Strongconnect(const std::string& v) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    for (const std::string& w : adjacency_[v]) {
+      if (!index_.count(w)) {
+        Strongconnect(w);
+        lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+      } else if (on_stack_.count(w)) {
+        lowlink_[v] = std::min(lowlink_[v], index_[w]);
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<std::string> component;
+      for (;;) {
+        const std::string w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        component.push_back(w);
+        if (w == v) break;
+      }
+      components_.push_back(std::move(component));
+    }
+  }
+
+  std::map<std::string, std::vector<std::string>> adjacency_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> components_;
+  int counter_ = 0;
+};
+
+std::string JoinCaps(const std::vector<std::string>& caps) {
+  std::string out;
+  for (const std::string& cap : caps) {
+    if (!out.empty()) out += ", ";
+    out += cap;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeLockGraph(const std::filesystem::path& root,
+                                      Whitelist& wl) {
+  Model model;
+  const std::vector<std::string> files = ListSourceFiles(
+      root, {"src"}, {"src/common/thread_annotations.hpp"});
+  std::vector<std::pair<std::string, FileView>> views;
+  views.reserve(files.size());
+  for (const std::string& rel : files) {
+    views.emplace_back(rel, BuildView(ReadFileOrEmpty(root / rel)));
+  }
+  // Headers first so class layouts are known when bodies are parsed,
+  // then everything again so .cpp-declared types are also complete.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [rel, view] : views) {
+      FileParser(model, rel, view).Run();
+      if (round == 0) {
+        // First round only collects declarations; throw away bodies.
+        for (auto& [id, fn] : model.functions) fn.sites.clear();
+      }
+    }
+    if (round == 0) {
+      for (auto& [id, fn] : model.functions) fn.sites.clear();
+    }
+  }
+
+  const std::map<std::string, std::set<std::string>> ma = MayAcquire(model);
+  if (const char* filt = std::getenv("KVSCALE_LOCK_DEBUG_FN")) {
+    for (const auto& [id, fn] : model.functions) {
+      if (id.find(filt) == std::string::npos) continue;
+      std::string req;
+      for (const auto& c : fn.requires_caps) req += c + " ";
+      std::string may;
+      if (const auto it = ma.find(id); it != ma.end()) {
+        for (const auto& c : it->second) may += c + " ";
+      }
+      std::fprintf(stderr, "FN %s cls=%s requires=[%s] ma=[%s]\n", id.c_str(),
+                   fn.cls.c_str(), req.c_str(), may.c_str());
+      for (const BodySite& site : fn.sites) {
+        std::string held;
+        for (const auto& c : site.held) held += c + " ";
+        std::fprintf(stderr,
+                     "  SITE %s:%d held=[%s] acquires=%s callee=%s wait=%s\n",
+                     site.file.c_str(), site.line, held.c_str(),
+                     site.acquires.c_str(), site.callee.c_str(),
+                     site.wait_cap.c_str());
+      }
+    }
+  }
+  std::vector<Finding> findings;
+  EdgeMap edges;
+  for (const auto& [id, fn] : model.functions) {
+    for (const BodySite& site : fn.sites) {
+      std::vector<std::string> held(fn.requires_caps.begin(),
+                                    fn.requires_caps.end());
+      for (const std::string& cap : site.held) {
+        if (std::find(held.begin(), held.end(), cap) == held.end()) {
+          held.push_back(cap);
+        }
+      }
+      if (!site.acquires.empty()) {
+        for (const std::string& h : held) {
+          edges.emplace(std::make_pair(h, site.acquires),
+                        Edge{site.file, site.line, ""});
+        }
+      } else if (!site.callee.empty()) {
+        const auto it = ma.find(site.callee);
+        if (it == ma.end()) continue;
+        const auto callee = model.functions.find(site.callee);
+        for (const std::string& h : held) {
+          for (const std::string& cap : it->second) {
+            // A capability the callee KV_REQUIRES is entry-held by
+            // contract, not acquired by the callee; any genuine deeper
+            // re-acquisition produces its own edge at the deeper site.
+            if (callee != model.functions.end() &&
+                callee->second.requires_caps.count(cap)) {
+              continue;
+            }
+            edges.emplace(std::make_pair(h, cap),
+                          Edge{site.file, site.line, site.callee});
+          }
+        }
+      } else if (!site.wait_cap.empty()) {
+        std::vector<std::string> extra;
+        for (const std::string& h : held) {
+          if (h != site.wait_cap) extra.push_back(h);
+        }
+        if (!extra.empty() && !wl.Allow("wait-holding", id)) {
+          findings.push_back(
+              {site.file, site.line, std::string(kWaitHolding),
+               id + " waits on " + site.wait_cap + " while holding " +
+                   JoinCaps(extra) +
+                   ": the held lock blocks the thread that would signal"});
+        }
+      }
+    }
+  }
+
+  if (std::getenv("KVSCALE_LOCK_DEBUG") != nullptr) {
+    for (const auto& [key, edge] : edges) {
+      std::fprintf(stderr, "EDGE %s -> %s at %s:%d via %s\n",
+                   key.first.c_str(), key.second.c_str(), edge.file.c_str(),
+                   edge.line, edge.via.c_str());
+    }
+  }
+  EdgeMap live;
+  for (const auto& [key, edge] : edges) {
+    if (wl.Allow("lock-order", key.first + "->" + key.second)) continue;
+    live.emplace(key, edge);
+  }
+
+  const std::vector<std::vector<std::string>> sccs = SccFinder(live).Run();
+  for (const std::vector<std::string>& scc : sccs) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    const bool self_loop =
+        scc.size() == 1 && live.count(std::make_pair(scc[0], scc[0])) > 0;
+    if (scc.size() < 2 && !self_loop) continue;
+    std::vector<std::string> sorted(members.begin(), members.end());
+    const std::string cycle_text = JoinCaps(sorted);
+    for (const auto& [key, edge] : live) {
+      if (!members.count(key.first) || !members.count(key.second)) continue;
+      std::string message = "lock-order cycle among {" + cycle_text +
+                            "}: holding " + key.first + ", acquires " +
+                            key.second;
+      if (!edge.via.empty()) message += " via call to " + edge.via;
+      findings.push_back(
+          {edge.file, edge.line, std::string(kLockCycle), std::move(message)});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+}  // namespace kvscale::lint

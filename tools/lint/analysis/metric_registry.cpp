@@ -1,0 +1,260 @@
+// Pass 3: metric-name registry extraction and consistency.
+//
+// Every literal name passed to MetricsRegistry::Get{Counter,Gauge,
+// Histogram} is collected tree-wide (src/, bench/, tools/, examples/ —
+// tests register throwaway names and are excluded). Three failure
+// classes are gated:
+//
+//  * metric-collision     two names within edit distance 1 of each
+//                         other, or equal once separators are stripped
+//                         ("store.readcount" vs "store.read.count"):
+//                         almost always a typo that splits one logical
+//                         series into two dashboards
+//  * metric-kind-overlap  the same name (or dynamic prefix) registered
+//                         as two different instrument kinds: the
+//                         exporter would emit conflicting series
+//  * metric-undocumented  a name missing from docs/OBSERVABILITY.md —
+//                         the doc is the operator-facing contract, and
+//                         a wildcard entry ("cluster.query.*") covers a
+//                         dotted prefix
+//
+// A literal immediately followed by '+' is a dynamic family
+// ("sim.gauge." + name): the literal prefix is what gets checked and
+// exported.
+#include "analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "source_view.hpp"
+
+namespace kvscale::lint {
+
+namespace {
+
+constexpr std::string_view kCollision = "metric-collision";
+constexpr std::string_view kKindOverlap = "metric-kind-overlap";
+constexpr std::string_view kUndocumented = "metric-undocumented";
+
+/// Levenshtein distance, early-exited at > 1 (only distance <= 1
+/// matters here).
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > 1) return 2;
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t subst = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+std::string StripSeparators(std::string_view name) {
+  std::string out;
+  for (const char c : name) {
+    if (c != '.' && c != '_') out.push_back(c);
+  }
+  return out;
+}
+
+/// Extracts Get{Counter,Gauge,Histogram} literals from one file,
+/// locating the call in the comment/string-blanked code view and
+/// reading the literal from the raw view at the same columns.
+void ExtractFromFile(const std::string& rel, const FileView& view,
+                     std::vector<MetricInstrument>& out) {
+  static const std::pair<std::string_view, std::string_view> kMethods[] = {
+      {"GetCounter", "counter"},
+      {"GetGauge", "gauge"},
+      {"GetHistogram", "histogram"},
+  };
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    const std::string& code = view.code[i];
+    const std::string& raw = view.raw[i];
+    for (const auto& [method, kind] : kMethods) {
+      size_t pos = 0;
+      while ((pos = code.find(method, pos)) != std::string::npos) {
+        const size_t end = pos + method.size();
+        const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+        pos = end;
+        if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
+          continue;
+        }
+        size_t p = end;
+        while (p < code.size() && (code[p] == ' ' || code[p] == '\t')) ++p;
+        if (p >= code.size() || code[p] != '(') continue;
+        ++p;
+        while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+        if (p >= raw.size() || raw[p] != '"') continue;  // non-literal name
+        const size_t close = raw.find('"', p + 1);
+        if (close == std::string::npos) continue;
+        const std::string name = raw.substr(p + 1, close - p - 1);
+        size_t after = close + 1;
+        while (after < raw.size() &&
+               (raw[after] == ' ' || raw[after] == '\t')) {
+          ++after;
+        }
+        const bool dynamic = after < raw.size() && raw[after] == '+';
+        out.push_back({name, std::string(kind), rel,
+                       static_cast<int>(i) + 1, dynamic});
+        pos = close;
+      }
+    }
+  }
+}
+
+/// Names and wildcard prefixes the observability doc declares. A doc
+/// token "cluster.query.*" or "sim.gauge.<name>" covers every metric
+/// under that dotted prefix.
+struct DocCoverage {
+  std::set<std::string> names;
+  std::vector<std::string> prefixes;
+
+  bool Covers(const std::string& name, bool dynamic) const {
+    if (names.count(name)) return true;
+    for (const std::string& prefix : prefixes) {
+      if (StartsWith(name, prefix)) return true;
+      // A dynamic family "cluster.query." is also covered by the
+      // wildcard "cluster.query.*".
+      if (dynamic && StartsWith(prefix, name)) return true;
+    }
+    return false;
+  }
+};
+
+DocCoverage ParseDoc(const std::string& text) {
+  DocCoverage cov;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (IsIdentChar(c) || c == '.') {
+      size_t j = i;
+      while (j < text.size() &&
+             (IsIdentChar(text[j]) || text[j] == '.' || text[j] == '*' ||
+              text[j] == '<' || text[j] == '>')) {
+        ++j;
+      }
+      const std::string token = text.substr(i, j - i);
+      const size_t wild = token.find_first_of("*<");
+      if (wild == std::string::npos) {
+        if (token.find('.') != std::string::npos) cov.names.insert(token);
+      } else if (wild > 0) {
+        cov.prefixes.push_back(token.substr(0, wild));
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return cov;
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeMetricRegistry(
+    const std::filesystem::path& root, Whitelist& wl,
+    std::vector<MetricInstrument>* registry_out) {
+  std::vector<MetricInstrument> instruments;
+  const std::vector<std::string> files = ListSourceFiles(
+      root, {"src", "bench", "tools", "examples"}, {"tools/lint/"});
+  for (const std::string& rel : files) {
+    ExtractFromFile(rel, BuildView(ReadFileOrEmpty(root / rel)), instruments);
+  }
+  std::sort(instruments.begin(), instruments.end(),
+            [](const MetricInstrument& a, const MetricInstrument& b) {
+              return std::tie(a.name, a.kind, a.file, a.line) <
+                     std::tie(b.name, b.kind, b.file, b.line);
+            });
+
+  std::vector<Finding> findings;
+
+  // Distinct names with a representative site each.
+  struct NameInfo {
+    std::set<std::string> kinds;
+    std::string file;
+    int line = 0;
+    bool dynamic = false;
+  };
+  std::map<std::string, NameInfo> by_name;
+  for (const MetricInstrument& m : instruments) {
+    NameInfo& info = by_name[m.name];
+    if (info.kinds.empty()) {
+      info.file = m.file;
+      info.line = m.line;
+    }
+    info.kinds.insert(m.kind);
+    info.dynamic = info.dynamic || m.dynamic;
+  }
+
+  // -- near-collision pairs -------------------------------------------------
+  std::vector<std::string> names;
+  for (const auto& [name, info] : by_name) names.push_back(name);
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      const std::string& a = names[i];
+      const std::string& b = names[j];
+      const bool near = EditDistance(a, b) <= 1 ||
+                        StripSeparators(a) == StripSeparators(b);
+      if (!near) continue;
+      if (wl.Allow("metric-pair", a + "~" + b) ||
+          wl.Allow("metric-pair", b + "~" + a)) {
+        continue;
+      }
+      const NameInfo& info = by_name[b];
+      findings.push_back(
+          {info.file, info.line, std::string(kCollision),
+           "metric \"" + b + "\" nearly collides with \"" + a + "\" (" +
+               by_name[a].file + ":" + std::to_string(by_name[a].line) +
+               "): likely a typo splitting one series in two"});
+    }
+  }
+
+  // -- kind overlap ---------------------------------------------------------
+  for (const auto& [name, info] : by_name) {
+    if (info.kinds.size() < 2) continue;
+    if (wl.Allow("metric-kind", name)) continue;
+    std::string kinds;
+    for (const std::string& kind : info.kinds) {
+      if (!kinds.empty()) kinds += " and ";
+      kinds += kind;
+    }
+    findings.push_back({info.file, info.line, std::string(kKindOverlap),
+                        "metric \"" + name + "\" is registered as both " +
+                            kinds + ": the exporter emits two conflicting "
+                            "series under one name"});
+  }
+
+  // -- documentation --------------------------------------------------------
+  const std::string doc_text =
+      ReadFileOrEmpty(root / "docs" / "OBSERVABILITY.md");
+  if (!doc_text.empty()) {
+    const DocCoverage cov = ParseDoc(doc_text);
+    for (const auto& [name, info] : by_name) {
+      if (cov.Covers(name, info.dynamic)) continue;
+      findings.push_back(
+          {info.file, info.line, std::string(kUndocumented),
+           "metric \"" + name +
+               "\" is not documented in docs/OBSERVABILITY.md (add the name "
+               "or a covering wildcard like \"prefix.*\")"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  if (registry_out != nullptr) {
+    registry_out->insert(registry_out->end(), instruments.begin(),
+                         instruments.end());
+  }
+  return findings;
+}
+
+}  // namespace kvscale::lint

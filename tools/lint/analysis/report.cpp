@@ -1,0 +1,72 @@
+// Stable JSON rendering of findings and the extracted metric registry,
+// for CI consumption (kvscale_analysis --json / --registry-out). Key
+// order and array order are deterministic: findings and metrics are
+// emitted exactly as ordered by the passes (sorted by file/line/id and
+// name/kind respectively).
+#include "analysis.hpp"
+
+namespace kvscale::lint {
+
+namespace {
+
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\":\"" + Escape(f.file) +
+           "\",\"line\":" + std::to_string(f.line) + ",\"id\":\"" +
+           Escape(f.rule) + "\",\"message\":\"" + Escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string MetricRegistryJson(const std::vector<MetricInstrument>& metrics) {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const MetricInstrument& m = metrics[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\":\"" + Escape(m.name) + "\",\"kind\":\"" +
+           Escape(m.kind) + "\",\"file\":\"" + Escape(m.file) +
+           "\",\"line\":" + std::to_string(m.line) +
+           ",\"dynamic\":" + (m.dynamic ? "true" : "false") + "}";
+  }
+  out += metrics.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace kvscale::lint

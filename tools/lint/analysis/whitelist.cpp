@@ -1,0 +1,99 @@
+#include "analysis.hpp"
+
+#include <algorithm>
+
+#include "source_view.hpp"
+
+namespace kvscale::lint {
+
+namespace {
+
+constexpr std::string_view kId = "analysis-whitelist";
+
+/// Strips every space/tab so "A -> B" and "A->B" compare equal.
+std::string Normalize(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c != ' ' && c != '\t') out.push_back(c);
+  }
+  return out;
+}
+
+bool KnownKind(std::string_view kind) {
+  return kind == "lock-order" || kind == "wait-holding" ||
+         kind == "metric-pair" || kind == "metric-kind";
+}
+
+}  // namespace
+
+bool Whitelist::Allow(std::string_view kind, std::string_view subject) {
+  const std::string want = Normalize(subject);
+  bool allowed = false;
+  for (WhitelistEntry& entry : entries) {
+    if (entry.kind == kind && entry.subject == want) {
+      entry.used = true;
+      allowed = true;
+    }
+  }
+  return allowed;
+}
+
+std::vector<Finding> Whitelist::StaleEntries() const {
+  std::vector<Finding> findings;
+  for (const WhitelistEntry& entry : entries) {
+    if (entry.used) continue;
+    findings.push_back(
+        {rel_path, entry.line, std::string(kId),
+         "stale whitelist entry: no '" + entry.kind + "' finding matches '" +
+             entry.subject + "'; remove it"});
+  }
+  return findings;
+}
+
+Whitelist LoadWhitelist(const std::filesystem::path& file,
+                        std::string_view rel_path) {
+  Whitelist wl;
+  wl.rel_path = std::string(rel_path);
+  const std::string content = ReadFileOrEmpty(file);
+  if (content.empty()) return wl;
+  size_t start = 0;
+  int line_no = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    const std::string_view line = Trim(std::string_view(content).substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start));
+    ++line_no;
+    start = nl == std::string::npos ? content.size() + 1 : nl + 1;
+    if (line.empty() || StartsWith(line, "#")) continue;
+    const size_t colon = line.find(':');
+    const size_t dashes = line.find("--");
+    if (colon == std::string_view::npos || dashes == std::string_view::npos ||
+        dashes < colon) {
+      wl.problems.push_back(
+          {wl.rel_path, line_no, std::string(kId),
+           "malformed entry: expected 'kind: subject -- justification'"});
+      continue;
+    }
+    const std::string kind(Trim(line.substr(0, colon)));
+    const std::string subject =
+        Normalize(Trim(line.substr(colon + 1, dashes - colon - 1)));
+    const std::string_view reason = Trim(line.substr(dashes + 2));
+    if (!KnownKind(kind)) {
+      wl.problems.push_back({wl.rel_path, line_no, std::string(kId),
+                             "unknown whitelist kind '" + kind + "'"});
+      continue;
+    }
+    if (subject.empty() || reason.empty()) {
+      wl.problems.push_back(
+          {wl.rel_path, line_no, std::string(kId),
+           "entry needs a subject and a justification after '--'"});
+      continue;
+    }
+    wl.entries.push_back(
+        {line_no, kind, subject, std::string(reason), false});
+  }
+  return wl;
+}
+
+}  // namespace kvscale::lint

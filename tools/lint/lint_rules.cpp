@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <fstream>
-#include <set>
-#include <sstream>
+#include <map>
 #include <tuple>
 #include <utility>
+
+#include "source_view.hpp"
 
 namespace kvscale::lint {
 
@@ -19,6 +19,7 @@ constexpr std::string_view kRawMutex = "raw-mutex";
 constexpr std::string_view kIncludeOrder = "include-order";
 constexpr std::string_view kMetricName = "metric-name";
 constexpr std::string_view kSuppression = "lint-suppression";
+constexpr std::string_view kStaleSuppression = "stale-suppression";
 
 constexpr std::array<std::pair<std::string_view, std::string_view>, 6>
     kRuleCatalogue = {{
@@ -39,145 +40,23 @@ constexpr std::array<std::pair<std::string_view, std::string_view>, 6>
          "lowercase (e.g. cluster.read.errors)"},
     }};
 
-bool IsIdentChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-std::string_view Trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() &&
-         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// True when `pattern` occurs in `line` delimited by non-identifier
-/// characters on both sides. When `then_call` is set, the match must be
-/// followed (after optional spaces) by '('.
-bool MatchesWord(std::string_view line, std::string_view pattern,
-                 bool then_call = false) {
-  size_t pos = 0;
-  while ((pos = line.find(pattern, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    size_t end = pos + pattern.size();
-    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) {
-      if (!then_call) return true;
-      while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) {
-        ++end;
-      }
-      if (end < line.size() && line[end] == '(') return true;
-    }
-    ++pos;
-  }
-  return false;
-}
-
-/// Splits `content` into three parallel line sets: verbatim, a "code
-/// view" with comments / string literals / char literals blanked (so
-/// prose mentioning std::mutex never trips a rule), and a "comment view"
-/// keeping only comment text (suppression markers are comments, never
-/// string contents).
-struct FileView {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> comment;
+/// One parsed `allow(rule)` / `allow-file(rule)` marker. `used` flips
+/// when the marker actually silences a finding; a marker that silences
+/// nothing is reported as `stale-suppression` so the audit trail cannot
+/// rot (see CheckStaleSuppressions).
+struct Marker {
+  int line_no = 0;
+  std::string rule;
+  bool file_wide = false;
+  bool used = false;
 };
 
-FileView BuildView(std::string_view content) {
-  FileView view;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::string raw_line;
-  std::string code_line;
-  std::string comment_line;
-  for (size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      view.raw.push_back(std::move(raw_line));
-      view.code.push_back(std::move(code_line));
-      view.comment.push_back(std::move(comment_line));
-      raw_line.clear();
-      code_line.clear();
-      comment_line.clear();
-      continue;
-    }
-    raw_line.push_back(c);
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line.push_back(' ');
-          comment_line.push_back(' ');
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line.push_back(' ');
-          comment_line.push_back(' ');
-        } else if (c == '"') {
-          state = State::kString;
-          code_line.push_back(' ');
-          comment_line.push_back(' ');
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line.push_back(' ');
-          comment_line.push_back(' ');
-        } else {
-          code_line.push_back(c);
-          comment_line.push_back(' ');
-        }
-        break;
-      case State::kLineComment:
-        code_line.push_back(' ');
-        comment_line.push_back(c);
-        break;
-      case State::kBlockComment:
-        code_line.push_back(' ');
-        comment_line.push_back(c);
-        if (c == '*' && next == '/') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          comment_line.push_back(next);
-          ++i;
-          state = State::kCode;
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        code_line.push_back(' ');
-        comment_line.push_back(' ');
-        if (c == '\\' && next != '\0') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          comment_line.push_back(' ');
-          ++i;
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  view.raw.push_back(std::move(raw_line));
-  view.code.push_back(std::move(code_line));
-  view.comment.push_back(std::move(comment_line));
-  return view;
-}
-
-/// Parsed `// kvscale-lint: allow(rule) reason` / `allow-file(rule) reason`
-/// markers, plus the findings malformed ones produce.
+/// Parsed suppression markers plus the findings malformed ones produce.
 struct Suppressions {
-  std::set<std::pair<int, std::string>> lines;  ///< (line covered, rule)
-  std::set<std::string> whole_file;
+  std::vector<Marker> markers;
+  /// (line covered, rule) -> indices into `markers` (a trailing comment
+  /// and a comment-above can cover the same line).
+  std::multimap<std::pair<int, std::string>, size_t> lines;
   std::vector<Finding> problems;
 };
 
@@ -242,13 +121,13 @@ Suppressions CollectSuppressions(std::string_view rel_path,
            "closing parenthesis"});
       continue;
     }
-    if (file_wide) {
-      out.whole_file.insert(rule);
-    } else {
+    const size_t index = out.markers.size();
+    out.markers.push_back({line_no, rule, file_wide, false});
+    if (!file_wide) {
       // Covers its own line (trailing comment) and the next (a
       // comment-only line directly above the offending code).
-      out.lines.insert({line_no, rule});
-      out.lines.insert({line_no + 1, rule});
+      out.lines.emplace(std::make_pair(line_no, rule), index);
+      out.lines.emplace(std::make_pair(line_no + 1, rule), index);
     }
   }
   return out;
@@ -323,6 +202,7 @@ class FileLinter {
       CheckMetricName(code, view_.raw[i], line_no);
     }
     CheckIncludeOrder();
+    CheckStaleSuppressions();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.file, a.line, a.rule) <
@@ -333,11 +213,43 @@ class FileLinter {
 
  private:
   void Report(std::string_view rule, int line_no, std::string message) {
-    if (suppressions_.whole_file.count(std::string(rule)) > 0) return;
-    if (suppressions_.lines.count({line_no, std::string(rule)}) > 0) return;
+    bool suppressed = false;
+    for (Marker& marker : suppressions_.markers) {
+      if (marker.file_wide && marker.rule == rule) {
+        marker.used = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) return;
+    const auto [begin, end] = suppressions_.lines.equal_range(
+        std::make_pair(line_no, std::string(rule)));
+    for (auto it = begin; it != end; ++it) {
+      suppressions_.markers[it->second].used = true;
+      suppressed = true;
+    }
+    if (suppressed) return;
     findings_.push_back(
         {std::string(rel_path_), line_no, std::string(rule),
          std::move(message)});
+  }
+
+  /// A suppression whose rule never fires on its covered lines (or, for
+  /// allow-file, anywhere in the file) is dead weight: it documents a
+  /// violation that no longer exists and would silently swallow a future
+  /// unrelated one. Dead markers are findings so the audit trail stays
+  /// honest.
+  void CheckStaleSuppressions() {
+    for (const Marker& marker : suppressions_.markers) {
+      if (marker.used) continue;
+      findings_.push_back(
+          {std::string(rel_path_), marker.line_no,
+           std::string(kStaleSuppression),
+           "suppression of '" + marker.rule + "' no longer matches a " +
+               (marker.file_wide ? "finding in this file"
+                                 : "finding on this line") +
+               "; remove the stale allow" +
+               (marker.file_wide ? "-file" : "") + "() marker"});
+    }
   }
 
   void CheckSimWallclock(const std::string& code, int line_no) {
@@ -552,32 +464,14 @@ std::vector<Finding> LintFileContent(std::string_view rel_path,
 }
 
 std::vector<Finding> LintTree(const std::filesystem::path& root) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> rel_paths;
-  for (std::string_view dir :
-       {"src", "bench", "tests", "tools", "examples"}) {
-    const fs::path base = root / dir;
-    if (!fs::is_directory(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".hpp" && ext != ".cpp" && ext != ".h") continue;
-      std::string rel =
-          fs::relative(entry.path(), root).generic_string();
-      // Fixtures violate on purpose; the lint *tests* cover them.
-      if (rel.find("tests/lint_fixtures/") != std::string::npos) continue;
-      rel_paths.push_back(std::move(rel));
-    }
-  }
-  std::sort(rel_paths.begin(), rel_paths.end());
-
+  // Fixtures violate on purpose; the lint *tests* cover them.
+  const std::vector<std::string> rel_paths = ListSourceFiles(
+      root, {"src", "bench", "tests", "tools", "examples"},
+      {"tests/lint_fixtures/", "tests/analysis_fixtures/"});
   std::vector<Finding> findings;
   for (const std::string& rel : rel_paths) {
-    std::ifstream in(root / rel, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
     std::vector<Finding> file_findings =
-        LintFileContent(rel, buffer.str());
+        LintFileContent(rel, ReadFileOrEmpty(root / rel));
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));

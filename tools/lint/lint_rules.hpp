@@ -30,7 +30,10 @@
 // on the offending line, or on a comment-only line directly above it. A
 // file-wide exemption is `// kvscale-lint: allow-file(rule-id) reason`.
 // A suppression without a reason is itself reported (rule
-// `lint-suppression`), as is one naming an unknown rule.
+// `lint-suppression`), as is one naming an unknown rule. A suppression
+// whose rule no longer fires on its covered lines (or anywhere in the
+// file, for allow-file) is reported as `stale-suppression` so dead
+// markers cannot rot the audit trail.
 #pragma once
 
 #include <filesystem>

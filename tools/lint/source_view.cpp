@@ -1,0 +1,163 @@
+#include "source_view.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace kvscale::lint {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool MatchesWord(std::string_view line, std::string_view pattern,
+                 bool then_call) {
+  size_t pos = 0;
+  while ((pos = line.find(pattern, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + pattern.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      if (!then_call) return true;
+      while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) {
+        ++end;
+      }
+      if (end < line.size() && line[end] == '(') return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+FileView BuildView(std::string_view content) {
+  FileView view;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw_line;
+  std::string code_line;
+  std::string comment_line;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      view.raw.push_back(std::move(raw_line));
+      view.code.push_back(std::move(code_line));
+      view.comment.push_back(std::move(comment_line));
+      raw_line.clear();
+      code_line.clear();
+      comment_line.clear();
+      continue;
+    }
+    raw_line.push_back(c);
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+        } else {
+          code_line.push_back(c);
+          comment_line.push_back(' ');
+        }
+        break;
+      case State::kLineComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        break;
+      case State::kBlockComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          comment_line.push_back(next);
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        code_line.push_back(' ');
+        comment_line.push_back(' ');
+        if (c == '\\' && next != '\0') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          comment_line.push_back(' ');
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  view.raw.push_back(std::move(raw_line));
+  view.code.push_back(std::move(code_line));
+  view.comment.push_back(std::move(comment_line));
+  return view;
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> ListSourceFiles(
+    const std::filesystem::path& root, std::vector<std::string_view> dirs,
+    std::vector<std::string_view> skip_fragments) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_paths;
+  for (std::string_view dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h") continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      const bool skipped =
+          std::any_of(skip_fragments.begin(), skip_fragments.end(),
+                      [&rel](std::string_view fragment) {
+                        return rel.find(fragment) != std::string::npos;
+                      });
+      if (!skipped) rel_paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  return rel_paths;
+}
+
+}  // namespace kvscale::lint

@@ -1,0 +1,56 @@
+// Comment/string-aware C++ source scanning shared by the project linter
+// (lint_rules.cpp) and the cross-file static analyzer (analysis/).
+//
+// BuildView splits a file into three parallel line sets so every
+// text-level check can pick the view it needs: `raw` (verbatim), `code`
+// (comments, string literals, and char literals blanked to spaces, so
+// prose mentioning std::mutex never trips a rule), and `comment` (only
+// comment text survives, so suppression markers inside string literals
+// stay inert). Columns line up across the three views, which lets a
+// check locate a token in the code view and read the literal at the
+// same columns from the raw view.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvscale::lint {
+
+/// Parallel per-line views of one file (see file comment).
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+/// Builds the three views. Lines are split on '\n'; a file that does not
+/// end in a newline still yields its final line.
+FileView BuildView(std::string_view content);
+
+/// True when `c` may appear in a C++ identifier.
+bool IsIdentChar(char c);
+
+/// Strips spaces/tabs (and trailing '\r') from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True when `pattern` occurs in `line` delimited by non-identifier
+/// characters on both sides. When `then_call` is set, the match must be
+/// followed (after optional spaces) by '('.
+bool MatchesWord(std::string_view line, std::string_view pattern,
+                 bool then_call = false);
+
+/// Reads a file into a string ("" when unreadable).
+std::string ReadFileOrEmpty(const std::filesystem::path& path);
+
+/// Walks the named top-level directories under `root` and returns the
+/// repo-relative (forward-slash) paths of every .hpp/.cpp/.h file,
+/// sorted. Paths containing any of `skip_fragments` are excluded.
+std::vector<std::string> ListSourceFiles(
+    const std::filesystem::path& root, std::vector<std::string_view> dirs,
+    std::vector<std::string_view> skip_fragments = {});
+
+}  // namespace kvscale::lint

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# The static-analysis gate. Three stages, any failure exits non-zero:
+# The static-analysis gate. Any stage failure exits non-zero:
 #
 #   1. analyze build — the `analyze` CMake preset compiles the whole tree
 #      with -Werror (and, when clang++ is installed, -Wthread-safety
@@ -8,11 +8,17 @@
 #      no-ops, so the stage still catches ordinary warnings.
 #   2. kvscale_lint — the project linter (tools/lint/) over src/ bench/
 #      tests/ tools/ examples/. Rules: sim-wallclock, discarded-status,
-#      stdout-in-lib, raw-mutex, include-order; see
-#      docs/STATIC_ANALYSIS.md.
-#   3. clang-tidy — over the compile_commands.json the analyze preset
+#      stdout-in-lib, raw-mutex, include-order (plus stale-suppression
+#      hygiene); see docs/STATIC_ANALYSIS.md.
+#   3-5. kvscale_analysis — the cross-file passes (tools/lint/analysis/),
+#      run one per stage so the failure names the pass: lock-graph
+#      (lock-order deadlock proofs), wire-drift (message/codec/operator
+#      symmetry), metric-registry (name collisions + doc coverage; also
+#      exports the registry JSON to build*/metric_registry.json).
+#      Compiler-independent: these gate even without clang installed.
+#   6. clang-tidy — over the compile_commands.json the analyze preset
 #      exports, with the checks in .clang-tidy. SKIPPED (with a notice)
-#      when clang-tidy is not installed; stages 1-2 still gate.
+#      when clang-tidy is not installed; stages 1-5 still gate.
 #
 # Usage:
 #   tools/static_check.sh          run the static stages above
@@ -58,6 +64,30 @@ else
   cmake --build --preset default --target kvscale_lint -j"$(nproc)" >/dev/null
   ./build/tools/kvscale_lint --root . --check-tree || failures+=("kvscale_lint")
 fi
+
+# Locate (or build) the cross-file analyzer the same way as the linter.
+analysis_bin=""
+if [[ -x build-analyze/tools/kvscale_analysis ]]; then
+  analysis_bin=./build-analyze/tools/kvscale_analysis
+  analysis_out=build-analyze/metric_registry.json
+else
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target kvscale_analysis -j"$(nproc)" \
+    >/dev/null
+  analysis_bin=./build/tools/kvscale_analysis
+  analysis_out=build/metric_registry.json
+fi
+
+echo "== static_check: kvscale_analysis lock-graph =="
+"$analysis_bin" --root . --pass lock-graph || failures+=("lock-graph")
+
+echo "== static_check: kvscale_analysis wire-drift =="
+"$analysis_bin" --root . --pass wire-drift || failures+=("wire-drift")
+
+echo "== static_check: kvscale_analysis metric-registry =="
+"$analysis_bin" --root . --pass metric-registry \
+  --registry-out "$analysis_out" || failures+=("metric-registry")
+echo "static_check: metric registry exported to $analysis_out"
 
 echo "== static_check: clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
