@@ -1,0 +1,458 @@
+// Ingest throughput vs write-batch size, and what background
+// maintenance does to concurrent read latency.
+//
+// Paper setup: Section III observes that the sequential insertion time
+// dominates experiment turnaround once the cluster scales, so the
+// store's ingest path has to amortize its durability cost. Here the
+// real write path measures exactly that: every point streams the same
+// workload through PutBatch, but with a different batch size — each
+// batch pays ONE group-commit WAL Sync(), so batch=1 is the per-key
+// fsync baseline and larger batches show the amortization win as
+// columns/s. A second phase pins read-side interference: the same
+// count-gather is timed against an idle cluster and again while a
+// writer thread streams batches with the flush watermark armed, so
+// background maintenance competes with reads for the node workers.
+//
+// Run: ./build/bench/ingest [--elements=20000] [--keys=100] [--nodes=4]
+//      [--replication=2] [--workers-per-node=2] [--read-rounds=32]
+//      [--wal=/tmp/kvscale_ingest.wal]
+//
+// Scoreboard mode: --json-out=FILE writes the measured points as JSON;
+// --check-against=BASELINE compares the current run against a committed
+// scoreboard and fails (exit 1) when throughput regresses past
+// --tolerance-pct or the configs differ. tools/bench_check.sh wraps the
+// quick-config flow.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "stats/summary.hpp"
+#include "store/row.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "workload/granularity.hpp"
+
+namespace kvscale {
+namespace {
+
+/// One measured batch-size cell of the scoreboard (batch 0 = everything
+/// bound for a node in a single batch).
+struct BenchPoint {
+  uint32_t batch = 0;
+  double columns_per_sec = 0.0;
+  double speedup = 0.0;  ///< vs the batch=1 per-key-sync baseline
+  uint64_t batches = 0;
+  uint64_t group_syncs = 0;
+  uint64_t wal_appends = 0;
+};
+
+/// Read latency idle vs under ingest+maintenance (phase 2). Reported in
+/// the scoreboard for the record but not gated: tail latencies on a
+/// shared CI box are too noisy for a hard floor.
+struct Interference {
+  double read_p50_idle_us = 0.0;
+  double read_p95_idle_us = 0.0;
+  double read_p50_ingest_us = 0.0;
+  double read_p95_ingest_us = 0.0;
+  uint64_t maintenance_runs = 0;
+};
+
+/// The knobs that shape the measurement; a baseline is only comparable
+/// against a run with the identical config.
+struct BenchConfig {
+  int64_t elements = 0;
+  int64_t keys = 0;
+  int64_t nodes = 0;
+  int64_t replication = 0;
+  int64_t workers_per_node = 0;
+  int64_t read_rounds = 0;
+};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string ScoreboardJson(const BenchConfig& config,
+                           const std::vector<BenchPoint>& points,
+                           const Interference& interference) {
+  std::string out = "{\"bench\":\"ingest\",\"config\":{";
+  out += "\"elements\":" + std::to_string(config.elements);
+  out += ",\"keys\":" + std::to_string(config.keys);
+  out += ",\"nodes\":" + std::to_string(config.nodes);
+  out += ",\"replication\":" + std::to_string(config.replication);
+  out += ",\"workers_per_node\":" + std::to_string(config.workers_per_node);
+  out += ",\"read_rounds\":" + std::to_string(config.read_rounds);
+  out += "},\"points\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BenchPoint& p = points[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"batch\":" + std::to_string(p.batch);
+    out += ",\"columns_per_sec\":" + FormatDouble(p.columns_per_sec);
+    out += ",\"speedup\":" + FormatDouble(p.speedup);
+    out += ",\"batches\":" + std::to_string(p.batches);
+    out += ",\"group_syncs\":" + std::to_string(p.group_syncs);
+    out += ",\"wal_appends\":" + std::to_string(p.wal_appends);
+    out += '}';
+  }
+  out += "\n],\"interference\":{";
+  out += "\"read_p50_idle_us\":" + FormatDouble(interference.read_p50_idle_us);
+  out += ",\"read_p95_idle_us\":" + FormatDouble(interference.read_p95_idle_us);
+  out += ",\"read_p50_ingest_us\":" +
+         FormatDouble(interference.read_p50_ingest_us);
+  out += ",\"read_p95_ingest_us\":" +
+         FormatDouble(interference.read_p95_ingest_us);
+  out += ",\"maintenance_runs\":" +
+         std::to_string(interference.maintenance_runs);
+  out += "}}\n";
+  return out;
+}
+
+/// Every number following an exact `"key":` occurrence, in document
+/// order. The scoreboard's keys are chosen so no key is a quoted prefix
+/// of another, which makes this targeted scan unambiguous without a
+/// full JSON parser.
+std::vector<double> JsonNumbers(const std::string& json,
+                                const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtod(json.c_str() + pos, nullptr));
+  }
+  return out;
+}
+
+bool ConfigMatches(const std::string& baseline, const char* key,
+                   int64_t current) {
+  const std::vector<double> values = JsonNumbers(baseline, key);
+  if (values.size() != 1 ||
+      static_cast<int64_t>(values[0]) != current) {
+    std::fprintf(stderr,
+                 "bench-check: config mismatch on \"%s\" (baseline %s, "
+                 "current %lld) — regenerate the baseline with "
+                 "tools/bench_check.sh --update\n",
+                 key,
+                 values.empty() ? "missing" : FormatDouble(values[0]).c_str(),
+                 static_cast<long long>(current));
+    return false;
+  }
+  return true;
+}
+
+/// Lower-bound throughput gate: each baseline point must be matched by a
+/// current point at the same batch size whose columns/s is at least
+/// (1 - tolerance) of the recorded value. Only slowdowns fail — a faster
+/// run always passes, the baseline is refreshed explicitly.
+int CheckAgainstBaseline(const std::string& path, const BenchConfig& config,
+                         const std::vector<BenchPoint>& points,
+                         double tolerance_pct) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench-check: cannot open baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string baseline = buffer.str();
+
+  bool ok = true;
+  ok &= ConfigMatches(baseline, "elements", config.elements);
+  ok &= ConfigMatches(baseline, "keys", config.keys);
+  ok &= ConfigMatches(baseline, "nodes", config.nodes);
+  ok &= ConfigMatches(baseline, "replication", config.replication);
+  ok &= ConfigMatches(baseline, "workers_per_node", config.workers_per_node);
+  ok &= ConfigMatches(baseline, "read_rounds", config.read_rounds);
+  if (!ok) return 1;
+
+  const std::vector<double> batches = JsonNumbers(baseline, "batch");
+  const std::vector<double> cps = JsonNumbers(baseline, "columns_per_sec");
+  if (batches.empty() || batches.size() != cps.size()) {
+    std::fprintf(stderr, "bench-check: malformed baseline %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<uint32_t, double> current;
+  for (const BenchPoint& p : points) current[p.batch] = p.columns_per_sec;
+
+  const double floor_fraction = 1.0 - tolerance_pct / 100.0;
+  int failures = 0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    const uint32_t batch = static_cast<uint32_t>(batches[i]);
+    const auto it = current.find(batch);
+    if (it == current.end()) {
+      std::fprintf(stderr,
+                   "bench-check: FAIL batch=%u missing from the current "
+                   "run\n",
+                   batch);
+      ++failures;
+      continue;
+    }
+    const double floor = cps[i] * floor_fraction;
+    const bool pass = it->second >= floor;
+    std::printf("bench-check: %s batch=%u %.1f columns/s "
+                "(baseline %.1f, floor %.1f)\n",
+                pass ? "ok  " : "FAIL", batch, it->second, cps[i], floor);
+    if (!pass) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench-check: %d point(s) regressed past %.0f%% tolerance\n",
+                 failures, tolerance_pct);
+    return 1;
+  }
+  std::printf("bench-check: all %zu points within %.0f%% of the baseline\n",
+              batches.size(), tolerance_pct);
+  return 0;
+}
+
+/// The whole workload as one PutBatch item list.
+std::vector<BatchPutItem> BuildItems(const WorkloadSpec& workload,
+                                     const char* prefix_tag) {
+  std::vector<BatchPutItem> items;
+  uint64_t part_seed = 0;
+  for (const PartitionRef& part : workload.partitions) {
+    for (uint32_t j = 0; j < part.elements; ++j) {
+      BatchPutItem item;
+      item.partition_key = prefix_tag + part.key;
+      item.column.clustering = j;
+      item.column.type_id = j % 8;
+      item.column.payload = MakePayload(part_seed, j, 24);
+      items.push_back(std::move(item));
+    }
+    ++part_seed;
+  }
+  return items;
+}
+
+void RemoveWals(const std::string& prefix, int64_t nodes) {
+  for (int64_t n = 0; n < nodes; ++n) {
+    std::remove((prefix + ".node" + std::to_string(n)).c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  int64_t elements = 20000;
+  int64_t keys = 100;
+  int64_t nodes = 4;
+  int64_t replication = 2;
+  int64_t workers_per_node = 2;
+  int64_t read_rounds = 32;
+  std::string wal = "/tmp/kvscale_ingest.wal";
+  std::string json_out;
+  std::string check_against;
+  double tolerance_pct = 50.0;
+  CliFlags flags;
+  flags.Add("elements", &elements, "total columns written per point");
+  flags.Add("keys", &keys, "partitions the columns spread over");
+  flags.Add("nodes", &nodes, "cluster size");
+  flags.Add("replication", &replication, "copies of every partition");
+  flags.Add("workers-per-node", &workers_per_node,
+            "worker threads draining each node's queue");
+  flags.Add("read-rounds", &read_rounds,
+            "count-gathers timed idle and again under ingest");
+  flags.Add("wal", &wal,
+            "write-ahead-log path prefix (each point appends its own "
+            "suffix; files are removed afterwards)");
+  flags.Add("json-out", &json_out, "write the scoreboard as JSON to FILE");
+  flags.Add("check-against", &check_against,
+            "compare this run against a baseline scoreboard JSON");
+  flags.Add("tolerance-pct", &tolerance_pct,
+            "allowed throughput drop vs the baseline before failing");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (tolerance_pct < 0.0 || tolerance_pct >= 100.0) {
+    std::fprintf(stderr, "--tolerance-pct must be in [0, 100)\n");
+    return 1;
+  }
+  if (wal.empty()) {
+    std::fprintf(stderr, "--wal must not be empty: the point of the sweep "
+                 "is the per-batch Sync() cost\n");
+    return 1;
+  }
+
+  bench::Banner(
+      "Ingest: columns/s vs write-batch size, durable group commit",
+      "Section III's insertion-time bottleneck, measured on the real "
+      "write path: every batch pays one WAL Sync(), so batch=1 is the "
+      "per-key fsync baseline and larger batches amortize it",
+      std::to_string(keys) + " partitions x " +
+          std::to_string(elements / std::max<int64_t>(keys, 1)) +
+          " columns, " + std::to_string(nodes) + " nodes, replication " +
+          std::to_string(replication) + ", compact codec");
+
+  const BenchConfig config{elements, keys,          nodes,
+                           replication, workers_per_node, read_rounds};
+  const WorkloadSpec workload = UniformWorkload(
+      static_cast<uint64_t>(elements), static_cast<uint64_t>(keys));
+
+  PutOptions write_options;
+  write_options.transport = GatherTransport::kMessage;
+  write_options.codec = WireCodecKind::kCompact;
+  write_options.workers_per_node = static_cast<uint32_t>(workers_per_node);
+
+  // -- Phase 1: the batch-size ladder (batch 0 = one batch per node) -----
+  std::vector<BenchPoint> points;
+  TablePrinter table({"batch", "columns/s", "speedup", "batches",
+                      "group syncs", "WAL appends", "wall"});
+  double baseline_cps = 0.0;
+  for (const uint32_t batch : {1u, 8u, 64u, 0u}) {
+    MetricsRegistry registry;
+    StoreOptions store_options;
+    store_options.metrics = &registry;
+    store_options.wal_path = wal + ".b" + std::to_string(batch);
+    InProcessCluster cluster(static_cast<uint32_t>(nodes),
+                             PlacementKind::kDhtRandom, store_options, 7,
+                             static_cast<uint32_t>(replication));
+    cluster.AttachTelemetry(nullptr, &registry);
+
+    write_options.batch = batch;
+    const PutResult result =
+        cluster.PutBatch(workload.table, BuildItems(workload, ""),
+                         write_options);
+    KV_CHECK(result.ok());
+    RemoveWals(store_options.wal_path, nodes);
+
+    BenchPoint point;
+    point.batch = batch;
+    point.columns_per_sec =
+        result.wall_us > 0.0
+            ? static_cast<double>(result.replica_acks) / (result.wall_us / 1e6)
+            : 0.0;
+    if (batch == 1) baseline_cps = point.columns_per_sec;
+    point.speedup =
+        baseline_cps > 0.0 ? point.columns_per_sec / baseline_cps : 0.0;
+    point.batches = result.batches_sent;
+    point.group_syncs = registry.GetCounter("store.ingest.group_syncs").Value();
+    point.wal_appends = registry.GetCounter("store.commitlog.appends").Value();
+    points.push_back(point);
+
+    char cps[32];
+    std::snprintf(cps, sizeof(cps), "%.1f", point.columns_per_sec);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", point.speedup);
+    table.AddRow({batch == 0 ? std::string("all")
+                             : std::to_string(batch),
+                  std::string(cps), std::string(speedup),
+                  TablePrinter::Cell(static_cast<int64_t>(point.batches)),
+                  TablePrinter::Cell(static_cast<int64_t>(point.group_syncs)),
+                  TablePrinter::Cell(static_cast<int64_t>(point.wal_appends)),
+                  FormatMicros(result.wall_us)});
+  }
+  table.Print();
+  std::printf(
+      "\nevery batch pays exactly one group-commit Sync(): the WAL-append "
+      "count stays flat while the sync count collapses with the batch "
+      "size — that gap is the amortization the speedup column shows\n");
+
+  // -- Phase 2: read latency idle vs under ingest + maintenance ----------
+  Interference interference;
+  {
+    MetricsRegistry registry;
+    StoreOptions store_options;
+    store_options.metrics = &registry;
+    store_options.wal_path = wal + ".mix";
+    InProcessCluster cluster(static_cast<uint32_t>(nodes),
+                             PlacementKind::kDhtRandom, store_options, 7,
+                             static_cast<uint32_t>(replication));
+    cluster.AttachTelemetry(nullptr, &registry);
+
+    write_options.batch = 16;
+    KV_CHECK(cluster
+                 .PutBatch(workload.table, BuildItems(workload, ""),
+                           write_options)
+                 .ok());
+    cluster.FlushAll();
+
+    GatherOptions read_options;
+    read_options.transport = GatherTransport::kMessage;
+    read_options.codec = WireCodecKind::kCompact;
+    read_options.batch = true;
+    read_options.workers_per_node = static_cast<uint32_t>(workers_per_node);
+    const QueryPlan plan = MakeCountPlan(workload);
+
+    std::vector<double> idle;
+    for (int64_t r = 0; r < read_rounds; ++r) {
+      idle.push_back(cluster.Gather(plan, read_options).wall_us);
+    }
+
+    // The writer streams fresh partitions with the flush watermark armed,
+    // so the write handler keeps scheduling background flushes onto the
+    // same workers the gathers need.
+    write_options.flush_watermark_bytes = 16 * 1024;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      uint64_t round = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string tag = "ing" + std::to_string(round++) + "_";
+        KV_CHECK(cluster
+                     .PutBatch(workload.table,
+                               BuildItems(workload, tag.c_str()),
+                               write_options)
+                     .ok());
+      }
+    });
+    std::vector<double> busy;
+    for (int64_t r = 0; r < read_rounds; ++r) {
+      busy.push_back(cluster.Gather(plan, read_options).wall_us);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    RemoveWals(store_options.wal_path, nodes);
+
+    interference.read_p50_idle_us = Percentile(idle, 0.50);
+    interference.read_p95_idle_us = Percentile(idle, 0.95);
+    interference.read_p50_ingest_us = Percentile(busy, 0.50);
+    interference.read_p95_ingest_us = Percentile(busy, 0.95);
+    interference.maintenance_runs =
+        registry.GetCounter("cluster.maintenance.runs").Value();
+
+    std::printf(
+        "\nread interference (%lld count-gathers, %llu background "
+        "maintenance runs):\n"
+        "  idle cluster:  p50 %s, p95 %s\n"
+        "  under ingest:  p50 %s, p95 %s\n",
+        static_cast<long long>(read_rounds),
+        static_cast<unsigned long long>(interference.maintenance_runs),
+        FormatMicros(interference.read_p50_idle_us).c_str(),
+        FormatMicros(interference.read_p95_idle_us).c_str(),
+        FormatMicros(interference.read_p50_ingest_us).c_str(),
+        FormatMicros(interference.read_p95_ingest_us).c_str());
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    file << ScoreboardJson(config, points, interference);
+    if (!file.good()) {
+      std::fprintf(stderr, "write failed: %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("scoreboard written to %s\n", json_out.c_str());
+  }
+  if (!check_against.empty()) {
+    return CheckAgainstBaseline(check_against, config, points, tolerance_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kvscale
+
+int main(int argc, char** argv) { return kvscale::Run(argc, argv); }

@@ -253,7 +253,13 @@ std::shared_ptr<NodeRuntime> InProcessCluster::EnsureRuntime(
         // has no query-type knowledge of its own.
         return ExecuteOperator(*found.value(), req, probe);
       },
-      codec_registry_, injector_, metrics_, spans_);
+      codec_registry_, injector_, metrics_, spans_,
+      [this](uint32_t node, const WriteBatch& batch, NodeRuntime& self) {
+        return ServeWriteBatchMessage(node, batch, self);
+      },
+      [this](uint32_t node, const std::string& table) {
+        RunMaintenanceStep(node, table);
+      });
   runtime_config_ = wanted;
   ++runtime_builds_;
   return runtime_;

@@ -111,6 +111,13 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     hedged_counter_ = &metrics->GetCounter("cluster.read.hedged");
     failed_counter_ = &metrics->GetCounter("cluster.subqueries.failed");
     put_errors_counter_ = &metrics->GetCounter("cluster.put.errors");
+    put_keys_counter_ = &metrics->GetCounter("cluster.put.keys");
+    put_batches_counter_ = &metrics->GetCounter("cluster.put.batches");
+    put_quorum_failures_counter_ =
+        &metrics->GetCounter("cluster.put.quorum_failures");
+    put_epoch_retries_counter_ =
+        &metrics->GetCounter("cluster.put.epoch_retries");
+    put_latency_ = &metrics->GetHistogram("cluster.put.latency_us");
     subquery_latency_ = &metrics->GetHistogram("cluster.subquery.latency_us");
     failover_latency_ = &metrics->GetHistogram("cluster.failover.latency_us");
     joins_counter_ = &metrics->GetCounter("cluster.membership.joins");
@@ -142,6 +149,11 @@ void InProcessCluster::AttachTelemetry(SpanTracer* spans,
     hedged_counter_ = nullptr;
     failed_counter_ = nullptr;
     put_errors_counter_ = nullptr;
+    put_keys_counter_ = nullptr;
+    put_batches_counter_ = nullptr;
+    put_quorum_failures_counter_ = nullptr;
+    put_epoch_retries_counter_ = nullptr;
+    put_latency_ = nullptr;
     subquery_latency_ = nullptr;
     failover_latency_ = nullptr;
     joins_counter_ = nullptr;
@@ -221,47 +233,8 @@ std::vector<int64_t> InProcessCluster::PlacementLoad() const {
   return placement_.outstanding();
 }
 
-Status InProcessCluster::Put(const std::string& table,
-                             const std::string& partition_key, Column column) {
-  {
-    // The migration planner's table universe (stores list no tables).
-    MutexLock lock(route_mu_);
-    tables_.insert(table);
-  }
-  const std::vector<NodeId> replicas = ReplicasOf(partition_key);
-  Status first_error = Status::Ok();
-  auto put_on_node = [&](NodeId node, Column copy) {
-    Status written = Status::Ok();
-    std::shared_ptr<LocalStore> store = NodePtr(node);
-    KV_CHECK(store != nullptr);  // replica sets only reference real slots
-    if (NodeHasWal(node)) {
-      // The WAL fault injection point: a full or failing log device
-      // refuses the append before any bytes land.
-      if (injector_ != nullptr) {
-        written = injector_->OnWalWrite(node, partition_key);
-      }
-      if (written.ok()) {
-        written = store->DurablePut(table, partition_key, std::move(copy));
-      }
-    } else {
-      store->GetOrCreateTable(table).Put(partition_key, std::move(copy));
-    }
-    if (written.ok()) {
-      RecordDispatch(node);  // replica writes are dispatched load too
-      return;
-    }
-    // One replica's failed write degrades the put instead of crashing
-    // the process; the other copies still receive the column.
-    if (put_errors_counter_ != nullptr) put_errors_counter_->Increment();
-    if (first_error.ok()) first_error = written;
-  };
-  // Write every copy (the last replica may take the original by move).
-  for (size_t r = 0; r + 1 < replicas.size(); ++r) {
-    put_on_node(replicas[r], column);
-  }
-  put_on_node(replicas.back(), std::move(column));
-  return first_error;
-}
+// Put / PutBatch live in write_path.cpp, next to the write-side fold and
+// quorum accounting they share.
 
 void InProcessCluster::FlushAll() {
   std::vector<std::shared_ptr<LocalStore>> stores;

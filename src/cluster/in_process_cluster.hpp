@@ -128,6 +128,91 @@ struct GatherOptions {
 // GatherResult lives in cluster/query_plan.hpp, next to the plans and the
 // fold that fill it.
 
+/// How many replica acks one key needs before its write counts as
+/// successful. Evaluated per key against the key's replica-set size, so
+/// a 2-of-3 degraded write can still satisfy kMajority.
+enum class PutQuorum : uint8_t {
+  kAll = 0,       ///< every replica must ack (the legacy Put contract)
+  kMajority = 1,  ///< floor(replicas / 2) + 1 acks
+  kOne = 2,       ///< any single ack
+};
+
+std::string_view PutQuorumName(PutQuorum quorum);
+
+/// Parses "all" / "majority" / "one" (CLI flag spelling).
+Result<PutQuorum> ParsePutQuorum(std::string_view name);
+
+/// Knobs of one batched replicated write (PutBatch). Put() uses the
+/// defaults: direct transport, quorum all, one batch.
+struct PutOptions {
+  PutQuorum quorum = PutQuorum::kAll;
+  /// Max keys per WriteBatch applied to one node (0 = everything bound
+  /// for a node travels in a single batch). Each batch pays exactly one
+  /// group-commit Sync(), so batch=1 is the per-key-sync baseline the
+  /// ingest bench compares against.
+  uint32_t batch = 0;
+  /// Bounded re-dispatch rounds when a ring-epoch bump moves a key's
+  /// replica set mid-write: each round re-resolves every key and writes
+  /// the copies the new owners are missing (columns are idempotent
+  /// overwrites, so chasing the data is always safe).
+  uint32_t max_epoch_retries = 2;
+  /// Message transport only: once a write leaves the touched table's
+  /// memtable at or above this many bytes, the write handler schedules a
+  /// background flush on the node's own worker pool — maintenance
+  /// competes with reads and writes for the same threads (0 = never).
+  uint64_t flush_watermark_bytes = 0;
+
+  // -- Transport knobs (mirrors GatherOptions) ----------------------------
+
+  GatherTransport transport = GatherTransport::kDirect;
+  WireCodecKind codec = WireCodecKind::kCompact;  ///< message-path codec
+  uint32_t queue_depth = 64;        ///< structural: rebuilds the runtime
+  uint32_t workers_per_node = 1;    ///< structural: rebuilds the runtime
+  QueueFullPolicy queue_policy = QueueFullPolicy::kBlock;  ///< structural
+  uint32_t max_inflight = 0;        ///< admission bound (0 = unbounded)
+  QueueFullPolicy admission_policy = QueueFullPolicy::kBlock;
+};
+
+/// Outcome of one Put / PutBatch — the write-side GatherResult. Beyond
+/// success it is a degraded-write report: every replica write attempted
+/// is accounted as an ack or a failure (replica_acks + replica_failures
+/// == replica_writes, always), and the per-key quorum verdicts say which
+/// keys met the requested policy.
+struct PutResult {
+  uint64_t keys = 0;              ///< distinct keys in the batch
+  uint64_t replica_writes = 0;    ///< replica writes attempted
+  uint64_t replica_acks = 0;      ///< replica writes durably applied
+  uint64_t replica_failures = 0;  ///< replica writes refused
+  uint64_t keys_quorum_met = 0;     ///< keys meeting the quorum policy
+  uint64_t keys_quorum_failed = 0;  ///< keys missing it
+  uint64_t batches_sent = 0;  ///< write batches issued (frames on message)
+  /// Group-commit Sync() errors. Non-fatal — the appended records are
+  /// buffered and the next sync or FlushAll retries — so they are
+  /// tallied, not failed.
+  uint64_t sync_failures = 0;
+  uint64_t epoch_retries = 0;  ///< re-resolution rounds after epoch bumps
+  /// The admission controller refused the whole batch: nothing was
+  /// dispatched and every key counts as quorum-failed.
+  bool shed_by_admission = false;
+  /// First replica-write refusal (Ok when every copy landed). Kept for
+  /// diagnosis; quorum policy, not this, decides ok().
+  Status first_error = Status::Ok();
+  Micros wall_us = 0.0;  ///< wall-clock duration of the whole write
+
+  // -- Wire totals (zero under the direct transport) ----------------------
+
+  uint64_t wire_frames_sent = 0;
+  uint64_t wire_bytes_sent = 0;
+  uint64_t wire_bytes_received = 0;
+  Micros wire_encode_us = 0.0;
+  Micros wire_decode_us = 0.0;
+  Micros queue_wait_us = 0.0;
+
+  /// True when every key met its quorum. With the default kAll quorum
+  /// this is the legacy Put contract: any replica failure reports false.
+  bool ok() const { return keys_quorum_failed == 0 && !shed_by_admission; }
+};
+
 /// What N concurrent client threads achieved through the shared runtime —
 /// one point of the Fig. 11 master-saturation curve.
 struct ConcurrentGatherReport {
@@ -186,9 +271,12 @@ class InProcessCluster {
   // directory flips after, and the ring epoch advances). From then on,
   // gathers racing a membership change re-resolve their replica sets when
   // they notice an epoch bump between retries, so a sub-query that raced
-  // a move retries against the new owner. Membership changes serialize
-  // against each other and must not race Put / FlushAll / ReviveNode;
-  // concurrent *gathers* (any transport) are the supported workload.
+  // a move retries against the new owner — and Put / PutBatch do the
+  // same on the write side, re-dispatching to the new owners through
+  // bounded epoch-retry rounds (PutOptions::max_epoch_retries).
+  // Membership changes serialize against each other and must not race
+  // FlushAll / ReviveNode; concurrent *gathers* and *puts* (any
+  // transport) are the supported workloads.
 
   /// Adds a fresh empty node, streams every partition the ring now
   /// assigns it from the surviving replicas (checksummed blocks, bounded
@@ -281,13 +369,32 @@ class InProcessCluster {
   uint32_t replication() const { return replication_; }
 
   /// Routes one column write to every replica's table (through the
-  /// node's commit log when a WAL is configured). A replica whose WAL
-  /// append fails — for real, or via FaultConfig::wal_error_rate — is
-  /// skipped, tallied in cluster.put.errors, and the first such error is
-  /// returned; the remaining replicas still receive the write, so a
-  /// degraded put leaves the surviving copies serviceable.
-  Status Put(const std::string& table, const std::string& partition_key,
-             Column column);
+  /// node's commit log when a WAL is configured). A replica whose write
+  /// is refused — a dead node, or a WAL append failed for real or via
+  /// FaultConfig::wal_error_rate — is skipped, tallied in
+  /// cluster.put.errors, and accounted in the returned PutResult; the
+  /// remaining replicas still receive the write, so a degraded put
+  /// leaves the surviving copies serviceable. Equivalent to a PutBatch
+  /// of one item with default options (direct transport, quorum all).
+  PutResult Put(const std::string& table, const std::string& partition_key,
+                Column column);
+
+  /// The batched replicated write path: routes every item to its
+  /// replicas, groups the writes per node, and applies each group as
+  /// write batches of at most `options.batch` keys — one group-commit
+  /// WAL Sync() per batch instead of one per key. Under the message
+  /// transport the batches travel as WriteBatch frames through the
+  /// shared NodeRuntime (admission-controlled, checksummed, validated on
+  /// arrival) and per-replica acks come back as WriteReply frames; the
+  /// direct transport applies the same batches as plain calls. Per-key
+  /// success is judged by `options.quorum`. A ring-epoch bump observed
+  /// mid-write triggers bounded re-resolution rounds so the copies chase
+  /// the data's new owners. With quorum kAll the stored state is
+  /// bit-identical to issuing the items as sequential Puts — healthy or
+  /// under WAL/kill chaos — because fault decisions hash (node, key),
+  /// never batch shape.
+  PutResult PutBatch(const std::string& table, std::vector<BatchPutItem> items,
+                     const PutOptions& options = {});
 
   /// Flushes every node's memtables (end of load phase).
   void FlushAll();
@@ -453,6 +560,33 @@ class InProcessCluster {
   /// moving the signal (a directory hit no longer freezes it).
   void RecordDispatch(NodeId node);
 
+  /// Applies one write batch to `node`'s store — the one body both
+  /// write transports share (write_path.cpp). Mirrors the message
+  /// path's checks on the direct path: a dead node refuses the whole
+  /// batch with kUnavailable; per-key WAL faults (OnWalWrite) land in
+  /// failed_keys. WAL-backed nodes group-commit through DurablePutBatch
+  /// (one Sync per call); WAL-less nodes apply straight to the table.
+  /// The routing fields of the returned reply are left for the caller.
+  WriteReply ApplyWriteBatchAt(uint32_t node, const std::string& table,
+                               std::vector<BatchPutItem> items);
+
+  /// The message transport's write handler body: decodes the batch's
+  /// columns, applies them via ApplyWriteBatchAt, and — when the put
+  /// armed a flush watermark — schedules a background flush on the
+  /// node's own worker pool once the memtable crossed it.
+  WriteReply ServeWriteBatchMessage(uint32_t node, const WriteBatch& batch,
+                                    NodeRuntime& runtime);
+
+  /// One scheduled background-maintenance step: flushes `table` on
+  /// `node` (which also runs the size-tiered compaction check), executed
+  /// by the node's worker pool between queries.
+  void RunMaintenanceStep(uint32_t node, const std::string& table);
+
+  /// End-of-put observability: deposits one QueryRecord (query_kind
+  /// "put") into the attached flight recorder, when any.
+  void RecordPut(uint64_t query_id, const std::string& table,
+                 std::string_view transport, const PutResult& result);
+
   /// End-of-gather observability: bumps the per-kind query counter,
   /// deposits one QueryRecord into the attached flight recorder (when
   /// any), and ticks the attached time-series collector on the cluster's
@@ -507,6 +641,11 @@ class InProcessCluster {
   /// Message set shared by every gather's runtime (both "peers" — the
   /// master's encoder and the slaves' decoders — see the same ids).
   CompactCodec codec_registry_;
+  /// The background-flush watermark the current message put armed (0 =
+  /// off). Atomic because node workers read it while the master writes
+  /// it; a worker observing a just-replaced value merely flushes a
+  /// little early or late, which maintenance tolerates by design.
+  std::atomic<uint64_t> flush_watermark_bytes_{0};
   std::atomic<uint64_t> next_query_id_{1};
   /// Monotone clock driving the time-series cadence: the cumulative wall
   /// time of finished gathers, in nanoseconds (integer so concurrent
@@ -525,6 +664,13 @@ class InProcessCluster {
   Counter* hedged_counter_ = nullptr;           ///< cluster.read.hedged
   Counter* failed_counter_ = nullptr;           ///< cluster.subqueries.failed
   Counter* put_errors_counter_ = nullptr;       ///< cluster.put.errors
+  Counter* put_keys_counter_ = nullptr;         ///< cluster.put.keys
+  Counter* put_batches_counter_ = nullptr;      ///< cluster.put.batches
+  /// cluster.put.quorum_failures: keys whose acks missed the quorum.
+  Counter* put_quorum_failures_counter_ = nullptr;
+  /// cluster.put.epoch_retries: re-resolution rounds after epoch bumps.
+  Counter* put_epoch_retries_counter_ = nullptr;
+  LatencyHistogram* put_latency_ = nullptr;     ///< cluster.put.latency_us
   LatencyHistogram* subquery_latency_ = nullptr;  ///< cluster.subquery.latency_us
   LatencyHistogram* failover_latency_ = nullptr;  ///< cluster.failover.latency_us
   Counter* joins_counter_ = nullptr;            ///< cluster.membership.joins

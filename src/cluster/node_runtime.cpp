@@ -41,9 +41,12 @@ double NanosToMicros(uint64_t nanos) {
 NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
                          SubQueryHandler handler, const CompactCodec& registry,
                          FaultInjector* injector, MetricsRegistry* metrics,
-                         SpanTracer* spans)
+                         SpanTracer* spans, WriteBatchHandler write_handler,
+                         MaintenanceHandler maintenance_handler)
     : options_(options),
       handler_(std::move(handler)),
+      write_handler_(std::move(write_handler)),
+      maintenance_handler_(std::move(maintenance_handler)),
       registry_(registry),
       injector_(injector),
       spans_(spans),
@@ -71,6 +74,10 @@ NodeRuntime::NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
     admission_wait_hist_ = &metrics->GetHistogram("master.admission.wait_us");
     query_queue_wait_hist_ =
         &metrics->GetHistogram("master.query.queue_wait_us");
+    maintenance_runs_counter_ =
+        &metrics->GetCounter("cluster.maintenance.runs");
+    maintenance_dropped_counter_ =
+        &metrics->GetCounter("cluster.maintenance.dropped");
     depth_gauges_.reserve(nodes);
     for (uint32_t n = 0; n < nodes; ++n) {
       depth_gauges_.push_back(
@@ -296,6 +303,90 @@ Status NodeRuntime::Dispatch(uint64_t query_id, uint32_t node,
   return Status::Ok();
 }
 
+Status NodeRuntime::DispatchWrite(uint64_t query_id, uint32_t node,
+                                  const WriteBatch& batch, uint32_t attempt,
+                                  Micros extra_latency_us) {
+  if (node >= queues_.size()) {
+    // Same stale-membership escape hatch as Dispatch: the caller's
+    // retry machinery re-resolves against the current ring.
+    return Status::Unavailable("node " + std::to_string(node) +
+                               " is not part of this runtime");
+  }
+  KV_CHECK(write_handler_ != nullptr);  // runtime built without a write path
+  KV_CHECK(!batch.keys.empty());
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);  // dispatch before BeginQuery / after EndQuery
+
+  RequestEnvelope env;
+  env.kind = EnvelopeKind::kWrite;
+  env.node = node;
+  env.query = query;
+  env.issued_us = NowMicros();
+  WireBuffer buf;
+  EncodeWriteBatchFrame(batch, attempt, query->trace_flags, query->codec,
+                        registry_, buf);
+  const Micros encode_us = NowMicros() - env.issued_us;
+  const uint64_t encode_nanos = MicrosToNanos(encode_us);
+  encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
+  query->encode_nanos.fetch_add(encode_nanos, std::memory_order_relaxed);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
+
+  const uint64_t frame_bytes = buf.size();
+  env.frame = buf.TakeBytes();
+  env.sub_ids = {batch.sub_id};
+  env.attempts = {attempt};
+  env.extra_latency_us = {extra_latency_us};
+
+  auto stamp_received = [this](RequestEnvelope& e) {
+    e.received_us = NowMicros();
+  };
+  const bool pushed =
+      options_.on_queue_full == QueueFullPolicy::kBlock
+          ? queues_[node]->Push(std::move(env), stamp_received)
+          : queues_[node]->TryPush(std::move(env), stamp_received);
+  if (!pushed) {
+    return Status::ResourceExhausted(
+        "node " + std::to_string(node) + " queue full (depth " +
+        std::to_string(options_.queue_depth) + ")");
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  query->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  query->bytes_sent.fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (frames_counter_ != nullptr) frames_counter_->Increment();
+  if (bytes_sent_counter_ != nullptr) {
+    bytes_sent_counter_->Increment(frame_bytes);
+  }
+  SetDepthGauge(node);
+  return Status::Ok();
+}
+
+bool NodeRuntime::ScheduleMaintenance(uint32_t node, std::string table) {
+  if (node >= queues_.size() || maintenance_handler_ == nullptr) {
+    return false;
+  }
+  RequestEnvelope env;
+  env.kind = EnvelopeKind::kMaintenance;
+  env.node = node;
+  env.maintenance_table = std::move(table);
+  auto stamp_received = [this](RequestEnvelope& e) {
+    e.received_us = NowMicros();
+  };
+  // Always TryPush: maintenance is scheduled from inside the worker
+  // pool, and a blocking push into one's own full queue would deadlock.
+  // A full queue means the node is saturated — backing off *is* the
+  // scheduling policy.
+  if (!queues_[node]->TryPush(std::move(env), stamp_received)) {
+    maintenance_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (maintenance_dropped_counter_ != nullptr) {
+      maintenance_dropped_counter_->Increment();
+    }
+    return false;
+  }
+  SetDepthGauge(node);
+  return true;
+}
+
 void NodeRuntime::WorkerLoop(uint32_t node) {
   BoundedQueue<RequestEnvelope>& queue = *queues_[node];
   while (auto popped = queue.Pop()) {
@@ -303,8 +394,27 @@ void NodeRuntime::WorkerLoop(uint32_t node) {
     SetDepthGauge(node);
     const Micros wait_us = NowMicros() - env.received_us;
     if (queue_wait_hist_ != nullptr) queue_wait_hist_->Record(wait_us);
+    if (env.kind == EnvelopeKind::kMaintenance) {
+      // A background step no query owns: run it on this worker, where it
+      // competes with reads and writes for the node's threads.
+      SpanTracer::Scope step;
+      if (spans_ != nullptr) {
+        step = spans_->StartSpan("maintenance", node);
+        step.Attr("table", env.maintenance_table);
+      }
+      maintenance_handler_(node, env.maintenance_table);
+      maintenance_runs_.fetch_add(1, std::memory_order_relaxed);
+      if (maintenance_runs_counter_ != nullptr) {
+        maintenance_runs_counter_->Increment();
+      }
+      continue;
+    }
     env.query->queue_wait_nanos.fetch_add(MicrosToNanos(wait_us),
                                           std::memory_order_relaxed);
+    if (env.kind == EnvelopeKind::kWrite) {
+      ServeWrite(node, env);
+      continue;
+    }
 
     const Micros decode_start = NowMicros();
     auto decoded = DecodeSubQueryBatch(env.frame, env.query->codec, registry_);
@@ -483,6 +593,100 @@ void NodeRuntime::ServeOne(uint32_t node, const SubQueryRequest& request,
   query.replies.Push(std::move(out));
 }
 
+void NodeRuntime::ServeWrite(uint32_t node, const RequestEnvelope& env) {
+  QueryState& query = *env.query;
+  ReplyEnvelope out;
+  out.node = node;
+  out.sub_id = env.sub_ids.front();
+  out.attempt = env.attempts.front();
+  out.issued_us = env.issued_us;
+  out.received_us = env.received_us;
+
+  const Micros decode_start = NowMicros();
+  auto decoded = DecodeWriteBatchFrame(env.frame, query.codec, registry_);
+  const Micros decode_us = NowMicros() - decode_start;
+  const uint64_t decode_nanos = MicrosToNanos(decode_us);
+  decode_nanos_.fetch_add(decode_nanos, std::memory_order_relaxed);
+  query.decode_nanos.fetch_add(decode_nanos, std::memory_order_relaxed);
+  if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
+
+  Status transport = Status::Ok();
+  if (!decoded.ok()) {
+    transport = decoded.status();
+  } else if (decoded.value().batch.sub_id != env.sub_ids.front() ||
+             decoded.value().attempt != env.attempts.front()) {
+    transport =
+        Status::Corruption("write batch does not match its transport metadata");
+  } else if (decoded.value().batch.target != node) {
+    transport = Status::Corruption(
+        "write batch names target " +
+        std::to_string(decoded.value().batch.target) +
+        " but arrived at node " + std::to_string(node));
+  }
+  const uint8_t wire_flags =
+      decoded.ok() ? decoded.value().trace_flags : query.trace_flags;
+  const bool sampled = (wire_flags & kTraceSampled) != 0 && transport.ok() &&
+                       spans_ != nullptr;
+  const uint64_t flow = TraceFlowId(query.query_id, out.sub_id, out.attempt);
+
+  WriteReply reply;
+  reply.query_id = query.query_id;
+  reply.sub_id = out.sub_id;
+  reply.node = node;
+
+  if (!transport.ok()) {
+    reply.status = static_cast<uint32_t>(transport.code());
+  } else if (injector_ != nullptr && injector_->IsNodeDown(node)) {
+    // Dequeue injection point, same as reads: the node died while the
+    // batch sat in its queue. Nothing reached the WAL.
+    reply.status = static_cast<uint32_t>(StatusCode::kUnavailable);
+  } else if (query.deadline_us > 0.0 &&
+             ClockMicros(query) >= query.deadline_us) {
+    reply.status = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+  } else {
+    const WriteBatch& batch = decoded.value().batch;
+    out.db_start_us = NowMicros();
+    SpanTracer::Scope write_span;
+    if (spans_ != nullptr) {
+      write_span = spans_->StartSpan("store-write", node);
+      write_span.Attr("keys", std::to_string(batch.keys.size()));
+      write_span.Attr("attempt", std::to_string(out.attempt));
+      if (sampled) {
+        write_span.Flow(flow, FlowPhase::kStep);
+        write_span.Attr("query", std::to_string(query.query_id));
+        write_span.Attr("sub", std::to_string(out.sub_id));
+      }
+    }
+    WriteReply served = write_handler_(node, batch, *this);
+    out.db_end_us = NowMicros();
+    out.store_read = true;  // the handler ran (write-side analogue)
+    write_span.End();
+    // The routing fields are the runtime's, not the handler's: a handler
+    // bug must not be able to misroute a reply past the demultiplexer.
+    served.query_id = query.query_id;
+    served.sub_id = out.sub_id;
+    served.node = node;
+    served.db_micros = out.db_end_us - out.db_start_us;
+    reply = std::move(served);
+    query.clock_nanos.fetch_add(
+        MicrosToNanos(env.extra_latency_us.front()),
+        std::memory_order_relaxed);
+  }
+
+  const Micros encode_start = NowMicros();
+  WireBuffer buf;
+  EncodeWriteReplyFrame(reply, out.attempt, wire_flags, query.codec,
+                        registry_, buf);
+  const Micros encode_us = NowMicros() - encode_start;
+  const uint64_t encode_nanos = MicrosToNanos(encode_us);
+  encode_nanos_.fetch_add(encode_nanos, std::memory_order_relaxed);
+  query.encode_nanos.fetch_add(encode_nanos, std::memory_order_relaxed);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_us);
+  out.frame = buf.TakeBytes();
+
+  query.replies.Push(std::move(out));
+}
+
 NodeRuntime::DecodedReply NodeRuntime::AwaitReply(uint64_t query_id) {
   auto query = FindQuery(query_id);
   KV_CHECK(query != nullptr);
@@ -521,6 +725,57 @@ NodeRuntime::DecodedReply NodeRuntime::AwaitReply(uint64_t query_id) {
   } else if (decoded.value().attempt != env.attempt) {
     out.reply = Status::Corruption(
         "reply frame: envelope attempt " +
+        std::to_string(decoded.value().attempt) +
+        " disagrees with the transport metadata's " +
+        std::to_string(env.attempt));
+  } else {
+    out.trace_flags = decoded.value().trace_flags;
+    out.reply = std::move(decoded).value().reply;
+  }
+  const Micros decode_us = NowMicros() - decode_start;
+  const uint64_t decode_nanos = MicrosToNanos(decode_us);
+  decode_nanos_.fetch_add(decode_nanos, std::memory_order_relaxed);
+  query->decode_nanos.fetch_add(decode_nanos, std::memory_order_relaxed);
+  if (decode_hist_ != nullptr) decode_hist_->Record(decode_us);
+  return out;
+}
+
+NodeRuntime::DecodedWriteReply NodeRuntime::AwaitWriteReply(
+    uint64_t query_id) {
+  auto query = FindQuery(query_id);
+  KV_CHECK(query != nullptr);
+  DecodedWriteReply out;
+  auto popped = query->replies.Pop();
+  if (!popped) {
+    out.reply = Status::Unavailable("node runtime shut down");
+    return out;
+  }
+  ReplyEnvelope env = std::move(*popped);
+  out.node = env.node;
+  out.sub_id = env.sub_id;
+  out.attempt = env.attempt;
+  out.store_write = env.store_read;
+  out.issued_us = env.issued_us;
+  out.received_us = env.received_us;
+  out.db_start_us = env.db_start_us;
+  out.db_end_us = env.db_end_us;
+  out.reply_bytes = env.frame.size();
+
+  bytes_received_.fetch_add(env.frame.size(), std::memory_order_relaxed);
+  query->bytes_received.fetch_add(env.frame.size(),
+                                  std::memory_order_relaxed);
+  if (bytes_received_counter_ != nullptr) {
+    bytes_received_counter_->Increment(env.frame.size());
+  }
+
+  const Micros decode_start = NowMicros();
+  auto decoded =
+      DecodeWriteReplyFrame(env.frame, query->codec, registry_, query_id);
+  if (!decoded.ok()) {
+    out.reply = decoded.status();
+  } else if (decoded.value().attempt != env.attempt) {
+    out.reply = Status::Corruption(
+        "write reply: envelope attempt " +
         std::to_string(decoded.value().attempt) +
         " disagrees with the transport metadata's " +
         std::to_string(env.attempt));

@@ -178,6 +178,26 @@ struct NodeRuntimeOptions {
 using SubQueryHandler = std::function<Result<OperatorResult>(
     uint32_t node, const SubQueryRequest& request, ReadProbe* probe)>;
 
+class NodeRuntime;
+
+/// Applies one decoded WriteBatch to `node`'s store, returning the reply
+/// body (status, applied count, per-key failure indices, sync-failure
+/// tally). The runtime stamps query_id/sub_id/node and db_micros itself,
+/// so a handler cannot misroute a reply. `self` is the runtime serving
+/// the batch, so a handler can ScheduleMaintenance (e.g. a background
+/// flush once a memtable crosses a watermark) without holding any lock
+/// that could outlive the runtime. Must be safe to call from many
+/// workers at once.
+using WriteBatchHandler = std::function<WriteReply(
+    uint32_t node, const WriteBatch& batch, NodeRuntime& self)>;
+
+/// Runs one scheduled background-maintenance step (memtable flush /
+/// compaction check) for `table` on `node`'s store. Executed by the
+/// node's own worker pool, so maintenance genuinely competes with reads
+/// and writes for the same threads.
+using MaintenanceHandler =
+    std::function<void(uint32_t node, const std::string& table)>;
+
 /// Per-node request queues + worker pools shared by concurrent queries,
 /// with per-query reply channels demultiplexed on query_id.
 class NodeRuntime {
@@ -240,11 +260,17 @@ class NodeRuntime {
   /// thread. `handler` serves decoded sub-queries (and must be safe to
   /// call from many workers at once); `registry` must have
   /// RegisterClusterMessages applied and outlive the runtime, as must
-  /// the optional `injector`, `metrics`, and `spans`.
+  /// the optional `injector`, `metrics`, and `spans`. The optional
+  /// `write_handler` serves WriteBatch envelopes (required before any
+  /// DispatchWrite) and `maintenance_handler` serves scheduled
+  /// background flush/compaction steps (required before any
+  /// ScheduleMaintenance); both are fixed at construction so workers
+  /// never race a handler swap.
   NodeRuntime(uint32_t nodes, NodeRuntimeOptions options,
               SubQueryHandler handler, const CompactCodec& registry,
               FaultInjector* injector, MetricsRegistry* metrics,
-              SpanTracer* spans);
+              SpanTracer* spans, WriteBatchHandler write_handler = nullptr,
+              MaintenanceHandler maintenance_handler = nullptr);
   ~NodeRuntime();
 
   NodeRuntime(const NodeRuntime&) = delete;
@@ -295,6 +321,56 @@ class NodeRuntime {
   /// two steps; a decoded reply naming a different query_id is a demux
   /// corruption). Call exactly once per dispatched request.
   DecodedReply AwaitReply(uint64_t query_id);
+
+  /// One decoded write reply plus its transport metadata. `store_write`
+  /// is true when the write handler actually ran (false for liveness
+  /// bounces and deadline sheds — those never touched the WAL).
+  struct DecodedWriteReply {
+    uint32_t node = 0;
+    uint32_t sub_id = 0;
+    uint32_t attempt = 0;
+    bool store_write = false;
+    uint8_t trace_flags = 0;
+    /// An error here means the reply *frame* was unreadable or named a
+    /// different query; a decoded reply whose `status` field is non-OK
+    /// reports a store-side refusal instead.
+    Result<WriteReply> reply = Status::Unavailable("no reply");
+    Micros issued_us = 0.0;
+    Micros received_us = 0.0;
+    Micros db_start_us = 0.0;
+    Micros db_end_us = 0.0;
+    uint64_t reply_bytes = 0;
+  };
+
+  /// Encodes `batch` into a WriteBatch frame with `query_id`'s codec and
+  /// enqueues it on `node`, where a worker group-commits it through the
+  /// write handler. Same queue semantics as Dispatch; one WriteReply per
+  /// dispatched batch eventually reaches AwaitWriteReply(query_id). The
+  /// runtime must have been built with a write handler.
+  Status DispatchWrite(uint64_t query_id, uint32_t node,
+                       const WriteBatch& batch, uint32_t attempt,
+                       Micros extra_latency_us = 0.0);
+
+  /// Blocks until one of `query_id`'s write replies arrives and decodes
+  /// it. Call exactly once per dispatched write batch.
+  DecodedWriteReply AwaitWriteReply(uint64_t query_id);
+
+  /// Enqueues one background-maintenance step (flush/compaction check
+  /// for `table`) on `node`'s own request queue, competing with reads
+  /// and writes for the node's workers. Never blocks: a full queue means
+  /// the node is saturated, so the step is dropped (and counted) rather
+  /// than deadlocking a worker that schedules from inside the pool.
+  /// Returns false when dropped, the node is unknown, or the runtime has
+  /// no maintenance handler.
+  bool ScheduleMaintenance(uint32_t node, std::string table);
+
+  /// Maintenance envelopes executed / dropped-at-enqueue so far.
+  uint64_t maintenance_runs() const {
+    return maintenance_runs_.load(std::memory_order_relaxed);
+  }
+  uint64_t maintenance_dropped() const {
+    return maintenance_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// `query_id`'s private virtual clock, in microseconds: workers add
   /// each served request's injected latency, the master adds failover
@@ -368,19 +444,28 @@ class NodeRuntime {
     std::atomic<uint64_t> queue_wait_nanos{0};
   };
 
+  /// What a queued envelope carries: a read sub-query batch, a write
+  /// batch, or a background-maintenance step. Workers branch on the tag
+  /// before decoding, since each kind has its own frame type (and
+  /// maintenance has no frame at all).
+  enum class EnvelopeKind : uint8_t { kRead = 0, kWrite = 1, kMaintenance = 2 };
+
   struct RequestEnvelope {
+    EnvelopeKind kind = EnvelopeKind::kRead;
     uint32_t node = 0;
     /// The owning query: workers route the reply into its channel and
     /// consult its codec, clock, and deadline. The shared_ptr keeps the
-    /// state alive even if the runtime shuts down mid-flight.
+    /// state alive even if the runtime shuts down mid-flight. Null for
+    /// maintenance envelopes, which no query owns.
     std::shared_ptr<QueryState> query;
-    std::vector<std::byte> frame;  ///< encoded SubQueryBatch
+    std::vector<std::byte> frame;  ///< encoded SubQueryBatch / WriteBatch
     // Transport metadata riding outside the encoded bytes: per-item
     // bookkeeping the master needs echoed back verbatim and the worker
     // needs for injection and shedding decisions.
     std::vector<uint32_t> sub_ids;
     std::vector<uint32_t> attempts;
     std::vector<Micros> extra_latency_us;
+    std::string maintenance_table;  ///< kMaintenance only
     Micros issued_us = 0.0;    ///< master began handing off (pre-encode)
     Micros received_us = 0.0;  ///< envelope entered the node's queue
   };
@@ -393,6 +478,10 @@ class NodeRuntime {
   void ServeOne(uint32_t node, const SubQueryRequest& request,
                 const RequestEnvelope& env, size_t item, Status transport,
                 uint8_t wire_trace_flags);
+  /// Serves one dequeued write envelope end to end: decode, liveness /
+  /// deadline checks, the write handler, and the encoded WriteReply
+  /// pushed onto the owning query's channel.
+  void ServeWrite(uint32_t node, const RequestEnvelope& env);
   Micros NowMicros() const;
   void SetDepthGauge(uint32_t node);
   /// The live state registered for `query_id`, or null.
@@ -401,6 +490,8 @@ class NodeRuntime {
 
   NodeRuntimeOptions options_;
   SubQueryHandler handler_;
+  WriteBatchHandler write_handler_;            ///< may be null (read-only)
+  MaintenanceHandler maintenance_handler_;     ///< may be null
   const CompactCodec& registry_;
   FaultInjector* injector_;   ///< may be null (healthy)
   SpanTracer* spans_;         ///< may be null
@@ -421,6 +512,11 @@ class NodeRuntime {
       QueueFullPolicy::kBlock;
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+
+  // Background-maintenance accounting (scheduled steps ride the same
+  // queues as queries, so workers genuinely time-share).
+  std::atomic<uint64_t> maintenance_runs_{0};
+  std::atomic<uint64_t> maintenance_dropped_{0};
 
   // The runtime measures *real* stage timings; its wall-clock epoch is
   // the whole point (the simulators never see this class).
@@ -451,6 +547,11 @@ class NodeRuntime {
   /// query's total request-queue residency.
   LatencyHistogram* query_queue_wait_hist_ = nullptr;
   std::vector<Gauge*> depth_gauges_;  ///< cluster.queue.depth.node<N>
+  /// cluster.maintenance.runs / cluster.maintenance.dropped: scheduled
+  /// background flush/compaction steps executed by node workers vs
+  /// dropped because the node's queue was already full.
+  Counter* maintenance_runs_counter_ = nullptr;
+  Counter* maintenance_dropped_counter_ = nullptr;
 };
 
 }  // namespace kvscale

@@ -1,0 +1,544 @@
+// The batched replicated write path: Put / PutBatch for every transport.
+//
+// PutBatch routes every item to its replica set, groups the writes per
+// node, and applies each group as WriteBatch frames of at most
+// `options.batch` keys — one group-commit WAL Sync() per batch instead of
+// one per key. Both transports funnel into ApplyWriteBatchAt, so the
+// direct path and the message path make identical fault decisions: node
+// liveness is checked per batch, WAL refusal per key via
+// FaultInjector::OnWalWrite, which hashes (seed, node, key) and never the
+// batch shape. That is what makes a PutBatch under quorum kAll
+// bit-identical in stored state to issuing the same items as sequential
+// Puts, healthy or under chaos.
+//
+// The fold below is the write-side twin of the gather fold: every replica
+// write attempted lands in exactly one of the acked / failed ledgers
+// (replica_acks + replica_failures == replica_writes, always), per-key
+// quorum verdicts come from the ledgers, and a ring-epoch bump observed
+// after a round triggers bounded re-resolution so the copies chase the
+// data to its new owners.
+//
+// kvscale-lint: allow-file(sim-wallclock) real data path: puts time real
+// store writes, not simulated ones.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/in_process_cluster.hpp"
+#include "common/check.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace kvscale {
+
+namespace {
+
+double ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// One write batch bound for one node: the item indices it carries, in
+/// batch order (the reply's failed_keys index into this list).
+struct WriteChunk {
+  NodeId node = 0;
+  std::vector<size_t> keys;
+};
+
+/// Per-key write ledger: the replica set the key resolved to (latest
+/// epoch) and which replicas acked or refused its write.
+struct KeyWriteState {
+  std::vector<NodeId> replicas;
+  std::vector<NodeId> acked;
+  std::vector<NodeId> failed;
+};
+
+bool Contains(const std::vector<NodeId>& nodes, NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+/// Rebuilds a caller-facing Status from a write reply's wire code.
+Status WriteRefusal(StatusCode code, NodeId node) {
+  const std::string message =
+      "node " + std::to_string(node) + " refused the write batch";
+  switch (code) {
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    default:
+      return Status::Internal(message + " (" +
+                              std::string(StatusCodeName(code)) + ")");
+  }
+}
+
+}  // namespace
+
+std::string_view PutQuorumName(PutQuorum quorum) {
+  switch (quorum) {
+    case PutQuorum::kAll:
+      return "all";
+    case PutQuorum::kMajority:
+      return "majority";
+    case PutQuorum::kOne:
+      return "one";
+  }
+  return "all";
+}
+
+Result<PutQuorum> ParsePutQuorum(std::string_view name) {
+  if (name == "all") return PutQuorum::kAll;
+  if (name == "majority") return PutQuorum::kMajority;
+  if (name == "one") return PutQuorum::kOne;
+  return Status::InvalidArgument("unknown quorum '" + std::string(name) +
+                                 "' (want all, majority, or one)");
+}
+
+PutResult InProcessCluster::Put(const std::string& table,
+                                const std::string& partition_key,
+                                Column column) {
+  std::vector<BatchPutItem> items;
+  items.push_back(BatchPutItem{partition_key, std::move(column)});
+  return PutBatch(table, std::move(items), PutOptions{});
+}
+
+WriteReply InProcessCluster::ApplyWriteBatchAt(uint32_t node,
+                                               const std::string& table,
+                                               std::vector<BatchPutItem> items) {
+  WriteReply reply;
+  reply.status = static_cast<uint32_t>(StatusCode::kOk);
+  std::shared_ptr<LocalStore> store = NodePtr(node);
+  if (store == nullptr) {
+    reply.status = static_cast<uint32_t>(StatusCode::kUnavailable);
+    return reply;
+  }
+  // Same liveness rule as the message path's dequeue check: a dead node
+  // refuses the whole batch, so both transports fail the same (node, key)
+  // pairs under a kill.
+  if (injector_ != nullptr && injector_->IsNodeDown(node)) {
+    reply.status = static_cast<uint32_t>(StatusCode::kUnavailable);
+    return reply;
+  }
+  if (!NodeHasWal(node)) {
+    Table& dest = store->GetOrCreateTable(table);
+    for (BatchPutItem& item : items) {
+      dest.Put(item.partition_key, std::move(item.column));
+    }
+    reply.applied = items.size();
+    return reply;
+  }
+  // Per-key WAL fault filter. OnWalWrite hashes (seed, node, key) — no
+  // batch-shape input — so a batched load refuses exactly the pairs a
+  // sequential load would.
+  std::vector<BatchPutItem> allowed;
+  std::vector<uint64_t> allowed_index;  // original batch index per item
+  allowed.reserve(items.size());
+  allowed_index.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    Status writable = Status::Ok();
+    if (injector_ != nullptr) {
+      writable = injector_->OnWalWrite(node, items[i].partition_key);
+    }
+    if (writable.ok()) {
+      allowed.push_back(std::move(items[i]));
+      allowed_index.push_back(i);
+    } else {
+      reply.failed_keys.push_back(i);
+    }
+  }
+  if (!allowed.empty()) {
+    auto batched = store->DurablePutBatch(table, std::move(allowed));
+    if (!batched.ok()) {
+      // The store refused the whole batch (no commit log after all):
+      // every key fails, not just the injector-filtered ones.
+      reply.status = static_cast<uint32_t>(batched.status().code());
+      reply.failed_keys.clear();
+      return reply;
+    }
+    const BatchPutResult& applied = batched.value();
+    reply.applied = applied.applied;
+    reply.sync_failures = applied.sync_failures;
+    for (const uint64_t failed : applied.failed_items) {
+      reply.failed_keys.push_back(allowed_index[failed]);
+    }
+    // The decoder rejects non-increasing failed_keys; indices are unique,
+    // so sorting restores the strict order after the two-source merge.
+    std::sort(reply.failed_keys.begin(), reply.failed_keys.end());
+  }
+  return reply;
+}
+
+WriteReply InProcessCluster::ServeWriteBatchMessage(uint32_t node,
+                                                    const WriteBatch& batch,
+                                                    NodeRuntime& runtime) {
+  std::vector<BatchPutItem> items;
+  items.reserve(batch.keys.size());
+  for (size_t i = 0; i < batch.keys.size(); ++i) {
+    BatchPutItem item;
+    item.partition_key = batch.keys[i];
+    item.column.clustering = batch.clusterings[i];
+    item.column.type_id = static_cast<uint32_t>(batch.type_ids[i]);
+    item.column.tombstone = batch.tombstones[i] != 0;
+    const std::string& payload = batch.payloads[i];
+    item.column.payload.resize(payload.size());
+    if (!payload.empty()) {
+      std::memcpy(item.column.payload.data(), payload.data(), payload.size());
+    }
+    items.push_back(std::move(item));
+  }
+  WriteReply reply = ApplyWriteBatchAt(node, batch.table, std::move(items));
+  const uint64_t watermark =
+      flush_watermark_bytes_.load(std::memory_order_relaxed);
+  if (watermark > 0) {
+    std::shared_ptr<LocalStore> store = NodePtr(node);
+    if (store != nullptr) {
+      auto found = store->FindTable(batch.table);
+      if (found.ok() && found.value()->memtable_bytes() >= watermark) {
+        // Compete for the node's own workers. A full queue drops the step
+        // (the next write over the watermark re-arms it) instead of
+        // blocking a worker that schedules from inside the pool.
+        runtime.ScheduleMaintenance(node, batch.table);
+      }
+    }
+  }
+  return reply;
+}
+
+void InProcessCluster::RunMaintenanceStep(uint32_t node,
+                                          const std::string& table) {
+  std::shared_ptr<LocalStore> store = NodePtr(node);
+  if (store == nullptr) return;
+  auto found = store->FindTable(table);
+  if (found.ok()) found.value()->Flush();  // also runs the compaction check
+}
+
+void InProcessCluster::RecordPut(uint64_t query_id, const std::string& table,
+                                 std::string_view transport,
+                                 const PutResult& result) {
+  if (flight_recorder_ == nullptr) return;
+  // Unlike RecordGather this never ticks the time-series cadence: the
+  // trajectory (and its tests) stay a read-side measurement.
+  QueryRecord record;
+  record.query_id = query_id;
+  record.table = table;
+  record.transport = std::string(transport);
+  record.query_kind = "put";
+  record.subqueries = result.replica_writes;
+  record.completed = result.replica_acks;
+  record.failed = result.replica_failures;
+  record.retries = result.epoch_retries;
+  record.partial = result.keys_quorum_failed > 0;
+  record.shed_by_admission = result.shed_by_admission;
+  record.queue_wait_us = result.queue_wait_us;
+  record.wall_us = result.wall_us;
+  record.wire_bytes_sent = result.wire_bytes_sent;
+  record.wire_bytes_received = result.wire_bytes_received;
+  record.wire_frames_sent = result.wire_frames_sent;
+  record.ring_epoch = ring_epoch();
+  flight_recorder_->Record(std::move(record));
+}
+
+PutResult InProcessCluster::PutBatch(const std::string& table,
+                                     std::vector<BatchPutItem> items,
+                                     const PutOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PutResult result;
+  result.keys = items.size();
+  if (items.empty()) return result;
+  {
+    // The migration planner's table universe (stores list no tables).
+    MutexLock lock(route_mu_);
+    tables_.insert(table);
+  }
+
+  // Resolve every key's replica set, reading the epoch *before* the
+  // resolutions so a flip that lands mid-loop is caught by the re-check
+  // after the first round rather than silently splitting the batch
+  // across epochs.
+  uint64_t resolved_epoch = ring_epoch();
+  std::vector<KeyWriteState> state(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    state[k].replicas = ReplicasOf(items[k].partition_key);
+  }
+
+  // Folds one node's reply into the per-key ledgers and the counters.
+  // Every key the chunk carried ends in exactly one ledger; cluster
+  // .put.errors is bumped here — and only here — so per-key refusals and
+  // whole-batch refusals count uniformly.
+  auto fold = [&](const WriteChunk& chunk, const WriteReply& reply,
+                  const Status& transport_error) {
+    result.sync_failures += reply.sync_failures;
+    const StatusCode code = !transport_error.ok()
+                                ? transport_error.code()
+                                : static_cast<StatusCode>(reply.status);
+    if (code != StatusCode::kOk) {
+      const Status failure = !transport_error.ok()
+                                 ? transport_error
+                                 : WriteRefusal(code, chunk.node);
+      for (const size_t k : chunk.keys) {
+        state[k].failed.push_back(chunk.node);
+        ++result.replica_failures;
+        if (put_errors_counter_ != nullptr) put_errors_counter_->Increment();
+      }
+      if (result.first_error.ok()) result.first_error = failure;
+      return;
+    }
+    size_t next_failed = 0;
+    for (size_t i = 0; i < chunk.keys.size(); ++i) {
+      const size_t k = chunk.keys[i];
+      if (next_failed < reply.failed_keys.size() &&
+          reply.failed_keys[next_failed] == i) {
+        ++next_failed;
+        state[k].failed.push_back(chunk.node);
+        ++result.replica_failures;
+        if (put_errors_counter_ != nullptr) put_errors_counter_->Increment();
+        if (result.first_error.ok()) {
+          result.first_error = Status::Unavailable(
+              "node " + std::to_string(chunk.node) +
+              " refused the WAL append for '" + items[k].partition_key + "'");
+        }
+      } else {
+        state[k].acked.push_back(chunk.node);
+        ++result.replica_acks;
+      }
+    }
+  };
+
+  // Groups this round's (key, node) pairs per node and splits each
+  // node's list into batches of at most options.batch keys (0 = one
+  // batch per node). Each batch pays one group-commit Sync().
+  auto build_chunks = [&](const std::vector<std::pair<size_t, NodeId>>& due) {
+    std::map<NodeId, std::vector<size_t>> per_node;
+    for (const auto& [k, node] : due) per_node[node].push_back(k);
+    std::vector<WriteChunk> chunks;
+    for (auto& [node, keys] : per_node) {
+      const size_t cap = options.batch == 0 ? keys.size() : options.batch;
+      for (size_t off = 0; off < keys.size(); off += cap) {
+        WriteChunk chunk;
+        chunk.node = node;
+        const size_t end = std::min(keys.size(), off + cap);
+        chunk.keys.assign(keys.begin() + off, keys.begin() + end);
+        chunks.push_back(std::move(chunk));
+      }
+    }
+    return chunks;
+  };
+
+  // Copies of the chunk's items, in batch order. Copies, not moves: a
+  // later epoch-retry round may re-send the same item to a new owner.
+  auto chunk_items = [&](const WriteChunk& chunk) {
+    std::vector<BatchPutItem> copies;
+    copies.reserve(chunk.keys.size());
+    for (const size_t k : chunk.keys) copies.push_back(items[k]);
+    return copies;
+  };
+
+  auto make_wire_batch = [&](const WriteChunk& chunk, uint64_t query_id,
+                             uint32_t sub_id) {
+    WriteBatch batch;
+    batch.query_id = query_id;
+    batch.sub_id = sub_id;
+    batch.target = chunk.node;
+    batch.table = table;
+    batch.keys.reserve(chunk.keys.size());
+    batch.clusterings.reserve(chunk.keys.size());
+    batch.type_ids.reserve(chunk.keys.size());
+    batch.tombstones.reserve(chunk.keys.size());
+    batch.payloads.reserve(chunk.keys.size());
+    for (const size_t k : chunk.keys) {
+      const BatchPutItem& item = items[k];
+      batch.keys.push_back(item.partition_key);
+      batch.clusterings.push_back(item.column.clustering);
+      batch.type_ids.push_back(item.column.type_id);
+      batch.tombstones.push_back(item.column.tombstone ? 1 : 0);
+      batch.payloads.emplace_back(
+          reinterpret_cast<const char*>(item.column.payload.data()),
+          item.column.payload.size());
+    }
+    batch.checksum = MigrationBlockChecksum(batch.payloads);
+    return batch;
+  };
+
+  const bool message = options.transport == GatherTransport::kMessage;
+  std::shared_ptr<NodeRuntime> runtime;
+  uint64_t query_id = 0;
+  // sub_id -> the chunk it carried, across every round (replies of a
+  // round are all awaited before the next round dispatches).
+  std::vector<WriteChunk> by_sub;
+
+  if (message) {
+    GatherOptions runtime_options;
+    runtime_options.transport = GatherTransport::kMessage;
+    runtime_options.codec = options.codec;
+    runtime_options.queue_depth = options.queue_depth;
+    runtime_options.workers_per_node = options.workers_per_node;
+    runtime_options.queue_policy = options.queue_policy;
+    runtime_options.max_inflight = options.max_inflight;
+    runtime_options.admission_policy = options.admission_policy;
+    runtime = EnsureRuntime(runtime_options);
+    flush_watermark_bytes_.store(options.flush_watermark_bytes,
+                                 std::memory_order_relaxed);
+    query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+    NodeRuntime::QueryOptions query_options;
+    query_options.codec = options.codec;
+    const Status admitted = runtime->BeginQuery(query_id, query_options);
+    if (!admitted.ok()) {
+      // Shed whole: nothing was dispatched, every key missed its quorum.
+      result.shed_by_admission = true;
+      result.keys_quorum_failed = result.keys;
+      result.first_error = admitted;
+      if (put_keys_counter_ != nullptr) {
+        put_keys_counter_->Increment(result.keys);
+      }
+      if (put_quorum_failures_counter_ != nullptr) {
+        put_quorum_failures_counter_->Increment(result.keys);
+      }
+      result.wall_us = ElapsedMicros(t0);
+      if (put_latency_ != nullptr) put_latency_->Record(result.wall_us);
+      RecordPut(query_id, table, "message", result);
+      return result;
+    }
+  } else if (flight_recorder_ != nullptr) {
+    // Direct puts have no wire query_id; mint one only when someone is
+    // recording, so the message path's id sequence stays undisturbed.
+    query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto run_direct_round = [&](const std::vector<WriteChunk>& chunks) {
+    for (const WriteChunk& chunk : chunks) {
+      // Load feedback at the dispatch *attempt* — the write has not
+      // happened yet, exactly like a read attempt that may still fail.
+      for (size_t i = 0; i < chunk.keys.size(); ++i) RecordDispatch(chunk.node);
+      result.replica_writes += chunk.keys.size();
+      ++result.batches_sent;
+      const WriteReply reply =
+          ApplyWriteBatchAt(chunk.node, table, chunk_items(chunk));
+      fold(chunk, reply, Status::Ok());
+    }
+  };
+
+  auto run_message_round = [&](const std::vector<WriteChunk>& chunks,
+                               uint32_t attempt) {
+    size_t outstanding = 0;
+    for (const WriteChunk& chunk : chunks) {
+      const uint32_t sub_id = static_cast<uint32_t>(by_sub.size());
+      by_sub.push_back(chunk);
+      WriteBatch wire = make_wire_batch(chunk, query_id, sub_id);
+      for (size_t i = 0; i < chunk.keys.size(); ++i) RecordDispatch(chunk.node);
+      result.replica_writes += chunk.keys.size();
+      ++result.batches_sent;
+      const Status sent =
+          runtime->DispatchWrite(query_id, chunk.node, wire, attempt);
+      if (!sent.ok()) {
+        // A node slot the runtime predates, or rejecting backpressure:
+        // apply the same batch directly (the gather's stale-node
+        // fallback) — the write must not be lost to transport shape.
+        const WriteReply reply =
+            ApplyWriteBatchAt(chunk.node, table, chunk_items(chunk));
+        fold(chunk, reply, Status::Ok());
+        continue;
+      }
+      ++outstanding;
+    }
+    while (outstanding > 0) {
+      NodeRuntime::DecodedWriteReply r = runtime->AwaitWriteReply(query_id);
+      --outstanding;
+      KV_CHECK(r.sub_id < by_sub.size());
+      const WriteChunk& chunk = by_sub[r.sub_id];
+      if (r.reply.ok()) {
+        fold(chunk, r.reply.value(), Status::Ok());
+      } else {
+        fold(chunk, WriteReply{}, r.reply.status());
+      }
+    }
+  };
+
+  // Round 0: every (key, replica) pair. Later rounds exist only when a
+  // ring flip was observed: they carry the copies the new owners are
+  // missing. A node that already settled a key — acked or failed — is
+  // never re-sent it: faults are deterministic in (node, key), so a
+  // retry against a refusing node cannot change the verdict.
+  std::vector<std::pair<size_t, NodeId>> due;
+  for (size_t k = 0; k < items.size(); ++k) {
+    for (const NodeId node : state[k].replicas) due.emplace_back(k, node);
+  }
+  uint32_t round = 0;
+  while (!due.empty()) {
+    const std::vector<WriteChunk> chunks = build_chunks(due);
+    if (message) {
+      run_message_round(chunks, round);
+    } else {
+      run_direct_round(chunks);
+    }
+    due.clear();
+    const uint64_t epoch_now = ring_epoch();
+    if (epoch_now == resolved_epoch || round >= options.max_epoch_retries) {
+      break;
+    }
+    resolved_epoch = epoch_now;
+    ++round;
+    ++result.epoch_retries;
+    if (put_epoch_retries_counter_ != nullptr) {
+      put_epoch_retries_counter_->Increment();
+    }
+    for (size_t k = 0; k < items.size(); ++k) {
+      state[k].replicas = ReplicasOf(items[k].partition_key);
+      for (const NodeId node : state[k].replicas) {
+        if (!Contains(state[k].acked, node) &&
+            !Contains(state[k].failed, node)) {
+          due.emplace_back(k, node);
+        }
+      }
+    }
+  }
+
+  // Quorum verdicts, judged against each key's *final* replica set — a
+  // 2-of-3 degraded write still satisfies kMajority.
+  for (const KeyWriteState& key : state) {
+    const size_t fanout = std::max<size_t>(key.replicas.size(), 1);
+    size_t needed = fanout;
+    if (options.quorum == PutQuorum::kMajority) needed = fanout / 2 + 1;
+    if (options.quorum == PutQuorum::kOne) needed = 1;
+    if (key.acked.size() >= needed) {
+      ++result.keys_quorum_met;
+    } else {
+      ++result.keys_quorum_failed;
+    }
+  }
+  if (put_keys_counter_ != nullptr) put_keys_counter_->Increment(result.keys);
+  if (put_batches_counter_ != nullptr) {
+    put_batches_counter_->Increment(result.batches_sent);
+  }
+  if (put_quorum_failures_counter_ != nullptr &&
+      result.keys_quorum_failed > 0) {
+    put_quorum_failures_counter_->Increment(result.keys_quorum_failed);
+  }
+
+  if (message) {
+    // Read the query's private wire accounting before releasing its slot.
+    const NodeRuntime::WireStats wire = runtime->query_wire_stats(query_id);
+    result.wire_frames_sent = wire.frames_sent;
+    result.wire_bytes_sent = wire.bytes_sent;
+    result.wire_bytes_received = wire.bytes_received;
+    result.wire_encode_us = wire.encode_us;
+    result.wire_decode_us = wire.decode_us;
+    result.queue_wait_us = runtime->query_queue_wait_us(query_id);
+    runtime->EndQuery(query_id);
+  }
+  result.wall_us = ElapsedMicros(t0);
+  if (put_latency_ != nullptr) put_latency_->Record(result.wall_us);
+  RecordPut(query_id, table, message ? "message" : "direct", result);
+  return result;
+}
+
+}  // namespace kvscale

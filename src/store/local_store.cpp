@@ -47,10 +47,60 @@ Status LocalStore::DurablePut(std::string_view table,
   if (wal_ == nullptr) {
     return Status::InvalidArgument("store has no commit log configured");
   }
-  KV_RETURN_IF_ERROR(wal_->Append(table, partition_key, column));
+  {
+    MutexLock wal_lock(wal_mu_);
+    KV_RETURN_IF_ERROR(wal_->Append(table, partition_key, column));
+  }
   if (instruments_ != nullptr) instruments_->commitlog_appends->Increment();
   GetOrCreateTable(table).Put(partition_key, std::move(column));
   return Status::Ok();
+}
+
+Result<BatchPutResult> LocalStore::DurablePutBatch(
+    std::string_view table, std::vector<BatchPutItem> items) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("store has no commit log configured");
+  }
+  BatchPutResult out;
+  uint64_t appends = 0;
+  {
+    MutexLock wal_lock(wal_mu_);
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Status appended =
+          wal_->Append(table, items[i].partition_key, items[i].column);
+      if (appended.ok()) {
+        ++appends;
+      } else {
+        out.failed_items.push_back(i);
+      }
+    }
+    // The whole point: one Sync() for the batch, not one per key.
+    const Status synced = wal_->Sync();
+    if (!synced.ok()) out.sync_failures = 1;
+  }
+  if (instruments_ != nullptr) {
+    if (appends > 0) instruments_->commitlog_appends->Increment(appends);
+    instruments_->ingest_group_syncs->Increment();
+    if (out.sync_failures > 0) {
+      instruments_->commitlog_sync_failures->Increment();
+    }
+  }
+  Table& dest = GetOrCreateTable(table);
+  size_t next_failed = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (next_failed < out.failed_items.size() &&
+        out.failed_items[next_failed] == i) {
+      ++next_failed;
+      continue;
+    }
+    dest.Put(items[i].partition_key, std::move(items[i].column));
+    ++out.applied;
+  }
+  if (instruments_ != nullptr) {
+    instruments_->ingest_batches->Increment();
+    if (out.applied > 0) instruments_->ingest_columns->Increment(out.applied);
+  }
+  return out;
 }
 
 Result<uint64_t> LocalStore::Recover() {
@@ -70,6 +120,7 @@ void LocalStore::FlushAll() {
   MutexLock lock(mu_);
   for (auto& [name, table] : tables_) table->Flush();
   if (wal_ != nullptr) {
+    MutexLock wal_lock(wal_mu_);
     // Everything that was in a memtable is now in segments: the log can
     // start over. Errors here are non-fatal (the log only grows) but
     // they feed the sync-failure counter instead of vanishing — the

@@ -30,6 +30,20 @@ struct StoreOptions {
   MetricsRegistry* metrics = nullptr;
 };
 
+/// One column of a group-committed batch write.
+struct BatchPutItem {
+  std::string partition_key;
+  Column column;
+};
+
+/// Outcome of one group-committed batch: which items were appended and
+/// applied, and whether the batch's single Sync() failed.
+struct BatchPutResult {
+  uint64_t applied = 0;                ///< columns applied to the table
+  std::vector<uint64_t> failed_items;  ///< indices whose WAL append failed
+  uint64_t sync_failures = 0;          ///< 0/1 — the group Sync() failed
+};
+
 /// A single node's storage engine: named tables over one shared cache.
 class LocalStore {
  public:
@@ -46,6 +60,17 @@ class LocalStore {
   /// table. Requires a configured wal_path.
   Status DurablePut(std::string_view table, std::string_view partition_key,
                     Column column);
+
+  /// Group-committed batch write: appends every item to the commit log,
+  /// issues ONE Sync() for the whole batch (the write path's per-key
+  /// sync amortization), then applies the surviving columns to the
+  /// table. A failed append skips that item (reported by index); a
+  /// failed sync is non-fatal — the columns are still applied and the
+  /// failure is tallied, matching the sequential path where durability
+  /// to disk is best-effort until FlushAll. Requires a configured
+  /// wal_path.
+  Result<BatchPutResult> DurablePutBatch(std::string_view table,
+                                         std::vector<BatchPutItem> items);
 
   /// Replays the commit log into the tables (call once, on startup,
   /// before new writes). Returns the number of mutations recovered.
@@ -64,7 +89,12 @@ class LocalStore {
  private:
   StoreOptions options_;
   std::unique_ptr<BlockCache> cache_;
-  std::unique_ptr<CommitLog> wal_;
+  /// Serializes commit-log appends/syncs: the batched write path lets
+  /// several node workers reach one store concurrently. The unique_ptr
+  /// itself is set once at construction (null checks need no lock);
+  /// acquired after mu_ in FlushAll, never the other way around.
+  mutable Mutex wal_mu_;
+  std::unique_ptr<CommitLog> wal_ KV_PT_GUARDED_BY(wal_mu_);
   std::unique_ptr<StoreInstruments> instruments_;  ///< null = no telemetry
   mutable Mutex mu_;  // guards the table map, not the tables
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_

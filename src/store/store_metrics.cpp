@@ -17,6 +17,9 @@ StoreInstruments StoreInstruments::Resolve(MetricsRegistry& registry) {
   out.commitlog_appends = &registry.GetCounter("store.commitlog.appends");
   out.commitlog_sync_failures =
       &registry.GetCounter("store.commitlog.sync_failures");
+  out.ingest_batches = &registry.GetCounter("store.ingest.batches");
+  out.ingest_columns = &registry.GetCounter("store.ingest.columns");
+  out.ingest_group_syncs = &registry.GetCounter("store.ingest.group_syncs");
   return out;
 }
 

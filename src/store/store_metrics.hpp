@@ -30,6 +30,13 @@ struct StoreInstruments {
   /// FlushAll, which are non-fatal (the log only grows) but must not
   /// vanish silently.
   Counter* commitlog_sync_failures = nullptr;
+  Counter* ingest_batches = nullptr;     ///< store.ingest.batches
+  Counter* ingest_columns = nullptr;     ///< store.ingest.columns
+  /// store.ingest.group_syncs — one per DurablePutBatch: the group-commit
+  /// Sync() calls actually issued. batches/group_syncs == 1 proves the
+  /// amortization; compare with store.commitlog.appends for the per-key
+  /// sync count a naive path would have paid.
+  Counter* ingest_group_syncs = nullptr;
 
   /// Resolves (creating on first use) every instrument in `registry`.
   static StoreInstruments Resolve(MetricsRegistry& registry);

@@ -195,4 +195,56 @@ Result<DecodedReplyFrame> DecodeReplyFrame(std::span<const std::byte> frame,
                                            const CompactCodec& registry,
                                            uint64_t expected_query_id);
 
+/// A decoded and validated WriteBatch frame with its envelope context.
+/// One frame carries exactly one WriteBatch (the batch already coalesces
+/// many keys, unlike sub-queries which coalesce per frame).
+struct DecodedWriteBatchFrame {
+  uint8_t trace_flags = 0;
+  uint32_t attempt = 0;
+  WriteBatch batch;
+};
+
+/// Encodes one WriteBatch as a single-item frame; the envelope echoes
+/// the batch's query_id/sub_id plus the attempt ordinal and trace flags.
+void EncodeWriteBatchFrame(const WriteBatch& batch, uint32_t attempt,
+                           uint8_t trace_flags, WireCodecKind kind,
+                           const CompactCodec& registry, WireBuffer& out);
+
+/// Decodes and validates a WriteBatch frame. Beyond per-message decoding
+/// it enforces batch invariants: exactly one payload, envelope/payload
+/// query_id and sub_id agreement, at least one key, all five column
+/// vectors the same length, type ids that fit uint32, tombstone flags
+/// that are 0/1, and a payload checksum matching the MigrationBlock
+/// recipe. Any violation is kCorruption — a damaged batch must fail
+/// before any column touches a store.
+Result<DecodedWriteBatchFrame> DecodeWriteBatchFrame(
+    std::span<const std::byte> frame, WireCodecKind kind,
+    const CompactCodec& registry);
+
+/// A decoded and validated single WriteReply frame.
+struct DecodedWriteReplyFrame {
+  uint8_t trace_flags = 0;
+  uint32_t attempt = 0;
+  WriteReply reply;
+};
+
+/// Encodes one WriteReply as a single-item frame (envelope mirrors the
+/// reply's query_id/sub_id, like EncodeReplyFrame).
+void EncodeWriteReplyFrame(const WriteReply& reply, uint32_t attempt,
+                           uint8_t trace_flags, WireCodecKind kind,
+                           const CompactCodec& registry, WireBuffer& out);
+
+/// Decodes a single-item WriteReply frame; kCorruption on malformed
+/// frames, envelope/payload disagreement, or a failed-key index list
+/// that is not strictly increasing (a duplicate index would double-count
+/// a key in the master's quorum accounting).
+Result<DecodedWriteReplyFrame> DecodeWriteReplyFrame(
+    std::span<const std::byte> frame, WireCodecKind kind,
+    const CompactCodec& registry);
+
+/// Query-id-checked variant for demultiplexed write-reply channels.
+Result<DecodedWriteReplyFrame> DecodeWriteReplyFrame(
+    std::span<const std::byte> frame, WireCodecKind kind,
+    const CompactCodec& registry, uint64_t expected_query_id);
+
 }  // namespace kvscale

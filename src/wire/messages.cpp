@@ -13,6 +13,8 @@ void RegisterClusterMessages(CompactCodec& codec) {
   codec.Register<MigrationBegin>();
   codec.Register<MigrationBlock>();
   codec.Register<MigrationDone>();
+  codec.Register<WriteBatch>();
+  codec.Register<WriteReply>();
 }
 
 uint64_t MigrationBlockChecksum(const std::vector<std::string>& payloads) {

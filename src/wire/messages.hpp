@@ -250,9 +250,83 @@ struct MigrationDone {
   }
 };
 
+// -- Write-path frames (batched replicated ingest) --------------------------
+//
+// The write pipeline scatters one WriteBatch per (replica node, chunk of
+// keys) over the same envelope the query path uses, and the node answers
+// with one WriteReply. A batch is group-committed: the node appends every
+// surviving key to its WAL, then issues a single Sync() for the whole
+// batch — the ingest analogue of the read path's sub-query batching.
+
+/// Master -> replica: apply a batch of columns to one table. The five
+/// column vectors are parallel: keys[i] owns (clusterings[i],
+/// type_ids[i], tombstones[i], payloads[i]). `checksum` is FNV-1a over
+/// every payload (the MigrationBlock recipe), so in-flight corruption is
+/// detected before any column reaches the store.
+struct WriteBatch {
+  static constexpr std::string_view kTypeName = "kvscale.WriteBatch";
+
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;     ///< batch ordinal within the put query
+  uint32_t target = 0;     ///< replica node this batch is bound for
+  std::string table;
+  std::vector<std::string> keys;        ///< partition key per column
+  std::vector<uint64_t> clusterings;    ///< clustering key per column
+  std::vector<uint64_t> type_ids;       ///< type id per column (fits u32)
+  std::vector<uint64_t> tombstones;     ///< 0 = value, 1 = deletion marker
+  std::vector<std::string> payloads;    ///< opaque value bytes per column
+  uint64_t checksum = 0;                ///< FNV-1a over all payload bytes
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("sub_id", sub_id);
+    v.Field("target", target);
+    v.Field("table", table);
+    v.Field("keys", keys);
+    v.Field("clusterings", clusterings);
+    v.Field("type_ids", type_ids);
+    v.Field("tombstones", tombstones);
+    v.Field("payloads", payloads);
+    v.Field("checksum", checksum);
+  }
+};
+
+/// Replica -> master: outcome of one WriteBatch. `applied` counts keys
+/// durably appended; `failed_keys` lists the batch indices whose WAL
+/// write was refused, so the master can do per-key quorum accounting.
+/// `sync_failures` reports whether the batch's group-commit Sync()
+/// failed (the columns are still applied in memory — durability to disk
+/// is best-effort until FlushAll, matching the sequential path).
+struct WriteReply {
+  static constexpr std::string_view kTypeName = "kvscale.WriteReply";
+
+  uint64_t query_id = 0;
+  uint32_t sub_id = 0;
+  uint32_t node = 0;                 ///< replica that served (or refused)
+  uint32_t status = 0;               ///< static_cast<uint32_t>(StatusCode)
+  uint64_t applied = 0;              ///< keys applied to the store
+  std::vector<uint64_t> failed_keys; ///< batch indices refused by the WAL
+  uint64_t sync_failures = 0;        ///< group-commit Sync() failures (0/1)
+  double db_micros = 0.0;            ///< wall time inside the data store
+
+  template <typename V>
+  void Visit(V&& v) {
+    v.Field("query_id", query_id);
+    v.Field("sub_id", sub_id);
+    v.Field("node", node);
+    v.Field("status", status);
+    v.Field("applied", applied);
+    v.Field("failed_keys", failed_keys);
+    v.Field("sync_failures", sync_failures);
+    v.Field("db_micros", db_micros);
+  }
+};
+
 /// The expected checksum of one MigrationBlock: FNV-1a chained over every
 /// payload string, in order. Defined next to the message so the sender
-/// and the verifier can never disagree on the recipe.
+/// and the verifier can never disagree on the recipe. WriteBatch reuses
+/// the same recipe over its payload vector.
 uint64_t MigrationBlockChecksum(const std::vector<std::string>& payloads);
 
 /// Registers the whole message set with a CompactCodec instance; both

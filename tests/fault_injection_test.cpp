@@ -404,11 +404,11 @@ TEST(ClusterFaultToleranceTest, InjectedWalFailureDegradesPutNotTheProcess) {
       c.clustering = i;
       c.type_id = i % 3;
       c.payload = MakePayload(part, i, 24);
-      const Status put = cluster.Put("t", key, std::move(c));
+      const PutResult put = cluster.Put("t", key, std::move(c));
       if (put.ok()) {
         ++truth[i % 3];
       } else {
-        EXPECT_EQ(put.code(), StatusCode::kUnavailable);
+        EXPECT_EQ(put.first_error.code(), StatusCode::kUnavailable);
         wrote = false;
         ++failed_puts;
       }

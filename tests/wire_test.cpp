@@ -6,6 +6,7 @@
 
 #include "wire/buffer.hpp"
 #include "wire/codec.hpp"
+#include "wire/envelope.hpp"
 #include "wire/messages.hpp"
 #include "wire/serializer_model.hpp"
 
@@ -183,7 +184,7 @@ TEST(TaggedCodecTest, RejectsTruncation) {
 TEST(CompactCodecTest, RoundTripsRegisteredTypes) {
   CompactCodec codec;
   RegisterClusterMessages(codec);
-  EXPECT_EQ(codec.registered_count(), 9u);
+  EXPECT_EQ(codec.registered_count(), 11u);
 
   WireBuffer buf;
   codec.Encode(SampleResult(), buf);
@@ -224,6 +225,106 @@ TEST(MigrationMessageTest, ChecksumSeesPayloadBoundaries) {
   EXPECT_NE(MigrationBlockChecksum({}), MigrationBlockChecksum({""}));
   EXPECT_EQ(MigrationBlockChecksum({"ab", "c"}),
             MigrationBlockChecksum({"ab", "c"}));
+}
+
+WriteBatch SampleWriteBatch() {
+  WriteBatch batch;
+  batch.query_id = 91;
+  batch.sub_id = 4;
+  batch.target = 2;
+  batch.table = "t";
+  batch.keys = {"p0", "p0", "p7"};
+  batch.clusterings = {1, 2, 9};
+  batch.type_ids = {0, 1, 4};
+  batch.tombstones = {0, 0, 1};
+  batch.payloads = {"aa", "bbb", ""};
+  batch.checksum = MigrationBlockChecksum(batch.payloads);
+  return batch;
+}
+
+TEST(WriteMessageTest, BatchFrameRoundTripsBothCodecs) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  const WriteBatch batch = SampleWriteBatch();
+  for (const WireCodecKind kind :
+       {WireCodecKind::kTagged, WireCodecKind::kCompact}) {
+    WireBuffer buf;
+    EncodeWriteBatchFrame(batch, /*attempt=*/2, /*trace_flags=*/0, kind,
+                          codec, buf);
+    auto decoded = DecodeWriteBatchFrame(buf.data(), kind, codec);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().attempt, 2u);
+    EXPECT_EQ(decoded.value().batch.keys, batch.keys);
+    EXPECT_EQ(decoded.value().batch.payloads, batch.payloads);
+    EXPECT_EQ(decoded.value().batch.tombstones, batch.tombstones);
+    EXPECT_EQ(decoded.value().batch.checksum, batch.checksum);
+  }
+}
+
+TEST(WriteMessageTest, BatchDecoderRejectsBadShapes) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  const auto expect_corrupt = [&](const WriteBatch& bad) {
+    WireBuffer buf;
+    EncodeWriteBatchFrame(bad, 0, 0, WireCodecKind::kCompact, codec, buf);
+    auto decoded =
+        DecodeWriteBatchFrame(buf.data(), WireCodecKind::kCompact, codec);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  };
+
+  WriteBatch stale_checksum = SampleWriteBatch();
+  stale_checksum.payloads[1] = "tampered";  // checksum no longer matches
+  expect_corrupt(stale_checksum);
+
+  WriteBatch ragged = SampleWriteBatch();
+  ragged.clusterings.pop_back();
+  expect_corrupt(ragged);
+
+  WriteBatch empty = SampleWriteBatch();
+  empty.keys.clear();
+  empty.clusterings.clear();
+  empty.type_ids.clear();
+  empty.tombstones.clear();
+  empty.payloads.clear();
+  empty.checksum = MigrationBlockChecksum(empty.payloads);
+  expect_corrupt(empty);
+
+  WriteBatch bad_flag = SampleWriteBatch();
+  bad_flag.tombstones[0] = 2;  // not a 0/1 marker
+  expect_corrupt(bad_flag);
+}
+
+TEST(WriteMessageTest, ReplyRoundTripsAndRejectsUnsortedFailures) {
+  CompactCodec codec;
+  RegisterClusterMessages(codec);
+  WriteReply reply;
+  reply.query_id = 91;
+  reply.sub_id = 4;
+  reply.node = 2;
+  reply.status = 0;
+  reply.applied = 5;
+  reply.failed_keys = {1, 3, 6};
+  reply.sync_failures = 1;
+  reply.db_micros = 42.5;
+
+  WireBuffer buf;
+  EncodeWriteReplyFrame(reply, /*attempt=*/1, /*trace_flags=*/0,
+                        WireCodecKind::kCompact, codec, buf);
+  auto decoded =
+      DecodeWriteReplyFrame(buf.data(), WireCodecKind::kCompact, codec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().reply.applied, 5u);
+  EXPECT_EQ(decoded.value().reply.failed_keys, reply.failed_keys);
+  EXPECT_EQ(decoded.value().reply.sync_failures, 1u);
+
+  reply.failed_keys = {3, 3};  // duplicates can double-count a key
+  WireBuffer bad;
+  EncodeWriteReplyFrame(reply, 1, 0, WireCodecKind::kCompact, codec, bad);
+  auto rejected =
+      DecodeWriteReplyFrame(bad.data(), WireCodecKind::kCompact, codec);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kCorruption);
 }
 
 TEST(CompactCodecTest, RejectsTypeIdMismatch) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Regression gate for the bench scoreboards: runs a quick-config
-# master_throughput sweep, a rebalance churn, and a query_mix pass over
-# the four query plans, comparing each against its committed baseline
-# (BENCH_master_throughput.json, BENCH_rebalance.json,
-# BENCH_query_mix.json). All gates are lower-bound-only — a faster
+# master_throughput sweep, a rebalance churn, a query_mix pass over
+# the four query plans, and an ingest batch-size ladder, comparing each
+# against its committed baseline (BENCH_master_throughput.json,
+# BENCH_rebalance.json, BENCH_query_mix.json, BENCH_ingest.json).
+# All gates are lower-bound-only — a faster
 # machine passes, a slowdown past the tolerance fails — so they catch
 # "this PR made the gather path 3x slower" or "migration crawls now"
 # without being flaky across hardware. The rebalance tolerance is wide
@@ -19,6 +20,7 @@
 #   BENCH_QUERIES BENCH_TOLERANCE_PCT BENCH_BUILD_DIR
 #   BENCH_REBALANCE_KEYS BENCH_REBALANCE_TOLERANCE_PCT
 #   BENCH_QUERY_MIX_REPEATS BENCH_QUERY_MIX_TOLERANCE_PCT
+#   BENCH_INGEST_READ_ROUNDS BENCH_INGEST_TOLERANCE_PCT BENCH_INGEST_WAL
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +44,13 @@ QUERY_MIX_REPEATS="${BENCH_QUERY_MIX_REPEATS:-20}"
 QUERY_MIX_TOLERANCE_PCT="${BENCH_QUERY_MIX_TOLERANCE_PCT:-75}"
 QUERY_MIX_BIN="$BUILD_DIR/bench/query_mix"
 
-for bin in "$BIN" "$REBALANCE_BIN" "$QUERY_MIX_BIN"; do
+INGEST_BASELINE="bench/BENCH_ingest.json"
+INGEST_READ_ROUNDS="${BENCH_INGEST_READ_ROUNDS:-16}"
+INGEST_TOLERANCE_PCT="${BENCH_INGEST_TOLERANCE_PCT:-75}"
+INGEST_WAL="${BENCH_INGEST_WAL:-$BUILD_DIR/bench_check_ingest.wal}"
+INGEST_BIN="$BUILD_DIR/bench/ingest"
+
+for bin in "$BIN" "$REBALANCE_BIN" "$QUERY_MIX_BIN" "$INGEST_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_check: $bin not built — run: cmake --build $BUILD_DIR -j --target $(basename "$bin")" >&2
     exit 1
@@ -60,6 +68,10 @@ query_mix_flags=(
   --elements="$ELEMENTS" --keys="$REBALANCE_KEYS" --nodes="$NODES"
   --repeats="$QUERY_MIX_REPEATS"
 )
+ingest_flags=(
+  --elements="$ELEMENTS" --keys="$KEYS" --nodes="$NODES"
+  --read-rounds="$INGEST_READ_ROUNDS" --wal="$INGEST_WAL"
+)
 
 if [[ "${1:-}" == "--update" ]]; then
   "$BIN" "${common_flags[@]}" --json-out="$BASELINE"
@@ -68,10 +80,13 @@ if [[ "${1:-}" == "--update" ]]; then
   echo "bench_check: baseline updated at $REBALANCE_BASELINE"
   "$QUERY_MIX_BIN" "${query_mix_flags[@]}" --json-out="$QUERY_MIX_BASELINE"
   echo "bench_check: baseline updated at $QUERY_MIX_BASELINE"
+  "$INGEST_BIN" "${ingest_flags[@]}" --json-out="$INGEST_BASELINE"
+  echo "bench_check: baseline updated at $INGEST_BASELINE"
   exit 0
 fi
 
-for baseline in "$BASELINE" "$REBALANCE_BASELINE" "$QUERY_MIX_BASELINE"; do
+for baseline in "$BASELINE" "$REBALANCE_BASELINE" "$QUERY_MIX_BASELINE" \
+                "$INGEST_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
     echo "bench_check: no baseline at $baseline — create one with: tools/bench_check.sh --update" >&2
     exit 1
@@ -86,3 +101,6 @@ done
 "$QUERY_MIX_BIN" "${query_mix_flags[@]}" \
   --check-against="$QUERY_MIX_BASELINE" \
   --tolerance-pct="$QUERY_MIX_TOLERANCE_PCT"
+"$INGEST_BIN" "${ingest_flags[@]}" \
+  --check-against="$INGEST_BASELINE" \
+  --tolerance-pct="$INGEST_TOLERANCE_PCT"

@@ -17,7 +17,7 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 # The suites that exercise fault injection, failover, torn WALs, and the
 # concurrent gather paths.
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency|Membership|MigrationFault|QueryPlan|BoxQuery|WireFuzz'
+  -R 'FaultInjector|ClusterFaultTolerance|CommitLog|InProcessCluster|ReplicatedSim|StoreConcurrency|Membership|MigrationFault|QueryPlan|BoxQuery|WireFuzz|WritePath'
 
 # One sanitized end-to-end chaos run: replication 3, a dead node, flaky
 # reads, and corrupted segment blocks must still produce a full answer.
@@ -46,5 +46,16 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   --box 0.25,0.25,0.25,0.75,0.75,0.75 --level 4 --elements 20000 \
   --nodes 4 --replication 3 --fail-node 0 --fail-rate 0.02 \
   --max-attempts 4
+
+# The write path under the same crossfire: durable group-committed
+# batches over the wire with a dead node and flaky WAL writes. The
+# accounting invariant (every replica write acked or failed, every key
+# given a quorum verdict) is checked inside the command; --verify
+# gathers the table back afterwards.
+./build-asan/tools/kvscale put-bench --nodes 4 --keys 60 --elements 3000 \
+  --replication 3 --quorum majority --batch 8 --fail-node 0 \
+  --wal build-asan/chaos_put.wal --wal-error-rate 0.05 \
+  --codec compact --workers-per-node 2 --clients 4 --verify
+rm -f build-asan/chaos_put.wal.node*
 
 echo "chaos_check: OK"

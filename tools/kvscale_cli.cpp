@@ -15,6 +15,8 @@
 //   kvscale gather   --query scan --scan-start 10 --scan-end 99 --limit 50
 //   kvscale gather   --query topk --k 10 --nodes 4 --replication 2
 //   kvscale gather   --query box --box 0.2,0.2,0.2,0.5,0.5,0.5 --level 4
+//   kvscale put-bench --nodes 4 --replication 3 --batch 16 --quorum majority
+//   kvscale put-bench --codec compact --clients 4 --wal /tmp/ingest.wal
 //
 // Every subcommand accepts --t-msg-us (master cost per message) and
 // --device (dram|hbm|nvm|ssd|hdd) to describe the hardware under study,
@@ -25,6 +27,8 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cluster/cluster_sim.hpp"
 #include "common/check.hpp"
@@ -940,6 +944,306 @@ int CmdGather(CommonArgs& args, const GatherArgs& gather_args) {
   return exported ? 0 : 1;
 }
 
+/// Flags of the batched replicated write drill (`kvscale put-bench`).
+struct PutBenchArgs {
+  int64_t batch = 0;           ///< keys per write batch (0 = one per node)
+  std::string quorum = "all";  ///< all|majority|one
+  int64_t clients = 1;         ///< concurrent writer threads
+  int64_t payload_bytes = 30;
+  int64_t seed = 42;
+  int64_t replication = 1;
+  int64_t fail_node = -1;        ///< -1 = no node killed
+  double wal_error_rate = 0.0;   ///< per-(node,key) injected WAL failures
+  std::string wal;               ///< WAL path prefix ("" = memory only)
+  int64_t flush_watermark = 0;   ///< memtable bytes arming background flush
+  int64_t max_epoch_retries = 2;
+  std::string codec;             ///< "" = direct calls; tagged|compact = wire
+  int64_t queue_depth = 0;       ///< 0 = runtime default
+  int64_t workers_per_node = 0;  ///< 0 = runtime default
+  int64_t max_inflight = 0;      ///< admission limit; 0 = unlimited
+  bool verify = false;           ///< count-gather the table back afterwards
+
+  void Register(CliFlags& flags) {
+    flags.Add("batch", &batch,
+              "keys per write batch — one group-commit Sync() each "
+              "(0 = everything bound for a node in a single batch)");
+    flags.Add("quorum", &quorum,
+              "per-key ack policy: all|majority|one (default all)");
+    flags.Add("clients", &clients,
+              "concurrent writer threads splitting the partitions");
+    flags.Add("payload-bytes", &payload_bytes, "payload bytes per column");
+    flags.Add("seed", &seed, "placement + fault-injection seed");
+    flags.Add("replication", &replication,
+              "copies of every partition (1 = no fault tolerance)");
+    flags.Add("fail-node", &fail_node,
+              "kill this node before writing (-1 = none)");
+    flags.Add("wal-error-rate", &wal_error_rate,
+              "probability each (node, key) WAL write is refused (0..1)");
+    flags.Add("wal",
+              &wal,
+              "write-ahead-log path prefix; node n logs to <wal>.node<n> "
+              "(empty = in-memory only, no group commit to amortize)");
+    flags.Add("flush-watermark", &flush_watermark,
+              "memtable bytes at which the write handler schedules a "
+              "background flush on the node's workers (needs --codec; "
+              "0 = never)");
+    flags.Add("max-epoch-retries", &max_epoch_retries,
+              "re-dispatch rounds allowed after a ring-epoch bump");
+    flags.Add("codec", &codec,
+              "send WriteBatch frames through the runtime: tagged|compact");
+    flags.Add("queue-depth", &queue_depth,
+              "per-node request queue capacity (needs --codec)");
+    flags.Add("workers-per-node", &workers_per_node,
+              "worker threads draining each node's queue (needs --codec)");
+    flags.Add("max-inflight", &max_inflight,
+              "admission limit on concurrent writes; 0 = unlimited");
+    flags.Add("verify", &verify,
+              "count-gather the table afterwards and check the totals");
+  }
+
+  Status Validate(const CommonArgs& args) const {
+    auto parsed_quorum = ParsePutQuorum(quorum);
+    if (!parsed_quorum.ok()) return parsed_quorum.status();
+    if (batch < 0) return Status::InvalidArgument("--batch must be >= 0");
+    if (clients < 1) return Status::InvalidArgument("--clients must be >= 1");
+    if (payload_bytes < 1) {
+      return Status::InvalidArgument("--payload-bytes must be >= 1");
+    }
+    if (replication < 1 || replication > args.nodes) {
+      return Status::InvalidArgument(
+          "--replication must be between 1 and --nodes (" +
+          std::to_string(args.nodes) + "), got " + std::to_string(replication));
+    }
+    if (fail_node >= args.nodes) {
+      return Status::InvalidArgument(
+          "--fail-node " + std::to_string(fail_node) +
+          " is out of range: the cluster has only " +
+          std::to_string(args.nodes) + " nodes");
+    }
+    if (wal_error_rate < 0.0 || wal_error_rate > 1.0) {
+      return Status::InvalidArgument("--wal-error-rate must be within [0, 1]");
+    }
+    if (wal_error_rate > 0.0 && wal.empty()) {
+      return Status::InvalidArgument("--wal-error-rate needs --wal=PREFIX");
+    }
+    if (max_epoch_retries < 0) {
+      return Status::InvalidArgument("--max-epoch-retries must be >= 0");
+    }
+    if (max_inflight < 0) {
+      return Status::InvalidArgument("--max-inflight must be >= 0");
+    }
+    if (codec.empty()) {
+      if (queue_depth != 0 || workers_per_node != 0 || max_inflight != 0 ||
+          flush_watermark != 0) {
+        return Status::InvalidArgument(
+            "--queue-depth/--workers-per-node/--max-inflight/"
+            "--flush-watermark configure the message transport and require "
+            "--codec {tagged,compact}");
+      }
+    } else {
+      auto parsed = ParseWireCodec(codec);
+      if (!parsed.ok()) return parsed.status();
+      if (queue_depth < 0) {
+        return Status::InvalidArgument("--queue-depth must be >= 0");
+      }
+      if (workers_per_node < 0) {
+        return Status::InvalidArgument("--workers-per-node must be >= 0");
+      }
+      if (flush_watermark < 0) {
+        return Status::InvalidArgument("--flush-watermark must be >= 0");
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+int CmdPutBench(CommonArgs& args, const PutBenchArgs& put_args) {
+  SpanTracer tracer;
+  MetricsRegistry registry;
+
+  StoreOptions store_options;
+  store_options.metrics = &registry;
+  store_options.wal_path = put_args.wal;
+  InProcessCluster cluster(static_cast<uint32_t>(args.nodes),
+                           PlacementKind::kDhtRandom, store_options,
+                           static_cast<uint64_t>(put_args.seed),
+                           static_cast<uint32_t>(put_args.replication));
+  cluster.AttachTelemetry(&tracer, &registry);
+
+  FaultConfig fault_config;
+  fault_config.seed = static_cast<uint64_t>(put_args.seed);
+  fault_config.wal_error_rate = put_args.wal_error_rate;
+  FaultInjector injector(fault_config);
+  const bool chaos =
+      put_args.fail_node >= 0 || put_args.wal_error_rate > 0.0;
+  if (chaos) cluster.AttachFaultInjector(&injector);
+  if (put_args.fail_node >= 0) {
+    cluster.KillNode(static_cast<NodeId>(put_args.fail_node));
+    std::printf("chaos: node %lld is down\n",
+                static_cast<long long>(put_args.fail_node));
+  }
+
+  PutOptions options;
+  options.quorum = ParsePutQuorum(put_args.quorum).value();
+  options.batch = static_cast<uint32_t>(put_args.batch);
+  options.max_epoch_retries =
+      static_cast<uint32_t>(put_args.max_epoch_retries);
+  if (!put_args.codec.empty()) {
+    options.transport = GatherTransport::kMessage;
+    options.codec = ParseWireCodec(put_args.codec).value();
+    if (put_args.queue_depth > 0) {
+      options.queue_depth = static_cast<uint32_t>(put_args.queue_depth);
+    }
+    if (put_args.workers_per_node > 0) {
+      options.workers_per_node =
+          static_cast<uint32_t>(put_args.workers_per_node);
+    }
+    options.max_inflight = static_cast<uint32_t>(put_args.max_inflight);
+    options.flush_watermark_bytes =
+        static_cast<uint64_t>(put_args.flush_watermark);
+  }
+
+  // Each client thread writes a contiguous stripe of the workload's
+  // partitions as one PutBatch — the write-side Fig. 11 drill: N threads
+  // hammering the shared runtime with group-committed batches.
+  const WorkloadSpec workload = UniformWorkload(
+      static_cast<uint64_t>(args.elements), static_cast<uint64_t>(args.keys));
+  const size_t parts = workload.partitions.size();
+  const size_t clients =
+      std::min<size_t>(static_cast<size_t>(put_args.clients), parts);
+  std::vector<PutResult> results(clients);
+  {
+    SpanTracer::Scope span =
+        tracer.StartSpan("put-bench", cluster.master_track());
+    std::vector<std::thread> writers;
+    writers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      writers.emplace_back([&, c] {
+        const size_t begin = parts * c / clients;
+        const size_t end = parts * (c + 1) / clients;
+        std::vector<BatchPutItem> items;
+        for (size_t i = begin; i < end; ++i) {
+          const PartitionRef& part = workload.partitions[i];
+          for (uint32_t j = 0; j < part.elements; ++j) {
+            BatchPutItem item;
+            item.partition_key = part.key;
+            item.column.clustering = j;
+            item.column.type_id = j % 8;
+            item.column.payload = MakePayload(
+                i, j, static_cast<size_t>(put_args.payload_bytes));
+            items.push_back(std::move(item));
+          }
+        }
+        results[c] = cluster.PutBatch(workload.table, std::move(items),
+                                      options);
+      });
+    }
+    for (std::thread& t : writers) t.join();
+  }
+
+  PutResult total;
+  for (const PutResult& r : results) {
+    total.keys += r.keys;
+    total.replica_writes += r.replica_writes;
+    total.replica_acks += r.replica_acks;
+    total.replica_failures += r.replica_failures;
+    total.keys_quorum_met += r.keys_quorum_met;
+    total.keys_quorum_failed += r.keys_quorum_failed;
+    total.batches_sent += r.batches_sent;
+    total.sync_failures += r.sync_failures;
+    total.epoch_retries += r.epoch_retries;
+    total.shed_by_admission |= r.shed_by_admission;
+    if (total.first_error.ok()) total.first_error = r.first_error;
+    // Clients run concurrently: elapsed is the slowest stripe.
+    total.wall_us = std::max(total.wall_us, r.wall_us);
+    total.wire_frames_sent += r.wire_frames_sent;
+    total.wire_bytes_sent += r.wire_bytes_sent;
+    total.wire_bytes_received += r.wire_bytes_received;
+    total.wire_encode_us += r.wire_encode_us;
+    total.wire_decode_us += r.wire_decode_us;
+  }
+
+  std::printf(
+      "batched replicated put: %zu partitions x %lld columns over %zu "
+      "client%s (replication %lld, quorum %s, batch %lld%s)\n",
+      parts, static_cast<long long>(args.elements / args.keys), clients,
+      clients == 1 ? "" : "s", static_cast<long long>(put_args.replication),
+      PutQuorumName(options.quorum).data(),
+      static_cast<long long>(put_args.batch),
+      put_args.wal.empty() ? "" : ", durable");
+  std::printf(
+      "  %llu keys in %s: %.1f keys/s | %llu batches, %llu replica writes "
+      "= %llu acked + %llu failed | %llu sync failures, %llu epoch "
+      "retries\n",
+      static_cast<unsigned long long>(total.keys),
+      FormatMicros(total.wall_us).c_str(),
+      total.wall_us > 0.0 ? static_cast<double>(total.keys) /
+                                (total.wall_us / 1e6)
+                          : 0.0,
+      static_cast<unsigned long long>(total.batches_sent),
+      static_cast<unsigned long long>(total.replica_writes),
+      static_cast<unsigned long long>(total.replica_acks),
+      static_cast<unsigned long long>(total.replica_failures),
+      static_cast<unsigned long long>(total.sync_failures),
+      static_cast<unsigned long long>(total.epoch_retries));
+  std::printf("  quorum: %llu keys met, %llu failed%s\n",
+              static_cast<unsigned long long>(total.keys_quorum_met),
+              static_cast<unsigned long long>(total.keys_quorum_failed),
+              total.shed_by_admission ? "  [SHED BY ADMISSION]" : "");
+  if (!total.first_error.ok()) {
+    std::printf("  first replica refusal: %s\n",
+                total.first_error.ToString().c_str());
+  }
+  if (!put_args.codec.empty()) {
+    std::printf("  wire (%s): %llu frames, %llu B sent, %llu B received | "
+                "encode %s, decode %s\n",
+                put_args.codec.c_str(),
+                static_cast<unsigned long long>(total.wire_frames_sent),
+                static_cast<unsigned long long>(total.wire_bytes_sent),
+                static_cast<unsigned long long>(total.wire_bytes_received),
+                FormatMicros(total.wire_encode_us).c_str(),
+                FormatMicros(total.wire_decode_us).c_str());
+  }
+
+  // The books must balance no matter what chaos did: every attempted
+  // replica write is an ack or a failure, and every key got a verdict.
+  if (total.replica_acks + total.replica_failures != total.replica_writes ||
+      total.keys_quorum_met + total.keys_quorum_failed != total.keys) {
+    std::fprintf(stderr,
+                 "put-bench: accounting violation (acks %llu + failures "
+                 "%llu != writes %llu, or quorum verdicts != keys)\n",
+                 static_cast<unsigned long long>(total.replica_acks),
+                 static_cast<unsigned long long>(total.replica_failures),
+                 static_cast<unsigned long long>(total.replica_writes));
+    return 1;
+  }
+
+  bool verified = true;
+  if (put_args.verify) {
+    cluster.FlushAll();
+    const GatherResult readback = cluster.Gather(MakeCountPlan(workload));
+    uint64_t counted = 0;
+    for (const auto& [type, count] : readback.totals) counted += count;
+    const uint64_t expected = static_cast<uint64_t>(args.elements);
+    // Under chaos a key can miss quorum yet the gather still reads a
+    // surviving replica, so only the healthy run pins the exact total.
+    verified = chaos ? readback.completed > 0 : counted == expected;
+    std::printf("  verify: count-gather found %llu of %llu columns "
+                "(%llu partitions missing) -> %s\n",
+                static_cast<unsigned long long>(counted),
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(readback.partitions_missing),
+                verified ? "ok" : "MISMATCH");
+  }
+
+  std::printf("%s", registry.SummaryReport().c_str());
+  if (!ExportTelemetry(args, tracer, registry)) return 1;
+  if (!verified) return 1;
+  // Healthy runs must land every copy; chaos runs only owe us balanced
+  // books (checked above) and are reported, not failed.
+  return (chaos || total.ok()) ? 0 : 1;
+}
+
 void PrintUsage() {
   std::printf(
       "kvscale <command> [flags]\n"
@@ -964,6 +1268,12 @@ void PrintUsage() {
       "             --admission-policy {block,reject}\n"
       "             observability flags: --slow-query-us --slow-log=FILE\n"
       "             --flight-out=FILE --timeseries-out=FILE\n"
+      "  put-bench  batched replicated writes through the same cluster:\n"
+      "             --batch --quorum {all,majority,one} --clients\n"
+      "             --replication --wal=PREFIX --wal-error-rate\n"
+      "             --fail-node --codec {tagged,compact} --queue-depth\n"
+      "             --workers-per-node --max-inflight --flush-watermark\n"
+      "             --verify\n"
       "common flags: --elements --keys --nodes --t-msg-us --device\n"
       "              --trace-out=FILE --metrics-out=FILE\n"
       "see each command's --help for its extras.\n");
@@ -1026,6 +1336,17 @@ int Main(int argc, char** argv) {
       return 1;
     }
     return CmdGather(args, gather_args);
+  }
+  if (command == "put-bench") {
+    PutBenchArgs put_args;
+    put_args.Register(flags);
+    if (!parse()) return 1;
+    const Status valid = put_args.Validate(args);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return 1;
+    }
+    return CmdPutBench(args, put_args);
   }
   if (command == "--help" || command == "help" || command == "-h") {
     PrintUsage();

@@ -19,7 +19,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # message-vs-direct parity (including the chaos run), parallel gathers,
 # and concurrent store reads.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency|SharedRuntime|AdmissionControl|ConcurrentGather|Membership|MigrationFault|QueryPlan|BoxQuery'
+  -R 'BoundedQueue|NodeRuntime|MessageGather|InProcessCluster|ClusterFaultTolerance|FaultInjector|StoreConcurrency|SharedRuntime|AdmissionControl|ConcurrentGather|Membership|MigrationFault|QueryPlan|BoxQuery|WritePath'
 
 # One sanitized end-to-end run over the wire: batched compact frames,
 # multiple workers per node, chaos on top.
@@ -42,5 +42,15 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   --clients 4 --queries 2
 ./build-tsan/tools/kvscale gather --query topk --k 25 --nodes 4 \
   --keys 40 --elements 4000 --replication 2 --threads 4
+
+# Concurrent writers through the shared runtime: four client threads
+# stream group-committed WriteBatch frames (flush watermark armed, so
+# background maintenance competes on the same workers) — the whole
+# batched write path under TSan.
+./build-tsan/tools/kvscale put-bench --nodes 4 --keys 40 --elements 4000 \
+  --replication 2 --quorum all --batch 16 --codec compact \
+  --workers-per-node 2 --clients 4 --wal build-tsan/race_put.wal \
+  --flush-watermark 16384 --verify
+rm -f build-tsan/race_put.wal.node*
 
 echo "race_check: OK"
